@@ -1,0 +1,58 @@
+// Reproduces Figure 10: total maintenance time for update groups of
+// increasing size (paper: 500..8000; scaled per STL_BENCH_SCALE) against
+// the cost of rebuilding the labelling from scratch.
+//
+// Expected shape (paper): even the largest group maintains faster than a
+// full reconstruction; increase passes cost more than decrease passes.
+#include "bench/bench_common.h"
+#include "core/stl_index.h"
+#include "util/table.h"
+#include "workload/update_workload.h"
+
+using namespace stl;
+
+int main() {
+  auto cfg = bench::MakeConfig();
+  bench::PrintHeader("Figure 10 — batch maintenance vs reconstruction", cfg);
+  // Group sizes: 1/16 .. 1x of the paper's 500..8000, scaled down for
+  // small/medium runs.
+  double scale_factor = cfg.scale == BenchScale::kLarge
+                            ? 1.0
+                            : (cfg.scale == BenchScale::kMedium ? 0.25 : 0.1);
+  std::vector<size_t> groups;
+  for (size_t base : {500, 1000, 2000, 4000, 8000}) {
+    groups.push_back(static_cast<size_t>(base * scale_factor));
+  }
+  size_t first = cfg.datasets.size() >= 3 ? cfg.datasets.size() - 3 : 0;
+  for (size_t di = first; di < cfg.datasets.size(); ++di) {
+    const auto& spec = cfg.datasets[di];
+    Graph g = LoadDataset(spec);
+    StlIndex idx = StlIndex::Build(&g, HierarchyOptions{});
+    const double rebuild_s = idx.build_info().total_seconds;
+
+    std::printf("(%s) reconstruction time: %.2f s\n", spec.name.c_str(),
+                rebuild_s);
+    TablePrinter table(
+        {"#updates", "STL-P+ [s]", "STL-P- [s]", "total [s]", "vs rebuild"});
+    for (size_t group : groups) {
+      auto edges = SampleDistinctEdges(g, group, spec.seed * 131 + group);
+      UpdateBatch inc = MakeIncreaseBatch(g, edges, 2.0);
+      UpdateBatch dec = MakeRestoreBatch(inc);
+      Timer t;
+      idx.ApplyBatch(inc, MaintenanceStrategy::kParetoSearch);
+      double inc_s = t.ElapsedSeconds();
+      t.Restart();
+      idx.ApplyBatch(dec, MaintenanceStrategy::kParetoSearch);
+      double dec_s = t.ElapsedSeconds();
+      double total = inc_s + dec_s;
+      table.AddRow({std::to_string(inc.size()),
+                    TablePrinter::Fixed(inc_s, 3),
+                    TablePrinter::Fixed(dec_s, 3),
+                    TablePrinter::Fixed(total, 3),
+                    TablePrinter::Fixed(total / rebuild_s, 2) + "x"});
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Reproduces Figure 8: per-update time as a function of how much weights
+// change. Batch t multiplies the sampled edges' weights by (t+1) and then
+// restores them, t = 1..9, for STL-P+/- and IncH2H+/-.
+//
+// Expected shape (paper): STL-P+ grows with the factor (the Algorithm 4
+// line-18 upper bound is tight less often, shifting work to Repair);
+// STL-P-, IncH2H+ and IncH2H- stay flat.
+#include "baselines/h2h.h"
+#include "bench/bench_common.h"
+#include "core/stl_index.h"
+#include "util/table.h"
+#include "workload/update_workload.h"
+
+using namespace stl;
+
+int main() {
+  auto cfg = bench::MakeConfig();
+  bench::PrintHeader("Figure 8 — update time vs weight-change factor", cfg);
+  // The paper plots all datasets; we use the largest few of the scale.
+  size_t first = cfg.datasets.size() >= 3 ? cfg.datasets.size() - 3 : 0;
+  for (size_t di = first; di < cfg.datasets.size(); ++di) {
+    const auto& spec = cfg.datasets[di];
+    Graph g_stl = LoadDataset(spec);
+    Graph g_h2h = g_stl;
+    StlIndex stl_idx = StlIndex::Build(&g_stl, HierarchyOptions{});
+    H2hIndex h2h = H2hIndex::Build(&g_h2h);
+
+    std::printf("(%s) ms per update\n", spec.name.c_str());
+    TablePrinter table(
+        {"factor", "STL-P+", "STL-P-", "IncH2H+", "IncH2H-"});
+    // One fixed edge set across the sweep so only the factor varies
+    // (the paper's 1000-update batches average this noise away; at small
+    // scale we control it instead).
+    auto edges = SampleDistinctEdges(g_stl, cfg.batch_size, spec.seed * 97);
+    for (int t = 1; t <= 9; ++t) {
+      UpdateBatch inc = MakeIncreaseBatch(g_stl, edges, t + 1.0);
+      UpdateBatch dec = MakeRestoreBatch(inc);
+      if (inc.empty()) continue;
+      double msv[4];
+      {
+        Timer tm;
+        stl_idx.ApplyBatch(inc, MaintenanceStrategy::kParetoSearch);
+        msv[0] = tm.ElapsedMillis() / inc.size();
+        tm.Restart();
+        stl_idx.ApplyBatch(dec, MaintenanceStrategy::kParetoSearch);
+        msv[1] = tm.ElapsedMillis() / dec.size();
+      }
+      {
+        Timer tm;
+        for (const WeightUpdate& u : inc) {
+          h2h.ApplyUpdate(u, H2hIndex::Maintenance::kIncH2H);
+        }
+        msv[2] = tm.ElapsedMillis() / inc.size();
+        tm.Restart();
+        for (const WeightUpdate& u : dec) {
+          h2h.ApplyUpdate(u, H2hIndex::Maintenance::kIncH2H);
+        }
+        msv[3] = tm.ElapsedMillis() / dec.size();
+      }
+      table.AddRow({std::to_string(t), TablePrinter::Fixed(msv[0], 3),
+                    TablePrinter::Fixed(msv[1], 3),
+                    TablePrinter::Fixed(msv[2], 3),
+                    TablePrinter::Fixed(msv[3], 3)});
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  return 0;
+}

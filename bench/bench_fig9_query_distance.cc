@@ -1,0 +1,50 @@
+// Reproduces Figure 9: query time across the distance-stratified query
+// sets Q1 (short) .. Q10 (long) for STL, HC2L, and IncH2H.
+//
+// Expected shape (paper): STL beats IncH2H clearly on long-range sets
+// (Q8-Q10: few common ancestors at high levels) and is comparable or
+// slower on short-range sets (many common ancestors at low levels); HC2L
+// is fastest on short/medium ranges (LCA-node-only hubs).
+#include "baselines/h2h.h"
+#include "baselines/hc2l.h"
+#include "bench/bench_common.h"
+#include "core/stl_index.h"
+#include "util/table.h"
+
+using namespace stl;
+
+int main() {
+  auto cfg = bench::MakeConfig();
+  bench::PrintHeader("Figure 9 — query time vs query distance", cfg);
+  size_t first = cfg.datasets.size() >= 3 ? cfg.datasets.size() - 3 : 0;
+  for (size_t di = first; di < cfg.datasets.size(); ++di) {
+    const auto& spec = cfg.datasets[di];
+    Graph g_stl = LoadDataset(spec);
+    Graph g_h2h = g_stl;
+    const Graph g_ref = g_stl;
+    StlIndex stl_idx = StlIndex::Build(&g_stl, HierarchyOptions{});
+    Hc2lIndex hc2l = Hc2lIndex::Build(g_ref, HierarchyOptions{});
+    H2hIndex h2h = H2hIndex::Build(&g_h2h);
+    auto sets = StratifiedQuerySets(g_ref, cfg.per_query_set, spec.seed * 3);
+
+    std::printf("(%s) microseconds per query\n", spec.name.c_str());
+    TablePrinter table({"set", "pairs", "STL", "HC2L", "IncH2H"});
+    for (size_t i = 0; i < sets.size(); ++i) {
+      if (sets[i].empty()) continue;
+      double stl_us = bench::TimeQueriesMicros(
+          sets[i], [&](Vertex s, Vertex t) { return stl_idx.Query(s, t); });
+      double hc2l_us = bench::TimeQueriesMicros(
+          sets[i], [&](Vertex s, Vertex t) { return hc2l.Query(s, t); });
+      double h2h_us = bench::TimeQueriesMicros(
+          sets[i], [&](Vertex s, Vertex t) { return h2h.Query(s, t); });
+      table.AddRow({"Q" + std::to_string(i + 1),
+                    std::to_string(sets[i].size()),
+                    TablePrinter::Fixed(stl_us, 3),
+                    TablePrinter::Fixed(hc2l_us, 3),
+                    TablePrinter::Fixed(h2h_us, 3)});
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  return 0;
+}

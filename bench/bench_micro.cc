@@ -1,0 +1,143 @@
+// google-benchmark microbenchmarks of the core primitives: query paths of
+// every index, both maintenance engines, and the no-index Dijkstra
+// references. Complements the table/figure harnesses with
+// statistically-stable per-operation numbers.
+#include <benchmark/benchmark.h>
+
+#include "baselines/h2h.h"
+#include "baselines/hc2l.h"
+#include "core/stl_index.h"
+#include "graph/dijkstra.h"
+#include "util/rng.h"
+#include "workload/datasets.h"
+#include "workload/query_workload.h"
+#include "workload/update_workload.h"
+
+namespace stl {
+namespace {
+
+/// Shared state: one mid-sized dataset, all indexes built once.
+struct Env {
+  Graph g_stl;
+  Graph g_h2h;
+  Graph g_ref;
+  StlIndex stl_idx;
+  Hc2lIndex hc2l;
+  H2hIndex h2h;
+  std::vector<QueryPair> pairs;
+
+  static Env* Get() {
+    static Env* env = new Env();
+    return env;
+  }
+
+ private:
+  Env()
+      : g_stl(LoadDataset(AllDatasets()[2])),  // COL-S, ~7k vertices
+        g_h2h(g_stl),
+        g_ref(g_stl),
+        stl_idx(StlIndex::Build(&g_stl, HierarchyOptions{})),
+        hc2l(Hc2lIndex::Build(g_ref, HierarchyOptions{})),
+        h2h(H2hIndex::Build(&g_h2h)),
+        pairs(RandomQueryPairs(g_ref, 4096, 12345)) {}
+};
+
+void BM_StlQuery(benchmark::State& state) {
+  Env* env = Env::Get();
+  size_t i = 0;
+  for (auto _ : state) {
+    auto [s, t] = env->pairs[i++ & 4095];
+    benchmark::DoNotOptimize(env->stl_idx.Query(s, t));
+  }
+}
+BENCHMARK(BM_StlQuery);
+
+void BM_Hc2lQuery(benchmark::State& state) {
+  Env* env = Env::Get();
+  size_t i = 0;
+  for (auto _ : state) {
+    auto [s, t] = env->pairs[i++ & 4095];
+    benchmark::DoNotOptimize(env->hc2l.Query(s, t));
+  }
+}
+BENCHMARK(BM_Hc2lQuery);
+
+void BM_H2hQuery(benchmark::State& state) {
+  Env* env = Env::Get();
+  size_t i = 0;
+  for (auto _ : state) {
+    auto [s, t] = env->pairs[i++ & 4095];
+    benchmark::DoNotOptimize(env->h2h.Query(s, t));
+  }
+}
+BENCHMARK(BM_H2hQuery);
+
+void BM_BidirectionalDijkstra(benchmark::State& state) {
+  Env* env = Env::Get();
+  BidirectionalDijkstra bi(env->g_ref);
+  size_t i = 0;
+  for (auto _ : state) {
+    auto [s, t] = env->pairs[i++ & 4095];
+    benchmark::DoNotOptimize(bi.Distance(s, t));
+  }
+}
+BENCHMARK(BM_BidirectionalDijkstra)->Unit(benchmark::kMicrosecond);
+
+void BM_ParetoIncreaseDecreaseCycle(benchmark::State& state) {
+  Env* env = Env::Get();
+  Rng rng(99);
+  for (auto _ : state) {
+    EdgeId e = static_cast<EdgeId>(rng.NextBounded(env->g_stl.NumEdges()));
+    Weight w = env->g_stl.EdgeWeight(e);
+    env->stl_idx.ApplyUpdate(WeightUpdate{e, w, w * 2},
+                             MaintenanceStrategy::kParetoSearch);
+    env->stl_idx.ApplyUpdate(WeightUpdate{e, w * 2, w},
+                             MaintenanceStrategy::kParetoSearch);
+  }
+}
+BENCHMARK(BM_ParetoIncreaseDecreaseCycle)->Unit(benchmark::kMicrosecond);
+
+void BM_LabelSearchIncreaseDecreaseCycle(benchmark::State& state) {
+  Env* env = Env::Get();
+  Rng rng(98);
+  for (auto _ : state) {
+    EdgeId e = static_cast<EdgeId>(rng.NextBounded(env->g_stl.NumEdges()));
+    Weight w = env->g_stl.EdgeWeight(e);
+    env->stl_idx.ApplyUpdate(WeightUpdate{e, w, w * 2},
+                             MaintenanceStrategy::kLabelSearch);
+    env->stl_idx.ApplyUpdate(WeightUpdate{e, w * 2, w},
+                             MaintenanceStrategy::kLabelSearch);
+  }
+}
+BENCHMARK(BM_LabelSearchIncreaseDecreaseCycle)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_IncH2HIncreaseDecreaseCycle(benchmark::State& state) {
+  Env* env = Env::Get();
+  Rng rng(97);
+  for (auto _ : state) {
+    EdgeId e = static_cast<EdgeId>(rng.NextBounded(env->g_h2h.NumEdges()));
+    Weight w = env->g_h2h.EdgeWeight(e);
+    env->h2h.ApplyUpdate(WeightUpdate{e, w, w * 2},
+                         H2hIndex::Maintenance::kIncH2H);
+    env->h2h.ApplyUpdate(WeightUpdate{e, w * 2, w},
+                         H2hIndex::Maintenance::kIncH2H);
+  }
+}
+BENCHMARK(BM_IncH2HIncreaseDecreaseCycle)->Unit(benchmark::kMicrosecond);
+
+void BM_LcaLevel(benchmark::State& state) {
+  Env* env = Env::Get();
+  const auto& h = env->stl_idx.hierarchy();
+  size_t i = 0;
+  for (auto _ : state) {
+    auto [s, t] = env->pairs[i++ & 4095];
+    benchmark::DoNotOptimize(h.LcaLevel(s, t));
+  }
+}
+BENCHMARK(BM_LcaLevel);
+
+}  // namespace
+}  // namespace stl
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// Reproduces Table 3: mean per-update maintenance time [ms] for the
+// weight-decrease and weight-increase cases, for STL-P (Pareto Search),
+// STL-L (Label Search), IncH2H, and DTDHL.
+//
+// Procedure (Section 7 test input generation): per batch, every sampled
+// edge's weight is doubled (increase pass) and then restored (decrease
+// pass); we report mean milliseconds per update over all batches. All
+// four algorithms process identical batches.
+//
+// Expected shape (paper): STL-P fastest on both directions (gap grows
+// with network size); STL-L comparable to IncH2H on decrease, slower on
+// increase; DTDHL one or more orders of magnitude slower.
+#include "baselines/h2h.h"
+#include "bench/bench_common.h"
+#include "core/stl_index.h"
+#include "util/table.h"
+#include "workload/update_workload.h"
+
+using namespace stl;
+
+int main() {
+  auto cfg = bench::MakeConfig();
+  bench::PrintHeader("Table 3 — update times (ms per update)", cfg);
+  std::printf("batches=%zu x %zu updates, increase x2 then restore\n\n",
+              cfg.num_batches, cfg.batch_size);
+  TablePrinter dec_table(
+      {"Network", "STL-P-", "STL-L-", "IncH2H-", "DTDHL-"});
+  TablePrinter inc_table(
+      {"Network", "STL-P+", "STL-L+", "IncH2H+", "DTDHL+"});
+  for (const auto& spec : cfg.datasets) {
+    Graph g_stl = LoadDataset(spec);
+    Graph g_h2h = g_stl;
+    StlIndex stl_idx = StlIndex::Build(&g_stl, HierarchyOptions{});
+    H2hIndex h2h = H2hIndex::Build(&g_h2h);
+
+    double ms[2][4] = {{0, 0, 0, 0}, {0, 0, 0, 0}};  // [dec/inc][algo]
+    size_t updates_total = 0;
+    for (size_t b = 0; b < cfg.num_batches; ++b) {
+      auto edges =
+          SampleDistinctEdges(g_stl, cfg.batch_size, spec.seed * 31 + b);
+      UpdateBatch inc = MakeIncreaseBatch(g_stl, edges, 2.0);
+      UpdateBatch dec = MakeRestoreBatch(inc);
+      updates_total += inc.size();
+
+      // Each algorithm sees the same increase-then-restore cycle, so the
+      // graph state is identical at every timed section.
+      auto run_stl = [&](MaintenanceStrategy strat, int algo) {
+        Timer t;
+        stl_idx.ApplyBatch(inc, strat);
+        ms[1][algo] += t.ElapsedMillis();
+        t.Restart();
+        stl_idx.ApplyBatch(dec, strat);
+        ms[0][algo] += t.ElapsedMillis();
+      };
+      run_stl(MaintenanceStrategy::kParetoSearch, 0);
+      run_stl(MaintenanceStrategy::kLabelSearch, 1);
+      auto run_h2h = [&](H2hIndex::Maintenance mode, int algo) {
+        Timer t;
+        for (const WeightUpdate& u : inc) h2h.ApplyUpdate(u, mode);
+        ms[1][algo] += t.ElapsedMillis();
+        t.Restart();
+        for (const WeightUpdate& u : dec) h2h.ApplyUpdate(u, mode);
+        ms[0][algo] += t.ElapsedMillis();
+      };
+      run_h2h(H2hIndex::Maintenance::kIncH2H, 2);
+      run_h2h(H2hIndex::Maintenance::kDTDHL, 3);
+    }
+    auto cell = [&](int dir, int algo) {
+      return TablePrinter::Fixed(ms[dir][algo] / updates_total, 3);
+    };
+    dec_table.AddRow(
+        {spec.name, cell(0, 0), cell(0, 1), cell(0, 2), cell(0, 3)});
+    inc_table.AddRow(
+        {spec.name, cell(1, 0), cell(1, 1), cell(1, 2), cell(1, 3)});
+  }
+  std::printf("Update Time - Decrease [ms]\n");
+  dec_table.Print();
+  std::printf("\nUpdate Time - Increase [ms]\n");
+  inc_table.Print();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Reproduces Table 4: labelling sizes, construction times, label entry
+// counts, and tree heights for STL, HC2L, and the H2H family (IncH2H /
+// DTDHL share the same index; they differ in maintenance and auxiliary
+// data, so "IncH2H" memory includes the full DCH support machinery while
+// "DTDHL" counts its lighter auxiliary state).
+//
+// Expected shape (paper): STL labels smallest, HC2L next (no shortcuts in
+// STL -> smaller cuts), IncH2H by far the largest; STL tree height about
+// half of H2H's; STL construction faster than HC2L.
+#include "baselines/h2h.h"
+#include "baselines/hc2l.h"
+#include "bench/bench_common.h"
+#include "core/stl_index.h"
+#include "util/table.h"
+
+using namespace stl;
+
+int main() {
+  auto cfg = bench::MakeConfig();
+  bench::PrintHeader("Table 4 — labelling sizes and construction times", cfg);
+  TablePrinter size_table({"Network", "STL", "HC2L", "IncH2H", "DTDHL"});
+  TablePrinter time_table({"Network", "STL [s]", "HC2L [s]", "H2H [s]"});
+  TablePrinter entry_table(
+      {"Network", "STL entries", "HC2L entries", "IncH2H entries",
+       "STL height", "IncH2H height"});
+  for (const auto& spec : cfg.datasets) {
+    Graph g_stl = LoadDataset(spec);
+    Graph g_h2h = g_stl;
+    const Graph g_ref = g_stl;
+
+    StlIndex stl_idx = StlIndex::Build(&g_stl, HierarchyOptions{});
+    Hc2lIndex hc2l = Hc2lIndex::Build(g_ref, HierarchyOptions{});
+    H2hIndex h2h = H2hIndex::Build(&g_h2h);
+
+    size_table.AddRow(
+        {spec.name, TablePrinter::Bytes(stl_idx.MemoryBytes()),
+         TablePrinter::Bytes(hc2l.MemoryBytes()),
+         TablePrinter::Bytes(h2h.MemoryBytes(H2hIndex::Maintenance::kIncH2H)),
+         TablePrinter::Bytes(
+             h2h.MemoryBytes(H2hIndex::Maintenance::kDTDHL))});
+    time_table.AddRow(
+        {spec.name, TablePrinter::Fixed(stl_idx.build_info().total_seconds, 2),
+         TablePrinter::Fixed(hc2l.build_seconds(), 2),
+         TablePrinter::Fixed(h2h.build_seconds(), 2)});
+    entry_table.AddRow(
+        {spec.name,
+         TablePrinter::Count(stl_idx.hierarchy().TotalLabelEntries()),
+         TablePrinter::Count(hc2l.TotalLabelEntries()),
+         TablePrinter::Count(h2h.TotalLabelEntries()),
+         std::to_string(stl_idx.hierarchy().MaxLabelSize()),
+         std::to_string(h2h.TreeHeight())});
+  }
+  std::printf("Labelling Size\n");
+  size_table.Print();
+  std::printf("\nConstruction Time\n");
+  time_table.Print();
+  std::printf("\n# Label Entries / Tree Height\n");
+  entry_table.Print();
+  return 0;
+}

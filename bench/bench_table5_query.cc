@@ -1,0 +1,51 @@
+// Reproduces Table 5: mean query time over uniform random pairs for STL,
+// HC2L, IncH2H/DTDHL (same query path), plus bidirectional Dijkstra as
+// the classical no-index reference.
+//
+// Expected shape (paper): STL fastest among dynamic indexes (1.5-3x vs
+// H2H), marginally slower than static HC2L; Dijkstra orders of magnitude
+// slower.
+#include "baselines/h2h.h"
+#include "baselines/hc2l.h"
+#include "bench/bench_common.h"
+#include "core/stl_index.h"
+#include "graph/dijkstra.h"
+#include "util/table.h"
+
+using namespace stl;
+
+int main() {
+  auto cfg = bench::MakeConfig();
+  bench::PrintHeader("Table 5 — query times (microseconds)", cfg);
+  TablePrinter table({"Network", "STL", "HC2L", "IncH2H/DTDHL", "BiDijkstra"});
+  for (const auto& spec : cfg.datasets) {
+    Graph g_stl = LoadDataset(spec);
+    Graph g_h2h = g_stl;
+    const Graph g_ref = g_stl;
+    StlIndex stl_idx = StlIndex::Build(&g_stl, HierarchyOptions{});
+    Hc2lIndex hc2l = Hc2lIndex::Build(g_ref, HierarchyOptions{});
+    H2hIndex h2h = H2hIndex::Build(&g_h2h);
+    BidirectionalDijkstra bi(g_ref);
+
+    auto pairs = RandomQueryPairs(g_ref, cfg.query_count, spec.seed * 7);
+    // Dijkstra is far slower; sample fewer pairs so the suite stays fast.
+    std::vector<QueryPair> dij_pairs(
+        pairs.begin(), pairs.begin() + std::min<size_t>(pairs.size(), 500));
+
+    double stl_us = bench::TimeQueriesMicros(
+        pairs, [&](Vertex s, Vertex t) { return stl_idx.Query(s, t); });
+    double hc2l_us = bench::TimeQueriesMicros(
+        pairs, [&](Vertex s, Vertex t) { return hc2l.Query(s, t); });
+    double h2h_us = bench::TimeQueriesMicros(
+        pairs, [&](Vertex s, Vertex t) { return h2h.Query(s, t); });
+    double bi_us = bench::TimeQueriesMicros(
+        dij_pairs, [&](Vertex s, Vertex t) { return bi.Distance(s, t); });
+
+    table.AddRow({spec.name, TablePrinter::Fixed(stl_us, 3),
+                  TablePrinter::Fixed(hc2l_us, 3),
+                  TablePrinter::Fixed(h2h_us, 3),
+                  TablePrinter::Fixed(bi_us, 1)});
+  }
+  table.Print();
+  return 0;
+}

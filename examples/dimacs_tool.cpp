@@ -1,0 +1,144 @@
+// Command-line tool over DIMACS .gr road networks: build an STL index,
+// answer queries, apply updates, save/load the index.
+//
+//   dimacs_tool <graph.gr> query <s> <t> [more pairs...]
+//   dimacs_tool <graph.gr> update <u> <v> <new_weight> query <s> <t>
+//   dimacs_tool <graph.gr> save <index_file>
+//   dimacs_tool <graph.gr> load <index_file> query <s> <t>
+//   dimacs_tool selftest          (generates, writes, reloads, queries)
+//
+// Vertex ids on the command line are 1-based, as in the DIMACS format.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/stl_index.h"
+#include "graph/dijkstra.h"
+#include "graph/dimacs.h"
+#include "graph/generators.h"
+
+using namespace stl;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: dimacs_tool <graph.gr> [build-only|save <f>|load <f>] "
+               "[query <s> <t>]... [update <u> <v> <w>]...\n"
+               "       dimacs_tool selftest\n");
+  return 2;
+}
+
+int SelfTest() {
+  RoadNetworkOptions net;
+  net.width = 24;
+  net.height = 24;
+  net.seed = 31;
+  Graph g = GenerateRoadNetwork(net);
+  const std::string gr = "/tmp/dimacs_tool_selftest.gr";
+  Status s = WriteDimacs(g, gr, "dimacs_tool selftest network");
+  if (!s.ok()) {
+    std::fprintf(stderr, "write failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  Result<Graph> back = ReadDimacs(gr);
+  if (!back.ok()) {
+    std::fprintf(stderr, "read failed: %s\n", back.status().ToString().c_str());
+    return 1;
+  }
+  Graph g2 = std::move(back).value();
+  StlIndex index = StlIndex::Build(&g2, HierarchyOptions{});
+  Dijkstra dij(g2);
+  int bad = 0;
+  for (Vertex v = 0; v < g2.NumVertices(); v += 37) {
+    bad += index.Query(0, v) != dij.Distance(0, v);
+  }
+  std::printf("selftest: wrote %s (%u vertices), %s\n", gr.c_str(),
+              g2.NumVertices(), bad == 0 ? "all queries agree" : "FAILED");
+  return bad != 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "selftest") == 0) return SelfTest();
+  if (argc < 3) return Usage();
+
+  Result<Graph> loaded = ReadDimacs(argv[1]);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "cannot load %s: %s\n", argv[1],
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  Graph g = std::move(loaded).value();
+  std::printf("loaded %s: %u vertices, %u edges\n", argv[1], g.NumVertices(),
+              g.NumEdges());
+
+  StlIndex index = StlIndex::Build(&g, HierarchyOptions{});
+  std::printf("index: %.2f MB, built in %.2f s\n",
+              index.MemoryBytes() / 1048576.0,
+              index.build_info().total_seconds);
+
+  int i = 2;
+  auto next_vertex = [&](Vertex* out) {
+    if (i >= argc) return false;
+    long v = std::strtol(argv[i++], nullptr, 10);
+    if (v < 1 || static_cast<uint64_t>(v) > g.NumVertices()) return false;
+    *out = static_cast<Vertex>(v - 1);
+    return true;
+  };
+  while (i < argc) {
+    const char* cmd = argv[i++];
+    if (std::strcmp(cmd, "build-only") == 0) {
+      continue;
+    } else if (std::strcmp(cmd, "query") == 0) {
+      Vertex s, t;
+      if (!next_vertex(&s) || !next_vertex(&t)) return Usage();
+      Weight d = index.Query(s, t);
+      if (d == kInfDistance) {
+        std::printf("d(%u, %u) = unreachable\n", s + 1, t + 1);
+      } else {
+        std::printf("d(%u, %u) = %u\n", s + 1, t + 1, d);
+      }
+    } else if (std::strcmp(cmd, "update") == 0) {
+      Vertex u, v;
+      if (!next_vertex(&u) || !next_vertex(&v) || i >= argc) return Usage();
+      Weight w = static_cast<Weight>(std::strtoul(argv[i++], nullptr, 10));
+      auto e = g.FindEdge(u, v);
+      if (!e.has_value()) {
+        std::fprintf(stderr, "no edge %u-%u\n", u + 1, v + 1);
+        return 1;
+      }
+      Weight old = g.EdgeWeight(*e);
+      if (w == old) {
+        std::printf("edge %u-%u already has weight %u\n", u + 1, v + 1, w);
+        continue;
+      }
+      index.ApplyUpdate(WeightUpdate{*e, old, w});
+      std::printf("edge %u-%u: %u -> %u\n", u + 1, v + 1, old, w);
+    } else if (std::strcmp(cmd, "save") == 0) {
+      if (i >= argc) return Usage();
+      Status s = index.Save(argv[i++]);
+      if (!s.ok()) {
+        std::fprintf(stderr, "save failed: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      std::printf("saved index\n");
+    } else if (std::strcmp(cmd, "load") == 0) {
+      if (i >= argc) return Usage();
+      Result<StlIndex> r = StlIndex::Load(&g, argv[i++]);
+      if (!r.ok()) {
+        std::fprintf(stderr, "load failed: %s\n",
+                     r.status().ToString().c_str());
+        return 1;
+      }
+      index = std::move(r).value();
+      std::printf("loaded index\n");
+    } else {
+      return Usage();
+    }
+  }
+  return 0;
+}

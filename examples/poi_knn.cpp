@@ -1,0 +1,116 @@
+// k-nearest points-of-interest: the POI recommendation workload from the
+// paper's introduction. A fleet of POIs (restaurants, chargers, ...) is
+// scattered over the network; for each user we return the k closest by
+// travel time, comparing the STL index against a plain Dijkstra baseline,
+// and keep answers correct while roads change.
+//
+//   $ ./poi_knn
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/stl_index.h"
+#include "graph/dijkstra.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace stl;
+
+namespace {
+
+std::vector<std::pair<Weight, Vertex>> KnnByIndex(
+    const StlIndex& index, const std::vector<Vertex>& pois, Vertex user,
+    size_t k) {
+  std::vector<std::pair<Weight, Vertex>> dist;
+  dist.reserve(pois.size());
+  for (Vertex p : pois) dist.emplace_back(index.Query(user, p), p);
+  std::partial_sort(dist.begin(), dist.begin() + k, dist.end());
+  dist.resize(k);
+  return dist;
+}
+
+std::vector<std::pair<Weight, Vertex>> KnnByDijkstra(
+    Dijkstra* dij, const std::vector<Vertex>& pois, Vertex user, size_t k) {
+  const auto& all = dij->AllDistances(user);
+  std::vector<std::pair<Weight, Vertex>> dist;
+  dist.reserve(pois.size());
+  for (Vertex p : pois) dist.emplace_back(all[p], p);
+  std::partial_sort(dist.begin(), dist.begin() + k, dist.end());
+  dist.resize(k);
+  return dist;
+}
+
+}  // namespace
+
+int main() {
+  RoadNetworkOptions net;
+  net.width = 56;
+  net.height = 56;
+  net.seed = 99;
+  Graph g = GenerateRoadNetwork(net);
+  StlIndex index = StlIndex::Build(&g, HierarchyOptions{});
+
+  Rng rng(555);
+  constexpr size_t kPois = 200;
+  constexpr size_t kK = 5;
+  constexpr int kUsers = 300;
+  std::vector<Vertex> pois;
+  while (pois.size() < kPois) {
+    Vertex p = static_cast<Vertex>(rng.NextBounded(g.NumVertices()));
+    if (std::find(pois.begin(), pois.end(), p) == pois.end()) {
+      pois.push_back(p);
+    }
+  }
+  std::printf("network: %u vertices; %zu POIs; %d users; k=%zu\n\n",
+              g.NumVertices(), pois.size(), kUsers, kK);
+
+  Dijkstra dij(g);
+  double index_us = 0, dijkstra_us = 0;
+  int mismatches = 0;
+  std::vector<Vertex> users;
+  for (int i = 0; i < kUsers; ++i) {
+    users.push_back(static_cast<Vertex>(rng.NextBounded(g.NumVertices())));
+  }
+  for (Vertex user : users) {
+    Timer t;
+    auto by_index = KnnByIndex(index, pois, user, kK);
+    index_us += t.ElapsedMicros();
+    t.Restart();
+    auto by_dij = KnnByDijkstra(&dij, pois, user, kK);
+    dijkstra_us += t.ElapsedMicros();
+    for (size_t i = 0; i < kK; ++i) {
+      if (by_index[i].first != by_dij[i].first) ++mismatches;
+    }
+  }
+  std::printf("static kNN:   STL %.1f us/user vs Dijkstra %.1f us/user "
+              "(%.0fx), %d distance mismatches\n",
+              index_us / kUsers, dijkstra_us / kUsers,
+              dijkstra_us / index_us, mismatches);
+
+  // Rush hour hits: congest 150 random roads, answers must track it.
+  UpdateBatch congestion;
+  std::vector<bool> used(g.NumEdges(), false);
+  while (congestion.size() < 150) {
+    EdgeId e = static_cast<EdgeId>(rng.NextBounded(g.NumEdges()));
+    if (used[e]) continue;
+    used[e] = true;
+    Weight w = g.EdgeWeight(e);
+    congestion.push_back(WeightUpdate{e, w, w * 3});
+  }
+  Timer t;
+  index.ApplyBatch(congestion);
+  std::printf("\napplied %zu congestion updates in %.1f ms\n",
+              congestion.size(), t.ElapsedMillis());
+
+  mismatches = 0;
+  for (Vertex user : users) {
+    auto by_index = KnnByIndex(index, pois, user, kK);
+    auto by_dij = KnnByDijkstra(&dij, pois, user, kK);
+    for (size_t i = 0; i < kK; ++i) {
+      if (by_index[i].first != by_dij[i].first) ++mismatches;
+    }
+  }
+  std::printf("post-congestion kNN distance mismatches: %d\n", mismatches);
+  return mismatches != 0;
+}

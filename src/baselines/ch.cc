@@ -1,0 +1,384 @@
+#include "baselines/ch.h"
+
+#include <algorithm>
+
+#include "util/timer.h"
+
+namespace stl {
+
+namespace {
+
+/// Normalized 64-bit key for an unordered vertex pair.
+uint64_t PairKey(Vertex a, Vertex b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+ChIndex ChIndex::Build(Graph* g) {
+  STL_CHECK(g != nullptr);
+  Timer timer;
+  ChIndex ch;
+  ch.g_ = g;
+  const uint32_t n = g->NumVertices();
+
+  // Working contracted graph: adjacency with current derived weights.
+  std::vector<std::unordered_map<Vertex, Weight>> adj(n);
+  for (const Edge& e : g->edges()) {
+    auto [itu, newu] = adj[e.u].try_emplace(e.v, e.w);
+    if (!newu) itu->second = std::min(itu->second, e.w);
+    auto [itv, newv] = adj[e.v].try_emplace(e.u, e.w);
+    if (!newv) itv->second = std::min(itv->second, e.w);
+  }
+
+  // CH edge registry. Original edges first so graph-edge -> CH-edge is
+  // trivial to record; shortcuts are appended during contraction.
+  std::unordered_map<uint64_t, uint32_t> pair_id;
+  std::vector<std::vector<Vertex>> supports;
+  ch.ch_edge_of_graph_edge_.resize(g->NumEdges());
+  for (EdgeId id = 0; id < g->NumEdges(); ++id) {
+    const Edge& e = g->edges()[id];
+    uint64_t key = PairKey(e.u, e.v);
+    auto it = pair_id.find(key);
+    if (it == pair_id.end()) {
+      uint32_t cid = static_cast<uint32_t>(ch.edges_.size());
+      pair_id.emplace(key, cid);
+      ch.edges_.push_back(ChEdge{e.u, e.v, e.w, e.w});
+      supports.emplace_back();
+      ch.ch_edge_of_graph_edge_[id] = cid;
+    } else {
+      ch.ch_edge_of_graph_edge_[id] = it->second;
+    }
+  }
+
+  // Lazy-update contraction order by edge difference.
+  std::vector<uint8_t> contracted(n, 0);
+  std::vector<uint32_t> contracted_neighbours(n, 0);
+  auto live_neighbours = [&](Vertex x) {
+    std::vector<Vertex> out;
+    out.reserve(adj[x].size());
+    for (const auto& [u, w] : adj[x]) {
+      if (!contracted[u]) out.push_back(u);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  auto priority = [&](Vertex x) -> int64_t {
+    auto nb = live_neighbours(x);
+    int64_t added = 0;
+    for (size_t i = 0; i < nb.size(); ++i) {
+      for (size_t j = i + 1; j < nb.size(); ++j) {
+        if (adj[nb[i]].find(nb[j]) == adj[nb[i]].end()) ++added;
+      }
+    }
+    return added - static_cast<int64_t>(nb.size()) +
+           2 * static_cast<int64_t>(contracted_neighbours[x]);
+  };
+
+  MinHeap<int64_t, Vertex> order_heap;
+  for (Vertex v = 0; v < n; ++v) order_heap.Push(priority(v), v);
+  ch.rank_.assign(n, 0);
+  ch.by_rank_.assign(n, 0);
+  uint32_t next_rank = 0;
+  while (!order_heap.empty()) {
+    auto [prio, x] = order_heap.Pop();
+    if (contracted[x]) continue;
+    int64_t fresh = priority(x);
+    if (!order_heap.empty() && fresh > order_heap.Top().key) {
+      order_heap.Push(fresh, x);  // lazy re-insert with updated priority
+      continue;
+    }
+    // Contract x: connect every pair of live neighbours.
+    auto nb = live_neighbours(x);
+    for (size_t i = 0; i < nb.size(); ++i) {
+      Vertex u = nb[i];
+      Weight wxu = adj[x][u];
+      for (size_t j = i + 1; j < nb.size(); ++j) {
+        Vertex v = nb[j];
+        Weight cand = SaturatingAdd(wxu, adj[x][v]);
+        uint64_t key = PairKey(u, v);
+        auto [it, inserted] =
+            pair_id.emplace(key, static_cast<uint32_t>(ch.edges_.size()));
+        uint32_t cid = it->second;
+        if (inserted) {
+          ch.edges_.push_back(ChEdge{u, v, cand, kInfDistance});
+          supports.emplace_back();
+          ++ch.num_pure_shortcuts_;
+          adj[u][v] = cand;
+          adj[v][u] = cand;
+        } else if (cand < ch.edges_[cid].weight) {
+          ch.edges_[cid].weight = cand;
+          adj[u][v] = cand;
+          adj[v][u] = cand;
+        }
+        // x always joins the support set: after weight changes its path
+        // u-x-v may become the minimum even if it is not now.
+        supports[cid].push_back(x);
+      }
+      ++contracted_neighbours[u];
+    }
+    contracted[x] = 1;
+    ch.rank_[x] = next_rank;
+    ch.by_rank_[next_rank] = x;
+    ++next_rank;
+  }
+  STL_CHECK_EQ(next_rank, n);
+
+  // Orient edges by rank and build upward structures.
+  std::vector<uint32_t> up_degree(n, 0);
+  for (uint32_t cid = 0; cid < ch.edges_.size(); ++cid) {
+    ChEdge& e = ch.edges_[cid];
+    if (ch.rank_[e.lo] > ch.rank_[e.hi]) std::swap(e.lo, e.hi);
+    ++up_degree[e.lo];
+  }
+  ch.up_offset_.assign(n + 1, 0);
+  for (Vertex v = 0; v < n; ++v) ch.up_offset_[v + 1] = ch.up_offset_[v] + up_degree[v];
+  ch.up_pool_.resize(ch.edges_.size());
+  {
+    std::vector<uint32_t> cursor(ch.up_offset_.begin(),
+                                 ch.up_offset_.end() - 1);
+    for (uint32_t cid = 0; cid < ch.edges_.size(); ++cid) {
+      ch.up_pool_[cursor[ch.edges_[cid].lo]++] = cid;
+    }
+  }
+  // Sorted by high-endpoint id so EdgeIdBetween can binary-search.
+  for (Vertex v = 0; v < n; ++v) {
+    std::sort(ch.up_pool_.begin() + ch.up_offset_[v],
+              ch.up_pool_.begin() + ch.up_offset_[v + 1],
+              [&ch](uint32_t a, uint32_t b) {
+                return ch.edges_[a].hi < ch.edges_[b].hi;
+              });
+  }
+
+  // Flatten supports, and build the endpoint-keyed inverted index: for a
+  // pair (c, d) supported by x, a change of w(x, c) or w(x, d) dirties
+  // the pair, so x's slice holds (c, pair) and (d, pair).
+  size_t total_supports = 0;
+  for (const auto& s : supports) total_supports += s.size();
+  ch.support_pool_.reserve(total_supports);
+  std::vector<uint64_t> idx_count(n, 0);
+  for (uint32_t cid = 0; cid < ch.edges_.size(); ++cid) {
+    ch.edges_[cid].supports_begin =
+        static_cast<uint32_t>(ch.support_pool_.size());
+    ch.support_pool_.insert(ch.support_pool_.end(), supports[cid].begin(),
+                            supports[cid].end());
+    ch.edges_[cid].supports_end =
+        static_cast<uint32_t>(ch.support_pool_.size());
+    for (Vertex x : supports[cid]) idx_count[x] += 2;
+  }
+  ch.supported_off_.assign(n + 1, 0);
+  for (Vertex v = 0; v < n; ++v) {
+    ch.supported_off_[v + 1] = ch.supported_off_[v] + idx_count[v];
+  }
+  ch.supported_index_.resize(2 * total_supports);
+  {
+    std::vector<uint64_t> cursor(ch.supported_off_.begin(),
+                                 ch.supported_off_.end() - 1);
+    for (uint32_t cid = 0; cid < ch.edges_.size(); ++cid) {
+      const ChEdge& e = ch.edges_[cid];
+      for (Vertex x : supports[cid]) {
+        ch.supported_index_[cursor[x]++] = {e.lo, cid};
+        ch.supported_index_[cursor[x]++] = {e.hi, cid};
+      }
+    }
+    for (Vertex v = 0; v < n; ++v) {
+      std::sort(ch.supported_index_.begin() + ch.supported_off_[v],
+                ch.supported_index_.begin() + ch.supported_off_[v + 1]);
+    }
+  }
+
+  for (int side = 0; side < 2; ++side) {
+    ch.qdist_[side].assign(n, kInfDistance);
+    ch.qstamp_[side].assign(n, 0);
+  }
+  ch.old_weight_.assign(ch.edges_.size(), 0);
+  ch.old_stamp_.assign(ch.edges_.size(), 0);
+  ch.done_stamp_.assign(ch.edges_.size(), 0);
+  ch.build_seconds_ = timer.ElapsedSeconds();
+  return ch;
+}
+
+Weight ChIndex::Query(Vertex s, Vertex t) {
+  if (s == t) return 0;
+  ++qepoch_;
+  qheap_[0].clear();
+  qheap_[1].clear();
+  auto get = [&](int side, Vertex v) -> Weight {
+    return qstamp_[side][v] == qepoch_ ? qdist_[side][v] : kInfDistance;
+  };
+  auto set = [&](int side, Vertex v, Weight d) {
+    qdist_[side][v] = d;
+    qstamp_[side][v] = qepoch_;
+  };
+  set(0, s, 0);
+  set(1, t, 0);
+  qheap_[0].Push(0, s);
+  qheap_[1].Push(0, t);
+  Weight best = kInfDistance;
+  while (!qheap_[0].empty() || !qheap_[1].empty()) {
+    int side;
+    if (qheap_[0].empty()) {
+      side = 1;
+    } else if (qheap_[1].empty()) {
+      side = 0;
+    } else {
+      side = qheap_[0].Top().key <= qheap_[1].Top().key ? 0 : 1;
+    }
+    if (qheap_[side].Top().key >= best) {
+      // This side can no longer improve; drain the other or stop.
+      qheap_[side].clear();
+      continue;
+    }
+    auto [d, v] = qheap_[side].Pop();
+    if (d != get(side, v)) continue;
+    Weight other = get(1 - side, v);
+    if (other != kInfDistance) best = std::min(best, SaturatingAdd(d, other));
+    for (uint32_t cid : UpEdges(v)) {
+      const ChEdge& e = edges_[cid];
+      Weight nd = SaturatingAdd(d, e.weight);
+      if (nd < get(side, e.hi)) {
+        set(side, e.hi, nd);
+        qheap_[side].Push(nd, e.hi);
+      }
+    }
+  }
+  return best;
+}
+
+Weight ChIndex::RecomputeEdgeWeight(const ChEdge& e) const {
+  Weight w = e.base;
+  for (uint32_t i = e.supports_begin; i < e.supports_end; ++i) {
+    Vertex x = support_pool_[i];
+    uint32_t exl = EdgeIdBetween(x, e.lo);
+    uint32_t exh = EdgeIdBetween(x, e.hi);
+    STL_DCHECK(exl != UINT32_MAX && exh != UINT32_MAX);
+    w = std::min(w,
+                 SaturatingAdd(edges_[exl].weight, edges_[exh].weight));
+  }
+  return w;
+}
+
+uint32_t ChIndex::EdgeIdBetween(Vertex a, Vertex b) const {
+  if (rank_[a] > rank_[b]) std::swap(a, b);
+  const uint32_t* begin = up_pool_.data() + up_offset_[a];
+  const uint32_t* end = up_pool_.data() + up_offset_[a + 1];
+  auto it = std::lower_bound(begin, end, b, [this](uint32_t cid, Vertex v) {
+    return edges_[cid].hi < v;
+  });
+  return (it != end && edges_[*it].hi == b) ? *it : UINT32_MAX;
+}
+
+const std::vector<ChIndex::ChangedEdge>& ChIndex::ApplyUpdate(
+    const WeightUpdate& update) {
+  changed_.clear();
+  ++update_epoch_;
+  const uint32_t cid = ch_edge_of_graph_edge_[update.edge];
+  const bool increase = update.new_weight > edges_[cid].base;
+  g_->SetEdgeWeight(update.edge, update.new_weight);
+
+  // Pre-update weight of a CH edge within this update.
+  auto old_of = [this](uint32_t id) -> Weight {
+    return old_stamp_[id] == update_epoch_ ? old_weight_[id]
+                                           : edges_[id].weight;
+  };
+  auto record_change = [&](uint32_t id, Weight new_w) {
+    if (old_stamp_[id] != update_epoch_) {
+      old_stamp_[id] = update_epoch_;
+      old_weight_[id] = edges_[id].weight;
+      changed_.push_back(ChangedEdge{id, edges_[id].weight});
+    }
+    edges_[id].weight = new_w;
+  };
+  // Queue dependents of a changed edge (lo,hi): pairs supported by lo
+  // with hi as an endpoint — lo's inverted-index slice keyed by hi.
+  auto propagate = [this](uint32_t id) {
+    const ChEdge& e = edges_[id];
+    auto begin = supported_index_.begin() + supported_off_[e.lo];
+    auto end = supported_index_.begin() + supported_off_[e.lo + 1];
+    auto it = std::lower_bound(begin, end,
+                               std::make_pair(e.hi, uint32_t{0}));
+    for (; it != end && it->first == e.hi; ++it) {
+      dirty_.Push(rank_[edges_[it->second].lo],
+                  (static_cast<uint64_t>(it->second) << 32) | e.lo);
+    }
+  };
+
+  // Seed: the base change itself.
+  {
+    ChEdge& e = edges_[cid];
+    const Weight old_base = e.base;
+    e.base = update.new_weight;
+    if (!increase) {
+      if (update.new_weight < e.weight) {
+        record_change(cid, update.new_weight);
+        propagate(cid);
+      }
+    } else if (old_base == e.weight) {
+      Weight w = RecomputeEdgeWeight(e);
+      if (w != e.weight) {
+        record_change(cid, w);
+        propagate(cid);
+      }
+    }
+  }
+
+  // Process triggers in ascending rank of the pair's lower endpoint: a
+  // pair's supports have strictly smaller keys, so they are final.
+  while (!dirty_.empty()) {
+    auto [key, packed] = dirty_.Pop();
+    (void)key;
+    const uint32_t id = static_cast<uint32_t>(packed >> 32);
+    const Vertex x = static_cast<Vertex>(packed & 0xffffffffu);
+    ChEdge& e = edges_[id];
+    const uint32_t leg1 = EdgeIdBetween(x, e.lo);
+    const uint32_t leg2 = EdgeIdBetween(x, e.hi);
+    STL_DCHECK(leg1 != UINT32_MAX && leg2 != UINT32_MAX);
+    if (!increase) {
+      Weight cand =
+          SaturatingAdd(edges_[leg1].weight, edges_[leg2].weight);
+      if (cand < e.weight) {
+        record_change(id, cand);
+        propagate(id);
+      }
+    } else {
+      if (done_stamp_[id] == update_epoch_) continue;  // already settled
+      // Only a support that realized the old minimum can raise it.
+      Weight old_path = SaturatingAdd(old_of(leg1), old_of(leg2));
+      if (old_path != old_of(id) || old_path == kInfDistance) continue;
+      done_stamp_[id] = update_epoch_;
+      Weight w = RecomputeEdgeWeight(e);
+      if (w != e.weight) {
+        record_change(id, w);
+        propagate(id);
+      }
+    }
+  }
+  return changed_;
+}
+
+bool ChIndex::ValidateWeights() {
+  for (uint32_t r = 0; r < by_rank_.size(); ++r) {
+    Vertex v = by_rank_[r];
+    for (uint32_t cid : UpEdges(v)) {
+      if (RecomputeEdgeWeight(edges_[cid]) != edges_[cid].weight) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+uint64_t ChIndex::MemoryBytes() const {
+  return rank_.capacity() * sizeof(uint32_t) +
+         by_rank_.capacity() * sizeof(Vertex) +
+         edges_.capacity() * sizeof(ChEdge) +
+         support_pool_.capacity() * sizeof(Vertex) +
+         supported_off_.capacity() * sizeof(uint64_t) +
+         supported_index_.capacity() * sizeof(supported_index_[0]) +
+         up_offset_.capacity() * sizeof(uint32_t) +
+         up_pool_.capacity() * sizeof(uint32_t) +
+         ch_edge_of_graph_edge_.capacity() * sizeof(uint32_t);
+}
+
+}  // namespace stl

@@ -1,0 +1,126 @@
+// Contraction Hierarchy baseline in the CH-W flavour [21, 22]: vertices
+// are contracted in a heuristic order and a shortcut is added between
+// *every* pair of not-yet-contracted neighbours (no witness search). The
+// resulting shortcut structure depends only on the topology, never on the
+// weights — the property that makes dynamic maintenance (DCH [22]) and the
+// H2H tree decomposition possible.
+//
+// Query: bidirectional upward Dijkstra over the CH-W graph.
+//
+// Maintenance (DCH-style): every CH-W edge (original or shortcut) has
+//   w(u,v) = min( phi(u,v),  min_{x in supports(u,v)} w(x,u) + w(x,v) )
+// where supports(u,v) are the contracted vertices that created/witnessed
+// the shortcut. A base weight change dirties its edge; dirty edges are
+// reprocessed in contraction-rank order of their lower endpoint, and a
+// changed edge dirties the shortcuts it supports.
+#ifndef STL_BASELINES_CH_H_
+#define STL_BASELINES_CH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/labelling.h"  // SaturatingAdd
+#include "graph/graph.h"
+#include "graph/updates.h"
+#include "util/min_heap.h"
+
+namespace stl {
+
+/// Contraction-hierarchy index with DCH weight maintenance.
+class ChIndex {
+ public:
+  /// Empty index; assign from Build before use.
+  ChIndex() = default;
+
+  /// One CH-W edge (original road edge and/or shortcut).
+  struct ChEdge {
+    Vertex lo;          // lower contraction rank
+    Vertex hi;          // higher contraction rank
+    Weight weight;      // current derived weight
+    Weight base;        // original edge weight, kInfDistance for shortcuts
+    uint32_t supports_begin = 0;  // into support_pool_
+    uint32_t supports_end = 0;
+  };
+
+  /// Builds the CH-W structure over `*g`. The graph must stay alive;
+  /// updates must go through ApplyUpdate so graph and index stay in sync.
+  static ChIndex Build(Graph* g);
+
+  /// Distance query via bidirectional upward search.
+  Weight Query(Vertex s, Vertex t);
+
+  /// One CH edge whose derived weight changed during maintenance.
+  struct ChangedEdge {
+    uint32_t id;
+    Weight old_weight;
+  };
+
+  /// Applies a base edge weight change, updates the graph and all derived
+  /// shortcut weights. Returns the CH edges whose weight changed with
+  /// their previous weights (consumed by H2H label maintenance).
+  const std::vector<ChangedEdge>& ApplyUpdate(const WeightUpdate& update);
+
+  uint32_t rank(Vertex v) const { return rank_[v]; }
+  uint32_t NumChEdges() const { return static_cast<uint32_t>(edges_.size()); }
+  const ChEdge& GetChEdge(uint32_t id) const { return edges_[id]; }
+
+  /// Upward CH-edge ids of v (edges to higher-ranked vertices) — exactly
+  /// the X(v) \ {v} set of the H2H tree decomposition.
+  std::span<const uint32_t> UpEdges(Vertex v) const {
+    return {up_pool_.data() + up_offset_[v],
+            up_pool_.data() + up_offset_[v + 1]};
+  }
+
+  uint64_t MemoryBytes() const;
+  uint64_t NumShortcutsOnly() const { return num_pure_shortcuts_; }
+  double build_seconds() const { return build_seconds_; }
+
+  /// Test hook: recomputes every CH edge weight from scratch (rank order)
+  /// and returns true iff nothing changed (i.e. maintenance was exact).
+  bool ValidateWeights();
+
+ private:
+  Weight RecomputeEdgeWeight(const ChEdge& e) const;
+  uint32_t EdgeIdBetween(Vertex a, Vertex b) const;  // UINT32_MAX if none
+
+  Graph* g_ = nullptr;
+  std::vector<uint32_t> rank_;      // contraction order, 0 = first
+  std::vector<Vertex> by_rank_;     // inverse of rank_
+  std::vector<ChEdge> edges_;
+  std::vector<Vertex> support_pool_;
+  // Pairs supported by x, indexed by endpoint: when w(x, u) changes, the
+  // dirty shortcuts are exactly supported_index_[x] entries keyed by u.
+  // CSR of (endpoint, pair id) sorted by endpoint per supporter.
+  std::vector<uint64_t> supported_off_;                    // per vertex
+  std::vector<std::pair<Vertex, uint32_t>> supported_index_;
+  // (hi vertex, edge id) sorted by hi, per lo vertex; recompute lookups.
+  std::vector<uint32_t> up_offset_;
+  std::vector<uint32_t> up_pool_;
+  // EdgeId (graph) -> CH edge id.
+  std::vector<uint32_t> ch_edge_of_graph_edge_;
+  uint64_t num_pure_shortcuts_ = 0;
+  double build_seconds_ = 0;
+
+  // Query scratch.
+  std::vector<Weight> qdist_[2];
+  std::vector<uint32_t> qstamp_[2];
+  uint32_t qepoch_ = 0;
+  MinHeap<Weight, Vertex> qheap_[2];
+
+  // Maintenance scratch. Dirty work items are (pair, supporter) triggers
+  // keyed by the pair's lo rank, so supports settle before dependents.
+  // Weight changes are monotone per update (one direction), which allows
+  // O(1) relaxation per trigger on decrease and a full support scan only
+  // when a changed support realized the old minimum on increase.
+  MinHeap<uint64_t, uint64_t> dirty_;  // payload packs (pair id, supporter)
+  std::vector<Weight> old_weight_;     // pre-update weight per CH edge
+  std::vector<uint32_t> old_stamp_;
+  std::vector<uint32_t> done_stamp_;   // recompute dedupe (increase case)
+  uint32_t update_epoch_ = 0;
+  std::vector<ChangedEdge> changed_;
+};
+
+}  // namespace stl
+
+#endif  // STL_BASELINES_CH_H_

@@ -1,0 +1,429 @@
+#include "baselines/h2h.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/timer.h"
+
+namespace stl {
+
+H2hIndex H2hIndex::Build(Graph* g) {
+  STL_CHECK(g != nullptr);
+  Timer timer;
+  H2hIndex h;
+  h.g_ = g;
+  h.ch_ = ChIndex::Build(g);
+  const uint32_t n = g->NumVertices();
+
+  // Tree decomposition: parent of v = lowest-ranked member of X(v)\{v}.
+  h.parent_.assign(n, kNoParent);
+  for (Vertex v = 0; v < n; ++v) {
+    uint32_t best_rank = UINT32_MAX;
+    Vertex best = kNoParent;
+    for (uint32_t cid : h.ch_.UpEdges(v)) {
+      Vertex u = h.ch_.GetChEdge(cid).hi;
+      if (h.ch_.rank(u) < best_rank) {
+        best_rank = h.ch_.rank(u);
+        best = u;
+      }
+    }
+    h.parent_[v] = best;  // kNoParent only for the top-ranked vertex
+  }
+  uint32_t roots = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    if (h.parent_[v] == kNoParent) {
+      h.root_ = v;
+      ++roots;
+    }
+  }
+  STL_CHECK_EQ(roots, 1u) << "H2H requires a connected graph";
+
+  // Children CSR and depths via BFS from the root.
+  std::vector<uint32_t> child_count(n, 0);
+  for (Vertex v = 0; v < n; ++v) {
+    if (h.parent_[v] != kNoParent) ++child_count[h.parent_[v]];
+  }
+  h.child_off_.assign(n + 1, 0);
+  for (Vertex v = 0; v < n; ++v) {
+    h.child_off_[v + 1] = h.child_off_[v] + child_count[v];
+  }
+  h.child_pool_.resize(n - 1);
+  {
+    std::vector<uint32_t> cursor(h.child_off_.begin(), h.child_off_.end() - 1);
+    for (Vertex v = 0; v < n; ++v) {
+      if (h.parent_[v] != kNoParent) {
+        h.child_pool_[cursor[h.parent_[v]]++] = v;
+      }
+    }
+  }
+  h.depth_.assign(n, 0);
+  std::vector<Vertex> bfs;  // top-down order
+  bfs.reserve(n);
+  bfs.push_back(h.root_);
+  for (size_t i = 0; i < bfs.size(); ++i) {
+    Vertex v = bfs[i];
+    h.tree_height_ = std::max(h.tree_height_, h.depth_[v] + 1);
+    for (uint32_t c = h.child_off_[v]; c < h.child_off_[v + 1]; ++c) {
+      Vertex u = h.child_pool_[c];
+      h.depth_[u] = h.depth_[v] + 1;
+      bfs.push_back(u);
+    }
+  }
+  STL_CHECK_EQ(bfs.size(), static_cast<size_t>(n));
+
+  // Label storage: ancestor + distance arrays of length depth(v)+1.
+  h.off_.assign(n + 1, 0);
+  for (Vertex v = 0; v < n; ++v) {
+    h.off_[v + 1] = h.off_[v] + h.depth_[v] + 1;
+  }
+  h.anc_pool_.resize(h.off_[n]);
+  h.dist_pool_.assign(h.off_[n], kInfDistance);
+  for (Vertex v : bfs) {
+    Vertex* anc = h.anc_pool_.data() + h.off_[v];
+    if (h.parent_[v] != kNoParent) {
+      const Vertex* panc = h.anc_pool_.data() + h.off_[h.parent_[v]];
+      std::copy(panc, panc + h.depth_[v], anc);
+    }
+    anc[h.depth_[v]] = v;
+  }
+
+  // Position arrays: depths of X(v) members (including v), sorted.
+  h.pos_off_.assign(n + 1, 0);
+  for (Vertex v = 0; v < n; ++v) {
+    h.pos_off_[v + 1] =
+        h.pos_off_[v] +
+        static_cast<uint32_t>(h.ch_.UpEdges(v).size()) + 1;
+  }
+  h.pos_pool_.resize(h.pos_off_[n]);
+  for (Vertex v = 0; v < n; ++v) {
+    uint32_t* pos = h.pos_pool_.data() + h.pos_off_[v];
+    uint32_t k = 0;
+    for (uint32_t cid : h.ch_.UpEdges(v)) {
+      pos[k++] = h.depth_[h.ch_.GetChEdge(cid).hi];
+    }
+    pos[k++] = h.depth_[v];
+    std::sort(pos, pos + k);
+  }
+
+  // Distance arrays, top-down DP (Section 3.1 construction).
+  for (Vertex v : bfs) {
+    Weight* dist = h.dist_pool_.data() + h.off_[v];
+    for (uint32_t j = 0; j < h.depth_[v]; ++j) {
+      dist[j] = h.RecomputeCell(v, j);
+    }
+    dist[h.depth_[v]] = 0;
+  }
+
+  // Euler tour + sparse table for O(1) LCA.
+  h.euler_first_.assign(n, UINT32_MAX);
+  h.euler_vertex_.reserve(2 * n);
+  h.euler_depth_.reserve(2 * n);
+  {
+    // Iterative DFS emitting a vertex on entry and after each child.
+    std::vector<std::pair<Vertex, uint32_t>> stack;  // (vertex, child idx)
+    stack.emplace_back(h.root_, 0);
+    auto emit = [&h](Vertex v) {
+      if (h.euler_first_[v] == UINT32_MAX) {
+        h.euler_first_[v] = static_cast<uint32_t>(h.euler_vertex_.size());
+      }
+      h.euler_vertex_.push_back(v);
+      h.euler_depth_.push_back(h.depth_[v]);
+    };
+    emit(h.root_);
+    while (!stack.empty()) {
+      auto& [v, ci] = stack.back();
+      uint32_t child_begin = h.child_off_[v];
+      if (child_begin + ci < h.child_off_[v + 1]) {
+        Vertex u = h.child_pool_[child_begin + ci];
+        ++ci;
+        emit(u);
+        stack.emplace_back(u, 0);
+      } else {
+        stack.pop_back();
+        if (!stack.empty()) emit(stack.back().first);
+      }
+    }
+  }
+  {
+    const uint32_t m = static_cast<uint32_t>(h.euler_vertex_.size());
+    uint32_t logm = 1;
+    while ((1u << logm) <= m) ++logm;
+    h.sparse_.assign(logm, std::vector<uint32_t>(m));
+    for (uint32_t i = 0; i < m; ++i) h.sparse_[0][i] = i;
+    for (uint32_t k = 1; k < logm; ++k) {
+      uint32_t half = 1u << (k - 1);
+      if (m < (1u << k)) break;
+      for (uint32_t i = 0; i + (1u << k) <= m; ++i) {
+        uint32_t a = h.sparse_[k - 1][i];
+        uint32_t b = h.sparse_[k - 1][i + half];
+        h.sparse_[k][i] = h.euler_depth_[a] <= h.euler_depth_[b] ? a : b;
+      }
+    }
+  }
+
+  h.anchor_stamp_.assign(n, 0);
+  h.below_stamp_.assign(n, 0);
+  h.dirty_count_.assign(h.tree_height_, 0);
+  h.build_seconds_ = timer.ElapsedSeconds();
+  return h;
+}
+
+Weight H2hIndex::RecomputeCell(Vertex v, uint32_t j) const {
+  if (j == depth_[v]) return 0;
+  const Vertex a = anc_pool_[off_[v] + j];
+  Weight best = kInfDistance;
+  for (uint32_t cid : ch_.UpEdges(v)) {
+    const ChIndex::ChEdge& e = ch_.GetChEdge(cid);
+    const Vertex u = e.hi;
+    Weight du;
+    if (u == a) {
+      du = 0;
+    } else if (depth_[u] > j) {
+      du = dist_pool_[off_[u] + j];  // u is deeper than the ancestor
+    } else {
+      du = dist_pool_[off_[a] + depth_[u]];  // the ancestor is deeper
+    }
+    best = std::min(best, SaturatingAdd(e.weight, du));
+  }
+  return best;
+}
+
+uint32_t H2hIndex::Lca(Vertex s, Vertex t) const {
+  uint32_t i = euler_first_[s], j = euler_first_[t];
+  if (i > j) std::swap(i, j);
+  uint32_t len = j - i + 1;
+  uint32_t k = 31 - static_cast<uint32_t>(std::countl_zero(len));
+  uint32_t a = sparse_[k][i];
+  uint32_t b = sparse_[k][j + 1 - (1u << k)];
+  return euler_vertex_[euler_depth_[a] <= euler_depth_[b] ? a : b];
+}
+
+Weight H2hIndex::Query(Vertex s, Vertex t) const {
+  if (s == t) return 0;
+  const Vertex lca = Lca(s, t);
+  const Weight* ds = dist_pool_.data() + off_[s];
+  const Weight* dt = dist_pool_.data() + off_[t];
+  uint32_t best = kInfDistance + kInfDistance;
+  for (uint32_t p = pos_off_[lca]; p < pos_off_[lca + 1]; ++p) {
+    const uint32_t i = pos_pool_[p];
+    best = std::min(best, ds[i] + dt[i]);
+  }
+  return best >= kInfDistance ? kInfDistance : best;
+}
+
+void H2hIndex::ApplyUpdate(const WeightUpdate& update, Maintenance mode) {
+  const bool increase = update.new_weight > g_->EdgeWeight(update.edge);
+  const auto& changed = ch_.ApplyUpdate(update);
+  LabelPhase(changed, mode, increase);
+}
+
+void H2hIndex::LabelPhase(
+    const std::vector<ChIndex::ChangedEdge>& changed_edges, Maintenance mode,
+    bool increase) {
+  if (changed_edges.empty()) return;
+  ++epoch_;
+  // Anchors: low endpoints of changed CH edges. A weight update changes
+  // all derived CH weights in one direction, so per anchor we know
+  // exactly which columns can move: the inherited dirty columns, plus —
+  // for a decrease — columns improvable through a changed incident edge,
+  // or — for an increase — columns whose old value was supported by a
+  // changed incident edge. Changes then flow down the tree.
+  std::vector<Vertex> anchors;
+  std::unordered_map<Vertex, std::vector<ChIndex::ChangedEdge>> anchor_edges;
+  for (const auto& ce : changed_edges) {
+    Vertex v = ch_.GetChEdge(ce.id).lo;
+    if (anchor_stamp_[v] != epoch_) {
+      anchor_stamp_[v] = epoch_;
+      anchors.push_back(v);
+    }
+    anchor_edges[v].push_back(ce);
+  }
+  // Mark "anchor in subtree" on every ancestor of an anchor.
+  for (Vertex a : anchors) {
+    Vertex v = a;
+    while (v != kNoParent && below_stamp_[v] != epoch_) {
+      below_stamp_[v] = epoch_;
+      v = parent_[v];
+    }
+  }
+  std::sort(anchors.begin(), anchors.end(), [this](Vertex a, Vertex b) {
+    return depth_[a] < depth_[b];
+  });
+
+  // Top-down repair from each topmost anchor. dirty_count_ tracks, per
+  // ancestor column, how many path ancestors contributed a change; the
+  // recursion carries the set via enter/exit deltas.
+  active_cols_.clear();
+  std::vector<uint8_t> visited(g_->NumVertices(), 0);
+
+  struct Frame {
+    Vertex v;
+    uint32_t child_idx;
+    std::vector<uint32_t> added_cols;  // dirty columns this frame added
+  };
+  std::vector<Frame> stack;
+
+  auto add_col = [this](uint32_t c, std::vector<uint32_t>* added) {
+    if (dirty_count_[c]++ == 0) active_cols_.push_back(c);
+    added->push_back(c);
+  };
+  auto remove_cols = [this](const std::vector<uint32_t>& added) {
+    for (uint32_t c : added) {
+      if (--dirty_count_[c] == 0) {
+        active_cols_.erase(
+            std::find(active_cols_.begin(), active_cols_.end(), c));
+      }
+    }
+  };
+
+  auto process_vertex = [&](Vertex v, std::vector<uint32_t>* added) {
+    const bool is_anchor = anchor_stamp_[v] == epoch_;
+    Weight* dist = dist_pool_.data() + off_[v];
+    const Vertex* anc = anc_pool_.data() + off_[v];
+    std::vector<uint32_t> changed_cols;
+    auto check_col = [&](uint32_t j) {
+      Weight nw = RecomputeCell(v, j);
+      ++stats_.queue_pops;
+      if (nw != dist[j]) {
+        dist[j] = nw;
+        ++stats_.label_writes;
+        changed_cols.push_back(j);
+      }
+    };
+    // Current distance between a changed incident edge's high endpoint u
+    // and v's ancestor at depth j (the DP flip lookup).
+    auto dist_via = [&](Vertex u, uint32_t j) -> Weight {
+      const Vertex a = anc[j];
+      if (u == a) return 0;
+      return depth_[u] > j ? dist_pool_[off_[u] + j]
+                           : dist_pool_[off_[a] + depth_[u]];
+    };
+    if (mode == Maintenance::kDTDHL) {
+      // Vertex-level: any dirt above (or being an anchor) recomputes the
+      // whole array.
+      if (is_anchor || !active_cols_.empty()) {
+        for (uint32_t j = 0; j < depth_[v]; ++j) check_col(j);
+      }
+    } else {
+      // Column-level (IncH2H style). Inherited dirty columns get the full
+      // DP; the anchor's other columns get the O(#changed edges) test.
+      for (uint32_t c : active_cols_) {
+        if (c < depth_[v]) check_col(c);
+      }
+      if (is_anchor) {
+        const auto& incident = anchor_edges[v];
+        for (uint32_t j = 0; j < depth_[v]; ++j) {
+          if (j < dirty_count_.size() && dirty_count_[j] > 0) {
+            continue;  // already handled as an inherited column
+          }
+          if (!increase) {
+            Weight cand = kInfDistance;
+            for (const auto& ce : incident) {
+              const ChIndex::ChEdge& e = ch_.GetChEdge(ce.id);
+              cand = std::min(cand,
+                              SaturatingAdd(e.weight, dist_via(e.hi, j)));
+            }
+            ++stats_.queue_pops;
+            if (cand < dist[j]) {
+              dist[j] = cand;
+              ++stats_.label_writes;
+              changed_cols.push_back(j);
+            }
+          } else {
+            // Old value supported by a changed edge? Ancestor labels at
+            // non-dirty columns are unchanged, so the test is exact.
+            bool supported = false;
+            for (const auto& ce : incident) {
+              const ChIndex::ChEdge& e = ch_.GetChEdge(ce.id);
+              if (SaturatingAdd(ce.old_weight, dist_via(e.hi, j)) ==
+                  dist[j]) {
+                supported = true;
+                break;
+              }
+            }
+            ++stats_.queue_pops;
+            if (supported) check_col(j);
+          }
+        }
+      }
+    }
+    if (!changed_cols.empty()) {
+      ++stats_.affected_pairs;
+      for (uint32_t c : changed_cols) add_col(c, added);
+      // A changed cell (v, j) is also read as "distance to ancestor v"
+      // by descendants, at their column depth(v).
+      add_col(depth_[v], added);
+    }
+    return !changed_cols.empty();
+  };
+
+  for (Vertex top : anchors) {
+    if (visited[top]) continue;
+    stack.push_back(Frame{top, 0, {}});
+    visited[top] = 1;
+    process_vertex(top, &stack.back().added_cols);
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const uint32_t child_begin = child_off_[f.v];
+      const uint32_t child_end = child_off_[f.v + 1];
+      bool descended = false;
+      while (child_begin + f.child_idx < child_end) {
+        Vertex c = child_pool_[child_begin + f.child_idx];
+        ++f.child_idx;
+        const bool anchor_below = below_stamp_[c] == epoch_;
+        if (active_cols_.empty() && !anchor_below) continue;
+        visited[c] = 1;
+        stack.push_back(Frame{c, 0, {}});
+        process_vertex(c, &stack.back().added_cols);
+        descended = true;
+        break;
+      }
+      if (!descended) {
+        remove_cols(f.added_cols);
+        stack.pop_back();
+      }
+    }
+  }
+}
+
+bool H2hIndex::ValidateLabels() {
+  bool ok = true;
+  // Top-down order: parents validated (and correct) before children.
+  std::vector<Vertex> bfs;
+  bfs.push_back(root_);
+  for (size_t i = 0; i < bfs.size(); ++i) {
+    Vertex v = bfs[i];
+    for (uint32_t j = 0; j < depth_[v]; ++j) {
+      if (RecomputeCell(v, j) != dist_pool_[off_[v] + j]) ok = false;
+    }
+    for (uint32_t c = child_off_[v]; c < child_off_[v + 1]; ++c) {
+      bfs.push_back(child_pool_[c]);
+    }
+  }
+  return ok;
+}
+
+uint64_t H2hIndex::MemoryBytes(Maintenance mode) const {
+  uint64_t labels = off_.capacity() * sizeof(uint64_t) +
+                    anc_pool_.capacity() * sizeof(Vertex) +
+                    dist_pool_.capacity() * sizeof(Weight) +
+                    pos_off_.capacity() * sizeof(uint32_t) +
+                    pos_pool_.capacity() * sizeof(uint32_t);
+  uint64_t tree = parent_.capacity() * sizeof(uint32_t) +
+                  depth_.capacity() * sizeof(uint32_t) +
+                  child_off_.capacity() * sizeof(uint32_t) +
+                  child_pool_.capacity() * sizeof(Vertex);
+  uint64_t lca = euler_first_.capacity() * sizeof(uint32_t) +
+                 euler_vertex_.capacity() * sizeof(uint32_t) +
+                 euler_depth_.capacity() * sizeof(uint32_t);
+  for (const auto& row : sparse_) lca += row.capacity() * sizeof(uint32_t);
+  if (mode == Maintenance::kDTDHL) {
+    // DTDHL tracks far less auxiliary data: labels + tree + the CH edge
+    // weights it maintains (no support machinery accounted).
+    return labels + tree + lca +
+           ch_.NumChEdges() * static_cast<uint64_t>(sizeof(ChIndex::ChEdge));
+  }
+  return labels + tree + lca + ch_.MemoryBytes();
+}
+
+}  // namespace stl

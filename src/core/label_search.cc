@@ -1,0 +1,175 @@
+#include "core/label_search.h"
+
+#include <algorithm>
+
+namespace stl {
+
+LabelSearch::LabelSearch(Graph* g, const TreeHierarchy& h, Labelling* labels)
+    : g_(g),
+      h_(h),
+      labels_(labels),
+      aff_stamp_(g->NumVertices(), 0),
+      visit_stamp_(g->NumVertices(), 0) {
+  STL_CHECK_EQ(g->NumVertices(), h.NumVertices());
+}
+
+std::pair<Vertex, Vertex> LabelSearch::OrientedEndpoints(EdgeId e) const {
+  const Edge& edge = g_->GetEdge(e);
+  Vertex a = edge.u, b = edge.v;
+  if (h_.Tau(a) > h_.Tau(b)) std::swap(a, b);
+  STL_DCHECK(h_.Tau(a) != h_.Tau(b)) << "edge endpoints must be comparable";
+  return {a, b};
+}
+
+void LabelSearch::ApplyDecreaseBatch(const UpdateBatch& batch) {
+  if (batch.empty()) return;
+  // Apply new weights first: searches relax with the decreased weights.
+  for (const WeightUpdate& u : batch) {
+    STL_CHECK(u.new_weight < g_->EdgeWeight(u.edge))
+        << "decrease batch contains a non-decrease";
+    g_->SetEdgeWeight(u.edge, u.new_weight);
+  }
+  uint32_t rmax = 0;
+  for (const WeightUpdate& u : batch) {
+    auto [a, b] = OrientedEndpoints(u.edge);
+    rmax = std::max(rmax, h_.Tau(a));
+  }
+  // One search per ancestor column (Algorithm 1 lines 2-7 seed, 8-14 run).
+  for (uint32_t r = 0; r <= rmax; ++r) {
+    heap_.clear();
+    for (const WeightUpdate& u : batch) {
+      auto [a, b] = OrientedEndpoints(u.edge);
+      if (h_.Tau(a) < r) continue;
+      const Weight la = labels_->At(a, r);
+      const Weight lb = labels_->At(b, r);
+      const Weight w = u.new_weight;
+      if (SaturatingAdd(la, w) < lb) {
+        heap_.Push(SaturatingAdd(la, w), b);
+      } else if (SaturatingAdd(lb, w) < la) {
+        heap_.Push(SaturatingAdd(lb, w), a);
+      }
+    }
+    if (!heap_.empty()) RunDecreaseColumn(r);
+  }
+}
+
+void LabelSearch::RunDecreaseColumn(uint32_t r) {
+  while (!heap_.empty()) {
+    auto [d, v] = heap_.Pop();
+    ++stats_.queue_pops;
+    if (d >= labels_->At(v, r)) continue;  // stale or not an improvement
+    labels_->Set(v, r, d);
+    ++stats_.label_writes;
+    ++stats_.affected_pairs;
+    for (const Arc& a : g_->ArcsOf(v)) {
+      if (h_.Tau(a.head) <= r) continue;  // stay inside Desc(r)
+      Weight nd = SaturatingAdd(d, a.weight);
+      if (nd < labels_->At(a.head, r)) heap_.Push(nd, a.head);
+    }
+  }
+}
+
+void LabelSearch::ApplyIncreaseBatch(const UpdateBatch& batch) {
+  if (batch.empty()) return;
+  uint32_t rmax = 0;
+  for (const WeightUpdate& u : batch) {
+    STL_CHECK(u.new_weight > g_->EdgeWeight(u.edge))
+        << "increase batch contains a non-increase";
+    STL_CHECK_EQ(u.old_weight, g_->EdgeWeight(u.edge));
+    auto [a, b] = OrientedEndpoints(u.edge);
+    rmax = std::max(rmax, h_.Tau(a));
+  }
+  // Phase 1: detection against old weights (Algorithm 2 lines 2-14).
+  std::vector<std::vector<Vertex>> affected(rmax + 1);
+  for (uint32_t r = 0; r <= rmax; ++r) {
+    heap_.clear();
+    for (const WeightUpdate& u : batch) {
+      auto [a, b] = OrientedEndpoints(u.edge);
+      if (h_.Tau(a) < r) continue;
+      const Weight la = labels_->At(a, r);
+      const Weight lb = labels_->At(b, r);
+      const Weight w = u.old_weight;
+      if (la < kInfDistance && SaturatingAdd(la, w) == lb) {
+        heap_.Push(lb, b);
+      }
+      if (lb < kInfDistance && SaturatingAdd(lb, w) == la) {
+        heap_.Push(la, a);
+      }
+    }
+    if (!heap_.empty()) RunDetectColumn(r, &affected[r]);
+  }
+  // Phase 2: apply the new weights.
+  for (const WeightUpdate& u : batch) {
+    g_->SetEdgeWeight(u.edge, u.new_weight);
+  }
+  // Phase 3: repair each column (Algorithm 2 Repair).
+  for (uint32_t r = 0; r <= rmax; ++r) {
+    if (!affected[r].empty()) RepairColumn(r, affected[r]);
+  }
+}
+
+void LabelSearch::RunDetectColumn(uint32_t r, std::vector<Vertex>* affected) {
+  ++visit_epoch_;
+  while (!heap_.empty()) {
+    auto [d, v] = heap_.Pop();
+    ++stats_.queue_pops;
+    if (visit_stamp_[v] == visit_epoch_) continue;
+    visit_stamp_[v] = visit_epoch_;
+    affected->push_back(v);
+    ++stats_.affected_pairs;
+    for (const Arc& a : g_->ArcsOf(v)) {
+      if (h_.Tau(a.head) <= r) continue;
+      if (visit_stamp_[a.head] == visit_epoch_) continue;
+      Weight nd = SaturatingAdd(d, a.weight);
+      // Old shortest path to the ancestor extends through this neighbour.
+      if (nd < kInfDistance && nd == labels_->At(a.head, r)) {
+        heap_.Push(nd, a.head);
+      }
+    }
+  }
+}
+
+void LabelSearch::RepairColumn(uint32_t r,
+                               const std::vector<Vertex>& affected) {
+  ++aff_epoch_;
+  for (Vertex v : affected) aff_stamp_[v] = aff_epoch_;
+  for (Vertex v : affected) {
+    labels_->Set(v, r, kInfDistance);
+    ++stats_.label_writes;
+  }
+  heap_.clear();
+  // Distance bounds from unaffected neighbours (Definition 5.4). The
+  // ancestor r itself participates (tau == r, label entry 0): an affected
+  // vertex whose new shortest path is the direct edge from r gets its
+  // bound from exactly that arc.
+  for (Vertex v : affected) {
+    Weight bound = kInfDistance;
+    for (const Arc& a : g_->ArcsOf(v)) {
+      if (h_.Tau(a.head) < r) continue;
+      if (aff_stamp_[a.head] == aff_epoch_) continue;
+      bound = std::min(bound, SaturatingAdd(labels_->At(a.head, r), a.weight));
+    }
+    if (bound < kInfDistance) heap_.Push(bound, v);
+  }
+  // Dijkstra over the affected region (Lemma 5.5 settles min bound first).
+  while (!heap_.empty()) {
+    auto [d, v] = heap_.Pop();
+    ++stats_.queue_pops;
+    if (d >= labels_->At(v, r)) continue;
+    labels_->Set(v, r, d);
+    ++stats_.label_writes;
+    for (const Arc& a : g_->ArcsOf(v)) {
+      if (h_.Tau(a.head) <= r) continue;
+      Weight nd = SaturatingAdd(d, a.weight);
+      if (nd < labels_->At(a.head, r)) heap_.Push(nd, a.head);
+    }
+  }
+}
+
+void LabelSearch::ApplyBatch(const UpdateBatch& batch) {
+  auto [dec, inc] = SplitByDirection(batch);
+  ApplyDecreaseBatch(dec);
+  ApplyIncreaseBatch(inc);
+}
+
+}  // namespace stl

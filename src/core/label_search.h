@@ -1,0 +1,98 @@
+// Label Search maintenance (Section 5.1, Algorithms 1 and 2): the
+// ancestor-centric strategy. For every ancestor label position r that an
+// updated edge can affect, one pruned Dijkstra-style search repairs
+// column r of the labels.
+//
+// Decrease (Algorithm 1): new distances are known as soon as a queue entry
+// is popped, so labels are repaired on the fly.
+//
+// Increase (Algorithm 2): the search first *identifies* affected vertices
+// (old shortest paths through the updated edge, Lemma 5.2), then the
+// Repair pass recomputes their distances from distance bounds obtained
+// from unaffected neighbours (Definition 5.4 / Lemma 5.5).
+//
+// Implementation note: the paper interleaves search and repair per
+// ancestor; we run all detection searches against the old weights, then
+// apply the new weights, then run all repairs. Columns are independent,
+// so the result is identical, and batches need no special-casing.
+#ifndef STL_CORE_LABEL_SEARCH_H_
+#define STL_CORE_LABEL_SEARCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/labelling.h"
+#include "core/tree_hierarchy.h"
+#include "graph/updates.h"
+#include "util/min_heap.h"
+
+namespace stl {
+
+/// Counters describing the work one maintenance call performed.
+struct MaintenanceStats {
+  uint64_t queue_pops = 0;
+  uint64_t label_writes = 0;
+  uint64_t affected_pairs = 0;  // (vertex, ancestor) pairs touched
+
+  void Reset() { *this = MaintenanceStats(); }
+  void Add(const MaintenanceStats& o) {
+    queue_pops += o.queue_pops;
+    label_writes += o.label_writes;
+    affected_pairs += o.affected_pairs;
+  }
+};
+
+/// Ancestor-centric maintenance engine (STL-L in the paper's tables).
+/// Holds scratch buffers sized to the graph; reuse across updates.
+class LabelSearch {
+ public:
+  /// The engine mutates both the graph weights and the labels.
+  LabelSearch(Graph* g, const TreeHierarchy& h, Labelling* labels);
+
+  /// Applies a batch of pure weight decreases (Algorithm 1). Every
+  /// update's new_weight must be < old_weight.
+  void ApplyDecreaseBatch(const UpdateBatch& batch);
+
+  /// Applies a batch of pure weight increases (Algorithm 2). Every
+  /// update's new_weight must be > old_weight.
+  void ApplyIncreaseBatch(const UpdateBatch& batch);
+
+  /// Convenience: splits a mixed batch and applies decreases then
+  /// increases.
+  void ApplyBatch(const UpdateBatch& batch);
+
+  const MaintenanceStats& stats() const { return stats_; }
+
+ private:
+  /// Lower-tau endpoint first (Lemma 5.3 guarantees comparability).
+  std::pair<Vertex, Vertex> OrientedEndpoints(EdgeId e) const;
+
+  /// Runs the decrease search for ancestor column r from pre-seeded
+  /// queue entries.
+  void RunDecreaseColumn(uint32_t r);
+
+  /// Runs the increase detection for ancestor column r; fills
+  /// affected_[r].
+  void RunDetectColumn(uint32_t r, std::vector<Vertex>* affected);
+
+  /// Repairs column r for the given affected set (new weights applied).
+  void RepairColumn(uint32_t r, const std::vector<Vertex>& affected);
+
+  Graph* g_;
+  const TreeHierarchy& h_;
+  Labelling* labels_;
+
+  MinHeap<Weight, Vertex> heap_;
+  // Affected-set membership, stamped per (column) repair pass.
+  std::vector<uint32_t> aff_stamp_;
+  uint32_t aff_epoch_ = 0;
+  // Visited marks for the detection pass.
+  std::vector<uint32_t> visit_stamp_;
+  uint32_t visit_epoch_ = 0;
+
+  MaintenanceStats stats_;
+};
+
+}  // namespace stl
+
+#endif  // STL_CORE_LABEL_SEARCH_H_

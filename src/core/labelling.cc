@@ -1,0 +1,233 @@
+#include "core/labelling.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "util/min_heap.h"
+
+namespace stl {
+
+Labelling Labelling::AllocateFor(const TreeHierarchy& h) {
+  Labelling l;
+  const uint32_t n = h.NumVertices();
+  l.offset_.resize(n + 1);
+  l.offset_[0] = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    l.offset_[v + 1] = l.offset_[v] + h.LabelSize(v);
+  }
+  l.entries_.assign(l.offset_[n], kInfDistance);
+  for (Vertex v = 0; v < n; ++v) {
+    l.entries_[l.offset_[v] + h.Tau(v)] = 0;  // self distance
+  }
+  return l;
+}
+
+Status Labelling::Serialize(BinaryWriter* w) const {
+  Status s = w->WriteVector(offset_);
+  if (s.ok()) s = w->WriteVector(entries_);
+  return s;
+}
+
+Status Labelling::Deserialize(BinaryReader* r) {
+  Status s = r->ReadVector(&offset_);
+  if (s.ok()) s = r->ReadVector(&entries_);
+  if (!s.ok()) return s;
+  if (offset_.empty() || offset_.back() != entries_.size()) {
+    return Status::Corruption("labelling: offset/entry mismatch");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Dijkstra from cut vertex r restricted to Desc(r), writing column
+/// tau(r) of every settled vertex's label. Reusable buffers live in the
+/// caller (ColumnBuilder) so the per-column cost is output-sensitive.
+class ColumnBuilder {
+ public:
+  ColumnBuilder(const Graph& g, const TreeHierarchy& h)
+      : g_(g), h_(h), dist_(g.NumVertices(), kInfDistance),
+        stamp_(g.NumVertices(), 0) {}
+
+  void FillColumn(Vertex r, Labelling* labels) {
+    const uint32_t col = h_.Tau(r);
+    ++epoch_;
+    heap_.clear();
+    dist_[r] = 0;
+    stamp_[r] = epoch_;
+    heap_.Push(0, r);
+    while (!heap_.empty()) {
+      auto [d, v] = heap_.Pop();
+      if (stamp_[v] != epoch_ || d != dist_[v]) continue;
+      labels->Set(v, col, d);
+      for (const Arc& a : g_.ArcsOf(v)) {
+        // Desc(r) membership: every edge joins ⪯-comparable vertices
+        // (Lemma 5.3), so staying at tau > tau(r) keeps the search inside
+        // the subgraph G[Desc(r)].
+        if (h_.Tau(a.head) <= col) continue;
+        Weight nd = SaturatingAdd(d, a.weight);
+        if (stamp_[a.head] != epoch_ || nd < dist_[a.head]) {
+          dist_[a.head] = nd;
+          stamp_[a.head] = epoch_;
+          heap_.Push(nd, a.head);
+        }
+      }
+    }
+  }
+
+ private:
+  const Graph& g_;
+  const TreeHierarchy& h_;
+  std::vector<Weight> dist_;
+  std::vector<uint32_t> stamp_;
+  uint32_t epoch_ = 0;
+  MinHeap<Weight, Vertex> heap_;
+};
+
+}  // namespace
+
+Labelling BuildLabelling(const Graph& g, const TreeHierarchy& h,
+                         int num_threads) {
+  STL_CHECK_EQ(g.NumVertices(), h.NumVertices());
+  STL_CHECK_GE(num_threads, 1);
+  Labelling labels = Labelling::AllocateFor(h);
+  if (num_threads == 1) {
+    ColumnBuilder builder(g, h);
+    for (uint32_t nid = 0; nid < h.NumNodes(); ++nid) {
+      for (Vertex r : h.VerticesOf(nid)) {
+        builder.FillColumn(r, &labels);
+      }
+    }
+    return labels;
+  }
+  // Parallel: cut vertices are independent work items writing disjoint
+  // label cells. Work-steal via one atomic cursor over the node order.
+  std::vector<Vertex> cuts;
+  cuts.reserve(g.NumVertices());
+  for (uint32_t nid = 0; nid < h.NumNodes(); ++nid) {
+    for (Vertex r : h.VerticesOf(nid)) cuts.push_back(r);
+  }
+  std::atomic<size_t> cursor{0};
+  auto worker = [&]() {
+    ColumnBuilder builder(g, h);
+    while (true) {
+      size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= cuts.size()) break;
+      builder.FillColumn(cuts[i], &labels);
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int t = 1; t < num_threads; ++t) threads.emplace_back(worker);
+  worker();
+  for (auto& t : threads) t.join();
+  return labels;
+}
+
+void RebuildColumn(const Graph& g, const TreeHierarchy& h, Vertex r,
+                   Labelling* labels) {
+  // Reset the column first: the restricted Dijkstra only writes settled
+  // vertices, and an update may have disconnected part of the subgraph.
+  const uint32_t col = h.Tau(r);
+  // Collect Desc(r) by the same restricted traversal, ignoring weights.
+  std::vector<Vertex> stack = {r};
+  std::vector<uint8_t> seen(g.NumVertices(), 0);
+  seen[r] = 1;
+  while (!stack.empty()) {
+    Vertex v = stack.back();
+    stack.pop_back();
+    labels->Set(v, col, v == r ? 0 : kInfDistance);
+    for (const Arc& a : g.ArcsOf(v)) {
+      if (h.Tau(a.head) > col && !seen[a.head]) {
+        seen[a.head] = 1;
+        stack.push_back(a.head);
+      }
+    }
+  }
+  ColumnBuilder builder(g, h);
+  builder.FillColumn(r, labels);
+}
+
+namespace {
+
+/// Appends the vertices strictly between `v` and the ancestor at label
+/// position `col` (exclusive of both) walking v -> ancestor by greedy
+/// descent: each step takes an arc (v, n) with
+///   L_v[col] == w(v, n) + d_col(n),
+/// where d_col(n) is 0 at the ancestor itself and L_n[col] inside the
+/// subgraph. Exactness of the labels guarantees progress.
+void UnpackTowardsAncestor(const Graph& g, const TreeHierarchy& h,
+                           const Labelling& labels, Vertex v, uint32_t col,
+                           std::vector<Vertex>* out) {
+  const uint32_t n_limit = g.NumVertices();
+  uint32_t steps = 0;
+  while (labels.At(v, col) != 0) {
+    STL_CHECK(++steps <= n_limit) << "path unpacking did not converge";
+    const Weight dv = labels.At(v, col);
+    Vertex next = UINT32_MAX;
+    for (const Arc& a : g.ArcsOf(v)) {
+      const uint32_t tn = h.Tau(a.head);
+      if (tn < col) continue;  // outside Desc(ancestor)
+      const Weight dn = (tn == col) ? 0 : labels.At(a.head, col);
+      if (dn != kInfDistance && SaturatingAdd(dn, a.weight) == dv) {
+        next = a.head;
+        break;
+      }
+    }
+    STL_CHECK(next != UINT32_MAX) << "no label-consistent arc";
+    v = next;
+    if (labels.At(v, col) != 0) out->push_back(v);
+  }
+}
+
+}  // namespace
+
+std::vector<Vertex> QueryPath(const Graph& g, const TreeHierarchy& h,
+                              const Labelling& labels, Vertex s, Vertex t) {
+  if (s == t) return {s};
+  // Locate the tight hub of Equation 3.
+  const uint32_t k = h.CommonAncestorCount(s, t);
+  const Weight* ls = labels.Data(s);
+  const Weight* lt = labels.Data(t);
+  uint32_t best = kInfDistance + kInfDistance;
+  uint32_t best_i = 0;
+  for (uint32_t i = 0; i < k; ++i) {
+    uint32_t cand = ls[i] + lt[i];
+    if (cand < best) {
+      best = cand;
+      best_i = i;
+    }
+  }
+  if (best >= kInfDistance) return {};
+  const Vertex r = h.AncestorAt(s, best_i);
+  // s .. r (forward), then r .. t (built backward, reversed in place).
+  std::vector<Vertex> path;
+  path.push_back(s);
+  if (r != s) {
+    UnpackTowardsAncestor(g, h, labels, s, best_i, &path);
+    path.push_back(r);
+  }
+  if (r != t) {
+    std::vector<Vertex> back;
+    UnpackTowardsAncestor(g, h, labels, t, best_i, &back);
+    path.insert(path.end(), back.rbegin(), back.rend());
+    path.push_back(t);
+  }
+  return path;
+}
+
+Weight QueryDistance(const TreeHierarchy& h, const Labelling& labels,
+                     Vertex s, Vertex t) {
+  if (s == t) return 0;
+  const uint32_t k = h.CommonAncestorCount(s, t);
+  const Weight* ls = labels.Data(s);
+  const Weight* lt = labels.Data(t);
+  uint32_t best = kInfDistance + kInfDistance;  // fits in uint32
+  for (uint32_t i = 0; i < k; ++i) {
+    uint32_t cand = ls[i] + lt[i];
+    best = std::min(best, cand);
+  }
+  return best >= kInfDistance ? kInfDistance : best;
+}
+
+}  // namespace stl

@@ -1,0 +1,108 @@
+// Stable Tree Labelling storage, construction and querying
+// (Definitions 4.4–4.6, Lemma 4.7, Equation 3).
+//
+// The label of v is the flat array L(v) = [d_{w1}(v,w1), ..., d_{wk}(v,wk)]
+// over v's ancestors w1 ⪯ ... ⪯ wk (wk = v itself, entry 0). The crucial
+// design of the paper: entry i stores the distance *within the subgraph*
+// G[Desc(w_i)], not the distance in G. Lemma 4.7 shows this still covers
+// every shortest path, and it is what restricts the blast radius of a
+// weight update to the subgraphs containing the updated edge.
+#ifndef STL_CORE_LABELLING_H_
+#define STL_CORE_LABELLING_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/tree_hierarchy.h"
+#include "graph/graph.h"
+#include "util/serialize.h"
+
+namespace stl {
+
+/// Adds two distances, saturating at kInfDistance (so "unreachable"
+/// propagates instead of wrapping).
+inline Weight SaturatingAdd(Weight a, Weight b) {
+  Weight s = a + b;  // both <= kInfDistance, no uint32 overflow
+  return s >= kInfDistance ? kInfDistance : s;
+}
+
+/// Flattened distance labels: one contiguous uint32 block per vertex,
+/// |L(v)| = tau(v) + 1, hub entries of any query contiguous in memory.
+class Labelling {
+ public:
+  Labelling() = default;
+
+  /// Allocates labels shaped by the hierarchy, all entries kInfDistance
+  /// except each vertex's self entry (0).
+  static Labelling AllocateFor(const TreeHierarchy& h);
+
+  uint32_t NumVertices() const {
+    return static_cast<uint32_t>(offset_.empty() ? 0 : offset_.size() - 1);
+  }
+
+  uint32_t LabelSize(Vertex v) const { return offset_[v + 1] - offset_[v]; }
+
+  Weight At(Vertex v, uint32_t i) const {
+    STL_DCHECK(i < LabelSize(v));
+    return entries_[offset_[v] + i];
+  }
+  void Set(Vertex v, uint32_t i, Weight d) {
+    STL_DCHECK(i < LabelSize(v));
+    entries_[offset_[v] + i] = d;
+  }
+
+  /// Raw pointer to L(v) — the query hot path.
+  const Weight* Data(Vertex v) const { return entries_.data() + offset_[v]; }
+  Weight* MutableData(Vertex v) { return entries_.data() + offset_[v]; }
+
+  uint64_t TotalEntries() const { return entries_.size(); }
+  uint64_t MemoryBytes() const {
+    return entries_.capacity() * sizeof(Weight) +
+           offset_.capacity() * sizeof(uint64_t);
+  }
+
+  Status Serialize(BinaryWriter* w) const;
+  Status Deserialize(BinaryReader* r);
+
+  bool operator==(const Labelling& o) const {
+    return offset_ == o.offset_ && entries_ == o.entries_;
+  }
+
+ private:
+  std::vector<uint64_t> offset_;  // size n+1
+  std::vector<Weight> entries_;
+};
+
+/// Builds the STL labels of `g` over hierarchy `h`: for each cut vertex r
+/// (in hierarchy order), a Dijkstra restricted to Desc(r) fills column
+/// tau(r) of every descendant's label (Remark 1). By Lemma 5.3 the
+/// restriction is the test tau(neighbour) > tau(r).
+///
+/// Columns are embarrassingly parallel: distinct cut vertices write
+/// disjoint (vertex, column) cells (equal tau implies disjoint Desc
+/// sets), so num_threads > 1 splits the cut vertices across threads.
+Labelling BuildLabelling(const Graph& g, const TreeHierarchy& h,
+                         int num_threads = 1);
+
+/// Answers a distance query from the labels (Equation 3): scans the first
+/// CommonAncestorCount(s, t) entries of both labels. Returns kInfDistance
+/// if unreachable.
+Weight QueryDistance(const TreeHierarchy& h, const Labelling& labels,
+                     Vertex s, Vertex t);
+
+/// Reconstructs an actual shortest path s .. t (inclusive endpoints):
+/// picks the tight hub r of Equation 3 and unpacks both sides by greedy
+/// descent along label-consistent arcs inside G[Desc(r)]. Returns an
+/// empty vector iff t is unreachable from s. O(|path| * max degree).
+std::vector<Vertex> QueryPath(const Graph& g, const TreeHierarchy& h,
+                              const Labelling& labels, Vertex s, Vertex t);
+
+/// Recomputes the label column of a single ancestor position from scratch
+/// (restricted Dijkstra). Used by tests and by index repair tooling.
+void RebuildColumn(const Graph& g, const TreeHierarchy& h, Vertex r,
+                   Labelling* labels);
+
+}  // namespace stl
+
+#endif  // STL_CORE_LABELLING_H_

@@ -1,0 +1,197 @@
+#include "core/pareto_search.h"
+
+#include <algorithm>
+
+namespace stl {
+
+ParetoSearch::ParetoSearch(Graph* g, const TreeHierarchy& h,
+                           Labelling* labels)
+    : g_(g),
+      h_(h),
+      labels_(labels),
+      level_(g->NumVertices(), 0),
+      level_stamp_(g->NumVertices(), 0),
+      aff_min_(g->NumVertices(), 0),
+      aff_max_(g->NumVertices(), 0),
+      aff_stamp_(g->NumVertices(), 0) {
+  STL_CHECK_EQ(g->NumVertices(), h.NumVertices());
+}
+
+void ParetoSearch::AddAffected(Vertex v, uint32_t i) {
+  if (aff_stamp_[v] != aff_epoch_) {
+    aff_stamp_[v] = aff_epoch_;
+    aff_min_[v] = i;
+    aff_max_[v] = i;
+    aff_list_.push_back(v);
+  } else {
+    aff_min_[v] = std::min(aff_min_[v], i);
+    aff_max_[v] = std::max(aff_max_[v], i);
+  }
+}
+
+void ParetoSearch::ApplyDecrease(EdgeId e, Weight new_weight) {
+  const Edge& edge = g_->GetEdge(e);
+  STL_CHECK(new_weight < edge.w) << "not a decrease";
+  Vertex u = edge.u, v = edge.v;
+  g_->SetEdgeWeight(e, new_weight);
+  // Two searches, one per endpoint (Algorithm 3 lines 2-3).
+  SearchAndRepairDecrease(u, v, new_weight);
+  SearchAndRepairDecrease(v, u, new_weight);
+}
+
+void ParetoSearch::SearchAndRepairDecrease(Vertex root, Vertex start,
+                                           Weight phi) {
+  ResetLevels();
+  queue_.clear();
+  const uint32_t rmin = std::min(h_.Tau(root), h_.Tau(start));
+  const Weight* lroot = labels_->Data(root);
+  queue_.Push(ParetoEntry{phi, 0, rmin, start});
+  while (!queue_.empty()) {
+    ParetoEntry e = queue_.Pop();
+    ++stats_.queue_pops;
+    const Vertex v = e.vertex;
+    uint32_t amax = std::min(e.max_level, h_.Tau(v));
+    uint32_t amin = std::max(e.min_level, LevelOf(v));
+    if (amin > amax) continue;
+    SetLevel(v, amax + 1);
+    // Update labels; the improving positions define the new interval.
+    uint32_t nmin = UINT32_MAX, nmax = 0;
+    Weight* lv = labels_->MutableData(v);
+    for (uint32_t i = amin; i <= amax; ++i) {
+      Weight cand = SaturatingAdd(e.dist, lroot[i]);
+      if (cand < lv[i]) {
+        lv[i] = cand;
+        ++stats_.label_writes;
+        ++stats_.affected_pairs;
+        if (nmin == UINT32_MAX) nmin = i;
+        nmax = i;
+      }
+    }
+    if (nmin == UINT32_MAX) continue;
+    for (const Arc& a : g_->ArcsOf(v)) {
+      Weight nd = SaturatingAdd(e.dist, a.weight);
+      if (nd >= kInfDistance) continue;
+      queue_.Push(ParetoEntry{nd, nmin, nmax, a.head});
+    }
+  }
+}
+
+void ParetoSearch::ApplyIncrease(EdgeId e, Weight new_weight) {
+  const Edge& edge = g_->GetEdge(e);
+  const Weight old_weight = edge.w;
+  STL_CHECK(new_weight > old_weight) << "not an increase";
+  const Weight delta = new_weight - old_weight;
+  Vertex u = edge.u, v = edge.v;
+
+  ++aff_epoch_;
+  aff_list_.clear();
+  bumped_.clear();
+  // Detection against the old weights (Algorithm 4 lines 3-4), with the
+  // updated edge's contribution supplied via the seed distance phi.
+  SearchIncrease(u, v, old_weight, delta);
+  SearchIncrease(v, u, old_weight, delta);
+  g_->SetEdgeWeight(e, new_weight);
+  RepairIncrease();
+}
+
+void ParetoSearch::SearchIncrease(Vertex root, Vertex start, Weight phi,
+                                  Weight delta) {
+  ResetLevels();
+  queue_.clear();
+  const uint32_t rmin = std::min(h_.Tau(root), h_.Tau(start));
+  const Weight* lroot = labels_->Data(root);
+  queue_.Push(ParetoEntry{phi, 0, rmin, start});
+  while (!queue_.empty()) {
+    ParetoEntry e = queue_.Pop();
+    ++stats_.queue_pops;
+    const Vertex v = e.vertex;
+    uint32_t amax = std::min(e.max_level, h_.Tau(v));
+    uint32_t amin = std::max(e.min_level, LevelOf(v));
+    if (amin > amax) continue;
+    SetLevel(v, amax + 1);
+    uint32_t nmin = UINT32_MAX, nmax = 0;
+    Weight* lv = labels_->MutableData(v);
+    for (uint32_t i = amin; i <= amax; ++i) {
+      if (lroot[i] >= kInfDistance) continue;
+      Weight cand = SaturatingAdd(e.dist, lroot[i]);
+      if (cand >= kInfDistance) continue;
+      const bool already = IsBumped(v, i);
+      // Pre-bump reference value: the first search may have bumped this
+      // label; equality is against the old (pre-update) distance.
+      Weight ref = already ? lv[i] - delta : lv[i];
+      if (cand != ref) continue;
+      if (!already) {
+        // Upper-bound bump (Algorithm 4 line 18). Plain addition, not
+        // saturating: lv[i] == cand < kInfDistance here, the sum fits in
+        // 32 bits, and the bump must be exactly recoverable as -delta for
+        // the second search's equality test.
+        lv[i] = lv[i] + delta;
+        MarkBumped(v, i);
+        AddAffected(v, i);
+        ++stats_.label_writes;
+        ++stats_.affected_pairs;
+      }
+      if (nmin == UINT32_MAX) nmin = i;
+      nmax = i;
+    }
+    if (nmin == UINT32_MAX) continue;
+    for (const Arc& a : g_->ArcsOf(v)) {
+      Weight nd = SaturatingAdd(e.dist, a.weight);
+      if (nd >= kInfDistance) continue;
+      queue_.Push(ParetoEntry{nd, nmin, nmax, a.head});
+    }
+  }
+}
+
+void ParetoSearch::RepairIncrease() {
+  if (aff_list_.empty()) return;
+  repair_heap_.clear();
+  auto pack = [](Vertex v, uint32_t i) {
+    return (static_cast<uint64_t>(v) << 32) | i;
+  };
+  // Seed distance bounds from neighbours (Algorithm 5 lines 2-6). The
+  // bumped labels are upper bounds, so a neighbour whose label (correct or
+  // bumped) plus the arc beats L_v[i] witnesses an improvement.
+  for (Vertex v : aff_list_) {
+    const Weight* lv = labels_->Data(v);
+    for (const Arc& a : g_->ArcsOf(v)) {
+      const uint32_t tn = h_.Tau(a.head);
+      const Weight* ln = labels_->Data(a.head);
+      const uint32_t hi = std::min(aff_max_[v], tn);
+      for (uint32_t i = aff_min_[v]; i <= hi; ++i) {
+        Weight cand = SaturatingAdd(ln[i], a.weight);
+        if (cand < lv[i]) repair_heap_.Push(cand, pack(v, i));
+      }
+    }
+  }
+  // Settle in distance order (Algorithm 5 lines 7-12).
+  while (!repair_heap_.empty()) {
+    auto [d, packed] = repair_heap_.Pop();
+    ++stats_.queue_pops;
+    const Vertex v = static_cast<Vertex>(packed >> 32);
+    const uint32_t i = static_cast<uint32_t>(packed & 0xffffffffu);
+    if (d >= labels_->At(v, i)) continue;
+    labels_->Set(v, i, d);
+    ++stats_.label_writes;
+    for (const Arc& a : g_->ArcsOf(v)) {
+      const Vertex n = a.head;
+      if (aff_stamp_[n] != aff_epoch_) continue;  // only affected labels move
+      if (i < aff_min_[n] || i > aff_max_[n]) continue;
+      Weight nd = SaturatingAdd(d, a.weight);
+      if (nd < labels_->At(n, i)) repair_heap_.Push(nd, pack(n, i));
+    }
+  }
+}
+
+void ParetoSearch::ApplyBatch(const UpdateBatch& batch) {
+  for (const WeightUpdate& u : batch) {
+    const Weight current = g_->EdgeWeight(u.edge);
+    if (u.new_weight < current) {
+      ApplyDecrease(u.edge, u.new_weight);
+    } else if (u.new_weight > current) {
+      ApplyIncrease(u.edge, u.new_weight);
+    }
+  }
+}
+
+}  // namespace stl

@@ -1,0 +1,215 @@
+#include "core/tree_hierarchy.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace stl {
+
+TreeHierarchy TreeHierarchy::FromPartitionTree(const Graph& g,
+                                               const PartitionTree& tree) {
+  TreeHierarchy h;
+  const uint32_t num_nodes = static_cast<uint32_t>(tree.nodes.size());
+  STL_CHECK_GT(num_nodes, 0u);
+  h.nodes_.resize(num_nodes);
+  h.node_of_.assign(g.NumVertices(), kNoNode);
+  h.tau_.assign(g.NumVertices(), 0);
+  h.vertex_pool_.reserve(g.NumVertices());
+  h.root_ = tree.root;
+
+  // Preorder walk from the root assigns levels, bitstrings, cumulative
+  // counts, pools. Partition tree nodes are already parent-before-child,
+  // but we walk explicitly to be independent of construction order.
+  struct Item {
+    uint32_t id;
+    uint32_t parent;
+    uint32_t level;
+    uint64_t bits[2];
+    uint32_t cum_before;
+  };
+  std::vector<Item> stack;
+  stack.push_back(Item{tree.root, kNoNode, 0, {0, 0}, 0});
+  while (!stack.empty()) {
+    Item it = stack.back();
+    stack.pop_back();
+    const PartitionTree::Node& src = tree.nodes[it.id];
+    STL_CHECK(!src.vertices.empty()) << "ell must be surjective";
+    STL_CHECK_LT(it.level, kMaxDepth) << "hierarchy too deep for bitstrings";
+
+    Node& dst = h.nodes_[it.id];
+    dst.parent = it.parent;
+    dst.left = src.left;
+    dst.right = src.right;
+    dst.level = it.level;
+    dst.first_vertex = static_cast<uint32_t>(h.vertex_pool_.size());
+    dst.num_vertices = static_cast<uint32_t>(src.vertices.size());
+    dst.cum_vertices = it.cum_before + dst.num_vertices;
+    dst.bits[0] = it.bits[0];
+    dst.bits[1] = it.bits[1];
+    dst.path_offset = static_cast<uint32_t>(h.node_path_pool_.size());
+    // Root path = parent's path + self.
+    if (it.parent == kNoNode) {
+      h.node_path_pool_.push_back(it.id);
+    } else {
+      const Node& p = h.nodes_[it.parent];
+      for (uint32_t l = 0; l <= p.level; ++l) {
+        h.node_path_pool_.push_back(
+            h.node_path_pool_[p.path_offset + l]);
+      }
+      h.node_path_pool_.push_back(it.id);
+    }
+
+    for (uint32_t p = 0; p < dst.num_vertices; ++p) {
+      Vertex v = src.vertices[p];
+      STL_CHECK(h.node_of_[v] == kNoNode) << "vertex in two nodes";
+      h.node_of_[v] = it.id;
+      h.tau_[v] = it.cum_before + p;
+      h.vertex_pool_.push_back(v);
+    }
+
+    h.depth_ = std::max(h.depth_, it.level + 1);
+
+    auto child_bits = [&it](int dir) {
+      uint64_t b[2] = {it.bits[0], it.bits[1]};
+      if (dir == 1) {
+        if (it.level < 64) {
+          b[0] |= (1ULL << it.level);
+        } else {
+          b[1] |= (1ULL << (it.level - 64));
+        }
+      }
+      return std::pair<uint64_t, uint64_t>{b[0], b[1]};
+    };
+    if (src.right != PartitionTree::kNoChild) {
+      auto [b0, b1] = child_bits(1);
+      stack.push_back(
+          Item{src.right, it.id, it.level + 1, {b0, b1}, dst.cum_vertices});
+    }
+    if (src.left != PartitionTree::kNoChild) {
+      auto [b0, b1] = child_bits(0);
+      stack.push_back(
+          Item{src.left, it.id, it.level + 1, {b0, b1}, dst.cum_vertices});
+    }
+  }
+
+  for (Vertex v = 0; v < g.NumVertices(); ++v) {
+    STL_CHECK(h.node_of_[v] != kNoNode) << "vertex not assigned to a node";
+    h.max_label_size_ = std::max(h.max_label_size_, h.tau_[v] + 1);
+    h.total_label_entries_ += h.tau_[v] + 1;
+  }
+  return h;
+}
+
+TreeHierarchy TreeHierarchy::Build(const Graph& g,
+                                   const HierarchyOptions& options) {
+  return FromPartitionTree(g, BuildPartitionTree(g, options));
+}
+
+uint32_t TreeHierarchy::LcaLevel(Vertex s, Vertex t) const {
+  const Node& a = GetNode(NodeOf(s));
+  const Node& b = GetNode(NodeOf(t));
+  uint32_t limit = std::min(a.level, b.level);
+  uint64_t x0 = a.bits[0] ^ b.bits[0];
+  uint64_t x1 = a.bits[1] ^ b.bits[1];
+  uint32_t prefix;
+  if (x0 != 0) {
+    prefix = static_cast<uint32_t>(std::countr_zero(x0));
+  } else if (x1 != 0) {
+    prefix = 64 + static_cast<uint32_t>(std::countr_zero(x1));
+  } else {
+    prefix = kMaxDepth;
+  }
+  return std::min(prefix, limit);
+}
+
+Vertex TreeHierarchy::AncestorAt(Vertex v, uint32_t i) const {
+  STL_CHECK_LE(i, Tau(v));
+  auto path = PathOf(NodeOf(v));
+  // Binary search the first node on the path with cum_vertices > i.
+  uint32_t lo = 0, hi = static_cast<uint32_t>(path.size()) - 1;
+  while (lo < hi) {
+    uint32_t mid = (lo + hi) / 2;
+    if (GetNode(path[mid]).cum_vertices > i) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  const Node& n = GetNode(path[lo]);
+  uint32_t before = n.cum_vertices - n.num_vertices;
+  STL_DCHECK(i >= before && i < n.cum_vertices);
+  return vertex_pool_[n.first_vertex + (i - before)];
+}
+
+uint64_t TreeHierarchy::MemoryBytes() const {
+  return nodes_.capacity() * sizeof(Node) +
+         vertex_pool_.capacity() * sizeof(Vertex) +
+         node_path_pool_.capacity() * sizeof(uint32_t) +
+         node_of_.capacity() * sizeof(uint32_t) +
+         tau_.capacity() * sizeof(uint32_t);
+}
+
+Status TreeHierarchy::Serialize(BinaryWriter* w) const {
+  Status s = w->WriteVector(nodes_);
+  if (s.ok()) s = w->WriteVector(vertex_pool_);
+  if (s.ok()) s = w->WriteVector(node_path_pool_);
+  if (s.ok()) s = w->WriteVector(node_of_);
+  if (s.ok()) s = w->WriteVector(tau_);
+  if (s.ok()) s = w->WritePod(root_);
+  if (s.ok()) s = w->WritePod(depth_);
+  if (s.ok()) s = w->WritePod(max_label_size_);
+  if (s.ok()) s = w->WritePod(total_label_entries_);
+  return s;
+}
+
+Status TreeHierarchy::Deserialize(BinaryReader* r) {
+  Status s = r->ReadVector(&nodes_);
+  if (s.ok()) s = r->ReadVector(&vertex_pool_);
+  if (s.ok()) s = r->ReadVector(&node_path_pool_);
+  if (s.ok()) s = r->ReadVector(&node_of_);
+  if (s.ok()) s = r->ReadVector(&tau_);
+  if (s.ok()) s = r->ReadPod(&root_);
+  if (s.ok()) s = r->ReadPod(&depth_);
+  if (s.ok()) s = r->ReadPod(&max_label_size_);
+  if (s.ok()) s = r->ReadPod(&total_label_entries_);
+  if (!s.ok()) return s;
+  // Cheap structural sanity checks against corrupted files.
+  if (nodes_.empty() || root_ >= nodes_.size()) {
+    return Status::Corruption("hierarchy: bad root");
+  }
+  for (const Node& n : nodes_) {
+    if (n.first_vertex + n.num_vertices > vertex_pool_.size() ||
+        n.num_vertices == 0 ||
+        static_cast<uint64_t>(n.path_offset) + n.level + 1 >
+            node_path_pool_.size()) {
+      return Status::Corruption("hierarchy: node out of bounds");
+    }
+  }
+  for (uint32_t nid : node_of_) {
+    if (nid >= nodes_.size()) {
+      return Status::Corruption("hierarchy: node_of out of bounds");
+    }
+  }
+  return Status::OK();
+}
+
+bool TreeHierarchy::operator==(const TreeHierarchy& o) const {
+  auto node_eq = [](const Node& a, const Node& b) {
+    return a.parent == b.parent && a.left == b.left && a.right == b.right &&
+           a.level == b.level && a.first_vertex == b.first_vertex &&
+           a.num_vertices == b.num_vertices &&
+           a.cum_vertices == b.cum_vertices &&
+           a.path_offset == b.path_offset && a.bits[0] == b.bits[0] &&
+           a.bits[1] == b.bits[1];
+  };
+  if (nodes_.size() != o.nodes_.size()) return false;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (!node_eq(nodes_[i], o.nodes_[i])) return false;
+  }
+  return vertex_pool_ == o.vertex_pool_ &&
+         node_path_pool_ == o.node_path_pool_ && node_of_ == o.node_of_ &&
+         tau_ == o.tau_ && root_ == o.root_ && depth_ == o.depth_ &&
+         max_label_size_ == o.max_label_size_ &&
+         total_label_entries_ == o.total_label_entries_;
+}
+
+}  // namespace stl

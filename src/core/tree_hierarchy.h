@@ -1,0 +1,160 @@
+// Stable tree hierarchy (Definition 4.1): the compact, query-ready form of
+// the partition tree.
+//
+// A stable tree hierarchy is a binary tree T = (N, E, ell) where
+//   * ell : V -> N is total and surjective (every vertex sits in exactly
+//     one node; every node holds at least one vertex),
+//   * children subtrees are balanced (beta-bounded),
+//   * every shortest path between s and t passes through a common
+//     ancestor of ell(s) and ell(t)  (the separator property).
+//
+// The hierarchy induces the vertex partial order `⪯` (Definition 4.3):
+// w ⪯ v iff ell(w) is a strict ancestor of ell(v), or ell(w) = ell(v) and
+// w precedes v in the node's internal order. tau(v) = |{w : w ≺ v}| is
+// the label index (Definition 4.4); the label of v has tau(v)+1 entries.
+//
+// Query machinery: each node carries a 128-bit root-path bitstring
+// (bit d = direction taken at depth d). The level of the lowest common
+// ancestor of two nodes is the length of the common prefix of their
+// bitstrings (computed in O(1) with XOR + count-trailing-zeros), exactly
+// the scheme of HC2L [12] that the paper reuses (Section 4).
+#ifndef STL_CORE_TREE_HIERARCHY_H_
+#define STL_CORE_TREE_HIERARCHY_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "partition/bisection.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace stl {
+
+/// Compact stable tree hierarchy with O(1) LCA-level queries.
+class TreeHierarchy {
+ public:
+  static constexpr uint32_t kNoNode = UINT32_MAX;
+  /// Maximum supported tree depth (bitstring capacity).
+  static constexpr uint32_t kMaxDepth = 128;
+
+  /// One tree node. Trivially copyable (serialized as a POD block).
+  struct Node {
+    uint32_t parent;
+    uint32_t left;
+    uint32_t right;
+    uint32_t level;         // root = 0
+    uint32_t first_vertex;  // offset into the vertex pool
+    uint32_t num_vertices;  // >= 1 (ell is surjective)
+    uint32_t cum_vertices;  // vertices on the root path incl. this node
+    uint32_t path_offset;   // offset into the node-path pool (level+1 ids)
+    uint64_t bits[2];       // root-path bitstring, bit d = turn at depth d
+  };
+
+  TreeHierarchy() = default;
+
+  /// Compacts a partition tree into a hierarchy. Checks depth <= kMaxDepth
+  /// and surjectivity.
+  static TreeHierarchy FromPartitionTree(const Graph& g,
+                                         const PartitionTree& tree);
+
+  /// Builds the hierarchy of `g` directly (bisection + compaction).
+  static TreeHierarchy Build(const Graph& g, const HierarchyOptions& options);
+
+  uint32_t NumNodes() const { return static_cast<uint32_t>(nodes_.size()); }
+  uint32_t NumVertices() const {
+    return static_cast<uint32_t>(node_of_.size());
+  }
+
+  const Node& GetNode(uint32_t id) const {
+    STL_DCHECK(id < nodes_.size());
+    return nodes_[id];
+  }
+  uint32_t root() const { return root_; }
+
+  /// ell(v): the node holding v.
+  uint32_t NodeOf(Vertex v) const {
+    STL_DCHECK(v < node_of_.size());
+    return node_of_[v];
+  }
+
+  /// Label index tau(v) = number of strict predecessors of v under ⪯.
+  uint32_t Tau(Vertex v) const {
+    STL_DCHECK(v < tau_.size());
+    return tau_[v];
+  }
+
+  /// Number of entries in v's label: tau(v) + 1 (self entry included).
+  uint32_t LabelSize(Vertex v) const { return Tau(v) + 1; }
+
+  /// Vertices mapped to node `id`, in the node-internal ⪯t order.
+  std::span<const Vertex> VerticesOf(uint32_t id) const {
+    const Node& n = GetNode(id);
+    return {vertex_pool_.data() + n.first_vertex,
+            vertex_pool_.data() + n.first_vertex + n.num_vertices};
+  }
+
+  /// Root path of node `id`: node ids from the root (index 0) down to
+  /// `id` itself (index level).
+  std::span<const uint32_t> PathOf(uint32_t id) const {
+    const Node& n = GetNode(id);
+    return {node_path_pool_.data() + n.path_offset,
+            node_path_pool_.data() + n.path_offset + n.level + 1};
+  }
+
+  /// Level of the lowest common ancestor of ell(s) and ell(t): the common
+  /// prefix length of their bitstrings. O(1).
+  uint32_t LcaLevel(Vertex s, Vertex t) const;
+
+  /// The LCA node itself.
+  uint32_t LcaNode(Vertex s, Vertex t) const {
+    return PathOf(NodeOf(s))[LcaLevel(s, t)];
+  }
+
+  /// |Anc(s) ∩ Anc(t)|: the number of hub entries a query must scan —
+  /// the closed form min(tau(s)+1, tau(t)+1, cum(LCA node)).
+  uint32_t CommonAncestorCount(Vertex s, Vertex t) const {
+    uint32_t cum = GetNode(LcaNode(s, t)).cum_vertices;
+    uint32_t k = std::min(Tau(s), Tau(t)) + 1;
+    return std::min(k, cum);
+  }
+
+  /// The ancestor vertex at label position `i` of v (i <= tau(v)).
+  /// O(log depth) — used by maintenance diagnostics and tests, never on
+  /// the query fast path.
+  Vertex AncestorAt(Vertex v, uint32_t i) const;
+
+  /// Maximum label size over all vertices: the `h` of Section 6 and the
+  /// "Tree Height" column of Table 4.
+  uint32_t MaxLabelSize() const { return max_label_size_; }
+
+  /// Number of tree levels (max node level + 1).
+  uint32_t Depth() const { return depth_; }
+
+  /// Total label entries sum(tau(v) + 1) — Table 4's "# Label Entries".
+  uint64_t TotalLabelEntries() const { return total_label_entries_; }
+
+  uint64_t MemoryBytes() const;
+
+  Status Serialize(BinaryWriter* w) const;
+  Status Deserialize(BinaryReader* r);
+
+  /// Structural equality (used by serialization tests).
+  bool operator==(const TreeHierarchy& o) const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Vertex> vertex_pool_;      // grouped by node
+  std::vector<uint32_t> node_path_pool_; // concatenated root paths
+  std::vector<uint32_t> node_of_;        // per vertex
+  std::vector<uint32_t> tau_;            // per vertex
+  uint32_t root_ = 0;
+  uint32_t depth_ = 0;
+  uint32_t max_label_size_ = 0;
+  uint64_t total_label_entries_ = 0;
+};
+
+}  // namespace stl
+
+#endif  // STL_CORE_TREE_HIERARCHY_H_

@@ -1,0 +1,152 @@
+#include "graph/dijkstra.h"
+
+#include <algorithm>
+
+namespace stl {
+
+Dijkstra::Dijkstra(const Graph& g)
+    : g_(g),
+      dist_(g.NumVertices(), kInfDistance),
+      stamp_(g.NumVertices(), 0) {}
+
+void Dijkstra::Reset() {
+  ++epoch_;
+  heap_.clear();
+  last_settled_ = 0;
+}
+
+Weight Dijkstra::Run(Vertex s, Vertex t, Weight radius) {
+  Reset();
+  auto get_dist = [&](Vertex v) -> Weight {
+    return stamp_[v] == epoch_ ? dist_[v] : kInfDistance;
+  };
+  auto set_dist = [&](Vertex v, Weight d) {
+    dist_[v] = d;
+    stamp_[v] = epoch_;
+  };
+  set_dist(s, 0);
+  heap_.Push(0, s);
+  while (!heap_.empty()) {
+    auto [d, v] = heap_.Pop();
+    if (d != get_dist(v)) continue;  // stale entry
+    ++last_settled_;
+    if (v == t) return d;
+    if (d > radius) break;
+    for (const Arc& a : g_.ArcsOf(v)) {
+      Weight nd = d + a.weight;
+      if (nd < get_dist(a.head)) {
+        set_dist(a.head, nd);
+        heap_.Push(nd, a.head);
+      }
+    }
+  }
+  return t == UINT32_MAX ? kInfDistance : get_dist(t);
+}
+
+Weight Dijkstra::Distance(Vertex s, Vertex t) {
+  STL_CHECK(s < g_.NumVertices() && t < g_.NumVertices());
+  if (s == t) return 0;
+  return Run(s, t, kInfDistance);
+}
+
+const std::vector<Weight>& Dijkstra::AllDistances(Vertex s) {
+  STL_CHECK(s < g_.NumVertices());
+  Run(s, UINT32_MAX, kInfDistance);
+  // Materialize kInfDistance for unreached vertices of this epoch.
+  for (Vertex v = 0; v < g_.NumVertices(); ++v) {
+    if (stamp_[v] != epoch_) {
+      dist_[v] = kInfDistance;
+      stamp_[v] = epoch_;
+    }
+  }
+  return dist_;
+}
+
+const std::vector<Weight>& Dijkstra::DistancesWithin(Vertex s, Weight radius) {
+  STL_CHECK(s < g_.NumVertices());
+  Run(s, UINT32_MAX, radius);
+  for (Vertex v = 0; v < g_.NumVertices(); ++v) {
+    if (stamp_[v] != epoch_ || dist_[v] > radius) {
+      dist_[v] = kInfDistance;
+      stamp_[v] = epoch_;
+    }
+  }
+  return dist_;
+}
+
+BidirectionalDijkstra::BidirectionalDijkstra(const Graph& g) : g_(g) {
+  for (int side = 0; side < 2; ++side) {
+    dist_[side].assign(g.NumVertices(), kInfDistance);
+    stamp_[side].assign(g.NumVertices(), 0);
+  }
+}
+
+Weight BidirectionalDijkstra::Distance(Vertex s, Vertex t) {
+  STL_CHECK(s < g_.NumVertices() && t < g_.NumVertices());
+  if (s == t) return 0;
+  ++epoch_;
+  heap_[0].clear();
+  heap_[1].clear();
+  last_settled_ = 0;
+  auto get_dist = [&](int side, Vertex v) -> Weight {
+    return stamp_[side][v] == epoch_ ? dist_[side][v] : kInfDistance;
+  };
+  auto set_dist = [&](int side, Vertex v, Weight d) {
+    dist_[side][v] = d;
+    stamp_[side][v] = epoch_;
+  };
+  set_dist(0, s, 0);
+  set_dist(1, t, 0);
+  heap_[0].Push(0, s);
+  heap_[1].Push(0, t);
+  Weight best = kInfDistance;
+  // Alternate sides; stop when the smaller frontier minimum already
+  // exceeds the best meeting distance found.
+  while (!heap_[0].empty() || !heap_[1].empty()) {
+    int side;
+    if (heap_[0].empty()) {
+      side = 1;
+    } else if (heap_[1].empty()) {
+      side = 0;
+    } else {
+      side = heap_[0].Top().key <= heap_[1].Top().key ? 0 : 1;
+    }
+    Weight frontier = heap_[side].Top().key;
+    if (frontier >= best) break;
+    auto [d, v] = heap_[side].Pop();
+    if (d != get_dist(side, v)) continue;
+    ++last_settled_;
+    Weight other = get_dist(1 - side, v);
+    if (other != kInfDistance) best = std::min(best, d + other);
+    for (const Arc& a : g_.ArcsOf(v)) {
+      Weight nd = d + a.weight;
+      if (nd < get_dist(side, a.head)) {
+        set_dist(side, a.head, nd);
+        heap_[side].Push(nd, a.head);
+      }
+    }
+  }
+  return best;
+}
+
+std::vector<std::vector<Weight>> FloydWarshallAllPairs(const Graph& g) {
+  const uint32_t n = g.NumVertices();
+  std::vector<std::vector<Weight>> d(n, std::vector<Weight>(n, kInfDistance));
+  for (Vertex v = 0; v < n; ++v) d[v][v] = 0;
+  for (const Edge& e : g.edges()) {
+    d[e.u][e.v] = std::min(d[e.u][e.v], e.w);
+    d[e.v][e.u] = std::min(d[e.v][e.u], e.w);
+  }
+  for (uint32_t k = 0; k < n; ++k) {
+    for (uint32_t i = 0; i < n; ++i) {
+      if (d[i][k] == kInfDistance) continue;
+      for (uint32_t j = 0; j < n; ++j) {
+        Weight via = d[i][k] + d[k][j];
+        if (d[k][j] != kInfDistance && via < d[i][j]) d[i][j] = via;
+      }
+    }
+  }
+  return d;
+}
+
+}  // namespace stl

@@ -1,0 +1,73 @@
+// Reference shortest-path oracles: plain Dijkstra, bidirectional Dijkstra,
+// and a Floyd–Warshall all-pairs oracle for small test graphs. These are
+// the baselines every index is validated against, and the "classical
+// approach" the paper's introduction contrasts with.
+#ifndef STL_GRAPH_DIJKSTRA_H_
+#define STL_GRAPH_DIJKSTRA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/min_heap.h"
+
+namespace stl {
+
+/// Reusable single-source Dijkstra. Buffers are epoch-stamped so repeated
+/// calls on the same graph do no O(n) clearing.
+class Dijkstra {
+ public:
+  explicit Dijkstra(const Graph& g);
+
+  /// Distance s -> t with early termination, kInfDistance if unreachable.
+  Weight Distance(Vertex s, Vertex t);
+
+  /// Distances from s to every vertex (kInfDistance where unreachable).
+  /// The returned reference is valid until the next call.
+  const std::vector<Weight>& AllDistances(Vertex s);
+
+  /// Distances from s to all vertices at distance <= radius; vertices
+  /// farther away keep kInfDistance.
+  const std::vector<Weight>& DistancesWithin(Vertex s, Weight radius);
+
+  /// Number of heap pops in the last call (search-space metric).
+  uint64_t last_settled() const { return last_settled_; }
+
+ private:
+  void Reset();
+  Weight Run(Vertex s, Vertex t, Weight radius);
+
+  const Graph& g_;
+  std::vector<Weight> dist_;
+  std::vector<uint32_t> stamp_;
+  uint32_t epoch_ = 0;
+  MinHeap<Weight, Vertex> heap_;
+  uint64_t last_settled_ = 0;
+};
+
+/// Bidirectional Dijkstra point-to-point oracle.
+class BidirectionalDijkstra {
+ public:
+  explicit BidirectionalDijkstra(const Graph& g);
+
+  /// Distance s -> t, kInfDistance if unreachable.
+  Weight Distance(Vertex s, Vertex t);
+
+  uint64_t last_settled() const { return last_settled_; }
+
+ private:
+  const Graph& g_;
+  std::vector<Weight> dist_[2];
+  std::vector<uint32_t> stamp_[2];
+  uint32_t epoch_ = 0;
+  MinHeap<Weight, Vertex> heap_[2];
+  uint64_t last_settled_ = 0;
+};
+
+/// All-pairs distances by Floyd–Warshall. O(n^3); test oracle for graphs
+/// with at most a few hundred vertices.
+std::vector<std::vector<Weight>> FloydWarshallAllPairs(const Graph& g);
+
+}  // namespace stl
+
+#endif  // STL_GRAPH_DIJKSTRA_H_

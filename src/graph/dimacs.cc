@@ -1,0 +1,130 @@
+#include "graph/dimacs.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace stl {
+
+namespace {
+
+Result<Graph> ParseDimacsStream(std::istream& in) {
+  std::string line;
+  uint64_t declared_vertices = 0;
+  uint64_t declared_arcs = 0;
+  bool saw_problem = false;
+  // Undirected dedupe: (min,max) endpoint key -> min weight.
+  std::map<uint64_t, Weight> edge_map;
+  uint64_t arc_count = 0;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    char tag = line[0];
+    if (tag == 'c') continue;  // comment
+    if (tag == 'p') {
+      char kind[16] = {0};
+      unsigned long long nv = 0, na = 0;
+      if (std::sscanf(line.c_str(), "p %15s %llu %llu", kind, &nv, &na) != 3 ||
+          std::strcmp(kind, "sp") != 0) {
+        return Status::Corruption("bad problem line at line " +
+                                  std::to_string(line_no));
+      }
+      if (saw_problem) {
+        return Status::Corruption("duplicate problem line");
+      }
+      saw_problem = true;
+      declared_vertices = nv;
+      declared_arcs = na;
+      continue;
+    }
+    if (tag == 'a') {
+      if (!saw_problem) {
+        return Status::Corruption("arc line before problem line");
+      }
+      unsigned long long u = 0, v = 0, w = 0;
+      if (std::sscanf(line.c_str(), "a %llu %llu %llu", &u, &v, &w) != 3) {
+        return Status::Corruption("bad arc line at line " +
+                                  std::to_string(line_no));
+      }
+      if (u == 0 || v == 0 || u > declared_vertices ||
+          v > declared_vertices) {
+        return Status::Corruption("arc endpoint out of range at line " +
+                                  std::to_string(line_no));
+      }
+      ++arc_count;  // self-loops count toward the declared arc total
+      if (u == v) continue;  // ...but are dropped from the graph
+      if (w == 0 || w > kMaxEdgeWeight) {
+        return Status::Corruption("arc weight out of range at line " +
+                                  std::to_string(line_no));
+      }
+      uint32_t a = static_cast<uint32_t>(std::min(u, v)) - 1;
+      uint32_t b = static_cast<uint32_t>(std::max(u, v)) - 1;
+      uint64_t key = (static_cast<uint64_t>(a) << 32) | b;
+      auto [it, inserted] = edge_map.try_emplace(key, static_cast<Weight>(w));
+      if (!inserted) it->second = std::min(it->second, static_cast<Weight>(w));
+      continue;
+    }
+    return Status::Corruption("unknown line tag '" + std::string(1, tag) +
+                              "' at line " + std::to_string(line_no));
+  }
+  if (!saw_problem) return Status::Corruption("missing problem line");
+  if (declared_arcs != 0 && arc_count != declared_arcs) {
+    return Status::Corruption("arc count mismatch: declared " +
+                              std::to_string(declared_arcs) + ", found " +
+                              std::to_string(arc_count));
+  }
+  std::vector<Edge> edges;
+  edges.reserve(edge_map.size());
+  for (const auto& [key, w] : edge_map) {
+    edges.push_back(Edge{static_cast<Vertex>(key >> 32),
+                         static_cast<Vertex>(key & 0xffffffffu), w});
+  }
+  return Graph::FromEdges(static_cast<uint32_t>(declared_vertices),
+                          std::move(edges));
+}
+
+}  // namespace
+
+Result<Graph> ReadDimacs(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  return ParseDimacsStream(in);
+}
+
+Result<Graph> ParseDimacs(const std::string& text) {
+  std::istringstream in(text);
+  return ParseDimacsStream(in);
+}
+
+std::string DimacsToString(const Graph& g, const std::string& comment) {
+  std::string out;
+  if (!comment.empty()) {
+    out += "c " + comment + "\n";
+  }
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "p sp %u %u\n", g.NumVertices(),
+                2 * g.NumEdges());
+  out += buf;
+  for (const Edge& e : g.edges()) {
+    std::snprintf(buf, sizeof(buf), "a %u %u %u\na %u %u %u\n", e.u + 1,
+                  e.v + 1, e.w, e.v + 1, e.u + 1, e.w);
+    out += buf;
+  }
+  return out;
+}
+
+Status WriteDimacs(const Graph& g, const std::string& path,
+                   const std::string& comment) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out << DimacsToString(g, comment);
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace stl

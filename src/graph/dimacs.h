@@ -1,0 +1,37 @@
+// Reader/writer for the 9th DIMACS Implementation Challenge shortest-path
+// graph format (.gr): the format of the paper's road-network datasets.
+//
+//   c <comment>
+//   p sp <num_vertices> <num_arcs>
+//   a <u> <v> <weight>        (1-based vertex ids)
+//
+// DIMACS files list both directions of each undirected road segment; the
+// reader collapses them to single undirected edges, keeping the minimum
+// weight if the two directions disagree (rare, but present in the USA
+// data). The writer emits both directions, so write+read round-trips.
+#ifndef STL_GRAPH_DIMACS_H_
+#define STL_GRAPH_DIMACS_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace stl {
+
+/// Parses a DIMACS .gr file into a Graph.
+Result<Graph> ReadDimacs(const std::string& path);
+
+/// Parses DIMACS-format text (for tests and in-memory use).
+Result<Graph> ParseDimacs(const std::string& text);
+
+/// Writes `g` in DIMACS .gr format (both directions per edge).
+Status WriteDimacs(const Graph& g, const std::string& path,
+                   const std::string& comment = "");
+
+/// Renders `g` as DIMACS-format text.
+std::string DimacsToString(const Graph& g, const std::string& comment = "");
+
+}  // namespace stl
+
+#endif  // STL_GRAPH_DIMACS_H_

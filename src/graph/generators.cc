@@ -1,0 +1,158 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace stl {
+
+namespace {
+
+/// Road class of the grid line a vertex sits on. Highways beat arterials.
+enum class RoadClass { kLocal, kArterial, kHighway };
+
+RoadClass LineClass(uint32_t index, const RoadNetworkOptions& opt) {
+  if (opt.highway_every != 0 && index % opt.highway_every == 0) {
+    return RoadClass::kHighway;
+  }
+  if (opt.arterial_every != 0 && index % opt.arterial_every == 0) {
+    return RoadClass::kArterial;
+  }
+  return RoadClass::kLocal;
+}
+
+Weight ClassWeight(RoadClass cls, Weight base) {
+  switch (cls) {
+    case RoadClass::kHighway:
+      return std::max<Weight>(1, base / 6);
+    case RoadClass::kArterial:
+      return std::max<Weight>(1, base / 2);
+    case RoadClass::kLocal:
+      return base;
+  }
+  return base;
+}
+
+}  // namespace
+
+Graph GenerateRoadNetwork(const RoadNetworkOptions& options) {
+  STL_CHECK(options.width >= 2 && options.height >= 2);
+  STL_CHECK(options.local_min_weight >= 1 &&
+            options.local_min_weight <= options.local_max_weight);
+  Rng rng(options.seed);
+  const uint32_t w = options.width;
+  const uint32_t h = options.height;
+  auto id = [w](uint32_t x, uint32_t y) { return y * w + x; };
+  auto base_weight = [&]() -> Weight {
+    return static_cast<Weight>(rng.NextInRange(options.local_min_weight,
+                                               options.local_max_weight));
+  };
+
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(w) * h * 2);
+  // Horizontal edges travel along row y; vertical edges along column x.
+  for (uint32_t y = 0; y < h; ++y) {
+    RoadClass row_cls = LineClass(y, options);
+    for (uint32_t x = 0; x + 1 < w; ++x) {
+      if (rng.NextDouble() >= options.edge_keep_prob) continue;
+      edges.push_back(
+          Edge{id(x, y), id(x + 1, y), ClassWeight(row_cls, base_weight())});
+    }
+  }
+  for (uint32_t x = 0; x < w; ++x) {
+    RoadClass col_cls = LineClass(x, options);
+    for (uint32_t y = 0; y + 1 < h; ++y) {
+      if (rng.NextDouble() >= options.edge_keep_prob) continue;
+      edges.push_back(
+          Edge{id(x, y), id(x, y + 1), ClassWeight(col_cls, base_weight())});
+    }
+  }
+  // Chords: short diagonals connecting (x, y) to (x+1, y+1) or (x+1, y-1).
+  std::vector<uint64_t> present;
+  present.reserve(edges.size());
+  for (const Edge& e : edges) {
+    Vertex a = std::min(e.u, e.v), b = std::max(e.u, e.v);
+    present.push_back((static_cast<uint64_t>(a) << 32) | b);
+  }
+  std::sort(present.begin(), present.end());
+  auto has_edge = [&present](Vertex a, Vertex b) {
+    if (a > b) std::swap(a, b);
+    uint64_t key = (static_cast<uint64_t>(a) << 32) | b;
+    return std::binary_search(present.begin(), present.end(), key);
+  };
+  for (uint32_t y = 0; y + 1 < h; ++y) {
+    for (uint32_t x = 0; x + 1 < w; ++x) {
+      if (rng.NextDouble() >= options.chord_prob) continue;
+      bool down = rng.NextBounded(2) == 0;
+      Vertex a = id(x, y + (down ? 0 : 1));
+      Vertex b = id(x + 1, y + (down ? 1 : 0));
+      if (!has_edge(a, b)) {
+        // Diagonals are longer local streets: ~1.4x base.
+        Weight bw = base_weight();
+        edges.push_back(Edge{a, b, bw + bw / 2});
+      }
+    }
+  }
+  Result<Graph> full = Graph::FromEdges(w * h, std::move(edges));
+  STL_CHECK(full.ok()) << full.status().ToString();
+  auto [largest, remap] = ExtractLargestComponent(full.value());
+  (void)remap;
+  return std::move(largest);
+}
+
+Graph GenerateRandomConnectedGraph(uint32_t num_vertices,
+                                   uint32_t extra_edges, Weight min_w,
+                                   Weight max_w, uint64_t seed) {
+  STL_CHECK(num_vertices >= 1);
+  STL_CHECK(min_w >= 1 && min_w <= max_w);
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  std::vector<uint64_t> present;
+  auto weight = [&]() -> Weight {
+    return static_cast<Weight>(rng.NextInRange(min_w, max_w));
+  };
+  auto add_edge = [&](Vertex a, Vertex b) {
+    if (a > b) std::swap(a, b);
+    uint64_t key = (static_cast<uint64_t>(a) << 32) | b;
+    if (std::find(present.begin(), present.end(), key) != present.end()) {
+      return false;
+    }
+    present.push_back(key);
+    edges.push_back(Edge{a, b, weight()});
+    return true;
+  };
+  // Random spanning tree: attach vertex i to a uniformly random earlier
+  // vertex (random recursive tree — long and thin enough to be interesting).
+  for (Vertex v = 1; v < num_vertices; ++v) {
+    add_edge(v, static_cast<Vertex>(rng.NextBounded(v)));
+  }
+  uint32_t attempts = 0;
+  uint32_t added = 0;
+  const uint64_t max_possible =
+      static_cast<uint64_t>(num_vertices) * (num_vertices - 1) / 2;
+  while (added < extra_edges && attempts < 20 * extra_edges + 100 &&
+         edges.size() < max_possible) {
+    ++attempts;
+    Vertex a = static_cast<Vertex>(rng.NextBounded(num_vertices));
+    Vertex b = static_cast<Vertex>(rng.NextBounded(num_vertices));
+    if (a == b) continue;
+    if (add_edge(a, b)) ++added;
+  }
+  Result<Graph> g = Graph::FromEdges(num_vertices, std::move(edges));
+  STL_CHECK(g.ok()) << g.status().ToString();
+  return std::move(g).value();
+}
+
+Graph GeneratePath(uint32_t num_vertices, Weight weight) {
+  STL_CHECK(num_vertices >= 1);
+  std::vector<Edge> edges;
+  for (Vertex v = 0; v + 1 < num_vertices; ++v) {
+    edges.push_back(Edge{v, v + 1, weight});
+  }
+  Result<Graph> g = Graph::FromEdges(num_vertices, std::move(edges));
+  STL_CHECK(g.ok()) << g.status().ToString();
+  return std::move(g).value();
+}
+
+}  // namespace stl

@@ -1,0 +1,59 @@
+// Synthetic road-network generators.
+//
+// The paper evaluates on DIMACS USA road networks and the PTV Western
+// Europe network, which are not redistributable here. These generators
+// produce deterministic stand-ins with the structural properties that
+// drive every trend in the paper: planar-like topology, degree <= 6,
+// small balanced separators (~sqrt(n)), and a road-class weight hierarchy
+// (local streets, arterials, highways) so shortest paths concentrate on a
+// sparse backbone, as in real travel-time networks.
+#ifndef STL_GRAPH_GENERATORS_H_
+#define STL_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace stl {
+
+/// Options for the grid-based road network generator.
+struct RoadNetworkOptions {
+  /// Grid dimensions before edge deletion; final vertex count is the
+  /// largest connected component (usually > 97% of width * height).
+  uint32_t width = 64;
+  uint32_t height = 64;
+  /// Probability that each grid edge is kept (roads have dead ends and
+  /// irregular blocks; deletion also desynchronizes separator structure).
+  double edge_keep_prob = 0.93;
+  /// Fraction of vertices that get one extra chord to a nearby vertex
+  /// (overpasses / diagonal streets); keeps the graph from being exactly
+  /// bipartite-grid regular.
+  double chord_prob = 0.03;
+  /// Every arterial_every-th row/column is an arterial (faster), and
+  /// every highway_every-th an even faster highway.
+  uint32_t arterial_every = 5;
+  uint32_t highway_every = 16;
+  /// Base travel-time weight range for local streets (uniform).
+  Weight local_min_weight = 600;
+  Weight local_max_weight = 1800;
+  uint64_t seed = 42;
+};
+
+/// Generates a road-like network; the result is connected (largest
+/// component, renumbered) and deterministic in the options + seed.
+Graph GenerateRoadNetwork(const RoadNetworkOptions& options);
+
+/// Uniform random connected graph: a random spanning tree plus
+/// `extra_edges` random chords, weights uniform in [min_w, max_w].
+/// Not road-like; used by tests to exercise non-planar corner cases.
+Graph GenerateRandomConnectedGraph(uint32_t num_vertices,
+                                   uint32_t extra_edges, Weight min_w,
+                                   Weight max_w, uint64_t seed);
+
+/// A path graph 0-1-...-(n-1) with the given uniform weight; the simplest
+/// hierarchy corner case (cuts of size 1 everywhere).
+Graph GeneratePath(uint32_t num_vertices, Weight weight);
+
+}  // namespace stl
+
+#endif  // STL_GRAPH_GENERATORS_H_

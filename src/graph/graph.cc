@@ -1,0 +1,167 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+
+namespace stl {
+
+Result<Graph> Graph::FromEdges(uint32_t num_vertices,
+                               std::vector<Edge> edges) {
+  for (size_t i = 0; i < edges.size(); ++i) {
+    const Edge& e = edges[i];
+    if (e.u >= num_vertices || e.v >= num_vertices) {
+      return Status::InvalidArgument("edge " + std::to_string(i) +
+                                     " endpoint out of range");
+    }
+    if (e.u == e.v) {
+      return Status::InvalidArgument("edge " + std::to_string(i) +
+                                     " is a self-loop");
+    }
+    if (e.w == 0 || e.w > kMaxEdgeWeight) {
+      return Status::InvalidArgument("edge " + std::to_string(i) +
+                                     " has invalid weight " +
+                                     std::to_string(e.w));
+    }
+  }
+  // Detect duplicates via a sorted copy of normalized endpoint pairs.
+  {
+    std::vector<uint64_t> keys;
+    keys.reserve(edges.size());
+    for (const Edge& e : edges) {
+      Vertex a = std::min(e.u, e.v), b = std::max(e.u, e.v);
+      keys.push_back((static_cast<uint64_t>(a) << 32) | b);
+    }
+    std::sort(keys.begin(), keys.end());
+    if (std::adjacent_find(keys.begin(), keys.end()) != keys.end()) {
+      return Status::InvalidArgument("duplicate edge in edge list");
+    }
+  }
+
+  Graph g;
+  g.num_vertices_ = num_vertices;
+  g.edges_ = std::move(edges);
+  g.adj_offset_.assign(num_vertices + 1, 0);
+  for (const Edge& e : g.edges_) {
+    ++g.adj_offset_[e.u + 1];
+    ++g.adj_offset_[e.v + 1];
+  }
+  std::partial_sum(g.adj_offset_.begin(), g.adj_offset_.end(),
+                   g.adj_offset_.begin());
+  g.arcs_.resize(2 * g.edges_.size());
+  g.arc_pos_.resize(2 * g.edges_.size());
+  std::vector<uint32_t> cursor(g.adj_offset_.begin(),
+                               g.adj_offset_.end() - 1);
+  for (EdgeId id = 0; id < g.edges_.size(); ++id) {
+    const Edge& e = g.edges_[id];
+    uint32_t pu = cursor[e.u]++;
+    uint32_t pv = cursor[e.v]++;
+    g.arcs_[pu] = Arc{e.v, e.w, id};
+    g.arcs_[pv] = Arc{e.u, e.w, id};
+    g.arc_pos_[2 * id] = pu;
+    g.arc_pos_[2 * id + 1] = pv;
+  }
+  // Sort each adjacency list by head for deterministic iteration and
+  // binary-searchable FindEdge; fix up arc_pos_ afterwards.
+  for (Vertex v = 0; v < num_vertices; ++v) {
+    std::sort(g.arcs_.begin() + g.adj_offset_[v],
+              g.arcs_.begin() + g.adj_offset_[v + 1],
+              [](const Arc& a, const Arc& b) {
+                if (a.head != b.head) return a.head < b.head;
+                return a.edge < b.edge;
+              });
+  }
+  for (uint32_t pos = 0; pos < g.arcs_.size(); ++pos) {
+    const Arc& a = g.arcs_[pos];
+    // Each edge has exactly two arcs; assign this position to the slot
+    // whose tail matches.
+    const Edge& e = g.edges_[a.edge];
+    Vertex tail = (a.head == e.v) ? e.u : e.v;
+    g.arc_pos_[2 * a.edge + (tail == e.u ? 0 : 1)] = pos;
+  }
+  return g;
+}
+
+void Graph::SetEdgeWeight(EdgeId id, Weight w) {
+  STL_CHECK(id < edges_.size());
+  STL_CHECK(w > 0 && w <= kMaxEdgeWeight)
+      << "weight " << w << " out of range";
+  edges_[id].w = w;
+  arcs_[arc_pos_[2 * id]].weight = w;
+  arcs_[arc_pos_[2 * id + 1]].weight = w;
+}
+
+std::optional<EdgeId> Graph::FindEdge(Vertex u, Vertex v) const {
+  if (u >= num_vertices_ || v >= num_vertices_ || u == v) return std::nullopt;
+  if (Degree(u) > Degree(v)) std::swap(u, v);
+  auto arcs = ArcsOf(u);
+  auto it = std::lower_bound(
+      arcs.begin(), arcs.end(), v,
+      [](const Arc& a, Vertex head) { return a.head < head; });
+  if (it != arcs.end() && it->head == v) return it->edge;
+  return std::nullopt;
+}
+
+uint64_t Graph::MemoryBytes() const {
+  return edges_.capacity() * sizeof(Edge) +
+         adj_offset_.capacity() * sizeof(uint32_t) +
+         arcs_.capacity() * sizeof(Arc) +
+         arc_pos_.capacity() * sizeof(uint32_t);
+}
+
+std::pair<std::vector<uint32_t>, uint32_t> ConnectedComponents(
+    const Graph& g) {
+  const uint32_t n = g.NumVertices();
+  std::vector<uint32_t> comp(n, UINT32_MAX);
+  std::vector<Vertex> stack;
+  uint32_t num_comps = 0;
+  for (Vertex s = 0; s < n; ++s) {
+    if (comp[s] != UINT32_MAX) continue;
+    comp[s] = num_comps;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      Vertex v = stack.back();
+      stack.pop_back();
+      for (const Arc& a : g.ArcsOf(v)) {
+        if (comp[a.head] == UINT32_MAX) {
+          comp[a.head] = num_comps;
+          stack.push_back(a.head);
+        }
+      }
+    }
+    ++num_comps;
+  }
+  return {std::move(comp), num_comps};
+}
+
+bool IsConnected(const Graph& g) {
+  if (g.NumVertices() == 0) return true;
+  return ConnectedComponents(g).second == 1;
+}
+
+std::pair<Graph, std::vector<uint32_t>> ExtractLargestComponent(
+    const Graph& g) {
+  auto [comp, num_comps] = ConnectedComponents(g);
+  const uint32_t n = g.NumVertices();
+  std::vector<uint32_t> size(num_comps, 0);
+  for (Vertex v = 0; v < n; ++v) ++size[comp[v]];
+  uint32_t best =
+      static_cast<uint32_t>(std::max_element(size.begin(), size.end()) -
+                            size.begin());
+  std::vector<uint32_t> remap(n, UINT32_MAX);
+  uint32_t next = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    if (comp[v] == best) remap[v] = next++;
+  }
+  std::vector<Edge> edges;
+  for (const Edge& e : g.edges()) {
+    if (remap[e.u] != UINT32_MAX && remap[e.v] != UINT32_MAX) {
+      edges.push_back(Edge{remap[e.u], remap[e.v], e.w});
+    }
+  }
+  Result<Graph> sub = Graph::FromEdges(next, std::move(edges));
+  STL_CHECK(sub.ok()) << sub.status().ToString();
+  return {std::move(sub).value(), std::move(remap)};
+}
+
+}  // namespace stl

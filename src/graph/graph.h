@@ -1,0 +1,122 @@
+// Core road-network representation: an undirected weighted graph with
+// immutable topology (CSR adjacency) and mutable edge weights.
+//
+// Dynamic road networks change weights all the time but almost never change
+// structure (paper, Section 8), so the representation is optimized for
+// O(1) weight updates and cache-friendly neighbour scans. Each undirected
+// edge has one EdgeId; its weight is stored once in the edge table and
+// mirrored into both CSR arcs so Dijkstra inner loops avoid indirection.
+#ifndef STL_GRAPH_GRAPH_H_
+#define STL_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace stl {
+
+using Vertex = uint32_t;
+using EdgeId = uint32_t;
+using Weight = uint32_t;
+
+/// Distances saturate at kInfDistance; two valid distances can be added
+/// without overflowing uint32_t (2 * 0x3fffffff < 2^32).
+inline constexpr Weight kInfDistance = 0x3fffffff;
+
+/// Largest edge weight accepted by Graph::FromEdges. Keeps path weights on
+/// benchmark-sized networks far below kInfDistance.
+inline constexpr Weight kMaxEdgeWeight = 1u << 24;
+
+/// One undirected edge (endpoints + current weight).
+struct Edge {
+  Vertex u;
+  Vertex v;
+  Weight w;
+};
+
+/// One directed arc in the CSR adjacency. `weight` mirrors the edge table
+/// and is kept in sync by Graph::SetEdgeWeight.
+struct Arc {
+  Vertex head;
+  Weight weight;
+  EdgeId edge;
+};
+
+/// Undirected weighted graph with fixed topology and mutable weights.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds a graph with `num_vertices` vertices from an edge list.
+  /// Rejects self-loops, endpoints out of range, zero/oversized weights,
+  /// and duplicate edges (parallel edges are meaningless for distance
+  /// queries; callers dedupe keeping the minimum weight).
+  static Result<Graph> FromEdges(uint32_t num_vertices,
+                                 std::vector<Edge> edges);
+
+  uint32_t NumVertices() const { return num_vertices_; }
+  uint32_t NumEdges() const { return static_cast<uint32_t>(edges_.size()); }
+
+  /// All arcs leaving `v`, sorted by head vertex.
+  std::span<const Arc> ArcsOf(Vertex v) const {
+    STL_DCHECK(v < num_vertices_);
+    return {arcs_.data() + adj_offset_[v],
+            arcs_.data() + adj_offset_[v + 1]};
+  }
+
+  uint32_t Degree(Vertex v) const {
+    STL_DCHECK(v < num_vertices_);
+    return adj_offset_[v + 1] - adj_offset_[v];
+  }
+
+  const Edge& GetEdge(EdgeId id) const {
+    STL_DCHECK(id < edges_.size());
+    return edges_[id];
+  }
+
+  Weight EdgeWeight(EdgeId id) const { return GetEdge(id).w; }
+
+  /// Sets the weight of edge `id` (both directions). O(1).
+  void SetEdgeWeight(EdgeId id, Weight w);
+
+  /// Finds the edge between u and v, if any. O(log deg).
+  std::optional<EdgeId> FindEdge(Vertex u, Vertex v) const;
+
+  /// All edges (id = index).
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Estimated resident memory of the structure in bytes.
+  uint64_t MemoryBytes() const;
+
+ private:
+  uint32_t num_vertices_ = 0;
+  std::vector<Edge> edges_;
+  std::vector<uint32_t> adj_offset_;  // size num_vertices_ + 1
+  std::vector<Arc> arcs_;             // size 2 * edges_.size()
+  // arc_pos_[2*e], arc_pos_[2*e+1]: indices into arcs_ for edge e's two
+  // directions, so SetEdgeWeight can refresh the mirrored weights.
+  std::vector<uint32_t> arc_pos_;
+};
+
+/// Labels connected components; returns component id per vertex and the
+/// number of components.
+std::pair<std::vector<uint32_t>, uint32_t> ConnectedComponents(
+    const Graph& g);
+
+/// True iff the graph is connected (the empty graph is connected).
+bool IsConnected(const Graph& g);
+
+/// Extracts the largest connected component as a new graph with vertices
+/// renumbered [0, k). Returns the new graph and the old->new vertex map
+/// (UINT32_MAX for dropped vertices).
+std::pair<Graph, std::vector<uint32_t>> ExtractLargestComponent(
+    const Graph& g);
+
+}  // namespace stl
+
+#endif  // STL_GRAPH_GRAPH_H_

@@ -1,0 +1,121 @@
+#include "partition/bisection.h"
+
+#include <algorithm>
+
+#include "partition/separator.h"
+#include "util/logging.h"
+
+namespace stl {
+
+namespace {
+
+/// Recursive builder; regions move down the recursion, so peak memory is
+/// one root-to-leaf path (a geometric series, ~5n vertices at beta = 0.2).
+class Bisector {
+ public:
+  Bisector(const Graph& g, const HierarchyOptions& options)
+      : options_(options), finder_(g, options.seed) {}
+
+  PartitionTree Build(std::vector<Vertex> all) {
+    if (!all.empty()) {
+      tree_.root = Recurse(std::move(all), PartitionTree::kNoChild);
+    }
+    return std::move(tree_);
+  }
+
+ private:
+  uint32_t NewNode(uint32_t parent, std::vector<Vertex> vertices) {
+    std::sort(vertices.begin(), vertices.end());
+    uint32_t id = static_cast<uint32_t>(tree_.nodes.size());
+    tree_.nodes.emplace_back();
+    tree_.nodes.back().parent = parent;
+    tree_.nodes.back().vertices = std::move(vertices);
+    return id;
+  }
+
+  uint32_t Recurse(std::vector<Vertex> region, uint32_t parent) {
+    if (region.size() <= options_.leaf_size) {
+      return NewNode(parent, std::move(region));
+    }
+
+    std::vector<Vertex> separator, left, right;
+    auto comps = finder_.RegionComponents(region);
+    if (comps.size() == 1) {
+      SeparatorResult res = finder_.Find(region, options_.num_starts);
+      separator = std::move(res.separator);
+      left = std::move(res.left);
+      right = std::move(res.right);
+    } else {
+      // Disconnected region. If one component dominates, split it with a
+      // separator and pack the remaining components onto the smaller side;
+      // otherwise pack components into two halves and promote one vertex
+      // to keep the ell mapping surjective (the node must be non-empty).
+      std::sort(comps.begin(), comps.end(),
+                [](const auto& a, const auto& b) {
+                  if (a.size() != b.size()) return a.size() > b.size();
+                  return a.front() < b.front();
+                });
+      double limit = (1.0 - options_.beta) * static_cast<double>(region.size());
+      if (static_cast<double>(comps[0].size()) > limit &&
+          comps[0].size() > options_.leaf_size) {
+        SeparatorResult res = finder_.Find(comps[0], options_.num_starts);
+        separator = std::move(res.separator);
+        left = std::move(res.left);
+        right = std::move(res.right);
+        for (size_t i = 1; i < comps.size(); ++i) {
+          auto& side = left.size() <= right.size() ? left : right;
+          side.insert(side.end(), comps[i].begin(), comps[i].end());
+        }
+      } else {
+        for (auto& comp : comps) {
+          auto& side = left.size() <= right.size() ? left : right;
+          side.insert(side.end(), comp.begin(), comp.end());
+        }
+        auto& bigger = left.size() >= right.size() ? left : right;
+        separator.push_back(bigger.back());
+        bigger.pop_back();
+      }
+    }
+
+    if (separator.empty() || (left.empty() && right.empty())) {
+      // Degenerate split; close off as a leaf.
+      return NewNode(parent, std::move(region));
+    }
+    region.clear();
+    region.shrink_to_fit();
+
+    uint32_t id = NewNode(parent, std::move(separator));
+    if (!left.empty()) {
+      uint32_t child = Recurse(std::move(left), id);
+      tree_.nodes[id].left = child;
+    }
+    if (!right.empty()) {
+      uint32_t child = Recurse(std::move(right), id);
+      tree_.nodes[id].right = child;
+    }
+    return id;
+  }
+
+  const HierarchyOptions& options_;
+  SeparatorFinder finder_;
+  PartitionTree tree_;
+};
+
+}  // namespace
+
+PartitionTree BuildPartitionTree(const Graph& g,
+                                 const HierarchyOptions& options) {
+  STL_CHECK(options.beta > 0.0 && options.beta <= 0.5);
+  STL_CHECK_GE(options.leaf_size, 1u);
+  std::vector<Vertex> all(g.NumVertices());
+  for (Vertex v = 0; v < g.NumVertices(); ++v) all[v] = v;
+  Bisector bisector(g, options);
+  PartitionTree tree = bisector.Build(std::move(all));
+  // Invariant: the ell mapping is total — every vertex in exactly one node.
+  size_t total = 0;
+  for (const auto& node : tree.nodes) total += node.vertices.size();
+  STL_CHECK_EQ(total, g.NumVertices());
+  return tree;
+}
+
+}  // namespace stl

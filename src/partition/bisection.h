@@ -1,0 +1,55 @@
+// Recursive balanced bisection: drives SeparatorFinder to produce the raw
+// partition tree that core/tree_hierarchy compacts into a stable tree
+// hierarchy. Kept separate from core so the partitioning strategy can be
+// swapped (e.g. METIS-style multilevel) without touching the labelling.
+#ifndef STL_PARTITION_BISECTION_H_
+#define STL_PARTITION_BISECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace stl {
+
+/// Construction parameters for the stable tree hierarchy.
+struct HierarchyOptions {
+  /// Balance threshold beta from Definition 4.1: each child subtree holds
+  /// at most (1 - beta) of the parent's vertices. The paper uses 0.2.
+  double beta = 0.2;
+  /// Regions of at most this many vertices become leaf nodes.
+  uint32_t leaf_size = 2;
+  /// BFS multi-start attempts per separator.
+  int num_starts = 3;
+  /// Seed for the randomized start selection.
+  uint64_t seed = 7;
+  /// Worker threads for label construction (the bisection itself is
+  /// sequential; label columns are embarrassingly parallel).
+  int num_threads = 1;
+};
+
+/// Raw bisection tree: every node owns the cut vertices chosen at its
+/// level (for leaves: the whole remaining region). kNoChild marks absent
+/// children; nodes are in preorder (parent before children).
+struct PartitionTree {
+  static constexpr uint32_t kNoChild = UINT32_MAX;
+
+  struct Node {
+    uint32_t parent = kNoChild;
+    uint32_t left = kNoChild;
+    uint32_t right = kNoChild;
+    std::vector<Vertex> vertices;  // cut vertices, in stable (sorted) order
+  };
+
+  std::vector<Node> nodes;
+  uint32_t root = 0;
+};
+
+/// Builds the bisection tree of `g`. Every vertex of `g` appears in
+/// exactly one node (the ell mapping is total and surjective).
+PartitionTree BuildPartitionTree(const Graph& g,
+                                 const HierarchyOptions& options);
+
+}  // namespace stl
+
+#endif  // STL_PARTITION_BISECTION_H_

@@ -1,0 +1,63 @@
+// CHECK-style invariant macros. STL_CHECK is always on; STL_DCHECK only in
+// debug builds. Failing a check prints the condition and location and
+// aborts — these guard internal invariants, not user input (user input
+// errors return Status).
+#ifndef STL_UTIL_LOGGING_H_
+#define STL_UTIL_LOGGING_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace stl {
+namespace internal {
+
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+/// Collects an optional streamed message for a failed check, then aborts on
+/// destruction. Usage is via the STL_CHECK macro only.
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+  [[noreturn]] ~CheckFailStream() { CheckFailed(file_, line_, expr_, out_.str()); }
+
+  template <typename T>
+  CheckFailStream& operator<<(const T& v) {
+    out_ << v;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream out_;
+};
+
+}  // namespace internal
+}  // namespace stl
+
+#define STL_CHECK(cond)                                             \
+  if (cond) {                                                       \
+  } else /* NOLINT */                                               \
+    ::stl::internal::CheckFailStream(__FILE__, __LINE__, #cond)
+
+#define STL_CHECK_EQ(a, b) STL_CHECK((a) == (b))
+#define STL_CHECK_NE(a, b) STL_CHECK((a) != (b))
+#define STL_CHECK_LT(a, b) STL_CHECK((a) < (b))
+#define STL_CHECK_LE(a, b) STL_CHECK((a) <= (b))
+#define STL_CHECK_GT(a, b) STL_CHECK((a) > (b))
+#define STL_CHECK_GE(a, b) STL_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define STL_DCHECK(cond) \
+  if (true) {            \
+  } else /* NOLINT */    \
+    ::stl::internal::CheckFailStream(__FILE__, __LINE__, #cond)
+#else
+#define STL_DCHECK(cond) STL_CHECK(cond)
+#endif
+
+#endif  // STL_UTIL_LOGGING_H_

@@ -1,0 +1,118 @@
+// Lazy-deletion binary min-heaps used by all Dijkstra-style searches.
+//
+// Two flavours:
+//  * MinHeap<Payload>          — orders (key, payload) by key asc, then
+//                                payload asc (deterministic tie-break).
+//  * ParetoHeap                — orders (key, level, vertex) by key asc,
+//                                then level DESC: the Pareto Search
+//                                algorithms must process tuples with the
+//                                larger ancestor level first among equal
+//                                distances (Section 5.2).
+//
+// Both are "lazy": stale entries are filtered by the caller via its own
+// distance / level arrays, which is the standard idiom for label-correcting
+// searches on road networks and avoids decrease-key bookkeeping.
+#ifndef STL_UTIL_MIN_HEAP_H_
+#define STL_UTIL_MIN_HEAP_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace stl {
+
+/// Binary min-heap over (key, payload) pairs.
+template <typename Key, typename Payload>
+class MinHeap {
+ public:
+  struct Entry {
+    Key key;
+    Payload payload;
+    bool operator<(const Entry& o) const {
+      if (key != o.key) return key < o.key;
+      return payload < o.payload;
+    }
+    bool operator>(const Entry& o) const { return o < *this; }
+  };
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+  void clear() { heap_.clear(); }
+  void reserve(size_t n) { heap_.reserve(n); }
+
+  void Push(Key key, Payload payload) {
+    heap_.push_back(Entry{key, payload});
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<Entry>());
+  }
+
+  const Entry& Top() const {
+    STL_DCHECK(!heap_.empty());
+    return heap_.front();
+  }
+
+  Entry Pop() {
+    STL_DCHECK(!heap_.empty());
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<Entry>());
+    Entry e = heap_.back();
+    heap_.pop_back();
+    return e;
+  }
+
+ private:
+  std::vector<Entry> heap_;
+};
+
+/// Heap entry for Pareto searches: (distance, active interval, vertex).
+/// Ordered by distance ascending; ties broken by larger interval max first
+/// so Pareto-optimal tuples are met before dominated ones (Section 5.2).
+struct ParetoEntry {
+  uint32_t dist;
+  uint32_t min_level;
+  uint32_t max_level;
+  uint32_t vertex;
+
+  // "Greater" comparator semantics for a min-heap: a is popped before b
+  // iff a.dist < b.dist, or equal dist and a.max_level > b.max_level.
+  bool PoppedBefore(const ParetoEntry& o) const {
+    if (dist != o.dist) return dist < o.dist;
+    if (max_level != o.max_level) return max_level > o.max_level;
+    if (vertex != o.vertex) return vertex < o.vertex;
+    return min_level < o.min_level;
+  }
+};
+
+/// Binary min-heap with the ParetoEntry ordering.
+class ParetoHeap {
+ public:
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+  void clear() { heap_.clear(); }
+
+  void Push(const ParetoEntry& e) {
+    heap_.push_back(e);
+    std::push_heap(heap_.begin(), heap_.end(), Later);
+  }
+
+  ParetoEntry Pop() {
+    STL_DCHECK(!heap_.empty());
+    std::pop_heap(heap_.begin(), heap_.end(), Later);
+    ParetoEntry e = heap_.back();
+    heap_.pop_back();
+    return e;
+  }
+
+ private:
+  // std::push_heap builds a max-heap w.r.t. the comparator, so "Later"
+  // (i.e. popped-after) ordering yields a min-heap in PoppedBefore order.
+  static bool Later(const ParetoEntry& a, const ParetoEntry& b) {
+    return b.PoppedBefore(a);
+  }
+
+  std::vector<ParetoEntry> heap_;
+};
+
+}  // namespace stl
+
+#endif  // STL_UTIL_MIN_HEAP_H_

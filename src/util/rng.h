@@ -1,0 +1,61 @@
+// Deterministic pseudo-random number generation. All randomized components
+// of the library (generators, workloads, partitioner multi-start) are
+// seeded explicitly so that every experiment is reproducible bit-for-bit.
+#ifndef STL_UTIL_RNG_H_
+#define STL_UTIL_RNG_H_
+
+#include <cstdint>
+
+#include "util/logging.h"
+
+namespace stl {
+
+/// splitmix64: tiny, fast, high-quality 64-bit generator. Used both as a
+/// generator and to derive independent streams from one master seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) {
+    STL_DCHECK(bound > 0);
+    // Rejection-free modulo is fine here: bound << 2^64 in all our uses,
+    // so modulo bias is negligible for experiments, and determinism is
+    // what matters.
+    return Next() % bound;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi) {
+    STL_DCHECK(lo <= hi);
+    return lo + NextBounded(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Derives an independent child stream (e.g. one per dataset / batch).
+  Rng Fork(uint64_t stream_id) {
+    uint64_t mixed = state_ ^ (0x9e3779b97f4a7c15ULL * (stream_id + 1));
+    Rng child(mixed);
+    child.Next();  // decorrelate from the raw seed
+    return child;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace stl
+
+#endif  // STL_UTIL_RNG_H_

@@ -1,0 +1,91 @@
+#include "util/serialize.h"
+
+namespace stl {
+
+BinaryWriter::~BinaryWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status BinaryWriter::Open(const std::string& path, uint32_t magic,
+                          uint32_t version) {
+  if (file_ != nullptr) return Status::Internal("writer already open");
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  Status s = WritePod(magic);
+  if (s.ok()) s = WritePod(version);
+  return s;
+}
+
+Status BinaryWriter::WriteString(const std::string& s) {
+  Status st = WritePod<uint64_t>(s.size());
+  if (!st.ok()) return st;
+  if (!s.empty()) return WriteBytes(s.data(), s.size());
+  return Status::OK();
+}
+
+Status BinaryWriter::WriteBytes(const void* data, size_t n) {
+  if (file_ == nullptr) return Status::Internal("writer not open");
+  if (std::fwrite(data, 1, n, file_) != n) {
+    return Status::IOError("short write");
+  }
+  return Status::OK();
+}
+
+Status BinaryWriter::Close() {
+  if (file_ == nullptr) return Status::Internal("writer not open");
+  int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) return Status::IOError("fclose failed");
+  return Status::OK();
+}
+
+BinaryReader::~BinaryReader() { Close(); }
+
+Status BinaryReader::Open(const std::string& path, uint32_t magic,
+                          uint32_t max_version) {
+  if (file_ != nullptr) return Status::Internal("reader already open");
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  uint32_t got_magic = 0;
+  Status s = ReadPod(&got_magic);
+  if (s.ok() && got_magic != magic) {
+    s = Status::Corruption("bad magic number in " + path);
+  }
+  if (s.ok()) s = ReadPod(&version_);
+  if (s.ok() && version_ > max_version) {
+    s = Status::NotSupported("file version newer than library: " + path);
+  }
+  if (!s.ok()) Close();
+  return s;
+}
+
+Status BinaryReader::ReadString(std::string* s) {
+  uint64_t n = 0;
+  Status st = ReadPod(&n);
+  if (!st.ok()) return st;
+  if (n > (1ULL << 32)) return Status::Corruption("string length too large");
+  s->resize(n);
+  if (n != 0) return ReadBytes(s->data(), n);
+  return Status::OK();
+}
+
+Status BinaryReader::ReadBytes(void* data, size_t n) {
+  if (file_ == nullptr) return Status::Internal("reader not open");
+  if (std::fread(data, 1, n, file_) != n) {
+    return Status::Corruption("unexpected end of file");
+  }
+  return Status::OK();
+}
+
+void BinaryReader::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+}  // namespace stl

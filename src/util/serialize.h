@@ -1,0 +1,99 @@
+// Minimal binary serialization: little-endian PODs and vectors with a
+// magic/version header, explicit Status on every failure path (truncated
+// file, bad magic, version skew). Used to persist built indexes.
+#ifndef STL_UTIL_SERIALIZE_H_
+#define STL_UTIL_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/status.h"
+
+namespace stl {
+
+/// Buffered binary writer. Create, Write*, then Close (checks flush).
+class BinaryWriter {
+ public:
+  BinaryWriter() = default;
+  ~BinaryWriter();
+  BinaryWriter(const BinaryWriter&) = delete;
+  BinaryWriter& operator=(const BinaryWriter&) = delete;
+
+  /// Opens `path` for writing and writes the header (magic + version).
+  Status Open(const std::string& path, uint32_t magic, uint32_t version);
+
+  template <typename T>
+  Status WritePod(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return WriteBytes(&value, sizeof(T));
+  }
+
+  template <typename T>
+  Status WriteVector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Status s = WritePod<uint64_t>(v.size());
+    if (!s.ok()) return s;
+    if (!v.empty()) return WriteBytes(v.data(), v.size() * sizeof(T));
+    return Status::OK();
+  }
+
+  Status WriteString(const std::string& s);
+  Status WriteBytes(const void* data, size_t n);
+
+  /// Flushes and closes; the file is valid only if Close returns OK.
+  Status Close();
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+/// Buffered binary reader mirroring BinaryWriter.
+class BinaryReader {
+ public:
+  BinaryReader() = default;
+  ~BinaryReader();
+  BinaryReader(const BinaryReader&) = delete;
+  BinaryReader& operator=(const BinaryReader&) = delete;
+
+  /// Opens `path`, validates magic, and rejects versions > `max_version`.
+  Status Open(const std::string& path, uint32_t magic, uint32_t max_version);
+
+  /// Version read from the header (valid after Open succeeds).
+  uint32_t version() const { return version_; }
+
+  template <typename T>
+  Status ReadPod(T* value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return ReadBytes(value, sizeof(T));
+  }
+
+  template <typename T>
+  Status ReadVector(std::vector<T>* v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t n = 0;
+    Status s = ReadPod(&n);
+    if (!s.ok()) return s;
+    if (n > (1ULL << 40) / sizeof(T)) {
+      return Status::Corruption("vector length implausibly large");
+    }
+    v->resize(n);
+    if (n != 0) return ReadBytes(v->data(), n * sizeof(T));
+    return Status::OK();
+  }
+
+  Status ReadString(std::string* s);
+  Status ReadBytes(void* data, size_t n);
+
+  void Close();
+
+ private:
+  std::FILE* file_ = nullptr;
+  uint32_t version_ = 0;
+};
+
+}  // namespace stl
+
+#endif  // STL_UTIL_SERIALIZE_H_

@@ -1,0 +1,83 @@
+#include "util/table.h"
+
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace stl {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  STL_CHECK_EQ(cells.size(), header_.size())
+      << "row width mismatch: " << cells.size() << " vs " << header_.size();
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      if (c + 1 < row.size()) {
+        out.append(width[c] - row[c].size() + 2, ' ');
+      }
+    }
+    out += '\n';
+  };
+  emit_row(header_);
+  size_t total = 0;
+  for (size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c + 1 < width.size() ? 2 : 0);
+  }
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string TablePrinter::Fixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string TablePrinter::Bytes(uint64_t bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1024.0 && u < 4) {
+    v /= 1024.0;
+    ++u;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", v, units[u]);
+  return buf;
+}
+
+std::string TablePrinter::Count(uint64_t count) {
+  char buf[64];
+  if (count >= 1000000000ULL) {
+    std::snprintf(buf, sizeof(buf), "%.2f B", count / 1e9);
+  } else if (count >= 1000000ULL) {
+    std::snprintf(buf, sizeof(buf), "%.2f M", count / 1e6);
+  } else if (count >= 1000ULL) {
+    std::snprintf(buf, sizeof(buf), "%.2f K", count / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(count));
+  }
+  return buf;
+}
+
+}  // namespace stl

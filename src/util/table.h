@@ -1,0 +1,39 @@
+// Plain-text table printer for benchmark harnesses: produces the
+// aligned rows the paper's tables report.
+#ifndef STL_UTIL_TABLE_H_
+#define STL_UTIL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stl {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table (header, rule, rows) to a string.
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+  // Cell formatting helpers.
+  static std::string Fixed(double v, int digits);
+  /// Scales a millisecond / microsecond / byte quantity with a unit suffix,
+  /// e.g. Bytes(1.3e9) -> "1.21 GB", Count(9.2e9) -> "9.2 B".
+  static std::string Bytes(uint64_t bytes);
+  static std::string Count(uint64_t count);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace stl
+
+#endif  // STL_UTIL_TABLE_H_

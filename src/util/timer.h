@@ -1,0 +1,36 @@
+// Wall-clock timing helpers for benchmarks and construction statistics.
+#ifndef STL_UTIL_TIMER_H_
+#define STL_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace stl {
+
+/// Monotonic stopwatch. Started on construction; Restart() resets.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace stl
+
+#endif  // STL_UTIL_TIMER_H_

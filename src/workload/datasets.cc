@@ -1,0 +1,60 @@
+#include "workload/datasets.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace stl {
+
+BenchScale ScaleFromEnv() {
+  const char* s = std::getenv("STL_BENCH_SCALE");
+  if (s == nullptr) return BenchScale::kSmall;
+  if (std::strcmp(s, "large") == 0) return BenchScale::kLarge;
+  if (std::strcmp(s, "medium") == 0) return BenchScale::kMedium;
+  return BenchScale::kSmall;
+}
+
+const std::vector<DatasetSpec>& AllDatasets() {
+  static const std::vector<DatasetSpec>* kDatasets =
+      new std::vector<DatasetSpec>{
+          {"NY-S", "New York City", 55, 55, 101},
+          {"BAY-S", "San Francisco", 68, 68, 102},
+          {"COL-S", "Colorado", 85, 85, 103},
+          {"FLA-S", "Florida", 106, 106, 104},
+          {"CAL-S", "California", 132, 132, 105},
+          {"E-S", "Eastern USA", 164, 164, 106},
+          {"W-S", "Western USA", 204, 204, 107},
+          {"CTR-S", "Central USA", 254, 254, 108},
+          {"USA-S", "United States", 316, 316, 109},
+          {"EUR-S", "Western Europe", 296, 296, 110},
+      };
+  return *kDatasets;
+}
+
+std::vector<DatasetSpec> DatasetsForScale(BenchScale scale) {
+  const auto& all = AllDatasets();
+  size_t count;
+  switch (scale) {
+    case BenchScale::kSmall:
+      count = 4;
+      break;
+    case BenchScale::kMedium:
+      count = 7;
+      break;
+    case BenchScale::kLarge:
+      count = all.size();
+      break;
+    default:
+      count = 4;
+  }
+  return {all.begin(), all.begin() + count};
+}
+
+Graph LoadDataset(const DatasetSpec& spec) {
+  RoadNetworkOptions opt;
+  opt.width = spec.width;
+  opt.height = spec.height;
+  opt.seed = spec.seed;
+  return GenerateRoadNetwork(opt);
+}
+
+}  // namespace stl

@@ -1,0 +1,47 @@
+#include "workload/update_workload.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace stl {
+
+std::vector<EdgeId> SampleDistinctEdges(const Graph& g, size_t count,
+                                        uint64_t seed) {
+  const size_t m = g.NumEdges();
+  count = std::min(count, m);
+  Rng rng(seed);
+  // Partial Fisher-Yates over the edge ids.
+  std::vector<EdgeId> ids(m);
+  for (EdgeId e = 0; e < m; ++e) ids[e] = e;
+  for (size_t i = 0; i < count; ++i) {
+    size_t j = i + rng.NextBounded(m - i);
+    std::swap(ids[i], ids[j]);
+  }
+  ids.resize(count);
+  return ids;
+}
+
+UpdateBatch MakeIncreaseBatch(const Graph& g,
+                              const std::vector<EdgeId>& edges,
+                              double factor) {
+  STL_CHECK(factor > 1.0);
+  UpdateBatch batch;
+  batch.reserve(edges.size());
+  for (EdgeId e : edges) {
+    Weight old_w = g.EdgeWeight(e);
+    uint64_t scaled = static_cast<uint64_t>(old_w * factor);
+    Weight new_w = static_cast<Weight>(
+        std::min<uint64_t>(scaled, kMaxEdgeWeight));
+    if (new_w <= old_w) new_w = std::min<Weight>(old_w + 1, kMaxEdgeWeight);
+    if (new_w == old_w) continue;  // already at the cap
+    batch.push_back(WeightUpdate{e, old_w, new_w});
+  }
+  return batch;
+}
+
+UpdateBatch MakeRestoreBatch(const UpdateBatch& increase_batch) {
+  return InverseBatch(increase_batch);
+}
+
+}  // namespace stl

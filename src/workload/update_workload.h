@@ -1,0 +1,32 @@
+// Update workload generation mirroring the paper's test input procedure:
+// batches of updates on distinct random edges; each batch is applied as a
+// weight increase (x factor) and then restored (weight decrease), and
+// Figure 8 sweeps the factor from 2 to 10.
+#ifndef STL_WORKLOAD_UPDATE_WORKLOAD_H_
+#define STL_WORKLOAD_UPDATE_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/updates.h"
+
+namespace stl {
+
+/// Samples `count` distinct random edges of g (count is clamped to the
+/// number of edges).
+std::vector<EdgeId> SampleDistinctEdges(const Graph& g, size_t count,
+                                        uint64_t seed);
+
+/// Builds the increase batch for the sampled edges: new = factor * old
+/// (clamped to kMaxEdgeWeight; factor must be > 1). old_weight is read
+/// from the graph's current weights.
+UpdateBatch MakeIncreaseBatch(const Graph& g, const std::vector<EdgeId>& edges,
+                              double factor);
+
+/// The restore batch for an increase batch (new and old swapped).
+UpdateBatch MakeRestoreBatch(const UpdateBatch& increase_batch);
+
+}  // namespace stl
+
+#endif  // STL_WORKLOAD_UPDATE_WORKLOAD_H_

@@ -1,0 +1,137 @@
+#include "baselines/ch.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/dijkstra.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace stl {
+namespace {
+
+using testing_util::RandomUpdate;
+
+TEST(ChTest, TinyGraphQueries) {
+  Graph g = testing_util::MakeGraph(
+      4, {{0, 1, 1}, {1, 2, 2}, {0, 2, 5}, {2, 3, 1}});
+  ChIndex ch = ChIndex::Build(&g);
+  EXPECT_EQ(ch.Query(0, 0), 0u);
+  EXPECT_EQ(ch.Query(0, 2), 3u);
+  EXPECT_EQ(ch.Query(0, 3), 4u);
+  EXPECT_EQ(ch.Query(3, 0), 4u);
+}
+
+TEST(ChTest, UnreachableIsInf) {
+  Graph g = testing_util::TwoComponentGraph();
+  ChIndex ch = ChIndex::Build(&g);
+  EXPECT_EQ(ch.Query(0, 4), kInfDistance);
+  EXPECT_EQ(ch.Query(3, 4), 7u);
+}
+
+TEST(ChTest, RanksArePermutation) {
+  Graph g = testing_util::SmallRoadNetwork(8, 1);
+  ChIndex ch = ChIndex::Build(&g);
+  std::vector<bool> seen(g.NumVertices(), false);
+  for (Vertex v = 0; v < g.NumVertices(); ++v) {
+    ASSERT_LT(ch.rank(v), g.NumVertices());
+    EXPECT_FALSE(seen[ch.rank(v)]);
+    seen[ch.rank(v)] = true;
+  }
+}
+
+TEST(ChTest, ShortcutsAreAdded) {
+  Graph g = testing_util::SmallRoadNetwork(10, 2);
+  ChIndex ch = ChIndex::Build(&g);
+  EXPECT_GT(ch.NumShortcutsOnly(), 0u);
+  EXPECT_EQ(ch.NumChEdges(), g.NumEdges() + ch.NumShortcutsOnly());
+}
+
+TEST(ChTest, UpEdgesPointUpward) {
+  Graph g = testing_util::SmallRoadNetwork(8, 3);
+  ChIndex ch = ChIndex::Build(&g);
+  for (Vertex v = 0; v < g.NumVertices(); ++v) {
+    for (uint32_t cid : ch.UpEdges(v)) {
+      const auto& e = ch.GetChEdge(cid);
+      EXPECT_EQ(e.lo, v);
+      EXPECT_GT(ch.rank(e.hi), ch.rank(e.lo));
+    }
+  }
+}
+
+TEST(ChTest, InitialWeightsValidate) {
+  Graph g = testing_util::SmallRoadNetwork(10, 4);
+  ChIndex ch = ChIndex::Build(&g);
+  EXPECT_TRUE(ch.ValidateWeights());
+}
+
+class ChSeeds : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChSeeds, QueriesMatchDijkstra) {
+  Graph g = testing_util::SmallRoadNetwork(12, GetParam());
+  Graph ref = g;
+  ChIndex ch = ChIndex::Build(&g);
+  Dijkstra dij(ref);
+  Rng rng(GetParam() * 3 + 2);
+  for (int i = 0; i < 250; ++i) {
+    Vertex s = static_cast<Vertex>(rng.NextBounded(g.NumVertices()));
+    Vertex t = static_cast<Vertex>(rng.NextBounded(g.NumVertices()));
+    ASSERT_EQ(ch.Query(s, t), dij.Distance(s, t)) << "s=" << s << " t=" << t;
+  }
+}
+
+TEST_P(ChSeeds, MaintenanceKeepsWeightsExact) {
+  Graph g = testing_util::SmallRoadNetwork(10, GetParam());
+  ChIndex ch = ChIndex::Build(&g);
+  Rng rng(GetParam() * 5 + 1);
+  for (int round = 0; round < 12; ++round) {
+    WeightUpdate u = RandomUpdate(g, &rng);
+    const auto& changed = ch.ApplyUpdate(u);
+    (void)changed;
+    ASSERT_TRUE(ch.ValidateWeights()) << "round " << round;
+    Dijkstra dij(g);
+    for (int i = 0; i < 40; ++i) {
+      Vertex s = static_cast<Vertex>(rng.NextBounded(g.NumVertices()));
+      Vertex t = static_cast<Vertex>(rng.NextBounded(g.NumVertices()));
+      ASSERT_EQ(ch.Query(s, t), dij.Distance(s, t)) << "round " << round;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChSeeds, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(ChTest, UpdateReturnsChangedEdges) {
+  Graph g = GeneratePath(6, 10);
+  ChIndex ch = ChIndex::Build(&g);
+  // Halving one path edge must change at least that CH edge.
+  auto e = g.FindEdge(2, 3);
+  ASSERT_TRUE(e.has_value());
+  const auto& changed = ch.ApplyUpdate(WeightUpdate{*e, 10, 5});
+  EXPECT_FALSE(changed.empty());
+  // A no-op change reports nothing.
+  const auto& changed2 = ch.ApplyUpdate(WeightUpdate{*e, 5, 5});
+  EXPECT_TRUE(changed2.empty());
+}
+
+TEST(ChTest, StructureIsWeightIndependent) {
+  // CH-W adds shortcuts without witness search, so the edge set must not
+  // depend on the weights (the property DCH maintenance relies on).
+  Graph g1 = testing_util::SmallRoadNetwork(9, 7);
+  Graph g2 = g1;
+  // Perturb all weights of g2.
+  for (EdgeId e = 0; e < g2.NumEdges(); ++e) {
+    g2.SetEdgeWeight(e, g2.EdgeWeight(e) + 1 + (e % 13));
+  }
+  ChIndex a = ChIndex::Build(&g1);
+  ChIndex b = ChIndex::Build(&g2);
+  EXPECT_EQ(a.NumChEdges(), b.NumChEdges());
+  EXPECT_EQ(a.NumShortcutsOnly(), b.NumShortcutsOnly());
+}
+
+TEST(ChTest, MemoryAccounting) {
+  Graph g = testing_util::SmallRoadNetwork(8, 8);
+  ChIndex ch = ChIndex::Build(&g);
+  EXPECT_GT(ch.MemoryBytes(), g.MemoryBytes() / 2);
+}
+
+}  // namespace
+}  // namespace stl

@@ -1,0 +1,116 @@
+// Tests for the Section 8 structural-change extension: road closures as
+// effectively-infinite weight increases, and their reopening.
+#include <gtest/gtest.h>
+
+#include "core/stl_index.h"
+#include "graph/dijkstra.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace stl {
+namespace {
+
+using testing_util::LabelDiffCount;
+
+/// Reference distance in the graph with the closed edges removed.
+Weight DistanceWithout(const Graph& g, const std::vector<EdgeId>& closed,
+                       Vertex s, Vertex t) {
+  std::vector<Edge> edges;
+  std::vector<bool> drop(g.NumEdges(), false);
+  for (EdgeId e : closed) drop[e] = true;
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    if (!drop[e]) edges.push_back(g.GetEdge(e));
+  }
+  Graph reduced = testing_util::MakeGraph(g.NumVertices(), std::move(edges));
+  Dijkstra dij(reduced);
+  return dij.Distance(s, t);
+}
+
+TEST(ClosureTest, CloseRoadMatchesEdgeRemoval) {
+  Graph g = testing_util::SmallRoadNetwork(10, 1);
+  const Graph original = g;
+  StlIndex idx = StlIndex::Build(&g, HierarchyOptions{});
+  Rng rng(1);
+  for (int round = 0; round < 6; ++round) {
+    EdgeId e = static_cast<EdgeId>(rng.NextBounded(g.NumEdges()));
+    UpdateBatch closure = idx.CloseRoad(e);
+    for (int i = 0; i < 50; ++i) {
+      Vertex s = static_cast<Vertex>(rng.NextBounded(g.NumVertices()));
+      Vertex t = static_cast<Vertex>(rng.NextBounded(g.NumVertices()));
+      Weight want = DistanceWithout(original, {e}, s, t);
+      Weight got = idx.Query(s, t);
+      // Distances below the closure threshold must match exactly; paths
+      // forced over a "closed" road surface as >= kMaxEdgeWeight.
+      if (want < kMaxEdgeWeight) {
+        ASSERT_EQ(got, want) << "s=" << s << " t=" << t;
+      } else {
+        ASSERT_GE(got, kMaxEdgeWeight);
+      }
+    }
+    idx.ReopenRoads(closure);
+  }
+}
+
+TEST(ClosureTest, CloseIntersectionMatchesVertexRemoval) {
+  Graph g = testing_util::SmallRoadNetwork(9, 2);
+  const Graph original = g;
+  StlIndex idx = StlIndex::Build(&g, HierarchyOptions{});
+  Rng rng(2);
+  for (int round = 0; round < 4; ++round) {
+    Vertex closed =
+        static_cast<Vertex>(rng.NextBounded(g.NumVertices()));
+    std::vector<EdgeId> incident;
+    for (const Arc& a : original.ArcsOf(closed)) incident.push_back(a.edge);
+    UpdateBatch closure = idx.CloseIntersection(closed);
+    EXPECT_EQ(closure.size(), incident.size());
+    for (int i = 0; i < 40; ++i) {
+      Vertex s = static_cast<Vertex>(rng.NextBounded(g.NumVertices()));
+      Vertex t = static_cast<Vertex>(rng.NextBounded(g.NumVertices()));
+      if (s == closed || t == closed) continue;
+      Weight want = DistanceWithout(original, incident, s, t);
+      Weight got = idx.Query(s, t);
+      if (want < kMaxEdgeWeight) {
+        ASSERT_EQ(got, want);
+      } else {
+        ASSERT_GE(got, kMaxEdgeWeight);
+      }
+    }
+    idx.ReopenRoads(closure);
+  }
+}
+
+TEST(ClosureTest, ReopenRestoresLabelsExactly) {
+  Graph g = testing_util::SmallRoadNetwork(10, 3);
+  StlIndex idx = StlIndex::Build(&g, HierarchyOptions{});
+  Labelling before = idx.labels();
+  UpdateBatch c1 = idx.CloseRoad(5 % g.NumEdges());
+  UpdateBatch c2 = idx.CloseIntersection(7 % g.NumVertices());
+  idx.ReopenRoads(c2);
+  idx.ReopenRoads(c1);
+  EXPECT_EQ(LabelDiffCount(idx.labels(), before), 0u);
+}
+
+TEST(ClosureTest, DoubleCloseIsIdempotent) {
+  Graph g = testing_util::SmallRoadNetwork(8, 4);
+  StlIndex idx = StlIndex::Build(&g, HierarchyOptions{});
+  EdgeId e = 3 % g.NumEdges();
+  UpdateBatch c1 = idx.CloseRoad(e);
+  EXPECT_EQ(c1.size(), 1u);
+  UpdateBatch c2 = idx.CloseRoad(e);  // already closed
+  EXPECT_TRUE(c2.empty());
+  idx.ReopenRoads(c1);
+  EXPECT_EQ(idx.graph().EdgeWeight(e), c1.front().old_weight);
+}
+
+TEST(ClosureTest, ParetoStrategyWorksForClosures) {
+  Graph g = testing_util::SmallRoadNetwork(9, 5);
+  StlIndex idx = StlIndex::Build(&g, HierarchyOptions{});
+  Labelling before = idx.labels();
+  UpdateBatch c =
+      idx.CloseRoad(2 % g.NumEdges(), MaintenanceStrategy::kParetoSearch);
+  idx.ReopenRoads(c, MaintenanceStrategy::kParetoSearch);
+  EXPECT_EQ(LabelDiffCount(idx.labels(), before), 0u);
+}
+
+}  // namespace
+}  // namespace stl

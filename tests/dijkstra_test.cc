@@ -1,0 +1,114 @@
+#include "graph/dijkstra.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace stl {
+namespace {
+
+TEST(DijkstraTest, TinyGraphByHand) {
+  Graph g = testing_util::MakeGraph(
+      4, {{0, 1, 1}, {1, 2, 2}, {0, 2, 5}, {2, 3, 1}});
+  Dijkstra dij(g);
+  EXPECT_EQ(dij.Distance(0, 0), 0u);
+  EXPECT_EQ(dij.Distance(0, 1), 1u);
+  EXPECT_EQ(dij.Distance(0, 2), 3u);
+  EXPECT_EQ(dij.Distance(0, 3), 4u);
+  EXPECT_EQ(dij.Distance(3, 0), 4u);
+}
+
+TEST(DijkstraTest, UnreachableIsInf) {
+  Graph g = testing_util::TwoComponentGraph();
+  Dijkstra dij(g);
+  EXPECT_EQ(dij.Distance(0, 3), kInfDistance);
+  EXPECT_EQ(dij.Distance(4, 2), kInfDistance);
+  EXPECT_EQ(dij.Distance(3, 4), 7u);
+}
+
+TEST(DijkstraTest, AllDistancesMatchesPointQueries) {
+  Graph g = testing_util::SmallRoadNetwork(10, 21);
+  Dijkstra a(g), b(g);
+  const auto& dist = a.AllDistances(5);
+  for (Vertex t = 0; t < g.NumVertices(); t += 7) {
+    EXPECT_EQ(dist[t], b.Distance(5, t));
+  }
+}
+
+TEST(DijkstraTest, ReusableAcrossCalls) {
+  Graph g = testing_util::SmallRoadNetwork(8, 2);
+  Dijkstra dij(g);
+  Weight d1 = dij.Distance(0, 10);
+  dij.Distance(3, 7);
+  EXPECT_EQ(dij.Distance(0, 10), d1);  // epoch reuse must not corrupt
+}
+
+TEST(DijkstraTest, RadiusLimitedSearch) {
+  Graph g = GeneratePath(10, 5);
+  Dijkstra dij(g);
+  const auto& dist = dij.DistancesWithin(0, 12);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[1], 5u);
+  EXPECT_EQ(dist[2], 10u);
+  EXPECT_EQ(dist[3], kInfDistance);  // 15 > 12
+  EXPECT_EQ(dist[9], kInfDistance);
+}
+
+TEST(DijkstraTest, SettledCounterAdvances) {
+  Graph g = testing_util::SmallRoadNetwork(8, 2);
+  Dijkstra dij(g);
+  dij.Distance(0, g.NumVertices() - 1);
+  EXPECT_GT(dij.last_settled(), 0u);
+}
+
+class OracleAgreement : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OracleAgreement, DijkstraMatchesFloydWarshall) {
+  const uint64_t seed = GetParam();
+  Graph g = GenerateRandomConnectedGraph(60, 50, 1, 30, seed);
+  auto fw = FloydWarshallAllPairs(g);
+  Dijkstra dij(g);
+  for (Vertex s = 0; s < g.NumVertices(); s += 9) {
+    const auto& dist = dij.AllDistances(s);
+    for (Vertex t = 0; t < g.NumVertices(); ++t) {
+      EXPECT_EQ(dist[t], fw[s][t]) << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+TEST_P(OracleAgreement, BidirectionalMatchesUnidirectional) {
+  const uint64_t seed = GetParam();
+  Graph g = testing_util::SmallRoadNetwork(12, seed);
+  Dijkstra dij(g);
+  BidirectionalDijkstra bi(g);
+  Rng rng(seed * 31 + 1);
+  for (int i = 0; i < 150; ++i) {
+    Vertex s = static_cast<Vertex>(rng.NextBounded(g.NumVertices()));
+    Vertex t = static_cast<Vertex>(rng.NextBounded(g.NumVertices()));
+    EXPECT_EQ(bi.Distance(s, t), dij.Distance(s, t))
+        << "s=" << s << " t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OracleAgreement,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(BidirectionalDijkstraTest, UnreachableIsInf) {
+  Graph g = testing_util::TwoComponentGraph();
+  BidirectionalDijkstra bi(g);
+  EXPECT_EQ(bi.Distance(0, 4), kInfDistance);
+  EXPECT_EQ(bi.Distance(1, 2), 5u);
+}
+
+TEST(FloydWarshallTest, HandGraph) {
+  Graph g = testing_util::MakeGraph(3, {{0, 1, 2}, {1, 2, 2}, {0, 2, 10}});
+  auto fw = FloydWarshallAllPairs(g);
+  EXPECT_EQ(fw[0][2], 4u);
+  EXPECT_EQ(fw[2][0], 4u);
+  EXPECT_EQ(fw[1][1], 0u);
+}
+
+}  // namespace
+}  // namespace stl

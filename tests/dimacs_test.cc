@@ -1,0 +1,127 @@
+#include "graph/dimacs.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "tests/test_util.h"
+
+namespace stl {
+namespace {
+
+TEST(DimacsTest, ParsesMinimalFile) {
+  Result<Graph> g = ParseDimacs(
+      "c a comment\n"
+      "p sp 3 4\n"
+      "a 1 2 10\n"
+      "a 2 1 10\n"
+      "a 2 3 20\n"
+      "a 3 2 20\n");
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g.value().NumVertices(), 3u);
+  EXPECT_EQ(g.value().NumEdges(), 2u);  // undirected collapse
+  auto e = g.value().FindEdge(0, 1);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(g.value().EdgeWeight(*e), 10u);
+}
+
+TEST(DimacsTest, KeepsMinWeightOnAsymmetricArcs) {
+  Result<Graph> g = ParseDimacs("p sp 2 2\na 1 2 10\na 2 1 7\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().EdgeWeight(0), 7u);
+}
+
+TEST(DimacsTest, IgnoresSelfLoops) {
+  Result<Graph> g = ParseDimacs("p sp 2 3\na 1 1 5\na 1 2 5\na 2 1 5\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().NumEdges(), 1u);
+}
+
+TEST(DimacsTest, EmptyLinesAndCommentsOk) {
+  Result<Graph> g =
+      ParseDimacs("c x\n\nc y\np sp 2 2\n\na 1 2 3\na 2 1 3\n");
+  ASSERT_TRUE(g.ok());
+}
+
+TEST(DimacsTest, MissingProblemLine) {
+  Result<Graph> g = ParseDimacs("a 1 2 3\n");
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kCorruption);
+}
+
+TEST(DimacsTest, DuplicateProblemLine) {
+  Result<Graph> g = ParseDimacs("p sp 2 0\np sp 2 0\n");
+  ASSERT_FALSE(g.ok());
+}
+
+TEST(DimacsTest, BadProblemKind) {
+  Result<Graph> g = ParseDimacs("p max 2 2\na 1 2 3\na 2 1 3\n");
+  ASSERT_FALSE(g.ok());
+}
+
+TEST(DimacsTest, EndpointOutOfRange) {
+  Result<Graph> g = ParseDimacs("p sp 2 2\na 1 3 5\na 3 1 5\n");
+  ASSERT_FALSE(g.ok());
+  EXPECT_NE(g.status().message().find("out of range"), std::string::npos);
+}
+
+TEST(DimacsTest, ZeroVertexIdRejected) {
+  Result<Graph> g = ParseDimacs("p sp 2 2\na 0 1 5\na 1 0 5\n");
+  ASSERT_FALSE(g.ok());
+}
+
+TEST(DimacsTest, ZeroWeightRejected) {
+  Result<Graph> g = ParseDimacs("p sp 2 2\na 1 2 0\na 2 1 0\n");
+  ASSERT_FALSE(g.ok());
+}
+
+TEST(DimacsTest, ArcCountMismatch) {
+  Result<Graph> g = ParseDimacs("p sp 2 5\na 1 2 3\na 2 1 3\n");
+  ASSERT_FALSE(g.ok());
+  EXPECT_NE(g.status().message().find("mismatch"), std::string::npos);
+}
+
+TEST(DimacsTest, UnknownTagRejected) {
+  Result<Graph> g = ParseDimacs("p sp 2 0\nz 1 2 3\n");
+  ASSERT_FALSE(g.ok());
+}
+
+TEST(DimacsTest, MissingFileIsIOError) {
+  Result<Graph> g = ReadDimacs("/nonexistent/path/x.gr");
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kIOError);
+}
+
+TEST(DimacsTest, RoundTripThroughString) {
+  Graph g = testing_util::SmallRoadNetwork(9, 77);
+  std::string text = DimacsToString(g, "round trip");
+  Result<Graph> back = ParseDimacs(text);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  const Graph& g2 = back.value();
+  ASSERT_EQ(g2.NumVertices(), g.NumVertices());
+  ASSERT_EQ(g2.NumEdges(), g.NumEdges());
+  for (const Edge& e : g.edges()) {
+    auto id = g2.FindEdge(e.u, e.v);
+    ASSERT_TRUE(id.has_value());
+    EXPECT_EQ(g2.EdgeWeight(*id), e.w);
+  }
+}
+
+TEST(DimacsTest, RoundTripThroughFile) {
+  Graph g = testing_util::SmallRoadNetwork(7, 3);
+  std::string path = std::string(::testing::TempDir()) + "/rt.gr";
+  ASSERT_TRUE(WriteDimacs(g, path, "file round trip").ok());
+  Result<Graph> back = ReadDimacs(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().NumVertices(), g.NumVertices());
+  EXPECT_EQ(back.value().NumEdges(), g.NumEdges());
+}
+
+TEST(DimacsTest, WriteToBadPathFails) {
+  Graph g = testing_util::MakeGraph(2, {{0, 1, 3}});
+  Status s = WriteDimacs(g, "/nonexistent/dir/file.gr");
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace stl

@@ -1,0 +1,129 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/dijkstra.h"
+#include "tests/test_util.h"
+
+namespace stl {
+namespace {
+
+TEST(GeneratorsTest, RoadNetworkIsConnected) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    Graph g = testing_util::SmallRoadNetwork(16, seed);
+    EXPECT_TRUE(IsConnected(g)) << "seed " << seed;
+    EXPECT_GT(g.NumVertices(), 16u * 16u * 9 / 10);
+  }
+}
+
+TEST(GeneratorsTest, DeterministicInSeed) {
+  RoadNetworkOptions opt;
+  opt.width = 14;
+  opt.height = 11;
+  opt.seed = 99;
+  Graph a = GenerateRoadNetwork(opt);
+  Graph b = GenerateRoadNetwork(opt);
+  ASSERT_EQ(a.NumVertices(), b.NumVertices());
+  ASSERT_EQ(a.NumEdges(), b.NumEdges());
+  for (EdgeId e = 0; e < a.NumEdges(); ++e) {
+    EXPECT_EQ(a.GetEdge(e).u, b.GetEdge(e).u);
+    EXPECT_EQ(a.GetEdge(e).v, b.GetEdge(e).v);
+    EXPECT_EQ(a.GetEdge(e).w, b.GetEdge(e).w);
+  }
+}
+
+TEST(GeneratorsTest, DifferentSeedsDiffer) {
+  RoadNetworkOptions opt;
+  opt.width = 14;
+  opt.height = 14;
+  opt.seed = 1;
+  Graph a = GenerateRoadNetwork(opt);
+  opt.seed = 2;
+  Graph b = GenerateRoadNetwork(opt);
+  // Either sizes differ or some weight differs.
+  bool differ = a.NumEdges() != b.NumEdges();
+  if (!differ) {
+    for (EdgeId e = 0; e < a.NumEdges() && !differ; ++e) {
+      differ = a.GetEdge(e).w != b.GetEdge(e).w ||
+               a.GetEdge(e).u != b.GetEdge(e).u;
+    }
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(GeneratorsTest, DegreeBounded) {
+  Graph g = testing_util::SmallRoadNetwork(20, 5);
+  for (Vertex v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_LE(g.Degree(v), 8u);  // grid + at most a few chords
+  }
+}
+
+TEST(GeneratorsTest, HighwaysAreFaster) {
+  RoadNetworkOptions opt;
+  opt.width = 33;
+  opt.height = 33;
+  opt.seed = 4;
+  opt.edge_keep_prob = 1.0;
+  opt.chord_prob = 0.0;
+  Graph g = GenerateRoadNetwork(opt);
+  // Row 0 is a highway (index 0 % highway_every == 0): its horizontal
+  // edges should be much cheaper than the local maximum.
+  uint64_t highway_total = 0, highway_count = 0;
+  for (const Edge& e : g.edges()) {
+    // With keep prob 1.0 and no chords, vertex ids match grid ids.
+    if (e.u / 33 == 0 && e.v / 33 == 0) {
+      highway_total += e.w;
+      ++highway_count;
+    }
+  }
+  ASSERT_GT(highway_count, 0u);
+  double avg = static_cast<double>(highway_total) / highway_count;
+  EXPECT_LT(avg, opt.local_min_weight);
+}
+
+TEST(GeneratorsTest, WeightsWithinConfiguredRange) {
+  RoadNetworkOptions opt;
+  opt.width = 12;
+  opt.height = 12;
+  opt.seed = 8;
+  Graph g = GenerateRoadNetwork(opt);
+  for (const Edge& e : g.edges()) {
+    EXPECT_GE(e.w, 1u);
+    // Chords can be 1.5x the local max.
+    EXPECT_LE(e.w, opt.local_max_weight + opt.local_max_weight / 2);
+  }
+}
+
+TEST(GeneratorsTest, PathGraph) {
+  Graph g = GeneratePath(5, 7);
+  EXPECT_EQ(g.NumVertices(), 5u);
+  EXPECT_EQ(g.NumEdges(), 4u);
+  Dijkstra dij(g);
+  EXPECT_EQ(dij.Distance(0, 4), 28u);
+}
+
+TEST(GeneratorsTest, SingleVertexPath) {
+  Graph g = GeneratePath(1, 3);
+  EXPECT_EQ(g.NumVertices(), 1u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+}
+
+TEST(GeneratorsTest, RandomConnectedGraphIsConnected) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Graph g = GenerateRandomConnectedGraph(120, 80, 1, 50, seed);
+    EXPECT_EQ(g.NumVertices(), 120u);
+    EXPECT_TRUE(IsConnected(g));
+    EXPECT_GE(g.NumEdges(), 119u);  // spanning tree at minimum
+  }
+}
+
+TEST(GeneratorsTest, RandomConnectedGraphWeightRange) {
+  Graph g = GenerateRandomConnectedGraph(60, 40, 10, 20, 3);
+  for (const Edge& e : g.edges()) {
+    EXPECT_GE(e.w, 10u);
+    EXPECT_LE(e.w, 20u);
+  }
+}
+
+}  // namespace
+}  // namespace stl

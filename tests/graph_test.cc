@@ -1,0 +1,146 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tests/test_util.h"
+
+namespace stl {
+namespace {
+
+using testing_util::MakeGraph;
+using testing_util::TwoComponentGraph;
+
+TEST(GraphTest, EmptyGraph) {
+  Result<Graph> g = Graph::FromEdges(0, {});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().NumVertices(), 0u);
+  EXPECT_EQ(g.value().NumEdges(), 0u);
+  EXPECT_TRUE(IsConnected(g.value()));
+}
+
+TEST(GraphTest, BasicAccessors) {
+  Graph g = MakeGraph(4, {{0, 1, 5}, {1, 2, 7}, {0, 2, 3}, {2, 3, 1}});
+  EXPECT_EQ(g.NumVertices(), 4u);
+  EXPECT_EQ(g.NumEdges(), 4u);
+  EXPECT_EQ(g.Degree(0), 2u);
+  EXPECT_EQ(g.Degree(2), 3u);
+  EXPECT_EQ(g.Degree(3), 1u);
+}
+
+TEST(GraphTest, AdjacencySortedByHead) {
+  Graph g = MakeGraph(5, {{2, 4, 1}, {2, 0, 1}, {2, 3, 1}, {2, 1, 1}});
+  auto arcs = g.ArcsOf(2);
+  ASSERT_EQ(arcs.size(), 4u);
+  for (size_t i = 0; i + 1 < arcs.size(); ++i) {
+    EXPECT_LT(arcs[i].head, arcs[i + 1].head);
+  }
+}
+
+TEST(GraphTest, ArcWeightsMirrorEdges) {
+  Graph g = MakeGraph(3, {{0, 1, 5}, {1, 2, 9}});
+  for (Vertex v = 0; v < 3; ++v) {
+    for (const Arc& a : g.ArcsOf(v)) {
+      EXPECT_EQ(a.weight, g.EdgeWeight(a.edge));
+    }
+  }
+}
+
+TEST(GraphTest, SetEdgeWeightUpdatesBothDirections) {
+  Graph g = MakeGraph(3, {{0, 1, 5}, {1, 2, 9}});
+  auto e = g.FindEdge(0, 1);
+  ASSERT_TRUE(e.has_value());
+  g.SetEdgeWeight(*e, 100);
+  EXPECT_EQ(g.EdgeWeight(*e), 100u);
+  for (const Arc& a : g.ArcsOf(0)) {
+    if (a.head == 1) {
+      EXPECT_EQ(a.weight, 100u);
+    }
+  }
+  for (const Arc& a : g.ArcsOf(1)) {
+    if (a.head == 0) {
+      EXPECT_EQ(a.weight, 100u);
+    }
+  }
+}
+
+TEST(GraphTest, FindEdgeBothDirectionsAndMissing) {
+  Graph g = MakeGraph(4, {{0, 1, 5}, {1, 2, 9}});
+  EXPECT_TRUE(g.FindEdge(0, 1).has_value());
+  EXPECT_TRUE(g.FindEdge(1, 0).has_value());
+  EXPECT_EQ(g.FindEdge(0, 1), g.FindEdge(1, 0));
+  EXPECT_FALSE(g.FindEdge(0, 2).has_value());
+  EXPECT_FALSE(g.FindEdge(0, 0).has_value());
+  EXPECT_FALSE(g.FindEdge(0, 99).has_value());
+}
+
+TEST(GraphTest, RejectsSelfLoop) {
+  Result<Graph> g = Graph::FromEdges(3, {{1, 1, 5}});
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphTest, RejectsOutOfRangeEndpoint) {
+  Result<Graph> g = Graph::FromEdges(3, {{0, 3, 5}});
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphTest, RejectsZeroWeight) {
+  Result<Graph> g = Graph::FromEdges(3, {{0, 1, 0}});
+  ASSERT_FALSE(g.ok());
+}
+
+TEST(GraphTest, RejectsOversizedWeight) {
+  Result<Graph> g = Graph::FromEdges(3, {{0, 1, kMaxEdgeWeight + 1}});
+  ASSERT_FALSE(g.ok());
+}
+
+TEST(GraphTest, RejectsDuplicateEdges) {
+  Result<Graph> g = Graph::FromEdges(3, {{0, 1, 5}, {1, 0, 7}});
+  ASSERT_FALSE(g.ok());
+  EXPECT_NE(g.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(GraphDeathTest, SetEdgeWeightValidatesRange) {
+  Graph g = MakeGraph(3, {{0, 1, 5}});
+  EXPECT_DEATH(g.SetEdgeWeight(0, 0), "out of range");
+}
+
+TEST(GraphTest, ConnectedComponents) {
+  Graph g = TwoComponentGraph();
+  auto [comp, num] = ConnectedComponents(g);
+  EXPECT_EQ(num, 2u);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_FALSE(IsConnected(g));
+}
+
+TEST(GraphTest, ExtractLargestComponent) {
+  Graph g = TwoComponentGraph();
+  auto [largest, remap] = ExtractLargestComponent(g);
+  EXPECT_EQ(largest.NumVertices(), 3u);
+  EXPECT_EQ(largest.NumEdges(), 3u);
+  EXPECT_TRUE(IsConnected(largest));
+  EXPECT_EQ(remap[3], UINT32_MAX);
+  EXPECT_EQ(remap[4], UINT32_MAX);
+  EXPECT_NE(remap[0], UINT32_MAX);
+}
+
+TEST(GraphTest, IsolatedVerticesAreComponents) {
+  Graph g = MakeGraph(4, {{0, 1, 2}});
+  auto [comp, num] = ConnectedComponents(g);
+  (void)comp;
+  EXPECT_EQ(num, 3u);
+}
+
+TEST(GraphTest, MemoryBytesNonTrivial) {
+  Graph g = MakeGraph(3, {{0, 1, 5}, {1, 2, 9}});
+  EXPECT_GT(g.MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace stl

@@ -1,0 +1,139 @@
+#include "baselines/h2h.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/dijkstra.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace stl {
+namespace {
+
+using testing_util::RandomUpdate;
+
+TEST(H2hTest, TinyGraphQueries) {
+  Graph g = testing_util::MakeGraph(
+      4, {{0, 1, 1}, {1, 2, 2}, {0, 2, 5}, {2, 3, 1}});
+  H2hIndex h2h = H2hIndex::Build(&g);
+  EXPECT_EQ(h2h.Query(0, 0), 0u);
+  EXPECT_EQ(h2h.Query(0, 2), 3u);
+  EXPECT_EQ(h2h.Query(0, 3), 4u);
+  EXPECT_EQ(h2h.Query(3, 1), 3u);
+}
+
+TEST(H2hTest, InitialLabelsValidate) {
+  Graph g = testing_util::SmallRoadNetwork(10, 1);
+  H2hIndex h2h = H2hIndex::Build(&g);
+  EXPECT_TRUE(h2h.ValidateLabels());
+  EXPECT_GT(h2h.TreeHeight(), 2u);
+  EXPECT_GT(h2h.TotalLabelEntries(), g.NumVertices());
+}
+
+class H2hSeeds : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(H2hSeeds, QueriesMatchDijkstra) {
+  Graph g = testing_util::SmallRoadNetwork(12, GetParam());
+  Graph ref = g;
+  H2hIndex h2h = H2hIndex::Build(&g);
+  Dijkstra dij(ref);
+  Rng rng(GetParam() * 3 + 2);
+  for (int i = 0; i < 250; ++i) {
+    Vertex s = static_cast<Vertex>(rng.NextBounded(g.NumVertices()));
+    Vertex t = static_cast<Vertex>(rng.NextBounded(g.NumVertices()));
+    ASSERT_EQ(h2h.Query(s, t), dij.Distance(s, t)) << "s=" << s << " t=" << t;
+  }
+}
+
+TEST_P(H2hSeeds, IncH2HMaintenanceExact) {
+  Graph g = testing_util::SmallRoadNetwork(10, GetParam());
+  H2hIndex h2h = H2hIndex::Build(&g);
+  Rng rng(GetParam() * 5 + 1);
+  for (int round = 0; round < 10; ++round) {
+    WeightUpdate u = RandomUpdate(g, &rng);
+    h2h.ApplyUpdate(u, H2hIndex::Maintenance::kIncH2H);
+    ASSERT_TRUE(h2h.ValidateLabels()) << "round " << round;
+  }
+}
+
+TEST_P(H2hSeeds, DtdhlMaintenanceExact) {
+  Graph g = testing_util::SmallRoadNetwork(10, GetParam());
+  H2hIndex h2h = H2hIndex::Build(&g);
+  Rng rng(GetParam() * 7 + 3);
+  for (int round = 0; round < 10; ++round) {
+    WeightUpdate u = RandomUpdate(g, &rng);
+    h2h.ApplyUpdate(u, H2hIndex::Maintenance::kDTDHL);
+    ASSERT_TRUE(h2h.ValidateLabels()) << "round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, H2hSeeds, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(H2hTest, IncAndDtdhlProduceSameLabels) {
+  Graph g1 = testing_util::SmallRoadNetwork(10, 9);
+  Graph g2 = g1;
+  H2hIndex a = H2hIndex::Build(&g1);
+  H2hIndex b = H2hIndex::Build(&g2);
+  Rng rng(9);
+  for (int round = 0; round < 10; ++round) {
+    WeightUpdate u = RandomUpdate(g1, &rng);
+    a.ApplyUpdate(u, H2hIndex::Maintenance::kIncH2H);
+    b.ApplyUpdate(u, H2hIndex::Maintenance::kDTDHL);
+    Dijkstra dij(g1);
+    for (int i = 0; i < 50; ++i) {
+      Vertex s = static_cast<Vertex>(rng.NextBounded(g1.NumVertices()));
+      Vertex t = static_cast<Vertex>(rng.NextBounded(g1.NumVertices()));
+      Weight want = dij.Distance(s, t);
+      ASSERT_EQ(a.Query(s, t), want) << "round " << round;
+      ASSERT_EQ(b.Query(s, t), want) << "round " << round;
+    }
+  }
+}
+
+TEST(H2hTest, QueriesAfterUpdatesMatchDijkstra) {
+  Graph g = testing_util::SmallRoadNetwork(11, 12);
+  H2hIndex h2h = H2hIndex::Build(&g);
+  Rng rng(12);
+  for (int round = 0; round < 8; ++round) {
+    WeightUpdate u = RandomUpdate(g, &rng);
+    h2h.ApplyUpdate(u, round % 2 ? H2hIndex::Maintenance::kDTDHL
+                                 : H2hIndex::Maintenance::kIncH2H);
+    Dijkstra dij(g);
+    for (int i = 0; i < 60; ++i) {
+      Vertex s = static_cast<Vertex>(rng.NextBounded(g.NumVertices()));
+      Vertex t = static_cast<Vertex>(rng.NextBounded(g.NumVertices()));
+      ASSERT_EQ(h2h.Query(s, t), dij.Distance(s, t)) << "round " << round;
+    }
+  }
+}
+
+TEST(H2hTest, IncMemoryLargerThanDtdhl) {
+  Graph g = testing_util::SmallRoadNetwork(12, 13);
+  H2hIndex h2h = H2hIndex::Build(&g);
+  EXPECT_GT(h2h.MemoryBytes(H2hIndex::Maintenance::kIncH2H),
+            h2h.MemoryBytes(H2hIndex::Maintenance::kDTDHL));
+}
+
+TEST(H2hTest, StatsAccumulate) {
+  Graph g = testing_util::SmallRoadNetwork(10, 14);
+  H2hIndex h2h = H2hIndex::Build(&g);
+  Rng rng(14);
+  WeightUpdate u = RandomUpdate(g, &rng);
+  h2h.ApplyUpdate(u, H2hIndex::Maintenance::kIncH2H);
+  EXPECT_GT(h2h.stats().queue_pops, 0u);
+}
+
+TEST(H2hTest, WorksOnRandomTopology) {
+  Graph g = GenerateRandomConnectedGraph(120, 90, 1, 25, 15);
+  Graph ref = g;
+  H2hIndex h2h = H2hIndex::Build(&g);
+  Dijkstra dij(ref);
+  Rng rng(15);
+  for (int i = 0; i < 200; ++i) {
+    Vertex s = static_cast<Vertex>(rng.NextBounded(g.NumVertices()));
+    Vertex t = static_cast<Vertex>(rng.NextBounded(g.NumVertices()));
+    ASSERT_EQ(h2h.Query(s, t), dij.Distance(s, t));
+  }
+}
+
+}  // namespace
+}  // namespace stl

@@ -1,0 +1,123 @@
+#include "baselines/hc2l.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/dijkstra.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace stl {
+namespace {
+
+Hc2lIndex BuildFor(const Graph& g, uint64_t seed) {
+  HierarchyOptions opt;
+  opt.seed = seed;
+  return Hc2lIndex::Build(g, opt);
+}
+
+TEST(Hc2lTest, TinyGraphQueries) {
+  Graph g = testing_util::MakeGraph(
+      4, {{0, 1, 1}, {1, 2, 2}, {0, 2, 5}, {2, 3, 1}});
+  Hc2lIndex idx = BuildFor(g, 1);
+  EXPECT_EQ(idx.Query(0, 0), 0u);
+  EXPECT_EQ(idx.Query(0, 2), 3u);
+  EXPECT_EQ(idx.Query(0, 3), 4u);
+}
+
+class Hc2lSeeds : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Hc2lSeeds, QueriesMatchDijkstra) {
+  Graph g = testing_util::SmallRoadNetwork(12, GetParam());
+  Hc2lIndex idx = BuildFor(g, GetParam());
+  Dijkstra dij(g);
+  Rng rng(GetParam() * 3 + 2);
+  for (int i = 0; i < 300; ++i) {
+    Vertex s = static_cast<Vertex>(rng.NextBounded(g.NumVertices()));
+    Vertex t = static_cast<Vertex>(rng.NextBounded(g.NumVertices()));
+    ASSERT_EQ(idx.Query(s, t), dij.Distance(s, t)) << "s=" << s << " t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Hc2lSeeds,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Hc2lTest, LabelsStoreGlobalDistances) {
+  // Unlike STL's subgraph distances, HC2L labels equal d_G thanks to the
+  // distance-preserving augmentation.
+  Graph g = testing_util::SmallRoadNetwork(9, 4);
+  Hc2lIndex idx = BuildFor(g, 4);
+  const auto& h = idx.hierarchy();
+  Dijkstra dij(g);
+  Rng rng(4);
+  // Sample (vertex, ancestor) pairs via the hierarchy.
+  for (int i = 0; i < 150; ++i) {
+    Vertex v = static_cast<Vertex>(rng.NextBounded(g.NumVertices()));
+    uint32_t col = static_cast<uint32_t>(rng.NextBounded(h.LabelSize(v)));
+    Vertex r = h.AncestorAt(v, col);
+    // Access the label through a query with s == ancestor is indirect;
+    // instead verify via the public query on (v, r): the LCA node of
+    // (v, r) is r's node, and the minimum includes the direct column.
+    EXPECT_EQ(idx.Query(v, r), dij.Distance(v, r));
+  }
+}
+
+TEST(Hc2lTest, ShortcutsAreAdded) {
+  Graph g = testing_util::SmallRoadNetwork(12, 5);
+  Hc2lIndex idx = BuildFor(g, 5);
+  EXPECT_GT(idx.NumShortcutsAdded(), 0u);
+}
+
+TEST(Hc2lTest, LargerLabelsThanStl) {
+  // The augmented cuts are at least as large as STL's shortcut-free cuts
+  // (Section 4, Remark 1): compare total label entries.
+  Graph g = testing_util::SmallRoadNetwork(14, 6);
+  Hc2lIndex hc2l = BuildFor(g, 6);
+  HierarchyOptions opt;
+  opt.seed = 6;
+  TreeHierarchy stl_h = TreeHierarchy::Build(g, opt);
+  EXPECT_GE(hc2l.TotalLabelEntries() * 100,
+            stl_h.TotalLabelEntries() * 95);  // allow 5% heuristic noise
+}
+
+TEST(Hc2lTest, SameNodeAndAncestorNodeQueryCases) {
+  Graph g = testing_util::SmallRoadNetwork(10, 7);
+  Hc2lIndex idx = BuildFor(g, 7);
+  const auto& h = idx.hierarchy();
+  Dijkstra dij(g);
+  // Same-node pairs: vertices mapped to the same hierarchy node.
+  int same_node_checked = 0;
+  for (uint32_t nid = 0; nid < h.NumNodes() && same_node_checked < 50;
+       ++nid) {
+    auto verts = h.VerticesOf(nid);
+    for (size_t i = 0; i + 1 < verts.size() && same_node_checked < 50; ++i) {
+      ASSERT_EQ(idx.Query(verts[i], verts[i + 1]),
+                dij.Distance(verts[i], verts[i + 1]));
+      ++same_node_checked;
+    }
+  }
+  EXPECT_GT(same_node_checked, 0);
+}
+
+TEST(Hc2lTest, DeterministicBuild) {
+  Graph g = testing_util::SmallRoadNetwork(9, 8);
+  Hc2lIndex a = BuildFor(g, 8);
+  Hc2lIndex b = BuildFor(g, 8);
+  EXPECT_EQ(a.TotalLabelEntries(), b.TotalLabelEntries());
+  EXPECT_EQ(a.NumShortcutsAdded(), b.NumShortcutsAdded());
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) {
+    Vertex s = static_cast<Vertex>(rng.NextBounded(g.NumVertices()));
+    Vertex t = static_cast<Vertex>(rng.NextBounded(g.NumVertices()));
+    EXPECT_EQ(a.Query(s, t), b.Query(s, t));
+  }
+}
+
+TEST(Hc2lTest, MemoryAccounting) {
+  Graph g = testing_util::SmallRoadNetwork(10, 9);
+  Hc2lIndex idx = BuildFor(g, 9);
+  EXPECT_GT(idx.MemoryBytes(), 0u);
+  EXPECT_GT(idx.build_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace stl

@@ -1,0 +1,155 @@
+// End-to-end tests: every index built over the same network, subjected to
+// the same update storm, cross-checked against Dijkstra after each step —
+// the full pipeline the benchmarks rely on.
+#include <gtest/gtest.h>
+
+#include "baselines/ch.h"
+#include "baselines/h2h.h"
+#include "baselines/hc2l.h"
+#include "core/stl_index.h"
+#include "graph/dijkstra.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+#include "workload/query_workload.h"
+#include "workload/update_workload.h"
+
+namespace stl {
+namespace {
+
+using testing_util::LabelDiffCount;
+using testing_util::RandomUpdate;
+
+TEST(IntegrationTest, AllIndexesAgreeStatic) {
+  Graph base = testing_util::SmallRoadNetwork(18, 100);
+  Graph g_stl = base, g_ch = base, g_h2h = base;
+  StlIndex stl_idx = StlIndex::Build(&g_stl, HierarchyOptions{});
+  ChIndex ch = ChIndex::Build(&g_ch);
+  H2hIndex h2h = H2hIndex::Build(&g_h2h);
+  Hc2lIndex hc2l = Hc2lIndex::Build(base, HierarchyOptions{});
+  Dijkstra dij(base);
+  Rng rng(100);
+  for (int i = 0; i < 400; ++i) {
+    Vertex s = static_cast<Vertex>(rng.NextBounded(base.NumVertices()));
+    Vertex t = static_cast<Vertex>(rng.NextBounded(base.NumVertices()));
+    Weight want = dij.Distance(s, t);
+    ASSERT_EQ(stl_idx.Query(s, t), want);
+    ASSERT_EQ(ch.Query(s, t), want);
+    ASSERT_EQ(h2h.Query(s, t), want);
+    ASSERT_EQ(hc2l.Query(s, t), want);
+  }
+}
+
+TEST(IntegrationTest, DynamicIndexesAgreeUnderUpdateStorm) {
+  Graph base = testing_util::SmallRoadNetwork(13, 200);
+  Graph g_p = base, g_l = base, g_h = base;
+  StlIndex pareto = StlIndex::Build(&g_p, HierarchyOptions{});
+  StlIndex label = StlIndex::Build(&g_l, HierarchyOptions{});
+  H2hIndex h2h = H2hIndex::Build(&g_h);
+  Rng rng(200);
+  Graph shadow = base;  // reference graph receiving the same updates
+  for (int round = 0; round < 20; ++round) {
+    WeightUpdate u = RandomUpdate(shadow, &rng);
+    ApplyBatch(&shadow, {u});
+    pareto.ApplyUpdate(u, MaintenanceStrategy::kParetoSearch);
+    label.ApplyUpdate(u, MaintenanceStrategy::kLabelSearch);
+    h2h.ApplyUpdate(u, H2hIndex::Maintenance::kIncH2H);
+    Dijkstra dij(shadow);
+    for (int i = 0; i < 40; ++i) {
+      Vertex s = static_cast<Vertex>(rng.NextBounded(shadow.NumVertices()));
+      Vertex t = static_cast<Vertex>(rng.NextBounded(shadow.NumVertices()));
+      Weight want = dij.Distance(s, t);
+      ASSERT_EQ(pareto.Query(s, t), want) << "round " << round;
+      ASSERT_EQ(label.Query(s, t), want) << "round " << round;
+      ASSERT_EQ(h2h.Query(s, t), want) << "round " << round;
+    }
+  }
+  // Both STL engines end with byte-identical labels.
+  EXPECT_EQ(LabelDiffCount(pareto.labels(), label.labels()), 0u);
+}
+
+TEST(IntegrationTest, PaperWorkflowIncreaseThenRestore) {
+  // The experimental procedure of Section 7: a batch of x2 increases, then
+  // the restoring decreases; the index must return to its original state.
+  Graph g = testing_util::SmallRoadNetwork(14, 300);
+  StlIndex idx = StlIndex::Build(&g, HierarchyOptions{});
+  Labelling original = idx.labels();
+  auto edges = SampleDistinctEdges(g, 60, 300);
+  UpdateBatch inc = MakeIncreaseBatch(g, edges, 2.0);
+  idx.ApplyBatch(inc, MaintenanceStrategy::kParetoSearch);
+  UpdateBatch dec = MakeRestoreBatch(inc);
+  idx.ApplyBatch(dec, MaintenanceStrategy::kParetoSearch);
+  EXPECT_EQ(LabelDiffCount(idx.labels(), original), 0u);
+
+  idx.ApplyBatch(inc, MaintenanceStrategy::kLabelSearch);
+  idx.ApplyBatch(dec, MaintenanceStrategy::kLabelSearch);
+  EXPECT_EQ(LabelDiffCount(idx.labels(), original), 0u);
+}
+
+TEST(IntegrationTest, StratifiedQueriesAnsweredIdentically) {
+  Graph base = testing_util::SmallRoadNetwork(16, 400);
+  Graph g_stl = base, g_h2h = base;
+  StlIndex stl_idx = StlIndex::Build(&g_stl, HierarchyOptions{});
+  H2hIndex h2h = H2hIndex::Build(&g_h2h);
+  Hc2lIndex hc2l = Hc2lIndex::Build(base, HierarchyOptions{});
+  auto sets = StratifiedQuerySets(base, 40, 400);
+  Dijkstra dij(base);
+  for (const auto& set : sets) {
+    for (auto [s, t] : set) {
+      Weight want = dij.Distance(s, t);
+      ASSERT_EQ(stl_idx.Query(s, t), want);
+      ASSERT_EQ(h2h.Query(s, t), want);
+      ASSERT_EQ(hc2l.Query(s, t), want);
+    }
+  }
+}
+
+TEST(IntegrationTest, DeterministicBuildAcrossRuns) {
+  Graph g1 = testing_util::SmallRoadNetwork(12, 500);
+  Graph g2 = testing_util::SmallRoadNetwork(12, 500);
+  StlIndex a = StlIndex::Build(&g1, HierarchyOptions{});
+  StlIndex b = StlIndex::Build(&g2, HierarchyOptions{});
+  EXPECT_TRUE(a.hierarchy() == b.hierarchy());
+  EXPECT_EQ(LabelDiffCount(a.labels(), b.labels()), 0u);
+}
+
+TEST(IntegrationTest, EdgeDeletionViaLargeIncrease) {
+  // Section 8: edge deletion = weight increase to "effectively infinite"
+  // (the max edge weight; the label search handles it like any increase).
+  Graph g = testing_util::SmallRoadNetwork(10, 600);
+  StlIndex idx = StlIndex::Build(&g, HierarchyOptions{});
+  Rng rng(600);
+  for (int round = 0; round < 5; ++round) {
+    EdgeId e = static_cast<EdgeId>(rng.NextBounded(g.NumEdges()));
+    Weight w = g.EdgeWeight(e);
+    if (w >= kMaxEdgeWeight) continue;
+    idx.ApplyUpdate(WeightUpdate{e, w, kMaxEdgeWeight},
+                    MaintenanceStrategy::kLabelSearch);
+    Dijkstra dij(g);
+    for (int i = 0; i < 40; ++i) {
+      Vertex s = static_cast<Vertex>(rng.NextBounded(g.NumVertices()));
+      Vertex t = static_cast<Vertex>(rng.NextBounded(g.NumVertices()));
+      ASSERT_EQ(idx.Query(s, t), dij.Distance(s, t));
+    }
+    // Restore.
+    idx.ApplyUpdate(WeightUpdate{e, kMaxEdgeWeight, w},
+                    MaintenanceStrategy::kParetoSearch);
+  }
+}
+
+TEST(IntegrationTest, MediumNetworkSanity) {
+  // One larger build to catch scaling-only bugs (still < 1s).
+  Graph base = testing_util::SmallRoadNetwork(32, 700);
+  Graph g = base;
+  StlIndex idx = StlIndex::Build(&g, HierarchyOptions{});
+  EXPECT_GT(idx.hierarchy().Depth(), 5u);
+  BidirectionalDijkstra bi(base);
+  Rng rng(700);
+  for (int i = 0; i < 200; ++i) {
+    Vertex s = static_cast<Vertex>(rng.NextBounded(g.NumVertices()));
+    Vertex t = static_cast<Vertex>(rng.NextBounded(g.NumVertices()));
+    ASSERT_EQ(idx.Query(s, t), bi.Distance(s, t));
+  }
+}
+
+}  // namespace
+}  // namespace stl

@@ -1,0 +1,202 @@
+#include "core/label_search.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/dijkstra.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace stl {
+namespace {
+
+using testing_util::LabelDiffCount;
+using testing_util::RandomUpdate;
+
+struct Fixture {
+  Graph g;
+  TreeHierarchy h;
+  Labelling labels;
+  LabelSearch engine;
+
+  explicit Fixture(Graph graph, uint64_t seed = 1)
+      : g(std::move(graph)),
+        h(TreeHierarchy::Build(g, MakeOpt(seed))),
+        labels(BuildLabelling(g, h)),
+        engine(&g, h, &labels) {}
+
+  static HierarchyOptions MakeOpt(uint64_t seed) {
+    HierarchyOptions opt;
+    opt.seed = seed;
+    return opt;
+  }
+
+  /// Ground truth: labels rebuilt from the graph's current weights.
+  Labelling Rebuilt() const { return BuildLabelling(g, h); }
+};
+
+TEST(LabelSearchTest, SingleDecreaseMatchesRebuild) {
+  Fixture f(testing_util::SmallRoadNetwork(10, 1));
+  EdgeId e = 17 % f.g.NumEdges();
+  Weight w = f.g.EdgeWeight(e);
+  ASSERT_GT(w, 1u);
+  f.engine.ApplyDecreaseBatch({WeightUpdate{e, w, 1}});
+  EXPECT_EQ(f.g.EdgeWeight(e), 1u);
+  EXPECT_EQ(LabelDiffCount(f.labels, f.Rebuilt()), 0u);
+}
+
+TEST(LabelSearchTest, SingleIncreaseMatchesRebuild) {
+  Fixture f(testing_util::SmallRoadNetwork(10, 2));
+  EdgeId e = 23 % f.g.NumEdges();
+  Weight w = f.g.EdgeWeight(e);
+  f.engine.ApplyIncreaseBatch({WeightUpdate{e, w, w * 5}});
+  EXPECT_EQ(f.g.EdgeWeight(e), w * 5);
+  EXPECT_EQ(LabelDiffCount(f.labels, f.Rebuilt()), 0u);
+}
+
+TEST(LabelSearchTest, IncreaseThenRestoreReturnsOriginalLabels) {
+  Fixture f(testing_util::SmallRoadNetwork(10, 3));
+  Labelling original = f.labels;
+  EdgeId e = 5 % f.g.NumEdges();
+  Weight w = f.g.EdgeWeight(e);
+  f.engine.ApplyIncreaseBatch({WeightUpdate{e, w, w * 3}});
+  f.engine.ApplyDecreaseBatch({WeightUpdate{e, w * 3, w}});
+  EXPECT_EQ(LabelDiffCount(f.labels, original), 0u);
+}
+
+TEST(LabelSearchTest, BatchDecrease) {
+  Fixture f(testing_util::SmallRoadNetwork(12, 4));
+  UpdateBatch batch;
+  Rng rng(4);
+  std::vector<bool> used(f.g.NumEdges(), false);
+  while (batch.size() < 20) {
+    EdgeId e = static_cast<EdgeId>(rng.NextBounded(f.g.NumEdges()));
+    if (used[e]) continue;
+    used[e] = true;
+    Weight w = f.g.EdgeWeight(e);
+    if (w <= 1) continue;
+    batch.push_back(WeightUpdate{e, w, static_cast<Weight>(1 + w / 3)});
+  }
+  f.engine.ApplyDecreaseBatch(batch);
+  EXPECT_EQ(LabelDiffCount(f.labels, f.Rebuilt()), 0u);
+}
+
+TEST(LabelSearchTest, BatchIncrease) {
+  Fixture f(testing_util::SmallRoadNetwork(12, 5));
+  UpdateBatch batch;
+  Rng rng(5);
+  std::vector<bool> used(f.g.NumEdges(), false);
+  while (batch.size() < 20) {
+    EdgeId e = static_cast<EdgeId>(rng.NextBounded(f.g.NumEdges()));
+    if (used[e]) continue;
+    used[e] = true;
+    Weight w = f.g.EdgeWeight(e);
+    batch.push_back(WeightUpdate{e, w, w * 2});
+  }
+  f.engine.ApplyIncreaseBatch(batch);
+  EXPECT_EQ(LabelDiffCount(f.labels, f.Rebuilt()), 0u);
+}
+
+TEST(LabelSearchTest, MixedBatchViaApplyBatch) {
+  Fixture f(testing_util::SmallRoadNetwork(12, 6));
+  UpdateBatch batch;
+  Rng rng(6);
+  std::vector<bool> used(f.g.NumEdges(), false);
+  while (batch.size() < 24) {
+    EdgeId e = static_cast<EdgeId>(rng.NextBounded(f.g.NumEdges()));
+    if (used[e]) continue;
+    used[e] = true;
+    Weight w = f.g.EdgeWeight(e);
+    Weight nw = (batch.size() % 2 == 0) ? w * 2
+                                        : std::max<Weight>(1, w / 2);
+    if (nw == w) continue;
+    batch.push_back(WeightUpdate{e, w, nw});
+  }
+  f.engine.ApplyBatch(batch);
+  EXPECT_EQ(LabelDiffCount(f.labels, f.Rebuilt()), 0u);
+}
+
+TEST(LabelSearchTest, EmptyBatchesAreNoOps) {
+  Fixture f(testing_util::SmallRoadNetwork(6, 7));
+  Labelling before = f.labels;
+  f.engine.ApplyDecreaseBatch({});
+  f.engine.ApplyIncreaseBatch({});
+  f.engine.ApplyBatch({});
+  EXPECT_EQ(LabelDiffCount(f.labels, before), 0u);
+}
+
+TEST(LabelSearchTest, NoOpUpdatesInMixedBatchIgnored) {
+  Fixture f(testing_util::SmallRoadNetwork(6, 8));
+  Labelling before = f.labels;
+  Weight w = f.g.EdgeWeight(0);
+  f.engine.ApplyBatch({WeightUpdate{0, w, w}});
+  EXPECT_EQ(LabelDiffCount(f.labels, before), 0u);
+}
+
+TEST(LabelSearchDeathTest, WrongDirectionRejected) {
+  Fixture f(testing_util::SmallRoadNetwork(6, 9));
+  Weight w = f.g.EdgeWeight(0);
+  EXPECT_DEATH(f.engine.ApplyDecreaseBatch({WeightUpdate{0, w, w + 1}}),
+               "non-decrease");
+  EXPECT_DEATH(f.engine.ApplyIncreaseBatch({WeightUpdate{0, w, w - 1}}),
+               "non-increase");
+}
+
+TEST(LabelSearchTest, StatsAccumulate) {
+  Fixture f(testing_util::SmallRoadNetwork(10, 10));
+  EdgeId e = 3 % f.g.NumEdges();
+  Weight w = f.g.EdgeWeight(e);
+  f.engine.ApplyIncreaseBatch({WeightUpdate{e, w, w * 4}});
+  EXPECT_GT(f.engine.stats().queue_pops, 0u);
+  EXPECT_GT(f.engine.stats().label_writes, 0u);
+}
+
+TEST(LabelSearchTest, QueriesStayCorrectUnderUpdates) {
+  Fixture f(testing_util::SmallRoadNetwork(11, 11));
+  Rng rng(11);
+  for (int round = 0; round < 8; ++round) {
+    WeightUpdate u = RandomUpdate(f.g, &rng);
+    f.engine.ApplyBatch({u});
+    Dijkstra dij(f.g);
+    for (int i = 0; i < 60; ++i) {
+      Vertex s = static_cast<Vertex>(rng.NextBounded(f.g.NumVertices()));
+      Vertex t = static_cast<Vertex>(rng.NextBounded(f.g.NumVertices()));
+      ASSERT_EQ(QueryDistance(f.h, f.labels, s, t), dij.Distance(s, t))
+          << "round " << round;
+    }
+  }
+}
+
+class LabelSearchRandomized : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LabelSearchRandomized, LongUpdateSequenceMatchesRebuild) {
+  const uint64_t seed = GetParam();
+  Fixture f(testing_util::SmallRoadNetwork(9, seed), seed);
+  Rng rng(seed * 7 + 5);
+  for (int round = 0; round < 25; ++round) {
+    WeightUpdate u = RandomUpdate(f.g, &rng);
+    if (u.new_weight > u.old_weight) {
+      f.engine.ApplyIncreaseBatch({u});
+    } else {
+      f.engine.ApplyDecreaseBatch({u});
+    }
+    ASSERT_EQ(LabelDiffCount(f.labels, f.Rebuilt()), 0u)
+        << "seed " << seed << " round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LabelSearchRandomized,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(LabelSearchTest, WorksOnRandomTopology) {
+  Graph g = GenerateRandomConnectedGraph(120, 100, 1, 30, 42);
+  Fixture f(std::move(g), 42);
+  Rng rng(43);
+  for (int round = 0; round < 15; ++round) {
+    WeightUpdate u = RandomUpdate(f.g, &rng);
+    f.engine.ApplyBatch({u});
+    ASSERT_EQ(LabelDiffCount(f.labels, f.Rebuilt()), 0u) << round;
+  }
+}
+
+}  // namespace
+}  // namespace stl

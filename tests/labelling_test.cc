@@ -1,0 +1,197 @@
+#include "core/labelling.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/dijkstra.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace stl {
+namespace {
+
+struct Built {
+  Graph g;
+  TreeHierarchy h;
+  Labelling labels;
+};
+
+Built BuildAll(Graph g, uint64_t seed) {
+  HierarchyOptions opt;
+  opt.seed = seed;
+  TreeHierarchy h = TreeHierarchy::Build(g, opt);
+  Labelling labels = BuildLabelling(g, h);
+  return Built{std::move(g), std::move(h), std::move(labels)};
+}
+
+TEST(LabellingTest, ShapeMatchesHierarchy) {
+  auto b = BuildAll(testing_util::SmallRoadNetwork(10, 1), 1);
+  EXPECT_EQ(b.labels.NumVertices(), b.g.NumVertices());
+  for (Vertex v = 0; v < b.g.NumVertices(); ++v) {
+    EXPECT_EQ(b.labels.LabelSize(v), b.h.LabelSize(v));
+    EXPECT_EQ(b.labels.At(v, b.h.Tau(v)), 0u);  // self entry
+  }
+  EXPECT_EQ(b.labels.TotalEntries(), b.h.TotalLabelEntries());
+}
+
+TEST(LabellingTest, EntriesAreSubgraphDistances) {
+  // Definition 4.6: L_v[tau(r)] is the distance in G[Desc(r)], not in G.
+  auto b = BuildAll(testing_util::SmallRoadNetwork(8, 3), 3);
+  Rng rng(3);
+  int checked = 0;
+  for (int i = 0; i < 400 && checked < 120; ++i) {
+    Vertex v = static_cast<Vertex>(rng.NextBounded(b.g.NumVertices()));
+    uint32_t col = static_cast<uint32_t>(rng.NextBounded(b.h.LabelSize(v)));
+    Vertex r = b.h.AncestorAt(v, col);
+    // Build the induced subgraph Desc(r) = {x : tau(x) >= tau(r)}.
+    const uint32_t tr = b.h.Tau(r);
+    std::vector<uint32_t> remap(b.g.NumVertices(), UINT32_MAX);
+    uint32_t next = 0;
+    for (Vertex x = 0; x < b.g.NumVertices(); ++x) {
+      // Desc(r): on or below r's node, i.e. tau >= tau(r) AND r on the
+      // root path. Comparability via path prefix.
+      if (b.h.Tau(x) < tr) continue;
+      auto px = b.h.PathOf(b.h.NodeOf(x));
+      auto pr = b.h.PathOf(b.h.NodeOf(r));
+      if (px.size() < pr.size() || px[pr.size() - 1] != pr[pr.size() - 1]) {
+        continue;
+      }
+      remap[x] = next++;
+    }
+    if (remap[v] == UINT32_MAX) continue;  // v not below r (can't happen)
+    std::vector<Edge> edges;
+    for (const Edge& e : b.g.edges()) {
+      if (remap[e.u] != UINT32_MAX && remap[e.v] != UINT32_MAX) {
+        edges.push_back(Edge{remap[e.u], remap[e.v], e.w});
+      }
+    }
+    Graph sub = testing_util::MakeGraph(next, std::move(edges));
+    Dijkstra dij(sub);
+    EXPECT_EQ(b.labels.At(v, col), dij.Distance(remap[r], remap[v]))
+        << "v=" << v << " r=" << r;
+    ++checked;
+  }
+  EXPECT_GT(checked, 50);
+}
+
+TEST(LabellingTest, TwoHopCoverProperty) {
+  // Lemma 4.7: for every pair some common-ancestor column is tight.
+  auto b = BuildAll(testing_util::SmallRoadNetwork(9, 5), 5);
+  Dijkstra dij(b.g);
+  Rng rng(55);
+  for (int i = 0; i < 300; ++i) {
+    Vertex s = static_cast<Vertex>(rng.NextBounded(b.g.NumVertices()));
+    Vertex t = static_cast<Vertex>(rng.NextBounded(b.g.NumVertices()));
+    Weight want = dij.Distance(s, t);
+    uint32_t k = b.h.CommonAncestorCount(s, t);
+    Weight best = kInfDistance;
+    bool never_below = true;
+    for (uint32_t j = 0; j < k; ++j) {
+      Weight cand = SaturatingAdd(b.labels.At(s, j), b.labels.At(t, j));
+      never_below = never_below && cand >= want;
+      best = std::min(best, cand);
+    }
+    EXPECT_TRUE(never_below);  // labels never undercut the true distance
+    EXPECT_EQ(best, want) << "s=" << s << " t=" << t;
+  }
+}
+
+class QueryAgreement
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint64_t>> {};
+
+TEST_P(QueryAgreement, MatchesDijkstra) {
+  auto [side, seed] = GetParam();
+  auto b = BuildAll(testing_util::SmallRoadNetwork(side, seed), seed);
+  Dijkstra dij(b.g);
+  Rng rng(seed * 101 + side);
+  for (int i = 0; i < 250; ++i) {
+    Vertex s = static_cast<Vertex>(rng.NextBounded(b.g.NumVertices()));
+    Vertex t = static_cast<Vertex>(rng.NextBounded(b.g.NumVertices()));
+    EXPECT_EQ(QueryDistance(b.h, b.labels, s, t), dij.Distance(s, t))
+        << "s=" << s << " t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, QueryAgreement,
+    ::testing::Combine(::testing::Values(6u, 10u, 16u),
+                       ::testing::Values(1u, 2u, 3u, 4u)));
+
+TEST(LabellingTest, QueryIsSymmetric) {
+  auto b = BuildAll(testing_util::SmallRoadNetwork(10, 7), 7);
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    Vertex s = static_cast<Vertex>(rng.NextBounded(b.g.NumVertices()));
+    Vertex t = static_cast<Vertex>(rng.NextBounded(b.g.NumVertices()));
+    EXPECT_EQ(QueryDistance(b.h, b.labels, s, t),
+              QueryDistance(b.h, b.labels, t, s));
+  }
+}
+
+TEST(LabellingTest, SelfQueryIsZero) {
+  auto b = BuildAll(testing_util::SmallRoadNetwork(7, 2), 2);
+  for (Vertex v = 0; v < b.g.NumVertices(); v += 3) {
+    EXPECT_EQ(QueryDistance(b.h, b.labels, v, v), 0u);
+  }
+}
+
+TEST(LabellingTest, DisconnectedPairsAreInf) {
+  auto b = BuildAll(testing_util::TwoComponentGraph(), 9);
+  EXPECT_EQ(QueryDistance(b.h, b.labels, 0, 3), kInfDistance);
+  EXPECT_EQ(QueryDistance(b.h, b.labels, 4, 1), kInfDistance);
+  Dijkstra dij(b.g);
+  EXPECT_EQ(QueryDistance(b.h, b.labels, 0, 2), dij.Distance(0, 2));
+  EXPECT_EQ(QueryDistance(b.h, b.labels, 3, 4), 7u);
+}
+
+TEST(LabellingTest, RandomGraphsNotJustGrids) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Graph g = GenerateRandomConnectedGraph(150, 120, 1, 40, seed);
+    auto b = BuildAll(std::move(g), seed);
+    Dijkstra dij(b.g);
+    Rng rng(seed);
+    for (int i = 0; i < 150; ++i) {
+      Vertex s = static_cast<Vertex>(rng.NextBounded(b.g.NumVertices()));
+      Vertex t = static_cast<Vertex>(rng.NextBounded(b.g.NumVertices()));
+      ASSERT_EQ(QueryDistance(b.h, b.labels, s, t), dij.Distance(s, t))
+          << "seed=" << seed << " s=" << s << " t=" << t;
+    }
+  }
+}
+
+TEST(LabellingTest, RebuildColumnIsIdempotent) {
+  auto b = BuildAll(testing_util::SmallRoadNetwork(8, 11), 11);
+  Labelling copy = b.labels;
+  Rng rng(11);
+  for (int i = 0; i < 30; ++i) {
+    Vertex r = static_cast<Vertex>(rng.NextBounded(b.g.NumVertices()));
+    RebuildColumn(b.g, b.h, r, &copy);
+  }
+  EXPECT_EQ(testing_util::LabelDiffCount(b.labels, copy), 0u);
+}
+
+TEST(LabellingTest, SerializeRoundTrip) {
+  auto b = BuildAll(testing_util::SmallRoadNetwork(8, 13), 13);
+  const std::string path = std::string(::testing::TempDir()) + "/lab.bin";
+  {
+    BinaryWriter w;
+    ASSERT_TRUE(w.Open(path, 1, 1).ok());
+    ASSERT_TRUE(b.labels.Serialize(&w).ok());
+    ASSERT_TRUE(w.Close().ok());
+  }
+  Labelling l2;
+  BinaryReader r;
+  ASSERT_TRUE(r.Open(path, 1, 1).ok());
+  ASSERT_TRUE(l2.Deserialize(&r).ok());
+  EXPECT_TRUE(b.labels == l2);
+}
+
+TEST(LabellingTest, SaturatingAdd) {
+  EXPECT_EQ(SaturatingAdd(1, 2), 3u);
+  EXPECT_EQ(SaturatingAdd(kInfDistance, 5), kInfDistance);
+  EXPECT_EQ(SaturatingAdd(kInfDistance, kInfDistance), kInfDistance);
+  EXPECT_EQ(SaturatingAdd(kInfDistance - 1, 0), kInfDistance - 1);
+  EXPECT_EQ(SaturatingAdd(kInfDistance - 1, 1), kInfDistance);
+}
+
+}  // namespace
+}  // namespace stl

@@ -1,0 +1,129 @@
+// Tests for shortest-path reconstruction (QueryPath) and parallel label
+// construction.
+#include <gtest/gtest.h>
+
+#include "core/stl_index.h"
+#include "graph/dijkstra.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace stl {
+namespace {
+
+using testing_util::LabelDiffCount;
+using testing_util::RandomUpdate;
+
+/// Checks that `path` is a real s-t walk in g with total weight `want`.
+void ExpectValidPath(const Graph& g, const std::vector<Vertex>& path,
+                     Vertex s, Vertex t, Weight want) {
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.front(), s);
+  EXPECT_EQ(path.back(), t);
+  uint64_t total = 0;
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    auto e = g.FindEdge(path[i], path[i + 1]);
+    ASSERT_TRUE(e.has_value())
+        << "no edge " << path[i] << "-" << path[i + 1];
+    total += g.EdgeWeight(*e);
+  }
+  EXPECT_EQ(total, want);
+}
+
+TEST(QueryPathTest, TrivialCases) {
+  Graph g = testing_util::SmallRoadNetwork(8, 1);
+  StlIndex idx = StlIndex::Build(&g, HierarchyOptions{});
+  auto self = idx.QueryShortestPath(3, 3);
+  ASSERT_EQ(self.size(), 1u);
+  EXPECT_EQ(self[0], 3u);
+}
+
+TEST(QueryPathTest, UnreachableIsEmpty) {
+  Graph g = testing_util::TwoComponentGraph();
+  StlIndex idx = StlIndex::Build(&g, HierarchyOptions{});
+  EXPECT_TRUE(idx.QueryShortestPath(0, 4).empty());
+  EXPECT_FALSE(idx.QueryShortestPath(0, 2).empty());
+}
+
+class PathSeeds : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PathSeeds, PathsAreValidShortestPaths) {
+  Graph g = testing_util::SmallRoadNetwork(12, GetParam());
+  Graph ref = g;
+  StlIndex idx = StlIndex::Build(&g, HierarchyOptions{});
+  Dijkstra dij(ref);
+  Rng rng(GetParam() * 17 + 1);
+  for (int i = 0; i < 150; ++i) {
+    Vertex s = static_cast<Vertex>(rng.NextBounded(g.NumVertices()));
+    Vertex t = static_cast<Vertex>(rng.NextBounded(g.NumVertices()));
+    Weight want = dij.Distance(s, t);
+    auto path = idx.QueryShortestPath(s, t);
+    if (want == kInfDistance) {
+      EXPECT_TRUE(path.empty());
+    } else if (s == t) {
+      EXPECT_EQ(path.size(), 1u);
+    } else {
+      ExpectValidPath(g, path, s, t, want);
+    }
+  }
+}
+
+TEST_P(PathSeeds, PathsStayValidUnderUpdates) {
+  Graph g = testing_util::SmallRoadNetwork(9, GetParam());
+  StlIndex idx = StlIndex::Build(&g, HierarchyOptions{});
+  Rng rng(GetParam() * 23 + 5);
+  for (int round = 0; round < 6; ++round) {
+    idx.ApplyUpdate(RandomUpdate(g, &rng));
+    Dijkstra dij(g);
+    for (int i = 0; i < 40; ++i) {
+      Vertex s = static_cast<Vertex>(rng.NextBounded(g.NumVertices()));
+      Vertex t = static_cast<Vertex>(rng.NextBounded(g.NumVertices()));
+      if (s == t) continue;
+      Weight want = dij.Distance(s, t);
+      if (want == kInfDistance) continue;
+      ExpectValidPath(g, idx.QueryShortestPath(s, t), s, t, want);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PathSeeds,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(QueryPathTest, WorksOnRandomTopology) {
+  Graph g = GenerateRandomConnectedGraph(150, 130, 1, 30, 9);
+  Graph ref = g;
+  StlIndex idx = StlIndex::Build(&g, HierarchyOptions{});
+  Dijkstra dij(ref);
+  Rng rng(9);
+  for (int i = 0; i < 120; ++i) {
+    Vertex s = static_cast<Vertex>(rng.NextBounded(g.NumVertices()));
+    Vertex t = static_cast<Vertex>(rng.NextBounded(g.NumVertices()));
+    if (s == t) continue;
+    ExpectValidPath(g, idx.QueryShortestPath(s, t), s, t,
+                    dij.Distance(s, t));
+  }
+}
+
+TEST(ParallelBuildTest, ThreadsProduceIdenticalLabels) {
+  Graph g = testing_util::SmallRoadNetwork(16, 44);
+  HierarchyOptions opt;
+  TreeHierarchy h = TreeHierarchy::Build(g, opt);
+  Labelling serial = BuildLabelling(g, h, 1);
+  for (int threads : {2, 3, 4}) {
+    Labelling parallel = BuildLabelling(g, h, threads);
+    EXPECT_EQ(LabelDiffCount(serial, parallel), 0u) << threads;
+  }
+}
+
+TEST(ParallelBuildTest, IndexBuildWithThreads) {
+  Graph g1 = testing_util::SmallRoadNetwork(12, 45);
+  Graph g2 = g1;
+  HierarchyOptions serial;
+  HierarchyOptions parallel;
+  parallel.num_threads = 2;
+  StlIndex a = StlIndex::Build(&g1, serial);
+  StlIndex b = StlIndex::Build(&g2, parallel);
+  EXPECT_EQ(LabelDiffCount(a.labels(), b.labels()), 0u);
+}
+
+}  // namespace
+}  // namespace stl

@@ -1,0 +1,160 @@
+#include "core/stl_index.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/dijkstra.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace stl {
+namespace {
+
+using testing_util::RandomUpdate;
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(StlIndexTest, BuildAndQuery) {
+  Graph g = testing_util::SmallRoadNetwork(12, 1);
+  Graph ref = g;
+  StlIndex idx = StlIndex::Build(&g, HierarchyOptions{});
+  Dijkstra dij(ref);
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    Vertex s = static_cast<Vertex>(rng.NextBounded(g.NumVertices()));
+    Vertex t = static_cast<Vertex>(rng.NextBounded(g.NumVertices()));
+    EXPECT_EQ(idx.Query(s, t), dij.Distance(s, t));
+  }
+  EXPECT_GT(idx.MemoryBytes(), 0u);
+  EXPECT_GT(idx.build_info().total_seconds, 0.0);
+  EXPECT_GE(idx.build_info().total_seconds,
+            idx.build_info().labelling_seconds);
+}
+
+TEST(StlIndexTest, BothStrategiesMaintainCorrectness) {
+  Graph g = testing_util::SmallRoadNetwork(10, 2);
+  StlIndex idx = StlIndex::Build(&g, HierarchyOptions{});
+  Rng rng(2);
+  for (int round = 0; round < 12; ++round) {
+    WeightUpdate u = RandomUpdate(g, &rng);
+    idx.ApplyUpdate(u, round % 2 == 0 ? MaintenanceStrategy::kParetoSearch
+                                      : MaintenanceStrategy::kLabelSearch);
+    Dijkstra dij(g);
+    for (int i = 0; i < 50; ++i) {
+      Vertex s = static_cast<Vertex>(rng.NextBounded(g.NumVertices()));
+      Vertex t = static_cast<Vertex>(rng.NextBounded(g.NumVertices()));
+      ASSERT_EQ(idx.Query(s, t), dij.Distance(s, t)) << "round " << round;
+    }
+  }
+  EXPECT_GT(idx.MaintenanceStatsTotal().queue_pops, 0u);
+}
+
+TEST(StlIndexTest, ApplyBatchMixed) {
+  Graph g = testing_util::SmallRoadNetwork(10, 3);
+  StlIndex idx = StlIndex::Build(&g, HierarchyOptions{});
+  Rng rng(3);
+  UpdateBatch batch;
+  std::vector<bool> used(g.NumEdges(), false);
+  while (batch.size() < 12) {
+    WeightUpdate u = RandomUpdate(g, &rng);
+    if (used[u.edge]) continue;
+    used[u.edge] = true;
+    batch.push_back(u);
+  }
+  idx.ApplyBatch(batch, MaintenanceStrategy::kLabelSearch);
+  Dijkstra dij(g);
+  for (int i = 0; i < 100; ++i) {
+    Vertex s = static_cast<Vertex>(rng.NextBounded(g.NumVertices()));
+    Vertex t = static_cast<Vertex>(rng.NextBounded(g.NumVertices()));
+    ASSERT_EQ(idx.Query(s, t), dij.Distance(s, t));
+  }
+}
+
+TEST(StlIndexTest, SaveLoadRoundTrip) {
+  Graph g = testing_util::SmallRoadNetwork(9, 4);
+  StlIndex idx = StlIndex::Build(&g, HierarchyOptions{});
+  const std::string path = TempPath("idx.stl");
+  ASSERT_TRUE(idx.Save(path).ok());
+  Result<StlIndex> loaded = StlIndex::Load(&g, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  Rng rng(4);
+  for (int i = 0; i < 150; ++i) {
+    Vertex s = static_cast<Vertex>(rng.NextBounded(g.NumVertices()));
+    Vertex t = static_cast<Vertex>(rng.NextBounded(g.NumVertices()));
+    EXPECT_EQ(loaded.value().Query(s, t), idx.Query(s, t));
+  }
+}
+
+TEST(StlIndexTest, LoadedIndexSupportsUpdates) {
+  Graph g = testing_util::SmallRoadNetwork(9, 5);
+  StlIndex idx = StlIndex::Build(&g, HierarchyOptions{});
+  const std::string path = TempPath("idx_upd.stl");
+  ASSERT_TRUE(idx.Save(path).ok());
+  Result<StlIndex> loaded = StlIndex::Load(&g, path);
+  ASSERT_TRUE(loaded.ok());
+  Rng rng(5);
+  for (int round = 0; round < 6; ++round) {
+    WeightUpdate u = RandomUpdate(g, &rng);
+    loaded.value().ApplyUpdate(u);
+    Dijkstra dij(g);
+    for (int i = 0; i < 40; ++i) {
+      Vertex s = static_cast<Vertex>(rng.NextBounded(g.NumVertices()));
+      Vertex t = static_cast<Vertex>(rng.NextBounded(g.NumVertices()));
+      ASSERT_EQ(loaded.value().Query(s, t), dij.Distance(s, t));
+    }
+  }
+}
+
+TEST(StlIndexTest, LoadRejectsDifferentGraph) {
+  Graph g = testing_util::SmallRoadNetwork(9, 6);
+  StlIndex idx = StlIndex::Build(&g, HierarchyOptions{});
+  const std::string path = TempPath("idx_other.stl");
+  ASSERT_TRUE(idx.Save(path).ok());
+  Graph other = testing_util::SmallRoadNetwork(11, 7);
+  Result<StlIndex> loaded = StlIndex::Load(&other, path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StlIndexTest, LoadRejectsMissingAndCorruptFiles) {
+  Graph g = testing_util::SmallRoadNetwork(8, 8);
+  Result<StlIndex> missing = StlIndex::Load(&g, TempPath("nope.stl"));
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kIOError);
+
+  const std::string path = TempPath("garbage.stl");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const char junk[] = "this is not an index";
+    std::fwrite(junk, 1, sizeof(junk), f);
+    std::fclose(f);
+  }
+  Result<StlIndex> corrupt = StlIndex::Load(&g, path);
+  ASSERT_FALSE(corrupt.ok());
+}
+
+TEST(StlIndexTest, BetaAffectsHierarchyShape) {
+  Graph g = testing_util::SmallRoadNetwork(14, 9);
+  HierarchyOptions shallow;
+  shallow.beta = 0.45;
+  HierarchyOptions skewed;
+  skewed.beta = 0.05;
+  Graph g2 = g;
+  StlIndex a = StlIndex::Build(&g, shallow);
+  StlIndex b = StlIndex::Build(&g2, skewed);
+  // Both must answer identically regardless of shape.
+  Dijkstra dij(g);
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    Vertex s = static_cast<Vertex>(rng.NextBounded(g.NumVertices()));
+    Vertex t = static_cast<Vertex>(rng.NextBounded(g.NumVertices()));
+    Weight want = dij.Distance(s, t);
+    EXPECT_EQ(a.Query(s, t), want);
+    EXPECT_EQ(b.Query(s, t), want);
+  }
+}
+
+}  // namespace
+}  // namespace stl

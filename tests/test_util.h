@@ -1,0 +1,70 @@
+// Shared helpers for the test suites.
+#ifndef STL_TESTS_TEST_UTIL_H_
+#define STL_TESTS_TEST_UTIL_H_
+
+#include <vector>
+
+#include "core/labelling.h"
+#include "core/tree_hierarchy.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/updates.h"
+#include "util/rng.h"
+
+namespace stl {
+namespace testing_util {
+
+/// Small connected road-like graph (~n vertices), deterministic in seed.
+inline Graph SmallRoadNetwork(uint32_t side, uint64_t seed) {
+  RoadNetworkOptions opt;
+  opt.width = side;
+  opt.height = side;
+  opt.seed = seed;
+  return GenerateRoadNetwork(opt);
+}
+
+/// Hand-built graph from an edge list; dies on invalid input.
+inline Graph MakeGraph(uint32_t n, std::vector<Edge> edges) {
+  Result<Graph> g = Graph::FromEdges(n, std::move(edges));
+  STL_CHECK(g.ok()) << g.status().ToString();
+  return std::move(g).value();
+}
+
+/// A graph with two components: a triangle {0,1,2} and an edge {3,4}.
+inline Graph TwoComponentGraph() {
+  return MakeGraph(5, {{0, 1, 4}, {1, 2, 5}, {0, 2, 10}, {3, 4, 7}});
+}
+
+/// The number of differing label entries between two labellings of the
+/// same shape (UINT64_MAX if shapes differ).
+inline uint64_t LabelDiffCount(const Labelling& a, const Labelling& b) {
+  if (a.NumVertices() != b.NumVertices()) return UINT64_MAX;
+  uint64_t diff = 0;
+  for (Vertex v = 0; v < a.NumVertices(); ++v) {
+    if (a.LabelSize(v) != b.LabelSize(v)) return UINT64_MAX;
+    for (uint32_t i = 0; i < a.LabelSize(v); ++i) {
+      if (a.At(v, i) != b.At(v, i)) ++diff;
+    }
+  }
+  return diff;
+}
+
+/// Random weight update on a random edge (never a no-op); flips a coin
+/// between increase and decrease.
+inline WeightUpdate RandomUpdate(const Graph& g, Rng* rng) {
+  EdgeId e = static_cast<EdgeId>(rng->NextBounded(g.NumEdges()));
+  Weight w = g.EdgeWeight(e);
+  bool inc = rng->NextBounded(2) == 0;
+  Weight nw;
+  if (inc || w <= 1) {
+    nw = w + 1 + static_cast<Weight>(rng->NextBounded(2 * w + 2));
+  } else {
+    nw = 1 + static_cast<Weight>(rng->NextBounded(w - 1));
+  }
+  return WeightUpdate{e, w, nw};
+}
+
+}  // namespace testing_util
+}  // namespace stl
+
+#endif  // STL_TESTS_TEST_UTIL_H_

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "util/min_heap.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+#include "util/table.h"
+
+namespace stl {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.Next() == b.Next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BoundedStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+    uint64_t v = rng.NextInRange(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ForkedStreamsAreIndependent) {
+  Rng base(42);
+  Rng a = base.Fork(1);
+  Rng b = base.Fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.Next() == b.Next();
+  EXPECT_LT(same, 2);
+  // Forking with the same id from the same state is reproducible.
+  Rng base2(42);
+  Rng a2 = base2.Fork(1);
+  Rng base3(42);
+  Rng a3 = base3.Fork(1);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a2.Next(), a3.Next());
+}
+
+TEST(MinHeapTest, PopsInKeyOrder) {
+  MinHeap<uint32_t, uint32_t> h;
+  const uint32_t keys[] = {5, 1, 9, 1, 7, 0, 3};
+  for (uint32_t k : keys) h.Push(k, 100 + k);
+  uint32_t prev = 0;
+  size_t count = 0;
+  while (!h.empty()) {
+    auto [k, v] = h.Pop();
+    EXPECT_GE(k, prev);
+    EXPECT_EQ(v, 100 + k);
+    prev = k;
+    ++count;
+  }
+  EXPECT_EQ(count, 7u);
+}
+
+TEST(MinHeapTest, TieBreaksByPayload) {
+  MinHeap<uint32_t, uint32_t> h;
+  h.Push(4, 30);
+  h.Push(4, 10);
+  h.Push(4, 20);
+  EXPECT_EQ(h.Pop().payload, 10u);
+  EXPECT_EQ(h.Pop().payload, 20u);
+  EXPECT_EQ(h.Pop().payload, 30u);
+}
+
+TEST(ParetoHeapTest, DistanceAscThenLevelDesc) {
+  // Equal distance: the entry with LARGER max_level pops first
+  // (Section 5.2: Pareto-optimal tuples met before dominated ones).
+  ParetoHeap h;
+  h.Push(ParetoEntry{10, 0, 2, 1});
+  h.Push(ParetoEntry{10, 0, 7, 2});
+  h.Push(ParetoEntry{5, 0, 1, 3});
+  h.Push(ParetoEntry{10, 0, 4, 4});
+  EXPECT_EQ(h.Pop().vertex, 3u);  // smallest distance first
+  EXPECT_EQ(h.Pop().vertex, 2u);  // then max_level 7
+  EXPECT_EQ(h.Pop().vertex, 4u);  // then 4
+  EXPECT_EQ(h.Pop().vertex, 1u);  // then 2
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"Name", "Value"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer-name", "234"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("Name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  // Header line and rule line present.
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TablePrinterDeathTest, RowWidthMismatchDies) {
+  TablePrinter t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "row width mismatch");
+}
+
+TEST(TablePrinterTest, Formatters) {
+  EXPECT_EQ(TablePrinter::Fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Bytes(512), "512.00 B");
+  EXPECT_EQ(TablePrinter::Bytes(2048), "2.00 KB");
+  EXPECT_EQ(TablePrinter::Bytes(3ull << 30), "3.00 GB");
+  EXPECT_EQ(TablePrinter::Count(42), "42");
+  EXPECT_EQ(TablePrinter::Count(1500), "1.50 K");
+  EXPECT_EQ(TablePrinter::Count(2500000), "2.50 M");
+  EXPECT_EQ(TablePrinter::Count(9200000000ull), "9.20 B");
+}
+
+TEST(SerializeTest, PodAndVectorRoundTrip) {
+  const std::string path = TempPath("ser_roundtrip.bin");
+  std::vector<uint32_t> vec = {1, 2, 3, 0xffffffffu};
+  {
+    BinaryWriter w;
+    ASSERT_TRUE(w.Open(path, 0xabcd1234, 3).ok());
+    ASSERT_TRUE(w.WritePod<uint64_t>(77).ok());
+    ASSERT_TRUE(w.WriteVector(vec).ok());
+    ASSERT_TRUE(w.WriteString("hello").ok());
+    ASSERT_TRUE(w.Close().ok());
+  }
+  BinaryReader r;
+  ASSERT_TRUE(r.Open(path, 0xabcd1234, 3).ok());
+  EXPECT_EQ(r.version(), 3u);
+  uint64_t x = 0;
+  ASSERT_TRUE(r.ReadPod(&x).ok());
+  EXPECT_EQ(x, 77u);
+  std::vector<uint32_t> got;
+  ASSERT_TRUE(r.ReadVector(&got).ok());
+  EXPECT_EQ(got, vec);
+  std::string s;
+  ASSERT_TRUE(r.ReadString(&s).ok());
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(SerializeTest, BadMagicRejected) {
+  const std::string path = TempPath("ser_magic.bin");
+  {
+    BinaryWriter w;
+    ASSERT_TRUE(w.Open(path, 0x11111111, 1).ok());
+    ASSERT_TRUE(w.Close().ok());
+  }
+  BinaryReader r;
+  Status s = r.Open(path, 0x22222222, 1);
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+}
+
+TEST(SerializeTest, NewerVersionRejected) {
+  const std::string path = TempPath("ser_version.bin");
+  {
+    BinaryWriter w;
+    ASSERT_TRUE(w.Open(path, 0x33333333, 9).ok());
+    ASSERT_TRUE(w.Close().ok());
+  }
+  BinaryReader r;
+  Status s = r.Open(path, 0x33333333, 8);
+  EXPECT_EQ(s.code(), StatusCode::kNotSupported);
+}
+
+TEST(SerializeTest, TruncatedFileIsCorruption) {
+  const std::string path = TempPath("ser_trunc.bin");
+  {
+    BinaryWriter w;
+    ASSERT_TRUE(w.Open(path, 0x44444444, 1).ok());
+    ASSERT_TRUE(w.WritePod<uint32_t>(5).ok());
+    ASSERT_TRUE(w.Close().ok());
+  }
+  BinaryReader r;
+  ASSERT_TRUE(r.Open(path, 0x44444444, 1).ok());
+  uint64_t too_big = 0;
+  EXPECT_TRUE(r.ReadPod(&too_big).ok() == false);
+}
+
+TEST(SerializeTest, ImplausibleVectorLengthIsCorruption) {
+  const std::string path = TempPath("ser_len.bin");
+  {
+    BinaryWriter w;
+    ASSERT_TRUE(w.Open(path, 0x55555555, 1).ok());
+    ASSERT_TRUE(w.WritePod<uint64_t>(UINT64_MAX).ok());  // fake huge length
+    ASSERT_TRUE(w.Close().ok());
+  }
+  BinaryReader r;
+  ASSERT_TRUE(r.Open(path, 0x55555555, 1).ok());
+  std::vector<uint64_t> v;
+  Status s = r.ReadVector(&v);
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+}
+
+TEST(SerializeTest, MissingFileIsIOError) {
+  BinaryReader r;
+  Status s = r.Open(TempPath("does_not_exist.bin"), 1, 1);
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace stl

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "graph/dijkstra.h"
+#include "tests/test_util.h"
+#include "workload/datasets.h"
+#include "workload/query_workload.h"
+#include "workload/update_workload.h"
+
+namespace stl {
+namespace {
+
+TEST(DatasetsTest, RegistryHasTenIncreasingDatasets) {
+  const auto& all = AllDatasets();
+  ASSERT_EQ(all.size(), 10u);
+  EXPECT_EQ(all.front().name, "NY-S");
+  EXPECT_EQ(all.back().name, "EUR-S");
+  for (size_t i = 0; i + 2 < all.size(); ++i) {  // EUR-S < USA-S, as in paper
+    EXPECT_LT(all[i].width * all[i].height,
+              all[i + 1].width * all[i + 1].height);
+  }
+}
+
+TEST(DatasetsTest, ScaleSelectsPrefix) {
+  EXPECT_EQ(DatasetsForScale(BenchScale::kSmall).size(), 4u);
+  EXPECT_EQ(DatasetsForScale(BenchScale::kMedium).size(), 7u);
+  EXPECT_EQ(DatasetsForScale(BenchScale::kLarge).size(), 10u);
+}
+
+TEST(DatasetsTest, LoadIsDeterministicAndConnected) {
+  const auto& spec = AllDatasets()[0];
+  Graph a = LoadDataset(spec);
+  Graph b = LoadDataset(spec);
+  EXPECT_EQ(a.NumVertices(), b.NumVertices());
+  EXPECT_EQ(a.NumEdges(), b.NumEdges());
+  EXPECT_TRUE(IsConnected(a));
+}
+
+TEST(QueryWorkloadTest, RandomPairsInRange) {
+  Graph g = testing_util::SmallRoadNetwork(10, 1);
+  auto pairs = RandomQueryPairs(g, 500, 7);
+  ASSERT_EQ(pairs.size(), 500u);
+  for (auto [s, t] : pairs) {
+    EXPECT_LT(s, g.NumVertices());
+    EXPECT_LT(t, g.NumVertices());
+  }
+  // Deterministic.
+  auto pairs2 = RandomQueryPairs(g, 500, 7);
+  EXPECT_EQ(pairs, pairs2);
+}
+
+TEST(QueryWorkloadTest, ApproximateDiameterSane) {
+  Graph g = GeneratePath(50, 10);
+  EXPECT_EQ(ApproximateDiameter(g), 490u);  // exact on a path
+}
+
+TEST(QueryWorkloadTest, StratifiedSetsRespectBuckets) {
+  Graph g = testing_util::SmallRoadNetwork(14, 2);
+  auto sets = StratifiedQuerySets(g, 60, 3);
+  ASSERT_EQ(sets.size(), 10u);
+  const Weight lmax = ApproximateDiameter(g);
+  const double lmin = std::max(1.0, lmax / 1024.0);
+  const double x = std::pow(lmax / lmin, 0.1);
+  Dijkstra dij(g);
+  int nonempty = 0;
+  for (int b = 0; b < 10; ++b) {
+    if (sets[b].empty()) continue;
+    ++nonempty;
+    double hi = lmin * std::pow(x, b + 1);
+    double lo = b == 0 ? 0 : lmin * std::pow(x, b);
+    for (auto [s, t] : sets[b]) {
+      double d = dij.Distance(s, t);
+      EXPECT_GT(d, 0.0);
+      EXPECT_LE(d, hi * 1.0001) << "bucket " << b;
+      EXPECT_GT(d, lo * 0.9999 - 1) << "bucket " << b;
+    }
+  }
+  // Small graphs cannot fill the shortest buckets fully, but most buckets
+  // must be populated.
+  EXPECT_GE(nonempty, 7);
+}
+
+TEST(UpdateWorkloadTest, SampleDistinctEdges) {
+  Graph g = testing_util::SmallRoadNetwork(10, 4);
+  auto edges = SampleDistinctEdges(g, 50, 11);
+  ASSERT_EQ(edges.size(), 50u);
+  std::set<EdgeId> uniq(edges.begin(), edges.end());
+  EXPECT_EQ(uniq.size(), edges.size());
+  // Clamped when asking for more than m.
+  auto all = SampleDistinctEdges(g, g.NumEdges() + 100, 11);
+  EXPECT_EQ(all.size(), g.NumEdges());
+}
+
+TEST(UpdateWorkloadTest, IncreaseBatchDoublesAndRestores) {
+  Graph g = testing_util::SmallRoadNetwork(8, 5);
+  Graph original = g;
+  auto edges = SampleDistinctEdges(g, 30, 13);
+  UpdateBatch inc = MakeIncreaseBatch(g, edges, 2.0);
+  ASSERT_EQ(inc.size(), edges.size());
+  for (const WeightUpdate& u : inc) {
+    EXPECT_TRUE(u.IsIncrease());
+    EXPECT_EQ(u.new_weight, std::min<Weight>(u.old_weight * 2,
+                                             kMaxEdgeWeight));
+  }
+  ApplyBatch(&g, inc);
+  UpdateBatch dec = MakeRestoreBatch(inc);
+  for (const WeightUpdate& u : dec) EXPECT_TRUE(u.IsDecrease());
+  ApplyBatch(&g, dec);
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    EXPECT_EQ(g.EdgeWeight(e), original.EdgeWeight(e));
+  }
+}
+
+TEST(UpdateWorkloadTest, SplitAndInverse) {
+  Graph g = testing_util::SmallRoadNetwork(8, 6);
+  UpdateBatch mixed = {
+      WeightUpdate{0, g.EdgeWeight(0), g.EdgeWeight(0) + 5},
+      WeightUpdate{1, g.EdgeWeight(1), std::max<Weight>(1, g.EdgeWeight(1) - 1)},
+      WeightUpdate{2, g.EdgeWeight(2), g.EdgeWeight(2)},
+  };
+  auto [dec, inc] = SplitByDirection(mixed);
+  EXPECT_EQ(inc.size(), 1u);
+  EXPECT_LE(dec.size(), 1u);  // no-op dropped; decrease present unless w==1
+  UpdateBatch inv = InverseBatch(mixed);
+  EXPECT_EQ(inv.size(), mixed.size());
+  EXPECT_EQ(inv.front().edge, mixed.back().edge);
+  EXPECT_EQ(inv.front().old_weight, mixed.back().new_weight);
+}
+
+}  // namespace
+}  // namespace stl
