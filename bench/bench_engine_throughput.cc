@@ -1,0 +1,182 @@
+// Engine throughput under a mixed query + update workload.
+//
+// For each dataset: build a QueryEngine (>= 4 reader threads), then
+// drive waves of concurrent distance queries while a driver thread
+// streams weight-update batches (increase then restore, the paper's
+// update model) into the writer. Reports queries/sec, p50/p99/mean
+// latency, epochs published, and — the part that makes the number
+// trustworthy — verifies EVERY answer against a Dijkstra recomputation
+// on the exact epoch snapshot it was served from. Any mismatch fails
+// the binary.
+//
+//   STL_BENCH_SCALE=small|medium|large ./bench_engine_throughput
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <thread>
+
+#include "bench/bench_common.h"
+#include "engine/query_engine.h"
+#include "graph/dijkstra.h"
+#include "util/table.h"
+#include "workload/update_workload.h"
+
+namespace stl {
+namespace bench {
+namespace {
+
+struct EngineBenchSizes {
+  size_t queries;        // total queries submitted
+  size_t wave;           // queries per submitted wave
+  size_t update_batches; // update batches streamed by the driver
+  size_t batch_size;     // updates per batch
+};
+
+EngineBenchSizes SizesForScale(BenchScale scale) {
+  switch (scale) {
+    case BenchScale::kSmall:
+      return {4000, 100, 30, 12};
+    case BenchScale::kMedium:
+      return {20000, 250, 60, 25};
+    case BenchScale::kLarge:
+      return {100000, 500, 120, 50};
+  }
+  return {4000, 100, 30, 12};
+}
+
+struct EngineBenchRow {
+  std::string dataset;
+  uint32_t vertices = 0;
+  double qps = 0;
+  double p50 = 0;
+  double p99 = 0;
+  double mean = 0;
+  uint64_t epochs = 0;
+  uint64_t updates_applied = 0;
+  uint64_t mismatches = 0;
+};
+
+EngineBenchRow RunDataset(const DatasetSpec& spec,
+                          const EngineBenchSizes& sizes) {
+  EngineBenchRow row;
+  row.dataset = spec.name;
+  Graph g = LoadDataset(spec);
+  row.vertices = g.NumVertices();
+
+  std::vector<QueryPair> pairs = RandomQueryPairs(g, sizes.queries, spec.seed);
+
+  EngineOptions opt;
+  opt.num_query_threads = 4;
+  opt.max_batch_size = sizes.batch_size;
+  opt.strategy = StrategyMode::kAuto;
+  QueryEngine engine(std::move(g), HierarchyOptions{}, opt);
+  engine.ResetStats();  // exclude build time from throughput
+
+  // Update driver: alternating increase / restore batches on distinct
+  // random edges (Figure 8's model, factor 4), streamed while queries
+  // run. Weights are enqueued by target value against the epoch-0
+  // snapshot, so each restore batch reuses its increase batch's edges
+  // and puts back the original weights.
+  std::shared_ptr<const EngineSnapshot> base_snap = engine.CurrentSnapshot();
+  const Graph& base = base_snap->graph;
+  std::thread updater([&] {
+    for (size_t b = 0; b < sizes.update_batches; ++b) {
+      std::vector<EdgeId> edges = SampleDistinctEdges(
+          base, sizes.batch_size, spec.seed + 7 * (b / 2));
+      const bool restore = b % 2 == 1;
+      for (EdgeId e : edges) {
+        const Weight w0 = base.EdgeWeight(e);
+        const Weight target =
+            restore ? w0
+                    : std::min<Weight>(w0 * 4, kMaxEdgeWeight);
+        engine.EnqueueUpdate(e, target);
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  // Query driver: closed-loop waves — submit one wave, harvest it,
+  // submit the next — so in-flight work stays bounded at `wave` and
+  // latency measures serving (queue wait within a wave), not the drain
+  // of a bench-sized backlog.
+  std::vector<QueryResult> results;
+  results.reserve(pairs.size());
+  std::vector<std::future<QueryResult>> wave_futures;
+  wave_futures.reserve(sizes.wave);
+  for (size_t i = 0; i < pairs.size(); i += sizes.wave) {
+    const size_t end = std::min(pairs.size(), i + sizes.wave);
+    wave_futures.clear();
+    for (size_t j = i; j < end; ++j) {
+      wave_futures.push_back(engine.Submit(pairs[j]));
+    }
+    for (auto& f : wave_futures) results.push_back(f.get());
+  }
+  updater.join();
+  engine.Flush();
+
+  EngineStats stats = engine.Stats();
+  row.qps = stats.queries_per_second;
+  row.p50 = stats.latency_p50_micros;
+  row.p99 = stats.latency_p99_micros;
+  row.mean = stats.latency_mean_micros;
+  row.epochs = stats.epochs_published;
+  row.updates_applied = stats.updates_applied;
+
+  // Ground-truth audit: group answers by epoch, Dijkstra on that epoch's
+  // snapshot graph.
+  std::map<uint64_t, std::shared_ptr<const EngineSnapshot>> snapshots;
+  for (const QueryResult& r : results) snapshots.emplace(r.epoch, r.snapshot);
+  std::map<uint64_t, std::unique_ptr<Dijkstra>> oracle;
+  for (auto& [epoch, snap] : snapshots) {
+    oracle.emplace(epoch, std::make_unique<Dijkstra>(snap->graph));
+  }
+  for (size_t i = 0; i < results.size(); ++i) {
+    const QueryResult& r = results[i];
+    if (r.distance !=
+        oracle.at(r.epoch)->Distance(pairs[i].first, pairs[i].second)) {
+      ++row.mismatches;
+    }
+  }
+  return row;
+}
+
+int Main() {
+  BenchConfig cfg = MakeConfig();
+  PrintHeader("Engine throughput: concurrent queries vs streaming updates",
+              cfg);
+  EngineBenchSizes sizes = SizesForScale(cfg.scale);
+  std::printf(
+      "4 reader threads + 1 writer; %zu queries in waves of %zu, "
+      "%zu update batches x %zu edges (increase/restore, factor 4)\n\n",
+      sizes.queries, sizes.wave, sizes.update_batches, sizes.batch_size);
+
+  TablePrinter table({"Dataset", "|V|", "qps", "p50 us", "p99 us",
+                      "mean us", "epochs", "upd applied", "mismatches"});
+  bool all_exact = true;
+  for (const DatasetSpec& spec : cfg.datasets) {
+    EngineBenchRow row = RunDataset(spec, sizes);
+    all_exact = all_exact && row.mismatches == 0;
+    table.AddRow({row.dataset, std::to_string(row.vertices),
+                  TablePrinter::Fixed(row.qps, 0),
+                  TablePrinter::Fixed(row.p50, 1),
+                  TablePrinter::Fixed(row.p99, 1),
+                  TablePrinter::Fixed(row.mean, 1),
+                  std::to_string(row.epochs),
+                  std::to_string(row.updates_applied),
+                  std::to_string(row.mismatches)});
+  }
+  table.Print();
+  if (!all_exact) {
+    std::printf("\nFAIL: served answers diverged from Dijkstra ground "
+                "truth on their epoch\n");
+    return 1;
+  }
+  std::printf("\nall answers exact on their serving epoch\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace stl
+
+int main() { return stl::bench::Main(); }

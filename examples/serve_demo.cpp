@@ -1,0 +1,108 @@
+// Serving demo: the concurrent query engine under live traffic.
+//
+// Builds a QueryEngine over a synthetic city, then plays both roles of a
+// production deployment at once: application threads submitting distance
+// queries, and a traffic feed pushing weight updates (congestion, then
+// recovery, then a road closure) through the single writer. Shows that
+// readers never block, that answers are exact for the epoch they were
+// served from, and what the engine's stats report looks like.
+//
+//   $ ./serve_demo
+#include <cstdio>
+
+#include "engine/query_engine.h"
+#include "graph/dijkstra.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+using namespace stl;
+
+int main() {
+  // 1. A road network and an engine serving it: 4 reader threads, one
+  //    writer, maintenance strategy chosen per batch.
+  RoadNetworkOptions net;
+  net.width = 40;
+  net.height = 40;
+  net.seed = 2026;
+  Graph g = GenerateRoadNetwork(net);
+  const uint32_t n = g.NumVertices();
+  std::printf("network: %u intersections, %u road segments\n", n,
+              g.NumEdges());
+
+  EngineOptions opt;
+  opt.num_query_threads = 4;
+  QueryEngine engine(std::move(g), HierarchyOptions{}, opt);
+  std::printf("engine up: %d reader threads, epoch %llu\n",
+              engine.num_query_threads(),
+              static_cast<unsigned long long>(engine.CurrentEpoch()));
+
+  // 2. A burst of queries on the clean network.
+  Rng rng(2026);
+  std::vector<QueryPair> burst;
+  for (int i = 0; i < 500; ++i) {
+    burst.emplace_back(static_cast<Vertex>(rng.NextBounded(n)),
+                       static_cast<Vertex>(rng.NextBounded(n)));
+  }
+  auto futures = engine.SubmitBatch(burst);
+  for (auto& f : futures) f.get();
+  std::printf("burst of %zu queries served\n", burst.size());
+
+  // 3. Traffic: congestion on the edges of one popular route, while
+  //    queries keep flowing. Readers stay on the old epoch until the
+  //    writer publishes; nobody waits.
+  auto snap = engine.CurrentSnapshot();
+  Vertex s = burst[0].first, t = burst[0].second;
+  std::vector<Vertex> route = snap->QueryShortestPath(s, t);
+  std::printf("route %u -> %u: %zu hops, d = %u\n", s, t, route.size(),
+              snap->Query(s, t));
+  for (size_t i = 0; i + 1 < route.size(); ++i) {
+    EdgeId e = *snap->graph.FindEdge(route[i], route[i + 1]);
+    engine.EnqueueUpdate(e, std::min<Weight>(
+                                snap->graph.EdgeWeight(e) * 5,
+                                kMaxEdgeWeight));
+  }
+  auto during = engine.SubmitBatch(burst);  // racing the writer
+  for (auto& f : during) f.get();
+  engine.Flush();
+  auto congested = engine.CurrentSnapshot();
+  std::printf("congestion published (epoch %llu): d(%u, %u) = %u\n",
+              static_cast<unsigned long long>(congested->epoch), s, t,
+              congested->Query(s, t));
+
+  // 4. The old snapshot is untouched — time-travel debugging for free.
+  std::printf("epoch %llu still answers d(%u, %u) = %u\n",
+              static_cast<unsigned long long>(snap->epoch), s, t,
+              snap->Query(s, t));
+
+  // 5. Recovery: put the original weights back.
+  for (size_t i = 0; i + 1 < route.size(); ++i) {
+    EdgeId e = *snap->graph.FindEdge(route[i], route[i + 1]);
+    engine.EnqueueUpdate(e, snap->graph.EdgeWeight(e));
+  }
+  engine.Flush();
+  std::printf("recovery published (epoch %llu): d(%u, %u) = %u\n",
+              static_cast<unsigned long long>(engine.CurrentEpoch()), s, t,
+              engine.CurrentSnapshot()->Query(s, t));
+
+  // 6. Spot-check an answer against Dijkstra on its serving epoch.
+  QueryResult r = engine.Submit({s, t}).get();
+  Dijkstra oracle(r.snapshot->graph);
+  std::printf("audit: engine %u vs dijkstra %u on epoch %llu — %s\n",
+              r.distance, oracle.Distance(s, t),
+              static_cast<unsigned long long>(r.epoch),
+              r.distance == oracle.Distance(s, t) ? "exact" : "MISMATCH");
+
+  // 7. The ops view.
+  EngineStats st = engine.Stats();
+  std::printf(
+      "stats: %llu queries (%.0f qps), p50 %.1f us, p99 %.1f us, "
+      "%llu updates applied in %llu epochs (%llu pareto / %llu label "
+      "batches)\n",
+      static_cast<unsigned long long>(st.queries_served),
+      st.queries_per_second, st.latency_p50_micros, st.latency_p99_micros,
+      static_cast<unsigned long long>(st.updates_applied),
+      static_cast<unsigned long long>(st.epochs_published),
+      static_cast<unsigned long long>(st.batches_pareto),
+      static_cast<unsigned long long>(st.batches_label));
+  return 0;
+}

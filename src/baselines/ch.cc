@@ -188,10 +188,6 @@ ChIndex ChIndex::Build(Graph* g) {
     }
   }
 
-  for (int side = 0; side < 2; ++side) {
-    ch.qdist_[side].assign(n, kInfDistance);
-    ch.qstamp_[side].assign(n, 0);
-  }
   ch.old_weight_.assign(ch.edges_.size(), 0);
   ch.old_stamp_.assign(ch.edges_.size(), 0);
   ch.done_stamp_.assign(ch.edges_.size(), 0);
@@ -199,9 +195,22 @@ ChIndex ChIndex::Build(Graph* g) {
   return ch;
 }
 
-Weight ChIndex::Query(Vertex s, Vertex t) {
+Weight ChIndex::Query(Vertex s, Vertex t, ChQueryContext* ctx) const {
   if (s == t) return 0;
-  ++qepoch_;
+  const uint32_t n = static_cast<uint32_t>(rank_.size());
+  if (ctx->dist[0].size() != n) {
+    for (int side = 0; side < 2; ++side) {
+      ctx->dist[side].assign(n, kInfDistance);
+      ctx->stamp[side].assign(n, 0);
+      ctx->heap[side].clear();
+    }
+    ctx->epoch = 0;
+  }
+  ++ctx->epoch;
+  auto& qdist_ = ctx->dist;
+  auto& qstamp_ = ctx->stamp;
+  auto& qheap_ = ctx->heap;
+  const uint32_t qepoch_ = ctx->epoch;
   qheap_[0].clear();
   qheap_[1].clear();
   auto get = [&](int side, Vertex v) -> Weight {

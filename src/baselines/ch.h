@@ -27,6 +27,16 @@
 
 namespace stl {
 
+/// Reusable scratch for one ChIndex::Query caller. Queries on a const
+/// ChIndex are thread-safe as long as each thread brings its own context
+/// (the same contract as the engine's per-reader snapshots).
+struct ChQueryContext {
+  std::vector<Weight> dist[2];
+  std::vector<uint32_t> stamp[2];
+  uint32_t epoch = 0;
+  MinHeap<Weight, Vertex> heap[2];
+};
+
 /// Contraction-hierarchy index with DCH weight maintenance.
 class ChIndex {
  public:
@@ -47,8 +57,11 @@ class ChIndex {
   /// updates must go through ApplyUpdate so graph and index stay in sync.
   static ChIndex Build(Graph* g);
 
-  /// Distance query via bidirectional upward search.
-  Weight Query(Vertex s, Vertex t);
+  /// Distance query via bidirectional upward search. The const overload
+  /// uses caller-provided scratch and is safe from concurrent readers;
+  /// the convenience overload reuses internal scratch (single-threaded).
+  Weight Query(Vertex s, Vertex t, ChQueryContext* ctx) const;
+  Weight Query(Vertex s, Vertex t) { return Query(s, t, &query_scratch_); }
 
   /// One CH edge whose derived weight changed during maintenance.
   struct ChangedEdge {
@@ -102,11 +115,8 @@ class ChIndex {
   uint64_t num_pure_shortcuts_ = 0;
   double build_seconds_ = 0;
 
-  // Query scratch.
-  std::vector<Weight> qdist_[2];
-  std::vector<uint32_t> qstamp_[2];
-  uint32_t qepoch_ = 0;
-  MinHeap<Weight, Vertex> qheap_[2];
+  // Scratch backing the convenience (non-const) Query overload.
+  ChQueryContext query_scratch_;
 
   // Maintenance scratch. Dirty work items are (pair, supporter) triggers
   // keyed by the pair's lo rank, so supports settle before dependents.

@@ -87,7 +87,8 @@ Labelling BuildLabelling(const Graph& g, const TreeHierarchy& h,
 
 /// Answers a distance query from the labels (Equation 3): scans the first
 /// CommonAncestorCount(s, t) entries of both labels. Returns kInfDistance
-/// if unreachable.
+/// if unreachable. Pure function of (h, labels): stateless and safe to
+/// call from concurrent readers on an immutable snapshot.
 Weight QueryDistance(const TreeHierarchy& h, const Labelling& labels,
                      Vertex s, Vertex t);
 

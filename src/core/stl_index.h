@@ -66,6 +66,12 @@ class StlIndex {
   /// be mutated through the index afterwards.
   static StlIndex Build(Graph* g, const HierarchyOptions& options);
 
+  // Thread-safety: the const query methods below touch no mutable state
+  // (no scratch buffers, no caches), so any number of threads may query
+  // one index concurrently — provided no thread is applying updates at
+  // the same time. For queries concurrent WITH updates, use the epoch
+  // snapshots of engine/query_engine.h instead of sharing one index.
+
   /// Shortest-path distance between s and t; kInfDistance if unreachable.
   Weight Query(Vertex s, Vertex t) const {
     return QueryDistance(hierarchy_, labels_, s, t);

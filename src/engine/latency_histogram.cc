@@ -1,0 +1,69 @@
+#include "engine/latency_histogram.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/logging.h"
+
+namespace stl {
+
+int LatencyHistogram::BucketIndex(uint64_t nanos) {
+  if (nanos < 16) return static_cast<int>(nanos);
+  int msb = 63 - std::countl_zero(nanos);  // >= 4
+  if (msb > 62) msb = 62;                  // clamp astronomically large
+  int sub = static_cast<int>((nanos >> (msb - 4)) & 0xF);
+  return (msb - 3) * 16 + sub;
+}
+
+uint64_t LatencyHistogram::BucketLowerBound(int b) {
+  STL_DCHECK(b >= 0 && b < kNumBuckets);
+  if (b < 16) return static_cast<uint64_t>(b);
+  int msb = b / 16 + 3;
+  uint64_t sub = static_cast<uint64_t>(b % 16);
+  return (uint64_t{1} << msb) | (sub << (msb - 4));
+}
+
+void LatencyHistogram::Record(uint64_t nanos) {
+  buckets_[BucketIndex(nanos)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+  uint64_t prev = max_nanos_.load(std::memory_order_relaxed);
+  while (prev < nanos && !max_nanos_.compare_exchange_weak(
+                             prev, nanos, std::memory_order_relaxed)) {
+  }
+}
+
+double LatencyHistogram::QuantileMicros(double q) const {
+  const uint64_t total = Count();
+  if (total == 0) return 0.0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Rank of the q-th sample, 1-based, clamped into [1, total].
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total));
+  if (rank < 1) rank = 1;
+  if (rank > total) rank = total;
+  uint64_t seen = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (seen >= rank) {
+      uint64_t lo = BucketLowerBound(b);
+      uint64_t hi =
+          b + 1 < kNumBuckets ? BucketLowerBound(b + 1) : lo + 1;
+      // The bucket midpoint can overshoot the largest sample actually
+      // recorded (it may sit in the bucket's lower half); clamp so
+      // quantiles never exceed the observed max.
+      return std::min(static_cast<double>(lo + hi) / (2.0 * 1e3),
+                      MaxMicros());
+    }
+  }
+  return MaxMicros();  // unreachable unless racing with Record()
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  total_nanos_.store(0, std::memory_order_relaxed);
+  max_nanos_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace stl

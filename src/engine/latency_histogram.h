@@ -1,0 +1,67 @@
+// Lock-free latency histogram for the serving path.
+//
+// HDR-style bucketing: values below 16 ns are exact; above that, each
+// power-of-two octave is split into 16 linear sub-buckets, giving a
+// worst-case quantile error of ~6% across the full uint64 nanosecond
+// range. All counters are relaxed atomics, so Record() is wait-free and
+// safe from any number of reader threads; quantile reads see a slightly
+// stale but always-consistent-enough view (the usual monitoring
+// contract).
+#ifndef STL_ENGINE_LATENCY_HISTOGRAM_H_
+#define STL_ENGINE_LATENCY_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace stl {
+
+/// Concurrent nanosecond-latency histogram with ~6% quantile resolution.
+class LatencyHistogram {
+ public:
+  // 16 exact buckets + 16 sub-buckets per octave for msb 4..62.
+  static constexpr int kNumBuckets = (62 - 3) * 16 + 16;
+
+  LatencyHistogram() = default;
+
+  /// Records one sample. Wait-free; callable concurrently.
+  void Record(uint64_t nanos);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+
+  double MeanMicros() const {
+    uint64_t c = Count();
+    if (c == 0) return 0.0;
+    return static_cast<double>(total_nanos_.load(std::memory_order_relaxed)) /
+           (1e3 * static_cast<double>(c));
+  }
+
+  double MaxMicros() const {
+    return static_cast<double>(max_nanos_.load(std::memory_order_relaxed)) /
+           1e3;
+  }
+
+  /// Value at quantile q in [0, 1] (q=0.5 is the median). Returns the
+  /// geometric midpoint of the bucket holding the q-th sample; 0 when
+  /// empty.
+  double QuantileMicros(double q) const;
+
+  /// Zeroes every counter. Not atomic with respect to concurrent
+  /// Record() calls; call during quiescence (e.g. between bench phases).
+  void Reset();
+
+  /// Bucket index of a nanosecond value (exposed for tests).
+  static int BucketIndex(uint64_t nanos);
+  /// Smallest nanosecond value mapping to bucket `b` (exposed for tests).
+  static uint64_t BucketLowerBound(int b);
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> total_nanos_{0};
+  std::atomic<uint64_t> max_nanos_{0};
+};
+
+}  // namespace stl
+
+#endif  // STL_ENGINE_LATENCY_HISTOGRAM_H_

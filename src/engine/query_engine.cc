@@ -1,0 +1,209 @@
+#include "engine/query_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace stl {
+
+QueryEngine::QueryEngine(Graph graph,
+                         const HierarchyOptions& hierarchy_options,
+                         const EngineOptions& options)
+    : options_(options), pool_(options.num_query_threads) {
+  STL_CHECK_GE(options_.max_batch_size, size_t{1});
+  graph_ = std::make_unique<Graph>(std::move(graph));
+  index_ = std::make_unique<StlIndex>(
+      StlIndex::Build(graph_.get(), hierarchy_options));
+  // One shared copy of the hierarchy for every epoch: weight updates
+  // never change it (the "stable" in Stable Tree Labelling).
+  hierarchy_ = std::make_shared<const TreeHierarchy>(index_->hierarchy());
+  PublishSnapshot(0);
+  writer_ = std::thread([this] { WriterLoop(); });
+  // Start the throughput clock after the (potentially long) index
+  // build, so Stats() reports serving throughput, not build dilution.
+  wall_.Restart();
+}
+
+QueryEngine::~QueryEngine() {
+  pool_.Shutdown();  // answer every query already submitted
+  {
+    std::lock_guard<std::mutex> lock(update_mu_);
+    stop_writer_ = true;
+  }
+  update_cv_.notify_all();
+  if (writer_.joinable()) writer_.join();  // drains pending updates
+}
+
+std::future<QueryResult> QueryEngine::Submit(QueryPair query) {
+  auto promise = std::make_shared<std::promise<QueryResult>>();
+  std::future<QueryResult> result = promise->get_future();
+  const auto submitted = std::chrono::steady_clock::now();
+  const bool accepted =
+      pool_.Enqueue([this, query, promise = std::move(promise), submitted] {
+        // The entire read path: one atomic load, then const reads on an
+        // immutable snapshot. Never blocks on maintenance work.
+        std::shared_ptr<const EngineSnapshot> snap =
+            current_.load(std::memory_order_acquire);
+        QueryResult r;
+        r.distance = snap->Query(query.first, query.second);
+        r.epoch = snap->epoch;
+        const uint64_t nanos = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - submitted)
+                .count());
+        r.latency_micros = static_cast<double>(nanos) / 1e3;
+        r.snapshot = std::move(snap);
+        latency_.Record(nanos);
+        queries_served_.fetch_add(1, std::memory_order_relaxed);
+        promise->set_value(std::move(r));
+      });
+  STL_CHECK(accepted) << "Submit() on a shut-down engine";
+  return result;
+}
+
+std::vector<std::future<QueryResult>> QueryEngine::SubmitBatch(
+    const std::vector<QueryPair>& queries) {
+  std::vector<std::future<QueryResult>> futures;
+  futures.reserve(queries.size());
+  for (const QueryPair& q : queries) futures.push_back(Submit(q));
+  return futures;
+}
+
+void QueryEngine::EnqueueUpdate(const WeightUpdate& update) {
+  EnqueueUpdate(update.edge, update.new_weight);
+}
+
+void QueryEngine::EnqueueUpdate(EdgeId edge, Weight new_weight) {
+  STL_CHECK(edge < graph_->NumEdges());
+  STL_CHECK(new_weight >= 1 && new_weight <= kMaxEdgeWeight);
+  {
+    std::lock_guard<std::mutex> lock(update_mu_);
+    pending_.push_back(PendingUpdate{edge, new_weight});
+    ++enqueue_seq_;
+  }
+  update_cv_.notify_one();
+}
+
+void QueryEngine::Flush() {
+  std::unique_lock<std::mutex> lock(update_mu_);
+  const uint64_t target = enqueue_seq_;
+  flush_cv_.wait(lock,
+                 [this, target] { return applied_seq_ >= target; });
+}
+
+void QueryEngine::WriterLoop() {
+  std::unique_lock<std::mutex> lock(update_mu_);
+  while (true) {
+    update_cv_.wait(
+        lock, [this] { return !pending_.empty() || stop_writer_; });
+    if (pending_.empty()) return;  // stop requested and fully drained
+    const size_t take = std::min(options_.max_batch_size, pending_.size());
+    std::vector<PendingUpdate> taken(pending_.begin(),
+                                     pending_.begin() + take);
+    pending_.erase(pending_.begin(), pending_.begin() + take);
+    lock.unlock();
+
+    // Coalesce to one update per edge (ApplyBatch requires distinct
+    // edges): later enqueues win, matching apply-one-at-a-time order.
+    // The old weight is re-resolved from the master graph, the only
+    // authority on current weights.
+    UpdateBatch batch;
+    batch.reserve(taken.size());
+    std::unordered_map<EdgeId, size_t> slot_of_edge;
+    uint64_t coalesced = 0;
+    for (const PendingUpdate& p : taken) {
+      auto [it, inserted] = slot_of_edge.try_emplace(p.edge, batch.size());
+      if (!inserted) {
+        batch[it->second].new_weight = p.new_weight;
+        ++coalesced;
+        continue;
+      }
+      batch.push_back(
+          WeightUpdate{p.edge, graph_->EdgeWeight(p.edge), p.new_weight});
+    }
+    std::erase_if(batch, [&coalesced](const WeightUpdate& u) {
+      const bool noop = u.old_weight == u.new_weight;
+      coalesced += noop;
+      return noop;
+    });
+
+    if (!batch.empty()) {
+      MaintenanceStrategy strategy = MaintenanceStrategy::kParetoSearch;
+      switch (options_.strategy) {
+        case StrategyMode::kAlwaysParetoSearch:
+          break;
+        case StrategyMode::kAlwaysLabelSearch:
+          strategy = MaintenanceStrategy::kLabelSearch;
+          break;
+        case StrategyMode::kAuto:
+          if (batch.size() >= options_.auto_label_search_threshold) {
+            strategy = MaintenanceStrategy::kLabelSearch;
+          }
+          break;
+      }
+      index_->ApplyBatch(batch, strategy);
+      (strategy == MaintenanceStrategy::kParetoSearch ? batches_pareto_
+                                                      : batches_label_)
+          .fetch_add(1, std::memory_order_relaxed);
+      updates_applied_.fetch_add(batch.size(), std::memory_order_relaxed);
+      const uint64_t epoch =
+          epochs_published_.fetch_add(1, std::memory_order_relaxed) + 1;
+      PublishSnapshot(epoch);
+    }
+    updates_coalesced_.fetch_add(coalesced, std::memory_order_relaxed);
+
+    lock.lock();
+    applied_seq_ += take;
+    flush_cv_.notify_all();
+  }
+}
+
+void QueryEngine::PublishSnapshot(uint64_t epoch) {
+  auto snap = std::make_shared<EngineSnapshot>();
+  snap->epoch = epoch;
+  snap->graph = *graph_;
+  snap->hierarchy = hierarchy_;
+  snap->labels = index_->labels();
+  current_.store(std::move(snap), std::memory_order_release);
+}
+
+EngineStats QueryEngine::Stats() const {
+  EngineStats s;
+  s.queries_served = queries_served_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(update_mu_);
+    s.updates_enqueued = enqueue_seq_;
+  }
+  s.updates_applied = updates_applied_.load(std::memory_order_relaxed);
+  s.updates_coalesced = updates_coalesced_.load(std::memory_order_relaxed);
+  s.epochs_published = epochs_published_.load(std::memory_order_relaxed);
+  s.batches_pareto = batches_pareto_.load(std::memory_order_relaxed);
+  s.batches_label = batches_label_.load(std::memory_order_relaxed);
+  s.wall_seconds = wall_.ElapsedSeconds();
+  s.queries_per_second =
+      s.wall_seconds > 0
+          ? static_cast<double>(s.queries_served) / s.wall_seconds
+          : 0;
+  s.latency_mean_micros = latency_.MeanMicros();
+  s.latency_p50_micros = latency_.QuantileMicros(0.5);
+  s.latency_p99_micros = latency_.QuantileMicros(0.99);
+  s.latency_max_micros = latency_.MaxMicros();
+  return s;
+}
+
+void QueryEngine::ResetStats() {
+  queries_served_.store(0, std::memory_order_relaxed);
+  updates_applied_.store(0, std::memory_order_relaxed);
+  updates_coalesced_.store(0, std::memory_order_relaxed);
+  // epochs_published_ is deliberately not reset: it doubles as the epoch
+  // id allocator, and snapshot epochs must stay unique for the lifetime
+  // of the engine.
+  batches_pareto_.store(0, std::memory_order_relaxed);
+  batches_label_.store(0, std::memory_order_relaxed);
+  latency_.Reset();
+  wall_.Restart();
+}
+
+}  // namespace stl

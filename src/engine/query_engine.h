@@ -1,0 +1,217 @@
+// Concurrent query-serving engine over an StlIndex.
+//
+// Architecture (the serving/maintenance split of Section 1's "dynamic
+// road network" setting, engineered for concurrency):
+//
+//   readers (ThreadPool)              single writer thread
+//   ─────────────────────             ─────────────────────────────
+//   load current snapshot  ◄───────┐  accumulate EnqueueUpdate()s
+//   answer from its labels         │  coalesce into a distinct-edge
+//   (pure const reads, never       │  batch, pick MaintenanceStrategy,
+//    blocked by maintenance)       │  ApplyBatch on the master index,
+//                                  └─ publish a new EngineSnapshot
+//
+// Epoch-versioned snapshots: every published EngineSnapshot is immutable
+// (its own copy of the graph weights and labels; the stable tree
+// hierarchy is shared across all epochs because — the paper's central
+// property — weight updates never change it). Publication is a single
+// atomic shared_ptr store; a query holds its snapshot alive via
+// shared_ptr for exactly as long as it runs, so the writer never waits
+// for readers and readers never observe a half-applied batch. Readers
+// are decoupled from maintenance entirely; the one shared point is the
+// snapshot pointer itself (std::atomic<std::shared_ptr> — lock-free on
+// some platforms, a brief internal spinlock on libstdc++; either way
+// the cost is per-load, never proportional to maintenance work).
+//
+// Publish cost: one epoch = one copy of graph weights + labels, made by
+// the writer off the read path. The labels dominate (they are larger
+// than the graph); sharing label/topology structure across epochs
+// (persistent arrays) is the natural next step if publish ever shows up
+// in profiles.
+//
+// Consistency contract: a query submitted at time t is answered from
+// some epoch published at or after the epoch current at t; the answer is
+// exact for that epoch's weights (verified against Dijkstra in
+// tests/engine_test.cc and bench_engine_throughput).
+#ifndef STL_ENGINE_QUERY_ENGINE_H_
+#define STL_ENGINE_QUERY_ENGINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/stl_index.h"
+#include "engine/latency_histogram.h"
+#include "engine/thread_pool.h"
+#include "graph/updates.h"
+#include "util/timer.h"
+#include "workload/query_workload.h"
+
+namespace stl {
+
+/// One immutable published version of the index. Snapshots share the
+/// stable tree hierarchy; graph weights and labels are per-epoch copies.
+struct EngineSnapshot {
+  uint64_t epoch = 0;
+  Graph graph;  // weights as of this epoch
+  std::shared_ptr<const TreeHierarchy> hierarchy;
+  Labelling labels;
+
+  Weight Query(Vertex s, Vertex t) const {
+    return QueryDistance(*hierarchy, labels, s, t);
+  }
+  std::vector<Vertex> QueryShortestPath(Vertex s, Vertex t) const {
+    return QueryPath(graph, *hierarchy, labels, s, t);
+  }
+};
+
+/// Answer to one submitted query.
+struct QueryResult {
+  Weight distance = kInfDistance;
+  uint64_t epoch = 0;
+  double latency_micros = 0;  // submit-to-completion (queue wait included)
+  // The snapshot the query was served from; lets callers audit the
+  // answer against the exact weights of that epoch.
+  std::shared_ptr<const EngineSnapshot> snapshot;
+};
+
+/// How the writer picks the maintenance algorithm per batch.
+enum class StrategyMode {
+  kAlwaysParetoSearch,  // STL-P for every batch
+  kAlwaysLabelSearch,   // STL-L for every batch
+  // Per-batch choice: Label Search amortizes its per-ancestor searches
+  // over large batches (Table 3); Pareto Search wins on small ones.
+  kAuto,
+};
+
+struct EngineOptions {
+  int num_query_threads = 4;
+  /// Updates taken from the pending queue per epoch (larger batches mean
+  /// fewer snapshot copies but staler reads).
+  size_t max_batch_size = 128;
+  StrategyMode strategy = StrategyMode::kAuto;
+  /// kAuto: batches with at least this many effective updates use Label
+  /// Search.
+  size_t auto_label_search_threshold = 16;
+};
+
+/// Point-in-time engine counters and latency summary.
+struct EngineStats {
+  uint64_t queries_served = 0;
+  uint64_t updates_enqueued = 0;
+  uint64_t updates_applied = 0;    // effective updates (after coalescing)
+  uint64_t updates_coalesced = 0;  // duplicates / no-ops dropped
+  uint64_t epochs_published = 0;
+  uint64_t batches_pareto = 0;
+  uint64_t batches_label = 0;
+  double wall_seconds = 0;
+  double queries_per_second = 0;
+  double latency_mean_micros = 0;
+  double latency_p50_micros = 0;
+  double latency_p99_micros = 0;
+  double latency_max_micros = 0;
+};
+
+/// Concurrent query-serving engine. Thread-safe: Submit/SubmitBatch/
+/// EnqueueUpdate/Flush/Stats may be called from any thread.
+class QueryEngine {
+ public:
+  /// Takes ownership of the graph, builds the index, starts the workers,
+  /// and publishes epoch 0.
+  QueryEngine(Graph graph, const HierarchyOptions& hierarchy_options,
+              const EngineOptions& options = {});
+
+  /// Drains: answers every submitted query and applies every enqueued
+  /// update before returning.
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Schedules one distance query; the future resolves when a reader
+  /// thread has answered it.
+  std::future<QueryResult> Submit(QueryPair query);
+
+  /// Schedules many queries (one future each).
+  std::vector<std::future<QueryResult>> SubmitBatch(
+      const std::vector<QueryPair>& queries);
+
+  /// Records a desired new weight for an edge. The writer re-resolves
+  /// the old weight from the master graph at apply time, so callers need
+  /// not know the current weight (update.old_weight is ignored).
+  void EnqueueUpdate(const WeightUpdate& update);
+  void EnqueueUpdate(EdgeId edge, Weight new_weight);
+
+  /// Blocks until every update enqueued before the call has been applied
+  /// and, if it changed any weight, published in a snapshot.
+  void Flush();
+
+  /// The latest published snapshot (never null after construction).
+  std::shared_ptr<const EngineSnapshot> CurrentSnapshot() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  uint64_t CurrentEpoch() const { return CurrentSnapshot()->epoch; }
+
+  EngineStats Stats() const;
+
+  /// Zeroes counters (except the epoch allocator) and the latency
+  /// histogram and restarts the wall clock (for bench warmup). Call only
+  /// while no queries are in flight.
+  void ResetStats();
+
+  int num_query_threads() const { return pool_.num_threads(); }
+
+ private:
+  void WriterLoop();
+  /// Publishes the master index state as epoch `epoch`.
+  void PublishSnapshot(uint64_t epoch);
+
+  const EngineOptions options_;
+
+  // Master state, owned by the writer after construction. graph_ is
+  // heap-allocated so its address stays stable for the index's
+  // non-owning pointer.
+  std::unique_ptr<Graph> graph_;
+  std::unique_ptr<StlIndex> index_;
+  std::shared_ptr<const TreeHierarchy> hierarchy_;  // shared by snapshots
+
+  std::atomic<std::shared_ptr<const EngineSnapshot>> current_;
+
+  // Pending-update queue (writer input).
+  struct PendingUpdate {
+    EdgeId edge;
+    Weight new_weight;
+  };
+  mutable std::mutex update_mu_;
+  std::condition_variable update_cv_;  // writer wakeup
+  std::condition_variable flush_cv_;   // Flush() wakeup
+  std::deque<PendingUpdate> pending_;
+  uint64_t enqueue_seq_ = 0;  // updates ever enqueued
+  uint64_t applied_seq_ = 0;  // updates taken and fully applied
+  bool stop_writer_ = false;
+
+  std::thread writer_;
+
+  // Serving-side stats (relaxed atomics: monitoring, not coordination).
+  std::atomic<uint64_t> queries_served_{0};
+  std::atomic<uint64_t> updates_applied_{0};
+  std::atomic<uint64_t> updates_coalesced_{0};
+  std::atomic<uint64_t> epochs_published_{0};
+  std::atomic<uint64_t> batches_pareto_{0};
+  std::atomic<uint64_t> batches_label_{0};
+  LatencyHistogram latency_;
+  Timer wall_;
+
+  ThreadPool pool_;  // last member: workers die before state they touch
+};
+
+}  // namespace stl
+
+#endif  // STL_ENGINE_QUERY_ENGINE_H_

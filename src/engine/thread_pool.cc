@@ -1,0 +1,63 @@
+#include "engine/thread_pool.h"
+
+#include "util/logging.h"
+
+namespace stl {
+
+ThreadPool::ThreadPool(int num_threads) {
+  STL_CHECK_GE(num_threads, 1);
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+bool ThreadPool::Enqueue(std::function<void()> task) {
+  STL_CHECK(task != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_) return false;
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+  return true;
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_ && workers_.empty()) return;  // already shut down
+    shutting_down_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  workers_.clear();
+}
+
+uint64_t ThreadPool::tasks_executed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_executed_;
+}
+
+size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [this] { return !queue_.empty() || shutting_down_; });
+    if (queue_.empty()) return;  // shutting down and drained
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    task();
+    lock.lock();
+    ++tasks_executed_;
+  }
+}
+
+}  // namespace stl

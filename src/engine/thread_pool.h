@@ -1,0 +1,64 @@
+// Fixed-size worker pool for the query-serving engine.
+//
+// Semantics chosen for a serving system:
+//  * Enqueue never blocks (unbounded queue); admission control lives in
+//    the caller, which knows its latency budget.
+//  * Shutdown() drains: no new work is accepted, but every task enqueued
+//    before the call runs to completion before the workers join. This is
+//    what lets QueryEngine guarantee that every submitted query is
+//    answered, even across destruction.
+#ifndef STL_ENGINE_THREAD_POOL_H_
+#define STL_ENGINE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace stl {
+
+/// Fixed-size thread pool with drain-on-shutdown semantics.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains and joins (equivalent to Shutdown()).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Schedules `task`. Returns false (and drops the task) iff Shutdown()
+  /// was already called.
+  bool Enqueue(std::function<void()> task);
+
+  /// Stops accepting work, runs every task already enqueued, joins the
+  /// workers. Idempotent; safe to call from at most one thread at a time.
+  void Shutdown();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Tasks fully executed so far (monotone; exact after Shutdown()).
+  uint64_t tasks_executed() const;
+
+  /// Tasks enqueued and not yet started (point-in-time).
+  size_t queue_depth() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  uint64_t tasks_executed_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace stl
+
+#endif  // STL_ENGINE_THREAD_POOL_H_
