@@ -1,0 +1,257 @@
+// Snapshot-publication economics: copy-on-write structural sharing vs.
+// the flat deep-copy baseline (EngineOptions::flat_publish).
+//
+// For each publish mode and update-batch size, drives the engine's
+// writer with random weight updates and reports, per epoch: bytes
+// physically copied (CoW page/chunk clones, or the full deep copy),
+// label pages detached, time inside PublishSnapshot, and the sustained
+// epochs/sec of the enqueue->maintain->publish loop. Emits
+// BENCH_snapshot.json so future PRs have a machine-readable perf
+// trajectory to regress against.
+//
+// --check turns the run into a CI guard (structural, no timing): fails
+// unless (1) CoW publish deep-copies nothing, (2) CoW clone bytes are
+// bounded by dirty_pages * page_size (+ the graph's chunk equivalent),
+// and (3) CoW copies >= 10x fewer bytes than the flat baseline for
+// single-edge batches.
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "engine/query_engine.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace stl {
+namespace {
+
+struct RunResult {
+  const char* mode;
+  size_t batch_size;
+  uint64_t epochs = 0;
+  double bytes_per_epoch = 0;
+  double pages_per_epoch = 0;
+  double publish_micros_per_epoch = 0;
+  double epochs_per_sec = 0;
+  uint64_t label_pages_cloned = 0;
+  uint64_t graph_chunks_cloned = 0;
+  uint64_t deep_copied_bytes = 0;
+  uint64_t resident_index_bytes = 0;
+  // Largest physical label page (>= kPageEntries * 4 only when a label
+  // longer than a page owns a dedicated one); the guard's per-page cap.
+  uint64_t max_label_page_bytes = 0;
+};
+
+uint32_t GridSideForScale(BenchScale scale) {
+  switch (scale) {
+    case BenchScale::kSmall:
+      return 100;
+    case BenchScale::kMedium:
+      return 141;
+    case BenchScale::kLarge:
+      return 200;
+  }
+  return 100;
+}
+
+RunResult RunMode(const Graph& base, bool flat, size_t batch_size,
+                  size_t num_epochs, uint64_t seed) {
+  EngineOptions opt;
+  opt.num_query_threads = 1;  // the writer path is what we measure
+  opt.max_batch_size = batch_size;
+  opt.flat_publish = flat;
+  QueryEngine engine(base, HierarchyOptions{}, opt);
+  const uint32_t m = base.NumEdges();
+  Rng rng(seed);
+  engine.ResetStats();
+  Timer wall;
+  std::vector<WeightUpdate> round_updates;
+  for (size_t round = 0; round < num_epochs; ++round) {
+    round_updates.clear();
+    for (size_t i = 0; i < batch_size; ++i) {
+      const EdgeId e = static_cast<EdgeId>(rng.NextBounded(m));
+      const Weight old = engine.CurrentSnapshot()->graph.EdgeWeight(e);
+      Weight nw;
+      do {
+        nw = 1 + static_cast<Weight>(rng.NextBounded(2 * old + 2));
+      } while (nw == old);
+      round_updates.push_back(WeightUpdate{e, old, nw});
+    }
+    // Atomic bulk enqueue: the writer pops the whole round as one batch,
+    // so each row's epochs really carry batch_size updates.
+    engine.EnqueueUpdates(round_updates);
+    engine.Flush();  // one maintained + published epoch per round
+  }
+  const double seconds = wall.ElapsedSeconds();
+  EngineStats stats = engine.Stats();
+
+  RunResult r;
+  r.mode = flat ? "flat" : "cow";
+  r.batch_size = batch_size;
+  r.epochs = stats.epochs_published;
+  const double epochs = r.epochs > 0 ? static_cast<double>(r.epochs) : 1;
+  // Bytes physically copied to isolate epochs: CoW clones always; plus
+  // the full deep copies in flat mode.
+  const uint64_t copied =
+      stats.cow_bytes_cloned + stats.publish_bytes_deep_copied;
+  r.bytes_per_epoch = static_cast<double>(copied) / epochs;
+  r.pages_per_epoch =
+      static_cast<double>(stats.label_pages_cloned) / epochs;
+  r.publish_micros_per_epoch = stats.publish_total_micros / epochs;
+  r.epochs_per_sec =
+      seconds > 0 ? static_cast<double>(r.epochs) / seconds : 0;
+  r.label_pages_cloned = stats.label_pages_cloned;
+  r.graph_chunks_cloned = stats.graph_chunks_cloned;
+  r.deep_copied_bytes = stats.publish_bytes_deep_copied;
+  r.resident_index_bytes = stats.resident_index_bytes;
+  r.max_label_page_bytes = engine.CurrentSnapshot()->labels.MaxPageBytes();
+  return r;
+}
+
+void WriteJson(const char* path, const bench::BenchConfig& cfg, uint32_t side,
+               uint32_t vertices, uint32_t edges,
+               const std::vector<RunResult>& runs) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"snapshot_publish\",\n");
+  std::fprintf(f, "  \"scale\": \"%s\",\n", bench::ScaleName(cfg.scale));
+  std::fprintf(f, "  \"page_entries\": %u,\n", Labelling::kPageEntries);
+  std::fprintf(f, "  \"page_bytes\": %zu,\n",
+               Labelling::kPageEntries * sizeof(Weight));
+  std::fprintf(f, "  \"edge_chunk_entries\": %u,\n", Graph::kEdgeChunkSize);
+  std::fprintf(f,
+               "  \"network\": {\"grid_side\": %u, \"vertices\": %u, "
+               "\"edges\": %u},\n",
+               side, vertices, edges);
+  std::fprintf(f, "  \"runs\": [\n");
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& r = runs[i];
+    std::fprintf(
+        f,
+        "    {\"mode\": \"%s\", \"batch_size\": %zu, \"epochs\": %" PRIu64
+        ", \"bytes_copied_per_epoch\": %.1f, \"pages_cloned_per_epoch\": "
+        "%.2f, \"publish_micros_per_epoch\": %.3f, \"epochs_per_sec\": "
+        "%.1f, \"label_pages_cloned\": %" PRIu64
+        ", \"graph_chunks_cloned\": %" PRIu64
+        ", \"deep_copied_bytes\": %" PRIu64
+        ", \"resident_index_bytes\": %" PRIu64 "}%s\n",
+        r.mode, r.batch_size, r.epochs, r.bytes_per_epoch,
+        r.pages_per_epoch, r.publish_micros_per_epoch, r.epochs_per_sec,
+        r.label_pages_cloned, r.graph_chunks_cloned, r.deep_copied_bytes,
+        r.resident_index_bytes, i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+}  // namespace
+}  // namespace stl
+
+int main(int argc, char** argv) {
+  using namespace stl;
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) check = true;
+  }
+  const bench::BenchConfig cfg = bench::MakeConfig();
+  const uint32_t side = GridSideForScale(cfg.scale);
+  RoadNetworkOptions net;
+  net.width = side;
+  net.height = side;
+  net.seed = 7;
+  Graph base = GenerateRoadNetwork(net);
+  std::printf("== snapshot publish: CoW structural share vs flat copy ==\n");
+  std::printf(
+      "scale=%s grid=%ux%u vertices=%u edges=%u page=%u entries "
+      "(%zu B), edge chunk=%u\n\n",
+      bench::ScaleName(cfg.scale), side, side, base.NumVertices(),
+      base.NumEdges(), Labelling::kPageEntries,
+      Labelling::kPageEntries * sizeof(Weight), Graph::kEdgeChunkSize);
+
+  const size_t batch_sizes[] = {1, 4, 16, 64};
+  const size_t epochs_per_run = check ? 40 : 120;
+  std::vector<RunResult> runs;
+  std::printf("%-5s %6s %8s %16s %12s %14s %12s\n", "mode", "batch",
+              "epochs", "bytes/epoch", "pages/epoch", "publish us", "epochs/s");
+  for (size_t batch : batch_sizes) {
+    for (bool flat : {false, true}) {
+      RunResult r = RunMode(base, flat, batch, epochs_per_run,
+                            1000 + batch);
+      std::printf("%-5s %6zu %8" PRIu64 " %16.0f %12.2f %14.3f %12.1f\n",
+                  r.mode, r.batch_size, r.epochs, r.bytes_per_epoch,
+                  r.pages_per_epoch, r.publish_micros_per_epoch,
+                  r.epochs_per_sec);
+      runs.push_back(r);
+    }
+  }
+
+  WriteJson("BENCH_snapshot.json", cfg, side, base.NumVertices(),
+            base.NumEdges(), runs);
+
+  // Single-edge-batch comparison (the acceptance headline).
+  const RunResult* cow1 = nullptr;
+  const RunResult* flat1 = nullptr;
+  for (const RunResult& r : runs) {
+    if (r.batch_size != 1) continue;
+    if (std::strcmp(r.mode, "cow") == 0) cow1 = &r;
+    if (std::strcmp(r.mode, "flat") == 0) flat1 = &r;
+  }
+  if (cow1 != nullptr && flat1 != nullptr && cow1->bytes_per_epoch > 0) {
+    std::printf(
+        "\nsingle-edge epochs: flat copies %.0f B/epoch, CoW %.0f "
+        "B/epoch -> %.1fx fewer bytes\n",
+        flat1->bytes_per_epoch, cow1->bytes_per_epoch,
+        flat1->bytes_per_epoch / cow1->bytes_per_epoch);
+  }
+
+  if (!check) return 0;
+
+  // ---- CI guard: structural invariants only, no timing flakiness. ----
+  int failures = 0;
+  auto expect = [&failures](bool ok, const char* what) {
+    if (!ok) {
+      std::fprintf(stderr, "GUARD FAILED: %s\n", what);
+      ++failures;
+    }
+  };
+  for (const RunResult& r : runs) {
+    if (std::strcmp(r.mode, "cow") != 0) continue;
+    expect(r.deep_copied_bytes == 0,
+           "CoW publish must deep-copy nothing");
+    // Bytes cloned are bounded by the dirty granularity: label pages
+    // (each at most the largest physical page — kPageEntries entries,
+    // or one oversized dedicated-page label) plus graph chunks (edge
+    // chunks <= 256 Edge, arc chunks vertex-aligned around 256 Arc; max
+    // degree bounds the overshoot, 4x is far beyond any road
+    // network's).
+    const uint64_t page_bytes =
+        std::max<uint64_t>(Labelling::kPageEntries * sizeof(Weight),
+                           r.max_label_page_bytes);
+    const uint64_t bound =
+        r.label_pages_cloned * page_bytes +
+        r.graph_chunks_cloned * uint64_t{4} * Graph::kEdgeChunkSize *
+            sizeof(Arc);
+    const uint64_t cloned = static_cast<uint64_t>(
+        r.bytes_per_epoch * static_cast<double>(r.epochs) + 0.5);
+    expect(cloned <= bound,
+           "CoW bytes cloned exceed dirty_pages * page_size bound");
+  }
+  expect(cow1 != nullptr && flat1 != nullptr,
+         "missing single-edge-batch runs");
+  if (cow1 != nullptr && flat1 != nullptr) {
+    expect(cow1->bytes_per_epoch * 10.0 <= flat1->bytes_per_epoch,
+           "CoW must copy >= 10x fewer bytes than flat for single-edge "
+           "batches");
+  }
+  if (failures == 0) std::printf("\nall publish guards passed\n");
+  return failures == 0 ? 0 : 1;
+}

@@ -15,6 +15,11 @@
 // ancestor; we run all detection searches against the old weights, then
 // apply the new weights, then run all repairs. Columns are independent,
 // so the result is identical, and batches need no special-casing.
+//
+// CoW contract: every label write goes through Labelling::Set (which
+// detaches shared pages on first touch) and no label pointer is cached
+// across writes, so running this engine on the master labelling never
+// mutates a page still reachable from a published engine snapshot.
 #ifndef STL_CORE_LABEL_SEARCH_H_
 #define STL_CORE_LABEL_SEARCH_H_
 

@@ -2,41 +2,145 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstring>
 #include <thread>
 
 #include "util/min_heap.h"
 
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+#define STL_HAVE_AVX2_KERNEL 1
+#include <immintrin.h>
+#endif
+
 namespace stl {
 
-Labelling Labelling::AllocateFor(const TreeHierarchy& h) {
-  Labelling l;
-  const uint32_t n = h.NumVertices();
-  l.offset_.resize(n + 1);
-  l.offset_[0] = 0;
+std::shared_ptr<const Labelling::Layout> Labelling::BuildLayout(
+    std::vector<uint64_t> offset) {
+  auto layout = std::make_shared<Layout>();
+  const size_t n = offset.size() - 1;
+  layout->page_of.resize(n);
+  layout->slot_of.resize(n);
+  uint32_t used = 0;  // entries assigned to the open page
   for (Vertex v = 0; v < n; ++v) {
-    l.offset_[v + 1] = l.offset_[v] + h.LabelSize(v);
+    const uint64_t ls = offset[v + 1] - offset[v];
+    // Close the open page if the label would straddle its boundary.
+    if (used > 0 && used + ls > kPageEntries) {
+      layout->page_size.push_back(used);
+      used = 0;
+    }
+    layout->page_of[v] = static_cast<uint32_t>(layout->page_size.size());
+    layout->slot_of[v] = used;
+    used += static_cast<uint32_t>(ls);
+    // An oversized label became a dedicated page; close it immediately.
+    if (used >= kPageEntries) {
+      layout->page_size.push_back(used);
+      used = 0;
+    }
   }
-  l.entries_.assign(l.offset_[n], kInfDistance);
+  if (used > 0) layout->page_size.push_back(used);
+  layout->offset = std::move(offset);
+  return layout;
+}
+
+void Labelling::AllocatePages(std::shared_ptr<const Layout> layout,
+                              Weight fill) {
+  layout_ = std::move(layout);
+  pages_.Clear();
+  pages_.Reserve(layout_->page_size.size());
+  for (uint32_t sz : layout_->page_size) {
+    pages_.Append(std::vector<Weight>(sz, fill));
+  }
+}
+
+Labelling Labelling::AllocateFor(const TreeHierarchy& h) {
+  const uint32_t n = h.NumVertices();
+  std::vector<uint64_t> offset(n + 1);
+  offset[0] = 0;
   for (Vertex v = 0; v < n; ++v) {
-    l.entries_[l.offset_[v] + h.Tau(v)] = 0;  // self distance
+    offset[v + 1] = offset[v] + h.LabelSize(v);
+  }
+  Labelling l;
+  l.AllocatePages(BuildLayout(std::move(offset)), kInfDistance);
+  for (Vertex v = 0; v < n; ++v) {
+    l.MutableData(v)[h.Tau(v)] = 0;  // self distance
   }
   return l;
 }
 
+uint64_t Labelling::MemoryBytes() const {
+  if (!layout_) return 0;
+  return layout_->MemoryBytes() + pages_.MemoryBytes();
+}
+
+uint64_t Labelling::AddResidentBytes(
+    std::unordered_set<const void*>* seen) const {
+  if (!layout_) return 0;
+  uint64_t bytes = pages_.AddResidentBytes(seen);
+  if (seen->insert(layout_.get()).second) bytes += layout_->MemoryBytes();
+  return bytes;
+}
+
+Labelling Labelling::DeepCopy() const {
+  Labelling copy;
+  copy.layout_ = layout_;
+  copy.pages_ = pages_.DeepCopy();
+  return copy;
+}
+
 Status Labelling::Serialize(BinaryWriter* w) const {
-  Status s = w->WriteVector(offset_);
-  if (s.ok()) s = w->WriteVector(entries_);
-  return s;
+  // Flat format for compatibility with pre-paging index files: the
+  // logical offset vector followed by every entry in vertex order.
+  static const std::vector<uint64_t> kEmptyOffset;
+  const std::vector<uint64_t>& offset =
+      layout_ ? layout_->offset : kEmptyOffset;
+  Status s = w->WriteVector(offset);
+  if (!s.ok()) return s;
+  std::vector<Weight> entries(TotalEntries());
+  for (Vertex v = 0; v < NumVertices(); ++v) {
+    std::memcpy(entries.data() + layout_->offset[v], Data(v),
+                LabelSize(v) * sizeof(Weight));
+  }
+  return w->WriteVector(entries);
 }
 
 Status Labelling::Deserialize(BinaryReader* r) {
-  Status s = r->ReadVector(&offset_);
-  if (s.ok()) s = r->ReadVector(&entries_);
+  std::vector<uint64_t> offset;
+  std::vector<Weight> entries;
+  Status s = r->ReadVector(&offset);
+  if (s.ok()) s = r->ReadVector(&entries);
   if (!s.ok()) return s;
-  if (offset_.empty() || offset_.back() != entries_.size()) {
+  if (offset.empty() || offset.back() != entries.size()) {
     return Status::Corruption("labelling: offset/entry mismatch");
   }
+  for (size_t v = 0; v + 1 < offset.size(); ++v) {
+    // Strictly increasing: every real label has at least its self entry,
+    // and zero-length labels would create vertices pointing past the
+    // page table (the layout packer never emits a page for them).
+    if (offset[v] >= offset[v + 1]) {
+      return Status::Corruption("labelling: offsets not strictly increasing");
+    }
+  }
+  AllocatePages(BuildLayout(std::move(offset)), kInfDistance);
+  for (Vertex v = 0; v < NumVertices(); ++v) {
+    std::memcpy(MutableData(v), entries.data() + layout_->offset[v],
+                LabelSize(v) * sizeof(Weight));
+  }
   return Status::OK();
+}
+
+bool Labelling::operator==(const Labelling& o) const {
+  if (NumVertices() != o.NumVertices()) return false;
+  // Either side may be empty: default-constructed (null layout) or an
+  // allocated 0-vertex labelling; both hold zero entries.
+  if (!layout_ || !o.layout_) return true;
+  if (layout_->offset != o.layout_->offset) return false;
+  for (Vertex v = 0; v < NumVertices(); ++v) {
+    if (std::memcmp(Data(v), o.Data(v), LabelSize(v) * sizeof(Weight)) !=
+        0) {
+      return false;
+    }
+  }
+  return true;
 }
 
 namespace {
@@ -216,17 +320,78 @@ std::vector<Vertex> QueryPath(const Graph& g, const TreeHierarchy& h,
   return path;
 }
 
+Weight MinPlusReduceScalar(const Weight* a, const Weight* b, uint32_t k) {
+  Weight best = kInfDistance + kInfDistance;  // fits in uint32
+  for (uint32_t i = 0; i < k; ++i) {
+    best = std::min(best, a[i] + b[i]);
+  }
+  return best;
+}
+
+#ifdef STL_HAVE_AVX2_KERNEL
+
+namespace {
+
+/// Eight lanes of min(a[i] + b[i]) per iteration. Addition wraps mod
+/// 2^32 exactly like the scalar loop, and _mm256_min_epu32 is the
+/// unsigned min, so the result is bit-identical to the scalar reduction
+/// for arbitrary inputs (real label entries are <= kInfDistance and the
+/// sums never exceed 2 * kInfDistance < 2^31 anyway).
+__attribute__((target("avx2"))) Weight MinPlusReduceAvx2(const Weight* a,
+                                                         const Weight* b,
+                                                         uint32_t k) {
+  __m256i best8 =
+      _mm256_set1_epi32(static_cast<int>(kInfDistance + kInfDistance));
+  uint32_t i = 0;
+  for (; i + 8 <= k; i += 8) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    best8 = _mm256_min_epu32(best8, _mm256_add_epi32(va, vb));
+  }
+  __m128i best4 = _mm_min_epu32(_mm256_castsi256_si128(best8),
+                                _mm256_extracti128_si256(best8, 1));
+  best4 = _mm_min_epu32(best4,
+                        _mm_shuffle_epi32(best4, _MM_SHUFFLE(1, 0, 3, 2)));
+  best4 = _mm_min_epu32(best4,
+                        _mm_shuffle_epi32(best4, _MM_SHUFFLE(2, 3, 0, 1)));
+  Weight best = static_cast<Weight>(_mm_cvtsi128_si32(best4));
+  for (; i < k; ++i) {
+    best = std::min(best, a[i] + b[i]);
+  }
+  return best;
+}
+
+}  // namespace
+
+bool MinPlusReduceUsesAvx2() {
+  static const bool use_avx2 = __builtin_cpu_supports("avx2");
+  return use_avx2;
+}
+
+Weight MinPlusReduce(const Weight* a, const Weight* b, uint32_t k) {
+  if (k >= 8 && MinPlusReduceUsesAvx2()) {
+    return MinPlusReduceAvx2(a, b, k);
+  }
+  return MinPlusReduceScalar(a, b, k);
+}
+
+#else  // !STL_HAVE_AVX2_KERNEL
+
+bool MinPlusReduceUsesAvx2() { return false; }
+
+Weight MinPlusReduce(const Weight* a, const Weight* b, uint32_t k) {
+  return MinPlusReduceScalar(a, b, k);
+}
+
+#endif  // STL_HAVE_AVX2_KERNEL
+
 Weight QueryDistance(const TreeHierarchy& h, const Labelling& labels,
                      Vertex s, Vertex t) {
   if (s == t) return 0;
   const uint32_t k = h.CommonAncestorCount(s, t);
-  const Weight* ls = labels.Data(s);
-  const Weight* lt = labels.Data(t);
-  uint32_t best = kInfDistance + kInfDistance;  // fits in uint32
-  for (uint32_t i = 0; i < k; ++i) {
-    uint32_t cand = ls[i] + lt[i];
-    best = std::min(best, cand);
-  }
+  const Weight best = MinPlusReduce(labels.Data(s), labels.Data(t), k);
   return best >= kInfDistance ? kInfDistance : best;
 }
 

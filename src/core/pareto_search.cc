@@ -44,7 +44,6 @@ void ParetoSearch::SearchAndRepairDecrease(Vertex root, Vertex start,
   ResetLevels();
   queue_.clear();
   const uint32_t rmin = std::min(h_.Tau(root), h_.Tau(start));
-  const Weight* lroot = labels_->Data(root);
   queue_.Push(ParetoEntry{phi, 0, rmin, start});
   while (!queue_.empty()) {
     ParetoEntry e = queue_.Pop();
@@ -54,20 +53,35 @@ void ParetoSearch::SearchAndRepairDecrease(Vertex root, Vertex start,
     uint32_t amin = std::max(e.min_level, LevelOf(v));
     if (amin > amax) continue;
     SetLevel(v, amax + 1);
-    // Update labels; the improving positions define the new interval.
+    // Find the improving positions with const reads first: most popped
+    // vertices improve nothing, and detaching (cloning) their CoW page
+    // for a pure read would charge untouched pages to this epoch.
+    // L(root) is re-fetched per pop (and again after the detach below):
+    // an earlier write may have detached the page it lives in, and the
+    // search must observe its own updates to L(root).
+    const Weight* lroot = labels_->Data(root);
     uint32_t nmin = UINT32_MAX, nmax = 0;
-    Weight* lv = labels_->MutableData(v);
+    const Weight* lv = labels_->Data(v);
     for (uint32_t i = amin; i <= amax; ++i) {
       Weight cand = SaturatingAdd(e.dist, lroot[i]);
       if (cand < lv[i]) {
-        lv[i] = cand;
-        ++stats_.label_writes;
-        ++stats_.affected_pairs;
         if (nmin == UINT32_MAX) nmin = i;
         nmax = i;
       }
     }
     if (nmin == UINT32_MAX) continue;
+    // Now there is something to write: detach and apply. The detach may
+    // move both v's and root's page; re-fetch both pointers.
+    Weight* wlv = labels_->MutableData(v);
+    lroot = labels_->Data(root);
+    for (uint32_t i = nmin; i <= nmax; ++i) {
+      Weight cand = SaturatingAdd(e.dist, lroot[i]);
+      if (cand < wlv[i]) {
+        wlv[i] = cand;
+        ++stats_.label_writes;
+        ++stats_.affected_pairs;
+      }
+    }
     for (const Arc& a : g_->ArcsOf(v)) {
       Weight nd = SaturatingAdd(e.dist, a.weight);
       if (nd >= kInfDistance) continue;
@@ -99,7 +113,6 @@ void ParetoSearch::SearchIncrease(Vertex root, Vertex start, Weight phi,
   ResetLevels();
   queue_.clear();
   const uint32_t rmin = std::min(h_.Tau(root), h_.Tau(start));
-  const Weight* lroot = labels_->Data(root);
   queue_.Push(ParetoEntry{phi, 0, rmin, start});
   while (!queue_.empty()) {
     ParetoEntry e = queue_.Pop();
@@ -109,8 +122,13 @@ void ParetoSearch::SearchIncrease(Vertex root, Vertex start, Weight phi,
     uint32_t amin = std::max(e.min_level, LevelOf(v));
     if (amin > amax) continue;
     SetLevel(v, amax + 1);
+    // Detection pass with const reads (same CoW rationale as the
+    // decrease search: only a real bump may detach v's page; lroot is
+    // re-fetched per pop and after the detach, see there).
+    const Weight* lroot = labels_->Data(root);
     uint32_t nmin = UINT32_MAX, nmax = 0;
-    Weight* lv = labels_->MutableData(v);
+    bool needs_bump = false;
+    const Weight* lv = labels_->Data(v);
     for (uint32_t i = amin; i <= amax; ++i) {
       if (lroot[i] >= kInfDistance) continue;
       Weight cand = SaturatingAdd(e.dist, lroot[i]);
@@ -120,21 +138,30 @@ void ParetoSearch::SearchIncrease(Vertex root, Vertex start, Weight phi,
       // label; equality is against the old (pre-update) distance.
       Weight ref = already ? lv[i] - delta : lv[i];
       if (cand != ref) continue;
-      if (!already) {
+      needs_bump = needs_bump || !already;
+      if (nmin == UINT32_MAX) nmin = i;
+      nmax = i;
+    }
+    if (nmin == UINT32_MAX) continue;
+    if (needs_bump) {
+      Weight* wlv = labels_->MutableData(v);
+      lroot = labels_->Data(root);
+      for (uint32_t i = nmin; i <= nmax; ++i) {
+        if (lroot[i] >= kInfDistance) continue;
+        Weight cand = SaturatingAdd(e.dist, lroot[i]);
+        if (cand >= kInfDistance) continue;
+        if (IsBumped(v, i) || cand != wlv[i]) continue;
         // Upper-bound bump (Algorithm 4 line 18). Plain addition, not
-        // saturating: lv[i] == cand < kInfDistance here, the sum fits in
-        // 32 bits, and the bump must be exactly recoverable as -delta for
-        // the second search's equality test.
-        lv[i] = lv[i] + delta;
+        // saturating: wlv[i] == cand < kInfDistance here, the sum fits
+        // in 32 bits, and the bump must be exactly recoverable as -delta
+        // for the second search's equality test.
+        wlv[i] = wlv[i] + delta;
         MarkBumped(v, i);
         AddAffected(v, i);
         ++stats_.label_writes;
         ++stats_.affected_pairs;
       }
-      if (nmin == UINT32_MAX) nmin = i;
-      nmax = i;
     }
-    if (nmin == UINT32_MAX) continue;
     for (const Arc& a : g_->ArcsOf(v)) {
       Weight nd = SaturatingAdd(e.dist, a.weight);
       if (nd >= kInfDistance) continue;

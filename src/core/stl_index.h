@@ -126,10 +126,14 @@ class StlIndex {
   MaintenanceStats MaintenanceStatsTotal() const;
 
   /// Index memory footprint in bytes (labels + hierarchy), the paper's
-  /// "Labelling Size" (Table 4).
+  /// "Labelling Size" (Table 4). Under paged label storage this counts
+  /// each physical page exactly once for this index; for honest totals
+  /// across page-sharing epoch snapshots, see the deduplicated
+  /// resident_index_bytes in engine/query_engine.h's EngineStats.
   uint64_t MemoryBytes() const {
     return labels_.MemoryBytes() + hierarchy_.MemoryBytes();
   }
+
 
   /// Persists the index (hierarchy + labels). The graph is not included;
   /// reattach the same (identically weighted) graph on Load.

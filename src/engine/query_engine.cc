@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "util/logging.h"
 
@@ -19,6 +20,12 @@ QueryEngine::QueryEngine(Graph graph,
   // One shared copy of the hierarchy for every epoch: weight updates
   // never change it (the "stable" in Stable Tree Labelling).
   hierarchy_ = std::make_shared<const TreeHierarchy>(index_->hierarchy());
+  // Epoch 0's baseline: clones before the first publish (e.g. from the
+  // build itself) are not publish cost.
+  harvested_label_pages_ = index_->labels().cow_stats().chunks_cloned;
+  harvested_label_bytes_ = index_->labels().cow_stats().bytes_cloned;
+  harvested_graph_chunks_ = graph_->cow_stats().chunks_cloned;
+  harvested_graph_bytes_ = graph_->cow_stats().bytes_cloned;
   PublishSnapshot(0);
   writer_ = std::thread([this] { WriterLoop(); });
   // Start the throughput clock after the (potentially long) index
@@ -82,6 +89,22 @@ void QueryEngine::EnqueueUpdate(EdgeId edge, Weight new_weight) {
     std::lock_guard<std::mutex> lock(update_mu_);
     pending_.push_back(PendingUpdate{edge, new_weight});
     ++enqueue_seq_;
+  }
+  update_cv_.notify_one();
+}
+
+void QueryEngine::EnqueueUpdates(const std::vector<WeightUpdate>& updates) {
+  if (updates.empty()) return;
+  for (const WeightUpdate& u : updates) {
+    STL_CHECK(u.edge < graph_->NumEdges());
+    STL_CHECK(u.new_weight >= 1 && u.new_weight <= kMaxEdgeWeight);
+  }
+  {
+    std::lock_guard<std::mutex> lock(update_mu_);
+    for (const WeightUpdate& u : updates) {
+      pending_.push_back(PendingUpdate{u.edge, u.new_weight});
+    }
+    enqueue_seq_ += updates.size();
   }
   update_cv_.notify_one();
 }
@@ -161,11 +184,47 @@ void QueryEngine::WriterLoop() {
 }
 
 void QueryEngine::PublishSnapshot(uint64_t epoch) {
+  Timer publish_timer;
   auto snap = std::make_shared<EngineSnapshot>();
   snap->epoch = epoch;
-  snap->graph = *graph_;
   snap->hierarchy = hierarchy_;
-  snap->labels = index_->labels();
+  // Harvest the CoW clone counters accumulated since the last publish:
+  // pages detached by this batch's maintenance are the real byte cost of
+  // isolating the previous epoch from this one.
+  const CowChunkStats lc = index_->labels().cow_stats();
+  const CowChunkStats gc = graph_->cow_stats();
+  snap->label_pages_cloned = lc.chunks_cloned - harvested_label_pages_;
+  snap->cow_bytes_cloned = (lc.bytes_cloned - harvested_label_bytes_) +
+                           (gc.bytes_cloned - harvested_graph_bytes_);
+  label_pages_cloned_.fetch_add(snap->label_pages_cloned,
+                                std::memory_order_relaxed);
+  graph_chunks_cloned_.fetch_add(gc.chunks_cloned - harvested_graph_chunks_,
+                                 std::memory_order_relaxed);
+  cow_bytes_cloned_.fetch_add(snap->cow_bytes_cloned,
+                              std::memory_order_relaxed);
+  harvested_label_pages_ = lc.chunks_cloned;
+  harvested_label_bytes_ = lc.bytes_cloned;
+  harvested_graph_chunks_ = gc.chunks_cloned;
+  harvested_graph_bytes_ = gc.bytes_cloned;
+
+  if (options_.flat_publish) {
+    // Baseline: the pre-CoW deep copy, O(index size) per epoch. Count
+    // only the payload bytes DeepCopy physically copies (shared
+    // topology/layout and pointer tables are excluded).
+    snap->graph = graph_->DeepCopy();
+    snap->labels = index_->labels().DeepCopy();
+    publish_bytes_deep_copied_.fetch_add(
+        snap->graph.CowPayloadBytes() + snap->labels.PayloadBytes(),
+        std::memory_order_relaxed);
+  } else {
+    // Structural share: O(pages) pointer copies + refcount bumps, zero
+    // entry copies. Untouched pages stay physically shared with every
+    // older epoch still alive.
+    snap->graph = *graph_;
+    snap->labels = index_->labels();
+  }
+  publish_nanos_.fetch_add(publish_timer.ElapsedNanos(),
+                           std::memory_order_relaxed);
   current_.store(std::move(snap), std::memory_order_release);
 }
 
@@ -181,6 +240,30 @@ EngineStats QueryEngine::Stats() const {
   s.epochs_published = epochs_published_.load(std::memory_order_relaxed);
   s.batches_pareto = batches_pareto_.load(std::memory_order_relaxed);
   s.batches_label = batches_label_.load(std::memory_order_relaxed);
+  s.label_pages_cloned =
+      label_pages_cloned_.load(std::memory_order_relaxed);
+  s.graph_chunks_cloned =
+      graph_chunks_cloned_.load(std::memory_order_relaxed);
+  s.cow_bytes_cloned = cow_bytes_cloned_.load(std::memory_order_relaxed);
+  s.publish_bytes_deep_copied =
+      publish_bytes_deep_copied_.load(std::memory_order_relaxed);
+  s.publish_total_micros =
+      static_cast<double>(publish_nanos_.load(std::memory_order_relaxed)) /
+      1e3;
+  {
+    // Honest resident memory of the serving state, wait-free: the
+    // current snapshot is an immutable structural copy of the master as
+    // of its publish (they share every page the batch did not dirty),
+    // so walking the snapshot counts each physical page exactly once
+    // without touching — or locking against — the writer. Pages the
+    // writer cloned since that publish appear at the next publish.
+    std::shared_ptr<const EngineSnapshot> snap = CurrentSnapshot();
+    std::unordered_set<const void*> seen;
+    uint64_t bytes = snap->labels.AddResidentBytes(&seen);
+    bytes += snap->graph.AddResidentBytes(&seen);
+    bytes += hierarchy_->MemoryBytes();
+    s.resident_index_bytes = bytes;
+  }
   s.wall_seconds = wall_.ElapsedSeconds();
   s.queries_per_second =
       s.wall_seconds > 0
@@ -202,6 +285,11 @@ void QueryEngine::ResetStats() {
   // of the engine.
   batches_pareto_.store(0, std::memory_order_relaxed);
   batches_label_.store(0, std::memory_order_relaxed);
+  label_pages_cloned_.store(0, std::memory_order_relaxed);
+  graph_chunks_cloned_.store(0, std::memory_order_relaxed);
+  cow_bytes_cloned_.store(0, std::memory_order_relaxed);
+  publish_bytes_deep_copied_.store(0, std::memory_order_relaxed);
+  publish_nanos_.store(0, std::memory_order_relaxed);
   latency_.Reset();
   wall_.Restart();
 }

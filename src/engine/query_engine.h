@@ -11,23 +11,21 @@
 //    blocked by maintenance)       │  ApplyBatch on the master index,
 //                                  └─ publish a new EngineSnapshot
 //
-// Epoch-versioned snapshots: every published EngineSnapshot is immutable
-// (its own copy of the graph weights and labels; the stable tree
-// hierarchy is shared across all epochs because — the paper's central
-// property — weight updates never change it). Publication is a single
-// atomic shared_ptr store; a query holds its snapshot alive via
-// shared_ptr for exactly as long as it runs, so the writer never waits
-// for readers and readers never observe a half-applied batch. Readers
-// are decoupled from maintenance entirely; the one shared point is the
-// snapshot pointer itself (std::atomic<std::shared_ptr> — lock-free on
-// some platforms, a brief internal spinlock on libstdc++; either way
-// the cost is per-load, never proportional to maintenance work).
-//
-// Publish cost: one epoch = one copy of graph weights + labels, made by
-// the writer off the read path. The labels dominate (they are larger
-// than the graph); sharing label/topology structure across epochs
-// (persistent arrays) is the natural next step if publish ever shows up
-// in profiles.
+// Epoch-versioned snapshots: every published EngineSnapshot is immutable.
+// The stable tree hierarchy is shared across all epochs because — the
+// paper's central property — weight updates never change it. Graph
+// weights and labels are shared *structurally*: both are stored in
+// copy-on-write pages/chunks (core/labelling.h, graph/graph.h), so
+// publishing an epoch copies page pointers, not entries, and the writer
+// clones only the pages the maintenance batch actually dirtied. Publish
+// cost is therefore O(touched pages) — the in-memory mirror of the
+// paper's bounded blast radius — instead of O(index size); snapshot
+// stats record exactly how many pages each epoch detached. Publication
+// is a single atomic shared_ptr store; a query holds its snapshot alive
+// via shared_ptr for exactly as long as it runs, so the writer never
+// waits for readers and readers never observe a half-applied batch.
+// (EngineOptions::flat_publish restores the old deep-copy-per-epoch
+// behaviour as a benchmark baseline.)
 //
 // Consistency contract: a query submitted at time t is answered from
 // some epoch published at or after the epoch current at t; the answer is
@@ -56,12 +54,18 @@
 namespace stl {
 
 /// One immutable published version of the index. Snapshots share the
-/// stable tree hierarchy; graph weights and labels are per-epoch copies.
+/// stable tree hierarchy, and (unless flat_publish) share label pages
+/// and graph weight chunks copy-on-write with neighbouring epochs.
 struct EngineSnapshot {
   uint64_t epoch = 0;
   Graph graph;  // weights as of this epoch
   std::shared_ptr<const TreeHierarchy> hierarchy;
   Labelling labels;
+  // CoW work that isolated this epoch from the previous one: label pages
+  // detached by the producing maintenance batch, and total bytes cloned
+  // (label pages + graph weight chunks). Zero for epoch 0.
+  uint64_t label_pages_cloned = 0;
+  uint64_t cow_bytes_cloned = 0;
 
   Weight Query(Vertex s, Vertex t) const {
     return QueryDistance(*hierarchy, labels, s, t);
@@ -93,12 +97,16 @@ enum class StrategyMode {
 struct EngineOptions {
   int num_query_threads = 4;
   /// Updates taken from the pending queue per epoch (larger batches mean
-  /// fewer snapshot copies but staler reads).
+  /// fewer snapshot publishes but staler reads).
   size_t max_batch_size = 128;
   StrategyMode strategy = StrategyMode::kAuto;
   /// kAuto: batches with at least this many effective updates use Label
   /// Search.
   size_t auto_label_search_threshold = 16;
+  /// Benchmark baseline: publish every epoch as a full deep copy of the
+  /// graph weights and labels (the pre-CoW behaviour) instead of a
+  /// structural share. Keep false outside bench_snapshot_publish.
+  bool flat_publish = false;
 };
 
 /// Point-in-time engine counters and latency summary.
@@ -110,6 +118,22 @@ struct EngineStats {
   uint64_t epochs_published = 0;
   uint64_t batches_pareto = 0;
   uint64_t batches_label = 0;
+  // Copy-on-write publish economics. cow_bytes_cloned counts bytes of
+  // label pages + graph weight chunks detached by maintenance (the true
+  // per-epoch copy cost under structural sharing);
+  // publish_bytes_deep_copied counts bytes copied by flat_publish
+  // baseline publishes (0 in CoW mode).
+  uint64_t label_pages_cloned = 0;
+  uint64_t graph_chunks_cloned = 0;
+  uint64_t cow_bytes_cloned = 0;
+  uint64_t publish_bytes_deep_copied = 0;
+  double publish_total_micros = 0;  // time inside PublishSnapshot
+  // Actual resident bytes of the serving state (current snapshot +
+  // shared hierarchy), with every shared physical page/chunk counted
+  // exactly once (Table-4-style honest memory under page sharing). The
+  // master index shares all but its not-yet-published dirty pages with
+  // the snapshot, so those appear here after the next publish.
+  uint64_t resident_index_bytes = 0;
   double wall_seconds = 0;
   double queries_per_second = 0;
   double latency_mean_micros = 0;
@@ -148,6 +172,11 @@ class QueryEngine {
   void EnqueueUpdate(const WeightUpdate& update);
   void EnqueueUpdate(EdgeId edge, Weight new_weight);
 
+  /// Enqueues many updates atomically (one lock, one writer wakeup): the
+  /// writer cannot pop a partial prefix, so up to max_batch_size of them
+  /// land in the same maintenance batch / epoch.
+  void EnqueueUpdates(const std::vector<WeightUpdate>& updates);
+
   /// Blocks until every update enqueued before the call has been applied
   /// and, if it changed any weight, published in a snapshot.
   void Flush();
@@ -170,14 +199,16 @@ class QueryEngine {
 
  private:
   void WriterLoop();
-  /// Publishes the master index state as epoch `epoch`.
+  /// Publishes the master index state as epoch `epoch`. Called only by
+  /// the writer thread (or the constructor, before concurrency starts).
   void PublishSnapshot(uint64_t epoch);
 
   const EngineOptions options_;
 
-  // Master state, owned by the writer after construction. graph_ is
-  // heap-allocated so its address stays stable for the index's
-  // non-owning pointer.
+  // Master state, owned by the writer after construction (no other
+  // thread reads it: queries and Stats() work off published snapshots).
+  // graph_ is heap-allocated so its address stays stable for the
+  // index's non-owning pointer.
   std::unique_ptr<Graph> graph_;
   std::unique_ptr<StlIndex> index_;
   std::shared_ptr<const TreeHierarchy> hierarchy_;  // shared by snapshots
@@ -199,6 +230,14 @@ class QueryEngine {
 
   std::thread writer_;
 
+  // Last-harvested cumulative CoW counters of the master labelling and
+  // graph; only the publishing thread touches these, so per-epoch deltas
+  // need no synchronization.
+  uint64_t harvested_label_pages_ = 0;
+  uint64_t harvested_label_bytes_ = 0;
+  uint64_t harvested_graph_chunks_ = 0;
+  uint64_t harvested_graph_bytes_ = 0;
+
   // Serving-side stats (relaxed atomics: monitoring, not coordination).
   std::atomic<uint64_t> queries_served_{0};
   std::atomic<uint64_t> updates_applied_{0};
@@ -206,6 +245,11 @@ class QueryEngine {
   std::atomic<uint64_t> epochs_published_{0};
   std::atomic<uint64_t> batches_pareto_{0};
   std::atomic<uint64_t> batches_label_{0};
+  std::atomic<uint64_t> label_pages_cloned_{0};
+  std::atomic<uint64_t> graph_chunks_cloned_{0};
+  std::atomic<uint64_t> cow_bytes_cloned_{0};
+  std::atomic<uint64_t> publish_bytes_deep_copied_{0};
+  std::atomic<uint64_t> publish_nanos_{0};
   LatencyHistogram latency_;
   Timer wall_;
 

@@ -6,6 +6,48 @@
 
 namespace stl {
 
+void Graph::Chunk(uint32_t num_vertices, std::vector<Edge> edges,
+                  std::vector<uint32_t> adj_offset, std::vector<Arc> arcs,
+                  std::vector<uint32_t> arc_pos) {
+  auto topo = std::make_shared<Topology>();
+  topo->num_vertices = num_vertices;
+  topo->num_edges = static_cast<uint32_t>(edges.size());
+  topo->adj_offset = std::move(adj_offset);
+  topo->arc_pos = std::move(arc_pos);
+
+  // Edge table: fixed-size chunks.
+  edges_.Clear();
+  for (size_t start = 0; start < edges.size(); start += kEdgeChunkSize) {
+    const size_t end = std::min(edges.size(), start + kEdgeChunkSize);
+    edges_.Append(std::vector<Edge>(edges.begin() + start,
+                                    edges.begin() + end));
+  }
+
+  // Arc mirror: chunks cut at vertex boundaries (so ArcsOf(v) is one
+  // contiguous span within one chunk), targeting kEdgeChunkSize arcs. A
+  // vertex with more arcs than the target gets a dedicated larger chunk.
+  topo->vertex_chunk.resize(num_vertices);
+  arcs_.Clear();
+  uint32_t chunk_start = 0;
+  auto close_chunk = [&](uint32_t end) {
+    topo->arc_chunk_base.push_back(chunk_start);
+    arcs_.Append(std::vector<Arc>(arcs.begin() + chunk_start,
+                                  arcs.begin() + end));
+    chunk_start = end;
+  };
+  for (Vertex v = 0; v < num_vertices; ++v) {
+    if (topo->adj_offset[v + 1] - chunk_start > kEdgeChunkSize &&
+        topo->adj_offset[v] > chunk_start) {
+      close_chunk(topo->adj_offset[v]);
+    }
+    topo->vertex_chunk[v] =
+        static_cast<uint32_t>(topo->arc_chunk_base.size());
+  }
+  if (num_vertices > 0) close_chunk(topo->adj_offset[num_vertices]);
+
+  topo_ = std::move(topo);
+}
+
 Result<Graph> Graph::FromEdges(uint32_t num_vertices,
                                std::vector<Edge> edges) {
   for (size_t i = 0; i < edges.size(); ++i) {
@@ -38,61 +80,71 @@ Result<Graph> Graph::FromEdges(uint32_t num_vertices,
     }
   }
 
-  Graph g;
-  g.num_vertices_ = num_vertices;
-  g.edges_ = std::move(edges);
-  g.adj_offset_.assign(num_vertices + 1, 0);
-  for (const Edge& e : g.edges_) {
-    ++g.adj_offset_[e.u + 1];
-    ++g.adj_offset_[e.v + 1];
+  // Build the flat CSR arrays first, then chunk them.
+  std::vector<uint32_t> adj_offset(num_vertices + 1, 0);
+  for (const Edge& e : edges) {
+    ++adj_offset[e.u + 1];
+    ++adj_offset[e.v + 1];
   }
-  std::partial_sum(g.adj_offset_.begin(), g.adj_offset_.end(),
-                   g.adj_offset_.begin());
-  g.arcs_.resize(2 * g.edges_.size());
-  g.arc_pos_.resize(2 * g.edges_.size());
-  std::vector<uint32_t> cursor(g.adj_offset_.begin(),
-                               g.adj_offset_.end() - 1);
-  for (EdgeId id = 0; id < g.edges_.size(); ++id) {
-    const Edge& e = g.edges_[id];
+  std::partial_sum(adj_offset.begin(), adj_offset.end(),
+                   adj_offset.begin());
+  std::vector<Arc> arcs(2 * edges.size());
+  std::vector<uint32_t> arc_pos(2 * edges.size());
+  std::vector<uint32_t> cursor(adj_offset.begin(), adj_offset.end() - 1);
+  for (EdgeId id = 0; id < edges.size(); ++id) {
+    const Edge& e = edges[id];
     uint32_t pu = cursor[e.u]++;
     uint32_t pv = cursor[e.v]++;
-    g.arcs_[pu] = Arc{e.v, e.w, id};
-    g.arcs_[pv] = Arc{e.u, e.w, id};
-    g.arc_pos_[2 * id] = pu;
-    g.arc_pos_[2 * id + 1] = pv;
+    arcs[pu] = Arc{e.v, e.w, id};
+    arcs[pv] = Arc{e.u, e.w, id};
+    arc_pos[2 * id] = pu;
+    arc_pos[2 * id + 1] = pv;
   }
   // Sort each adjacency list by head for deterministic iteration and
-  // binary-searchable FindEdge; fix up arc_pos_ afterwards.
+  // binary-searchable FindEdge; fix up arc_pos afterwards.
   for (Vertex v = 0; v < num_vertices; ++v) {
-    std::sort(g.arcs_.begin() + g.adj_offset_[v],
-              g.arcs_.begin() + g.adj_offset_[v + 1],
+    std::sort(arcs.begin() + adj_offset[v], arcs.begin() + adj_offset[v + 1],
               [](const Arc& a, const Arc& b) {
                 if (a.head != b.head) return a.head < b.head;
                 return a.edge < b.edge;
               });
   }
-  for (uint32_t pos = 0; pos < g.arcs_.size(); ++pos) {
-    const Arc& a = g.arcs_[pos];
+  for (uint32_t pos = 0; pos < arcs.size(); ++pos) {
+    const Arc& a = arcs[pos];
     // Each edge has exactly two arcs; assign this position to the slot
     // whose tail matches.
-    const Edge& e = g.edges_[a.edge];
+    const Edge& e = edges[a.edge];
     Vertex tail = (a.head == e.v) ? e.u : e.v;
-    g.arc_pos_[2 * a.edge + (tail == e.u ? 0 : 1)] = pos;
+    arc_pos[2 * a.edge + (tail == e.u ? 0 : 1)] = pos;
   }
+
+  Graph g;
+  g.Chunk(num_vertices, std::move(edges), std::move(adj_offset),
+          std::move(arcs), std::move(arc_pos));
   return g;
 }
 
 void Graph::SetEdgeWeight(EdgeId id, Weight w) {
-  STL_CHECK(id < edges_.size());
+  STL_CHECK(id < NumEdges());
   STL_CHECK(w > 0 && w <= kMaxEdgeWeight)
       << "weight " << w << " out of range";
-  edges_[id].w = w;
-  arcs_[arc_pos_[2 * id]].weight = w;
-  arcs_[arc_pos_[2 * id + 1]].weight = w;
+  Edge& e = edges_.Writable(id >> kEdgeChunkShift)[id & kEdgeChunkMask];
+  e.w = w;
+  // arc_pos[2*id] lives in u's adjacency list, arc_pos[2*id+1] in v's
+  // (see FromEdges), which pins down the owning chunk without a search.
+  const uint32_t cu = topo_->vertex_chunk[e.u];
+  arcs_.Writable(cu)[topo_->arc_pos[2 * id] - topo_->arc_chunk_base[cu]]
+      .weight = w;
+  const uint32_t cv = topo_->vertex_chunk[e.v];
+  arcs_.Writable(cv)[topo_->arc_pos[2 * id + 1] -
+                     topo_->arc_chunk_base[cv]]
+      .weight = w;
 }
 
 std::optional<EdgeId> Graph::FindEdge(Vertex u, Vertex v) const {
-  if (u >= num_vertices_ || v >= num_vertices_ || u == v) return std::nullopt;
+  if (u >= NumVertices() || v >= NumVertices() || u == v) {
+    return std::nullopt;
+  }
   if (Degree(u) > Degree(v)) std::swap(u, v);
   auto arcs = ArcsOf(u);
   auto it = std::lower_bound(
@@ -103,10 +155,25 @@ std::optional<EdgeId> Graph::FindEdge(Vertex u, Vertex v) const {
 }
 
 uint64_t Graph::MemoryBytes() const {
-  return edges_.capacity() * sizeof(Edge) +
-         adj_offset_.capacity() * sizeof(uint32_t) +
-         arcs_.capacity() * sizeof(Arc) +
-         arc_pos_.capacity() * sizeof(uint32_t);
+  if (!topo_) return 0;
+  return topo_->MemoryBytes() + edges_.MemoryBytes() + arcs_.MemoryBytes();
+}
+
+uint64_t Graph::AddResidentBytes(
+    std::unordered_set<const void*>* seen) const {
+  if (!topo_) return 0;
+  uint64_t bytes = edges_.AddResidentBytes(seen);
+  bytes += arcs_.AddResidentBytes(seen);
+  if (seen->insert(topo_.get()).second) bytes += topo_->MemoryBytes();
+  return bytes;
+}
+
+Graph Graph::DeepCopy() const {
+  Graph copy;
+  copy.topo_ = topo_;
+  copy.edges_ = edges_.DeepCopy();
+  copy.arcs_ = arcs_.DeepCopy();
+  return copy;
 }
 
 std::pair<std::vector<uint32_t>, uint32_t> ConnectedComponents(

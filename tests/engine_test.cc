@@ -297,6 +297,86 @@ TEST(QueryEngineTest, ConcurrentReadersWithWriterMatchDijkstraPerEpoch) {
   EXPECT_GE(stats.batches_pareto + stats.batches_label, 1u);
 }
 
+// The CoW aliasing audit: hold every epoch's snapshot while the writer
+// keeps detaching pages, verify (a) each held snapshot stays
+// byte-for-byte identical to the deep copy frozen at capture time, and
+// (b) each new epoch's labels match a from-scratch BuildLabelling on
+// that epoch's exact graph state.
+TEST(QueryEngineTest, CowSnapshotsSurviveAliasingAndMatchScratchBuilds) {
+  Graph g = testing_util::SmallRoadNetwork(8, 31);
+  const uint32_t m = g.NumEdges();
+  QueryEngine engine(std::move(g), HierarchyOptions{},
+                     SmallEngineOptions());
+  Rng rng(31);
+  struct Held {
+    std::shared_ptr<const EngineSnapshot> snap;
+    Labelling frozen_labels;
+    std::vector<Weight> frozen_weights;
+  };
+  std::vector<Held> held;
+  auto capture = [&held, m](std::shared_ptr<const EngineSnapshot> snap) {
+    std::vector<Weight> w(m);
+    for (EdgeId e = 0; e < m; ++e) w[e] = snap->graph.EdgeWeight(e);
+    held.push_back(Held{snap, snap->labels.DeepCopy(), std::move(w)});
+  };
+  capture(engine.CurrentSnapshot());
+  for (int round = 0; round < 12; ++round) {
+    const size_t batch = 1 + rng.NextBounded(6);
+    for (size_t i = 0; i < batch; ++i) {
+      engine.EnqueueUpdate(static_cast<EdgeId>(rng.NextBounded(m)),
+                           1 + static_cast<Weight>(rng.NextBounded(400)));
+    }
+    engine.Flush();
+    auto snap = engine.CurrentSnapshot();
+    // (b) labels of the new epoch == from-scratch build on its graph.
+    Labelling scratch = BuildLabelling(snap->graph, *snap->hierarchy);
+    ASSERT_EQ(testing_util::LabelDiffCount(snap->labels, scratch), 0u)
+        << "round " << round << " epoch " << snap->epoch;
+    capture(snap);
+    // (a) every held snapshot is untouched by later maintenance.
+    for (size_t c = 0; c < held.size(); ++c) {
+      ASSERT_TRUE(held[c].snap->labels == held[c].frozen_labels)
+          << "round " << round << " snapshot " << c;
+      for (EdgeId e = 0; e < m; ++e) {
+        ASSERT_EQ(held[c].snap->graph.EdgeWeight(e),
+                  held[c].frozen_weights[e]);
+      }
+    }
+  }
+  EngineStats stats = engine.Stats();
+  EXPECT_GT(stats.label_pages_cloned, 0u);
+  EXPECT_GT(stats.cow_bytes_cloned, 0u);
+  EXPECT_EQ(stats.publish_bytes_deep_copied, 0u);  // CoW mode: no copies
+  EXPECT_GT(stats.resident_index_bytes, 0u);
+}
+
+TEST(QueryEngineTest, FlatPublishBaselineStillServesExactAnswers) {
+  Graph g = testing_util::SmallRoadNetwork(8, 33);
+  EngineOptions opt = SmallEngineOptions();
+  opt.flat_publish = true;
+  QueryEngine engine(std::move(g), HierarchyOptions{}, opt);
+  Rng rng(33);
+  const uint32_t m = engine.CurrentSnapshot()->graph.NumEdges();
+  std::vector<WeightUpdate> updates;
+  for (int i = 0; i < 10; ++i) {
+    updates.push_back(
+        WeightUpdate{static_cast<EdgeId>(rng.NextBounded(m)), 0,
+                     1 + static_cast<Weight>(rng.NextBounded(300))});
+  }
+  engine.EnqueueUpdates(updates);  // atomic bulk enqueue
+  engine.Flush();
+  auto snap = engine.CurrentSnapshot();
+  Dijkstra dij(snap->graph);
+  const uint32_t n = snap->graph.NumVertices();
+  for (int i = 0; i < 60; ++i) {
+    Vertex s = static_cast<Vertex>(rng.NextBounded(n));
+    Vertex t = static_cast<Vertex>(rng.NextBounded(n));
+    ASSERT_EQ(engine.Submit({s, t}).get().distance, dij.Distance(s, t));
+  }
+  EngineStats stats = engine.Stats();
+  EXPECT_GT(stats.publish_bytes_deep_copied, 0u);
+}
+
 TEST(QueryEngineTest, DestructorDrainsInFlightWork) {
   Graph g = testing_util::SmallRoadNetwork(6, 28);
   const uint32_t n = g.NumVertices();

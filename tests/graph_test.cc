@@ -142,5 +142,96 @@ TEST(GraphTest, MemoryBytesNonTrivial) {
   EXPECT_GT(g.MemoryBytes(), 0u);
 }
 
+TEST(GraphTest, CopyOnWriteIsolatesCopiesFromWeightWrites) {
+  Graph g = testing_util::SmallRoadNetwork(12, 41);
+  const uint32_t m = g.NumEdges();
+  Rng rng(41);
+  std::vector<Graph> copies;
+  std::vector<std::vector<Weight>> frozen;
+  for (int round = 0; round < 6; ++round) {
+    copies.push_back(g);  // structural share: chunk refcount bumps
+    std::vector<Weight> w(m);
+    for (EdgeId e = 0; e < m; ++e) w[e] = g.EdgeWeight(e);
+    frozen.push_back(std::move(w));
+    for (int i = 0; i < 20; ++i) {
+      g.SetEdgeWeight(static_cast<EdgeId>(rng.NextBounded(m)),
+                      1 + static_cast<Weight>(rng.NextBounded(900)));
+    }
+    // Every older copy still reads its captured weights, through both
+    // the edge table and the mirrored arcs.
+    for (size_t c = 0; c < copies.size(); ++c) {
+      for (EdgeId e = 0; e < m; ++e) {
+        ASSERT_EQ(copies[c].EdgeWeight(e), frozen[c][e]) << "copy " << c;
+      }
+      for (Vertex v = 0; v < copies[c].NumVertices(); v += 7) {
+        for (const Arc& a : copies[c].ArcsOf(v)) {
+          ASSERT_EQ(a.weight, frozen[c][a.edge]);
+        }
+      }
+    }
+  }
+  EXPECT_GT(g.cow_stats().chunks_cloned, 0u);
+  EXPECT_GT(g.cow_stats().bytes_cloned, 0u);
+}
+
+TEST(GraphTest, SoleOwnerWritesDoNotClone) {
+  Graph g = testing_util::SmallRoadNetwork(8, 43);
+  const uint64_t cloned0 = g.cow_stats().chunks_cloned;
+  g.SetEdgeWeight(0, 123);
+  // No copy shares the chunks, so the write lands in place.
+  EXPECT_EQ(g.cow_stats().chunks_cloned, cloned0);
+  {
+    Graph copy = g;
+    g.SetEdgeWeight(0, 124);  // now shared: must clone
+    EXPECT_GT(g.cow_stats().chunks_cloned, cloned0);
+    EXPECT_EQ(copy.EdgeWeight(0), 123u);
+  }
+  // The copy died; the next write touches already-detached chunks.
+  const uint64_t cloned1 = g.cow_stats().chunks_cloned;
+  g.SetEdgeWeight(0, 125);
+  EXPECT_EQ(g.cow_stats().chunks_cloned, cloned1);
+}
+
+TEST(GraphTest, DeepCopyDetachesEverything) {
+  Graph g = testing_util::SmallRoadNetwork(8, 44);
+  Graph deep = g.DeepCopy();
+  g.SetEdgeWeight(1, 777);
+  EXPECT_NE(deep.EdgeWeight(1), 777u);
+  // A deep copy triggers no CoW clone on the source's next write.
+  EXPECT_EQ(g.cow_stats().chunks_cloned, 0u);
+}
+
+TEST(GraphTest, ResidentBytesDeduplicatesSharedChunks) {
+  Graph g = testing_util::SmallRoadNetwork(12, 45);
+  std::unordered_set<const void*> seen;
+  const uint64_t solo = g.AddResidentBytes(&seen);
+  EXPECT_GT(solo, 0u);
+  Graph copy = g;  // shares everything
+  const uint64_t extra = copy.AddResidentBytes(&seen);
+  // Only the per-copy pointer tables are new.
+  EXPECT_LT(extra, solo / 4);
+  g.SetEdgeWeight(0, 42);  // detaches a few chunks
+  std::unordered_set<const void*> seen2;
+  uint64_t both = g.AddResidentBytes(&seen2);
+  both += copy.AddResidentBytes(&seen2);
+  EXPECT_GT(both, solo);          // the detached chunks are extra
+  EXPECT_LT(both, 2 * solo);      // but far from a full second graph
+}
+
+TEST(GraphTest, EdgeViewMatchesGetEdge) {
+  Graph g = testing_util::SmallRoadNetwork(9, 46);
+  EdgeId id = 0;
+  for (const Edge& e : g.edges()) {
+    const Edge& want = g.GetEdge(id);
+    ASSERT_EQ(e.u, want.u);
+    ASSERT_EQ(e.v, want.v);
+    ASSERT_EQ(e.w, want.w);
+    ASSERT_EQ(&e, &g.edges()[id]);  // references point into the chunks
+    ++id;
+  }
+  EXPECT_EQ(id, g.NumEdges());
+  EXPECT_EQ(g.edges().size(), g.NumEdges());
+}
+
 }  // namespace
 }  // namespace stl

@@ -185,6 +185,152 @@ TEST(LabellingTest, SerializeRoundTrip) {
   EXPECT_TRUE(b.labels == l2);
 }
 
+TEST(LabellingTest, PagedLayoutKeepsEachLabelContiguous) {
+  auto b = BuildAll(testing_util::SmallRoadNetwork(16, 15), 15);
+  // Data(v) must be one contiguous block equal to the At() view — the
+  // paging layer may never split a label across pages.
+  for (Vertex v = 0; v < b.g.NumVertices(); ++v) {
+    const Weight* data = b.labels.Data(v);
+    for (uint32_t i = 0; i < b.labels.LabelSize(v); ++i) {
+      ASSERT_EQ(data[i], b.labels.At(v, i)) << "v=" << v << " i=" << i;
+    }
+  }
+  // A 16x16 network has well over one page of label entries.
+  EXPECT_GT(b.labels.PageCount(), 1u);
+  EXPECT_GT(b.labels.MemoryBytes(),
+            b.labels.TotalEntries() * sizeof(Weight));
+}
+
+TEST(LabellingTest, CowCopiesAreIsolatedFromWriterMutations) {
+  // The randomized aliasing audit: hold N structurally shared copies
+  // (simulated old snapshots), keep mutating the master through the CoW
+  // write path, and verify every held copy stays byte-for-byte equal to
+  // the deep copy frozen at its capture time.
+  auto b = BuildAll(testing_util::SmallRoadNetwork(10, 17), 17);
+  Rng rng(17);
+  std::vector<Labelling> held;
+  std::vector<Labelling> frozen;
+  for (int round = 0; round < 8; ++round) {
+    held.push_back(b.labels);            // refcount bumps only
+    frozen.push_back(b.labels.DeepCopy());
+    for (int i = 0; i < 60; ++i) {
+      Vertex v = static_cast<Vertex>(rng.NextBounded(b.g.NumVertices()));
+      uint32_t idx =
+          static_cast<uint32_t>(rng.NextBounded(b.labels.LabelSize(v)));
+      Weight val = static_cast<Weight>(rng.NextBounded(kInfDistance));
+      if (rng.NextBounded(2) == 0) {
+        b.labels.Set(v, idx, val);
+      } else {
+        b.labels.MutableData(v)[idx] = val;  // the engines' fast path
+      }
+    }
+    for (size_t c = 0; c < held.size(); ++c) {
+      ASSERT_TRUE(held[c] == frozen[c]) << "round " << round << " copy "
+                                        << c << " mutated through aliasing";
+    }
+  }
+  const CowChunkStats cow = b.labels.cow_stats();
+  EXPECT_GT(cow.chunks_cloned, 0u);
+  // Clone cost is bounded by the page granularity: never more bytes than
+  // dirty pages times the largest physical page (the CI bench guard's
+  // invariant; MaxPageBytes == kPageEntries * 4 unless a label overflows
+  // a page and owns a dedicated one).
+  const uint64_t page_cap =
+      std::max<uint64_t>(Labelling::kPageEntries * sizeof(Weight),
+                         b.labels.MaxPageBytes());
+  EXPECT_LE(cow.bytes_cloned, cow.chunks_cloned * page_cap);
+}
+
+TEST(LabellingTest, SoleOwnerWritesDoNotClone) {
+  auto b = BuildAll(testing_util::SmallRoadNetwork(8, 19), 19);
+  EXPECT_EQ(b.labels.cow_stats().chunks_cloned, 0u);  // build never clones
+  b.labels.Set(0, 0, 5);
+  EXPECT_EQ(b.labels.cow_stats().chunks_cloned, 0u);
+  {
+    Labelling copy = b.labels;
+    b.labels.Set(0, 0, 6);  // shared now: must detach
+    EXPECT_EQ(b.labels.cow_stats().chunks_cloned, 1u);
+    EXPECT_EQ(copy.At(0, 0), 5u);
+    b.labels.Set(0, 0, 7);  // same page, already detached
+    EXPECT_EQ(b.labels.cow_stats().chunks_cloned, 1u);
+  }
+}
+
+TEST(LabellingTest, ResidentBytesDeduplicatesSharedPages) {
+  auto b = BuildAll(testing_util::SmallRoadNetwork(12, 21), 21);
+  std::unordered_set<const void*> seen;
+  const uint64_t solo = b.labels.AddResidentBytes(&seen);
+  EXPECT_GT(solo, b.labels.TotalEntries() * sizeof(Weight));
+  Labelling copy = b.labels;
+  const uint64_t extra = copy.AddResidentBytes(&seen);
+  EXPECT_LT(extra, solo / 4);  // only the per-copy pointer tables
+  b.labels.Set(0, 0, 99);      // detach one page
+  std::unordered_set<const void*> seen2;
+  uint64_t both = b.labels.AddResidentBytes(&seen2);
+  both += copy.AddResidentBytes(&seen2);
+  EXPECT_GT(both, solo);
+  EXPECT_LT(both, 2 * solo);
+}
+
+// SIMD vs. scalar equivalence on adversarial labels: lengths crossing
+// every vector-width boundary and entries at/near kInfDistance (the
+// saturation band of Equation 3's reduction).
+TEST(LabellingTest, MinPlusReduceMatchesScalarOnAdversarialInputs) {
+  Rng rng(23);
+  const Weight interesting[] = {0,
+                                1,
+                                2,
+                                7,
+                                kInfDistance - 2,
+                                kInfDistance - 1,
+                                kInfDistance};
+  for (uint32_t k = 0; k <= 70; ++k) {
+    for (int variant = 0; variant < 8; ++variant) {
+      std::vector<Weight> a(k), b(k);
+      for (uint32_t i = 0; i < k; ++i) {
+        if (variant < 4) {
+          a[i] = interesting[rng.NextBounded(std::size(interesting))];
+          b[i] = interesting[rng.NextBounded(std::size(interesting))];
+        } else {
+          a[i] = static_cast<Weight>(rng.NextBounded(kInfDistance + 1));
+          b[i] = static_cast<Weight>(rng.NextBounded(kInfDistance + 1));
+        }
+      }
+      // Plant the unique minimum at a specific position so a dropped
+      // lane or bad tail handling cannot go unnoticed.
+      if (k > 0 && variant % 2 == 1) {
+        uint32_t pos = static_cast<uint32_t>(rng.NextBounded(k));
+        a[pos] = 0;
+        b[pos] = static_cast<Weight>(rng.NextBounded(5));
+      }
+      ASSERT_EQ(MinPlusReduce(a.data(), b.data(), k),
+                MinPlusReduceScalar(a.data(), b.data(), k))
+          << "k=" << k << " variant=" << variant
+          << " avx2=" << MinPlusReduceUsesAvx2();
+    }
+  }
+  // k == 0 returns the out-of-band sentinel both ways.
+  EXPECT_EQ(MinPlusReduce(nullptr, nullptr, 0),
+            kInfDistance + kInfDistance);
+}
+
+TEST(LabellingTest, QueryDistanceAgreesWithScalarReduction) {
+  // End-to-end: the dispatched reduction inside QueryDistance returns
+  // exactly what a scalar recomputation over the same labels gives.
+  auto b = BuildAll(testing_util::SmallRoadNetwork(14, 27), 27);
+  Rng rng(27);
+  for (int i = 0; i < 500; ++i) {
+    Vertex s = static_cast<Vertex>(rng.NextBounded(b.g.NumVertices()));
+    Vertex t = static_cast<Vertex>(rng.NextBounded(b.g.NumVertices()));
+    if (s == t) continue;
+    const uint32_t k = b.h.CommonAncestorCount(s, t);
+    const Weight scalar =
+        MinPlusReduceScalar(b.labels.Data(s), b.labels.Data(t), k);
+    const Weight want = scalar >= kInfDistance ? kInfDistance : scalar;
+    ASSERT_EQ(QueryDistance(b.h, b.labels, s, t), want);
+  }
+}
+
 TEST(LabellingTest, SaturatingAdd) {
   EXPECT_EQ(SaturatingAdd(1, 2), 3u);
   EXPECT_EQ(SaturatingAdd(kInfDistance, 5), kInfDistance);
