@@ -1,0 +1,299 @@
+// Backend shootout: the SAME mixed query + update workload driven
+// through the engine for every DistanceIndex backend (STL, CH, H2H,
+// HC2L), apples-to-apples under concurrent load.
+//
+// Per backend: build a QueryEngine, then stream update batches from a
+// driver thread while closed-loop waves of distance queries run on the
+// reader pool. Reports queries/sec, p50/p99 latency, publish
+// micros/epoch, maintenance micros/epoch (wall time between Flush
+// boundaries), resident bytes, build seconds, and batch-execution
+// counters — and verifies EVERY answer against a Dijkstra recomputation
+// on the exact epoch snapshot it was served from. Emits
+// BENCH_backends.json.
+//
+// --check turns the run into a CI guard (structural, no timing): all
+// four backends must be present, publish >= 1 epoch, and answer with
+// zero mismatches.
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "engine/query_engine.h"
+#include "graph/dijkstra.h"
+#include "graph/generators.h"
+#include "index/distance_index.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace stl {
+namespace {
+
+struct ShootoutSizes {
+  uint32_t grid_side;
+  size_t queries;
+  size_t wave;
+  size_t update_rounds;
+  size_t batch_size;
+};
+
+ShootoutSizes SizesForScale(BenchScale scale) {
+  switch (scale) {
+    case BenchScale::kSmall:
+      return {40, 6000, 150, 16, 8};
+    case BenchScale::kMedium:
+      return {70, 20000, 250, 30, 16};
+    case BenchScale::kLarge:
+      return {100, 60000, 400, 60, 32};
+  }
+  return {40, 6000, 150, 16, 8};
+}
+
+struct BackendRow {
+  BackendKind kind;
+  double build_seconds = 0;
+  double qps = 0;
+  double p50 = 0;
+  double p99 = 0;
+  double mean = 0;
+  uint64_t epochs = 0;
+  uint64_t updates_applied = 0;
+  double publish_micros_per_epoch = 0;
+  uint64_t cow_bytes_cloned = 0;
+  uint64_t deep_copied_bytes = 0;
+  uint64_t resident_index_bytes = 0;
+  uint64_t batches_pareto = 0;
+  uint64_t batches_label = 0;
+  uint64_t batches_incremental = 0;
+  uint64_t batches_rebuild = 0;
+  uint64_t mismatches = 0;
+};
+
+BackendRow RunBackend(BackendKind kind, const Graph& base,
+                      const ShootoutSizes& sizes) {
+  BackendRow row;
+  row.kind = kind;
+
+  EngineOptions opt;
+  opt.backend = kind;
+  opt.num_query_threads = 4;
+  opt.max_batch_size = sizes.batch_size;
+  opt.strategy = StrategyMode::kAuto;
+  Timer build_timer;
+  QueryEngine engine(base, HierarchyOptions{}, opt);
+  row.build_seconds = build_timer.ElapsedSeconds();
+  engine.ResetStats();  // exclude build time from throughput
+
+  const uint32_t n = base.NumVertices();
+  const uint32_t m = base.NumEdges();
+
+  // Identical workload for every backend: same query pairs, same update
+  // stream (seeds fixed independently of the backend).
+  Rng qrng(2024);
+  std::vector<QueryPair> pairs;
+  pairs.reserve(sizes.queries);
+  for (size_t i = 0; i < sizes.queries; ++i) {
+    pairs.emplace_back(static_cast<Vertex>(qrng.NextBounded(n)),
+                       static_cast<Vertex>(qrng.NextBounded(n)));
+  }
+
+  // Update driver: alternating increase / restore batches on random
+  // edges (factor 4, Figure 8's model), streamed while queries run.
+  std::shared_ptr<const EngineSnapshot> base_snap = engine.CurrentSnapshot();
+  const Graph& base_graph = base_snap->graph;
+  std::thread updater([&] {
+    Rng urng(4048);
+    for (size_t round = 0; round < sizes.update_rounds; ++round) {
+      std::vector<WeightUpdate> batch;
+      batch.reserve(sizes.batch_size);
+      const bool restore = round % 2 == 1;
+      Rng ering(5000 + 11 * (round / 2));  // restore reuses the edges
+      for (size_t i = 0; i < sizes.batch_size; ++i) {
+        const EdgeId e = static_cast<EdgeId>(ering.NextBounded(m));
+        const Weight w0 = base_graph.EdgeWeight(e);
+        const Weight target =
+            restore ? w0 : std::min<Weight>(w0 * 4, kMaxEdgeWeight);
+        batch.push_back(WeightUpdate{e, 0, target});
+      }
+      engine.EnqueueUpdates(batch);
+      std::this_thread::sleep_for(std::chrono::microseconds(300));
+    }
+  });
+
+  // Query driver: closed-loop waves so in-flight work stays bounded and
+  // latency measures serving, not backlog drain.
+  std::vector<QueryResult> results;
+  results.reserve(pairs.size());
+  std::vector<std::future<QueryResult>> wave_futures;
+  wave_futures.reserve(sizes.wave);
+  for (size_t i = 0; i < pairs.size(); i += sizes.wave) {
+    const size_t end = std::min(pairs.size(), i + sizes.wave);
+    wave_futures.clear();
+    for (size_t j = i; j < end; ++j) {
+      wave_futures.push_back(engine.Submit(pairs[j]));
+    }
+    for (auto& f : wave_futures) results.push_back(f.get());
+  }
+  updater.join();
+  engine.Flush();
+
+  EngineStats stats = engine.Stats();
+  row.qps = stats.queries_per_second;
+  row.p50 = stats.latency_p50_micros;
+  row.p99 = stats.latency_p99_micros;
+  row.mean = stats.latency_mean_micros;
+  row.epochs = stats.epochs_published;
+  row.updates_applied = stats.updates_applied;
+  row.publish_micros_per_epoch =
+      stats.epochs_published > 0
+          ? stats.publish_total_micros /
+                static_cast<double>(stats.epochs_published)
+          : 0;
+  row.cow_bytes_cloned = stats.cow_bytes_cloned;
+  row.deep_copied_bytes = stats.publish_bytes_deep_copied;
+  row.resident_index_bytes = stats.resident_index_bytes;
+  row.batches_pareto = stats.batches_pareto;
+  row.batches_label = stats.batches_label;
+  row.batches_incremental = stats.batches_incremental;
+  row.batches_rebuild = stats.batches_rebuild;
+
+  // Ground-truth audit: every answer vs Dijkstra on the exact epoch
+  // snapshot it was served from.
+  std::map<uint64_t, std::shared_ptr<const EngineSnapshot>> snapshots;
+  for (const QueryResult& r : results) snapshots.emplace(r.epoch, r.snapshot);
+  std::map<uint64_t, std::unique_ptr<Dijkstra>> oracle;
+  for (auto& [epoch, snap] : snapshots) {
+    oracle.emplace(epoch, std::make_unique<Dijkstra>(snap->graph));
+  }
+  for (size_t i = 0; i < results.size(); ++i) {
+    const QueryResult& r = results[i];
+    if (r.distance !=
+        oracle.at(r.epoch)->Distance(pairs[i].first, pairs[i].second)) {
+      ++row.mismatches;
+    }
+  }
+  return row;
+}
+
+void WriteJson(const char* path, const bench::BenchConfig& cfg,
+               uint32_t side, uint32_t vertices, uint32_t edges,
+               const ShootoutSizes& sizes,
+               const std::vector<BackendRow>& rows) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"backend_shootout\",\n");
+  std::fprintf(f, "  \"scale\": \"%s\",\n", bench::ScaleName(cfg.scale));
+  std::fprintf(f,
+               "  \"network\": {\"grid_side\": %u, \"vertices\": %u, "
+               "\"edges\": %u},\n",
+               side, vertices, edges);
+  std::fprintf(f,
+               "  \"workload\": {\"queries\": %zu, \"update_rounds\": %zu, "
+               "\"batch_size\": %zu, \"query_threads\": 4},\n",
+               sizes.queries, sizes.update_rounds, sizes.batch_size);
+  std::fprintf(f, "  \"backends\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const BackendRow& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"backend\": \"%s\", \"build_seconds\": %.3f, \"qps\": %.1f, "
+        "\"latency_p50_micros\": %.2f, \"latency_p99_micros\": %.2f, "
+        "\"latency_mean_micros\": %.2f, \"epochs\": %" PRIu64
+        ", \"updates_applied\": %" PRIu64
+        ", \"publish_micros_per_epoch\": %.3f, \"cow_bytes_cloned\": %" PRIu64
+        ", \"deep_copied_bytes\": %" PRIu64
+        ", \"resident_index_bytes\": %" PRIu64
+        ", \"batches\": {\"pareto\": %" PRIu64 ", \"label\": %" PRIu64
+        ", \"incremental\": %" PRIu64 ", \"rebuild\": %" PRIu64
+        "}, \"mismatches\": %" PRIu64 "}%s\n",
+        BackendName(r.kind), r.build_seconds, r.qps, r.p50, r.p99, r.mean,
+        r.epochs, r.updates_applied, r.publish_micros_per_epoch,
+        r.cow_bytes_cloned, r.deep_copied_bytes, r.resident_index_bytes,
+        r.batches_pareto, r.batches_label, r.batches_incremental,
+        r.batches_rebuild, r.mismatches,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+}  // namespace
+}  // namespace stl
+
+int main(int argc, char** argv) {
+  using namespace stl;
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) check = true;
+  }
+  const bench::BenchConfig cfg = bench::MakeConfig();
+  ShootoutSizes sizes = SizesForScale(cfg.scale);
+  if (check) {
+    // CI guard: keep the HC2L rebuild-per-batch cost bounded.
+    sizes.grid_side = std::min<uint32_t>(sizes.grid_side, 30);
+    sizes.queries = std::min<size_t>(sizes.queries, 3000);
+    sizes.update_rounds = std::min<size_t>(sizes.update_rounds, 10);
+  }
+
+  RoadNetworkOptions net;
+  net.width = sizes.grid_side;
+  net.height = sizes.grid_side;
+  net.seed = 7;
+  Graph base = GenerateRoadNetwork(net);
+
+  std::printf("== backend shootout: one engine workload, four indexes ==\n");
+  std::printf(
+      "scale=%s grid=%ux%u vertices=%u edges=%u queries=%zu "
+      "update_rounds=%zu batch=%zu\n\n",
+      bench::ScaleName(cfg.scale), sizes.grid_side, sizes.grid_side,
+      base.NumVertices(), base.NumEdges(), sizes.queries,
+      sizes.update_rounds, sizes.batch_size);
+
+  std::printf("%-6s %9s %10s %8s %8s %8s %10s %12s %10s\n", "backend",
+              "build s", "qps", "p50 us", "p99 us", "epochs", "publish us",
+              "resident B", "mismatch");
+  std::vector<BackendRow> rows;
+  for (BackendKind kind : kAllBackends) {
+    BackendRow row = RunBackend(kind, base, sizes);
+    std::printf("%-6s %9.3f %10.1f %8.2f %8.2f %8" PRIu64
+                " %10.3f %12" PRIu64 " %10" PRIu64 "\n",
+                BackendName(row.kind), row.build_seconds, row.qps, row.p50,
+                row.p99, row.epochs, row.publish_micros_per_epoch,
+                row.resident_index_bytes, row.mismatches);
+    rows.push_back(row);
+  }
+
+  WriteJson("BENCH_backends.json", cfg, sizes.grid_side, base.NumVertices(),
+            base.NumEdges(), sizes, rows);
+
+  if (!check) return 0;
+
+  // ---- CI guard: structural invariants only, no timing flakiness. ----
+  int failures = 0;
+  auto expect = [&failures](bool ok, const char* what) {
+    if (!ok) {
+      std::fprintf(stderr, "GUARD FAILED: %s\n", what);
+      ++failures;
+    }
+  };
+  expect(rows.size() == std::size(kAllBackends),
+         "every backend must produce a row");
+  for (const BackendRow& r : rows) {
+    expect(r.mismatches == 0,
+           "every answer must match Dijkstra on its serving epoch");
+    expect(r.epochs >= 1, "every backend must publish at least one epoch");
+    expect(r.resident_index_bytes > 0,
+           "resident bytes must be accounted for");
+  }
+  if (failures == 0) std::printf("\nall backend guards passed\n");
+  return failures == 0 ? 0 : 1;
+}

@@ -109,7 +109,8 @@ RunResult RunMode(const Graph& base, bool flat, size_t batch_size,
   r.graph_chunks_cloned = stats.graph_chunks_cloned;
   r.deep_copied_bytes = stats.publish_bytes_deep_copied;
   r.resident_index_bytes = stats.resident_index_bytes;
-  r.max_label_page_bytes = engine.CurrentSnapshot()->labels.MaxPageBytes();
+  r.max_label_page_bytes =
+      engine.CurrentSnapshot()->StlLabels()->MaxPageBytes();
   return r;
 }
 

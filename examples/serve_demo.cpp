@@ -7,17 +7,40 @@
 // readers never block, that answers are exact for the epoch they were
 // served from, and what the engine's stats report looks like.
 //
-//   $ ./serve_demo
+// The engine is generic over DistanceIndex backends; pass one of
+// stl | ch | h2h | hc2l to serve the same traffic from another index
+// family (path steps are printed only where the backend supports path
+// queries).
+//
+//   $ ./serve_demo [backend]
 #include <cstdio>
+#include <cstring>
 
 #include "engine/query_engine.h"
 #include "graph/dijkstra.h"
 #include "graph/generators.h"
+#include "index/distance_index.h"
 #include "util/rng.h"
 
 using namespace stl;
 
-int main() {
+int main(int argc, char** argv) {
+  BackendKind backend = BackendKind::kStl;
+  if (argc > 1) {
+    bool known = false;
+    for (BackendKind kind : kAllBackends) {
+      if (std::strcmp(argv[1], BackendName(kind)) == 0) {
+        backend = kind;
+        known = true;
+      }
+    }
+    if (!known) {
+      std::fprintf(stderr, "unknown backend '%s' (stl|ch|h2h|hc2l)\n",
+                   argv[1]);
+      return 1;
+    }
+  }
+
   // 1. A road network and an engine serving it: 4 reader threads, one
   //    writer, maintenance strategy chosen per batch.
   RoadNetworkOptions net;
@@ -30,10 +53,11 @@ int main() {
               g.NumEdges());
 
   EngineOptions opt;
+  opt.backend = backend;
   opt.num_query_threads = 4;
   QueryEngine engine(std::move(g), HierarchyOptions{}, opt);
-  std::printf("engine up: %d reader threads, epoch %llu\n",
-              engine.num_query_threads(),
+  std::printf("engine up: backend %s, %d reader threads, epoch %llu\n",
+              BackendName(engine.backend()), engine.num_query_threads(),
               static_cast<unsigned long long>(engine.CurrentEpoch()));
 
   // 2. A burst of queries on the clean network.
@@ -52,11 +76,25 @@ int main() {
   //    writer publishes; nobody waits.
   auto snap = engine.CurrentSnapshot();
   Vertex s = burst[0].first, t = burst[0].second;
-  std::vector<Vertex> route = snap->QueryShortestPath(s, t);
-  std::printf("route %u -> %u: %zu hops, d = %u\n", s, t, route.size(),
-              snap->Query(s, t));
-  for (size_t i = 0; i + 1 < route.size(); ++i) {
-    EdgeId e = *snap->graph.FindEdge(route[i], route[i + 1]);
+  // Congest the popular route's own segments where the backend can
+  // reconstruct it; otherwise a random set of segments.
+  std::vector<EdgeId> congested_edges;
+  if (engine.capabilities().path_queries) {
+    std::vector<Vertex> route = snap->QueryShortestPath(s, t);
+    std::printf("route %u -> %u: %zu hops, d = %u\n", s, t, route.size(),
+                snap->Query(s, t));
+    for (size_t i = 0; i + 1 < route.size(); ++i) {
+      congested_edges.push_back(*snap->graph.FindEdge(route[i], route[i + 1]));
+    }
+  } else {
+    std::printf("route %u -> %u: d = %u (backend %s has no path queries)\n",
+                s, t, snap->Query(s, t), BackendName(engine.backend()));
+    for (int i = 0; i < 12; ++i) {
+      congested_edges.push_back(
+          static_cast<EdgeId>(rng.NextBounded(snap->graph.NumEdges())));
+    }
+  }
+  for (EdgeId e : congested_edges) {
     engine.EnqueueUpdate(e, std::min<Weight>(
                                 snap->graph.EdgeWeight(e) * 5,
                                 kMaxEdgeWeight));
@@ -75,8 +113,7 @@ int main() {
               snap->Query(s, t));
 
   // 5. Recovery: put the original weights back.
-  for (size_t i = 0; i + 1 < route.size(); ++i) {
-    EdgeId e = *snap->graph.FindEdge(route[i], route[i + 1]);
+  for (EdgeId e : congested_edges) {
     engine.EnqueueUpdate(e, snap->graph.EdgeWeight(e));
   }
   engine.Flush();
@@ -96,13 +133,15 @@ int main() {
   EngineStats st = engine.Stats();
   std::printf(
       "stats: %llu queries (%.0f qps), p50 %.1f us, p99 %.1f us, "
-      "%llu updates applied in %llu epochs (%llu pareto / %llu label "
-      "batches)\n",
+      "%llu updates applied in %llu epochs (%llu pareto / %llu label / "
+      "%llu incremental / %llu rebuild batches)\n",
       static_cast<unsigned long long>(st.queries_served),
       st.queries_per_second, st.latency_p50_micros, st.latency_p99_micros,
       static_cast<unsigned long long>(st.updates_applied),
       static_cast<unsigned long long>(st.epochs_published),
       static_cast<unsigned long long>(st.batches_pareto),
-      static_cast<unsigned long long>(st.batches_label));
+      static_cast<unsigned long long>(st.batches_label),
+      static_cast<unsigned long long>(st.batches_incremental),
+      static_cast<unsigned long long>(st.batches_rebuild));
   return 0;
 }

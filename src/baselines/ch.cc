@@ -378,6 +378,20 @@ bool ChIndex::ValidateWeights() {
   return true;
 }
 
+ChIndex ChIndex::PublishCopy() const {
+  ChIndex copy;
+  // Query state only: Query() reads rank_ (vertex count), edges_ and the
+  // upward adjacency. Everything else exists for maintenance, which a
+  // published epoch never does.
+  copy.rank_ = rank_;
+  copy.edges_ = edges_;
+  copy.up_offset_ = up_offset_;
+  copy.up_pool_ = up_pool_;
+  copy.num_pure_shortcuts_ = num_pure_shortcuts_;
+  copy.build_seconds_ = build_seconds_;
+  return copy;
+}
+
 uint64_t ChIndex::MemoryBytes() const {
   return rank_.capacity() * sizeof(uint32_t) +
          by_rank_.capacity() * sizeof(Vertex) +

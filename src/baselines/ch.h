@@ -93,6 +93,13 @@ class ChIndex {
   /// and returns true iff nothing changed (i.e. maintenance was exact).
   bool ValidateWeights();
 
+  /// A detached copy for publication as an immutable serving epoch:
+  /// keeps exactly the query state (ranks, CH edges, upward adjacency)
+  /// and sheds the maintenance-only structures (support lists, graph
+  /// pointer, scratch). The copy answers Query() but must never be
+  /// maintained — ApplyUpdate/ValidateWeights on it are undefined.
+  ChIndex PublishCopy() const;
+
  private:
   Weight RecomputeEdgeWeight(const ChEdge& e) const;
   uint32_t EdgeIdBetween(Vertex a, Vertex b) const;  // UINT32_MAX if none

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "util/simd.h"
 #include "util/timer.h"
 
 namespace stl {
@@ -203,11 +204,9 @@ Weight H2hIndex::Query(Vertex s, Vertex t) const {
   const Vertex lca = Lca(s, t);
   const Weight* ds = dist_pool_.data() + off_[s];
   const Weight* dt = dist_pool_.data() + off_[t];
-  uint32_t best = kInfDistance + kInfDistance;
-  for (uint32_t p = pos_off_[lca]; p < pos_off_[lca + 1]; ++p) {
-    const uint32_t i = pos_pool_[p];
-    best = std::min(best, ds[i] + dt[i]);
-  }
+  const Weight best = MinPlusGatherReduce(
+      ds, dt, pos_pool_.data() + pos_off_[lca],
+      pos_off_[lca + 1] - pos_off_[lca]);
   return best >= kInfDistance ? kInfDistance : best;
 }
 
@@ -401,6 +400,26 @@ bool H2hIndex::ValidateLabels() {
     }
   }
   return ok;
+}
+
+H2hIndex H2hIndex::PublishCopy() const {
+  H2hIndex copy;
+  // Query state only: LCA tables + labels + position arrays. The tree
+  // links, ancestor arrays, the embedded CH index and all maintenance
+  // scratch exist to repair labels, which a published epoch never does.
+  copy.depth_ = depth_;  // small; keeps the Depth()/TreeHeight() surface
+  copy.root_ = root_;
+  copy.tree_height_ = tree_height_;
+  copy.off_ = off_;
+  copy.dist_pool_ = dist_pool_;
+  copy.pos_off_ = pos_off_;
+  copy.pos_pool_ = pos_pool_;
+  copy.euler_first_ = euler_first_;
+  copy.euler_vertex_ = euler_vertex_;
+  copy.euler_depth_ = euler_depth_;
+  copy.sparse_ = sparse_;
+  copy.build_seconds_ = build_seconds_;
+  return copy;
 }
 
 uint64_t H2hIndex::MemoryBytes(Maintenance mode) const {

@@ -68,6 +68,13 @@ class H2hIndex {
   /// returns true iff nothing changed.
   bool ValidateLabels();
 
+  /// A detached copy for publication as an immutable serving epoch:
+  /// keeps exactly the query state (labels, position arrays, Euler-tour
+  /// LCA tables) and sheds everything maintenance-only — including the
+  /// whole embedded CH index, which Query() never reads. The copy
+  /// answers Query() but must never be maintained.
+  H2hIndex PublishCopy() const;
+
  private:
   H2hIndex() = default;
 

@@ -5,6 +5,7 @@
 
 #include "util/min_heap.h"
 #include "util/rng.h"
+#include "util/simd.h"
 #include "util/timer.h"
 
 namespace stl {
@@ -406,12 +407,10 @@ Weight Hc2lIndex::Query(Vertex s, Vertex t) const {
   const uint32_t hi =
       std::min(node.cum_vertices,
                std::min(hierarchy_.Tau(s), hierarchy_.Tau(t)) + 1);
+  if (hi <= lo) return kInfDistance;
   const Weight* ls = labels_.Data(s);
   const Weight* lt = labels_.Data(t);
-  uint32_t best = kInfDistance + kInfDistance;
-  for (uint32_t i = lo; i < hi; ++i) {
-    best = std::min(best, ls[i] + lt[i]);
-  }
+  const Weight best = MinPlusReduce(ls + lo, lt + lo, hi - lo);
   return best >= kInfDistance ? kInfDistance : best;
 }
 

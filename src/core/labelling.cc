@@ -7,11 +7,6 @@
 
 #include "util/min_heap.h"
 
-#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
-#define STL_HAVE_AVX2_KERNEL 1
-#include <immintrin.h>
-#endif
-
 namespace stl {
 
 std::shared_ptr<const Labelling::Layout> Labelling::BuildLayout(
@@ -319,73 +314,6 @@ std::vector<Vertex> QueryPath(const Graph& g, const TreeHierarchy& h,
   }
   return path;
 }
-
-Weight MinPlusReduceScalar(const Weight* a, const Weight* b, uint32_t k) {
-  Weight best = kInfDistance + kInfDistance;  // fits in uint32
-  for (uint32_t i = 0; i < k; ++i) {
-    best = std::min(best, a[i] + b[i]);
-  }
-  return best;
-}
-
-#ifdef STL_HAVE_AVX2_KERNEL
-
-namespace {
-
-/// Eight lanes of min(a[i] + b[i]) per iteration. Addition wraps mod
-/// 2^32 exactly like the scalar loop, and _mm256_min_epu32 is the
-/// unsigned min, so the result is bit-identical to the scalar reduction
-/// for arbitrary inputs (real label entries are <= kInfDistance and the
-/// sums never exceed 2 * kInfDistance < 2^31 anyway).
-__attribute__((target("avx2"))) Weight MinPlusReduceAvx2(const Weight* a,
-                                                         const Weight* b,
-                                                         uint32_t k) {
-  __m256i best8 =
-      _mm256_set1_epi32(static_cast<int>(kInfDistance + kInfDistance));
-  uint32_t i = 0;
-  for (; i + 8 <= k; i += 8) {
-    const __m256i va =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
-    const __m256i vb =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
-    best8 = _mm256_min_epu32(best8, _mm256_add_epi32(va, vb));
-  }
-  __m128i best4 = _mm_min_epu32(_mm256_castsi256_si128(best8),
-                                _mm256_extracti128_si256(best8, 1));
-  best4 = _mm_min_epu32(best4,
-                        _mm_shuffle_epi32(best4, _MM_SHUFFLE(1, 0, 3, 2)));
-  best4 = _mm_min_epu32(best4,
-                        _mm_shuffle_epi32(best4, _MM_SHUFFLE(2, 3, 0, 1)));
-  Weight best = static_cast<Weight>(_mm_cvtsi128_si32(best4));
-  for (; i < k; ++i) {
-    best = std::min(best, a[i] + b[i]);
-  }
-  return best;
-}
-
-}  // namespace
-
-bool MinPlusReduceUsesAvx2() {
-  static const bool use_avx2 = __builtin_cpu_supports("avx2");
-  return use_avx2;
-}
-
-Weight MinPlusReduce(const Weight* a, const Weight* b, uint32_t k) {
-  if (k >= 8 && MinPlusReduceUsesAvx2()) {
-    return MinPlusReduceAvx2(a, b, k);
-  }
-  return MinPlusReduceScalar(a, b, k);
-}
-
-#else  // !STL_HAVE_AVX2_KERNEL
-
-bool MinPlusReduceUsesAvx2() { return false; }
-
-Weight MinPlusReduce(const Weight* a, const Weight* b, uint32_t k) {
-  return MinPlusReduceScalar(a, b, k);
-}
-
-#endif  // STL_HAVE_AVX2_KERNEL
 
 Weight QueryDistance(const TreeHierarchy& h, const Labelling& labels,
                      Vertex s, Vertex t) {

@@ -38,6 +38,7 @@
 #include "graph/graph.h"
 #include "util/cow_chunks.h"
 #include "util/serialize.h"
+#include "util/simd.h"
 
 namespace stl {
 
@@ -193,18 +194,8 @@ class Labelling {
 Labelling BuildLabelling(const Graph& g, const TreeHierarchy& h,
                          int num_threads = 1);
 
-/// min over i < k of a[i] + b[i], with uint32 wrap-around semantics
-/// identical to the scalar loop (label entries are <= kInfDistance, so
-/// real queries never wrap). Returns 2 * kInfDistance for k == 0.
-/// Dispatches at runtime to an AVX2 kernel when the CPU supports it;
-/// bit-for-bit equal to MinPlusReduceScalar on every input.
-Weight MinPlusReduce(const Weight* a, const Weight* b, uint32_t k);
-
-/// The portable reference reduction (also the non-x86 fallback).
-Weight MinPlusReduceScalar(const Weight* a, const Weight* b, uint32_t k);
-
-/// True iff MinPlusReduce dispatches to the AVX2 kernel on this machine.
-bool MinPlusReduceUsesAvx2();
+// The min-plus reduction kernels (MinPlusReduce and friends) live in
+// util/simd.h, shared with the H2H and HC2L baseline query paths.
 
 /// Answers a distance query from the labels (Equation 3): scans the first
 /// CommonAncestorCount(s, t) entries of both labels. Returns kInfDistance

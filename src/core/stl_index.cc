@@ -76,7 +76,8 @@ void StlIndex::ReopenRoads(const UpdateBatch& closure,
 }
 
 MaintenanceStats StlIndex::MaintenanceStatsTotal() const {
-  MaintenanceStats total = label_search_->stats();
+  MaintenanceStats total = carried_stats_;
+  total.Add(label_search_->stats());
   total.Add(pareto_search_->stats());
   return total;
 }

@@ -43,15 +43,20 @@ struct BuildInfo {
 class StlIndex {
  public:
   // Movable, not copyable. Moving rebinds the maintenance engines (they
-  // point into the labels member); cumulative engine statistics reset.
+  // point into the labels member) and carries the cumulative maintenance
+  // statistics over: MaintenanceStatsTotal() after a move reports exactly
+  // what the source reported before it. Self-move-assignment is a no-op.
   StlIndex(StlIndex&& o) noexcept
       : g_(o.g_),
         hierarchy_(std::move(o.hierarchy_)),
         labels_(std::move(o.labels_)),
-        build_info_(o.build_info_) {
+        build_info_(o.build_info_),
+        carried_stats_(o.MaintenanceStatsTotal()) {
     InitEngines();
   }
   StlIndex& operator=(StlIndex&& o) noexcept {
+    if (this == &o) return *this;
+    carried_stats_ = o.MaintenanceStatsTotal();
     g_ = o.g_;
     hierarchy_ = std::move(o.hierarchy_);
     labels_ = std::move(o.labels_);
@@ -151,6 +156,9 @@ class StlIndex {
   TreeHierarchy hierarchy_;
   Labelling labels_;
   BuildInfo build_info_;
+  // Stats accumulated by engines that no longer exist (each move rebinds
+  // fresh engines); MaintenanceStatsTotal() adds the live engines' stats.
+  MaintenanceStats carried_stats_;
   // Engines hold scratch buffers; unique_ptr so StlIndex stays movable.
   std::unique_ptr<LabelSearch> label_search_;
   std::unique_ptr<ParetoSearch> pareto_search_;

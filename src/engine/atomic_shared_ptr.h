@@ -1,0 +1,61 @@
+// TSan-clean atomic publication slot for a shared_ptr.
+//
+// libstdc++'s std::atomic<std::shared_ptr<T>> guards the pointer word
+// with an embedded lock bit, but the reader-side unlock in load() is a
+// relaxed store: the pointer read is formally unordered against the
+// writer's next store (ThreadSanitizer reports it, and by the letter of
+// the memory model it is a data race, however benign on real hardware).
+// This is the same design with release unlocks on BOTH sides, so every
+// critical section is ordered: a few-nanosecond spinlock held only for
+// the refcount bump / pointer swap. The writer never sleeps holding it
+// and a reader holds it for one shared_ptr copy, preserving the
+// engine's "readers never wait for maintenance" property in practice.
+#ifndef STL_ENGINE_ATOMIC_SHARED_PTR_H_
+#define STL_ENGINE_ATOMIC_SHARED_PTR_H_
+
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace stl {
+
+template <typename T>
+class AtomicSharedPtr {
+ public:
+  AtomicSharedPtr() = default;
+  AtomicSharedPtr(const AtomicSharedPtr&) = delete;
+  AtomicSharedPtr& operator=(const AtomicSharedPtr&) = delete;
+
+  std::shared_ptr<T> load() const {
+    Lock();
+    std::shared_ptr<T> p = ptr_;
+    Unlock();
+    return p;
+  }
+
+  void store(std::shared_ptr<T> p) {
+    Lock();
+    ptr_.swap(p);
+    Unlock();
+    // The displaced reference (and a possible destructor) is released in
+    // `p` here, outside the critical section.
+  }
+
+ private:
+  void Lock() const {
+    while (lock_.test_and_set(std::memory_order_acquire)) {
+      // Test-and-test-and-set: spin on the cheap read, retry the RMW
+      // only once the flag looks clear.
+      while (lock_.test(std::memory_order_relaxed)) {
+      }
+    }
+  }
+  void Unlock() const { lock_.clear(std::memory_order_release); }
+
+  mutable std::atomic_flag lock_ = ATOMIC_FLAG_INIT;
+  std::shared_ptr<T> ptr_;
+};
+
+}  // namespace stl
+
+#endif  // STL_ENGINE_ATOMIC_SHARED_PTR_H_

@@ -15,15 +15,11 @@ QueryEngine::QueryEngine(Graph graph,
     : options_(options), pool_(options.num_query_threads) {
   STL_CHECK_GE(options_.max_batch_size, size_t{1});
   graph_ = std::make_unique<Graph>(std::move(graph));
-  index_ = std::make_unique<StlIndex>(
-      StlIndex::Build(graph_.get(), hierarchy_options));
-  // One shared copy of the hierarchy for every epoch: weight updates
-  // never change it (the "stable" in Stable Tree Labelling).
-  hierarchy_ = std::make_shared<const TreeHierarchy>(index_->hierarchy());
-  // Epoch 0's baseline: clones before the first publish (e.g. from the
-  // build itself) are not publish cost.
-  harvested_label_pages_ = index_->labels().cow_stats().chunks_cloned;
-  harvested_label_bytes_ = index_->labels().cow_stats().bytes_cloned;
+  index_ = MakeDistanceIndex(options_.backend, graph_.get(),
+                             hierarchy_options);
+  capabilities_ = index_->capabilities();
+  // Epoch 0's baseline: graph chunk clones before the first publish
+  // (e.g. from the build itself) are not publish cost.
   harvested_graph_chunks_ = graph_->cow_stats().chunks_cloned;
   harvested_graph_bytes_ = graph_->cow_stats().bytes_cloned;
   PublishSnapshot(0);
@@ -51,8 +47,7 @@ std::future<QueryResult> QueryEngine::Submit(QueryPair query) {
       pool_.Enqueue([this, query, promise = std::move(promise), submitted] {
         // The entire read path: one atomic load, then const reads on an
         // immutable snapshot. Never blocks on maintenance work.
-        std::shared_ptr<const EngineSnapshot> snap =
-            current_.load(std::memory_order_acquire);
+        std::shared_ptr<const EngineSnapshot> snap = current_.load();
         QueryResult r;
         r.distance = snap->Query(query.first, query.second);
         r.epoch = snap->epoch;
@@ -153,6 +148,8 @@ void QueryEngine::WriterLoop() {
     });
 
     if (!batch.empty()) {
+      // The per-batch STL-P/STL-L choice; backends with a single
+      // maintenance scheme (or none) ignore it.
       MaintenanceStrategy strategy = MaintenanceStrategy::kParetoSearch;
       switch (options_.strategy) {
         case StrategyMode::kAlwaysParetoSearch:
@@ -166,10 +163,21 @@ void QueryEngine::WriterLoop() {
           }
           break;
       }
-      index_->ApplyBatch(batch, strategy);
-      (strategy == MaintenanceStrategy::kParetoSearch ? batches_pareto_
-                                                      : batches_label_)
-          .fetch_add(1, std::memory_order_relaxed);
+      const BatchExecution executed = index_->ApplyBatch(batch, strategy);
+      switch (executed) {
+        case BatchExecution::kParetoSearch:
+          batches_pareto_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case BatchExecution::kLabelSearch:
+          batches_label_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case BatchExecution::kIncremental:
+          batches_incremental_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case BatchExecution::kFullRebuild:
+          batches_rebuild_.fetch_add(1, std::memory_order_relaxed);
+          break;
+      }
       updates_applied_.fetch_add(batch.size(), std::memory_order_relaxed);
       const uint64_t epoch =
           epochs_published_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -187,49 +195,46 @@ void QueryEngine::PublishSnapshot(uint64_t epoch) {
   Timer publish_timer;
   auto snap = std::make_shared<EngineSnapshot>();
   snap->epoch = epoch;
-  snap->hierarchy = hierarchy_;
-  // Harvest the CoW clone counters accumulated since the last publish:
-  // pages detached by this batch's maintenance are the real byte cost of
-  // isolating the previous epoch from this one.
-  const CowChunkStats lc = index_->labels().cow_stats();
+  PublishInfo info;
+  snap->view = index_->PublishView(options_.flat_publish, &info);
+  // Harvest the graph-side CoW clone counters accumulated since the last
+  // publish; together with the backend's label-side report they are the
+  // real byte cost of isolating the previous epoch from this one.
   const CowChunkStats gc = graph_->cow_stats();
-  snap->label_pages_cloned = lc.chunks_cloned - harvested_label_pages_;
-  snap->cow_bytes_cloned = (lc.bytes_cloned - harvested_label_bytes_) +
-                           (gc.bytes_cloned - harvested_graph_bytes_);
-  label_pages_cloned_.fetch_add(snap->label_pages_cloned,
+  snap->label_pages_cloned = info.label_pages_cloned;
+  snap->cow_bytes_cloned =
+      info.label_bytes_cloned + (gc.bytes_cloned - harvested_graph_bytes_);
+  label_pages_cloned_.fetch_add(info.label_pages_cloned,
                                 std::memory_order_relaxed);
   graph_chunks_cloned_.fetch_add(gc.chunks_cloned - harvested_graph_chunks_,
                                  std::memory_order_relaxed);
   cow_bytes_cloned_.fetch_add(snap->cow_bytes_cloned,
                               std::memory_order_relaxed);
-  harvested_label_pages_ = lc.chunks_cloned;
-  harvested_label_bytes_ = lc.bytes_cloned;
   harvested_graph_chunks_ = gc.chunks_cloned;
   harvested_graph_bytes_ = gc.bytes_cloned;
 
   if (options_.flat_publish) {
-    // Baseline: the pre-CoW deep copy, O(index size) per epoch. Count
+    // Baseline: the pre-CoW deep copy, O(graph weights) per epoch. Count
     // only the payload bytes DeepCopy physically copies (shared
     // topology/layout and pointer tables are excluded).
     snap->graph = graph_->DeepCopy();
-    snap->labels = index_->labels().DeepCopy();
-    publish_bytes_deep_copied_.fetch_add(
-        snap->graph.CowPayloadBytes() + snap->labels.PayloadBytes(),
-        std::memory_order_relaxed);
+    info.deep_bytes_copied += snap->graph.CowPayloadBytes();
   } else {
-    // Structural share: O(pages) pointer copies + refcount bumps, zero
-    // entry copies. Untouched pages stay physically shared with every
+    // Structural share: O(chunks) pointer copies + refcount bumps, zero
+    // entry copies. Untouched chunks stay physically shared with every
     // older epoch still alive.
     snap->graph = *graph_;
-    snap->labels = index_->labels();
   }
+  publish_bytes_deep_copied_.fetch_add(info.deep_bytes_copied,
+                                       std::memory_order_relaxed);
   publish_nanos_.fetch_add(publish_timer.ElapsedNanos(),
                            std::memory_order_relaxed);
-  current_.store(std::move(snap), std::memory_order_release);
+  current_.store(std::move(snap));
 }
 
 EngineStats QueryEngine::Stats() const {
   EngineStats s;
+  s.backend = options_.backend;
   s.queries_served = queries_served_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(update_mu_);
@@ -240,6 +245,9 @@ EngineStats QueryEngine::Stats() const {
   s.epochs_published = epochs_published_.load(std::memory_order_relaxed);
   s.batches_pareto = batches_pareto_.load(std::memory_order_relaxed);
   s.batches_label = batches_label_.load(std::memory_order_relaxed);
+  s.batches_incremental =
+      batches_incremental_.load(std::memory_order_relaxed);
+  s.batches_rebuild = batches_rebuild_.load(std::memory_order_relaxed);
   s.label_pages_cloned =
       label_pages_cloned_.load(std::memory_order_relaxed);
   s.graph_chunks_cloned =
@@ -252,16 +260,16 @@ EngineStats QueryEngine::Stats() const {
       1e3;
   {
     // Honest resident memory of the serving state, wait-free: the
-    // current snapshot is an immutable structural copy of the master as
-    // of its publish (they share every page the batch did not dirty),
-    // so walking the snapshot counts each physical page exactly once
-    // without touching — or locking against — the writer. Pages the
-    // writer cloned since that publish appear at the next publish.
+    // current snapshot is immutable (for CoW backends, a structural copy
+    // of the master as of its publish — they share every page the batch
+    // did not dirty), so walking the snapshot counts each physical
+    // page/chunk exactly once without touching — or locking against —
+    // the writer. Pages the writer cloned since that publish appear at
+    // the next publish.
     std::shared_ptr<const EngineSnapshot> snap = CurrentSnapshot();
     std::unordered_set<const void*> seen;
-    uint64_t bytes = snap->labels.AddResidentBytes(&seen);
+    uint64_t bytes = snap->view->AddResidentBytes(&seen);
     bytes += snap->graph.AddResidentBytes(&seen);
-    bytes += hierarchy_->MemoryBytes();
     s.resident_index_bytes = bytes;
   }
   s.wall_seconds = wall_.ElapsedSeconds();
@@ -285,6 +293,8 @@ void QueryEngine::ResetStats() {
   // of the engine.
   batches_pareto_.store(0, std::memory_order_relaxed);
   batches_label_.store(0, std::memory_order_relaxed);
+  batches_incremental_.store(0, std::memory_order_relaxed);
+  batches_rebuild_.store(0, std::memory_order_relaxed);
   label_pages_cloned_.store(0, std::memory_order_relaxed);
   graph_chunks_cloned_.store(0, std::memory_order_relaxed);
   cow_bytes_cloned_.store(0, std::memory_order_relaxed);

@@ -1,4 +1,5 @@
-// Concurrent query-serving engine over an StlIndex.
+// Concurrent query-serving engine, generic over DistanceIndex backends
+// (STL, CH, H2H, HC2L — see index/distance_index.h).
 //
 // Architecture (the serving/maintenance split of Section 1's "dynamic
 // road network" setting, engineered for concurrency):
@@ -6,31 +7,34 @@
 //   readers (ThreadPool)              single writer thread
 //   ─────────────────────             ─────────────────────────────
 //   load current snapshot  ◄───────┐  accumulate EnqueueUpdate()s
-//   answer from its labels         │  coalesce into a distinct-edge
-//   (pure const reads, never       │  batch, pick MaintenanceStrategy,
-//    blocked by maintenance)       │  ApplyBatch on the master index,
+//   answer from its view           │  coalesce into a distinct-edge
+//   (pure const reads, never       │  batch, apply it to the master
+//    blocked by maintenance)       │  backend (incremental repair, or a
+//                                  │  full rebuild for static backends),
 //                                  └─ publish a new EngineSnapshot
 //
-// Epoch-versioned snapshots: every published EngineSnapshot is immutable.
-// The stable tree hierarchy is shared across all epochs because — the
-// paper's central property — weight updates never change it. Graph
-// weights and labels are shared *structurally*: both are stored in
-// copy-on-write pages/chunks (core/labelling.h, graph/graph.h), so
-// publishing an epoch copies page pointers, not entries, and the writer
-// clones only the pages the maintenance batch actually dirtied. Publish
-// cost is therefore O(touched pages) — the in-memory mirror of the
-// paper's bounded blast radius — instead of O(index size); snapshot
-// stats record exactly how many pages each epoch detached. Publication
-// is a single atomic shared_ptr store; a query holds its snapshot alive
-// via shared_ptr for exactly as long as it runs, so the writer never
-// waits for readers and readers never observe a half-applied batch.
-// (EngineOptions::flat_publish restores the old deep-copy-per-epoch
-// behaviour as a benchmark baseline.)
+// Epoch-versioned snapshots: every published EngineSnapshot is
+// immutable. The per-epoch graph is always shared structurally (weights
+// live in copy-on-write chunks, graph/graph.h). The index side is
+// backend-shaped: STL shares the stable hierarchy across all epochs
+// (the paper's central property — weight updates never change it) and
+// label pages copy-on-write, so publishing an epoch copies page
+// pointers, not entries — O(touched pages), the in-memory mirror of the
+// paper's bounded blast radius. CH and H2H mutate their structures in
+// place, so each of their epochs is a deep copy of the weight-carrying
+// state; HC2L rebuilds on update and publishes the fresh immutable
+// index by pointer share. Publication is one atomic pointer swap
+// (engine/atomic_shared_ptr.h); a query holds its snapshot alive via
+// shared_ptr for exactly as long as it runs, so the writer never waits
+// for readers and readers never observe a half-applied batch. (EngineOptions::flat_publish
+// restores STL's deep-copy-per-epoch behaviour as a benchmark
+// baseline.)
 //
-// Consistency contract: a query submitted at time t is answered from
-// some epoch published at or after the epoch current at t; the answer is
-// exact for that epoch's weights (verified against Dijkstra in
-// tests/engine_test.cc and bench_engine_throughput).
+// Consistency contract (all backends): a query submitted at time t is
+// answered from some epoch published at or after the epoch current at
+// t; the answer is exact for that epoch's weights (verified against
+// Dijkstra per backend in tests/engine_test.cc and
+// bench_backend_shootout).
 #ifndef STL_ENGINE_QUERY_ENGINE_H_
 #define STL_ENGINE_QUERY_ENGINE_H_
 
@@ -44,35 +48,41 @@
 #include <thread>
 #include <vector>
 
-#include "core/stl_index.h"
+#include "engine/atomic_shared_ptr.h"
 #include "engine/latency_histogram.h"
 #include "engine/thread_pool.h"
 #include "graph/updates.h"
+#include "index/distance_index.h"
 #include "util/timer.h"
 #include "workload/query_workload.h"
 
 namespace stl {
 
-/// One immutable published version of the index. Snapshots share the
-/// stable tree hierarchy, and (unless flat_publish) share label pages
-/// and graph weight chunks copy-on-write with neighbouring epochs.
+/// One immutable published version of the serving state: the graph
+/// weights as of this epoch (chunk-shared copy-on-write with
+/// neighbouring epochs) plus the backend's index view.
 struct EngineSnapshot {
   uint64_t epoch = 0;
   Graph graph;  // weights as of this epoch
-  std::shared_ptr<const TreeHierarchy> hierarchy;
-  Labelling labels;
+  std::shared_ptr<const IndexView> view;
   // CoW work that isolated this epoch from the previous one: label pages
   // detached by the producing maintenance batch, and total bytes cloned
-  // (label pages + graph weight chunks). Zero for epoch 0.
+  // (label pages + graph weight chunks). Zero for epoch 0 and for
+  // backends without CoW snapshots.
   uint64_t label_pages_cloned = 0;
   uint64_t cow_bytes_cloned = 0;
 
-  Weight Query(Vertex s, Vertex t) const {
-    return QueryDistance(*hierarchy, labels, s, t);
-  }
+  Weight Query(Vertex s, Vertex t) const { return view->Query(s, t); }
+  /// Empty when t is unreachable — or when the backend does not support
+  /// path queries (BackendCapabilities::path_queries).
   std::vector<Vertex> QueryShortestPath(Vertex s, Vertex t) const {
-    return QueryPath(graph, *hierarchy, labels, s, t);
+    return view->QueryShortestPath(graph, s, t);
   }
+
+  // STL-backend introspection (CoW audits, publish benches); null views
+  // on other backends.
+  const Labelling* StlLabels() const { return view->StlLabels(); }
+  const TreeHierarchy* StlHierarchy() const { return view->StlHierarchy(); }
 };
 
 /// Answer to one submitted query.
@@ -85,7 +95,8 @@ struct QueryResult {
   std::shared_ptr<const EngineSnapshot> snapshot;
 };
 
-/// How the writer picks the maintenance algorithm per batch.
+/// How the writer picks the STL maintenance algorithm per batch (other
+/// backends use their own single maintenance scheme and ignore this).
 enum class StrategyMode {
   kAlwaysParetoSearch,  // STL-P for every batch
   kAlwaysLabelSearch,   // STL-L for every batch
@@ -95,6 +106,8 @@ enum class StrategyMode {
 };
 
 struct EngineOptions {
+  /// Which index family serves this engine (index/distance_index.h).
+  BackendKind backend = BackendKind::kStl;
   int num_query_threads = 4;
   /// Updates taken from the pending queue per epoch (larger batches mean
   /// fewer snapshot publishes but staler reads).
@@ -105,34 +118,39 @@ struct EngineOptions {
   size_t auto_label_search_threshold = 16;
   /// Benchmark baseline: publish every epoch as a full deep copy of the
   /// graph weights and labels (the pre-CoW behaviour) instead of a
-  /// structural share. Keep false outside bench_snapshot_publish.
+  /// structural share. Keep false outside bench_snapshot_publish; only
+  /// meaningful for backends with CoW snapshots (STL).
   bool flat_publish = false;
 };
 
 /// Point-in-time engine counters and latency summary.
 struct EngineStats {
+  BackendKind backend = BackendKind::kStl;
   uint64_t queries_served = 0;
   uint64_t updates_enqueued = 0;
   uint64_t updates_applied = 0;    // effective updates (after coalescing)
   uint64_t updates_coalesced = 0;  // duplicates / no-ops dropped
   uint64_t epochs_published = 0;
-  uint64_t batches_pareto = 0;
-  uint64_t batches_label = 0;
+  uint64_t batches_pareto = 0;       // STL-P batches
+  uint64_t batches_label = 0;        // STL-L batches
+  uint64_t batches_incremental = 0;  // DCH / IncH2H batches
+  uint64_t batches_rebuild = 0;      // static-backend full rebuilds
   // Copy-on-write publish economics. cow_bytes_cloned counts bytes of
   // label pages + graph weight chunks detached by maintenance (the true
   // per-epoch copy cost under structural sharing);
-  // publish_bytes_deep_copied counts bytes copied by flat_publish
-  // baseline publishes (0 in CoW mode).
+  // publish_bytes_deep_copied counts bytes copied by deep-copy publishes
+  // (flat_publish baseline, and every CH/H2H epoch).
   uint64_t label_pages_cloned = 0;
   uint64_t graph_chunks_cloned = 0;
   uint64_t cow_bytes_cloned = 0;
   uint64_t publish_bytes_deep_copied = 0;
   double publish_total_micros = 0;  // time inside PublishSnapshot
-  // Actual resident bytes of the serving state (current snapshot +
-  // shared hierarchy), with every shared physical page/chunk counted
-  // exactly once (Table-4-style honest memory under page sharing). The
-  // master index shares all but its not-yet-published dirty pages with
-  // the snapshot, so those appear here after the next publish.
+  // Actual resident bytes of the serving state (current snapshot's view
+  // + graph + any state shared with it), with every shared physical
+  // page/chunk counted exactly once (Table-4-style honest memory under
+  // page sharing). The STL master shares all but its not-yet-published
+  // dirty pages with the snapshot, so those appear here after the next
+  // publish.
   uint64_t resident_index_bytes = 0;
   double wall_seconds = 0;
   double queries_per_second = 0;
@@ -146,8 +164,8 @@ struct EngineStats {
 /// EnqueueUpdate/Flush/Stats may be called from any thread.
 class QueryEngine {
  public:
-  /// Takes ownership of the graph, builds the index, starts the workers,
-  /// and publishes epoch 0.
+  /// Takes ownership of the graph, builds the backend selected by
+  /// `options.backend`, starts the workers, and publishes epoch 0.
   QueryEngine(Graph graph, const HierarchyOptions& hierarchy_options,
               const EngineOptions& options = {});
 
@@ -183,10 +201,13 @@ class QueryEngine {
 
   /// The latest published snapshot (never null after construction).
   std::shared_ptr<const EngineSnapshot> CurrentSnapshot() const {
-    return current_.load(std::memory_order_acquire);
+    return current_.load();
   }
 
   uint64_t CurrentEpoch() const { return CurrentSnapshot()->epoch; }
+
+  BackendKind backend() const { return options_.backend; }
+  const BackendCapabilities& capabilities() const { return capabilities_; }
 
   EngineStats Stats() const;
 
@@ -208,12 +229,12 @@ class QueryEngine {
   // Master state, owned by the writer after construction (no other
   // thread reads it: queries and Stats() work off published snapshots).
   // graph_ is heap-allocated so its address stays stable for the
-  // index's non-owning pointer.
+  // backend's non-owning pointer.
   std::unique_ptr<Graph> graph_;
-  std::unique_ptr<StlIndex> index_;
-  std::shared_ptr<const TreeHierarchy> hierarchy_;  // shared by snapshots
+  std::unique_ptr<DistanceIndex> index_;
+  BackendCapabilities capabilities_;
 
-  std::atomic<std::shared_ptr<const EngineSnapshot>> current_;
+  AtomicSharedPtr<const EngineSnapshot> current_;
 
   // Pending-update queue (writer input).
   struct PendingUpdate {
@@ -230,11 +251,9 @@ class QueryEngine {
 
   std::thread writer_;
 
-  // Last-harvested cumulative CoW counters of the master labelling and
-  // graph; only the publishing thread touches these, so per-epoch deltas
-  // need no synchronization.
-  uint64_t harvested_label_pages_ = 0;
-  uint64_t harvested_label_bytes_ = 0;
+  // Last-harvested cumulative CoW counters of the master graph; only the
+  // publishing thread touches these, so per-epoch deltas need no
+  // synchronization. (The label-side harvest lives in the STL backend.)
   uint64_t harvested_graph_chunks_ = 0;
   uint64_t harvested_graph_bytes_ = 0;
 
@@ -245,6 +264,8 @@ class QueryEngine {
   std::atomic<uint64_t> epochs_published_{0};
   std::atomic<uint64_t> batches_pareto_{0};
   std::atomic<uint64_t> batches_label_{0};
+  std::atomic<uint64_t> batches_incremental_{0};
+  std::atomic<uint64_t> batches_rebuild_{0};
   std::atomic<uint64_t> label_pages_cloned_{0};
   std::atomic<uint64_t> graph_chunks_cloned_{0};
   std::atomic<uint64_t> cow_bytes_cloned_{0};

@@ -1,0 +1,154 @@
+// Min-plus reduction kernels shared by every label-scanning query path:
+// STL's common-ancestor scan (core/labelling.h), HC2L's LCA-cut scan
+// (baselines/hc2l.cc) and H2H's position-array scan (baselines/h2h.cc).
+//
+// Two shapes:
+//   * contiguous:  min over i < k of a[i] + b[i]
+//   * gathered:    min over p < k of a[idx[p]] + b[idx[p]]
+// Both dispatch at runtime to an AVX2 kernel when the CPU supports it,
+// with uint32 wrap-around semantics identical to the scalar loops, so
+// the vector and scalar paths are bit-for-bit interchangeable on every
+// input (equivalence-tested on adversarial labels in
+// tests/labelling_test.cc). Real label entries are <= kInfDistance, so
+// genuine queries never wrap.
+#ifndef STL_UTIL_SIMD_H_
+#define STL_UTIL_SIMD_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "graph/graph.h"  // Weight, kInfDistance
+
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+#define STL_HAVE_AVX2_KERNEL 1
+#include <immintrin.h>
+#endif
+
+namespace stl {
+
+/// min over i < k of a[i] + b[i] — the portable reference reduction
+/// (also the non-x86 fallback). Returns 2 * kInfDistance for k == 0.
+inline Weight MinPlusReduceScalar(const Weight* a, const Weight* b,
+                                  uint32_t k) {
+  Weight best = kInfDistance + kInfDistance;  // fits in uint32
+  for (uint32_t i = 0; i < k; ++i) {
+    best = std::min(best, a[i] + b[i]);
+  }
+  return best;
+}
+
+/// min over p < k of a[idx[p]] + b[idx[p]] — the portable reference for
+/// the gathered shape. Returns 2 * kInfDistance for k == 0.
+inline Weight MinPlusGatherReduceScalar(const Weight* a, const Weight* b,
+                                        const uint32_t* idx, uint32_t k) {
+  Weight best = kInfDistance + kInfDistance;
+  for (uint32_t p = 0; p < k; ++p) {
+    const uint32_t i = idx[p];
+    best = std::min(best, a[i] + b[i]);
+  }
+  return best;
+}
+
+#ifdef STL_HAVE_AVX2_KERNEL
+
+namespace simd_internal {
+
+/// Horizontal unsigned min of eight uint32 lanes.
+__attribute__((target("avx2"))) inline Weight HorizontalMinU32(
+    __m256i best8) {
+  __m128i best4 = _mm_min_epu32(_mm256_castsi256_si128(best8),
+                                _mm256_extracti128_si256(best8, 1));
+  best4 = _mm_min_epu32(best4,
+                        _mm_shuffle_epi32(best4, _MM_SHUFFLE(1, 0, 3, 2)));
+  best4 = _mm_min_epu32(best4,
+                        _mm_shuffle_epi32(best4, _MM_SHUFFLE(2, 3, 0, 1)));
+  return static_cast<Weight>(_mm_cvtsi128_si32(best4));
+}
+
+/// Eight lanes of min(a[i] + b[i]) per iteration. Addition wraps mod
+/// 2^32 exactly like the scalar loop, and _mm256_min_epu32 is the
+/// unsigned min, so the result is bit-identical to MinPlusReduceScalar
+/// for arbitrary inputs.
+__attribute__((target("avx2"))) inline Weight MinPlusReduceAvx2(
+    const Weight* a, const Weight* b, uint32_t k) {
+  __m256i best8 =
+      _mm256_set1_epi32(static_cast<int>(kInfDistance + kInfDistance));
+  uint32_t i = 0;
+  for (; i + 8 <= k; i += 8) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    best8 = _mm256_min_epu32(best8, _mm256_add_epi32(va, vb));
+  }
+  Weight best = HorizontalMinU32(best8);
+  for (; i < k; ++i) {
+    best = std::min(best, a[i] + b[i]);
+  }
+  return best;
+}
+
+/// Gathered variant: eight lanes of min(a[idx[p]] + b[idx[p]]).
+__attribute__((target("avx2"))) inline Weight MinPlusGatherReduceAvx2(
+    const Weight* a, const Weight* b, const uint32_t* idx, uint32_t k) {
+  __m256i best8 =
+      _mm256_set1_epi32(static_cast<int>(kInfDistance + kInfDistance));
+  uint32_t p = 0;
+  for (; p + 8 <= k; p += 8) {
+    const __m256i vidx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx + p));
+    const __m256i va = _mm256_i32gather_epi32(
+        reinterpret_cast<const int*>(a), vidx, sizeof(Weight));
+    const __m256i vb = _mm256_i32gather_epi32(
+        reinterpret_cast<const int*>(b), vidx, sizeof(Weight));
+    best8 = _mm256_min_epu32(best8, _mm256_add_epi32(va, vb));
+  }
+  Weight best = HorizontalMinU32(best8);
+  for (; p < k; ++p) {
+    const uint32_t i = idx[p];
+    best = std::min(best, a[i] + b[i]);
+  }
+  return best;
+}
+
+}  // namespace simd_internal
+
+/// True iff the reductions dispatch to the AVX2 kernels on this machine.
+inline bool MinPlusReduceUsesAvx2() {
+  static const bool use_avx2 = __builtin_cpu_supports("avx2");
+  return use_avx2;
+}
+
+inline Weight MinPlusReduce(const Weight* a, const Weight* b, uint32_t k) {
+  if (k >= 8 && MinPlusReduceUsesAvx2()) {
+    return simd_internal::MinPlusReduceAvx2(a, b, k);
+  }
+  return MinPlusReduceScalar(a, b, k);
+}
+
+inline Weight MinPlusGatherReduce(const Weight* a, const Weight* b,
+                                  const uint32_t* idx, uint32_t k) {
+  if (k >= 8 && MinPlusReduceUsesAvx2()) {
+    return simd_internal::MinPlusGatherReduceAvx2(a, b, idx, k);
+  }
+  return MinPlusGatherReduceScalar(a, b, idx, k);
+}
+
+#else  // !STL_HAVE_AVX2_KERNEL
+
+inline bool MinPlusReduceUsesAvx2() { return false; }
+
+inline Weight MinPlusReduce(const Weight* a, const Weight* b, uint32_t k) {
+  return MinPlusReduceScalar(a, b, k);
+}
+
+inline Weight MinPlusGatherReduce(const Weight* a, const Weight* b,
+                                  const uint32_t* idx, uint32_t k) {
+  return MinPlusGatherReduceScalar(a, b, idx, k);
+}
+
+#endif  // STL_HAVE_AVX2_KERNEL
+
+}  // namespace stl
+
+#endif  // STL_UTIL_SIMD_H_

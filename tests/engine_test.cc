@@ -317,7 +317,7 @@ TEST(QueryEngineTest, CowSnapshotsSurviveAliasingAndMatchScratchBuilds) {
   auto capture = [&held, m](std::shared_ptr<const EngineSnapshot> snap) {
     std::vector<Weight> w(m);
     for (EdgeId e = 0; e < m; ++e) w[e] = snap->graph.EdgeWeight(e);
-    held.push_back(Held{snap, snap->labels.DeepCopy(), std::move(w)});
+    held.push_back(Held{snap, snap->StlLabels()->DeepCopy(), std::move(w)});
   };
   capture(engine.CurrentSnapshot());
   for (int round = 0; round < 12; ++round) {
@@ -329,13 +329,13 @@ TEST(QueryEngineTest, CowSnapshotsSurviveAliasingAndMatchScratchBuilds) {
     engine.Flush();
     auto snap = engine.CurrentSnapshot();
     // (b) labels of the new epoch == from-scratch build on its graph.
-    Labelling scratch = BuildLabelling(snap->graph, *snap->hierarchy);
-    ASSERT_EQ(testing_util::LabelDiffCount(snap->labels, scratch), 0u)
+    Labelling scratch = BuildLabelling(snap->graph, *snap->StlHierarchy());
+    ASSERT_EQ(testing_util::LabelDiffCount(*snap->StlLabels(), scratch), 0u)
         << "round " << round << " epoch " << snap->epoch;
     capture(snap);
     // (a) every held snapshot is untouched by later maintenance.
     for (size_t c = 0; c < held.size(); ++c) {
-      ASSERT_TRUE(held[c].snap->labels == held[c].frozen_labels)
+      ASSERT_TRUE(*held[c].snap->StlLabels() == held[c].frozen_labels)
           << "round " << round << " snapshot " << c;
       for (EdgeId e = 0; e < m; ++e) {
         ASSERT_EQ(held[c].snap->graph.EdgeWeight(e),
@@ -376,6 +376,200 @@ TEST(QueryEngineTest, FlatPublishBaselineStillServesExactAnswers) {
   EngineStats stats = engine.Stats();
   EXPECT_GT(stats.publish_bytes_deep_copied, 0u);
 }
+
+// ------------------------------------------------- per-backend audit
+//
+// The same serving contract, asserted for every DistanceIndex backend:
+// readers racing the writer, every answer checked against Dijkstra on
+// the exact epoch it was served from.
+
+class BackendEngineTest : public ::testing::TestWithParam<BackendKind> {
+ protected:
+  EngineOptions BackendOptions() {
+    EngineOptions opt;
+    opt.backend = GetParam();
+    opt.num_query_threads = 4;
+    opt.max_batch_size = 4;
+    return opt;
+  }
+};
+
+TEST_P(BackendEngineTest, ServesExactAnswersOnInitialEpoch) {
+  Graph g = testing_util::SmallRoadNetwork(7, 41);
+  Graph ref = g;
+  QueryEngine engine(std::move(g), HierarchyOptions{}, BackendOptions());
+  EXPECT_EQ(engine.backend(), GetParam());
+  Dijkstra dij(ref);
+  Rng rng(41);
+  for (int i = 0; i < 120; ++i) {
+    Vertex s = static_cast<Vertex>(rng.NextBounded(ref.NumVertices()));
+    Vertex t = static_cast<Vertex>(rng.NextBounded(ref.NumVertices()));
+    QueryResult r = engine.Submit({s, t}).get();
+    ASSERT_EQ(r.distance, dij.Distance(s, t))
+        << BackendName(GetParam()) << " s=" << s << " t=" << t;
+    EXPECT_EQ(r.epoch, 0u);
+  }
+  EXPECT_GT(engine.Stats().resident_index_bytes, 0u);
+}
+
+TEST_P(BackendEngineTest, UpdatesPublishEpochsWithExactAnswers) {
+  Graph g = testing_util::SmallRoadNetwork(7, 42);
+  const uint32_t n = g.NumVertices();
+  const uint32_t m = g.NumEdges();
+  QueryEngine engine(std::move(g), HierarchyOptions{}, BackendOptions());
+  Rng rng(42);
+  for (int round = 0; round < 4; ++round) {
+    std::vector<WeightUpdate> updates;
+    for (int i = 0; i < 3; ++i) {
+      updates.push_back(
+          WeightUpdate{static_cast<EdgeId>(rng.NextBounded(m)), 0,
+                       1 + static_cast<Weight>(rng.NextBounded(400))});
+    }
+    engine.EnqueueUpdates(updates);
+    engine.Flush();
+    auto snap = engine.CurrentSnapshot();
+    Dijkstra dij(snap->graph);
+    for (int i = 0; i < 50; ++i) {
+      Vertex s = static_cast<Vertex>(rng.NextBounded(n));
+      Vertex t = static_cast<Vertex>(rng.NextBounded(n));
+      ASSERT_EQ(snap->Query(s, t), dij.Distance(s, t))
+          << BackendName(GetParam()) << " round=" << round << " s=" << s
+          << " t=" << t;
+    }
+  }
+  // Batch accounting lands in the counter matching the backend's
+  // capabilities: STL splits across the two maintenance engines,
+  // CH/H2H repair incrementally, HC2L rebuilds.
+  EngineStats stats = engine.Stats();
+  EXPECT_GE(stats.epochs_published, 1u);
+  const uint64_t stl_batches = stats.batches_pareto + stats.batches_label;
+  switch (GetParam()) {
+    case BackendKind::kStl:
+      EXPECT_GT(stl_batches, 0u);
+      EXPECT_EQ(stats.batches_incremental + stats.batches_rebuild, 0u);
+      break;
+    case BackendKind::kCh:
+    case BackendKind::kH2h:
+      EXPECT_GT(stats.batches_incremental, 0u);
+      EXPECT_EQ(stl_batches + stats.batches_rebuild, 0u);
+      break;
+    case BackendKind::kHc2l:
+      EXPECT_GT(stats.batches_rebuild, 0u);
+      EXPECT_EQ(stl_batches + stats.batches_incremental, 0u);
+      break;
+  }
+}
+
+TEST_P(BackendEngineTest, PathQueriesMatchCapability) {
+  Graph g = testing_util::SmallRoadNetwork(5, 43);
+  QueryEngine engine(std::move(g), HierarchyOptions{}, BackendOptions());
+  auto snap = engine.CurrentSnapshot();
+  const Vertex s = 0;
+  const Vertex t = snap->graph.NumVertices() - 1;
+  std::vector<Vertex> path = snap->QueryShortestPath(s, t);
+  if (engine.capabilities().path_queries) {
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.front(), s);
+    EXPECT_EQ(path.back(), t);
+    // The path's edge weights sum to the reported distance.
+    Weight sum = 0;
+    for (size_t i = 0; i + 1 < path.size(); ++i) {
+      auto e = snap->graph.FindEdge(path[i], path[i + 1]);
+      ASSERT_TRUE(e.has_value());
+      sum += snap->graph.EdgeWeight(*e);
+    }
+    EXPECT_EQ(sum, snap->Query(s, t));
+  } else {
+    EXPECT_TRUE(path.empty());
+  }
+}
+
+// The headline audit, per backend: N reader threads racing one writer;
+// every answer must be exact for the epoch it was served from, and held
+// snapshots must keep answering for their own epoch's weights.
+TEST_P(BackendEngineTest, ConcurrentReadersWithWriterMatchDijkstraPerEpoch) {
+  Graph g = testing_util::SmallRoadNetwork(7, 44);
+  const uint32_t n = g.NumVertices();
+  const uint32_t m = g.NumEdges();
+  QueryEngine engine(std::move(g), HierarchyOptions{}, BackendOptions());
+
+  std::atomic<bool> done{false};
+  std::thread updater([&engine, m, &done] {
+    Rng urng(144);
+    for (int i = 0; i < 48; ++i) {
+      EdgeId e = static_cast<EdgeId>(urng.NextBounded(m));
+      engine.EnqueueUpdate(e, 1 + static_cast<Weight>(urng.NextBounded(300)));
+      if (i % 6 == 5) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    done.store(true);
+  });
+
+  Rng qrng(145);
+  std::vector<QueryPair> queries;
+  std::vector<std::future<QueryResult>> futures;
+  while (!done.load() || futures.size() < 600) {
+    std::vector<QueryPair> wave;
+    for (int i = 0; i < 30; ++i) {
+      wave.emplace_back(static_cast<Vertex>(qrng.NextBounded(n)),
+                        static_cast<Vertex>(qrng.NextBounded(n)));
+    }
+    auto fs = engine.SubmitBatch(wave);
+    queries.insert(queries.end(), wave.begin(), wave.end());
+    for (auto& f : fs) futures.push_back(std::move(f));
+    if (futures.size() >= 3000) break;  // safety valve
+  }
+  updater.join();
+  engine.Flush();
+
+  std::map<uint64_t, std::shared_ptr<const EngineSnapshot>> snapshots;
+  std::vector<QueryResult> results;
+  results.reserve(futures.size());
+  for (auto& f : futures) results.push_back(f.get());
+  for (const QueryResult& r : results) {
+    ASSERT_NE(r.snapshot, nullptr);
+    snapshots.emplace(r.epoch, r.snapshot);
+  }
+  std::map<uint64_t, std::unique_ptr<Dijkstra>> oracle;
+  for (auto& [epoch, snap] : snapshots) {
+    oracle.emplace(epoch, std::make_unique<Dijkstra>(snap->graph));
+  }
+  uint64_t mismatches = 0;
+  for (size_t i = 0; i < results.size(); ++i) {
+    const QueryResult& r = results[i];
+    Weight want = oracle.at(r.epoch)->Distance(queries[i].first,
+                                               queries[i].second);
+    if (r.distance != want) ++mismatches;
+  }
+  EXPECT_EQ(mismatches, 0u) << BackendName(GetParam());
+
+  // Every held snapshot still answers for its own epoch after the
+  // writer has moved on (immutability across backends).
+  for (auto& [epoch, snap] : snapshots) {
+    Rng rng(static_cast<uint64_t>(epoch) + 9000);
+    for (int i = 0; i < 20; ++i) {
+      Vertex s = static_cast<Vertex>(rng.NextBounded(n));
+      Vertex t = static_cast<Vertex>(rng.NextBounded(n));
+      ASSERT_EQ(snap->Query(s, t), oracle.at(epoch)->Distance(s, t))
+          << BackendName(GetParam()) << " epoch=" << epoch;
+    }
+  }
+
+  EngineStats stats = engine.Stats();
+  EXPECT_EQ(stats.queries_served, results.size());
+  EXPECT_GE(stats.epochs_published, 1u);
+  EXPECT_EQ(stats.updates_enqueued, 48u);
+  EXPECT_EQ(stats.updates_applied + stats.updates_coalesced, 48u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, BackendEngineTest,
+    ::testing::Values(BackendKind::kStl, BackendKind::kCh,
+                      BackendKind::kH2h, BackendKind::kHc2l),
+    [](const ::testing::TestParamInfo<BackendKind>& info) {
+      return std::string(BackendName(info.param));
+    });
 
 TEST(QueryEngineTest, DestructorDrainsInFlightWork) {
   Graph g = testing_util::SmallRoadNetwork(6, 28);

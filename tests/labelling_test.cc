@@ -314,6 +314,41 @@ TEST(LabellingTest, MinPlusReduceMatchesScalarOnAdversarialInputs) {
             kInfDistance + kInfDistance);
 }
 
+// Same equivalence for the gathered shape (H2H's position-array scan):
+// arbitrary index permutations with repeats, entries in the saturation
+// band, lengths crossing every vector-width boundary.
+TEST(LabellingTest, MinPlusGatherReduceMatchesScalarOnAdversarialInputs) {
+  Rng rng(29);
+  const uint32_t pool = 97;  // gather source array length
+  std::vector<Weight> a(pool), b(pool);
+  for (uint32_t i = 0; i < pool; ++i) {
+    a[i] = static_cast<Weight>(rng.NextBounded(kInfDistance + 1));
+    b[i] = static_cast<Weight>(rng.NextBounded(kInfDistance + 1));
+  }
+  a[13] = kInfDistance;
+  b[13] = kInfDistance;  // wrap band: sum exceeds kInfDistance
+  for (uint32_t k = 0; k <= 70; ++k) {
+    for (int variant = 0; variant < 4; ++variant) {
+      std::vector<uint32_t> idx(k);
+      for (uint32_t p = 0; p < k; ++p) {
+        idx[p] = static_cast<uint32_t>(rng.NextBounded(pool));
+      }
+      if (k > 0 && variant % 2 == 1) {
+        // Plant the unique minimum at one gathered position.
+        uint32_t pos = static_cast<uint32_t>(rng.NextBounded(k));
+        a[idx[pos]] = 0;
+        b[idx[pos]] = static_cast<Weight>(rng.NextBounded(5));
+      }
+      ASSERT_EQ(MinPlusGatherReduce(a.data(), b.data(), idx.data(), k),
+                MinPlusGatherReduceScalar(a.data(), b.data(), idx.data(), k))
+          << "k=" << k << " variant=" << variant
+          << " avx2=" << MinPlusReduceUsesAvx2();
+    }
+  }
+  EXPECT_EQ(MinPlusGatherReduce(nullptr, nullptr, nullptr, 0),
+            kInfDistance + kInfDistance);
+}
+
 TEST(LabellingTest, QueryDistanceAgreesWithScalarReduction) {
   // End-to-end: the dispatched reduction inside QueryDistance returns
   // exactly what a scalar recomputation over the same labels gives.

@@ -71,6 +71,50 @@ TEST(StlIndexTest, ApplyBatchMixed) {
   }
 }
 
+TEST(StlIndexTest, MoveCarriesMaintenanceStatsAndSurvivesSelfMove) {
+  Graph g = testing_util::SmallRoadNetwork(10, 9);
+  Graph ref = g;
+  StlIndex idx = StlIndex::Build(&g, HierarchyOptions{});
+  Rng rng(9);
+  // Accumulate work on both engines so the carried total is non-trivial.
+  for (int i = 0; i < 6; ++i) {
+    idx.ApplyUpdate(RandomUpdate(g, &rng), MaintenanceStrategy::kParetoSearch);
+    idx.ApplyUpdate(RandomUpdate(g, &rng), MaintenanceStrategy::kLabelSearch);
+  }
+  const MaintenanceStats before = idx.MaintenanceStatsTotal();
+  ASSERT_GT(before.label_writes, 0u);
+  ASSERT_GT(before.queue_pops, 0u);
+
+  // Self-move-assignment is a no-op: state and stats are untouched.
+  StlIndex* self = &idx;
+  idx = std::move(*self);
+  EXPECT_EQ(idx.MaintenanceStatsTotal().label_writes, before.label_writes);
+  EXPECT_EQ(idx.MaintenanceStatsTotal().queue_pops, before.queue_pops);
+
+  // Move construction and move assignment both carry cumulative stats.
+  StlIndex moved = std::move(idx);
+  EXPECT_EQ(moved.MaintenanceStatsTotal().label_writes, before.label_writes);
+  Graph g2 = ref;
+  StlIndex other = StlIndex::Build(&g2, HierarchyOptions{});
+  other = std::move(moved);
+  EXPECT_EQ(other.MaintenanceStatsTotal().label_writes, before.label_writes);
+  EXPECT_EQ(other.MaintenanceStatsTotal().affected_pairs,
+            before.affected_pairs);
+
+  // The moved-into index still maintains correctly and keeps counting.
+  // (It took over `g`, which the earlier updates mutated in place, so the
+  // oracle runs on `g` itself after the update.)
+  other.ApplyUpdate(RandomUpdate(g, &rng));
+  Dijkstra dij(g);
+  for (int i = 0; i < 100; ++i) {
+    Vertex s = static_cast<Vertex>(rng.NextBounded(ref.NumVertices()));
+    Vertex t = static_cast<Vertex>(rng.NextBounded(ref.NumVertices()));
+    ASSERT_EQ(other.Query(s, t), dij.Distance(s, t));
+  }
+  EXPECT_GE(other.MaintenanceStatsTotal().label_writes,
+            before.label_writes);
+}
+
 TEST(StlIndexTest, SaveLoadRoundTrip) {
   Graph g = testing_util::SmallRoadNetwork(9, 4);
   StlIndex idx = StlIndex::Build(&g, HierarchyOptions{});
