@@ -1,0 +1,385 @@
+// Sharded-scaling bench: the SAME mixed query + update workload served
+// by the flat single-index engine and by the sharded engine at k ∈
+// {2, 4, 8}, for multiple backends. Two phases per configuration:
+//
+//   lockstep  — update batch, Flush, evaluate a fixed query set on the
+//               published snapshot. Answers must be BIT-IDENTICAL to
+//               the flat engine's on the same weights (both are exact);
+//               any divergence is a routing/overlay bug.
+//   throughput— an updater thread streams batches while closed-loop
+//               query waves run on the reader pool; reports qps,
+//               p50/p99, publish + overlay micros per epoch, resident
+//               bytes — and Dijkstra-audits every answer on the exact
+//               epoch snapshot it was served from.
+//
+// Emits BENCH_sharded.json. --check turns the run into a CI guard
+// (structural, no timing): zero lockstep mismatches and zero audit
+// mismatches for every (backend, k) configuration, with the workload
+// clamped small.
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "engine/query_engine.h"
+#include "engine/sharded_engine.h"
+#include "graph/dijkstra.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace stl {
+namespace {
+
+struct ShardedSizes {
+  uint32_t grid_side;
+  size_t lockstep_rounds;
+  size_t lockstep_queries;
+  size_t queries;
+  size_t wave;
+  size_t update_rounds;
+  size_t batch_size;
+};
+
+ShardedSizes SizesForScale(BenchScale scale) {
+  switch (scale) {
+    case BenchScale::kSmall:
+      return {40, 8, 400, 6000, 150, 16, 8};
+    case BenchScale::kMedium:
+      return {70, 10, 600, 20000, 250, 30, 16};
+    case BenchScale::kLarge:
+      return {100, 12, 800, 60000, 400, 60, 32};
+  }
+  return {40, 8, 400, 6000, 150, 16, 8};
+}
+
+/// The deterministic lockstep update stream: alternating congest /
+/// restore batches on seeded random edges, identical for every engine.
+std::vector<WeightUpdate> LockstepBatch(const Graph& base, size_t round,
+                                        size_t batch_size) {
+  std::vector<WeightUpdate> batch;
+  batch.reserve(batch_size);
+  const bool restore = round % 2 == 1;
+  Rng ering(9000 + 17 * (round / 2));  // restore reuses the edges
+  for (size_t i = 0; i < batch_size; ++i) {
+    const EdgeId e =
+        static_cast<EdgeId>(ering.NextBounded(base.NumEdges()));
+    const Weight w0 = base.EdgeWeight(e);
+    const Weight target =
+        restore ? w0 : std::min<Weight>(w0 * 4, kMaxEdgeWeight);
+    batch.push_back(WeightUpdate{e, 0, target});
+  }
+  return batch;
+}
+
+struct ConfigRow {
+  BackendKind kind;
+  uint32_t target_shards = 0;  // 0 = flat engine
+  uint32_t num_shards = 0;
+  uint32_t boundary_vertices = 0;
+  double build_seconds = 0;
+  double qps = 0;
+  double p50 = 0;
+  double p99 = 0;
+  uint64_t epochs = 0;
+  double publish_micros_per_epoch = 0;
+  double overlay_micros_per_epoch = 0;
+  uint64_t resident_bytes = 0;
+  uint64_t lockstep_mismatches = 0;
+  uint64_t audit_mismatches = 0;
+};
+
+/// Phase 1 answers of the flat reference engine (per round, per pair).
+using LockstepAnswers = std::vector<std::vector<Weight>>;
+
+template <typename Engine>
+LockstepAnswers RunLockstep(Engine& engine, const Graph& base,
+                            const ShardedSizes& sizes,
+                            const std::vector<QueryPair>& pairs) {
+  LockstepAnswers answers;
+  answers.reserve(sizes.lockstep_rounds);
+  for (size_t round = 0; round < sizes.lockstep_rounds; ++round) {
+    engine.EnqueueUpdates(LockstepBatch(base, round, sizes.batch_size));
+    engine.Flush();
+    auto snap = engine.CurrentSnapshot();
+    std::vector<Weight> row;
+    row.reserve(pairs.size());
+    for (const QueryPair& q : pairs) {
+      row.push_back(snap->Query(q.first, q.second));
+    }
+    answers.push_back(std::move(row));
+  }
+  return answers;
+}
+
+uint64_t CountMismatches(const LockstepAnswers& a, const LockstepAnswers& b) {
+  uint64_t mismatches = 0;
+  for (size_t r = 0; r < a.size() && r < b.size(); ++r) {
+    for (size_t i = 0; i < a[r].size(); ++i) {
+      mismatches += a[r][i] != b[r][i];
+    }
+  }
+  return mismatches;
+}
+
+/// Phase 2: concurrent mixed workload with the per-epoch Dijkstra audit.
+template <typename Engine, typename Result>
+void RunThroughput(Engine& engine, const Graph& base,
+                   const ShardedSizes& sizes, ConfigRow* row) {
+  engine.ResetStats();
+  // ResetStats keeps the epoch-id allocator (epochs must stay unique),
+  // so per-epoch averages below divide by this phase's epoch delta.
+  const uint64_t epochs_before = engine.Stats().epochs_published;
+  const uint32_t n = base.NumVertices();
+
+  Rng qrng(4242);
+  std::vector<QueryPair> pairs;
+  pairs.reserve(sizes.queries);
+  for (size_t i = 0; i < sizes.queries; ++i) {
+    pairs.emplace_back(static_cast<Vertex>(qrng.NextBounded(n)),
+                       static_cast<Vertex>(qrng.NextBounded(n)));
+  }
+
+  std::thread updater([&] {
+    for (size_t round = 0; round < sizes.update_rounds; ++round) {
+      engine.EnqueueUpdates(LockstepBatch(base, round, sizes.batch_size));
+      std::this_thread::sleep_for(std::chrono::microseconds(300));
+    }
+  });
+
+  std::vector<Result> results;
+  results.reserve(pairs.size());
+  std::vector<std::future<Result>> wave_futures;
+  wave_futures.reserve(sizes.wave);
+  for (size_t i = 0; i < pairs.size(); i += sizes.wave) {
+    const size_t end = std::min(pairs.size(), i + sizes.wave);
+    wave_futures.clear();
+    for (size_t j = i; j < end; ++j) {
+      wave_futures.push_back(engine.Submit(pairs[j]));
+    }
+    for (auto& f : wave_futures) results.push_back(f.get());
+  }
+  updater.join();
+  engine.Flush();
+
+  EngineStats stats = engine.Stats();
+  row->qps = stats.queries_per_second;
+  row->p50 = stats.latency_p50_micros;
+  row->p99 = stats.latency_p99_micros;
+  const uint64_t epochs = stats.epochs_published - epochs_before;
+  row->epochs = epochs;
+  row->publish_micros_per_epoch =
+      epochs > 0
+          ? stats.publish_total_micros / static_cast<double>(epochs)
+          : 0;
+  row->overlay_micros_per_epoch =
+      epochs > 0
+          ? stats.overlay_rebuild_micros / static_cast<double>(epochs)
+          : 0;
+  row->resident_bytes = stats.resident_index_bytes;
+
+  // Ground-truth audit: every answer vs Dijkstra on its serving epoch.
+  std::map<uint64_t, decltype(results.front().snapshot)> snapshots;
+  for (const Result& r : results) snapshots.emplace(r.epoch, r.snapshot);
+  std::map<uint64_t, std::unique_ptr<Dijkstra>> oracle;
+  for (auto& [epoch, snap] : snapshots) {
+    oracle.emplace(epoch, std::make_unique<Dijkstra>(snap->graph));
+  }
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    if (r.distance !=
+        oracle.at(r.epoch)->Distance(pairs[i].first, pairs[i].second)) {
+      ++row->audit_mismatches;
+    }
+  }
+}
+
+void WriteJson(const char* path, const bench::BenchConfig& cfg,
+               uint32_t side, uint32_t vertices, uint32_t edges,
+               const ShardedSizes& sizes,
+               const std::vector<ConfigRow>& rows) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"sharded_scaling\",\n");
+  std::fprintf(f, "  \"scale\": \"%s\",\n", bench::ScaleName(cfg.scale));
+  std::fprintf(f,
+               "  \"network\": {\"grid_side\": %u, \"vertices\": %u, "
+               "\"edges\": %u},\n",
+               side, vertices, edges);
+  std::fprintf(
+      f,
+      "  \"workload\": {\"lockstep_rounds\": %zu, \"lockstep_queries\": "
+      "%zu, \"queries\": %zu, \"update_rounds\": %zu, \"batch_size\": "
+      "%zu, \"query_threads\": 4},\n",
+      sizes.lockstep_rounds, sizes.lockstep_queries, sizes.queries,
+      sizes.update_rounds, sizes.batch_size);
+  std::fprintf(f, "  \"configs\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ConfigRow& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"backend\": \"%s\", \"mode\": \"%s\", \"target_shards\": "
+        "%u, \"shards\": %u, \"boundary_vertices\": %u, "
+        "\"build_seconds\": %.3f, \"qps\": %.1f, \"latency_p50_micros\": "
+        "%.2f, \"latency_p99_micros\": %.2f, \"epochs\": %" PRIu64
+        ", \"publish_micros_per_epoch\": %.3f, "
+        "\"overlay_micros_per_epoch\": %.3f, \"resident_bytes\": %" PRIu64
+        ", \"lockstep_mismatches\": %" PRIu64
+        ", \"audit_mismatches\": %" PRIu64 "}%s\n",
+        BackendName(r.kind), r.target_shards == 0 ? "flat" : "sharded",
+        r.target_shards, r.num_shards, r.boundary_vertices,
+        r.build_seconds, r.qps, r.p50, r.p99, r.epochs,
+        r.publish_micros_per_epoch, r.overlay_micros_per_epoch,
+        r.resident_bytes, r.lockstep_mismatches, r.audit_mismatches,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+}  // namespace
+}  // namespace stl
+
+int main(int argc, char** argv) {
+  using namespace stl;
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) check = true;
+  }
+  const bench::BenchConfig cfg = bench::MakeConfig();
+  ShardedSizes sizes = SizesForScale(cfg.scale);
+  if (check) {
+    // CI guard: bound the build and audit cost (6 sharded engines + 2
+    // flat ones are constructed below).
+    sizes.grid_side = std::min<uint32_t>(sizes.grid_side, 24);
+    sizes.lockstep_rounds = std::min<size_t>(sizes.lockstep_rounds, 6);
+    sizes.lockstep_queries = std::min<size_t>(sizes.lockstep_queries, 300);
+    sizes.queries = std::min<size_t>(sizes.queries, 2000);
+    sizes.update_rounds = std::min<size_t>(sizes.update_rounds, 8);
+  }
+
+  RoadNetworkOptions net;
+  net.width = sizes.grid_side;
+  net.height = sizes.grid_side;
+  net.seed = 7;
+  Graph base = GenerateRoadNetwork(net);
+  const uint32_t n = base.NumVertices();
+
+  // Fixed lockstep query pairs shared by every configuration.
+  Rng prng(1117);
+  std::vector<QueryPair> lockstep_pairs;
+  lockstep_pairs.reserve(sizes.lockstep_queries);
+  for (size_t i = 0; i < sizes.lockstep_queries; ++i) {
+    lockstep_pairs.emplace_back(static_cast<Vertex>(prng.NextBounded(n)),
+                                static_cast<Vertex>(prng.NextBounded(n)));
+  }
+
+  const BackendKind backends[] = {BackendKind::kStl, BackendKind::kCh};
+  const uint32_t shard_counts[] = {2, 4, 8};
+
+  std::printf("== sharded scaling: flat vs k-way sharded serving ==\n");
+  std::printf(
+      "scale=%s grid=%ux%u vertices=%u edges=%u lockstep=%zux%zu "
+      "queries=%zu update_rounds=%zu batch=%zu\n\n",
+      bench::ScaleName(cfg.scale), sizes.grid_side, sizes.grid_side, n,
+      base.NumEdges(), sizes.lockstep_rounds, sizes.lockstep_queries,
+      sizes.queries, sizes.update_rounds, sizes.batch_size);
+  std::printf("%-6s %6s %7s %9s %10s %8s %8s %11s %11s %9s %9s\n",
+              "backend", "mode", "shards", "build s", "qps", "p50 us",
+              "p99 us", "publish us", "overlay us", "lockstep", "audit");
+
+  std::vector<ConfigRow> rows;
+  for (BackendKind kind : backends) {
+    // Flat reference: the single-index engine on the same workload.
+    ConfigRow flat_row;
+    flat_row.kind = kind;
+    EngineOptions fopt;
+    fopt.backend = kind;
+    fopt.num_query_threads = 4;
+    fopt.max_batch_size = sizes.batch_size;
+    Timer flat_build;
+    QueryEngine flat(base, HierarchyOptions{}, fopt);
+    flat_row.build_seconds = flat_build.ElapsedSeconds();
+    const LockstepAnswers reference =
+        RunLockstep(flat, base, sizes, lockstep_pairs);
+    RunThroughput<QueryEngine, QueryResult>(flat, base, sizes, &flat_row);
+    std::printf("%-6s %6s %7u %9.3f %10.1f %8.2f %8.2f %11.3f %11.3f "
+                "%9" PRIu64 " %9" PRIu64 "\n",
+                BackendName(kind), "flat", 1, flat_row.build_seconds,
+                flat_row.qps, flat_row.p50, flat_row.p99,
+                flat_row.publish_micros_per_epoch, 0.0,
+                flat_row.lockstep_mismatches, flat_row.audit_mismatches);
+    rows.push_back(flat_row);
+
+    for (uint32_t k : shard_counts) {
+      ConfigRow row;
+      row.kind = kind;
+      row.target_shards = k;
+      ShardedEngineOptions sopt;
+      sopt.backend = kind;
+      sopt.target_shards = k;
+      sopt.num_query_threads = 4;
+      sopt.max_batch_size = sizes.batch_size;
+      Timer build_timer;
+      ShardedEngine engine(base, HierarchyOptions{}, sopt);
+      row.build_seconds = build_timer.ElapsedSeconds();
+      row.num_shards = engine.num_shards();
+      row.boundary_vertices = engine.layout().num_boundary();
+
+      const LockstepAnswers got =
+          RunLockstep(engine, base, sizes, lockstep_pairs);
+      row.lockstep_mismatches = CountMismatches(reference, got);
+      RunThroughput<ShardedEngine, ShardedQueryResult>(engine, base, sizes,
+                                                       &row);
+      std::printf("%-6s %6s %7u %9.3f %10.1f %8.2f %8.2f %11.3f %11.3f "
+                  "%9" PRIu64 " %9" PRIu64 "\n",
+                  BackendName(kind), "shard", row.num_shards,
+                  row.build_seconds, row.qps, row.p50, row.p99,
+                  row.publish_micros_per_epoch,
+                  row.overlay_micros_per_epoch, row.lockstep_mismatches,
+                  row.audit_mismatches);
+      rows.push_back(row);
+    }
+  }
+
+  WriteJson("BENCH_sharded.json", cfg, sizes.grid_side, n,
+            base.NumEdges(), sizes, rows);
+
+  if (!check) return 0;
+
+  // ---- CI guard: structural invariants only, no timing flakiness. ----
+  int failures = 0;
+  auto expect = [&failures](bool ok, const char* what) {
+    if (!ok) {
+      std::fprintf(stderr, "GUARD FAILED: %s\n", what);
+      ++failures;
+    }
+  };
+  expect(rows.size() == std::size(backends) * (1 + std::size(shard_counts)),
+         "every configuration must produce a row");
+  for (const ConfigRow& r : rows) {
+    expect(r.lockstep_mismatches == 0,
+           "sharded answers must be bit-identical to the flat engine");
+    expect(r.audit_mismatches == 0,
+           "every concurrent answer must match Dijkstra on its epoch");
+    expect(r.epochs >= 1, "every configuration must publish epochs");
+    if (r.target_shards > 0) {
+      expect(r.num_shards >= r.target_shards,
+             "the partition must reach the requested shard count");
+      expect(r.boundary_vertices > 0,
+             "a multi-shard cut must produce boundary vertices");
+    }
+  }
+  if (failures == 0) std::printf("\nall sharded guards passed\n");
+  return failures == 0 ? 0 : 1;
+}

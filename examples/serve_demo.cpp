@@ -24,9 +24,46 @@
 
 using namespace stl;
 
+namespace {
+
+// Usage/help derived from the actual backend registry, so a new
+// BackendKind shows up here without touching the demo.
+void PrintUsage(std::FILE* out, const char* prog) {
+  std::fprintf(out, "usage: %s [backend]\n\n", prog);
+  std::fprintf(out,
+               "Serves a synthetic city from the concurrent query engine "
+               "while a traffic\nfeed streams weight updates.\n\n"
+               "valid backends (default: %s):\n",
+               BackendName(BackendKind::kStl));
+  for (BackendKind kind : kAllBackends) {
+    std::fprintf(out, "  %-5s", BackendName(kind));
+    switch (kind) {
+      case BackendKind::kStl:
+        std::fprintf(out, "Stable Tree Labelling (the paper's index)\n");
+        break;
+      case BackendKind::kCh:
+        std::fprintf(out, "Contraction Hierarchy (CH-W + DCH)\n");
+        break;
+      case BackendKind::kH2h:
+        std::fprintf(out, "H2H tree-decomposition labels (IncH2H)\n");
+        break;
+      case BackendKind::kHc2l:
+        std::fprintf(out, "Hierarchical Cut 2-hop Labelling (static)\n");
+        break;
+    }
+  }
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   BackendKind backend = BackendKind::kStl;
   if (argc > 1) {
+    if (std::strcmp(argv[1], "-h") == 0 ||
+        std::strcmp(argv[1], "--help") == 0) {
+      PrintUsage(stdout, argv[0]);
+      return 0;
+    }
     bool known = false;
     for (BackendKind kind : kAllBackends) {
       if (std::strcmp(argv[1], BackendName(kind)) == 0) {
@@ -35,8 +72,8 @@ int main(int argc, char** argv) {
       }
     }
     if (!known) {
-      std::fprintf(stderr, "unknown backend '%s' (stl|ch|h2h|hc2l)\n",
-                   argv[1]);
+      std::fprintf(stderr, "error: unknown backend '%s'\n\n", argv[1]);
+      PrintUsage(stderr, argv[0]);
       return 1;
     }
   }

@@ -19,13 +19,18 @@
 
 namespace stl {
 
+/// TSan-clean atomic publication slot for a shared_ptr (see file
+/// comment): one writer swaps, any number of readers copy.
 template <typename T>
 class AtomicSharedPtr {
  public:
+  /// An empty slot (load() returns null until the first store()).
   AtomicSharedPtr() = default;
-  AtomicSharedPtr(const AtomicSharedPtr&) = delete;
+  AtomicSharedPtr(const AtomicSharedPtr&) = delete;  ///< Not copyable.
+  /// Not copyable.
   AtomicSharedPtr& operator=(const AtomicSharedPtr&) = delete;
 
+  /// Returns a reference-holding copy of the current pointer.
   std::shared_ptr<T> load() const {
     Lock();
     std::shared_ptr<T> p = ptr_;
@@ -33,6 +38,7 @@ class AtomicSharedPtr {
     return p;
   }
 
+  /// Publishes `p`, releasing the displaced pointer outside the lock.
   void store(std::shared_ptr<T> p) {
     Lock();
     ptr_.swap(p);

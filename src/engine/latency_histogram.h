@@ -19,16 +19,19 @@ namespace stl {
 /// Concurrent nanosecond-latency histogram with ~6% quantile resolution.
 class LatencyHistogram {
  public:
-  // 16 exact buckets + 16 sub-buckets per octave for msb 4..62.
+  /// 16 exact buckets + 16 sub-buckets per octave for msb 4..62.
   static constexpr int kNumBuckets = (62 - 3) * 16 + 16;
 
+  /// An empty histogram.
   LatencyHistogram() = default;
 
   /// Records one sample. Wait-free; callable concurrently.
   void Record(uint64_t nanos);
 
+  /// Samples recorded so far.
   uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
 
+  /// Mean of all recorded samples in microseconds (0 when empty).
   double MeanMicros() const {
     uint64_t c = Count();
     if (c == 0) return 0.0;
@@ -36,6 +39,7 @@ class LatencyHistogram {
            (1e3 * static_cast<double>(c));
   }
 
+  /// Largest recorded sample in microseconds (exact, not bucketed).
   double MaxMicros() const {
     return static_cast<double>(max_nanos_.load(std::memory_order_relaxed)) /
            1e3;

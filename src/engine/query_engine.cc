@@ -31,11 +31,7 @@ QueryEngine::QueryEngine(Graph graph,
 
 QueryEngine::~QueryEngine() {
   pool_.Shutdown();  // answer every query already submitted
-  {
-    std::lock_guard<std::mutex> lock(update_mu_);
-    stop_writer_ = true;
-  }
-  update_cv_.notify_all();
+  updates_.Stop();
   if (writer_.joinable()) writer_.join();  // drains pending updates
 }
 
@@ -80,115 +76,40 @@ void QueryEngine::EnqueueUpdate(const WeightUpdate& update) {
 void QueryEngine::EnqueueUpdate(EdgeId edge, Weight new_weight) {
   STL_CHECK(edge < graph_->NumEdges());
   STL_CHECK(new_weight >= 1 && new_weight <= kMaxEdgeWeight);
-  {
-    std::lock_guard<std::mutex> lock(update_mu_);
-    pending_.push_back(PendingUpdate{edge, new_weight});
-    ++enqueue_seq_;
-  }
-  update_cv_.notify_one();
+  updates_.Enqueue(edge, new_weight);
 }
 
 void QueryEngine::EnqueueUpdates(const std::vector<WeightUpdate>& updates) {
-  if (updates.empty()) return;
   for (const WeightUpdate& u : updates) {
     STL_CHECK(u.edge < graph_->NumEdges());
     STL_CHECK(u.new_weight >= 1 && u.new_weight <= kMaxEdgeWeight);
   }
-  {
-    std::lock_guard<std::mutex> lock(update_mu_);
-    for (const WeightUpdate& u : updates) {
-      pending_.push_back(PendingUpdate{u.edge, u.new_weight});
-    }
-    enqueue_seq_ += updates.size();
-  }
-  update_cv_.notify_one();
+  updates_.EnqueueMany(updates);
 }
 
-void QueryEngine::Flush() {
-  std::unique_lock<std::mutex> lock(update_mu_);
-  const uint64_t target = enqueue_seq_;
-  flush_cv_.wait(lock,
-                 [this, target] { return applied_seq_ >= target; });
-}
+void QueryEngine::Flush() { updates_.Flush(); }
 
 void QueryEngine::WriterLoop() {
-  std::unique_lock<std::mutex> lock(update_mu_);
-  while (true) {
-    update_cv_.wait(
-        lock, [this] { return !pending_.empty() || stop_writer_; });
-    if (pending_.empty()) return;  // stop requested and fully drained
-    const size_t take = std::min(options_.max_batch_size, pending_.size());
-    std::vector<PendingUpdate> taken(pending_.begin(),
-                                     pending_.begin() + take);
-    pending_.erase(pending_.begin(), pending_.begin() + take);
-    lock.unlock();
-
-    // Coalesce to one update per edge (ApplyBatch requires distinct
-    // edges): later enqueues win, matching apply-one-at-a-time order.
-    // The old weight is re-resolved from the master graph, the only
-    // authority on current weights.
-    UpdateBatch batch;
-    batch.reserve(taken.size());
-    std::unordered_map<EdgeId, size_t> slot_of_edge;
-    uint64_t coalesced = 0;
-    for (const PendingUpdate& p : taken) {
-      auto [it, inserted] = slot_of_edge.try_emplace(p.edge, batch.size());
-      if (!inserted) {
-        batch[it->second].new_weight = p.new_weight;
-        ++coalesced;
-        continue;
-      }
-      batch.push_back(
-          WeightUpdate{p.edge, graph_->EdgeWeight(p.edge), p.new_weight});
-    }
-    std::erase_if(batch, [&coalesced](const WeightUpdate& u) {
-      const bool noop = u.old_weight == u.new_weight;
-      coalesced += noop;
-      return noop;
-    });
-
-    if (!batch.empty()) {
-      // The per-batch STL-P/STL-L choice; backends with a single
-      // maintenance scheme (or none) ignore it.
-      MaintenanceStrategy strategy = MaintenanceStrategy::kParetoSearch;
-      switch (options_.strategy) {
-        case StrategyMode::kAlwaysParetoSearch:
-          break;
-        case StrategyMode::kAlwaysLabelSearch:
-          strategy = MaintenanceStrategy::kLabelSearch;
-          break;
-        case StrategyMode::kAuto:
-          if (batch.size() >= options_.auto_label_search_threshold) {
-            strategy = MaintenanceStrategy::kLabelSearch;
-          }
-          break;
-      }
-      const BatchExecution executed = index_->ApplyBatch(batch, strategy);
-      switch (executed) {
-        case BatchExecution::kParetoSearch:
-          batches_pareto_.fetch_add(1, std::memory_order_relaxed);
-          break;
-        case BatchExecution::kLabelSearch:
-          batches_label_.fetch_add(1, std::memory_order_relaxed);
-          break;
-        case BatchExecution::kIncremental:
-          batches_incremental_.fetch_add(1, std::memory_order_relaxed);
-          break;
-        case BatchExecution::kFullRebuild:
-          batches_rebuild_.fetch_add(1, std::memory_order_relaxed);
-          break;
-      }
-      updates_applied_.fetch_add(batch.size(), std::memory_order_relaxed);
-      const uint64_t epoch =
-          epochs_published_.fetch_add(1, std::memory_order_relaxed) + 1;
-      PublishSnapshot(epoch);
-    }
-    updates_coalesced_.fetch_add(coalesced, std::memory_order_relaxed);
-
-    lock.lock();
-    applied_seq_ += take;
-    flush_cv_.notify_all();
-  }
+  // The drain/coalesce/Flush protocol lives in UpdateQueue (shared with
+  // the sharded engine); this engine's apply step is: pick the per-batch
+  // STL-P/STL-L strategy (backends with a single maintenance scheme
+  // ignore it), repair the master index, publish one epoch.
+  updates_.RunWriter(
+      options_.max_batch_size,
+      [this](EdgeId e) { return graph_->EdgeWeight(e); },
+      [this](const UpdateBatch& batch) {
+        const MaintenanceStrategy strategy =
+            ChooseStrategy(options_.strategy,
+                           options_.auto_label_search_threshold,
+                           batch.size());
+        batch_counters_.Count(index_->ApplyBatch(batch, strategy));
+        updates_applied_.fetch_add(batch.size(),
+                                   std::memory_order_relaxed);
+        const uint64_t epoch =
+            epochs_published_.fetch_add(1, std::memory_order_relaxed) + 1;
+        PublishSnapshot(epoch);
+      },
+      &updates_coalesced_);
 }
 
 void QueryEngine::PublishSnapshot(uint64_t epoch) {
@@ -236,18 +157,16 @@ EngineStats QueryEngine::Stats() const {
   EngineStats s;
   s.backend = options_.backend;
   s.queries_served = queries_served_.load(std::memory_order_relaxed);
-  {
-    std::lock_guard<std::mutex> lock(update_mu_);
-    s.updates_enqueued = enqueue_seq_;
-  }
+  s.updates_enqueued = updates_.enqueued();
   s.updates_applied = updates_applied_.load(std::memory_order_relaxed);
   s.updates_coalesced = updates_coalesced_.load(std::memory_order_relaxed);
   s.epochs_published = epochs_published_.load(std::memory_order_relaxed);
-  s.batches_pareto = batches_pareto_.load(std::memory_order_relaxed);
-  s.batches_label = batches_label_.load(std::memory_order_relaxed);
+  s.batches_pareto = batch_counters_.pareto.load(std::memory_order_relaxed);
+  s.batches_label = batch_counters_.label.load(std::memory_order_relaxed);
   s.batches_incremental =
-      batches_incremental_.load(std::memory_order_relaxed);
-  s.batches_rebuild = batches_rebuild_.load(std::memory_order_relaxed);
+      batch_counters_.incremental.load(std::memory_order_relaxed);
+  s.batches_rebuild =
+      batch_counters_.rebuild.load(std::memory_order_relaxed);
   s.label_pages_cloned =
       label_pages_cloned_.load(std::memory_order_relaxed);
   s.graph_chunks_cloned =
@@ -291,10 +210,7 @@ void QueryEngine::ResetStats() {
   // epochs_published_ is deliberately not reset: it doubles as the epoch
   // id allocator, and snapshot epochs must stay unique for the lifetime
   // of the engine.
-  batches_pareto_.store(0, std::memory_order_relaxed);
-  batches_label_.store(0, std::memory_order_relaxed);
-  batches_incremental_.store(0, std::memory_order_relaxed);
-  batches_rebuild_.store(0, std::memory_order_relaxed);
+  batch_counters_.Reset();
   label_pages_cloned_.store(0, std::memory_order_relaxed);
   graph_chunks_cloned_.store(0, std::memory_order_relaxed);
   cow_bytes_cloned_.store(0, std::memory_order_relaxed);

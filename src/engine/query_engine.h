@@ -39,18 +39,16 @@
 #define STL_ENGINE_QUERY_ENGINE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "engine/atomic_shared_ptr.h"
 #include "engine/latency_histogram.h"
 #include "engine/thread_pool.h"
+#include "engine/update_queue.h"
 #include "graph/updates.h"
 #include "index/distance_index.h"
 #include "util/timer.h"
@@ -62,16 +60,22 @@ namespace stl {
 /// weights as of this epoch (chunk-shared copy-on-write with
 /// neighbouring epochs) plus the backend's index view.
 struct EngineSnapshot {
+  /// Epoch id (0 = the initial publish; bumps per effective batch).
   uint64_t epoch = 0;
-  Graph graph;  // weights as of this epoch
+  /// Graph weights as of this epoch (chunk-shared with neighbours).
+  Graph graph;
+  /// The backend's immutable query surface for this epoch.
   std::shared_ptr<const IndexView> view;
-  // CoW work that isolated this epoch from the previous one: label pages
-  // detached by the producing maintenance batch, and total bytes cloned
-  // (label pages + graph weight chunks). Zero for epoch 0 and for
-  // backends without CoW snapshots.
+  /// Label pages detached by the producing maintenance batch (the CoW
+  /// work that isolated this epoch). Zero for epoch 0 and for backends
+  /// without CoW snapshots.
   uint64_t label_pages_cloned = 0;
+  /// Total bytes cloned to isolate this epoch (label pages + graph
+  /// weight chunks); zero under the same conditions as above.
   uint64_t cow_bytes_cloned = 0;
 
+  /// Exact distance under this epoch's weights; kInfDistance when
+  /// unreachable.
   Weight Query(Vertex s, Vertex t) const { return view->Query(s, t); }
   /// Empty when t is unreachable — or when the backend does not support
   /// path queries (BackendCapabilities::path_queries).
@@ -79,39 +83,65 @@ struct EngineSnapshot {
     return view->QueryShortestPath(graph, s, t);
   }
 
-  // STL-backend introspection (CoW audits, publish benches); null views
-  // on other backends.
+  /// STL-backend label introspection (CoW audits, publish benches);
+  /// null on every other backend.
   const Labelling* StlLabels() const { return view->StlLabels(); }
+  /// STL-backend hierarchy introspection; null on other backends.
   const TreeHierarchy* StlHierarchy() const { return view->StlHierarchy(); }
 };
 
 /// Answer to one submitted query.
 struct QueryResult {
+  /// Exact distance for the serving snapshot's weights.
   Weight distance = kInfDistance;
+  /// Epoch of the serving snapshot.
   uint64_t epoch = 0;
-  double latency_micros = 0;  // submit-to-completion (queue wait included)
-  // The snapshot the query was served from; lets callers audit the
-  // answer against the exact weights of that epoch.
+  /// Submit-to-completion latency (queue wait included).
+  double latency_micros = 0;
+  /// The snapshot the query was served from; lets callers audit the
+  /// answer against the exact weights of that epoch.
   std::shared_ptr<const EngineSnapshot> snapshot;
 };
 
 /// How the writer picks the STL maintenance algorithm per batch (other
 /// backends use their own single maintenance scheme and ignore this).
 enum class StrategyMode {
-  kAlwaysParetoSearch,  // STL-P for every batch
-  kAlwaysLabelSearch,   // STL-L for every batch
-  // Per-batch choice: Label Search amortizes its per-ancestor searches
-  // over large batches (Table 3); Pareto Search wins on small ones.
+  kAlwaysParetoSearch,  ///< STL-P for every batch.
+  kAlwaysLabelSearch,   ///< STL-L for every batch.
+  /// Per-batch choice: Label Search amortizes its per-ancestor searches
+  /// over large batches (Table 3); Pareto Search wins on small ones.
   kAuto,
 };
 
+/// The per-batch STL maintenance choice for `mode` on a batch of
+/// `batch_size` effective updates (`auto_threshold` only matters for
+/// StrategyMode::kAuto). Shared by both serving engines.
+inline MaintenanceStrategy ChooseStrategy(StrategyMode mode,
+                                          size_t auto_threshold,
+                                          size_t batch_size) {
+  switch (mode) {
+    case StrategyMode::kAlwaysParetoSearch:
+      return MaintenanceStrategy::kParetoSearch;
+    case StrategyMode::kAlwaysLabelSearch:
+      return MaintenanceStrategy::kLabelSearch;
+    case StrategyMode::kAuto:
+      break;
+  }
+  return batch_size >= auto_threshold
+             ? MaintenanceStrategy::kLabelSearch
+             : MaintenanceStrategy::kParetoSearch;
+}
+
+/// Construction options for the flat (single-index) serving engine.
 struct EngineOptions {
   /// Which index family serves this engine (index/distance_index.h).
   BackendKind backend = BackendKind::kStl;
+  /// Reader threads.
   int num_query_threads = 4;
   /// Updates taken from the pending queue per epoch (larger batches mean
   /// fewer snapshot publishes but staler reads).
   size_t max_batch_size = 128;
+  /// How the writer picks the STL maintenance algorithm per batch.
   StrategyMode strategy = StrategyMode::kAuto;
   /// kAuto: batches with at least this many effective updates use Label
   /// Search.
@@ -123,41 +153,72 @@ struct EngineOptions {
   bool flat_publish = false;
 };
 
+/// Per-shard serving counters, reported by the sharded engine
+/// (engine/sharded_engine.h). Always empty for the flat QueryEngine.
+struct ShardStats {
+  /// Cell id (index into the engine's shard layout).
+  uint32_t shard = 0;
+  /// Vertices owned by the cell (|C_i|).
+  uint32_t cell_vertices = 0;
+  /// Boundary vertices adjacent to the cell (|S_i|).
+  uint32_t boundary_vertices = 0;
+  /// Edges owned by the shard's subgraph.
+  uint32_t subgraph_edges = 0;
+  /// This shard's own epoch counter: bumps only when an update batch
+  /// dirtied the shard (0 = still serving its initial publish).
+  uint64_t shard_epoch = 0;
+  /// Effective updates routed to this shard so far.
+  uint64_t updates_applied = 0;
+  /// Serving-view bytes unique to this shard (shared blocks counted
+  /// once across the whole engine).
+  uint64_t resident_bytes = 0;
+};
+
 /// Point-in-time engine counters and latency summary.
 struct EngineStats {
+  /// The index family serving the engine.
   BackendKind backend = BackendKind::kStl;
-  uint64_t queries_served = 0;
-  uint64_t updates_enqueued = 0;
-  uint64_t updates_applied = 0;    // effective updates (after coalescing)
-  uint64_t updates_coalesced = 0;  // duplicates / no-ops dropped
-  uint64_t epochs_published = 0;
-  uint64_t batches_pareto = 0;       // STL-P batches
-  uint64_t batches_label = 0;        // STL-L batches
-  uint64_t batches_incremental = 0;  // DCH / IncH2H batches
-  uint64_t batches_rebuild = 0;      // static-backend full rebuilds
+  uint64_t queries_served = 0;     ///< Queries answered so far.
+  uint64_t updates_enqueued = 0;   ///< Updates ever enqueued.
+  uint64_t updates_applied = 0;    ///< Effective updates (after coalescing).
+  uint64_t updates_coalesced = 0;  ///< Duplicates / no-ops dropped.
+  uint64_t epochs_published = 0;   ///< Snapshots published after epoch 0.
+  uint64_t batches_pareto = 0;       ///< STL-P batches.
+  uint64_t batches_label = 0;        ///< STL-L batches.
+  uint64_t batches_incremental = 0;  ///< DCH / IncH2H batches.
+  uint64_t batches_rebuild = 0;      ///< Static-backend full rebuilds.
   // Copy-on-write publish economics. cow_bytes_cloned counts bytes of
   // label pages + graph weight chunks detached by maintenance (the true
   // per-epoch copy cost under structural sharing);
   // publish_bytes_deep_copied counts bytes copied by deep-copy publishes
   // (flat_publish baseline, and every CH/H2H epoch).
-  uint64_t label_pages_cloned = 0;
-  uint64_t graph_chunks_cloned = 0;
-  uint64_t cow_bytes_cloned = 0;
-  uint64_t publish_bytes_deep_copied = 0;
-  double publish_total_micros = 0;  // time inside PublishSnapshot
-  // Actual resident bytes of the serving state (current snapshot's view
-  // + graph + any state shared with it), with every shared physical
-  // page/chunk counted exactly once (Table-4-style honest memory under
-  // page sharing). The STL master shares all but its not-yet-published
-  // dirty pages with the snapshot, so those appear here after the next
-  // publish.
+  uint64_t label_pages_cloned = 0;   ///< CoW label pages detached.
+  uint64_t graph_chunks_cloned = 0;  ///< CoW graph weight chunks detached.
+  uint64_t cow_bytes_cloned = 0;     ///< Bytes of the above clones.
+  uint64_t publish_bytes_deep_copied = 0;  ///< Deep-copy publish bytes.
+  double publish_total_micros = 0;  ///< Time inside snapshot publication.
+  /// Actual resident bytes of the serving state (current snapshot's view
+  /// + graph + any state shared with it), with every shared physical
+  /// page/chunk counted exactly once (Table-4-style honest memory under
+  /// page sharing). The STL master shares all but its not-yet-published
+  /// dirty pages with the snapshot, so those appear here after the next
+  /// publish.
   uint64_t resident_index_bytes = 0;
-  double wall_seconds = 0;
-  double queries_per_second = 0;
-  double latency_mean_micros = 0;
-  double latency_p50_micros = 0;
-  double latency_p99_micros = 0;
-  double latency_max_micros = 0;
+  // Sharded serving (engine/sharded_engine.h); zero / empty for the
+  // flat QueryEngine.
+  uint32_t num_shards = 0;           ///< Cells served (0 = unsharded).
+  uint32_t boundary_vertices = 0;    ///< Overlay size |S|.
+  uint64_t overlay_republishes = 0;  ///< Overlay tables published.
+  /// Time spent rebuilding boundary cliques + the all-pairs overlay
+  /// table (a subset of publish_total_micros).
+  double overlay_rebuild_micros = 0;
+  std::vector<ShardStats> shards;    ///< Per-shard counters.
+  double wall_seconds = 0;           ///< Wall time since start / reset.
+  double queries_per_second = 0;     ///< queries_served / wall_seconds.
+  double latency_mean_micros = 0;    ///< Mean request latency.
+  double latency_p50_micros = 0;     ///< Median request latency.
+  double latency_p99_micros = 0;     ///< 99th-percentile latency.
+  double latency_max_micros = 0;     ///< Largest observed latency.
 };
 
 /// Concurrent query-serving engine. Thread-safe: Submit/SubmitBatch/
@@ -173,8 +234,8 @@ class QueryEngine {
   /// update before returning.
   ~QueryEngine();
 
-  QueryEngine(const QueryEngine&) = delete;
-  QueryEngine& operator=(const QueryEngine&) = delete;
+  QueryEngine(const QueryEngine&) = delete;             ///< Not copyable.
+  QueryEngine& operator=(const QueryEngine&) = delete;  ///< Not copyable.
 
   /// Schedules one distance query; the future resolves when a reader
   /// thread has answered it.
@@ -188,6 +249,7 @@ class QueryEngine {
   /// the old weight from the master graph at apply time, so callers need
   /// not know the current weight (update.old_weight is ignored).
   void EnqueueUpdate(const WeightUpdate& update);
+  /// Convenience overload of EnqueueUpdate(const WeightUpdate&).
   void EnqueueUpdate(EdgeId edge, Weight new_weight);
 
   /// Enqueues many updates atomically (one lock, one writer wakeup): the
@@ -204,11 +266,15 @@ class QueryEngine {
     return current_.load();
   }
 
+  /// Epoch of the latest published snapshot.
   uint64_t CurrentEpoch() const { return CurrentSnapshot()->epoch; }
 
+  /// The index family serving this engine.
   BackendKind backend() const { return options_.backend; }
+  /// What the selected backend supports (path queries, CoW, ...).
   const BackendCapabilities& capabilities() const { return capabilities_; }
 
+  /// Point-in-time counters and latency summary.
   EngineStats Stats() const;
 
   /// Zeroes counters (except the epoch allocator) and the latency
@@ -216,6 +282,7 @@ class QueryEngine {
   /// while no queries are in flight.
   void ResetStats();
 
+  /// Reader thread count.
   int num_query_threads() const { return pool_.num_threads(); }
 
  private:
@@ -236,18 +303,9 @@ class QueryEngine {
 
   AtomicSharedPtr<const EngineSnapshot> current_;
 
-  // Pending-update queue (writer input).
-  struct PendingUpdate {
-    EdgeId edge;
-    Weight new_weight;
-  };
-  mutable std::mutex update_mu_;
-  std::condition_variable update_cv_;  // writer wakeup
-  std::condition_variable flush_cv_;   // Flush() wakeup
-  std::deque<PendingUpdate> pending_;
-  uint64_t enqueue_seq_ = 0;  // updates ever enqueued
-  uint64_t applied_seq_ = 0;  // updates taken and fully applied
-  bool stop_writer_ = false;
+  // Pending-update queue (writer input; shared protocol with the
+  // sharded engine — engine/update_queue.h).
+  UpdateQueue updates_;
 
   std::thread writer_;
 
@@ -262,10 +320,7 @@ class QueryEngine {
   std::atomic<uint64_t> updates_applied_{0};
   std::atomic<uint64_t> updates_coalesced_{0};
   std::atomic<uint64_t> epochs_published_{0};
-  std::atomic<uint64_t> batches_pareto_{0};
-  std::atomic<uint64_t> batches_label_{0};
-  std::atomic<uint64_t> batches_incremental_{0};
-  std::atomic<uint64_t> batches_rebuild_{0};
+  BatchExecutionCounters batch_counters_;
   std::atomic<uint64_t> label_pages_cloned_{0};
   std::atomic<uint64_t> graph_chunks_cloned_{0};
   std::atomic<uint64_t> cow_bytes_cloned_{0};

@@ -1,0 +1,428 @@
+#include "engine/sharded_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "partition/cells.h"
+#include "util/logging.h"
+#include "util/simd.h"
+
+namespace stl {
+
+namespace {
+
+/// Saturates the three-term routing sums back into the Weight range.
+inline Weight ClampInf(uint64_t d) {
+  return d >= kInfDistance ? kInfDistance
+                           : static_cast<Weight>(d);
+}
+
+}  // namespace
+
+// ----------------------------------------------------- ShardedSnapshot
+
+Weight ShardedSnapshot::Query(Vertex s, Vertex t) const {
+  const ShardLayout& lay = *layout;
+  STL_DCHECK(s < lay.shard_of_vertex.size());
+  STL_DCHECK(t < lay.shard_of_vertex.size());
+  if (s == t) return 0;
+  const uint32_t cs = lay.shard_of_vertex[s];
+  const uint32_t ct = lay.shard_of_vertex[t];
+  const bool s_boundary = cs == CellPartition::kBoundaryCell;
+  const bool t_boundary = ct == CellPartition::kBoundaryCell;
+
+  if (s_boundary && t_boundary) {
+    // The overlay table is already the exact full-graph distance.
+    return overlay->At(lay.boundary_pos_of_vertex[s],
+                       lay.boundary_pos_of_vertex[t]);
+  }
+
+  // Per-reader scratch for the shard-to-boundary distance arrays; sized
+  // to the largest S_i seen, reused across snapshots and epochs.
+  thread_local std::vector<Weight> ds_scratch;
+  thread_local std::vector<Weight> dt_scratch;
+
+  // Shard-local distances from a non-boundary endpoint to its cell's
+  // boundary set S_i (kInfDistance where the shard subgraph disconnects
+  // them).
+  auto boundary_distances = [&lay](
+      const ShardServing& serving, Vertex global,
+      std::vector<Weight>* out) -> uint32_t {
+    const ShardLayout::Shard& shard = lay.shards[serving.shard];
+    const uint32_t width =
+        static_cast<uint32_t>(shard.boundary_local.size());
+    out->resize(width);
+    const Vertex local = lay.local_of_vertex[global];
+    for (uint32_t i = 0; i < width; ++i) {
+      (*out)[i] = serving.view->Query(local, shard.boundary_local[i]);
+    }
+    return width;
+  };
+
+  uint64_t best = kInfDistance;
+  if (!s_boundary && !t_boundary && cs == ct) {
+    // Same cell: the path may stay inside the shard entirely...
+    best = shards[cs]->view->Query(lay.local_of_vertex[s],
+                                   lay.local_of_vertex[t]);
+    // ...or leave through the boundary and come back (covered below;
+    // D[b][b] = 0 makes the touch-and-return case a special case of it).
+  }
+
+  if (s_boundary) {
+    // First boundary vertex of any path from s is s itself:
+    // min over b2 in S_ct of D[s][b2] + d_shard(b2, t).
+    const uint32_t width = boundary_distances(*shards[ct], t, &dt_scratch);
+    const uint32_t pos = lay.boundary_pos_of_vertex[s];
+    best = std::min<uint64_t>(
+        best, MinPlusReduce(overlay->PackedRow(ct, pos), dt_scratch.data(),
+                            width));
+  } else if (t_boundary) {
+    // Mirror image (distances are symmetric on an undirected graph).
+    const uint32_t width = boundary_distances(*shards[cs], s, &ds_scratch);
+    const uint32_t pos = lay.boundary_pos_of_vertex[t];
+    best = std::min<uint64_t>(
+        best, MinPlusReduce(overlay->PackedRow(cs, pos), ds_scratch.data(),
+                            width));
+  } else {
+    // General case: decompose at the first and last boundary vertices.
+    const uint32_t sw = boundary_distances(*shards[cs], s, &ds_scratch);
+    const uint32_t tw = boundary_distances(*shards[ct], t, &dt_scratch);
+    const ShardLayout::Shard& sshard = lay.shards[cs];
+    for (uint32_t i = 0; i < sw; ++i) {
+      if (ds_scratch[i] >= kInfDistance || ds_scratch[i] >= best) continue;
+      // Inner min over b2 on the packed row: contiguous SIMD min-plus.
+      const Weight inner =
+          MinPlusReduce(overlay->PackedRow(ct, sshard.boundary_pos[i]),
+                        dt_scratch.data(), tw);
+      best = std::min<uint64_t>(
+          best, static_cast<uint64_t>(ds_scratch[i]) + inner);
+    }
+  }
+  return ClampInf(best);
+}
+
+// ------------------------------------------------------- ShardedEngine
+
+ShardedEngine::ShardedEngine(Graph graph,
+                             const HierarchyOptions& hierarchy_options,
+                             const ShardedEngineOptions& options)
+    : options_(options), pool_(options.num_query_threads) {
+  STL_CHECK_GE(options_.max_batch_size, size_t{1});
+  STL_CHECK_GE(options_.target_shards, 1u);
+  graph_ = std::make_unique<Graph>(std::move(graph));
+
+  const CellPartition cells =
+      PartitionCells(*graph_, options_.target_shards, hierarchy_options);
+  ShardPlan plan = BuildShardPlan(*graph_, cells);
+  layout_ = std::make_shared<const ShardLayout>(std::move(plan.layout));
+
+  const uint32_t k = layout_->num_shards();
+  states_.resize(k);
+  for (uint32_t c = 0; c < k; ++c) {
+    states_[c].graph =
+        std::make_unique<Graph>(std::move(plan.shard_graphs[c]));
+  }
+  // The k master builds touch disjoint state (each only its own
+  // subgraph), so build them in parallel: startup approaches the
+  // slowest single shard instead of the sum.
+  {
+    std::vector<std::future<void>> builds;
+    builds.reserve(k);
+    for (uint32_t c = 0; c < k; ++c) {
+      builds.push_back(std::async(std::launch::async, [&, c] {
+        states_[c].index = MakeDistanceIndex(options_.backend,
+                                             states_[c].graph.get(),
+                                             hierarchy_options);
+      }));
+    }
+    for (auto& b : builds) b.get();
+  }
+  if (k > 0) capabilities_ = states_[0].index->capabilities();
+  overlay_ = std::make_unique<BoundaryOverlay>(layout_.get(), *graph_);
+  shard_updates_.reset(new std::atomic<uint64_t>[std::max(k, 1u)]);
+  for (uint32_t c = 0; c < k; ++c) shard_updates_[c].store(0);
+  serving_.resize(k);
+
+  // Epoch 0 baseline: clones from construction are not publish cost.
+  harvested_graph_chunks_ = graph_->cow_stats().chunks_cloned;
+  harvested_graph_bytes_ = graph_->cow_stats().bytes_cloned;
+  PublishInitialSnapshot();
+  writer_ = std::thread([this] { WriterLoop(); });
+  // Start the throughput clock after the (potentially long) builds.
+  wall_.Restart();
+}
+
+ShardedEngine::~ShardedEngine() {
+  pool_.Shutdown();  // answer every query already submitted
+  updates_.Stop();
+  if (writer_.joinable()) writer_.join();  // drains pending updates
+}
+
+void ShardedEngine::PublishInitialSnapshot() {
+  for (uint32_t c = 0; c < layout_->num_shards(); ++c) {
+    PublishInfo info;
+    auto view = states_[c].index->PublishView(/*flat_publish=*/false, &info);
+    overlay_->RebuildClique(c, *view);
+    auto serving = std::make_shared<ShardServing>();
+    serving->shard = c;
+    serving->shard_epoch = 0;
+    serving->view = std::move(view);
+    serving_[c] = std::move(serving);
+  }
+  auto snap = std::make_shared<ShardedSnapshot>();
+  snap->epoch = 0;
+  snap->graph = *graph_;
+  snap->layout = layout_;
+  snap->shards = serving_;
+  snap->overlay = overlay_->Publish();
+  current_.store(std::move(snap));
+}
+
+std::future<ShardedQueryResult> ShardedEngine::Submit(QueryPair query) {
+  auto promise = std::make_shared<std::promise<ShardedQueryResult>>();
+  std::future<ShardedQueryResult> result = promise->get_future();
+  const auto submitted = std::chrono::steady_clock::now();
+  const bool accepted =
+      pool_.Enqueue([this, query, promise = std::move(promise), submitted] {
+        // The entire read path: one atomic load, then const reads on an
+        // immutable snapshot (k shard views + one overlay, mutually
+        // consistent by construction).
+        std::shared_ptr<const ShardedSnapshot> snap = current_.load();
+        ShardedQueryResult r;
+        r.distance = snap->Query(query.first, query.second);
+        r.epoch = snap->epoch;
+        const uint64_t nanos = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - submitted)
+                .count());
+        r.latency_micros = static_cast<double>(nanos) / 1e3;
+        r.snapshot = std::move(snap);
+        latency_.Record(nanos);
+        queries_served_.fetch_add(1, std::memory_order_relaxed);
+        promise->set_value(std::move(r));
+      });
+  STL_CHECK(accepted) << "Submit() on a shut-down engine";
+  return result;
+}
+
+std::vector<std::future<ShardedQueryResult>> ShardedEngine::SubmitBatch(
+    const std::vector<QueryPair>& queries) {
+  std::vector<std::future<ShardedQueryResult>> futures;
+  futures.reserve(queries.size());
+  for (const QueryPair& q : queries) futures.push_back(Submit(q));
+  return futures;
+}
+
+void ShardedEngine::EnqueueUpdate(const WeightUpdate& update) {
+  EnqueueUpdate(update.edge, update.new_weight);
+}
+
+void ShardedEngine::EnqueueUpdate(EdgeId edge, Weight new_weight) {
+  STL_CHECK(edge < graph_->NumEdges());
+  STL_CHECK(new_weight >= 1 && new_weight <= kMaxEdgeWeight);
+  updates_.Enqueue(edge, new_weight);
+}
+
+void ShardedEngine::EnqueueUpdates(const std::vector<WeightUpdate>& updates) {
+  for (const WeightUpdate& u : updates) {
+    STL_CHECK(u.edge < graph_->NumEdges());
+    STL_CHECK(u.new_weight >= 1 && u.new_weight <= kMaxEdgeWeight);
+  }
+  updates_.EnqueueMany(updates);
+}
+
+void ShardedEngine::Flush() { updates_.Flush(); }
+
+void ShardedEngine::WriterLoop() {
+  // The drain/coalesce/Flush protocol lives in UpdateQueue (shared with
+  // the flat engine); coalescing works on GLOBAL edge ids with the
+  // master full graph as the weight authority, and the apply step is
+  // the per-shard partition + publish below.
+  updates_.RunWriter(
+      options_.max_batch_size,
+      [this](EdgeId e) { return graph_->EdgeWeight(e); },
+      [this](const UpdateBatch& batch) { ApplyAndPublish(batch); },
+      &updates_coalesced_);
+}
+
+void ShardedEngine::ApplyAndPublish(const UpdateBatch& batch) {
+  const uint32_t k = layout_->num_shards();
+  // Partition the batch by owning cell; S–S edges go to the overlay.
+  std::vector<UpdateBatch> per_shard(k);
+  for (const WeightUpdate& u : batch) {
+    graph_->SetEdgeWeight(u.edge, u.new_weight);
+    const uint32_t owner = layout_->shard_of_edge[u.edge];
+    const uint32_t slot = layout_->local_of_edge[u.edge];
+    if (owner == ShardLayout::kOverlayShard) {
+      overlay_->SetDirectWeight(slot, u.new_weight);
+    } else {
+      per_shard[owner].push_back(
+          WeightUpdate{slot, states_[owner].graph->EdgeWeight(slot),
+                       u.new_weight});
+    }
+  }
+
+  // Maintenance: repair (or rebuild) only the dirtied shards. The
+  // STL-P/STL-L choice is made per SHARD batch — each shard amortizes
+  // over its own share of the updates.
+  for (uint32_t c = 0; c < k; ++c) {
+    if (per_shard[c].empty()) continue;
+    const MaintenanceStrategy strategy =
+        ChooseStrategy(options_.strategy,
+                       options_.auto_label_search_threshold,
+                       per_shard[c].size());
+    batch_counters_.Count(states_[c].index->ApplyBatch(per_shard[c],
+                                                       strategy));
+    shard_updates_[c].fetch_add(per_shard[c].size(),
+                                std::memory_order_relaxed);
+  }
+  updates_applied_.fetch_add(batch.size(), std::memory_order_relaxed);
+
+  // Publication: new views + cliques for dirty shards only, then one
+  // overlay rebuild, then the snapshot swap. Clean shards' ShardServing
+  // pointers carry over unchanged.
+  Timer publish_timer;
+  for (uint32_t c = 0; c < k; ++c) {
+    if (per_shard[c].empty()) continue;
+    PublishInfo info;
+    auto view = states_[c].index->PublishView(/*flat_publish=*/false, &info);
+    label_pages_cloned_.fetch_add(info.label_pages_cloned,
+                                  std::memory_order_relaxed);
+    cow_bytes_cloned_.fetch_add(info.label_bytes_cloned,
+                                std::memory_order_relaxed);
+    publish_bytes_deep_copied_.fetch_add(info.deep_bytes_copied,
+                                         std::memory_order_relaxed);
+    auto serving = std::make_shared<ShardServing>();
+    serving->shard = c;
+    serving->shard_epoch = ++states_[c].shard_epoch;
+    serving->view = std::move(view);
+    Timer overlay_timer;
+    overlay_->RebuildClique(c, *serving->view);
+    overlay_nanos_.fetch_add(overlay_timer.ElapsedNanos(),
+                             std::memory_order_relaxed);
+    serving_[c] = std::move(serving);
+  }
+  Timer overlay_timer;
+  auto table = overlay_->Publish();
+  overlay_nanos_.fetch_add(overlay_timer.ElapsedNanos(),
+                           std::memory_order_relaxed);
+  overlay_republishes_.fetch_add(1, std::memory_order_relaxed);
+
+  // Graph-side CoW accounting (chunks detached by this batch's writes).
+  const CowChunkStats gc = graph_->cow_stats();
+  graph_chunks_cloned_.fetch_add(gc.chunks_cloned - harvested_graph_chunks_,
+                                 std::memory_order_relaxed);
+  cow_bytes_cloned_.fetch_add(gc.bytes_cloned - harvested_graph_bytes_,
+                              std::memory_order_relaxed);
+  harvested_graph_chunks_ = gc.chunks_cloned;
+  harvested_graph_bytes_ = gc.bytes_cloned;
+
+  auto snap = std::make_shared<ShardedSnapshot>();
+  snap->epoch = epochs_published_.fetch_add(1, std::memory_order_relaxed) + 1;
+  snap->graph = *graph_;  // structural chunk share
+  snap->layout = layout_;
+  snap->shards = serving_;
+  snap->overlay = std::move(table);
+  publish_nanos_.fetch_add(publish_timer.ElapsedNanos(),
+                           std::memory_order_relaxed);
+  current_.store(std::move(snap));
+}
+
+EngineStats ShardedEngine::Stats() const {
+  EngineStats s;
+  s.backend = options_.backend;
+  s.queries_served = queries_served_.load(std::memory_order_relaxed);
+  s.updates_enqueued = updates_.enqueued();
+  s.updates_applied = updates_applied_.load(std::memory_order_relaxed);
+  s.updates_coalesced = updates_coalesced_.load(std::memory_order_relaxed);
+  s.epochs_published = epochs_published_.load(std::memory_order_relaxed);
+  s.batches_pareto = batch_counters_.pareto.load(std::memory_order_relaxed);
+  s.batches_label = batch_counters_.label.load(std::memory_order_relaxed);
+  s.batches_incremental =
+      batch_counters_.incremental.load(std::memory_order_relaxed);
+  s.batches_rebuild =
+      batch_counters_.rebuild.load(std::memory_order_relaxed);
+  s.label_pages_cloned =
+      label_pages_cloned_.load(std::memory_order_relaxed);
+  s.graph_chunks_cloned =
+      graph_chunks_cloned_.load(std::memory_order_relaxed);
+  s.cow_bytes_cloned = cow_bytes_cloned_.load(std::memory_order_relaxed);
+  s.publish_bytes_deep_copied =
+      publish_bytes_deep_copied_.load(std::memory_order_relaxed);
+  s.publish_total_micros =
+      static_cast<double>(publish_nanos_.load(std::memory_order_relaxed)) /
+      1e3;
+  s.num_shards = layout_->num_shards();
+  s.boundary_vertices = layout_->num_boundary();
+  s.overlay_republishes =
+      overlay_republishes_.load(std::memory_order_relaxed);
+  s.overlay_rebuild_micros =
+      static_cast<double>(overlay_nanos_.load(std::memory_order_relaxed)) /
+      1e3;
+  {
+    // Honest resident memory of the serving state, wait-free: walk the
+    // current (immutable) snapshot, counting each physically shared
+    // block once — the per-shard rows report each shard's unique bytes.
+    std::shared_ptr<const ShardedSnapshot> snap = CurrentSnapshot();
+    std::unordered_set<const void*> seen;
+    uint64_t bytes = 0;
+    s.shards.reserve(layout_->num_shards());
+    for (uint32_t c = 0; c < layout_->num_shards(); ++c) {
+      ShardStats row;
+      row.shard = c;
+      row.cell_vertices = layout_->shards[c].num_cell_vertices;
+      row.boundary_vertices =
+          static_cast<uint32_t>(layout_->shards[c].boundary_local.size());
+      row.subgraph_edges =
+          static_cast<uint32_t>(layout_->shards[c].edge_to_global.size());
+      row.shard_epoch = snap->shards[c]->shard_epoch;
+      row.updates_applied =
+          shard_updates_[c].load(std::memory_order_relaxed);
+      row.resident_bytes = snap->shards[c]->view->AddResidentBytes(&seen);
+      bytes += row.resident_bytes;
+      s.shards.push_back(row);
+    }
+    if (snap->overlay != nullptr &&
+        seen.insert(snap->overlay.get()).second) {
+      bytes += snap->overlay->MemoryBytes();
+    }
+    bytes += snap->graph.AddResidentBytes(&seen);
+    if (seen.insert(layout_.get()).second) bytes += layout_->MemoryBytes();
+    s.resident_index_bytes = bytes;
+  }
+  s.wall_seconds = wall_.ElapsedSeconds();
+  s.queries_per_second =
+      s.wall_seconds > 0
+          ? static_cast<double>(s.queries_served) / s.wall_seconds
+          : 0;
+  s.latency_mean_micros = latency_.MeanMicros();
+  s.latency_p50_micros = latency_.QuantileMicros(0.5);
+  s.latency_p99_micros = latency_.QuantileMicros(0.99);
+  s.latency_max_micros = latency_.MaxMicros();
+  return s;
+}
+
+void ShardedEngine::ResetStats() {
+  queries_served_.store(0, std::memory_order_relaxed);
+  updates_applied_.store(0, std::memory_order_relaxed);
+  updates_coalesced_.store(0, std::memory_order_relaxed);
+  // epochs_published_ doubles as the global epoch allocator and the
+  // per-shard ShardState epochs keep snapshot lineage; neither resets.
+  batch_counters_.Reset();
+  label_pages_cloned_.store(0, std::memory_order_relaxed);
+  graph_chunks_cloned_.store(0, std::memory_order_relaxed);
+  cow_bytes_cloned_.store(0, std::memory_order_relaxed);
+  publish_bytes_deep_copied_.store(0, std::memory_order_relaxed);
+  publish_nanos_.store(0, std::memory_order_relaxed);
+  overlay_nanos_.store(0, std::memory_order_relaxed);
+  overlay_republishes_.store(0, std::memory_order_relaxed);
+  for (uint32_t c = 0; c < layout_->num_shards(); ++c) {
+    shard_updates_[c].store(0, std::memory_order_relaxed);
+  }
+  latency_.Reset();
+  wall_.Restart();
+}
+
+}  // namespace stl

@@ -1,0 +1,263 @@
+// Sharded query-serving engine: the partition tree machinery that makes
+// the paper's hierarchy stable also carves the serving layer into k
+// independently-updatable shards.
+//
+//   readers (ThreadPool)               single writer thread
+//   ─────────────────────              ────────────────────────────────
+//   load the current                ┌─ accumulate EnqueueUpdate()s,
+//   ShardedSnapshot (one atomic     │  coalesce, then PARTITION the
+//   pointer: k shard views +        │  batch by owning cell: repair and
+//   one overlay table), route       │  republish only the dirtied
+//   the query (below)               │  shards (other shards' serving
+//                                   │  pointers are re-shared), rebuild
+//                                   └─ the overlay, swap the snapshot
+//
+// Construction: PartitionCells (partition/cells.h) cuts the graph into
+// k connected cells isolated by the separator set S; BuildShardPlan
+// (index/overlay.h) derives per-cell subgraphs on C_i ∪ S_i; one
+// DistanceIndex backend (any of STL/CH/H2H/HC2L) is built per cell; a
+// BoundaryOverlay maintains the exact S×S distance table D.
+//
+// Query routing (all answers exact — bit-identical to a flat engine on
+// the same weights, guarded by bench_sharded_scaling --check):
+//   * s == t                     -> 0
+//   * both endpoints boundary    -> D[s][t]
+//   * same cell                  -> min(shard-local distance,
+//                                       min_{b1,b2} ds[b1] + D[b1][b2] + dt[b2])
+//   * different cells / boundary -> min_{b1,b2} ds[b1] + D[b1][b2] + dt[b2]
+// where ds/dt are the shard-local distances from each endpoint to its
+// cell's boundary set S_i, and the inner minimum over b2 runs on the
+// overlay's per-shard packed rows through the util/simd.h min-plus
+// kernels. Correctness rests on S being a vertex separator: a shortest
+// path leaves a cell only through S, its first/last boundary vertices
+// split it into shard-local prefix/suffix plus a boundary-to-boundary
+// middle, and D is exact for the middle (index/overlay.h).
+//
+// Update locality: a batch that only touches edges inside cell i
+// republishes shard i's epoch and the overlay; every other shard's
+// ShardServing pointer in the next snapshot is the SAME object
+// (asserted in tests/sharded_engine_test.cc).
+#ifndef STL_ENGINE_SHARDED_ENGINE_H_
+#define STL_ENGINE_SHARDED_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "engine/atomic_shared_ptr.h"
+#include "engine/latency_histogram.h"
+#include "engine/query_engine.h"
+#include "engine/thread_pool.h"
+#include "index/overlay.h"
+#include "util/timer.h"
+
+namespace stl {
+
+/// One shard's published serving state: an immutable backend view plus
+/// the shard's own epoch counter. Re-shared by pointer across global
+/// snapshots while the shard stays clean.
+struct ShardServing {
+  /// Cell id this serving state belongs to.
+  uint32_t shard = 0;
+  /// Per-shard epoch: number of times this shard has republished
+  /// (0 = the initial build).
+  uint64_t shard_epoch = 0;
+  /// The shard backend's immutable query surface.
+  std::shared_ptr<const IndexView> view;
+};
+
+/// One immutable published version of the sharded serving state. A
+/// query loads exactly one ShardedSnapshot, so it always sees a
+/// mutually consistent set of shard views and overlay table.
+struct ShardedSnapshot {
+  /// Global epoch (bumps on every effective update batch).
+  uint64_t epoch = 0;
+  /// Full-network weights as of this epoch (copy-on-write chunk share
+  /// with neighbouring epochs); the per-epoch ground truth that
+  /// Dijkstra audits run against.
+  Graph graph;
+  /// The shared shard layout (vertex/edge ownership, boundary maps).
+  std::shared_ptr<const ShardLayout> layout;
+  /// Per-cell serving state; entries are pointer-shared with the
+  /// previous snapshot for every shard the producing batch left clean.
+  std::vector<std::shared_ptr<const ShardServing>> shards;
+  /// The epoch's boundary-to-boundary distance table.
+  std::shared_ptr<const OverlayTable> overlay;
+
+  /// Exact distance under this epoch's weights; kInfDistance when
+  /// unreachable. Thread-safe for concurrent readers.
+  Weight Query(Vertex s, Vertex t) const;
+};
+
+/// Answer to one query submitted to the sharded engine.
+struct ShardedQueryResult {
+  /// Exact distance for the serving snapshot's weights.
+  Weight distance = kInfDistance;
+  /// Global epoch of the serving snapshot.
+  uint64_t epoch = 0;
+  /// Submit-to-completion latency (queue wait included).
+  double latency_micros = 0;
+  /// The snapshot the query was served from; lets callers audit the
+  /// answer against that epoch's exact weights.
+  std::shared_ptr<const ShardedSnapshot> snapshot;
+};
+
+/// Construction options for the sharded engine.
+struct ShardedEngineOptions {
+  /// Index family built per shard (index/distance_index.h).
+  BackendKind backend = BackendKind::kStl;
+  /// Requested cell count; the layout may produce more (extra connected
+  /// components) or fewer (graph too small to cut). 1 = a single shard
+  /// with an empty overlay.
+  uint32_t target_shards = 4;
+  /// Reader threads.
+  int num_query_threads = 4;
+  /// Updates taken from the pending queue per global epoch.
+  size_t max_batch_size = 128;
+  /// Per-shard-batch STL maintenance choice (non-STL backends ignore).
+  StrategyMode strategy = StrategyMode::kAuto;
+  /// kAuto: shard batches with at least this many effective updates use
+  /// Label Search.
+  size_t auto_label_search_threshold = 16;
+};
+
+/// Concurrent sharded serving engine. Thread-safe: Submit/SubmitBatch/
+/// EnqueueUpdate/Flush/Stats may be called from any thread. Mirrors
+/// QueryEngine's API; the difference is inside the writer (per-shard
+/// repair + overlay rebuild) and the read path (shard routing).
+class ShardedEngine {
+ public:
+  /// Takes ownership of the graph, partitions it, builds one backend
+  /// index per cell plus the boundary overlay, starts the workers, and
+  /// publishes epoch 0.
+  ShardedEngine(Graph graph, const HierarchyOptions& hierarchy_options,
+                const ShardedEngineOptions& options = {});
+
+  /// Drains: answers every submitted query and applies every enqueued
+  /// update before returning.
+  ~ShardedEngine();
+
+  ShardedEngine(const ShardedEngine&) = delete;  ///< Not copyable.
+  /// Not copyable.
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  /// Schedules one distance query; the future resolves when a reader
+  /// thread has answered it.
+  std::future<ShardedQueryResult> Submit(QueryPair query);
+
+  /// Schedules many queries (one future each).
+  std::vector<std::future<ShardedQueryResult>> SubmitBatch(
+      const std::vector<QueryPair>& queries);
+
+  /// Records a desired new weight for an edge of the FULL graph (global
+  /// edge ids; the writer routes it to the owning shard or the
+  /// overlay). The old weight is re-resolved at apply time.
+  void EnqueueUpdate(const WeightUpdate& update);
+  /// Convenience overload of EnqueueUpdate(const WeightUpdate&).
+  void EnqueueUpdate(EdgeId edge, Weight new_weight);
+
+  /// Enqueues many updates atomically (one lock, one writer wakeup).
+  void EnqueueUpdates(const std::vector<WeightUpdate>& updates);
+
+  /// Blocks until every update enqueued before the call has been
+  /// applied and, if effective, published.
+  void Flush();
+
+  /// The latest published snapshot (never null after construction).
+  std::shared_ptr<const ShardedSnapshot> CurrentSnapshot() const {
+    return current_.load();
+  }
+
+  /// Global epoch of the latest snapshot.
+  uint64_t CurrentEpoch() const { return CurrentSnapshot()->epoch; }
+
+  /// The backend family each shard runs.
+  BackendKind backend() const { return options_.backend; }
+  /// Capabilities of the shard backends (identical across shards).
+  const BackendCapabilities& capabilities() const { return capabilities_; }
+  /// Number of cells actually produced by the partition.
+  uint32_t num_shards() const { return layout_->num_shards(); }
+  /// The immutable shard layout (cell assignment, edge ownership,
+  /// boundary bookkeeping).
+  const ShardLayout& layout() const { return *layout_; }
+
+  /// Point-in-time counters; `shards` carries the per-shard rows.
+  EngineStats Stats() const;
+
+  /// Zeroes counters (except the epoch allocators) and the latency
+  /// histogram and restarts the wall clock (for bench warmup). Call
+  /// only while no queries are in flight.
+  void ResetStats();
+
+  /// Reader thread count.
+  int num_query_threads() const { return pool_.num_threads(); }
+
+ private:
+  /// Writer-owned mutable state of one shard.
+  struct ShardState {
+    std::unique_ptr<Graph> graph;          // shard master subgraph
+    std::unique_ptr<DistanceIndex> index;  // shard master index
+    uint64_t shard_epoch = 0;
+  };
+
+  void WriterLoop();
+  /// Applies one coalesced batch (already partitioned by the caller into
+  /// per-shard / overlay updates), republishes dirty shards + overlay,
+  /// and swaps in the next snapshot. Writer thread only.
+  void ApplyAndPublish(const UpdateBatch& batch);
+  /// Builds and publishes the epoch-0 snapshot (constructor only).
+  void PublishInitialSnapshot();
+
+  const ShardedEngineOptions options_;
+
+  // Master state, owned by the writer after construction.
+  std::unique_ptr<Graph> graph_;  // full network (weights kept current)
+  std::shared_ptr<const ShardLayout> layout_;
+  std::vector<ShardState> states_;
+  std::unique_ptr<BoundaryOverlay> overlay_;
+  // Writer-side copy of the serving vector (next snapshot = this vector
+  // with dirty entries replaced).
+  std::vector<std::shared_ptr<const ShardServing>> serving_;
+  BackendCapabilities capabilities_;
+
+  AtomicSharedPtr<const ShardedSnapshot> current_;
+
+  // Pending-update queue (writer input; shared protocol with the flat
+  // engine — engine/update_queue.h).
+  UpdateQueue updates_;
+
+  std::thread writer_;
+
+  // Last-harvested cumulative CoW counters of the master FULL graph
+  // only (shard subgraphs are never snapshotted, so their writes don't
+  // clone; shard-side label copy cost arrives via PublishInfo). Only
+  // the publishing thread touches these.
+  uint64_t harvested_graph_chunks_ = 0;
+  uint64_t harvested_graph_bytes_ = 0;
+
+  // Serving-side stats (relaxed atomics: monitoring, not coordination).
+  std::atomic<uint64_t> queries_served_{0};
+  std::atomic<uint64_t> updates_applied_{0};
+  std::atomic<uint64_t> updates_coalesced_{0};
+  std::atomic<uint64_t> epochs_published_{0};
+  BatchExecutionCounters batch_counters_;
+  std::atomic<uint64_t> label_pages_cloned_{0};
+  std::atomic<uint64_t> graph_chunks_cloned_{0};
+  std::atomic<uint64_t> cow_bytes_cloned_{0};
+  std::atomic<uint64_t> publish_bytes_deep_copied_{0};
+  std::atomic<uint64_t> publish_nanos_{0};
+  std::atomic<uint64_t> overlay_nanos_{0};
+  std::atomic<uint64_t> overlay_republishes_{0};
+  std::unique_ptr<std::atomic<uint64_t>[]> shard_updates_;
+  LatencyHistogram latency_;
+  Timer wall_;
+
+  ThreadPool pool_;  // last member: workers die before state they touch
+};
+
+}  // namespace stl
+
+#endif  // STL_ENGINE_SHARDED_ENGINE_H_

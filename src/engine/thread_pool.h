@@ -29,8 +29,8 @@ class ThreadPool {
   /// Drains and joins (equivalent to Shutdown()).
   ~ThreadPool();
 
-  ThreadPool(const ThreadPool&) = delete;
-  ThreadPool& operator=(const ThreadPool&) = delete;
+  ThreadPool(const ThreadPool&) = delete;             ///< Not copyable.
+  ThreadPool& operator=(const ThreadPool&) = delete;  ///< Not copyable.
 
   /// Schedules `task`. Returns false (and drops the task) iff Shutdown()
   /// was already called.
@@ -40,6 +40,7 @@ class ThreadPool {
   /// workers. Idempotent; safe to call from at most one thread at a time.
   void Shutdown();
 
+  /// Worker thread count.
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
   /// Tasks fully executed so far (monotone; exact after Shutdown()).

@@ -1,0 +1,95 @@
+#include "engine/update_queue.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace stl {
+
+void UpdateQueue::Enqueue(EdgeId edge, Weight new_weight) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.push_back(PendingUpdate{edge, new_weight});
+    ++enqueue_seq_;
+  }
+  work_cv_.notify_one();
+}
+
+void UpdateQueue::EnqueueMany(const std::vector<WeightUpdate>& updates) {
+  if (updates.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const WeightUpdate& u : updates) {
+      pending_.push_back(PendingUpdate{u.edge, u.new_weight});
+    }
+    enqueue_seq_ += updates.size();
+  }
+  work_cv_.notify_one();
+}
+
+void UpdateQueue::Flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const uint64_t target = enqueue_seq_;
+  flush_cv_.wait(lock, [this, target] { return applied_seq_ >= target; });
+}
+
+uint64_t UpdateQueue::enqueued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return enqueue_seq_;
+}
+
+void UpdateQueue::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+}
+
+void UpdateQueue::RunWriter(
+    size_t max_batch, const std::function<Weight(EdgeId)>& resolve_old,
+    const std::function<void(const UpdateBatch&)>& apply,
+    std::atomic<uint64_t>* coalesced_total) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [this] { return !pending_.empty() || stop_; });
+    if (pending_.empty()) return;  // stop requested and fully drained
+    const size_t take = std::min(max_batch, pending_.size());
+    std::vector<PendingUpdate> taken(pending_.begin(),
+                                     pending_.begin() + take);
+    pending_.erase(pending_.begin(), pending_.begin() + take);
+    lock.unlock();
+
+    // Coalesce to one update per edge (ApplyBatch requires distinct
+    // edges): later enqueues win, matching apply-one-at-a-time order.
+    // The old weight comes from resolve_old — the caller's master
+    // state, the only authority on current weights.
+    UpdateBatch batch;
+    batch.reserve(taken.size());
+    std::unordered_map<EdgeId, size_t> slot_of_edge;
+    uint64_t coalesced = 0;
+    for (const PendingUpdate& p : taken) {
+      auto [it, inserted] = slot_of_edge.try_emplace(p.edge, batch.size());
+      if (!inserted) {
+        batch[it->second].new_weight = p.new_weight;
+        ++coalesced;
+        continue;
+      }
+      batch.push_back(
+          WeightUpdate{p.edge, resolve_old(p.edge), p.new_weight});
+    }
+    std::erase_if(batch, [&coalesced](const WeightUpdate& u) {
+      const bool noop = u.old_weight == u.new_weight;
+      coalesced += noop;
+      return noop;
+    });
+
+    if (!batch.empty()) apply(batch);
+    coalesced_total->fetch_add(coalesced, std::memory_order_relaxed);
+
+    lock.lock();
+    applied_seq_ += take;
+    flush_cv_.notify_all();
+  }
+}
+
+}  // namespace stl

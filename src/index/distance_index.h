@@ -33,14 +33,16 @@
 #include "graph/graph.h"
 #include "graph/updates.h"
 
+/// Stable Tree Labelling: the dynamic shortest-path index, its
+/// baselines, and the concurrent serving engines built on top.
 namespace stl {
 
 /// The four serveable index families.
 enum class BackendKind {
-  kStl,   // Stable Tree Labelling (the paper's index; dynamic, CoW)
-  kCh,    // Contraction Hierarchy (CH-W + DCH maintenance)
-  kH2h,   // H2H tree-decomposition labels (IncH2H maintenance)
-  kHc2l,  // Hierarchical Cut 2-hop Labelling (static; rebuild on update)
+  kStl,   ///< Stable Tree Labelling (the paper's index; dynamic, CoW).
+  kCh,    ///< Contraction Hierarchy (CH-W + DCH maintenance).
+  kH2h,   ///< H2H tree-decomposition labels (IncH2H maintenance).
+  kHc2l,  ///< Hierarchical Cut 2-hop Labelling (static; rebuilds).
 };
 
 /// Short lowercase name, for logs / JSON / CLI flags.
@@ -68,7 +70,7 @@ struct BackendCapabilities {
 /// number of concurrent readers; never mutated after publication.
 class IndexView {
  public:
-  virtual ~IndexView() = default;
+  virtual ~IndexView() = default;  ///< Views are owned via shared_ptr.
 
   /// Exact distance under this epoch's weights; kInfDistance if
   /// unreachable.
@@ -91,26 +93,30 @@ class IndexView {
   virtual uint64_t AddResidentBytes(
       std::unordered_set<const void*>* seen) const = 0;
 
-  // Backend-specific introspection for tests and benches; null on every
-  // other backend.
+  /// STL-backend label introspection for tests and benches; null on
+  /// every other backend.
   virtual const Labelling* StlLabels() const { return nullptr; }
+  /// STL-backend hierarchy introspection; null on other backends.
   virtual const TreeHierarchy* StlHierarchy() const { return nullptr; }
 };
 
 /// How a backend executed one update batch (engine batch counters).
 enum class BatchExecution {
-  kParetoSearch,  // STL-P incremental repair
-  kLabelSearch,   // STL-L incremental repair
-  kIncremental,   // backend-specific incremental repair (DCH / IncH2H)
-  kFullRebuild,   // static backend: index rebuilt from the new weights
+  kParetoSearch,  ///< STL-P incremental repair.
+  kLabelSearch,   ///< STL-L incremental repair.
+  kIncremental,   ///< Backend-specific incremental repair (DCH / IncH2H).
+  kFullRebuild,   ///< Static backend: index rebuilt from the new weights.
 };
 
 /// Physical copy work done to isolate the published epoch (fills the
 /// engine's CoW / deep-copy economics counters).
 struct PublishInfo {
-  uint64_t label_pages_cloned = 0;  // CoW pages detached since last publish
-  uint64_t label_bytes_cloned = 0;  // bytes of those pages
-  uint64_t deep_bytes_copied = 0;   // bytes deep-copied by this publish
+  /// CoW label pages detached since the last publish.
+  uint64_t label_pages_cloned = 0;
+  /// Bytes of those detached pages.
+  uint64_t label_bytes_cloned = 0;
+  /// Bytes deep-copied by this publish.
+  uint64_t deep_bytes_copied = 0;
 };
 
 /// A master index the engine's writer thread drives. Implementations
@@ -121,9 +127,11 @@ struct PublishInfo {
 /// IndexViews are what readers touch.
 class DistanceIndex {
  public:
-  virtual ~DistanceIndex() = default;
+  virtual ~DistanceIndex() = default;  ///< Owned by the engine's writer.
 
+  /// Which index family this master is.
   virtual BackendKind kind() const = 0;
+  /// What this backend supports (the engine adapts to it).
   virtual BackendCapabilities capabilities() const = 0;
 
   /// Applies a batch of weight updates on distinct edges. `strategy` is

@@ -1,0 +1,269 @@
+#include "index/overlay.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/min_heap.h"
+
+namespace stl {
+
+uint64_t ShardLayout::MemoryBytes() const {
+  uint64_t bytes = shard_of_vertex.capacity() * sizeof(uint32_t) +
+                   local_of_vertex.capacity() * sizeof(Vertex) +
+                   shard_of_edge.capacity() * sizeof(uint32_t) +
+                   local_of_edge.capacity() * sizeof(uint32_t) +
+                   boundary_pos_of_vertex.capacity() * sizeof(uint32_t) +
+                   direct_edges.capacity() * sizeof(DirectEdge);
+  for (const Shard& s : shards) {
+    bytes += s.to_global.capacity() * sizeof(Vertex) +
+             s.edge_to_global.capacity() * sizeof(EdgeId) +
+             s.boundary_local.capacity() * sizeof(Vertex) +
+             s.boundary_pos.capacity() * sizeof(uint32_t);
+  }
+  for (const auto& m : memberships) {
+    bytes += m.capacity() * sizeof(std::pair<uint32_t, uint32_t>);
+  }
+  return bytes;
+}
+
+ShardPlan BuildShardPlan(const Graph& g, const CellPartition& cells) {
+  STL_CHECK_EQ(cells.cell_of.size(), g.NumVertices());
+  ShardPlan plan;
+  ShardLayout& layout = plan.layout;
+  layout.partition = cells;
+  const uint32_t n = g.NumVertices();
+  const uint32_t m = g.NumEdges();
+  const uint32_t k = cells.num_cells;
+
+  layout.shard_of_vertex = cells.cell_of;
+  layout.local_of_vertex.assign(n, UINT32_MAX);
+  layout.boundary_pos_of_vertex.assign(n, UINT32_MAX);
+  for (uint32_t p = 0; p < cells.boundary.size(); ++p) {
+    layout.boundary_pos_of_vertex[cells.boundary[p]] = p;
+  }
+
+  layout.shards.resize(k);
+  std::vector<std::vector<Edge>> shard_edges(k);
+  for (uint32_t c = 0; c < k; ++c) {
+    ShardLayout::Shard& shard = layout.shards[c];
+    shard.num_cell_vertices = static_cast<uint32_t>(cells.cells[c].size());
+    shard.to_global = cells.cells[c];
+    shard.to_global.insert(shard.to_global.end(),
+                           cells.cell_boundary[c].begin(),
+                           cells.cell_boundary[c].end());
+    for (uint32_t local = 0; local < shard.to_global.size(); ++local) {
+      const Vertex v = shard.to_global[local];
+      if (cells.cell_of[v] != CellPartition::kBoundaryCell) {
+        layout.local_of_vertex[v] = local;
+      }
+    }
+    shard.boundary_local.reserve(cells.cell_boundary[c].size());
+    shard.boundary_pos.reserve(cells.cell_boundary[c].size());
+    for (uint32_t i = 0; i < cells.cell_boundary[c].size(); ++i) {
+      shard.boundary_local.push_back(shard.num_cell_vertices + i);
+      shard.boundary_pos.push_back(
+          layout.boundary_pos_of_vertex[cells.cell_boundary[c][i]]);
+    }
+  }
+
+  // Boundary vertices appear in several shards; resolve their per-shard
+  // local id through a scratch map rebuilt per shard below. (Cell
+  // vertices use layout.local_of_vertex directly.)
+  std::vector<Vertex> local_in_shard(n, UINT32_MAX);
+
+  layout.shard_of_edge.assign(m, ShardLayout::kOverlayShard);
+  layout.local_of_edge.assign(m, UINT32_MAX);
+  for (EdgeId e = 0; e < m; ++e) {
+    const Edge& edge = g.GetEdge(e);
+    const uint32_t cu = cells.cell_of[edge.u];
+    const uint32_t cv = cells.cell_of[edge.v];
+    if (cu == CellPartition::kBoundaryCell &&
+        cv == CellPartition::kBoundaryCell) {
+      // Overlay-owned: both endpoints on the boundary.
+      layout.local_of_edge[e] =
+          static_cast<uint32_t>(layout.direct_edges.size());
+      layout.direct_edges.push_back(ShardLayout::DirectEdge{
+          layout.boundary_pos_of_vertex[edge.u],
+          layout.boundary_pos_of_vertex[edge.v], e});
+      continue;
+    }
+    STL_CHECK(cu == cv || cu == CellPartition::kBoundaryCell ||
+              cv == CellPartition::kBoundaryCell)
+        << "cell partition is not a separator: edge " << edge.u << "-"
+        << edge.v;
+    const uint32_t owner = cu != CellPartition::kBoundaryCell ? cu : cv;
+    layout.shard_of_edge[e] = owner;
+    layout.local_of_edge[e] =
+        static_cast<uint32_t>(shard_edges[owner].size());
+    shard_edges[owner].push_back(edge);  // endpoints remapped below
+    layout.shards[owner].edge_to_global.push_back(e);
+  }
+
+  // Build each shard's subgraph with locally renumbered endpoints.
+  plan.shard_graphs.reserve(k);
+  for (uint32_t c = 0; c < k; ++c) {
+    ShardLayout::Shard& shard = layout.shards[c];
+    for (uint32_t local = 0; local < shard.to_global.size(); ++local) {
+      local_in_shard[shard.to_global[local]] = local;
+    }
+    std::vector<Edge> local_edges;
+    local_edges.reserve(shard_edges[c].size());
+    for (const Edge& edge : shard_edges[c]) {
+      local_edges.push_back(Edge{local_in_shard[edge.u],
+                                 local_in_shard[edge.v], edge.w});
+    }
+    Result<Graph> sub = Graph::FromEdges(
+        static_cast<uint32_t>(shard.to_global.size()),
+        std::move(local_edges));
+    STL_CHECK(sub.ok()) << "shard " << c
+                        << " subgraph: " << sub.status().ToString();
+    plan.shard_graphs.push_back(std::move(sub).value());
+    for (Vertex v : shard.to_global) local_in_shard[v] = UINT32_MAX;
+  }
+  // FromEdges keeps the edge order it was given, so local edge ids
+  // assigned above line up with edge_to_global.
+  for (uint32_t c = 0; c < k; ++c) {
+    STL_CHECK_EQ(layout.shards[c].edge_to_global.size(),
+                 plan.shard_graphs[c].NumEdges());
+  }
+
+  layout.memberships.assign(cells.boundary.size(), {});
+  for (uint32_t c = 0; c < k; ++c) {
+    const ShardLayout::Shard& shard = layout.shards[c];
+    for (uint32_t i = 0; i < shard.boundary_pos.size(); ++i) {
+      layout.memberships[shard.boundary_pos[i]].emplace_back(c, i);
+    }
+  }
+  return plan;
+}
+
+// -------------------------------------------------------- OverlayTable
+
+uint64_t OverlayTable::MemoryBytes() const {
+  uint64_t bytes = d_.capacity() * sizeof(Weight);
+  for (const PackedBlock& blk : packed_) {
+    bytes += blk.values.capacity() * sizeof(Weight);
+  }
+  return bytes;
+}
+
+// ----------------------------------------------------- BoundaryOverlay
+
+BoundaryOverlay::BoundaryOverlay(const ShardLayout* layout, const Graph& g)
+    : layout_(layout) {
+  STL_CHECK(layout != nullptr);
+  direct_weight_.reserve(layout->direct_edges.size());
+  for (const ShardLayout::DirectEdge& de : layout->direct_edges) {
+    direct_weight_.push_back(g.EdgeWeight(de.global_edge));
+  }
+  clique_.resize(layout->num_shards());
+}
+
+void BoundaryOverlay::SetDirectWeight(uint32_t direct_slot, Weight w) {
+  STL_CHECK_LT(direct_slot, direct_weight_.size());
+  direct_weight_[direct_slot] = w;
+}
+
+void BoundaryOverlay::RebuildClique(uint32_t s, const IndexView& view) {
+  STL_CHECK_LT(s, clique_.size());
+  const ShardLayout::Shard& shard = layout_->shards[s];
+  const uint32_t w = static_cast<uint32_t>(shard.boundary_local.size());
+  clique_[s].assign(static_cast<size_t>(w) * w, 0);
+  for (uint32_t i = 0; i < w; ++i) {
+    for (uint32_t j = i + 1; j < w; ++j) {
+      const Weight d =
+          view.Query(shard.boundary_local[i], shard.boundary_local[j]);
+      clique_[s][static_cast<size_t>(i) * w + j] = d;
+      clique_[s][static_cast<size_t>(j) * w + i] = d;
+    }
+  }
+}
+
+std::shared_ptr<const OverlayTable> BoundaryOverlay::Publish() const {
+  auto table = std::make_shared<OverlayTable>();
+  const uint32_t n = layout_->num_boundary();
+  table->n_ = n;
+  table->d_.assign(static_cast<size_t>(n) * n, kInfDistance);
+  if (n > 0) {
+    // Direct adjacency, deduplicated to the minimum parallel weight
+    // (the graph has no parallel edges, but positions don't care).
+    std::vector<std::vector<std::pair<uint32_t, Weight>>> direct(n);
+    for (uint32_t i = 0; i < layout_->direct_edges.size(); ++i) {
+      const ShardLayout::DirectEdge& de = layout_->direct_edges[i];
+      direct[de.a_pos].emplace_back(de.b_pos, direct_weight_[i]);
+      direct[de.b_pos].emplace_back(de.a_pos, direct_weight_[i]);
+    }
+
+    // One Dijkstra per boundary vertex over the overlay graph: direct
+    // S–S edges plus, for every shard listing the settled vertex in
+    // S_i, that shard's clique row.
+    std::vector<Weight> dist(n);
+    std::vector<uint32_t> stamp(n, 0);
+    uint32_t epoch = 0;
+    MinHeap<Weight, uint32_t> heap;
+    for (uint32_t src = 0; src < n; ++src) {
+      ++epoch;
+      heap.clear();
+      Weight* row = table->d_.data() + static_cast<size_t>(src) * n;
+      auto relax = [&](uint32_t v, Weight d) {
+        if (stamp[v] != epoch || d < dist[v]) {
+          stamp[v] = epoch;
+          dist[v] = d;
+          heap.Push(d, v);
+        }
+      };
+      relax(src, 0);
+      while (!heap.empty()) {
+        const auto top = heap.Pop();
+        const uint32_t u = top.payload;
+        if (top.key != dist[u] || stamp[u] != epoch) continue;
+        row[u] = top.key;
+        for (const auto& [v, w] : direct[u]) {
+          if (stamp[v] == epoch && dist[v] <= top.key + w) continue;
+          relax(v, top.key + w);
+        }
+        for (const auto& [s, idx] : layout_->memberships[u]) {
+          const ShardLayout::Shard& shard = layout_->shards[s];
+          const uint32_t width =
+              static_cast<uint32_t>(shard.boundary_pos.size());
+          STL_DCHECK(clique_[s].size() ==
+                     static_cast<size_t>(width) * width);
+          const Weight* crow =
+              clique_[s].data() + static_cast<size_t>(idx) * width;
+          for (uint32_t j = 0; j < width; ++j) {
+            if (crow[j] >= kInfDistance) continue;
+            const Weight cand = top.key + crow[j];
+            const uint32_t v = shard.boundary_pos[j];
+            if (stamp[v] == epoch && dist[v] <= cand) continue;
+            relax(v, cand);
+          }
+        }
+      }
+    }
+  }
+
+  // Packed per-shard column blocks for the router's contiguous min-plus.
+  table->packed_.resize(layout_->num_shards());
+  for (uint32_t s = 0; s < layout_->num_shards(); ++s) {
+    const ShardLayout::Shard& shard = layout_->shards[s];
+    OverlayTable::PackedBlock& blk = table->packed_[s];
+    blk.width = static_cast<uint32_t>(shard.boundary_pos.size());
+    blk.values.resize(static_cast<size_t>(n) * blk.width);
+    for (uint32_t a = 0; a < n; ++a) {
+      const Weight* row = table->d_.data() + static_cast<size_t>(a) * n;
+      Weight* out = blk.values.data() + static_cast<size_t>(a) * blk.width;
+      for (uint32_t j = 0; j < blk.width; ++j) {
+        out[j] = row[shard.boundary_pos[j]];
+      }
+    }
+  }
+  return table;
+}
+
+uint64_t BoundaryOverlay::MemoryBytes() const {
+  uint64_t bytes = direct_weight_.capacity() * sizeof(Weight);
+  for (const auto& c : clique_) bytes += c.capacity() * sizeof(Weight);
+  return bytes;
+}
+
+}  // namespace stl

@@ -1,0 +1,217 @@
+// Sharding layer: how one road network becomes k independently-served
+// index shards plus a boundary overlay.
+//
+// Built on a CellPartition (partition/cells.h) whose separator set S
+// isolates the cells from each other:
+//
+//   shard i     — the subgraph on C_i ∪ S_i (cell vertices plus the
+//                 boundary vertices adjacent to the cell), holding every
+//                 edge with at least one endpoint in C_i. One
+//                 DistanceIndex (any backend) serves it.
+//   overlay     — owns the remaining edges (both endpoints in S) and,
+//                 per cell, a clique of shard-local boundary-to-boundary
+//                 distances. Running Dijkstra over that small graph
+//                 yields D[b1][b2]: the EXACT full-graph distance
+//                 between every pair of boundary vertices.
+//
+// Why this is exact: S is a vertex separator, so any path decomposes
+// into maximal segments whose interiors each lie inside one cell. Each
+// segment is either an S–S edge (a direct overlay edge) or a
+// through-one-cell walk (bounded below by that shard's clique entry),
+// so shortest paths in the overlay graph equal shortest paths in G
+// restricted to boundary endpoints. Query routing then sums
+// shard-local distances with overlay rows (engine/sharded_engine.h).
+//
+// Update locality: a weight change inside cell i touches shard i's
+// index and the overlay only — every other shard's published epoch
+// stays byte-identical and is re-shared by pointer.
+#ifndef STL_INDEX_OVERLAY_H_
+#define STL_INDEX_OVERLAY_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "index/distance_index.h"
+#include "partition/cells.h"
+
+namespace stl {
+
+/// Immutable mapping between the full graph and its shards: vertex and
+/// edge ownership, local renumberings, and the boundary bookkeeping the
+/// overlay and the query router share. Built once per engine; every
+/// published snapshot holds it by shared_ptr.
+struct ShardLayout {
+  /// `shard_of_edge` value for edges owned by the overlay (both
+  /// endpoints in S).
+  static constexpr uint32_t kOverlayShard = UINT32_MAX;
+
+  /// Static (weight-independent) description of one shard.
+  struct Shard {
+    /// Local vertex id -> global vertex id. Cell vertices come first
+    /// (locals [0, num_cell_vertices)), then S_i in ascending global
+    /// order.
+    std::vector<Vertex> to_global;
+    /// Number of cell-owned vertices (locals below this are C_i).
+    uint32_t num_cell_vertices = 0;
+    /// Local edge id -> global edge id.
+    std::vector<EdgeId> edge_to_global;
+    /// Local vertex ids of S_i, aligned with
+    /// CellPartition::cell_boundary[i].
+    std::vector<Vertex> boundary_local;
+    /// Positions of S_i in the global boundary order (indexes into
+    /// OverlayTable rows), aligned with `boundary_local`.
+    std::vector<uint32_t> boundary_pos;
+  };
+
+  /// One direct overlay edge: a graph edge with both endpoints in S.
+  struct DirectEdge {
+    uint32_t a_pos = 0;       ///< Position of one endpoint in `boundary`.
+    uint32_t b_pos = 0;       ///< Position of the other endpoint.
+    EdgeId global_edge = 0;   ///< The owning graph edge.
+  };
+
+  /// The cell partition this layout was derived from.
+  CellPartition partition;
+  /// Per-shard static description, indexed by cell id.
+  std::vector<Shard> shards;
+  /// Global vertex -> owning shard (CellPartition::kBoundaryCell for
+  /// boundary vertices).
+  std::vector<uint32_t> shard_of_vertex;
+  /// Global vertex -> local id within its owning shard (meaningless for
+  /// boundary vertices).
+  std::vector<Vertex> local_of_vertex;
+  /// Global edge -> owning shard, or kOverlayShard for S–S edges.
+  std::vector<uint32_t> shard_of_edge;
+  /// Global edge -> local edge id in its shard, or index into
+  /// `direct_edges` when overlay-owned.
+  std::vector<uint32_t> local_of_edge;
+  /// Global vertex -> position in CellPartition::boundary (UINT32_MAX
+  /// for non-boundary vertices).
+  std::vector<uint32_t> boundary_pos_of_vertex;
+  /// The overlay's own edge set (S–S graph edges).
+  std::vector<DirectEdge> direct_edges;
+  /// Per boundary position: the shards listing that vertex in S_i, as
+  /// (shard, index into that shard's boundary_local/boundary_pos).
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> memberships;
+
+  /// Number of shards.
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(shards.size());
+  }
+  /// Number of boundary vertices (the overlay's vertex count).
+  uint32_t num_boundary() const {
+    return static_cast<uint32_t>(partition.boundary.size());
+  }
+  /// Resident bytes of the layout tables.
+  uint64_t MemoryBytes() const;
+};
+
+/// A freshly computed layout plus the per-shard subgraphs seeded with
+/// the master graph's current weights. The engine takes ownership of
+/// the graphs (they become each shard's mutable master) and freezes the
+/// layout behind a shared_ptr.
+struct ShardPlan {
+  /// The immutable mapping tables.
+  ShardLayout layout;
+  /// Per-shard subgraph, aligned with layout.shards. Local vertex v of
+  /// shard i is layout.shards[i].to_global[v].
+  std::vector<Graph> shard_graphs;
+};
+
+/// Computes the shard layout and subgraphs of `g` under `cells`.
+/// Dies if `cells` does not describe `g` (sizes, separator property).
+ShardPlan BuildShardPlan(const Graph& g, const CellPartition& cells);
+
+/// One immutable published epoch of the boundary overlay: the exact
+/// full-graph distance between every pair of boundary vertices, plus
+/// per-shard packed copies of the rows so the router's inner min-plus
+/// loop reads contiguous memory (util/simd.h kernels).
+class OverlayTable {
+ public:
+  /// An empty table (no boundary vertices; k == 1 layouts).
+  OverlayTable() = default;
+
+  /// Number of boundary vertices.
+  uint32_t num_boundary() const { return n_; }
+
+  /// Exact distance between boundary positions a and b (kInfDistance
+  /// when unreachable).
+  Weight At(uint32_t a, uint32_t b) const {
+    STL_DCHECK(a < n_ && b < n_);
+    return d_[static_cast<size_t>(a) * n_ + b];
+  }
+
+  /// Row a of the full table (n entries).
+  const Weight* Row(uint32_t a) const {
+    STL_DCHECK(a < n_);
+    return d_.data() + static_cast<size_t>(a) * n_;
+  }
+
+  /// Row a restricted to shard `s`'s boundary set, packed contiguously
+  /// in the order of ShardLayout::Shard::boundary_pos (|S_s| entries).
+  const Weight* PackedRow(uint32_t s, uint32_t a) const {
+    STL_DCHECK(s < packed_.size());
+    STL_DCHECK(a < n_);
+    const PackedBlock& blk = packed_[s];
+    return blk.values.data() + static_cast<size_t>(a) * blk.width;
+  }
+
+  /// Resident bytes of the table and its packed copies.
+  uint64_t MemoryBytes() const;
+
+ private:
+  friend class BoundaryOverlay;
+
+  /// Per-shard packed column block: n rows of |S_i| entries.
+  struct PackedBlock {
+    uint32_t width = 0;
+    std::vector<Weight> values;
+  };
+
+  uint32_t n_ = 0;
+  std::vector<Weight> d_;            // n x n, row-major
+  std::vector<PackedBlock> packed_;  // one block per shard
+};
+
+/// The writer-owned overlay master. Holds the mutable inputs — direct
+/// S–S edge weights and one distance clique per shard — and publishes
+/// immutable OverlayTables by running an all-pairs Dijkstra over the
+/// small overlay graph. Not thread-safe; the engine's single-writer
+/// discipline applies.
+class BoundaryOverlay {
+ public:
+  /// Binds to `layout` (not owned; must outlive the overlay) and seeds
+  /// the direct edge weights from `g`'s current weights. Cliques start
+  /// empty; call RebuildClique for every shard before the first
+  /// Publish.
+  BoundaryOverlay(const ShardLayout* layout, const Graph& g);
+
+  /// Updates the weight of direct overlay edge `direct_slot` (an index
+  /// into ShardLayout::direct_edges).
+  void SetDirectWeight(uint32_t direct_slot, Weight w);
+
+  /// Recomputes shard `s`'s boundary-to-boundary distance clique by
+  /// querying its freshly published view (|S_s|^2 / 2 queries).
+  void RebuildClique(uint32_t s, const IndexView& view);
+
+  /// Runs the all-pairs overlay Dijkstra over the current direct
+  /// weights and cliques, and returns the resulting immutable table.
+  std::shared_ptr<const OverlayTable> Publish() const;
+
+  /// Resident bytes of the mutable overlay state.
+  uint64_t MemoryBytes() const;
+
+ private:
+  const ShardLayout* layout_;
+  std::vector<Weight> direct_weight_;  // aligned with layout->direct_edges
+  // Per shard: |S_i| x |S_i| row-major distance clique through that
+  // shard only (kInfDistance where disconnected inside the shard).
+  std::vector<std::vector<Weight>> clique_;
+};
+
+}  // namespace stl
+
+#endif  // STL_INDEX_OVERLAY_H_

@@ -1,0 +1,64 @@
+// Cell partition for the sharded serving engine: the same balanced
+// separator machinery that builds the stable tree hierarchy
+// (partition/separator.h), stopped after a few levels instead of
+// recursing to leaves. The separator vertices removed along the way form
+// the *boundary* set S; what remains falls apart into connected *cells*
+// C_1..C_k. Because S is a vertex separator of the whole graph, every
+// path between two different cells passes through S — which is exactly
+// the property the sharded engine's boundary-overlay routing
+// (index/overlay.h) relies on:
+//
+//   d(s, t) = min over b1, b2 in S of  d_cell(s, b1) + D[b1][b2] + d_cell(b2, t)
+//
+// with d_cell confined to one shard and D the exact boundary-to-boundary
+// distance table maintained by the overlay.
+#ifndef STL_PARTITION_CELLS_H_
+#define STL_PARTITION_CELLS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "partition/bisection.h"
+
+namespace stl {
+
+/// A k-way cut of the graph into connected cells plus the boundary
+/// (separator) vertex set that isolates them from each other.
+///
+/// Invariants (asserted by PartitionCells):
+///  * every vertex is in exactly one cell or in `boundary`;
+///  * no edge connects two different cells (S is a vertex separator);
+///  * every cell is connected in the subgraph it induces.
+struct CellPartition {
+  /// `cell_of` value for boundary (separator) vertices.
+  static constexpr uint32_t kBoundaryCell = UINT32_MAX;
+
+  /// Number of cells actually produced. At least the number of connected
+  /// components; may fall short of the requested target when the graph
+  /// is too small to cut further, and may exceed it when removing one
+  /// separator splits a region into more than two components.
+  uint32_t num_cells = 0;
+  /// Per-vertex cell id, or kBoundaryCell for separator vertices.
+  std::vector<uint32_t> cell_of;
+  /// Vertices of each cell, sorted ascending.
+  std::vector<std::vector<Vertex>> cells;
+  /// All separator vertices, sorted ascending.
+  std::vector<Vertex> boundary;
+  /// Per cell i: the boundary vertices adjacent to cell i (written S_i),
+  /// sorted ascending. Shard i's index covers C_i plus S_i.
+  std::vector<std::vector<Vertex>> cell_boundary;
+};
+
+/// Cuts `g` into (about) `target_cells` connected cells by repeatedly
+/// bisecting the largest remaining region with a balanced separator.
+/// Deterministic in (g, target_cells, options.seed). `options` supplies
+/// the separator search parameters (beta, num_starts, seed);
+/// target_cells >= 1. Disconnected inputs start from their connected
+/// components; regions of fewer than 2 vertices are never cut.
+CellPartition PartitionCells(const Graph& g, uint32_t target_cells,
+                             const HierarchyOptions& options);
+
+}  // namespace stl
+
+#endif  // STL_PARTITION_CELLS_H_

@@ -1,0 +1,223 @@
+#include "partition/cells.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "index/overlay.h"
+#include "tests/test_util.h"
+
+namespace stl {
+namespace {
+
+/// Structural invariants every CellPartition must satisfy for its graph:
+/// totality, the separator property, connectivity of each cell, and the
+/// exactness of the per-cell boundary sets.
+void ExpectValidPartition(const Graph& g, const CellPartition& part) {
+  ASSERT_EQ(part.cell_of.size(), g.NumVertices());
+  ASSERT_EQ(part.cells.size(), part.num_cells);
+  ASSERT_EQ(part.cell_boundary.size(), part.num_cells);
+
+  // Totality: every vertex in exactly one cell or on the boundary.
+  std::vector<int> seen(g.NumVertices(), 0);
+  for (uint32_t c = 0; c < part.num_cells; ++c) {
+    for (Vertex v : part.cells[c]) {
+      ++seen[v];
+      EXPECT_EQ(part.cell_of[v], c);
+    }
+    EXPECT_TRUE(std::is_sorted(part.cells[c].begin(), part.cells[c].end()));
+  }
+  for (Vertex b : part.boundary) {
+    ++seen[b];
+    EXPECT_EQ(part.cell_of[b], CellPartition::kBoundaryCell);
+  }
+  for (Vertex v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_EQ(seen[v], 1) << "vertex " << v;
+  }
+  EXPECT_TRUE(std::is_sorted(part.boundary.begin(), part.boundary.end()));
+
+  // Separator property: no edge connects two different cells.
+  for (const Edge& e : g.edges()) {
+    const uint32_t cu = part.cell_of[e.u];
+    const uint32_t cv = part.cell_of[e.v];
+    EXPECT_TRUE(cu == cv || cu == CellPartition::kBoundaryCell ||
+                cv == CellPartition::kBoundaryCell)
+        << "edge " << e.u << "-" << e.v;
+  }
+
+  // Each cell is connected in its induced subgraph.
+  for (uint32_t c = 0; c < part.num_cells; ++c) {
+    const auto& cell = part.cells[c];
+    ASSERT_FALSE(cell.empty());
+    std::set<Vertex> members(cell.begin(), cell.end());
+    std::set<Vertex> visited;
+    std::vector<Vertex> stack = {cell.front()};
+    visited.insert(cell.front());
+    while (!stack.empty()) {
+      Vertex v = stack.back();
+      stack.pop_back();
+      for (const Arc& a : g.ArcsOf(v)) {
+        if (members.count(a.head) && visited.insert(a.head).second) {
+          stack.push_back(a.head);
+        }
+      }
+    }
+    EXPECT_EQ(visited.size(), cell.size()) << "cell " << c;
+  }
+
+  // cell_boundary[i] is exactly the boundary vertices adjacent to cell i.
+  for (uint32_t c = 0; c < part.num_cells; ++c) {
+    std::set<Vertex> want;
+    for (Vertex v : part.cells[c]) {
+      for (const Arc& a : g.ArcsOf(v)) {
+        if (part.cell_of[a.head] == CellPartition::kBoundaryCell) {
+          want.insert(a.head);
+        }
+      }
+    }
+    std::set<Vertex> got(part.cell_boundary[c].begin(),
+                         part.cell_boundary[c].end());
+    EXPECT_EQ(got, want) << "cell " << c;
+  }
+}
+
+TEST(PartitionCellsTest, RoadNetworkHitsRequestedCellCounts) {
+  Graph g = testing_util::SmallRoadNetwork(12, 17);
+  for (uint32_t k : {1u, 2u, 4u, 8u}) {
+    CellPartition part = PartitionCells(g, k, HierarchyOptions{});
+    ExpectValidPartition(g, part);
+    EXPECT_GE(part.num_cells, k) << "k=" << k;
+    if (k == 1) {
+      // Connected graph, one region, no cut requested.
+      EXPECT_EQ(part.num_cells, 1u);
+      EXPECT_TRUE(part.boundary.empty());
+    } else {
+      EXPECT_FALSE(part.boundary.empty());
+      // Road-like graphs have small separators: the boundary must stay a
+      // modest fraction of the graph.
+      EXPECT_LT(part.boundary.size(), g.NumVertices() / 2);
+    }
+  }
+}
+
+TEST(PartitionCellsTest, DeterministicInSeed) {
+  Graph g = testing_util::SmallRoadNetwork(10, 5);
+  CellPartition a = PartitionCells(g, 4, HierarchyOptions{});
+  CellPartition b = PartitionCells(g, 4, HierarchyOptions{});
+  EXPECT_EQ(a.cell_of, b.cell_of);
+  EXPECT_EQ(a.boundary, b.boundary);
+}
+
+TEST(PartitionCellsTest, SingleVertexGraph) {
+  Graph g = testing_util::MakeGraph(1, {});
+  CellPartition part = PartitionCells(g, 4, HierarchyOptions{});
+  ExpectValidPartition(g, part);
+  EXPECT_EQ(part.num_cells, 1u);
+  EXPECT_TRUE(part.boundary.empty());
+}
+
+TEST(PartitionCellsTest, EmptyGraph) {
+  Graph g = testing_util::MakeGraph(0, {});
+  CellPartition part = PartitionCells(g, 2, HierarchyOptions{});
+  EXPECT_EQ(part.num_cells, 0u);
+  EXPECT_TRUE(part.boundary.empty());
+}
+
+TEST(PartitionCellsTest, DisconnectedComponentsBecomeCells) {
+  Graph g = testing_util::TwoComponentGraph();
+  // Even with target 1, disconnected inputs yield one cell per component
+  // (cells must be connected) and no boundary.
+  CellPartition one = PartitionCells(g, 1, HierarchyOptions{});
+  ExpectValidPartition(g, one);
+  EXPECT_EQ(one.num_cells, 2u);
+  EXPECT_TRUE(one.boundary.empty());
+
+  CellPartition four = PartitionCells(g, 4, HierarchyOptions{});
+  ExpectValidPartition(g, four);
+  EXPECT_GE(four.num_cells, 2u);
+}
+
+TEST(PartitionCellsTest, GraphSmallerThanTargetStopsEarly) {
+  // A 2-path can be cut at most into separator {mid} + 2 cells; asking
+  // for 8 cells must terminate and keep the invariants.
+  Graph g = GeneratePath(3, 4);
+  CellPartition part = PartitionCells(g, 8, HierarchyOptions{});
+  ExpectValidPartition(g, part);
+  EXPECT_GE(part.num_cells, 1u);
+  EXPECT_LE(part.num_cells + part.boundary.size(), 3u + 0u);
+}
+
+// ------------------------------------------------------------ ShardPlan
+
+TEST(ShardPlanTest, LayoutMapsAreConsistent) {
+  Graph g = testing_util::SmallRoadNetwork(10, 23);
+  CellPartition cells = PartitionCells(g, 4, HierarchyOptions{});
+  ShardPlan plan = BuildShardPlan(g, cells);
+  const ShardLayout& lay = plan.layout;
+  ASSERT_EQ(lay.num_shards(), cells.num_cells);
+  ASSERT_EQ(plan.shard_graphs.size(), cells.num_cells);
+
+  // Vertex maps: every cell vertex round-trips through its shard.
+  for (uint32_t c = 0; c < lay.num_shards(); ++c) {
+    const auto& shard = lay.shards[c];
+    ASSERT_EQ(shard.to_global.size(),
+              cells.cells[c].size() + cells.cell_boundary[c].size());
+    EXPECT_EQ(plan.shard_graphs[c].NumVertices(), shard.to_global.size());
+    for (uint32_t local = 0; local < shard.num_cell_vertices; ++local) {
+      const Vertex v = shard.to_global[local];
+      EXPECT_EQ(lay.shard_of_vertex[v], c);
+      EXPECT_EQ(lay.local_of_vertex[v], local);
+    }
+    // Boundary locals point at S_c in order.
+    ASSERT_EQ(shard.boundary_local.size(), cells.cell_boundary[c].size());
+    for (uint32_t i = 0; i < shard.boundary_local.size(); ++i) {
+      EXPECT_EQ(shard.to_global[shard.boundary_local[i]],
+                cells.cell_boundary[c][i]);
+      EXPECT_EQ(cells.boundary[shard.boundary_pos[i]],
+                cells.cell_boundary[c][i]);
+    }
+  }
+
+  // Edge ownership: every global edge is owned by exactly one shard (or
+  // the overlay), and the shard copy preserves endpoints and weight.
+  std::vector<int> edge_seen(g.NumEdges(), 0);
+  for (uint32_t c = 0; c < lay.num_shards(); ++c) {
+    const auto& shard = lay.shards[c];
+    for (EdgeId local = 0; local < shard.edge_to_global.size(); ++local) {
+      const EdgeId e = shard.edge_to_global[local];
+      ++edge_seen[e];
+      EXPECT_EQ(lay.shard_of_edge[e], c);
+      EXPECT_EQ(lay.local_of_edge[e], local);
+      const Edge& ge = g.GetEdge(e);
+      const Edge& se = plan.shard_graphs[c].GetEdge(local);
+      EXPECT_EQ(se.w, ge.w);
+      std::set<Vertex> want = {ge.u, ge.v};
+      std::set<Vertex> got = {shard.to_global[se.u], shard.to_global[se.v]};
+      EXPECT_EQ(got, want);
+    }
+  }
+  for (const auto& de : lay.direct_edges) {
+    ++edge_seen[de.global_edge];
+    EXPECT_EQ(lay.shard_of_edge[de.global_edge], ShardLayout::kOverlayShard);
+    const Edge& ge = g.GetEdge(de.global_edge);
+    std::set<uint32_t> want = {lay.boundary_pos_of_vertex[ge.u],
+                               lay.boundary_pos_of_vertex[ge.v]};
+    EXPECT_EQ((std::set<uint32_t>{de.a_pos, de.b_pos}), want);
+  }
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    EXPECT_EQ(edge_seen[e], 1) << "edge " << e;
+  }
+
+  // Memberships invert boundary_pos.
+  ASSERT_EQ(lay.memberships.size(), cells.boundary.size());
+  for (uint32_t p = 0; p < lay.memberships.size(); ++p) {
+    for (const auto& [c, idx] : lay.memberships[p]) {
+      EXPECT_EQ(lay.shards[c].boundary_pos[idx], p);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stl

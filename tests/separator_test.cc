@@ -166,6 +166,42 @@ TEST(BisectionTest, LeafSizeRespected) {
   }
 }
 
+TEST(BisectionTest, SingleVertexGraphIsOneLeaf) {
+  Graph g = testing_util::MakeGraph(1, {});
+  PartitionTree tree = BuildPartitionTree(g, HierarchyOptions{});
+  ASSERT_EQ(tree.nodes.size(), 1u);
+  EXPECT_EQ(tree.nodes[0].vertices, std::vector<Vertex>{0});
+  EXPECT_EQ(tree.nodes[0].left, PartitionTree::kNoChild);
+  EXPECT_EQ(tree.nodes[0].right, PartitionTree::kNoChild);
+}
+
+TEST(BisectionTest, EmptyGraphGivesEmptyTree) {
+  Graph g = testing_util::MakeGraph(0, {});
+  PartitionTree tree = BuildPartitionTree(g, HierarchyOptions{});
+  EXPECT_TRUE(tree.nodes.empty());
+}
+
+TEST(BisectionTest, GraphSmallerThanLeafCutoffIsOneLeaf) {
+  // The whole graph fits under leaf_size: no separator is ever searched
+  // and the tree is a single leaf holding every vertex.
+  Graph g = GeneratePath(3, 5);
+  HierarchyOptions opt;
+  opt.leaf_size = 8;
+  PartitionTree tree = BuildPartitionTree(g, opt);
+  ASSERT_EQ(tree.nodes.size(), 1u);
+  EXPECT_EQ(tree.nodes[0].vertices, (std::vector<Vertex>{0, 1, 2}));
+}
+
+TEST(BisectionTest, TwoVertexGraphAtMinimumLeafSize) {
+  Graph g = testing_util::MakeGraph(2, {{0, 1, 7}});
+  HierarchyOptions opt;
+  opt.leaf_size = 1;
+  PartitionTree tree = BuildPartitionTree(g, opt);
+  size_t total = 0;
+  for (const auto& n : tree.nodes) total += n.vertices.size();
+  EXPECT_EQ(total, 2u);
+}
+
 TEST(BisectionTest, PathGraphGivesLogDepth) {
   Graph g = GeneratePath(256, 2);
   PartitionTree tree = BuildPartitionTree(g, HierarchyOptions{});

@@ -1,0 +1,377 @@
+// The sharded section of the engine test audit: ShardedEngine must keep
+// the exact-per-epoch serving contract of QueryEngine while cutting the
+// network into per-cell shards — readers racing the per-shard writer,
+// every answer Dijkstra-checked on the full-graph weights of the epoch
+// it was served from, and single-cell batches republishing only their
+// own shard.
+#include "engine/sharded_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <set>
+#include <thread>
+
+#include "graph/dijkstra.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace stl {
+namespace {
+
+ShardedEngineOptions SmallShardedOptions(BackendKind backend,
+                                         uint32_t shards) {
+  ShardedEngineOptions opt;
+  opt.backend = backend;
+  opt.target_shards = shards;
+  opt.num_query_threads = 4;
+  opt.max_batch_size = 8;
+  return opt;
+}
+
+class ShardedBackendTest : public ::testing::TestWithParam<BackendKind> {};
+
+TEST_P(ShardedBackendTest, ServesExactAnswersOnInitialEpoch) {
+  Graph g = testing_util::SmallRoadNetwork(8, 51);
+  Graph ref = g;
+  ShardedEngine engine(std::move(g), HierarchyOptions{},
+                       SmallShardedOptions(GetParam(), 4));
+  EXPECT_EQ(engine.backend(), GetParam());
+  EXPECT_GE(engine.num_shards(), 4u);
+  Dijkstra dij(ref);
+  Rng rng(51);
+  for (int i = 0; i < 150; ++i) {
+    Vertex s = static_cast<Vertex>(rng.NextBounded(ref.NumVertices()));
+    Vertex t = static_cast<Vertex>(rng.NextBounded(ref.NumVertices()));
+    ShardedQueryResult r = engine.Submit({s, t}).get();
+    ASSERT_EQ(r.distance, dij.Distance(s, t))
+        << BackendName(GetParam()) << " s=" << s << " t=" << t;
+    EXPECT_EQ(r.epoch, 0u);
+    ASSERT_NE(r.snapshot, nullptr);
+  }
+  // Boundary endpoints exercise the overlay-only and mixed routes.
+  const auto& boundary = engine.layout().partition.boundary;
+  ASSERT_FALSE(boundary.empty());
+  for (size_t i = 0; i < boundary.size(); ++i) {
+    Vertex b = boundary[i];
+    Vertex t = static_cast<Vertex>(rng.NextBounded(ref.NumVertices()));
+    ASSERT_EQ(engine.Submit({b, t}).get().distance, dij.Distance(b, t))
+        << BackendName(GetParam()) << " boundary s=" << b << " t=" << t;
+    Vertex b2 = boundary[rng.NextBounded(boundary.size())];
+    ASSERT_EQ(engine.Submit({b, b2}).get().distance, dij.Distance(b, b2))
+        << BackendName(GetParam()) << " boundary pair " << b << "," << b2;
+  }
+}
+
+TEST_P(ShardedBackendTest, UpdatesPublishEpochsWithExactAnswers) {
+  Graph g = testing_util::SmallRoadNetwork(7, 52);
+  const uint32_t n = g.NumVertices();
+  const uint32_t m = g.NumEdges();
+  ShardedEngine engine(std::move(g), HierarchyOptions{},
+                       SmallShardedOptions(GetParam(), 4));
+  Rng rng(52);
+  for (int round = 0; round < 4; ++round) {
+    std::vector<WeightUpdate> updates;
+    for (int i = 0; i < 3; ++i) {
+      updates.push_back(
+          WeightUpdate{static_cast<EdgeId>(rng.NextBounded(m)), 0,
+                       1 + static_cast<Weight>(rng.NextBounded(400))});
+    }
+    engine.EnqueueUpdates(updates);
+    engine.Flush();
+    auto snap = engine.CurrentSnapshot();
+    Dijkstra dij(snap->graph);
+    for (int i = 0; i < 60; ++i) {
+      Vertex s = static_cast<Vertex>(rng.NextBounded(n));
+      Vertex t = static_cast<Vertex>(rng.NextBounded(n));
+      ASSERT_EQ(snap->Query(s, t), dij.Distance(s, t))
+          << BackendName(GetParam()) << " round=" << round << " s=" << s
+          << " t=" << t;
+    }
+  }
+  EngineStats stats = engine.Stats();
+  EXPECT_GE(stats.epochs_published, 1u);
+  EXPECT_EQ(stats.num_shards, engine.num_shards());
+  EXPECT_EQ(stats.shards.size(), engine.num_shards());
+  EXPECT_GE(stats.overlay_republishes, stats.epochs_published);
+  // Every effective update was routed to exactly one shard or the
+  // overlay; per-shard counters must sum to at most the total.
+  uint64_t shard_sum = 0;
+  for (const ShardStats& row : stats.shards) {
+    shard_sum += row.updates_applied;
+  }
+  EXPECT_LE(shard_sum, stats.updates_applied);
+}
+
+// The headline sharded audit: reader threads racing the writer that
+// repairs and republishes individual shards; every answer must be exact
+// for the full-network weights of the epoch it was served from.
+TEST_P(ShardedBackendTest, ConcurrentReadersMatchDijkstraPerEpoch) {
+  Graph g = testing_util::SmallRoadNetwork(7, 53);
+  const uint32_t n = g.NumVertices();
+  const uint32_t m = g.NumEdges();
+  ShardedEngineOptions opt = SmallShardedOptions(GetParam(), 4);
+  opt.max_batch_size = 4;
+  ShardedEngine engine(std::move(g), HierarchyOptions{}, opt);
+
+  std::atomic<bool> done{false};
+  std::thread updater([&engine, m, &done] {
+    Rng urng(253);
+    for (int i = 0; i < 48; ++i) {
+      EdgeId e = static_cast<EdgeId>(urng.NextBounded(m));
+      engine.EnqueueUpdate(e, 1 + static_cast<Weight>(urng.NextBounded(300)));
+      if (i % 6 == 5) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    done.store(true);
+  });
+
+  Rng qrng(254);
+  std::vector<QueryPair> queries;
+  std::vector<std::future<ShardedQueryResult>> futures;
+  while (!done.load() || futures.size() < 600) {
+    std::vector<QueryPair> wave;
+    for (int i = 0; i < 30; ++i) {
+      wave.emplace_back(static_cast<Vertex>(qrng.NextBounded(n)),
+                        static_cast<Vertex>(qrng.NextBounded(n)));
+    }
+    auto fs = engine.SubmitBatch(wave);
+    queries.insert(queries.end(), wave.begin(), wave.end());
+    for (auto& f : fs) futures.push_back(std::move(f));
+    if (futures.size() >= 3000) break;  // safety valve
+  }
+  updater.join();
+  engine.Flush();
+
+  std::map<uint64_t, std::shared_ptr<const ShardedSnapshot>> snapshots;
+  std::vector<ShardedQueryResult> results;
+  results.reserve(futures.size());
+  for (auto& f : futures) results.push_back(f.get());
+  for (const ShardedQueryResult& r : results) {
+    ASSERT_NE(r.snapshot, nullptr);
+    snapshots.emplace(r.epoch, r.snapshot);
+  }
+  std::map<uint64_t, std::unique_ptr<Dijkstra>> oracle;
+  for (auto& [epoch, snap] : snapshots) {
+    oracle.emplace(epoch, std::make_unique<Dijkstra>(snap->graph));
+  }
+  uint64_t mismatches = 0;
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ShardedQueryResult& r = results[i];
+    Weight want = oracle.at(r.epoch)->Distance(queries[i].first,
+                                               queries[i].second);
+    if (r.distance != want) ++mismatches;
+  }
+  EXPECT_EQ(mismatches, 0u) << BackendName(GetParam());
+
+  // Held snapshots still answer for their own epoch after the writer
+  // has moved on (per-shard immutability).
+  for (auto& [epoch, snap] : snapshots) {
+    Rng rng(static_cast<uint64_t>(epoch) + 7000);
+    for (int i = 0; i < 20; ++i) {
+      Vertex s = static_cast<Vertex>(rng.NextBounded(n));
+      Vertex t = static_cast<Vertex>(rng.NextBounded(n));
+      ASSERT_EQ(snap->Query(s, t), oracle.at(epoch)->Distance(s, t))
+          << BackendName(GetParam()) << " epoch=" << epoch;
+    }
+  }
+
+  EngineStats stats = engine.Stats();
+  EXPECT_EQ(stats.queries_served, results.size());
+  EXPECT_GE(stats.epochs_published, 1u);
+  EXPECT_EQ(stats.updates_enqueued, 48u);
+  EXPECT_EQ(stats.updates_applied + stats.updates_coalesced, 48u);
+  EXPECT_GT(stats.resident_index_bytes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, ShardedBackendTest,
+    ::testing::Values(BackendKind::kStl, BackendKind::kCh,
+                      BackendKind::kH2h, BackendKind::kHc2l),
+    [](const ::testing::TestParamInfo<BackendKind>& info) {
+      return std::string(BackendName(info.param));
+    });
+
+TEST(ShardedEngineTest, ExhaustiveAllPairsMatchFloydWarshall) {
+  Graph g = testing_util::SmallRoadNetwork(5, 54);
+  Graph ref = g;
+  ShardedEngine engine(std::move(g), HierarchyOptions{},
+                       SmallShardedOptions(BackendKind::kStl, 3));
+  auto all = FloydWarshallAllPairs(ref);
+  auto snap = engine.CurrentSnapshot();
+  for (Vertex s = 0; s < ref.NumVertices(); ++s) {
+    for (Vertex t = 0; t < ref.NumVertices(); ++t) {
+      ASSERT_EQ(snap->Query(s, t), all[s][t]) << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+// The update-locality acceptance check: a batch whose edges all live in
+// one cell republishes that shard's epoch and the overlay — every other
+// shard's ShardServing pointer in the next snapshot is the same object.
+TEST(ShardedEngineTest, SingleCellBatchRepublishesOnlyThatShard) {
+  Graph g = testing_util::SmallRoadNetwork(8, 55);
+  ShardedEngine engine(std::move(g), HierarchyOptions{},
+                       SmallShardedOptions(BackendKind::kStl, 4));
+  const ShardLayout& lay = engine.layout();
+  ASSERT_GE(lay.num_shards(), 2u);
+
+  // Pick the shard owning the most edges and a few of its edges.
+  uint32_t target = 0;
+  for (uint32_t c = 1; c < lay.num_shards(); ++c) {
+    if (lay.shards[c].edge_to_global.size() >
+        lay.shards[target].edge_to_global.size()) {
+      target = c;
+    }
+  }
+  ASSERT_GE(lay.shards[target].edge_to_global.size(), 3u);
+
+  auto before = engine.CurrentSnapshot();
+  std::vector<WeightUpdate> updates;
+  Rng rng(55);
+  for (int i = 0; i < 3; ++i) {
+    const EdgeId e = lay.shards[target].edge_to_global[i];
+    updates.push_back(WeightUpdate{
+        e, 0, before->graph.EdgeWeight(e) + 100 +
+                  static_cast<Weight>(rng.NextBounded(100))});
+  }
+  engine.EnqueueUpdates(updates);
+  engine.Flush();
+  auto after = engine.CurrentSnapshot();
+
+  ASSERT_GT(after->epoch, before->epoch);
+  EXPECT_NE(after->overlay.get(), before->overlay.get());
+  for (uint32_t c = 0; c < lay.num_shards(); ++c) {
+    if (c == target) {
+      EXPECT_NE(after->shards[c].get(), before->shards[c].get());
+      EXPECT_EQ(after->shards[c]->shard_epoch,
+                before->shards[c]->shard_epoch + 1);
+    } else {
+      // Pointer-shared: the clean shard was not republished.
+      EXPECT_EQ(after->shards[c].get(), before->shards[c].get())
+          << "shard " << c << " republished by a foreign batch";
+    }
+  }
+
+  // The stats rows agree with the snapshot lineage.
+  EngineStats stats = engine.Stats();
+  ASSERT_EQ(stats.shards.size(), lay.num_shards());
+  EXPECT_EQ(stats.shards[target].updates_applied, 3u);
+  EXPECT_EQ(stats.shards[target].shard_epoch, 1u);
+  for (uint32_t c = 0; c < lay.num_shards(); ++c) {
+    if (c != target) {
+      EXPECT_EQ(stats.shards[c].shard_epoch, 0u);
+      EXPECT_EQ(stats.shards[c].updates_applied, 0u);
+    }
+  }
+
+  // And the answers on the new epoch are still exact.
+  Dijkstra dij(after->graph);
+  const uint32_t n = after->graph.NumVertices();
+  for (int i = 0; i < 80; ++i) {
+    Vertex s = static_cast<Vertex>(rng.NextBounded(n));
+    Vertex t = static_cast<Vertex>(rng.NextBounded(n));
+    ASSERT_EQ(after->Query(s, t), dij.Distance(s, t));
+  }
+}
+
+TEST(ShardedEngineTest, BoundaryEdgeUpdateKeepsEveryShardClean) {
+  // An S–S edge belongs to the overlay: updating it must republish no
+  // shard at all, only the overlay table.
+  Graph g = testing_util::SmallRoadNetwork(8, 56);
+  ShardedEngine engine(std::move(g), HierarchyOptions{},
+                       SmallShardedOptions(BackendKind::kStl, 4));
+  const ShardLayout& lay = engine.layout();
+  if (lay.direct_edges.empty()) {
+    GTEST_SKIP() << "partition produced no S-S edges";
+  }
+  const EdgeId e = lay.direct_edges[0].global_edge;
+  auto before = engine.CurrentSnapshot();
+  engine.EnqueueUpdate(e, before->graph.EdgeWeight(e) + 50);
+  engine.Flush();
+  auto after = engine.CurrentSnapshot();
+  ASSERT_GT(after->epoch, before->epoch);
+  EXPECT_NE(after->overlay.get(), before->overlay.get());
+  for (uint32_t c = 0; c < lay.num_shards(); ++c) {
+    EXPECT_EQ(after->shards[c].get(), before->shards[c].get());
+  }
+  Dijkstra dij(after->graph);
+  Rng rng(56);
+  const uint32_t n = after->graph.NumVertices();
+  for (int i = 0; i < 80; ++i) {
+    Vertex s = static_cast<Vertex>(rng.NextBounded(n));
+    Vertex t = static_cast<Vertex>(rng.NextBounded(n));
+    ASSERT_EQ(after->Query(s, t), dij.Distance(s, t));
+  }
+}
+
+TEST(ShardedEngineTest, DisconnectedGraphRoutesToInfinity) {
+  Graph g = testing_util::TwoComponentGraph();
+  Graph ref = g;
+  ShardedEngine engine(std::move(g), HierarchyOptions{},
+                       SmallShardedOptions(BackendKind::kStl, 2));
+  auto all = FloydWarshallAllPairs(ref);
+  auto snap = engine.CurrentSnapshot();
+  for (Vertex s = 0; s < ref.NumVertices(); ++s) {
+    for (Vertex t = 0; t < ref.NumVertices(); ++t) {
+      ASSERT_EQ(snap->Query(s, t), all[s][t]) << "s=" << s << " t=" << t;
+    }
+  }
+  EXPECT_EQ(snap->Query(0, 4), kInfDistance);
+}
+
+TEST(ShardedEngineTest, SingleShardDegeneratesToFlatServing) {
+  Graph g = testing_util::SmallRoadNetwork(6, 57);
+  Graph ref = g;
+  ShardedEngine engine(std::move(g), HierarchyOptions{},
+                       SmallShardedOptions(BackendKind::kStl, 1));
+  EXPECT_EQ(engine.num_shards(), 1u);
+  EXPECT_EQ(engine.layout().num_boundary(), 0u);
+  Rng rng(57);
+  const uint32_t m = ref.NumEdges();
+  for (int i = 0; i < 10; ++i) {
+    engine.EnqueueUpdate(static_cast<EdgeId>(rng.NextBounded(m)),
+                         1 + static_cast<Weight>(rng.NextBounded(300)));
+  }
+  engine.Flush();
+  auto snap = engine.CurrentSnapshot();
+  Dijkstra dij(snap->graph);
+  const uint32_t n = snap->graph.NumVertices();
+  for (int i = 0; i < 80; ++i) {
+    Vertex s = static_cast<Vertex>(rng.NextBounded(n));
+    Vertex t = static_cast<Vertex>(rng.NextBounded(n));
+    ASSERT_EQ(snap->Query(s, t), dij.Distance(s, t));
+  }
+}
+
+TEST(ShardedEngineTest, DestructorDrainsInFlightWork) {
+  Graph g = testing_util::SmallRoadNetwork(6, 58);
+  const uint32_t n = g.NumVertices();
+  const uint32_t m = g.NumEdges();
+  std::vector<std::future<ShardedQueryResult>> futures;
+  {
+    ShardedEngine engine(std::move(g), HierarchyOptions{},
+                         SmallShardedOptions(BackendKind::kStl, 4));
+    Rng rng(58);
+    for (int i = 0; i < 50; ++i) {
+      futures.push_back(engine.Submit(
+          {static_cast<Vertex>(rng.NextBounded(n)),
+           static_cast<Vertex>(rng.NextBounded(n))}));
+    }
+    for (int i = 0; i < 10; ++i) {
+      engine.EnqueueUpdate(static_cast<EdgeId>(rng.NextBounded(m)),
+                           1 + static_cast<Weight>(rng.NextBounded(100)));
+    }
+    // Engine destroyed here with queries and updates still in flight.
+  }
+  for (auto& f : futures) {
+    ShardedQueryResult r = f.get();  // must not hang or throw
+    EXPECT_NE(r.snapshot, nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace stl
