@@ -1,16 +1,28 @@
-// Engine throughput under a mixed query + update workload.
+// Engine throughput under a mixed query + update workload, measured
+// through BOTH submission paths of the unified serving API:
 //
-// For each dataset: build a QueryEngine (>= 4 reader threads), then
-// drive waves of concurrent distance queries while a driver thread
-// streams weight-update batches (increase then restore, the paper's
-// update model) into the writer. Reports queries/sec, p50/p99/mean
-// latency, epochs published, and — the part that makes the number
-// trustworthy — verifies EVERY answer against a Dijkstra recomputation
-// on the exact epoch snapshot it was served from. Any mismatch fails
-// the binary.
+//   per-query — Submit() futures in closed-loop waves (the
+//               compatibility adapter: one promise per query)
+//   batched   — SubmitBatch() tickets over the same pairs (one pinned
+//               snapshot + one allocation per WAVE, grouped routing)
+//
+// For each dataset: build a QueryEngine (>= 4 reader threads) with the
+// epoch-keyed result cache enabled, then drive each phase while a
+// driver thread streams weight-update batches (increase then restore,
+// the paper's update model) into the writer. Reports per-query and
+// per-batch queries/sec, p50/p99/mean latency, epochs published, the
+// result-cache hit rate — and, the part that makes the numbers
+// trustworthy, verifies EVERY answer against a Dijkstra recomputation
+// on the exact epoch snapshot it was served from, plus every batched
+// answer against the per-query path on its ticket's pinned snapshot
+// (bit-identity). Emits BENCH_engine.json.
 //
 //   STL_BENCH_SCALE=small|medium|large ./bench_engine_throughput
+//   ./bench_engine_throughput --check   # CI guard: zero mismatches on
+//                                       # both paths, workload clamped
+#include <cinttypes>
 #include <cstdio>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <thread>
@@ -25,9 +37,13 @@ namespace stl {
 namespace bench {
 namespace {
 
+// Engine shape shared by every dataset run (and recorded in the JSON).
+constexpr int kQueryThreads = 4;
+constexpr size_t kResultCacheEntries = 1u << 15;
+
 struct EngineBenchSizes {
-  size_t queries;        // total queries submitted
-  size_t wave;           // queries per submitted wave
+  size_t queries;        // total queries submitted per phase
+  size_t wave;           // queries per submitted wave / batch
   size_t update_batches; // update batches streamed by the driver
   size_t batch_size;     // updates per batch
 };
@@ -47,14 +63,40 @@ EngineBenchSizes SizesForScale(BenchScale scale) {
 struct EngineBenchRow {
   std::string dataset;
   uint32_t vertices = 0;
-  double qps = 0;
+  double qps = 0;        // per-query (Submit futures) phase
   double p50 = 0;
   double p99 = 0;
   double mean = 0;
+  double qps_batch = 0;  // batched (SubmitBatch tickets) phase
+  double p99_batch = 0;
+  double cache_hit_rate = 0;
   uint64_t epochs = 0;
   uint64_t updates_applied = 0;
-  uint64_t mismatches = 0;
+  uint64_t mismatches = 0;        // per-query answers vs Dijkstra
+  uint64_t batch_mismatches = 0;  // batched vs Dijkstra AND vs the
+                                  // per-query path on the pinned epoch
 };
+
+/// Streams `update_batches` alternating increase / restore batches on
+/// distinct random edges (Figure 8's model, factor 4). Weights are
+/// enqueued by target value against the epoch-0 snapshot, so each
+/// restore batch reuses its increase batch's edges and puts back the
+/// original weights.
+void StreamUpdates(QueryEngine& engine, const Graph& base,
+                   const EngineBenchSizes& sizes, uint64_t seed) {
+  for (size_t b = 0; b < sizes.update_batches; ++b) {
+    std::vector<EdgeId> edges = SampleDistinctEdges(
+        base, sizes.batch_size, seed + 7 * (b / 2));
+    const bool restore = b % 2 == 1;
+    for (EdgeId e : edges) {
+      const Weight w0 = base.EdgeWeight(e);
+      const Weight target =
+          restore ? w0 : std::min<Weight>(w0 * 4, kMaxEdgeWeight);
+      engine.EnqueueUpdate(e, target);
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
 
 EngineBenchRow RunDataset(const DatasetSpec& spec,
                           const EngineBenchSizes& sizes) {
@@ -66,39 +108,22 @@ EngineBenchRow RunDataset(const DatasetSpec& spec,
   std::vector<QueryPair> pairs = RandomQueryPairs(g, sizes.queries, spec.seed);
 
   EngineOptions opt;
-  opt.num_query_threads = 4;
+  opt.num_query_threads = kQueryThreads;
   opt.max_batch_size = sizes.batch_size;
   opt.strategy = StrategyMode::kAuto;
+  opt.result_cache_entries = kResultCacheEntries;
   QueryEngine engine(std::move(g), HierarchyOptions{}, opt);
   engine.ResetStats();  // exclude build time from throughput
 
-  // Update driver: alternating increase / restore batches on distinct
-  // random edges (Figure 8's model, factor 4), streamed while queries
-  // run. Weights are enqueued by target value against the epoch-0
-  // snapshot, so each restore batch reuses its increase batch's edges
-  // and puts back the original weights.
   std::shared_ptr<const EngineSnapshot> base_snap = engine.CurrentSnapshot();
   const Graph& base = base_snap->graph;
-  std::thread updater([&] {
-    for (size_t b = 0; b < sizes.update_batches; ++b) {
-      std::vector<EdgeId> edges = SampleDistinctEdges(
-          base, sizes.batch_size, spec.seed + 7 * (b / 2));
-      const bool restore = b % 2 == 1;
-      for (EdgeId e : edges) {
-        const Weight w0 = base.EdgeWeight(e);
-        const Weight target =
-            restore ? w0
-                    : std::min<Weight>(w0 * 4, kMaxEdgeWeight);
-        engine.EnqueueUpdate(e, target);
-      }
-      std::this_thread::sleep_for(std::chrono::microseconds(200));
-    }
-  });
 
-  // Query driver: closed-loop waves — submit one wave, harvest it,
-  // submit the next — so in-flight work stays bounded at `wave` and
-  // latency measures serving (queue wait within a wave), not the drain
-  // of a bench-sized backlog.
+  // ---- Phase 1: per-query serving (Submit futures). Closed-loop
+  // waves — submit one wave, harvest it, submit the next — so in-flight
+  // work stays bounded at `wave` and latency measures serving (queue
+  // wait within a wave), not the drain of a bench-sized backlog.
+  std::thread updater(
+      [&] { StreamUpdates(engine, base, sizes, spec.seed); });
   std::vector<QueryResult> results;
   results.reserve(pairs.size());
   std::vector<std::future<QueryResult>> wave_futures;
@@ -124,54 +149,163 @@ EngineBenchRow RunDataset(const DatasetSpec& spec,
 
   // Ground-truth audit: group answers by epoch, Dijkstra on that epoch's
   // snapshot graph.
-  std::map<uint64_t, std::shared_ptr<const EngineSnapshot>> snapshots;
-  for (const QueryResult& r : results) snapshots.emplace(r.epoch, r.snapshot);
-  std::map<uint64_t, std::unique_ptr<Dijkstra>> oracle;
-  for (auto& [epoch, snap] : snapshots) {
-    oracle.emplace(epoch, std::make_unique<Dijkstra>(snap->graph));
+  {
+    std::map<uint64_t, std::shared_ptr<const EngineSnapshot>> snapshots;
+    for (const QueryResult& r : results) {
+      snapshots.emplace(r.epoch, r.snapshot);
+    }
+    std::map<uint64_t, std::unique_ptr<Dijkstra>> oracle;
+    for (auto& [epoch, snap] : snapshots) {
+      oracle.emplace(epoch, std::make_unique<Dijkstra>(snap->graph));
+    }
+    for (size_t i = 0; i < results.size(); ++i) {
+      const QueryResult& r = results[i];
+      if (r.distance !=
+          oracle.at(r.epoch)->Distance(pairs[i].first, pairs[i].second)) {
+        ++row.mismatches;
+      }
+    }
   }
-  for (size_t i = 0; i < results.size(); ++i) {
-    const QueryResult& r = results[i];
-    if (r.distance !=
-        oracle.at(r.epoch)->Distance(pairs[i].first, pairs[i].second)) {
-      ++row.mismatches;
+
+  // ---- Phase 2: batched serving (SubmitBatch tickets) over the same
+  // pairs, against a fresh update stream. One snapshot pin + one ticket
+  // per wave instead of `wave` promises.
+  engine.ResetStats();
+  // ResetStats keeps epochs_published (it doubles as the epoch-id
+  // allocator), so the phase-2 epoch count is a delta.
+  const uint64_t epochs_before_batch = engine.Stats().epochs_published;
+  std::thread batch_updater(
+      [&] { StreamUpdates(engine, base, sizes, spec.seed + 1000); });
+  std::vector<QueryEngine::Ticket> tickets;
+  tickets.reserve(pairs.size() / sizes.wave + 1);
+  std::vector<size_t> ticket_begin;
+  for (size_t i = 0; i < pairs.size(); i += sizes.wave) {
+    const size_t end = std::min(pairs.size(), i + sizes.wave);
+    std::vector<QueryPair> wave(pairs.begin() + i, pairs.begin() + end);
+    QueryEngine::Ticket t = engine.SubmitBatch(wave);
+    t.Wait();  // closed loop, same as phase 1
+    ticket_begin.push_back(i);
+    tickets.push_back(std::move(t));
+  }
+  batch_updater.join();
+  engine.Flush();
+
+  EngineStats batch_stats = engine.Stats();
+  row.qps_batch = batch_stats.queries_per_second;
+  row.p99_batch = batch_stats.latency_p99_micros;
+  row.cache_hit_rate = batch_stats.result_cache_hit_rate;
+  row.epochs += batch_stats.epochs_published - epochs_before_batch;
+  row.updates_applied += batch_stats.updates_applied;
+
+  // Batched audit: every ticket answer vs Dijkstra on the pinned epoch
+  // AND vs the per-query path on the same pinned snapshot (the batch
+  // path must be bit-identical to per-query serving).
+  {
+    std::map<uint64_t, std::unique_ptr<Dijkstra>> oracle;
+    for (size_t w = 0; w < tickets.size(); ++w) {
+      const QueryEngine::Ticket& t = tickets[w];
+      auto [it, fresh] = oracle.try_emplace(t.epoch());
+      if (fresh) {
+        it->second = std::make_unique<Dijkstra>(t.snapshot()->graph);
+      }
+      for (size_t i = 0; i < t.size(); ++i) {
+        const QueryPair& q = pairs[ticket_begin[w] + i];
+        const Weight got = t.distance(i);
+        if (got != it->second->Distance(q.first, q.second) ||
+            got != t.snapshot()->Query(q.first, q.second)) {
+          ++row.batch_mismatches;
+        }
+      }
     }
   }
   return row;
 }
 
-int Main() {
+void WriteJson(const char* path, const BenchConfig& cfg,
+               const EngineBenchSizes& sizes,
+               const std::vector<EngineBenchRow>& rows) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"engine_throughput\",\n");
+  std::fprintf(f, "  \"scale\": \"%s\",\n", ScaleName(cfg.scale));
+  std::fprintf(
+      f,
+      "  \"workload\": {\"queries\": %zu, \"wave\": %zu, "
+      "\"update_batches\": %zu, \"update_batch_size\": %zu, "
+      "\"query_threads\": %d, \"result_cache_entries\": %zu},\n",
+      sizes.queries, sizes.wave, sizes.update_batches, sizes.batch_size,
+      kQueryThreads, kResultCacheEntries);
+  std::fprintf(f, "  \"datasets\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const EngineBenchRow& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"dataset\": \"%s\", \"vertices\": %u, \"qps\": %.1f, "
+        "\"qps_batch\": %.1f, \"latency_p50_micros\": %.2f, "
+        "\"latency_p99_micros\": %.2f, \"latency_mean_micros\": %.2f, "
+        "\"latency_p99_batch_micros\": "
+        "%.2f, \"result_cache_hit_rate\": %.4f, \"epochs\": %" PRIu64
+        ", \"updates_applied\": %" PRIu64 ", \"mismatches\": %" PRIu64
+        ", \"batch_mismatches\": %" PRIu64 "}%s\n",
+        r.dataset.c_str(), r.vertices, r.qps, r.qps_batch, r.p50, r.p99,
+        r.mean, r.p99_batch, r.cache_hit_rate, r.epochs,
+        r.updates_applied, r.mismatches, r.batch_mismatches,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+int Main(bool check) {
   BenchConfig cfg = MakeConfig();
-  PrintHeader("Engine throughput: concurrent queries vs streaming updates",
+  PrintHeader("Engine throughput: per-query vs batched submission under "
+              "streaming updates",
               cfg);
   EngineBenchSizes sizes = SizesForScale(cfg.scale);
+  if (check) {
+    // CI guard: bound the build + double-audit cost.
+    sizes.queries = std::min<size_t>(sizes.queries, 2000);
+    sizes.update_batches = std::min<size_t>(sizes.update_batches, 12);
+  }
   std::printf(
-      "4 reader threads + 1 writer; %zu queries in waves of %zu, "
-      "%zu update batches x %zu edges (increase/restore, factor 4)\n\n",
+      "4 reader threads + 1 writer; %zu queries per phase in waves of "
+      "%zu, %zu update batches x %zu edges (increase/restore, factor "
+      "4)\n\n",
       sizes.queries, sizes.wave, sizes.update_batches, sizes.batch_size);
 
-  TablePrinter table({"Dataset", "|V|", "qps", "p50 us", "p99 us",
-                      "mean us", "epochs", "upd applied", "mismatches"});
+  TablePrinter table({"Dataset", "|V|", "qps", "qps batch", "p50 us",
+                      "p99 us", "cache hit", "epochs", "mism", "b mism"});
+  std::vector<EngineBenchRow> rows;
   bool all_exact = true;
   for (const DatasetSpec& spec : cfg.datasets) {
     EngineBenchRow row = RunDataset(spec, sizes);
-    all_exact = all_exact && row.mismatches == 0;
+    all_exact =
+        all_exact && row.mismatches == 0 && row.batch_mismatches == 0;
     table.AddRow({row.dataset, std::to_string(row.vertices),
                   TablePrinter::Fixed(row.qps, 0),
+                  TablePrinter::Fixed(row.qps_batch, 0),
                   TablePrinter::Fixed(row.p50, 1),
                   TablePrinter::Fixed(row.p99, 1),
-                  TablePrinter::Fixed(row.mean, 1),
+                  TablePrinter::Fixed(row.cache_hit_rate, 3),
                   std::to_string(row.epochs),
-                  std::to_string(row.updates_applied),
-                  std::to_string(row.mismatches)});
+                  std::to_string(row.mismatches),
+                  std::to_string(row.batch_mismatches)});
+    rows.push_back(row);
   }
   table.Print();
+  WriteJson("BENCH_engine.json", cfg, sizes, rows);
   if (!all_exact) {
-    std::printf("\nFAIL: served answers diverged from Dijkstra ground "
-                "truth on their epoch\n");
+    std::printf("\nFAIL: served answers diverged from ground truth "
+                "(per-query vs Dijkstra, or batched vs per-query on the "
+                "pinned epoch)\n");
     return 1;
   }
-  std::printf("\nall answers exact on their serving epoch\n");
+  std::printf("\nall answers exact on their serving epoch; batch path "
+              "bit-identical to per-query\n");
   return 0;
 }
 
@@ -179,4 +313,10 @@ int Main() {
 }  // namespace bench
 }  // namespace stl
 
-int main() { return stl::bench::Main(); }
+int main(int argc, char** argv) {
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) check = true;
+  }
+  return stl::bench::Main(check);
+}

@@ -1,6 +1,6 @@
 // Sharded-scaling bench: the SAME mixed query + update workload served
 // by the flat single-index engine and by the sharded engine at k ∈
-// {2, 4, 8}, for multiple backends. Two phases per configuration:
+// {2, 4, 8}, for multiple backends. Three phases per configuration:
 //
 //   lockstep  — update batch, Flush, evaluate a fixed query set on the
 //               published snapshot. Answers must be BIT-IDENTICAL to
@@ -11,11 +11,16 @@
 //               p50/p99, publish + overlay micros per epoch, resident
 //               bytes — and Dijkstra-audits every answer on the exact
 //               epoch snapshot it was served from.
+//   batched   — the same pairs through SubmitBatch tickets (one pinned
+//               snapshot + grouped row-reusing routing per wave);
+//               reports qps_batch and the result-cache hit rate, and
+//               audits every batched answer against Dijkstra AND the
+//               per-query router on the pinned epoch (bit-identity).
 //
 // Emits BENCH_sharded.json. --check turns the run into a CI guard
-// (structural, no timing): zero lockstep mismatches and zero audit
-// mismatches for every (backend, k) configuration, with the workload
-// clamped small.
+// (structural, no timing): zero lockstep, audit and batch mismatches
+// for every (backend, k) configuration, with the workload clamped
+// small.
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
@@ -84,15 +89,19 @@ struct ConfigRow {
   uint32_t num_shards = 0;
   uint32_t boundary_vertices = 0;
   double build_seconds = 0;
-  double qps = 0;
+  double qps = 0;        // per-query (Submit futures) phase
   double p50 = 0;
   double p99 = 0;
+  double qps_batch = 0;  // batched (SubmitBatch tickets) phase
+  double cache_hit_rate = 0;
   uint64_t epochs = 0;
   double publish_micros_per_epoch = 0;
   double overlay_micros_per_epoch = 0;
   uint64_t resident_bytes = 0;
   uint64_t lockstep_mismatches = 0;
   uint64_t audit_mismatches = 0;
+  uint64_t batch_mismatches = 0;  // batched vs Dijkstra AND vs the
+                                  // per-query path on the pinned epoch
 };
 
 /// Phase 1 answers of the flat reference engine (per round, per pair).
@@ -198,6 +207,52 @@ void RunThroughput(Engine& engine, const Graph& base,
       ++row->audit_mismatches;
     }
   }
+
+  // Phase 3: the same pairs through SubmitBatch tickets (one pinned
+  // snapshot + grouped, row-reusing routing per wave) against a fresh
+  // copy of the update stream. Audited twice per answer: vs Dijkstra on
+  // the pinned epoch, and vs the per-query router on the SAME pinned
+  // snapshot — the batch path must be bit-identical.
+  engine.ResetStats();
+  std::thread batch_updater([&] {
+    for (size_t round = 0; round < sizes.update_rounds; ++round) {
+      engine.EnqueueUpdates(LockstepBatch(base, round, sizes.batch_size));
+      std::this_thread::sleep_for(std::chrono::microseconds(300));
+    }
+  });
+  std::vector<typename Engine::Ticket> tickets;
+  std::vector<size_t> ticket_begin;
+  for (size_t i = 0; i < pairs.size(); i += sizes.wave) {
+    const size_t end = std::min(pairs.size(), i + sizes.wave);
+    std::vector<QueryPair> wave(pairs.begin() + i, pairs.begin() + end);
+    auto ticket = engine.SubmitBatch(wave);
+    ticket.Wait();  // closed loop, like phase 2
+    ticket_begin.push_back(i);
+    tickets.push_back(std::move(ticket));
+  }
+  batch_updater.join();
+  engine.Flush();
+
+  EngineStats batch_stats = engine.Stats();
+  row->qps_batch = batch_stats.queries_per_second;
+  row->cache_hit_rate = batch_stats.result_cache_hit_rate;
+
+  std::map<uint64_t, std::unique_ptr<Dijkstra>> batch_oracle;
+  for (size_t w = 0; w < tickets.size(); ++w) {
+    const auto& ticket = tickets[w];
+    auto [it, fresh] = batch_oracle.try_emplace(ticket.epoch());
+    if (fresh) {
+      it->second = std::make_unique<Dijkstra>(ticket.snapshot()->graph);
+    }
+    for (size_t i = 0; i < ticket.size(); ++i) {
+      const QueryPair& q = pairs[ticket_begin[w] + i];
+      const Weight got = ticket.distance(i);
+      if (got != it->second->Distance(q.first, q.second) ||
+          got != ticket.snapshot()->Query(q.first, q.second)) {
+        ++row->batch_mismatches;
+      }
+    }
+  }
 }
 
 void WriteJson(const char* path, const bench::BenchConfig& cfg,
@@ -229,17 +284,20 @@ void WriteJson(const char* path, const bench::BenchConfig& cfg,
         f,
         "    {\"backend\": \"%s\", \"mode\": \"%s\", \"target_shards\": "
         "%u, \"shards\": %u, \"boundary_vertices\": %u, "
-        "\"build_seconds\": %.3f, \"qps\": %.1f, \"latency_p50_micros\": "
+        "\"build_seconds\": %.3f, \"qps\": %.1f, \"qps_batch\": %.1f, "
+        "\"result_cache_hit_rate\": %.4f, \"latency_p50_micros\": "
         "%.2f, \"latency_p99_micros\": %.2f, \"epochs\": %" PRIu64
         ", \"publish_micros_per_epoch\": %.3f, "
         "\"overlay_micros_per_epoch\": %.3f, \"resident_bytes\": %" PRIu64
         ", \"lockstep_mismatches\": %" PRIu64
-        ", \"audit_mismatches\": %" PRIu64 "}%s\n",
+        ", \"audit_mismatches\": %" PRIu64
+        ", \"batch_mismatches\": %" PRIu64 "}%s\n",
         BackendName(r.kind), r.target_shards == 0 ? "flat" : "sharded",
         r.target_shards, r.num_shards, r.boundary_vertices,
-        r.build_seconds, r.qps, r.p50, r.p99, r.epochs,
-        r.publish_micros_per_epoch, r.overlay_micros_per_epoch,
-        r.resident_bytes, r.lockstep_mismatches, r.audit_mismatches,
+        r.build_seconds, r.qps, r.qps_batch, r.cache_hit_rate, r.p50,
+        r.p99, r.epochs, r.publish_micros_per_epoch,
+        r.overlay_micros_per_epoch, r.resident_bytes,
+        r.lockstep_mismatches, r.audit_mismatches, r.batch_mismatches,
         i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -294,9 +352,10 @@ int main(int argc, char** argv) {
       bench::ScaleName(cfg.scale), sizes.grid_side, sizes.grid_side, n,
       base.NumEdges(), sizes.lockstep_rounds, sizes.lockstep_queries,
       sizes.queries, sizes.update_rounds, sizes.batch_size);
-  std::printf("%-6s %6s %7s %9s %10s %8s %8s %11s %11s %9s %9s\n",
-              "backend", "mode", "shards", "build s", "qps", "p50 us",
-              "p99 us", "publish us", "overlay us", "lockstep", "audit");
+  std::printf("%-6s %6s %7s %9s %10s %10s %8s %8s %11s %11s %9s %9s %6s\n",
+              "backend", "mode", "shards", "build s", "qps", "qps batch",
+              "p50 us", "p99 us", "publish us", "overlay us", "lockstep",
+              "audit", "batch");
 
   std::vector<ConfigRow> rows;
   for (BackendKind kind : backends) {
@@ -307,18 +366,20 @@ int main(int argc, char** argv) {
     fopt.backend = kind;
     fopt.num_query_threads = 4;
     fopt.max_batch_size = sizes.batch_size;
+    fopt.result_cache_entries = 1 << 15;
     Timer flat_build;
     QueryEngine flat(base, HierarchyOptions{}, fopt);
     flat_row.build_seconds = flat_build.ElapsedSeconds();
     const LockstepAnswers reference =
         RunLockstep(flat, base, sizes, lockstep_pairs);
     RunThroughput<QueryEngine, QueryResult>(flat, base, sizes, &flat_row);
-    std::printf("%-6s %6s %7u %9.3f %10.1f %8.2f %8.2f %11.3f %11.3f "
-                "%9" PRIu64 " %9" PRIu64 "\n",
+    std::printf("%-6s %6s %7u %9.3f %10.1f %10.1f %8.2f %8.2f %11.3f "
+                "%11.3f %9" PRIu64 " %9" PRIu64 " %6" PRIu64 "\n",
                 BackendName(kind), "flat", 1, flat_row.build_seconds,
-                flat_row.qps, flat_row.p50, flat_row.p99,
-                flat_row.publish_micros_per_epoch, 0.0,
-                flat_row.lockstep_mismatches, flat_row.audit_mismatches);
+                flat_row.qps, flat_row.qps_batch, flat_row.p50,
+                flat_row.p99, flat_row.publish_micros_per_epoch, 0.0,
+                flat_row.lockstep_mismatches, flat_row.audit_mismatches,
+                flat_row.batch_mismatches);
     rows.push_back(flat_row);
 
     for (uint32_t k : shard_counts) {
@@ -330,6 +391,7 @@ int main(int argc, char** argv) {
       sopt.target_shards = k;
       sopt.num_query_threads = 4;
       sopt.max_batch_size = sizes.batch_size;
+      sopt.result_cache_entries = 1 << 15;
       Timer build_timer;
       ShardedEngine engine(base, HierarchyOptions{}, sopt);
       row.build_seconds = build_timer.ElapsedSeconds();
@@ -341,13 +403,13 @@ int main(int argc, char** argv) {
       row.lockstep_mismatches = CountMismatches(reference, got);
       RunThroughput<ShardedEngine, ShardedQueryResult>(engine, base, sizes,
                                                        &row);
-      std::printf("%-6s %6s %7u %9.3f %10.1f %8.2f %8.2f %11.3f %11.3f "
-                  "%9" PRIu64 " %9" PRIu64 "\n",
+      std::printf("%-6s %6s %7u %9.3f %10.1f %10.1f %8.2f %8.2f %11.3f "
+                  "%11.3f %9" PRIu64 " %9" PRIu64 " %6" PRIu64 "\n",
                   BackendName(kind), "shard", row.num_shards,
-                  row.build_seconds, row.qps, row.p50, row.p99,
-                  row.publish_micros_per_epoch,
+                  row.build_seconds, row.qps, row.qps_batch, row.p50,
+                  row.p99, row.publish_micros_per_epoch,
                   row.overlay_micros_per_epoch, row.lockstep_mismatches,
-                  row.audit_mismatches);
+                  row.audit_mismatches, row.batch_mismatches);
       rows.push_back(row);
     }
   }
@@ -372,6 +434,9 @@ int main(int argc, char** argv) {
            "sharded answers must be bit-identical to the flat engine");
     expect(r.audit_mismatches == 0,
            "every concurrent answer must match Dijkstra on its epoch");
+    expect(r.batch_mismatches == 0,
+           "the batch path must be bit-identical to per-query serving "
+           "on its pinned epoch");
     expect(r.epochs >= 1, "every configuration must publish epochs");
     if (r.target_shards > 0) {
       expect(r.num_shards >= r.target_shards,

@@ -1,11 +1,15 @@
-// Serving demo: the concurrent query engine under live traffic.
+// Serving demo: the concurrent query engine under live traffic,
+// exercising every submission path of the unified serving API.
 //
 // Builds a QueryEngine over a synthetic city, then plays both roles of a
 // production deployment at once: application threads submitting distance
-// queries, and a traffic feed pushing weight updates (congestion, then
-// recovery, then a road closure) through the single writer. Shows that
-// readers never block, that answers are exact for the epoch they were
-// served from, and what the engine's stats report looks like.
+// queries — as one-snapshot batches (SubmitBatch tickets), through the
+// completion queue (SubmitTagged, no promise per query), and as plain
+// futures — and a traffic feed pushing weight updates (congestion, then
+// recovery) through the single writer. Shows that readers never block,
+// that answers are exact for the epoch they were served from, how the
+// epoch-keyed result cache pays off on repeated routes, and what the
+// engine's stats report looks like.
 //
 // The engine is generic over DistanceIndex backends; pass one of
 // stl | ch | h2h | hc2l to serve the same traffic from another index
@@ -92,21 +96,54 @@ int main(int argc, char** argv) {
   EngineOptions opt;
   opt.backend = backend;
   opt.num_query_threads = 4;
+  opt.result_cache_entries = 1 << 14;  // epoch-keyed (s, t) memo
   QueryEngine engine(std::move(g), HierarchyOptions{}, opt);
   std::printf("engine up: backend %s, %d reader threads, epoch %llu\n",
               BackendName(engine.backend()), engine.num_query_threads(),
               static_cast<unsigned long long>(engine.CurrentEpoch()));
 
-  // 2. A burst of queries on the clean network.
+  // 2. A burst of queries on the clean network: ONE batch, one pinned
+  //    snapshot, one ticket — no promise per query. Repeating the same
+  //    batch on the same epoch is answered from the result cache.
   Rng rng(2026);
   std::vector<QueryPair> burst;
   for (int i = 0; i < 500; ++i) {
     burst.emplace_back(static_cast<Vertex>(rng.NextBounded(n)),
                        static_cast<Vertex>(rng.NextBounded(n)));
   }
-  auto futures = engine.SubmitBatch(burst);
-  for (auto& f : futures) f.get();
-  std::printf("burst of %zu queries served\n", burst.size());
+  QueryEngine::Ticket ticket = engine.SubmitBatch(burst);
+  ticket.Wait();
+  std::printf("batch of %zu queries served from pinned epoch %llu in "
+              "%.0f us\n",
+              ticket.size(),
+              static_cast<unsigned long long>(ticket.epoch()),
+              ticket.latency_micros());
+  QueryEngine::Ticket repeat = engine.SubmitBatch(burst);
+  repeat.Wait();
+  {
+    EngineStats cs = engine.Stats();
+    std::printf("repeat batch: %.0f us, result cache hit rate %.1f%% "
+                "(%llu/%llu probes)\n",
+                repeat.latency_micros(), 100.0 * cs.result_cache_hit_rate,
+                static_cast<unsigned long long>(cs.result_cache_hits),
+                static_cast<unsigned long long>(cs.result_cache_lookups));
+  }
+
+  // 2b. The completion-queue front: tag each request, poll finished
+  //     answers — the high-qps path (no future, no promise, no
+  //     per-query snapshot retention).
+  CompletionQueue cq;
+  for (size_t i = 0; i < 200; ++i) {
+    engine.SubmitTagged(burst[i], /*tag=*/i, &cq);
+  }
+  size_t completed = 0;
+  Completion buf[64];
+  while (completed < 200) {
+    const size_t got = cq.WaitPoll(buf, 64);
+    completed += got;
+  }
+  std::printf("completion queue: %zu tagged queries delivered\n",
+              completed);
 
   // 3. Traffic: congestion on the edges of one popular route, while
   //    queries keep flowing. Readers stay on the old epoch until the
@@ -136,8 +173,8 @@ int main(int argc, char** argv) {
                                 snap->graph.EdgeWeight(e) * 5,
                                 kMaxEdgeWeight));
   }
-  auto during = engine.SubmitBatch(burst);  // racing the writer
-  for (auto& f : during) f.get();
+  QueryEngine::Ticket during = engine.SubmitBatch(burst);  // racing the writer
+  during.Wait();  // pinned to whichever epoch was current at submission
   engine.Flush();
   auto congested = engine.CurrentSnapshot();
   std::printf("congestion published (epoch %llu): d(%u, %u) = %u\n",
@@ -169,11 +206,16 @@ int main(int argc, char** argv) {
   // 7. The ops view.
   EngineStats st = engine.Stats();
   std::printf(
-      "stats: %llu queries (%.0f qps), p50 %.1f us, p99 %.1f us, "
+      "stats: %llu queries (%.0f qps; %llu batched across %llu tickets), "
+      "p50 %.1f us, p99 %.1f us, result cache hit rate %.1f%%, "
       "%llu updates applied in %llu epochs (%llu pareto / %llu label / "
       "%llu incremental / %llu rebuild batches)\n",
       static_cast<unsigned long long>(st.queries_served),
-      st.queries_per_second, st.latency_p50_micros, st.latency_p99_micros,
+      st.queries_per_second,
+      static_cast<unsigned long long>(st.batched_queries),
+      static_cast<unsigned long long>(st.query_batches_submitted),
+      st.latency_p50_micros, st.latency_p99_micros,
+      100.0 * st.result_cache_hit_rate,
       static_cast<unsigned long long>(st.updates_applied),
       static_cast<unsigned long long>(st.epochs_published),
       static_cast<unsigned long long>(st.batches_pareto),

@@ -1,19 +1,28 @@
 #include "engine/query_engine.h"
 
-#include <algorithm>
-#include <chrono>
-#include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "util/logging.h"
 
 namespace stl {
 
+namespace {
+
+ServingCoreOptions CoreOptions(const EngineOptions& options) {
+  ServingCoreOptions core;
+  core.num_query_threads = options.num_query_threads;
+  core.max_batch_size = options.max_batch_size;
+  core.result_cache_entries = options.result_cache_entries;
+  return core;
+}
+
+}  // namespace
+
 QueryEngine::QueryEngine(Graph graph,
                          const HierarchyOptions& hierarchy_options,
                          const EngineOptions& options)
-    : options_(options), pool_(options.num_query_threads) {
-  STL_CHECK_GE(options_.max_batch_size, size_t{1});
+    : options_(options), core_(&policy_, CoreOptions(options)) {
   graph_ = std::make_unique<Graph>(std::move(graph));
   index_ = MakeDistanceIndex(options_.backend, graph_.get(),
                              hierarchy_options);
@@ -22,98 +31,83 @@ QueryEngine::QueryEngine(Graph graph,
   // (e.g. from the build itself) are not publish cost.
   harvested_graph_chunks_ = graph_->cow_stats().chunks_cloned;
   harvested_graph_bytes_ = graph_->cow_stats().bytes_cloned;
-  PublishSnapshot(0);
-  writer_ = std::thread([this] { WriterLoop(); });
-  // Start the throughput clock after the (potentially long) index
-  // build, so Stats() reports serving throughput, not build dilution.
-  wall_.Restart();
+  core_.Start();  // publishes epoch 0, starts the writer
 }
 
-QueryEngine::~QueryEngine() {
-  pool_.Shutdown();  // answer every query already submitted
-  updates_.Stop();
-  if (writer_.joinable()) writer_.join();  // drains pending updates
+QueryEngine::~QueryEngine() = default;  // core_ drains first (last member)
+
+// ------------------------------------------------------- the flat policy
+
+void QueryEngine::Policy::PublishInitial() { engine->PublishSnapshot(0); }
+
+Weight QueryEngine::Policy::ResolveOldWeight(EdgeId e) const {
+  return engine->graph_->EdgeWeight(e);
 }
 
-std::future<QueryResult> QueryEngine::Submit(QueryPair query) {
-  auto promise = std::make_shared<std::promise<QueryResult>>();
-  std::future<QueryResult> result = promise->get_future();
-  const auto submitted = std::chrono::steady_clock::now();
-  const bool accepted =
-      pool_.Enqueue([this, query, promise = std::move(promise), submitted] {
-        // The entire read path: one atomic load, then const reads on an
-        // immutable snapshot. Never blocks on maintenance work.
-        std::shared_ptr<const EngineSnapshot> snap = current_.load();
-        QueryResult r;
-        r.distance = snap->Query(query.first, query.second);
-        r.epoch = snap->epoch;
-        const uint64_t nanos = static_cast<uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(
-                std::chrono::steady_clock::now() - submitted)
-                .count());
-        r.latency_micros = static_cast<double>(nanos) / 1e3;
-        r.snapshot = std::move(snap);
-        latency_.Record(nanos);
-        queries_served_.fetch_add(1, std::memory_order_relaxed);
-        promise->set_value(std::move(r));
-      });
-  STL_CHECK(accepted) << "Submit() on a shut-down engine";
-  return result;
+void QueryEngine::Policy::ApplyBatch(const UpdateBatch& batch) {
+  // Pick the per-batch STL-P/STL-L strategy (backends with a single
+  // maintenance scheme ignore it), repair the master index, publish one
+  // epoch.
+  QueryEngine& e = *engine;
+  ServingCounters& counters = e.core_.counters();
+  const MaintenanceStrategy strategy =
+      ChooseStrategy(e.options_.strategy,
+                     e.options_.auto_label_search_threshold, batch.size());
+  counters.batch_counters.Count(e.index_->ApplyBatch(batch, strategy));
+  counters.updates_applied.fetch_add(batch.size(),
+                                     std::memory_order_relaxed);
+  const uint64_t epoch =
+      counters.epochs_published.fetch_add(1, std::memory_order_relaxed) + 1;
+  e.PublishSnapshot(epoch);
 }
 
-std::vector<std::future<QueryResult>> QueryEngine::SubmitBatch(
-    const std::vector<QueryPair>& queries) {
-  std::vector<std::future<QueryResult>> futures;
-  futures.reserve(queries.size());
-  for (const QueryPair& q : queries) futures.push_back(Submit(q));
-  return futures;
+uint32_t QueryEngine::Policy::NumEdges() const {
+  return engine->graph_->NumEdges();
 }
 
-void QueryEngine::EnqueueUpdate(const WeightUpdate& update) {
-  EnqueueUpdate(update.edge, update.new_weight);
+Weight QueryEngine::Policy::Route(const EngineSnapshot& snap, Vertex s,
+                                  Vertex t) const {
+  return snap.Query(s, t);
 }
 
-void QueryEngine::EnqueueUpdate(EdgeId edge, Weight new_weight) {
-  STL_CHECK(edge < graph_->NumEdges());
-  STL_CHECK(new_weight >= 1 && new_weight <= kMaxEdgeWeight);
-  updates_.Enqueue(edge, new_weight);
+uint64_t QueryEngine::Policy::BatchSortKey(const EngineSnapshot& snap,
+                                           const QueryPair& q) const {
+  (void)snap;
+  (void)q;
+  return 0;  // kGroupsBatches is false; never called
 }
 
-void QueryEngine::EnqueueUpdates(const std::vector<WeightUpdate>& updates) {
-  for (const WeightUpdate& u : updates) {
-    STL_CHECK(u.edge < graph_->NumEdges());
-    STL_CHECK(u.new_weight >= 1 && u.new_weight <= kMaxEdgeWeight);
+void QueryEngine::Policy::RouteSpan(const EngineSnapshot& snap,
+                                    const QueryPair* queries,
+                                    const uint32_t* idx, size_t count,
+                                    Weight* out) const {
+  for (size_t j = 0; j < count; ++j) {
+    const QueryPair& q = queries[idx[j]];
+    out[idx[j]] = snap.Query(q.first, q.second);
   }
-  updates_.EnqueueMany(updates);
 }
 
-void QueryEngine::Flush() { updates_.Flush(); }
-
-void QueryEngine::WriterLoop() {
-  // The drain/coalesce/Flush protocol lives in UpdateQueue (shared with
-  // the sharded engine); this engine's apply step is: pick the per-batch
-  // STL-P/STL-L strategy (backends with a single maintenance scheme
-  // ignore it), repair the master index, publish one epoch.
-  updates_.RunWriter(
-      options_.max_batch_size,
-      [this](EdgeId e) { return graph_->EdgeWeight(e); },
-      [this](const UpdateBatch& batch) {
-        const MaintenanceStrategy strategy =
-            ChooseStrategy(options_.strategy,
-                           options_.auto_label_search_threshold,
-                           batch.size());
-        batch_counters_.Count(index_->ApplyBatch(batch, strategy));
-        updates_applied_.fetch_add(batch.size(),
-                                   std::memory_order_relaxed);
-        const uint64_t epoch =
-            epochs_published_.fetch_add(1, std::memory_order_relaxed) + 1;
-        PublishSnapshot(epoch);
-      },
-      &updates_coalesced_);
+void QueryEngine::Policy::AugmentStats(EngineStats* s) const {
+  s->backend = engine->options_.backend;
+  // Honest resident memory of the serving state, wait-free: the
+  // current snapshot is immutable (for CoW backends, a structural copy
+  // of the master as of its publish — they share every page the batch
+  // did not dirty), so walking the snapshot counts each physical
+  // page/chunk exactly once without touching — or locking against —
+  // the writer. Pages the writer cloned since that publish appear at
+  // the next publish.
+  std::shared_ptr<const EngineSnapshot> snap = engine->CurrentSnapshot();
+  std::unordered_set<const void*> seen;
+  uint64_t bytes = snap->view->AddResidentBytes(&seen);
+  bytes += snap->graph.AddResidentBytes(&seen);
+  s->resident_index_bytes = bytes;
 }
+
+// --------------------------------------------------------- publication
 
 void QueryEngine::PublishSnapshot(uint64_t epoch) {
   Timer publish_timer;
+  ServingCounters& counters = core_.counters();
   auto snap = std::make_shared<EngineSnapshot>();
   snap->epoch = epoch;
   PublishInfo info;
@@ -125,12 +119,13 @@ void QueryEngine::PublishSnapshot(uint64_t epoch) {
   snap->label_pages_cloned = info.label_pages_cloned;
   snap->cow_bytes_cloned =
       info.label_bytes_cloned + (gc.bytes_cloned - harvested_graph_bytes_);
-  label_pages_cloned_.fetch_add(info.label_pages_cloned,
-                                std::memory_order_relaxed);
-  graph_chunks_cloned_.fetch_add(gc.chunks_cloned - harvested_graph_chunks_,
-                                 std::memory_order_relaxed);
-  cow_bytes_cloned_.fetch_add(snap->cow_bytes_cloned,
-                              std::memory_order_relaxed);
+  counters.label_pages_cloned.fetch_add(info.label_pages_cloned,
+                                        std::memory_order_relaxed);
+  counters.graph_chunks_cloned.fetch_add(
+      gc.chunks_cloned - harvested_graph_chunks_,
+      std::memory_order_relaxed);
+  counters.cow_bytes_cloned.fetch_add(snap->cow_bytes_cloned,
+                                      std::memory_order_relaxed);
   harvested_graph_chunks_ = gc.chunks_cloned;
   harvested_graph_bytes_ = gc.bytes_cloned;
 
@@ -146,78 +141,11 @@ void QueryEngine::PublishSnapshot(uint64_t epoch) {
     // older epoch still alive.
     snap->graph = *graph_;
   }
-  publish_bytes_deep_copied_.fetch_add(info.deep_bytes_copied,
-                                       std::memory_order_relaxed);
-  publish_nanos_.fetch_add(publish_timer.ElapsedNanos(),
-                           std::memory_order_relaxed);
-  current_.store(std::move(snap));
-}
-
-EngineStats QueryEngine::Stats() const {
-  EngineStats s;
-  s.backend = options_.backend;
-  s.queries_served = queries_served_.load(std::memory_order_relaxed);
-  s.updates_enqueued = updates_.enqueued();
-  s.updates_applied = updates_applied_.load(std::memory_order_relaxed);
-  s.updates_coalesced = updates_coalesced_.load(std::memory_order_relaxed);
-  s.epochs_published = epochs_published_.load(std::memory_order_relaxed);
-  s.batches_pareto = batch_counters_.pareto.load(std::memory_order_relaxed);
-  s.batches_label = batch_counters_.label.load(std::memory_order_relaxed);
-  s.batches_incremental =
-      batch_counters_.incremental.load(std::memory_order_relaxed);
-  s.batches_rebuild =
-      batch_counters_.rebuild.load(std::memory_order_relaxed);
-  s.label_pages_cloned =
-      label_pages_cloned_.load(std::memory_order_relaxed);
-  s.graph_chunks_cloned =
-      graph_chunks_cloned_.load(std::memory_order_relaxed);
-  s.cow_bytes_cloned = cow_bytes_cloned_.load(std::memory_order_relaxed);
-  s.publish_bytes_deep_copied =
-      publish_bytes_deep_copied_.load(std::memory_order_relaxed);
-  s.publish_total_micros =
-      static_cast<double>(publish_nanos_.load(std::memory_order_relaxed)) /
-      1e3;
-  {
-    // Honest resident memory of the serving state, wait-free: the
-    // current snapshot is immutable (for CoW backends, a structural copy
-    // of the master as of its publish — they share every page the batch
-    // did not dirty), so walking the snapshot counts each physical
-    // page/chunk exactly once without touching — or locking against —
-    // the writer. Pages the writer cloned since that publish appear at
-    // the next publish.
-    std::shared_ptr<const EngineSnapshot> snap = CurrentSnapshot();
-    std::unordered_set<const void*> seen;
-    uint64_t bytes = snap->view->AddResidentBytes(&seen);
-    bytes += snap->graph.AddResidentBytes(&seen);
-    s.resident_index_bytes = bytes;
-  }
-  s.wall_seconds = wall_.ElapsedSeconds();
-  s.queries_per_second =
-      s.wall_seconds > 0
-          ? static_cast<double>(s.queries_served) / s.wall_seconds
-          : 0;
-  s.latency_mean_micros = latency_.MeanMicros();
-  s.latency_p50_micros = latency_.QuantileMicros(0.5);
-  s.latency_p99_micros = latency_.QuantileMicros(0.99);
-  s.latency_max_micros = latency_.MaxMicros();
-  return s;
-}
-
-void QueryEngine::ResetStats() {
-  queries_served_.store(0, std::memory_order_relaxed);
-  updates_applied_.store(0, std::memory_order_relaxed);
-  updates_coalesced_.store(0, std::memory_order_relaxed);
-  // epochs_published_ is deliberately not reset: it doubles as the epoch
-  // id allocator, and snapshot epochs must stay unique for the lifetime
-  // of the engine.
-  batch_counters_.Reset();
-  label_pages_cloned_.store(0, std::memory_order_relaxed);
-  graph_chunks_cloned_.store(0, std::memory_order_relaxed);
-  cow_bytes_cloned_.store(0, std::memory_order_relaxed);
-  publish_bytes_deep_copied_.store(0, std::memory_order_relaxed);
-  publish_nanos_.store(0, std::memory_order_relaxed);
-  latency_.Reset();
-  wall_.Restart();
+  counters.publish_bytes_deep_copied.fetch_add(info.deep_bytes_copied,
+                                               std::memory_order_relaxed);
+  counters.publish_nanos.fetch_add(publish_timer.ElapsedNanos(),
+                                   std::memory_order_relaxed);
+  core_.Publish(std::move(snap));
 }
 
 }  // namespace stl

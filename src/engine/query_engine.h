@@ -13,6 +13,12 @@
 //                                  │  full rebuild for static backends),
 //                                  └─ publish a new EngineSnapshot
 //
+// All the serving plumbing — thread pool, update queue, snapshot slot,
+// batch submission, completion delivery, result cache, stats — lives in
+// engine/serving_core.h and is shared with the sharded engine; this
+// file contributes only the flat policy: one master DistanceIndex,
+// apply-batch = repair-and-publish, route = one IndexView query.
+//
 // Epoch-versioned snapshots: every published EngineSnapshot is
 // immutable. The per-epoch graph is always shared structurally (weights
 // live in copy-on-write chunks, graph/graph.h). The index side is
@@ -26,32 +32,27 @@
 // index by pointer share. Publication is one atomic pointer swap
 // (engine/atomic_shared_ptr.h); a query holds its snapshot alive via
 // shared_ptr for exactly as long as it runs, so the writer never waits
-// for readers and readers never observe a half-applied batch. (EngineOptions::flat_publish
-// restores STL's deep-copy-per-epoch behaviour as a benchmark
-// baseline.)
+// for readers and readers never observe a half-applied batch.
+// (EngineOptions::flat_publish restores STL's deep-copy-per-epoch
+// behaviour as a benchmark baseline.)
 //
 // Consistency contract (all backends): a query submitted at time t is
 // answered from some epoch published at or after the epoch current at
 // t; the answer is exact for that epoch's weights (verified against
 // Dijkstra per backend in tests/engine_test.cc and
-// bench_backend_shootout).
+// bench_backend_shootout). A batch is answered entirely from the one
+// snapshot pinned at submission (engine/serving_core.h).
 #ifndef STL_ENGINE_QUERY_ENGINE_H_
 #define STL_ENGINE_QUERY_ENGINE_H_
 
-#include <atomic>
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <thread>
 #include <vector>
 
-#include "engine/atomic_shared_ptr.h"
-#include "engine/latency_histogram.h"
-#include "engine/thread_pool.h"
-#include "engine/update_queue.h"
+#include "engine/serving_core.h"
 #include "graph/updates.h"
 #include "index/distance_index.h"
-#include "util/timer.h"
 #include "workload/query_workload.h"
 
 namespace stl {
@@ -103,35 +104,6 @@ struct QueryResult {
   std::shared_ptr<const EngineSnapshot> snapshot;
 };
 
-/// How the writer picks the STL maintenance algorithm per batch (other
-/// backends use their own single maintenance scheme and ignore this).
-enum class StrategyMode {
-  kAlwaysParetoSearch,  ///< STL-P for every batch.
-  kAlwaysLabelSearch,   ///< STL-L for every batch.
-  /// Per-batch choice: Label Search amortizes its per-ancestor searches
-  /// over large batches (Table 3); Pareto Search wins on small ones.
-  kAuto,
-};
-
-/// The per-batch STL maintenance choice for `mode` on a batch of
-/// `batch_size` effective updates (`auto_threshold` only matters for
-/// StrategyMode::kAuto). Shared by both serving engines.
-inline MaintenanceStrategy ChooseStrategy(StrategyMode mode,
-                                          size_t auto_threshold,
-                                          size_t batch_size) {
-  switch (mode) {
-    case StrategyMode::kAlwaysParetoSearch:
-      return MaintenanceStrategy::kParetoSearch;
-    case StrategyMode::kAlwaysLabelSearch:
-      return MaintenanceStrategy::kLabelSearch;
-    case StrategyMode::kAuto:
-      break;
-  }
-  return batch_size >= auto_threshold
-             ? MaintenanceStrategy::kLabelSearch
-             : MaintenanceStrategy::kParetoSearch;
-}
-
 /// Construction options for the flat (single-index) serving engine.
 struct EngineOptions {
   /// Which index family serves this engine (index/distance_index.h).
@@ -146,6 +118,10 @@ struct EngineOptions {
   /// kAuto: batches with at least this many effective updates use Label
   /// Search.
   size_t auto_label_search_threshold = 16;
+  /// Capacity of the epoch-keyed (s, t) result memo consulted by every
+  /// submission path; 0 disables it. The serving epoch is part of the
+  /// cache key, so publishes invalidate for free.
+  size_t result_cache_entries = 0;
   /// Benchmark baseline: publish every epoch as a full deep copy of the
   /// graph weights and labels (the pre-CoW behaviour) instead of a
   /// structural share. Keep false outside bench_snapshot_publish; only
@@ -153,78 +129,16 @@ struct EngineOptions {
   bool flat_publish = false;
 };
 
-/// Per-shard serving counters, reported by the sharded engine
-/// (engine/sharded_engine.h). Always empty for the flat QueryEngine.
-struct ShardStats {
-  /// Cell id (index into the engine's shard layout).
-  uint32_t shard = 0;
-  /// Vertices owned by the cell (|C_i|).
-  uint32_t cell_vertices = 0;
-  /// Boundary vertices adjacent to the cell (|S_i|).
-  uint32_t boundary_vertices = 0;
-  /// Edges owned by the shard's subgraph.
-  uint32_t subgraph_edges = 0;
-  /// This shard's own epoch counter: bumps only when an update batch
-  /// dirtied the shard (0 = still serving its initial publish).
-  uint64_t shard_epoch = 0;
-  /// Effective updates routed to this shard so far.
-  uint64_t updates_applied = 0;
-  /// Serving-view bytes unique to this shard (shared blocks counted
-  /// once across the whole engine).
-  uint64_t resident_bytes = 0;
-};
-
-/// Point-in-time engine counters and latency summary.
-struct EngineStats {
-  /// The index family serving the engine.
-  BackendKind backend = BackendKind::kStl;
-  uint64_t queries_served = 0;     ///< Queries answered so far.
-  uint64_t updates_enqueued = 0;   ///< Updates ever enqueued.
-  uint64_t updates_applied = 0;    ///< Effective updates (after coalescing).
-  uint64_t updates_coalesced = 0;  ///< Duplicates / no-ops dropped.
-  uint64_t epochs_published = 0;   ///< Snapshots published after epoch 0.
-  uint64_t batches_pareto = 0;       ///< STL-P batches.
-  uint64_t batches_label = 0;        ///< STL-L batches.
-  uint64_t batches_incremental = 0;  ///< DCH / IncH2H batches.
-  uint64_t batches_rebuild = 0;      ///< Static-backend full rebuilds.
-  // Copy-on-write publish economics. cow_bytes_cloned counts bytes of
-  // label pages + graph weight chunks detached by maintenance (the true
-  // per-epoch copy cost under structural sharing);
-  // publish_bytes_deep_copied counts bytes copied by deep-copy publishes
-  // (flat_publish baseline, and every CH/H2H epoch).
-  uint64_t label_pages_cloned = 0;   ///< CoW label pages detached.
-  uint64_t graph_chunks_cloned = 0;  ///< CoW graph weight chunks detached.
-  uint64_t cow_bytes_cloned = 0;     ///< Bytes of the above clones.
-  uint64_t publish_bytes_deep_copied = 0;  ///< Deep-copy publish bytes.
-  double publish_total_micros = 0;  ///< Time inside snapshot publication.
-  /// Actual resident bytes of the serving state (current snapshot's view
-  /// + graph + any state shared with it), with every shared physical
-  /// page/chunk counted exactly once (Table-4-style honest memory under
-  /// page sharing). The STL master shares all but its not-yet-published
-  /// dirty pages with the snapshot, so those appear here after the next
-  /// publish.
-  uint64_t resident_index_bytes = 0;
-  // Sharded serving (engine/sharded_engine.h); zero / empty for the
-  // flat QueryEngine.
-  uint32_t num_shards = 0;           ///< Cells served (0 = unsharded).
-  uint32_t boundary_vertices = 0;    ///< Overlay size |S|.
-  uint64_t overlay_republishes = 0;  ///< Overlay tables published.
-  /// Time spent rebuilding boundary cliques + the all-pairs overlay
-  /// table (a subset of publish_total_micros).
-  double overlay_rebuild_micros = 0;
-  std::vector<ShardStats> shards;    ///< Per-shard counters.
-  double wall_seconds = 0;           ///< Wall time since start / reset.
-  double queries_per_second = 0;     ///< queries_served / wall_seconds.
-  double latency_mean_micros = 0;    ///< Mean request latency.
-  double latency_p50_micros = 0;     ///< Median request latency.
-  double latency_p99_micros = 0;     ///< 99th-percentile latency.
-  double latency_max_micros = 0;     ///< Largest observed latency.
-};
-
-/// Concurrent query-serving engine. Thread-safe: Submit/SubmitBatch/
-/// EnqueueUpdate/Flush/Stats may be called from any thread.
+/// Concurrent query-serving engine: the flat (one master DistanceIndex)
+/// policy over the shared ServingCore. Thread-safe: Submit/SubmitBatch/
+/// SubmitTagged/EnqueueUpdate/Flush/Stats may be called from any
+/// thread.
 class QueryEngine {
  public:
+  /// Batch handle type returned by SubmitBatch (one pinned snapshot per
+  /// batch; see engine/serving_core.h).
+  using Ticket = BatchTicket<EngineSnapshot>;
+
   /// Takes ownership of the graph, builds the backend selected by
   /// `options.backend`, starts the workers, and publishes epoch 0.
   QueryEngine(Graph graph, const HierarchyOptions& hierarchy_options,
@@ -238,32 +152,57 @@ class QueryEngine {
   QueryEngine& operator=(const QueryEngine&) = delete;  ///< Not copyable.
 
   /// Schedules one distance query; the future resolves when a reader
-  /// thread has answered it.
-  std::future<QueryResult> Submit(QueryPair query);
+  /// thread has answered it. Compatibility adapter: allocates one
+  /// promise per query (prefer SubmitBatch / SubmitTagged at high qps).
+  std::future<QueryResult> Submit(QueryPair query) {
+    return core_.Submit(query);
+  }
 
-  /// Schedules many queries (one future each).
-  std::vector<std::future<QueryResult>> SubmitBatch(
-      const std::vector<QueryPair>& queries);
+  /// Schedules a batch of queries pinned to ONE snapshot; answers are
+  /// bit-identical to per-query Submit calls on that same snapshot.
+  Ticket SubmitBatch(const std::vector<QueryPair>& queries) {
+    return core_.SubmitBatch(queries);
+  }
+
+  /// Completion-queue mode: the answer is delivered to `sink` exactly
+  /// once with the caller's tag — no promise or future is allocated.
+  void SubmitTagged(QueryPair query, uint64_t tag, CompletionSink* sink) {
+    core_.SubmitTagged(query, tag, sink);
+  }
+
+  /// Batched completion-queue mode: pins one snapshot and delivers
+  /// `tags[i]` with query i's answer to `sink` exactly once.
+  Ticket SubmitBatchTagged(const std::vector<QueryPair>& queries,
+                           const std::vector<uint64_t>& tags,
+                           CompletionSink* sink) {
+    return core_.SubmitBatchTagged(queries, tags, sink);
+  }
 
   /// Records a desired new weight for an edge. The writer re-resolves
   /// the old weight from the master graph at apply time, so callers need
   /// not know the current weight (update.old_weight is ignored).
-  void EnqueueUpdate(const WeightUpdate& update);
+  void EnqueueUpdate(const WeightUpdate& update) {
+    core_.EnqueueUpdate(update.edge, update.new_weight);
+  }
   /// Convenience overload of EnqueueUpdate(const WeightUpdate&).
-  void EnqueueUpdate(EdgeId edge, Weight new_weight);
+  void EnqueueUpdate(EdgeId edge, Weight new_weight) {
+    core_.EnqueueUpdate(edge, new_weight);
+  }
 
   /// Enqueues many updates atomically (one lock, one writer wakeup): the
   /// writer cannot pop a partial prefix, so up to max_batch_size of them
   /// land in the same maintenance batch / epoch.
-  void EnqueueUpdates(const std::vector<WeightUpdate>& updates);
+  void EnqueueUpdates(const std::vector<WeightUpdate>& updates) {
+    core_.EnqueueUpdates(updates);
+  }
 
   /// Blocks until every update enqueued before the call has been applied
   /// and, if it changed any weight, published in a snapshot.
-  void Flush();
+  void Flush() { core_.Flush(); }
 
   /// The latest published snapshot (never null after construction).
   std::shared_ptr<const EngineSnapshot> CurrentSnapshot() const {
-    return current_.load();
+    return core_.CurrentSnapshot();
   }
 
   /// Epoch of the latest published snapshot.
@@ -275,18 +214,40 @@ class QueryEngine {
   const BackendCapabilities& capabilities() const { return capabilities_; }
 
   /// Point-in-time counters and latency summary.
-  EngineStats Stats() const;
+  EngineStats Stats() const { return core_.Stats(); }
 
   /// Zeroes counters (except the epoch allocator) and the latency
   /// histogram and restarts the wall clock (for bench warmup). Call only
   /// while no queries are in flight.
-  void ResetStats();
+  void ResetStats() { core_.ResetStats(); }
 
   /// Reader thread count.
-  int num_query_threads() const { return pool_.num_threads(); }
+  int num_query_threads() const { return core_.num_query_threads(); }
 
  private:
-  void WriterLoop();
+  // The flat Apply + Route policy the shared ServingCore drives (see
+  // the policy contract in engine/serving_core.h).
+  struct Policy {
+    using Snapshot = EngineSnapshot;
+    using Result = QueryResult;
+    // One IndexView answers any (s, t); there is no per-group state to
+    // reuse, so batch misses are routed unsorted.
+    static constexpr bool kGroupsBatches = false;
+
+    QueryEngine* engine;
+
+    void PublishInitial();
+    Weight ResolveOldWeight(EdgeId e) const;
+    void ApplyBatch(const UpdateBatch& batch);
+    uint32_t NumEdges() const;
+    Weight Route(const EngineSnapshot& snap, Vertex s, Vertex t) const;
+    uint64_t BatchSortKey(const EngineSnapshot& snap,
+                          const QueryPair& q) const;
+    void RouteSpan(const EngineSnapshot& snap, const QueryPair* queries,
+                   const uint32_t* idx, size_t count, Weight* out) const;
+    void AugmentStats(EngineStats* s) const;
+  };
+
   /// Publishes the master index state as epoch `epoch`. Called only by
   /// the writer thread (or the constructor, before concurrency starts).
   void PublishSnapshot(uint64_t epoch);
@@ -301,35 +262,14 @@ class QueryEngine {
   std::unique_ptr<DistanceIndex> index_;
   BackendCapabilities capabilities_;
 
-  AtomicSharedPtr<const EngineSnapshot> current_;
-
-  // Pending-update queue (writer input; shared protocol with the
-  // sharded engine — engine/update_queue.h).
-  UpdateQueue updates_;
-
-  std::thread writer_;
-
   // Last-harvested cumulative CoW counters of the master graph; only the
   // publishing thread touches these, so per-epoch deltas need no
   // synchronization. (The label-side harvest lives in the STL backend.)
   uint64_t harvested_graph_chunks_ = 0;
   uint64_t harvested_graph_bytes_ = 0;
 
-  // Serving-side stats (relaxed atomics: monitoring, not coordination).
-  std::atomic<uint64_t> queries_served_{0};
-  std::atomic<uint64_t> updates_applied_{0};
-  std::atomic<uint64_t> updates_coalesced_{0};
-  std::atomic<uint64_t> epochs_published_{0};
-  BatchExecutionCounters batch_counters_;
-  std::atomic<uint64_t> label_pages_cloned_{0};
-  std::atomic<uint64_t> graph_chunks_cloned_{0};
-  std::atomic<uint64_t> cow_bytes_cloned_{0};
-  std::atomic<uint64_t> publish_bytes_deep_copied_{0};
-  std::atomic<uint64_t> publish_nanos_{0};
-  LatencyHistogram latency_;
-  Timer wall_;
-
-  ThreadPool pool_;  // last member: workers die before state they touch
+  Policy policy_{this};
+  ServingCore<Policy> core_;  // last member: its workers die first
 };
 
 }  // namespace stl

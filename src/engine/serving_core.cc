@@ -1,0 +1,169 @@
+#include "engine/serving_core.h"
+
+namespace stl {
+
+// ----------------------------------------------------- CompletionQueue
+
+void CompletionQueue::Deliver(const Completion& done) {
+  std::lock_guard<std::mutex> lock(mu_);
+  done_.push_back(done);
+  // Notify while holding the lock: a poller can then not consume the
+  // last completion and destroy this queue before the notify call has
+  // finished touching the condition variable (the caller-owned-queue
+  // teardown race).
+  ready_cv_.notify_one();
+}
+
+size_t CompletionQueue::Poll(Completion* out, size_t max_completions) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  while (n < max_completions && !done_.empty()) {
+    out[n++] = done_.front();
+    done_.pop_front();
+  }
+  return n;
+}
+
+size_t CompletionQueue::WaitPoll(Completion* out, size_t max_completions) {
+  std::unique_lock<std::mutex> lock(mu_);
+  ready_cv_.wait(lock, [this] { return !done_.empty(); });
+  size_t n = 0;
+  while (n < max_completions && !done_.empty()) {
+    out[n++] = done_.front();
+    done_.pop_front();
+  }
+  return n;
+}
+
+size_t CompletionQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_.size();
+}
+
+// --------------------------------------------------------- ResultCache
+
+namespace {
+
+/// splitmix64 finalizer: spreads (s, t) keys across the slot array.
+inline uint64_t MixKey(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ResultCache::ResultCache(size_t entries) {
+  if (entries == 0) return;
+  size_t cap = 1;
+  while (cap < entries) cap <<= 1;
+  mask_ = cap - 1;
+  slots_ = std::make_unique<Slot[]>(cap);
+}
+
+bool ResultCache::Lookup(Vertex s, Vertex t, uint64_t epoch,
+                         Weight* distance) const {
+  if (slots_ == nullptr) return false;
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t key = (static_cast<uint64_t>(s) << 32) | t;
+  const Slot& slot = slots_[MixKey(key) & mask_];
+  // Version-validated read: the payload loads are relaxed atomics, and
+  // the version re-check (ordered after them by the acquire fence)
+  // rejects any slot an insert touched in between — a torn read is a
+  // miss, never a wrong hit.
+  const uint64_t v1 = slot.version.load(std::memory_order_acquire);
+  if (v1 & 1) return false;
+  const uint64_t k = slot.key.load(std::memory_order_relaxed);
+  const uint64_t e = slot.epoch.load(std::memory_order_relaxed);
+  const Weight d = slot.distance.load(std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_acquire);
+  if (slot.version.load(std::memory_order_relaxed) != v1) return false;
+  if (k != key || e != epoch) return false;
+  *distance = d;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ResultCache::Insert(Vertex s, Vertex t, uint64_t epoch,
+                         Weight distance) {
+  if (slots_ == nullptr) return;
+  const uint64_t key = (static_cast<uint64_t>(s) << 32) | t;
+  Slot& slot = slots_[MixKey(key) & mask_];
+  uint64_t v = slot.version.load(std::memory_order_relaxed);
+  if (v & 1) return;  // another insert in flight; drop ours
+  if (!slot.version.compare_exchange_strong(v, v + 1,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_relaxed)) {
+    return;  // lost the race; drop
+  }
+  slot.key.store(key, std::memory_order_relaxed);
+  slot.epoch.store(epoch, std::memory_order_relaxed);
+  slot.distance.store(distance, std::memory_order_relaxed);
+  slot.version.store(v + 2, std::memory_order_release);
+}
+
+void ResultCache::ResetCounters() {
+  lookups_.store(0, std::memory_order_relaxed);
+  hits_.store(0, std::memory_order_relaxed);
+}
+
+// ----------------------------------------------------- ServingCounters
+
+void ServingCounters::FillStats(EngineStats* s) const {
+  s->queries_served = queries_served.load(std::memory_order_relaxed);
+  s->updates_applied = updates_applied.load(std::memory_order_relaxed);
+  s->updates_coalesced =
+      updates_coalesced.load(std::memory_order_relaxed);
+  s->epochs_published = epochs_published.load(std::memory_order_relaxed);
+  s->batches_pareto =
+      batch_counters.pareto.load(std::memory_order_relaxed);
+  s->batches_label = batch_counters.label.load(std::memory_order_relaxed);
+  s->batches_incremental =
+      batch_counters.incremental.load(std::memory_order_relaxed);
+  s->batches_rebuild =
+      batch_counters.rebuild.load(std::memory_order_relaxed);
+  s->query_batches_submitted =
+      query_batches_submitted.load(std::memory_order_relaxed);
+  s->batched_queries = batched_queries.load(std::memory_order_relaxed);
+  s->label_pages_cloned =
+      label_pages_cloned.load(std::memory_order_relaxed);
+  s->graph_chunks_cloned =
+      graph_chunks_cloned.load(std::memory_order_relaxed);
+  s->cow_bytes_cloned = cow_bytes_cloned.load(std::memory_order_relaxed);
+  s->publish_bytes_deep_copied =
+      publish_bytes_deep_copied.load(std::memory_order_relaxed);
+  s->publish_total_micros =
+      static_cast<double>(publish_nanos.load(std::memory_order_relaxed)) /
+      1e3;
+  s->wall_seconds = wall.ElapsedSeconds();
+  s->queries_per_second =
+      s->wall_seconds > 0
+          ? static_cast<double>(s->queries_served) / s->wall_seconds
+          : 0;
+  s->latency_mean_micros = latency.MeanMicros();
+  s->latency_p50_micros = latency.QuantileMicros(0.5);
+  s->latency_p99_micros = latency.QuantileMicros(0.99);
+  s->latency_max_micros = latency.MaxMicros();
+}
+
+void ServingCounters::Reset() {
+  queries_served.store(0, std::memory_order_relaxed);
+  updates_applied.store(0, std::memory_order_relaxed);
+  updates_coalesced.store(0, std::memory_order_relaxed);
+  // epochs_published is deliberately not reset: it doubles as the epoch
+  // id allocator, and snapshot epochs must stay unique for the lifetime
+  // of the engine.
+  batch_counters.Reset();
+  query_batches_submitted.store(0, std::memory_order_relaxed);
+  batched_queries.store(0, std::memory_order_relaxed);
+  label_pages_cloned.store(0, std::memory_order_relaxed);
+  graph_chunks_cloned.store(0, std::memory_order_relaxed);
+  cow_bytes_cloned.store(0, std::memory_order_relaxed);
+  publish_bytes_deep_copied.store(0, std::memory_order_relaxed);
+  publish_nanos.store(0, std::memory_order_relaxed);
+  latency.Reset();
+  wall.Restart();
+}
+
+}  // namespace stl

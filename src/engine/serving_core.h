@@ -1,0 +1,809 @@
+// The unified serving surface: one ServingCore owns the reader thread
+// pool, the single-writer update-queue protocol, the snapshot
+// publication slot, the result cache and every serving-side counter —
+// QueryEngine (flat) and ShardedEngine (partitioned) are thin Apply +
+// Route policies on top of it, so the Submit/Stats/lifecycle plumbing
+// exists exactly once.
+//
+//   callers                       ServingCore<Policy>
+//   ───────────────────────────   ──────────────────────────────────────
+//   Submit()        -> future     compat adapter: one promise per query
+//   SubmitBatch()   -> ticket     pins ONE snapshot for the whole batch,
+//                                 consults the epoch-keyed result cache,
+//                                 groups the misses by Policy::
+//                                 BatchSortKey and routes them in chunks
+//                                 on the reader pool (Policy::RouteSpan)
+//   SubmitTagged()  -> sink       completion-queue mode: no promise, no
+//   SubmitBatchTagged()           future — the answer is pushed to a
+//                                 CompletionSink with the caller's tag
+//
+// Consistency contract (inherited by both engines): every query is
+// answered exactly for the weights of the single epoch snapshot it was
+// served from; a batch is answered entirely from the one snapshot
+// pinned at submission, so its answers are bit-identical to per-query
+// serving on that same epoch. Completions are delivered exactly once
+// per submitted tag, including across engine destruction (the pool
+// drains before the writer joins).
+#ifndef STL_ENGINE_SERVING_CORE_H_
+#define STL_ENGINE_SERVING_CORE_H_
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "engine/atomic_shared_ptr.h"
+#include "engine/latency_histogram.h"
+#include "engine/thread_pool.h"
+#include "engine/update_queue.h"
+#include "graph/updates.h"
+#include "index/distance_index.h"
+#include "util/logging.h"
+#include "util/timer.h"
+#include "workload/query_workload.h"
+
+namespace stl {
+
+/// How the writer picks the STL maintenance algorithm per batch (other
+/// backends use their own single maintenance scheme and ignore this).
+enum class StrategyMode {
+  kAlwaysParetoSearch,  ///< STL-P for every batch.
+  kAlwaysLabelSearch,   ///< STL-L for every batch.
+  /// Per-batch choice: Label Search amortizes its per-ancestor searches
+  /// over large batches (Table 3); Pareto Search wins on small ones.
+  kAuto,
+};
+
+/// The per-batch STL maintenance choice for `mode` on a batch of
+/// `batch_size` effective updates (`auto_threshold` only matters for
+/// StrategyMode::kAuto). Shared by both serving engines.
+inline MaintenanceStrategy ChooseStrategy(StrategyMode mode,
+                                          size_t auto_threshold,
+                                          size_t batch_size) {
+  switch (mode) {
+    case StrategyMode::kAlwaysParetoSearch:
+      return MaintenanceStrategy::kParetoSearch;
+    case StrategyMode::kAlwaysLabelSearch:
+      return MaintenanceStrategy::kLabelSearch;
+    case StrategyMode::kAuto:
+      break;
+  }
+  return batch_size >= auto_threshold
+             ? MaintenanceStrategy::kLabelSearch
+             : MaintenanceStrategy::kParetoSearch;
+}
+
+/// Per-shard serving counters, reported by the sharded engine
+/// (engine/sharded_engine.h). Always empty for the flat QueryEngine.
+struct ShardStats {
+  /// Cell id (index into the engine's shard layout).
+  uint32_t shard = 0;
+  /// Vertices owned by the cell (|C_i|).
+  uint32_t cell_vertices = 0;
+  /// Boundary vertices adjacent to the cell (|S_i|).
+  uint32_t boundary_vertices = 0;
+  /// Edges owned by the shard's subgraph.
+  uint32_t subgraph_edges = 0;
+  /// This shard's own epoch counter: bumps only when an update batch
+  /// dirtied the shard (0 = still serving its initial publish).
+  uint64_t shard_epoch = 0;
+  /// Effective updates routed to this shard so far.
+  uint64_t updates_applied = 0;
+  /// Serving-view bytes unique to this shard (shared blocks counted
+  /// once across the whole engine).
+  uint64_t resident_bytes = 0;
+};
+
+/// Point-in-time engine counters and latency summary.
+struct EngineStats {
+  /// The index family serving the engine.
+  BackendKind backend = BackendKind::kStl;
+  uint64_t queries_served = 0;     ///< Queries answered so far.
+  uint64_t updates_enqueued = 0;   ///< Updates ever enqueued.
+  uint64_t updates_applied = 0;    ///< Effective updates (after coalescing).
+  uint64_t updates_coalesced = 0;  ///< Duplicates / no-ops dropped.
+  uint64_t epochs_published = 0;   ///< Snapshots published after epoch 0.
+  uint64_t batches_pareto = 0;       ///< STL-P batches.
+  uint64_t batches_label = 0;        ///< STL-L batches.
+  uint64_t batches_incremental = 0;  ///< DCH / IncH2H batches.
+  uint64_t batches_rebuild = 0;      ///< Static-backend full rebuilds.
+  // Batched submission (SubmitBatch / SubmitBatchTagged).
+  uint64_t query_batches_submitted = 0;  ///< Batch tickets issued.
+  uint64_t batched_queries = 0;  ///< Queries that arrived inside a batch.
+  // Epoch-keyed (s, t) result memo (EngineOptions::result_cache_entries;
+  // zero when the cache is disabled).
+  uint64_t result_cache_lookups = 0;  ///< Cache probes on the read path.
+  uint64_t result_cache_hits = 0;     ///< Probes answered from the cache.
+  double result_cache_hit_rate = 0;   ///< hits / lookups (0 when unused).
+  // Copy-on-write publish economics. cow_bytes_cloned counts bytes of
+  // label pages + graph weight chunks detached by maintenance (the true
+  // per-epoch copy cost under structural sharing);
+  // publish_bytes_deep_copied counts bytes copied by deep-copy publishes
+  // (flat_publish baseline, and every CH/H2H epoch).
+  uint64_t label_pages_cloned = 0;   ///< CoW label pages detached.
+  uint64_t graph_chunks_cloned = 0;  ///< CoW graph weight chunks detached.
+  uint64_t cow_bytes_cloned = 0;     ///< Bytes of the above clones.
+  uint64_t publish_bytes_deep_copied = 0;  ///< Deep-copy publish bytes.
+  double publish_total_micros = 0;  ///< Time inside snapshot publication.
+  /// Actual resident bytes of the serving state (current snapshot's view
+  /// + graph + any state shared with it), with every shared physical
+  /// page/chunk counted exactly once (Table-4-style honest memory under
+  /// page sharing). The STL master shares all but its not-yet-published
+  /// dirty pages with the snapshot, so those appear here after the next
+  /// publish.
+  uint64_t resident_index_bytes = 0;
+  // Sharded serving (engine/sharded_engine.h); zero / empty for the
+  // flat QueryEngine.
+  uint32_t num_shards = 0;           ///< Cells served (0 = unsharded).
+  uint32_t boundary_vertices = 0;    ///< Overlay size |S|.
+  uint64_t overlay_republishes = 0;  ///< Overlay tables published.
+  /// Time spent rebuilding boundary cliques + the all-pairs overlay
+  /// table (a subset of publish_total_micros).
+  double overlay_rebuild_micros = 0;
+  std::vector<ShardStats> shards;    ///< Per-shard counters.
+  double wall_seconds = 0;           ///< Wall time since start / reset.
+  double queries_per_second = 0;     ///< queries_served / wall_seconds.
+  double latency_mean_micros = 0;    ///< Mean request latency.
+  double latency_p50_micros = 0;     ///< Median request latency.
+  double latency_p99_micros = 0;     ///< 99th-percentile latency.
+  double latency_max_micros = 0;     ///< Largest observed latency.
+};
+
+/// One finished query in completion-queue delivery mode. Carries the
+/// caller's tag instead of a snapshot pointer, so the high-qps path
+/// allocates no promise and keeps no snapshot alive per query.
+struct Completion {
+  /// The tag the caller attached at submission (request id, slot index,
+  /// pointer bits — opaque to the engine).
+  uint64_t tag = 0;
+  /// Exact distance for the serving snapshot's weights.
+  Weight distance = kInfDistance;
+  /// Epoch of the snapshot the query was served from.
+  uint64_t epoch = 0;
+  /// Submit-to-completion latency (queue wait included).
+  double latency_micros = 0;
+};
+
+/// Where completion-mode answers go. Deliver() is called exactly once
+/// per submitted tag, from a reader-pool thread (or from the submitting
+/// thread for result-cache hits inside SubmitBatchTagged); it must be
+/// thread-safe and should not block for long — it runs on the serving
+/// path.
+class CompletionSink {
+ public:
+  virtual ~CompletionSink() = default;  ///< Sinks are caller-owned.
+
+  /// Accepts one finished query. Called exactly once per tag.
+  virtual void Deliver(const Completion& done) = 0;
+};
+
+/// The default sink: an unbounded MPMC completion queue the caller
+/// drains with Poll() (non-blocking) or WaitPoll() (blocking). All
+/// methods are thread-safe.
+class CompletionQueue final : public CompletionSink {
+ public:
+  /// Pushes one completion and wakes one waiting poller.
+  void Deliver(const Completion& done) override;
+
+  /// Drains up to `max_completions` finished queries into `out` without
+  /// blocking. Returns how many were written (0 when empty).
+  size_t Poll(Completion* out, size_t max_completions);
+
+  /// Blocks until at least one completion is available, then drains up
+  /// to `max_completions` into `out`. Returns how many were written.
+  size_t WaitPoll(Completion* out, size_t max_completions);
+
+  /// Completions currently queued (point-in-time).
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable ready_cv_;
+  std::deque<Completion> done_;
+};
+
+/// Epoch-keyed (s, t) distance memo shared by every submission path.
+/// Invalidation is free: the serving epoch is part of the key, so a
+/// published epoch's entries simply stop matching (the snapshot's epoch
+/// id is unique for the engine's lifetime — it doubles as the pointer
+/// identity of the published snapshot). Direct-mapped, fixed-size,
+/// wait-free on both paths: slots are version-validated sequences of
+/// relaxed atomics (a torn read fails validation and reads as a miss),
+/// so lookups never lock and a contended insert is simply dropped.
+class ResultCache {
+ public:
+  /// A cache with capacity for `entries` (s, t) pairs, rounded up to a
+  /// power of two. 0 disables the cache (Lookup always misses, Insert
+  /// is a no-op, no memory is allocated).
+  explicit ResultCache(size_t entries);
+
+  /// False iff constructed with 0 entries.
+  bool enabled() const { return mask_ != 0 || slots_ != nullptr; }
+
+  /// True iff the cache holds the exact distance for (s, t) under epoch
+  /// `epoch`; writes it to `*distance`. Counts one lookup (and one hit
+  /// on success).
+  bool Lookup(Vertex s, Vertex t, uint64_t epoch, Weight* distance) const;
+
+  /// Records the exact distance for (s, t) under `epoch`, overwriting
+  /// whatever occupied the slot. Dropped silently when another thread
+  /// is mid-insert on the same slot.
+  void Insert(Vertex s, Vertex t, uint64_t epoch, Weight distance);
+
+  /// Probes so far (relaxed; monitoring only).
+  uint64_t lookups() const {
+    return lookups_.load(std::memory_order_relaxed);
+  }
+  /// Probes answered from the cache so far.
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+
+  /// Zeroes the hit/lookup counters (entries stay valid: they are
+  /// epoch-keyed, so stale ones can never serve a wrong answer).
+  void ResetCounters();
+
+ private:
+  struct Slot {
+    // Even = stable, odd = an insert is in flight. Readers re-validate
+    // the version after loading the payload; all fields are atomics so
+    // the scheme is data-race-free (TSan-clean) and a torn read can
+    // only produce a miss, never a wrong hit.
+    std::atomic<uint64_t> version{0};
+    std::atomic<uint64_t> key{~uint64_t{0}};
+    std::atomic<uint64_t> epoch{0};
+    std::atomic<uint32_t> distance{0};
+  };
+
+  size_t mask_ = 0;
+  std::unique_ptr<Slot[]> slots_;
+  mutable std::atomic<uint64_t> lookups_{0};
+  mutable std::atomic<uint64_t> hits_{0};
+};
+
+/// The serving-side counter block shared by every engine: relaxed
+/// atomics for monitoring, the latency histogram, and the wall clock.
+/// Policies bump the maintenance/publish counters from the writer
+/// thread; ServingCore bumps the query-side ones from the reader pool.
+struct ServingCounters {
+  std::atomic<uint64_t> queries_served{0};   ///< Queries answered.
+  std::atomic<uint64_t> updates_applied{0};  ///< Effective updates.
+  std::atomic<uint64_t> updates_coalesced{0};  ///< Dropped no-ops/dups.
+  /// Snapshots published after epoch 0. Doubles as the epoch-id
+  /// allocator, so it survives ResetStats().
+  std::atomic<uint64_t> epochs_published{0};
+  BatchExecutionCounters batch_counters;     ///< How batches executed.
+  std::atomic<uint64_t> label_pages_cloned{0};   ///< CoW label pages.
+  std::atomic<uint64_t> graph_chunks_cloned{0};  ///< CoW graph chunks.
+  std::atomic<uint64_t> cow_bytes_cloned{0};     ///< Bytes CoW-cloned.
+  /// Bytes copied by deep-copy publishes (flat_publish, CH/H2H epochs).
+  std::atomic<uint64_t> publish_bytes_deep_copied{0};
+  std::atomic<uint64_t> publish_nanos{0};  ///< Time inside publication.
+  /// Batch tickets issued (SubmitBatch / SubmitBatchTagged).
+  std::atomic<uint64_t> query_batches_submitted{0};
+  /// Queries that arrived inside a batch.
+  std::atomic<uint64_t> batched_queries{0};
+  LatencyHistogram latency;  ///< Submit-to-completion latency.
+  Timer wall;                ///< Serving wall clock (Restart on start).
+
+  /// Copies the counter block into the matching EngineStats fields and
+  /// derives the rates (qps, latency quantiles).
+  void FillStats(EngineStats* s) const;
+
+  /// Zeroes everything except epochs_published (the epoch-id allocator:
+  /// snapshot epochs must stay unique for the engine's lifetime) and
+  /// restarts the wall clock.
+  void Reset();
+};
+
+/// A handle to one submitted batch. The whole batch is answered from
+/// the single snapshot pinned when SubmitBatch was called, so every
+/// distance is exact for that epoch — bit-identical to what per-query
+/// Submit calls would have returned on the same snapshot. Cheap to copy
+/// (shared state); default-constructed tickets are empty.
+template <typename Snapshot>
+class BatchTicket {
+ public:
+  /// An empty ticket (no queries; Wait() returns immediately).
+  BatchTicket() = default;
+
+  /// True iff this ticket came from a SubmitBatch call.
+  bool valid() const { return state_ != nullptr; }
+
+  /// Number of queries in the batch.
+  size_t size() const { return state_ ? state_->distances.size() : 0; }
+
+  /// Blocks until every query in the batch has been answered.
+  void Wait() const {
+    if (!state_) return;
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->done_cv.wait(lock, [this] { return state_->done; });
+  }
+
+  /// Exact distance of query i under the pinned epoch's weights
+  /// (blocks until the batch is done).
+  Weight distance(size_t i) const {
+    Wait();
+    STL_CHECK(state_ != nullptr && i < state_->distances.size());
+    return state_->distances[i];
+  }
+
+  /// Epoch of the pinned snapshot.
+  uint64_t epoch() const {
+    STL_CHECK(state_ != nullptr);
+    return state_->snapshot->epoch;
+  }
+
+  /// The snapshot the whole batch was served from (never null on a
+  /// valid ticket); lets callers audit every answer against the exact
+  /// weights of that one epoch.
+  const std::shared_ptr<const Snapshot>& snapshot() const {
+    STL_CHECK(state_ != nullptr);
+    return state_->snapshot;
+  }
+
+  /// Submit-to-last-answer latency of the batch (blocks until done).
+  double latency_micros() const {
+    Wait();
+    STL_CHECK(state_ != nullptr);
+    return state_->latency_micros;
+  }
+
+ private:
+  template <typename Policy>
+  friend class ServingCore;
+
+  struct State {
+    std::vector<QueryPair> queries;
+    std::vector<Weight> distances;
+    // Miss indices into `queries`, sorted by the policy's batch key so
+    // same-group queries land in the same chunk. Immutable once the
+    // chunks are enqueued.
+    std::vector<uint32_t> order;
+    // Completion-mode extras (empty / null for plain SubmitBatch).
+    std::vector<uint64_t> tags;
+    CompletionSink* sink = nullptr;
+    std::shared_ptr<const Snapshot> snapshot;
+    std::chrono::steady_clock::time_point submitted;
+    std::mutex mu;
+    std::condition_variable done_cv;
+    size_t pending_chunks = 0;  // guarded by mu
+    double latency_micros = 0;  // guarded by mu until done
+    bool done = false;          // guarded by mu
+  };
+
+  explicit BatchTicket(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
+
+/// Construction knobs common to every serving engine (each engine's
+/// options struct converts into one of these).
+struct ServingCoreOptions {
+  /// Reader threads.
+  int num_query_threads = 4;
+  /// Updates taken from the pending queue per epoch (larger batches mean
+  /// fewer snapshot publishes but staler reads).
+  size_t max_batch_size = 128;
+  /// Capacity of the epoch-keyed (s, t) result memo; 0 disables it.
+  size_t result_cache_entries = 0;
+};
+
+/// The one serving core both engines are built on. Owns the reader
+/// pool, the single-writer update queue, the snapshot slot, the result
+/// cache and the counters; the Policy supplies what differs between
+/// engines — how a coalesced batch is applied and published (Apply
+/// side) and how a query is routed on a snapshot (Route side).
+///
+/// Policy requirements:
+///   using Snapshot / Result   — the published epoch type (must expose
+///       a uint64_t `epoch`) and the per-query result type (must expose
+///       distance / epoch / latency_micros / snapshot fields).
+///   void PublishInitial()     — build + Publish() the epoch-0 snapshot.
+///   Weight ResolveOldWeight(EdgeId) — master weight authority for
+///       coalescing.
+///   void ApplyBatch(const UpdateBatch&) — apply one coalesced batch to
+///       the master state and Publish() the next snapshot (writer
+///       thread only).
+///   uint32_t NumEdges()       — update validation bound.
+///   Weight Route(const Snapshot&, Vertex, Vertex) — answer one query.
+///   static constexpr bool kGroupsBatches — whether batch misses are
+///       sorted by BatchSortKey before chunking.
+///   uint64_t BatchSortKey(const Snapshot&, const QueryPair&) — the
+///       grouping key (cell pair, target) for batched routing.
+///   void RouteSpan(const Snapshot&, const QueryPair* queries,
+///                  const uint32_t* idx, size_t count, Weight* out) —
+///       answer queries[idx[j]] into out[idx[j]] for j < count,
+///       reusing per-group state across the span.
+///   void AugmentStats(EngineStats*) — engine-specific stats fields
+///       (backend, resident bytes, shard rows).
+///
+/// Thread-safety: Submit*/EnqueueUpdate*/Flush/Stats may be called from
+/// any thread. Destruction drains: every submitted query is answered
+/// and every enqueued update applied before the destructor returns.
+template <typename Policy>
+class ServingCore {
+ public:
+  /// The policy's published epoch type.
+  using Snapshot = typename Policy::Snapshot;
+  /// The policy's per-query result type.
+  using Result = typename Policy::Result;
+  /// The batch handle type returned by SubmitBatch.
+  using Ticket = BatchTicket<Snapshot>;
+
+  /// Binds to `policy` (not owned; must outlive the core) and starts
+  /// the reader pool. The core is inert until Start(): the owning
+  /// engine builds its master state first, then calls Start().
+  ServingCore(Policy* policy, const ServingCoreOptions& options)
+      : policy_(policy),
+        options_(options),
+        cache_(options.result_cache_entries),
+        pool_(options.num_query_threads) {
+    STL_CHECK_GE(options_.max_batch_size, size_t{1});
+  }
+
+  /// Drains: answers every submitted query and applies every enqueued
+  /// update, then joins the workers and the writer.
+  ~ServingCore() {
+    pool_.Shutdown();  // answer every query already submitted
+    updates_.Stop();
+    if (writer_.joinable()) writer_.join();  // drains pending updates
+  }
+
+  ServingCore(const ServingCore&) = delete;             ///< Not copyable.
+  ServingCore& operator=(const ServingCore&) = delete;  ///< Not copyable.
+
+  /// Publishes epoch 0 through the policy, starts the writer thread and
+  /// restarts the serving wall clock. Call exactly once, at the end of
+  /// the owning engine's constructor.
+  void Start() {
+    policy_->PublishInitial();
+    STL_CHECK(current_.load() != nullptr)
+        << "PublishInitial() must publish the epoch-0 snapshot";
+    writer_ = std::thread([this] { WriterLoop(); });
+    // Start the throughput clock after the (potentially long) index
+    // build, so Stats() reports serving throughput, not build dilution.
+    counters_.wall.Restart();
+  }
+
+  /// Schedules one distance query; the future resolves when a reader
+  /// thread has answered it. Compatibility adapter over the completion
+  /// machinery: allocates one promise per query — high-qps callers
+  /// should prefer SubmitBatch or the tagged sink paths.
+  std::future<Result> Submit(QueryPair query) {
+    auto promise = std::make_shared<std::promise<Result>>();
+    std::future<Result> result = promise->get_future();
+    const auto submitted = std::chrono::steady_clock::now();
+    const bool accepted =
+        pool_.Enqueue([this, query, promise = std::move(promise),
+                       submitted] {
+          // The entire read path: one atomic load, then const reads on
+          // an immutable snapshot. Never blocks on maintenance work.
+          std::shared_ptr<const Snapshot> snap = current_.load();
+          Result r;
+          r.distance = RouteWithCache(*snap, query.first, query.second);
+          r.epoch = snap->epoch;
+          const uint64_t nanos = NanosSince(submitted);
+          r.latency_micros = static_cast<double>(nanos) / 1e3;
+          r.snapshot = std::move(snap);
+          counters_.latency.Record(nanos);
+          counters_.queries_served.fetch_add(1, std::memory_order_relaxed);
+          promise->set_value(std::move(r));
+        });
+    STL_CHECK(accepted) << "Submit() on a shut-down engine";
+    return result;
+  }
+
+  /// Schedules a batch of queries pinned to ONE snapshot: the current
+  /// epoch is loaded once, result-cache hits are answered inline, and
+  /// the misses are grouped by the policy's batch key and routed in
+  /// chunks on the reader pool. The returned ticket resolves when every
+  /// answer is in; answers are bit-identical to per-query Submit calls
+  /// on the same pinned snapshot.
+  Ticket SubmitBatch(const std::vector<QueryPair>& queries) {
+    return SubmitBatchInternal(queries, nullptr, nullptr);
+  }
+
+  /// Completion-queue mode, single query: no promise, no future — the
+  /// answer is delivered to `sink` exactly once with the caller's tag.
+  void SubmitTagged(QueryPair query, uint64_t tag, CompletionSink* sink) {
+    STL_CHECK(sink != nullptr);
+    const auto submitted = std::chrono::steady_clock::now();
+    const bool accepted = pool_.Enqueue([this, query, tag, sink,
+                                         submitted] {
+      std::shared_ptr<const Snapshot> snap = current_.load();
+      Completion done;
+      done.tag = tag;
+      done.distance = RouteWithCache(*snap, query.first, query.second);
+      done.epoch = snap->epoch;
+      const uint64_t nanos = NanosSince(submitted);
+      done.latency_micros = static_cast<double>(nanos) / 1e3;
+      counters_.latency.Record(nanos);
+      counters_.queries_served.fetch_add(1, std::memory_order_relaxed);
+      sink->Deliver(done);
+    });
+    STL_CHECK(accepted) << "SubmitTagged() on a shut-down engine";
+  }
+
+  /// Completion-queue mode, batched: pins one snapshot like
+  /// SubmitBatch and delivers `tags[i]` with query i's answer to `sink`
+  /// exactly once (result-cache hits are delivered inline from the
+  /// submitting thread). Also returns the ticket for callers that want
+  /// to Wait() or audit against the pinned snapshot.
+  Ticket SubmitBatchTagged(const std::vector<QueryPair>& queries,
+                           const std::vector<uint64_t>& tags,
+                           CompletionSink* sink) {
+    STL_CHECK(sink != nullptr);
+    STL_CHECK_EQ(queries.size(), tags.size());
+    return SubmitBatchInternal(queries, &tags, sink);
+  }
+
+  /// Records a desired new weight for an edge. The writer re-resolves
+  /// the old weight from the master state at apply time, so callers
+  /// need not know the current weight.
+  void EnqueueUpdate(EdgeId edge, Weight new_weight) {
+    STL_CHECK(edge < policy_->NumEdges());
+    STL_CHECK(new_weight >= 1 && new_weight <= kMaxEdgeWeight);
+    updates_.Enqueue(edge, new_weight);
+  }
+
+  /// Enqueues many updates atomically (one lock, one writer wakeup):
+  /// the writer cannot pop a partial prefix, so up to max_batch_size of
+  /// them land in the same maintenance batch / epoch.
+  void EnqueueUpdates(const std::vector<WeightUpdate>& updates) {
+    for (const WeightUpdate& u : updates) {
+      STL_CHECK(u.edge < policy_->NumEdges());
+      STL_CHECK(u.new_weight >= 1 && u.new_weight <= kMaxEdgeWeight);
+    }
+    updates_.EnqueueMany(updates);
+  }
+
+  /// Blocks until every update enqueued before the call has been
+  /// applied and, if it changed any weight, published in a snapshot.
+  void Flush() { updates_.Flush(); }
+
+  /// Swaps `snap` in as the serving snapshot (writer thread or
+  /// constructor only; readers pick it up on their next atomic load).
+  void Publish(std::shared_ptr<const Snapshot> snap) {
+    current_.store(std::move(snap));
+  }
+
+  /// The latest published snapshot (never null after Start()).
+  std::shared_ptr<const Snapshot> CurrentSnapshot() const {
+    return current_.load();
+  }
+
+  /// The shared counter block (policies bump the maintenance/publish
+  /// counters through this).
+  ServingCounters& counters() { return counters_; }
+
+  /// Read-only view of the counter block.
+  const ServingCounters& counters() const { return counters_; }
+
+  /// Point-in-time counters and latency summary; the policy appends its
+  /// engine-specific fields (backend, resident bytes, shard rows).
+  EngineStats Stats() const {
+    EngineStats s;
+    counters_.FillStats(&s);
+    s.updates_enqueued = updates_.enqueued();
+    s.result_cache_lookups = cache_.lookups();
+    s.result_cache_hits = cache_.hits();
+    s.result_cache_hit_rate =
+        s.result_cache_lookups > 0
+            ? static_cast<double>(s.result_cache_hits) /
+                  static_cast<double>(s.result_cache_lookups)
+            : 0;
+    policy_->AugmentStats(&s);
+    return s;
+  }
+
+  /// Zeroes counters (except the epoch allocator) and the latency
+  /// histogram and restarts the wall clock (for bench warmup). Call
+  /// only while no queries are in flight.
+  void ResetStats() {
+    counters_.Reset();
+    cache_.ResetCounters();
+  }
+
+  /// Reader thread count.
+  int num_query_threads() const { return pool_.num_threads(); }
+
+ private:
+  /// Nanoseconds elapsed since `start`.
+  static uint64_t NanosSince(std::chrono::steady_clock::time_point start) {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  }
+
+  /// One query on `snap`, consulting the result cache around the
+  /// policy's router.
+  Weight RouteWithCache(const Snapshot& snap, Vertex s, Vertex t) {
+    Weight d;
+    if (cache_.enabled() && cache_.Lookup(s, t, snap.epoch, &d)) return d;
+    d = policy_->Route(snap, s, t);
+    if (cache_.enabled()) cache_.Insert(s, t, snap.epoch, d);
+    return d;
+  }
+
+  using TicketState = typename Ticket::State;
+
+  /// The shared batch pipeline behind SubmitBatch / SubmitBatchTagged.
+  Ticket SubmitBatchInternal(const std::vector<QueryPair>& queries,
+                             const std::vector<uint64_t>* tags,
+                             CompletionSink* sink) {
+    auto state = std::make_shared<TicketState>();
+    state->queries = queries;
+    state->distances.assign(queries.size(), kInfDistance);
+    if (tags != nullptr) state->tags = *tags;
+    state->sink = sink;
+    state->submitted = std::chrono::steady_clock::now();
+    state->snapshot = current_.load();
+    const uint64_t epoch = state->snapshot->epoch;
+    counters_.query_batches_submitted.fetch_add(1,
+                                                std::memory_order_relaxed);
+    counters_.batched_queries.fetch_add(queries.size(),
+                                        std::memory_order_relaxed);
+
+    // Cache pass: hits are answered (and delivered) inline; only the
+    // misses go to the reader pool.
+    state->order.reserve(queries.size());
+    size_t hits = 0;
+    for (uint32_t i = 0; i < queries.size(); ++i) {
+      Weight d;
+      if (cache_.enabled() && cache_.Lookup(queries[i].first,
+                                            queries[i].second, epoch, &d)) {
+        state->distances[i] = d;
+        ++hits;
+        if (sink != nullptr) {
+          Completion done;
+          done.tag = state->tags[i];
+          done.distance = d;
+          done.epoch = epoch;
+          done.latency_micros =
+              static_cast<double>(NanosSince(state->submitted)) / 1e3;
+          sink->Deliver(done);
+        }
+      } else {
+        state->order.push_back(i);
+      }
+    }
+    if (hits > 0) {
+      const uint64_t nanos = NanosSince(state->submitted);
+      for (size_t i = 0; i < hits; ++i) counters_.latency.Record(nanos);
+      counters_.queries_served.fetch_add(hits, std::memory_order_relaxed);
+    }
+
+    // Group the misses so same-key queries land adjacently (and thus in
+    // the same routing chunk, where the policy reuses per-group rows).
+    if (Policy::kGroupsBatches && state->order.size() > 1) {
+      const Snapshot& snap = *state->snapshot;
+      std::vector<uint64_t> keys(state->order.size());
+      for (size_t j = 0; j < state->order.size(); ++j) {
+        keys[j] = policy_->BatchSortKey(snap,
+                                        state->queries[state->order[j]]);
+      }
+      std::vector<uint32_t> by_key(state->order.size());
+      for (uint32_t j = 0; j < by_key.size(); ++j) by_key[j] = j;
+      std::stable_sort(by_key.begin(), by_key.end(),
+                       [&keys](uint32_t a, uint32_t b) {
+                         return keys[a] < keys[b];
+                       });
+      std::vector<uint32_t> sorted(state->order.size());
+      for (size_t j = 0; j < by_key.size(); ++j) {
+        sorted[j] = state->order[by_key[j]];
+      }
+      state->order.swap(sorted);
+    }
+
+    // Chunk the misses across the pool: enough chunks to use every
+    // reader, but never so small that per-chunk overhead dominates.
+    const size_t misses = state->order.size();
+    const size_t min_chunk = 16;
+    const size_t threads = static_cast<size_t>(pool_.num_threads());
+    const size_t chunk =
+        std::max(min_chunk, (misses + threads - 1) / std::max<size_t>(
+                                                         threads, 1));
+    const size_t num_chunks = misses == 0 ? 0 : (misses + chunk - 1) / chunk;
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->pending_chunks = num_chunks;
+      if (num_chunks == 0) {
+        state->done = true;
+        state->latency_micros =
+            static_cast<double>(NanosSince(state->submitted)) / 1e3;
+      }
+    }
+    if (num_chunks == 0) {
+      state->done_cv.notify_all();
+      return Ticket(std::move(state));
+    }
+    for (size_t c = 0; c < num_chunks; ++c) {
+      const size_t begin = c * chunk;
+      const size_t end = std::min(misses, begin + chunk);
+      const bool accepted = pool_.Enqueue([this, state, begin, end] {
+        RunBatchChunk(*state, begin, end);
+        const uint64_t nanos = NanosSince(state->submitted);
+        bool last = false;
+        {
+          std::lock_guard<std::mutex> lock(state->mu);
+          if (--state->pending_chunks == 0) {
+            state->done = true;
+            state->latency_micros = static_cast<double>(nanos) / 1e3;
+            last = true;
+          }
+        }
+        if (last) state->done_cv.notify_all();
+      });
+      STL_CHECK(accepted) << "SubmitBatch() on a shut-down engine";
+    }
+    return Ticket(std::move(state));
+  }
+
+  /// Routes state.order[begin..end) through the policy, fills the
+  /// cache, records latency and delivers completions. Chunks touch
+  /// disjoint distance slots, so no lock is needed for the answers.
+  void RunBatchChunk(TicketState& state, size_t begin, size_t end) {
+    const Snapshot& snap = *state.snapshot;
+    const uint64_t epoch = snap.epoch;
+    const size_t count = end - begin;
+    policy_->RouteSpan(snap, state.queries.data(),
+                       state.order.data() + begin, count,
+                       state.distances.data());
+    const uint64_t nanos = NanosSince(state.submitted);
+    for (size_t j = begin; j < end; ++j) {
+      const uint32_t i = state.order[j];
+      const QueryPair& q = state.queries[i];
+      if (cache_.enabled()) {
+        cache_.Insert(q.first, q.second, epoch, state.distances[i]);
+      }
+      counters_.latency.Record(nanos);
+      if (state.sink != nullptr) {
+        Completion done;
+        done.tag = state.tags[i];
+        done.distance = state.distances[i];
+        done.epoch = epoch;
+        done.latency_micros = static_cast<double>(nanos) / 1e3;
+        state.sink->Deliver(done);
+      }
+    }
+    counters_.queries_served.fetch_add(count, std::memory_order_relaxed);
+  }
+
+  void WriterLoop() {
+    // The drain/coalesce/Flush protocol lives in UpdateQueue; the
+    // policy's apply step repairs the master state and publishes one
+    // epoch per effective batch.
+    updates_.RunWriter(
+        options_.max_batch_size,
+        [this](EdgeId e) { return policy_->ResolveOldWeight(e); },
+        [this](const UpdateBatch& batch) { policy_->ApplyBatch(batch); },
+        &counters_.updates_coalesced);
+  }
+
+  Policy* const policy_;
+  const ServingCoreOptions options_;
+
+  AtomicSharedPtr<const Snapshot> current_;
+
+  // Pending-update queue (writer input; one protocol for every engine).
+  UpdateQueue updates_;
+
+  ServingCounters counters_;
+  ResultCache cache_;
+
+  std::thread writer_;
+
+  ThreadPool pool_;  // last member: workers die before state they touch
+};
+
+}  // namespace stl
+
+#endif  // STL_ENGINE_SERVING_CORE_H_

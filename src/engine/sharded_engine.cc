@@ -1,9 +1,9 @@
 #include "engine/sharded_engine.h"
 
 #include <algorithm>
-#include <chrono>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "partition/cells.h"
 #include "util/logging.h"
@@ -19,7 +19,153 @@ inline Weight ClampInf(uint64_t d) {
                            : static_cast<Weight>(d);
 }
 
+/// Fills `out` with the shard-local distances from global vertex
+/// `global` (owned by shard `shard`) to that shard's boundary set S_i;
+/// returns the row width |S_i|. kInfDistance where the shard subgraph
+/// disconnects them.
+uint32_t FillBoundaryRow(const ShardedSnapshot& snap, uint32_t shard,
+                         Vertex global, std::vector<Weight>* out) {
+  const ShardLayout& lay = *snap.layout;
+  const ShardLayout::Shard& sh = lay.shards[shard];
+  const uint32_t width = static_cast<uint32_t>(sh.boundary_local.size());
+  out->resize(width);
+  const Vertex local = lay.local_of_vertex[global];
+  const IndexView& view = *snap.shards[shard]->view;
+  for (uint32_t i = 0; i < width; ++i) {
+    (*out)[i] = view.Query(local, sh.boundary_local[i]);
+  }
+  return width;
+}
+
+// Per-chunk scratch for batched routing: memoises the ds/dt
+// boundary-distance rows per endpoint, plus the shared inner vector
+// min_{b2} D[b1][b2] + dt[b2] of the CURRENT (source cell, target
+// cell, target) group. Chunks route in BatchSortKey order, so a
+// group's queries are adjacent and one cached vector covers them —
+// full-width keys, no packing, no collision hazard. Valid for exactly
+// one snapshot (the batch's pinned epoch).
+struct BatchRouteScratch {
+  // Global vertex -> its shard-local boundary-distance row. Node-based
+  // map: references stay valid across later insertions.
+  std::unordered_map<Vertex, std::vector<Weight>> rows;
+  // The last group's inner vector (over S_{inner_cs}).
+  uint64_t inner_cs = ~uint64_t{0};
+  uint64_t inner_ct = ~uint64_t{0};
+  Vertex inner_t = 0;
+  std::vector<Weight> inner;
+
+  const std::vector<Weight>& Row(const ShardedSnapshot& snap,
+                                 uint32_t shard, Vertex v) {
+    auto [it, fresh] = rows.try_emplace(v);
+    if (fresh) FillBoundaryRow(snap, shard, v, &it->second);
+    return it->second;
+  }
+
+  const std::vector<Weight>& Inner(const ShardedSnapshot& snap,
+                                   uint32_t cs, uint32_t ct, Vertex t) {
+    if (inner_cs != cs || inner_ct != ct || inner_t != t) {
+      inner_cs = cs;
+      inner_ct = ct;
+      inner_t = t;
+      const std::vector<Weight>& dt = Row(snap, ct, t);
+      const ShardLayout::Shard& sshard = snap.layout->shards[cs];
+      inner.resize(sshard.boundary_pos.size());
+      // The packed-row batch entry point: one SIMD min-plus per b1 row
+      // of shard ct's packed block (index/overlay.h).
+      snap.overlay->MinPlusRowsInto(
+          ct, sshard.boundary_pos.data(),
+          static_cast<uint32_t>(sshard.boundary_pos.size()), dt.data(),
+          inner.data());
+    }
+    return inner;
+  }
+};
+
+/// The batched router: identical minima (and identical arithmetic
+/// ranges) to ShardedSnapshot::Query, with the ds/dt rows and the
+/// per-group inner vectors coming from the scratch memo — answers are
+/// bit-identical to the per-query path on the same snapshot.
+Weight RouteBatched(const ShardedSnapshot& snap, Vertex s, Vertex t,
+                    BatchRouteScratch* scratch) {
+  const ShardLayout& lay = *snap.layout;
+  STL_DCHECK(s < lay.shard_of_vertex.size());
+  STL_DCHECK(t < lay.shard_of_vertex.size());
+  if (s == t) return 0;
+  const uint32_t cs = lay.shard_of_vertex[s];
+  const uint32_t ct = lay.shard_of_vertex[t];
+  const bool s_boundary = cs == CellPartition::kBoundaryCell;
+  const bool t_boundary = ct == CellPartition::kBoundaryCell;
+
+  if (s_boundary && t_boundary) {
+    return snap.overlay->At(lay.boundary_pos_of_vertex[s],
+                            lay.boundary_pos_of_vertex[t]);
+  }
+
+  uint64_t best = kInfDistance;
+  if (!s_boundary && !t_boundary && cs == ct) {
+    best = snap.shards[cs]->view->Query(lay.local_of_vertex[s],
+                                        lay.local_of_vertex[t]);
+  }
+
+  if (s_boundary) {
+    const std::vector<Weight>& dt = scratch->Row(snap, ct, t);
+    const uint32_t pos = lay.boundary_pos_of_vertex[s];
+    best = std::min<uint64_t>(
+        best, MinPlusReduce(snap.overlay->PackedRow(ct, pos), dt.data(),
+                            static_cast<uint32_t>(dt.size())));
+  } else if (t_boundary) {
+    const std::vector<Weight>& ds = scratch->Row(snap, cs, s);
+    const uint32_t pos = lay.boundary_pos_of_vertex[t];
+    best = std::min<uint64_t>(
+        best, MinPlusReduce(snap.overlay->PackedRow(cs, pos), ds.data(),
+                            static_cast<uint32_t>(ds.size())));
+  } else {
+    // General case: min_i ds[i] + inner[i], where inner is shared by
+    // every query of the (cs, ct, t) group. All terms are <= 3 *
+    // kInfDistance, so the uint32 min-plus cannot wrap and the minimum
+    // equals the per-query path's pruned double loop exactly.
+    const std::vector<Weight>& ds = scratch->Row(snap, cs, s);
+    const std::vector<Weight>& inner = scratch->Inner(snap, cs, ct, t);
+    best = std::min<uint64_t>(
+        best, MinPlusReduce(ds.data(), inner.data(),
+                            static_cast<uint32_t>(ds.size())));
+  }
+  return ClampInf(best);
+}
+
+ServingCoreOptions CoreOptions(const ShardedEngineOptions& options) {
+  ServingCoreOptions core;
+  core.num_query_threads = options.num_query_threads;
+  core.max_batch_size = options.max_batch_size;
+  core.result_cache_entries = options.result_cache_entries;
+  return core;
+}
+
 }  // namespace
+
+uint32_t ChooseShardCount(uint32_t num_vertices,
+                          double updates_per_second) {
+  // Locality target from BENCH_sharded.json: cells of a few thousand
+  // vertices keep per-shard repair and republish cheap while |S| (and
+  // with it overlay rebuild cost) stays a small fraction of |V|. Below
+  // ~2 cells' worth of vertices, sharding only adds boundary overhead.
+  constexpr uint32_t kTargetCellVertices = 4096;
+  constexpr uint32_t kMaxShards = 64;
+  uint32_t k = num_vertices / kTargetCellVertices;
+  k = std::max(k, 1u);
+  k = std::min(k, kMaxShards);
+  // Update pressure: every effective batch rebuilds the overlay, whose
+  // per-epoch micros grow superlinearly with k in BENCH_sharded.json
+  // (~4x from k=2 to k=8 on the measured grids). Halve k per decade of
+  // sustained update rate beyond ~100/s — a write-heavy feed wants
+  // fewer, bigger shards.
+  double rate = updates_per_second;
+  while (k > 1 && rate >= 100.0) {
+    k = (k + 1) / 2;
+    rate /= 10.0;
+  }
+  return k;
+}
 
 // ----------------------------------------------------- ShardedSnapshot
 
@@ -44,23 +190,6 @@ Weight ShardedSnapshot::Query(Vertex s, Vertex t) const {
   thread_local std::vector<Weight> ds_scratch;
   thread_local std::vector<Weight> dt_scratch;
 
-  // Shard-local distances from a non-boundary endpoint to its cell's
-  // boundary set S_i (kInfDistance where the shard subgraph disconnects
-  // them).
-  auto boundary_distances = [&lay](
-      const ShardServing& serving, Vertex global,
-      std::vector<Weight>* out) -> uint32_t {
-    const ShardLayout::Shard& shard = lay.shards[serving.shard];
-    const uint32_t width =
-        static_cast<uint32_t>(shard.boundary_local.size());
-    out->resize(width);
-    const Vertex local = lay.local_of_vertex[global];
-    for (uint32_t i = 0; i < width; ++i) {
-      (*out)[i] = serving.view->Query(local, shard.boundary_local[i]);
-    }
-    return width;
-  };
-
   uint64_t best = kInfDistance;
   if (!s_boundary && !t_boundary && cs == ct) {
     // Same cell: the path may stay inside the shard entirely...
@@ -73,22 +202,22 @@ Weight ShardedSnapshot::Query(Vertex s, Vertex t) const {
   if (s_boundary) {
     // First boundary vertex of any path from s is s itself:
     // min over b2 in S_ct of D[s][b2] + d_shard(b2, t).
-    const uint32_t width = boundary_distances(*shards[ct], t, &dt_scratch);
+    const uint32_t width = FillBoundaryRow(*this, ct, t, &dt_scratch);
     const uint32_t pos = lay.boundary_pos_of_vertex[s];
     best = std::min<uint64_t>(
         best, MinPlusReduce(overlay->PackedRow(ct, pos), dt_scratch.data(),
                             width));
   } else if (t_boundary) {
     // Mirror image (distances are symmetric on an undirected graph).
-    const uint32_t width = boundary_distances(*shards[cs], s, &ds_scratch);
+    const uint32_t width = FillBoundaryRow(*this, cs, s, &ds_scratch);
     const uint32_t pos = lay.boundary_pos_of_vertex[t];
     best = std::min<uint64_t>(
         best, MinPlusReduce(overlay->PackedRow(cs, pos), ds_scratch.data(),
                             width));
   } else {
     // General case: decompose at the first and last boundary vertices.
-    const uint32_t sw = boundary_distances(*shards[cs], s, &ds_scratch);
-    const uint32_t tw = boundary_distances(*shards[ct], t, &dt_scratch);
+    const uint32_t sw = FillBoundaryRow(*this, cs, s, &ds_scratch);
+    const uint32_t tw = FillBoundaryRow(*this, ct, t, &dt_scratch);
     const ShardLayout::Shard& sshard = lay.shards[cs];
     for (uint32_t i = 0; i < sw; ++i) {
       if (ds_scratch[i] >= kInfDistance || ds_scratch[i] >= best) continue;
@@ -108,13 +237,17 @@ Weight ShardedSnapshot::Query(Vertex s, Vertex t) const {
 ShardedEngine::ShardedEngine(Graph graph,
                              const HierarchyOptions& hierarchy_options,
                              const ShardedEngineOptions& options)
-    : options_(options), pool_(options.num_query_threads) {
-  STL_CHECK_GE(options_.max_batch_size, size_t{1});
-  STL_CHECK_GE(options_.target_shards, 1u);
+    : options_(options), core_(&policy_, CoreOptions(options)) {
   graph_ = std::make_unique<Graph>(std::move(graph));
+  const uint32_t target =
+      options_.target_shards > 0
+          ? options_.target_shards
+          : ChooseShardCount(graph_->NumVertices(),
+                             options_.expected_update_rate);
+  STL_CHECK_GE(target, 1u);
 
   const CellPartition cells =
-      PartitionCells(*graph_, options_.target_shards, hierarchy_options);
+      PartitionCells(*graph_, target, hierarchy_options);
   ShardPlan plan = BuildShardPlan(*graph_, cells);
   layout_ = std::make_shared<const ShardLayout>(std::move(plan.layout));
 
@@ -148,17 +281,10 @@ ShardedEngine::ShardedEngine(Graph graph,
   // Epoch 0 baseline: clones from construction are not publish cost.
   harvested_graph_chunks_ = graph_->cow_stats().chunks_cloned;
   harvested_graph_bytes_ = graph_->cow_stats().bytes_cloned;
-  PublishInitialSnapshot();
-  writer_ = std::thread([this] { WriterLoop(); });
-  // Start the throughput clock after the (potentially long) builds.
-  wall_.Restart();
+  core_.Start();  // publishes epoch 0, starts the writer
 }
 
-ShardedEngine::~ShardedEngine() {
-  pool_.Shutdown();  // answer every query already submitted
-  updates_.Stop();
-  if (writer_.joinable()) writer_.join();  // drains pending updates
-}
+ShardedEngine::~ShardedEngine() = default;  // core_ drains first
 
 void ShardedEngine::PublishInitialSnapshot() {
   for (uint32_t c = 0; c < layout_->num_shards(); ++c) {
@@ -177,77 +303,148 @@ void ShardedEngine::PublishInitialSnapshot() {
   snap->layout = layout_;
   snap->shards = serving_;
   snap->overlay = overlay_->Publish();
-  current_.store(std::move(snap));
+  core_.Publish(std::move(snap));
 }
+
+// ---------------------------------------------------- the sharded policy
+
+void ShardedEngine::Policy::PublishInitial() {
+  engine->PublishInitialSnapshot();
+}
+
+Weight ShardedEngine::Policy::ResolveOldWeight(EdgeId e) const {
+  return engine->graph_->EdgeWeight(e);
+}
+
+void ShardedEngine::Policy::ApplyBatch(const UpdateBatch& batch) {
+  engine->ApplyAndPublish(batch);
+}
+
+uint32_t ShardedEngine::Policy::NumEdges() const {
+  return engine->graph_->NumEdges();
+}
+
+Weight ShardedEngine::Policy::Route(const ShardedSnapshot& snap, Vertex s,
+                                    Vertex t) const {
+  return snap.Query(s, t);
+}
+
+uint64_t ShardedEngine::Policy::BatchSortKey(const ShardedSnapshot& snap,
+                                             const QueryPair& q) const {
+  // Group by (source cell, target cell, target): same-group queries
+  // share the inner vector and the dt row; same-source runs share ds.
+  // Boundary endpoints truncate kBoundaryCell to 0xffff — still a
+  // stable group of their own.
+  const ShardLayout& lay = *snap.layout;
+  const uint64_t cs = lay.shard_of_vertex[q.first] & 0xffff;
+  const uint64_t ct = lay.shard_of_vertex[q.second] & 0xffff;
+  return (cs << 48) | (ct << 32) | q.second;
+}
+
+void ShardedEngine::Policy::RouteSpan(const ShardedSnapshot& snap,
+                                      const QueryPair* queries,
+                                      const uint32_t* idx, size_t count,
+                                      Weight* out) const {
+  BatchRouteScratch scratch;
+  for (size_t j = 0; j < count; ++j) {
+    const QueryPair& q = queries[idx[j]];
+    out[idx[j]] = RouteBatched(snap, q.first, q.second, &scratch);
+  }
+}
+
+void ShardedEngine::Policy::AugmentStats(EngineStats* s) const {
+  const ShardedEngine& e = *engine;
+  s->backend = e.options_.backend;
+  s->num_shards = e.layout_->num_shards();
+  s->boundary_vertices = e.layout_->num_boundary();
+  s->overlay_republishes =
+      e.overlay_republishes_.load(std::memory_order_relaxed);
+  s->overlay_rebuild_micros =
+      static_cast<double>(
+          e.overlay_nanos_.load(std::memory_order_relaxed)) /
+      1e3;
+  // Honest resident memory of the serving state, wait-free: walk the
+  // current (immutable) snapshot, counting each physically shared
+  // block once — the per-shard rows report each shard's unique bytes.
+  std::shared_ptr<const ShardedSnapshot> snap = e.CurrentSnapshot();
+  std::unordered_set<const void*> seen;
+  uint64_t bytes = 0;
+  s->shards.reserve(e.layout_->num_shards());
+  for (uint32_t c = 0; c < e.layout_->num_shards(); ++c) {
+    ShardStats row;
+    row.shard = c;
+    row.cell_vertices = e.layout_->shards[c].num_cell_vertices;
+    row.boundary_vertices =
+        static_cast<uint32_t>(e.layout_->shards[c].boundary_local.size());
+    row.subgraph_edges =
+        static_cast<uint32_t>(e.layout_->shards[c].edge_to_global.size());
+    row.shard_epoch = snap->shards[c]->shard_epoch;
+    row.updates_applied =
+        e.shard_updates_[c].load(std::memory_order_relaxed);
+    row.resident_bytes = snap->shards[c]->view->AddResidentBytes(&seen);
+    bytes += row.resident_bytes;
+    s->shards.push_back(row);
+  }
+  if (snap->overlay != nullptr &&
+      seen.insert(snap->overlay.get()).second) {
+    bytes += snap->overlay->MemoryBytes();
+  }
+  bytes += snap->graph.AddResidentBytes(&seen);
+  if (seen.insert(e.layout_.get()).second) {
+    bytes += e.layout_->MemoryBytes();
+  }
+  s->resident_index_bytes = bytes;
+}
+
+// ------------------------------------------------- submission forwards
 
 std::future<ShardedQueryResult> ShardedEngine::Submit(QueryPair query) {
-  auto promise = std::make_shared<std::promise<ShardedQueryResult>>();
-  std::future<ShardedQueryResult> result = promise->get_future();
-  const auto submitted = std::chrono::steady_clock::now();
-  const bool accepted =
-      pool_.Enqueue([this, query, promise = std::move(promise), submitted] {
-        // The entire read path: one atomic load, then const reads on an
-        // immutable snapshot (k shard views + one overlay, mutually
-        // consistent by construction).
-        std::shared_ptr<const ShardedSnapshot> snap = current_.load();
-        ShardedQueryResult r;
-        r.distance = snap->Query(query.first, query.second);
-        r.epoch = snap->epoch;
-        const uint64_t nanos = static_cast<uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(
-                std::chrono::steady_clock::now() - submitted)
-                .count());
-        r.latency_micros = static_cast<double>(nanos) / 1e3;
-        r.snapshot = std::move(snap);
-        latency_.Record(nanos);
-        queries_served_.fetch_add(1, std::memory_order_relaxed);
-        promise->set_value(std::move(r));
-      });
-  STL_CHECK(accepted) << "Submit() on a shut-down engine";
-  return result;
+  return core_.Submit(query);
 }
 
-std::vector<std::future<ShardedQueryResult>> ShardedEngine::SubmitBatch(
+ShardedEngine::Ticket ShardedEngine::SubmitBatch(
     const std::vector<QueryPair>& queries) {
-  std::vector<std::future<ShardedQueryResult>> futures;
-  futures.reserve(queries.size());
-  for (const QueryPair& q : queries) futures.push_back(Submit(q));
-  return futures;
+  return core_.SubmitBatch(queries);
+}
+
+void ShardedEngine::SubmitTagged(QueryPair query, uint64_t tag,
+                                 CompletionSink* sink) {
+  core_.SubmitTagged(query, tag, sink);
+}
+
+ShardedEngine::Ticket ShardedEngine::SubmitBatchTagged(
+    const std::vector<QueryPair>& queries,
+    const std::vector<uint64_t>& tags, CompletionSink* sink) {
+  return core_.SubmitBatchTagged(queries, tags, sink);
 }
 
 void ShardedEngine::EnqueueUpdate(const WeightUpdate& update) {
-  EnqueueUpdate(update.edge, update.new_weight);
+  core_.EnqueueUpdate(update.edge, update.new_weight);
 }
 
 void ShardedEngine::EnqueueUpdate(EdgeId edge, Weight new_weight) {
-  STL_CHECK(edge < graph_->NumEdges());
-  STL_CHECK(new_weight >= 1 && new_weight <= kMaxEdgeWeight);
-  updates_.Enqueue(edge, new_weight);
+  core_.EnqueueUpdate(edge, new_weight);
 }
 
 void ShardedEngine::EnqueueUpdates(const std::vector<WeightUpdate>& updates) {
-  for (const WeightUpdate& u : updates) {
-    STL_CHECK(u.edge < graph_->NumEdges());
-    STL_CHECK(u.new_weight >= 1 && u.new_weight <= kMaxEdgeWeight);
-  }
-  updates_.EnqueueMany(updates);
+  core_.EnqueueUpdates(updates);
 }
 
-void ShardedEngine::Flush() { updates_.Flush(); }
+void ShardedEngine::Flush() { core_.Flush(); }
 
-void ShardedEngine::WriterLoop() {
-  // The drain/coalesce/Flush protocol lives in UpdateQueue (shared with
-  // the flat engine); coalescing works on GLOBAL edge ids with the
-  // master full graph as the weight authority, and the apply step is
-  // the per-shard partition + publish below.
-  updates_.RunWriter(
-      options_.max_batch_size,
-      [this](EdgeId e) { return graph_->EdgeWeight(e); },
-      [this](const UpdateBatch& batch) { ApplyAndPublish(batch); },
-      &updates_coalesced_);
+std::shared_ptr<const ShardedSnapshot> ShardedEngine::CurrentSnapshot()
+    const {
+  return core_.CurrentSnapshot();
 }
+
+int ShardedEngine::num_query_threads() const {
+  return core_.num_query_threads();
+}
+
+// --------------------------------------------------- writer apply step
 
 void ShardedEngine::ApplyAndPublish(const UpdateBatch& batch) {
+  ServingCounters& counters = core_.counters();
   const uint32_t k = layout_->num_shards();
   // Partition the batch by owning cell; S–S edges go to the overlay.
   std::vector<UpdateBatch> per_shard(k);
@@ -273,12 +470,13 @@ void ShardedEngine::ApplyAndPublish(const UpdateBatch& batch) {
         ChooseStrategy(options_.strategy,
                        options_.auto_label_search_threshold,
                        per_shard[c].size());
-    batch_counters_.Count(states_[c].index->ApplyBatch(per_shard[c],
-                                                       strategy));
+    counters.batch_counters.Count(
+        states_[c].index->ApplyBatch(per_shard[c], strategy));
     shard_updates_[c].fetch_add(per_shard[c].size(),
                                 std::memory_order_relaxed);
   }
-  updates_applied_.fetch_add(batch.size(), std::memory_order_relaxed);
+  counters.updates_applied.fetch_add(batch.size(),
+                                     std::memory_order_relaxed);
 
   // Publication: new views + cliques for dirty shards only, then one
   // overlay rebuild, then the snapshot swap. Clean shards' ShardServing
@@ -288,12 +486,12 @@ void ShardedEngine::ApplyAndPublish(const UpdateBatch& batch) {
     if (per_shard[c].empty()) continue;
     PublishInfo info;
     auto view = states_[c].index->PublishView(/*flat_publish=*/false, &info);
-    label_pages_cloned_.fetch_add(info.label_pages_cloned,
-                                  std::memory_order_relaxed);
-    cow_bytes_cloned_.fetch_add(info.label_bytes_cloned,
-                                std::memory_order_relaxed);
-    publish_bytes_deep_copied_.fetch_add(info.deep_bytes_copied,
-                                         std::memory_order_relaxed);
+    counters.label_pages_cloned.fetch_add(info.label_pages_cloned,
+                                          std::memory_order_relaxed);
+    counters.cow_bytes_cloned.fetch_add(info.label_bytes_cloned,
+                                        std::memory_order_relaxed);
+    counters.publish_bytes_deep_copied.fetch_add(
+        info.deep_bytes_copied, std::memory_order_relaxed);
     auto serving = std::make_shared<ShardServing>();
     serving->shard = c;
     serving->shard_epoch = ++states_[c].shard_epoch;
@@ -312,117 +510,37 @@ void ShardedEngine::ApplyAndPublish(const UpdateBatch& batch) {
 
   // Graph-side CoW accounting (chunks detached by this batch's writes).
   const CowChunkStats gc = graph_->cow_stats();
-  graph_chunks_cloned_.fetch_add(gc.chunks_cloned - harvested_graph_chunks_,
-                                 std::memory_order_relaxed);
-  cow_bytes_cloned_.fetch_add(gc.bytes_cloned - harvested_graph_bytes_,
-                              std::memory_order_relaxed);
+  counters.graph_chunks_cloned.fetch_add(
+      gc.chunks_cloned - harvested_graph_chunks_,
+      std::memory_order_relaxed);
+  counters.cow_bytes_cloned.fetch_add(
+      gc.bytes_cloned - harvested_graph_bytes_, std::memory_order_relaxed);
   harvested_graph_chunks_ = gc.chunks_cloned;
   harvested_graph_bytes_ = gc.bytes_cloned;
 
   auto snap = std::make_shared<ShardedSnapshot>();
-  snap->epoch = epochs_published_.fetch_add(1, std::memory_order_relaxed) + 1;
+  snap->epoch =
+      counters.epochs_published.fetch_add(1, std::memory_order_relaxed) + 1;
   snap->graph = *graph_;  // structural chunk share
   snap->layout = layout_;
   snap->shards = serving_;
   snap->overlay = std::move(table);
-  publish_nanos_.fetch_add(publish_timer.ElapsedNanos(),
-                           std::memory_order_relaxed);
-  current_.store(std::move(snap));
+  counters.publish_nanos.fetch_add(publish_timer.ElapsedNanos(),
+                                   std::memory_order_relaxed);
+  core_.Publish(std::move(snap));
 }
 
-EngineStats ShardedEngine::Stats() const {
-  EngineStats s;
-  s.backend = options_.backend;
-  s.queries_served = queries_served_.load(std::memory_order_relaxed);
-  s.updates_enqueued = updates_.enqueued();
-  s.updates_applied = updates_applied_.load(std::memory_order_relaxed);
-  s.updates_coalesced = updates_coalesced_.load(std::memory_order_relaxed);
-  s.epochs_published = epochs_published_.load(std::memory_order_relaxed);
-  s.batches_pareto = batch_counters_.pareto.load(std::memory_order_relaxed);
-  s.batches_label = batch_counters_.label.load(std::memory_order_relaxed);
-  s.batches_incremental =
-      batch_counters_.incremental.load(std::memory_order_relaxed);
-  s.batches_rebuild =
-      batch_counters_.rebuild.load(std::memory_order_relaxed);
-  s.label_pages_cloned =
-      label_pages_cloned_.load(std::memory_order_relaxed);
-  s.graph_chunks_cloned =
-      graph_chunks_cloned_.load(std::memory_order_relaxed);
-  s.cow_bytes_cloned = cow_bytes_cloned_.load(std::memory_order_relaxed);
-  s.publish_bytes_deep_copied =
-      publish_bytes_deep_copied_.load(std::memory_order_relaxed);
-  s.publish_total_micros =
-      static_cast<double>(publish_nanos_.load(std::memory_order_relaxed)) /
-      1e3;
-  s.num_shards = layout_->num_shards();
-  s.boundary_vertices = layout_->num_boundary();
-  s.overlay_republishes =
-      overlay_republishes_.load(std::memory_order_relaxed);
-  s.overlay_rebuild_micros =
-      static_cast<double>(overlay_nanos_.load(std::memory_order_relaxed)) /
-      1e3;
-  {
-    // Honest resident memory of the serving state, wait-free: walk the
-    // current (immutable) snapshot, counting each physically shared
-    // block once — the per-shard rows report each shard's unique bytes.
-    std::shared_ptr<const ShardedSnapshot> snap = CurrentSnapshot();
-    std::unordered_set<const void*> seen;
-    uint64_t bytes = 0;
-    s.shards.reserve(layout_->num_shards());
-    for (uint32_t c = 0; c < layout_->num_shards(); ++c) {
-      ShardStats row;
-      row.shard = c;
-      row.cell_vertices = layout_->shards[c].num_cell_vertices;
-      row.boundary_vertices =
-          static_cast<uint32_t>(layout_->shards[c].boundary_local.size());
-      row.subgraph_edges =
-          static_cast<uint32_t>(layout_->shards[c].edge_to_global.size());
-      row.shard_epoch = snap->shards[c]->shard_epoch;
-      row.updates_applied =
-          shard_updates_[c].load(std::memory_order_relaxed);
-      row.resident_bytes = snap->shards[c]->view->AddResidentBytes(&seen);
-      bytes += row.resident_bytes;
-      s.shards.push_back(row);
-    }
-    if (snap->overlay != nullptr &&
-        seen.insert(snap->overlay.get()).second) {
-      bytes += snap->overlay->MemoryBytes();
-    }
-    bytes += snap->graph.AddResidentBytes(&seen);
-    if (seen.insert(layout_.get()).second) bytes += layout_->MemoryBytes();
-    s.resident_index_bytes = bytes;
-  }
-  s.wall_seconds = wall_.ElapsedSeconds();
-  s.queries_per_second =
-      s.wall_seconds > 0
-          ? static_cast<double>(s.queries_served) / s.wall_seconds
-          : 0;
-  s.latency_mean_micros = latency_.MeanMicros();
-  s.latency_p50_micros = latency_.QuantileMicros(0.5);
-  s.latency_p99_micros = latency_.QuantileMicros(0.99);
-  s.latency_max_micros = latency_.MaxMicros();
-  return s;
-}
+EngineStats ShardedEngine::Stats() const { return core_.Stats(); }
 
 void ShardedEngine::ResetStats() {
-  queries_served_.store(0, std::memory_order_relaxed);
-  updates_applied_.store(0, std::memory_order_relaxed);
-  updates_coalesced_.store(0, std::memory_order_relaxed);
-  // epochs_published_ doubles as the global epoch allocator and the
-  // per-shard ShardState epochs keep snapshot lineage; neither resets.
-  batch_counters_.Reset();
-  label_pages_cloned_.store(0, std::memory_order_relaxed);
-  graph_chunks_cloned_.store(0, std::memory_order_relaxed);
-  cow_bytes_cloned_.store(0, std::memory_order_relaxed);
-  publish_bytes_deep_copied_.store(0, std::memory_order_relaxed);
-  publish_nanos_.store(0, std::memory_order_relaxed);
+  core_.ResetStats();
+  // The per-shard ShardState epochs keep snapshot lineage; they do not
+  // reset (mirroring the global epoch allocator).
   overlay_nanos_.store(0, std::memory_order_relaxed);
   overlay_republishes_.store(0, std::memory_order_relaxed);
   for (uint32_t c = 0; c < layout_->num_shards(); ++c) {
     shard_updates_[c].store(0, std::memory_order_relaxed);
   }
-  latency_.Reset();
-  wall_.Restart();
 }
 
 }  // namespace stl

@@ -12,11 +12,19 @@
 //                                   │  pointers are re-shared), rebuild
 //                                   └─ the overlay, swap the snapshot
 //
+// The serving plumbing (pool, update queue, snapshot slot, batch and
+// completion submission, result cache, stats) is the shared ServingCore
+// of engine/serving_core.h; this file contributes the sharded policy:
+// apply-batch = per-cell repair + overlay rebuild, route = the shard
+// decomposition below.
+//
 // Construction: PartitionCells (partition/cells.h) cuts the graph into
 // k connected cells isolated by the separator set S; BuildShardPlan
 // (index/overlay.h) derives per-cell subgraphs on C_i ∪ S_i; one
 // DistanceIndex backend (any of STL/CH/H2H/HC2L) is built per cell; a
-// BoundaryOverlay maintains the exact S×S distance table D.
+// BoundaryOverlay maintains the exact S×S distance table D. Passing
+// ShardedEngineOptions::target_shards == 0 delegates the choice of k to
+// ChooseShardCount().
 //
 // Query routing (all answers exact — bit-identical to a flat engine on
 // the same weights, guarded by bench_sharded_scaling --check):
@@ -33,6 +41,15 @@
 // split it into shard-local prefix/suffix plus a boundary-to-boundary
 // middle, and D is exact for the middle (index/overlay.h).
 //
+// Batched routing (SubmitBatch): the batch is pinned to one snapshot,
+// grouped by (source cell, target cell, target), and the ds/dt
+// boundary-distance rows are memoised per endpoint across the group —
+// plus one shared inner vector min_{b2} D[b1][b2] + dt[b2] per group
+// target, computed through OverlayTable::MinPlusRowsInto. Same minima,
+// same arithmetic: answers are bit-identical to per-query routing on
+// the pinned epoch (asserted in tests/sharded_engine_test.cc and the
+// bench_sharded_scaling --check guard).
+//
 // Update locality: a batch that only touches edges inside cell i
 // republishes shard i's epoch and the overlay; every other shard's
 // ShardServing pointer in the next snapshot is the SAME object
@@ -44,15 +61,10 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <thread>
 #include <vector>
 
-#include "engine/atomic_shared_ptr.h"
-#include "engine/latency_histogram.h"
-#include "engine/query_engine.h"
-#include "engine/thread_pool.h"
+#include "engine/serving_core.h"
 #include "index/overlay.h"
-#include "util/timer.h"
 
 namespace stl {
 
@@ -105,14 +117,30 @@ struct ShardedQueryResult {
   std::shared_ptr<const ShardedSnapshot> snapshot;
 };
 
+/// The shard count the engine picks when the caller passes
+/// target_shards == 0: derived from the BENCH_sharded.json measurements
+/// (ROADMAP "shard-count auto-tuning"). Two forces, both visible in the
+/// bench rows: bigger networks amortize per-shard repair locality, so k
+/// grows roughly linearly with |V| until cells reach a few thousand
+/// vertices; but every effective epoch rebuilds the boundary overlay,
+/// whose cost grows superlinearly with |S| (and |S| with k), so a high
+/// update rate pushes k back down toward fewer, bigger shards.
+/// `updates_per_second` is the caller's expected sustained update rate
+/// (0 = read-mostly). Always returns at least 1.
+uint32_t ChooseShardCount(uint32_t num_vertices, double updates_per_second);
+
 /// Construction options for the sharded engine.
 struct ShardedEngineOptions {
   /// Index family built per shard (index/distance_index.h).
   BackendKind backend = BackendKind::kStl;
   /// Requested cell count; the layout may produce more (extra connected
   /// components) or fewer (graph too small to cut). 1 = a single shard
-  /// with an empty overlay.
+  /// with an empty overlay; 0 = pick automatically via
+  /// ChooseShardCount(num_vertices, expected_update_rate).
   uint32_t target_shards = 4;
+  /// Expected sustained update rate (updates/second), consulted only by
+  /// the target_shards == 0 auto-tuner.
+  double expected_update_rate = 0;
   /// Reader threads.
   int num_query_threads = 4;
   /// Updates taken from the pending queue per global epoch.
@@ -122,14 +150,23 @@ struct ShardedEngineOptions {
   /// kAuto: shard batches with at least this many effective updates use
   /// Label Search.
   size_t auto_label_search_threshold = 16;
+  /// Capacity of the epoch-keyed (s, t) result memo consulted by every
+  /// submission path; 0 disables it.
+  size_t result_cache_entries = 0;
 };
 
-/// Concurrent sharded serving engine. Thread-safe: Submit/SubmitBatch/
-/// EnqueueUpdate/Flush/Stats may be called from any thread. Mirrors
-/// QueryEngine's API; the difference is inside the writer (per-shard
-/// repair + overlay rebuild) and the read path (shard routing).
+/// Concurrent sharded serving engine: the partitioned Apply + Route
+/// policy over the shared ServingCore. Thread-safe: Submit/SubmitBatch/
+/// SubmitTagged/EnqueueUpdate/Flush/Stats may be called from any
+/// thread. Mirrors QueryEngine's API; the difference is inside the
+/// writer (per-shard repair + overlay rebuild) and the read path (shard
+/// routing).
 class ShardedEngine {
  public:
+  /// Batch handle type returned by SubmitBatch (one pinned snapshot per
+  /// batch; see engine/serving_core.h).
+  using Ticket = BatchTicket<ShardedSnapshot>;
+
   /// Takes ownership of the graph, partitions it, builds one backend
   /// index per cell plus the boundary overlay, starts the workers, and
   /// publishes epoch 0.
@@ -145,12 +182,25 @@ class ShardedEngine {
   ShardedEngine& operator=(const ShardedEngine&) = delete;
 
   /// Schedules one distance query; the future resolves when a reader
-  /// thread has answered it.
+  /// thread has answered it. Compatibility adapter: allocates one
+  /// promise per query (prefer SubmitBatch / SubmitTagged at high qps).
   std::future<ShardedQueryResult> Submit(QueryPair query);
 
-  /// Schedules many queries (one future each).
-  std::vector<std::future<ShardedQueryResult>> SubmitBatch(
-      const std::vector<QueryPair>& queries);
+  /// Schedules a batch of queries pinned to ONE snapshot, grouped by
+  /// (source cell, target cell, target) so boundary-distance rows are
+  /// reused across the group; answers are bit-identical to per-query
+  /// Submit calls on that same snapshot.
+  Ticket SubmitBatch(const std::vector<QueryPair>& queries);
+
+  /// Completion-queue mode: the answer is delivered to `sink` exactly
+  /// once with the caller's tag — no promise or future is allocated.
+  void SubmitTagged(QueryPair query, uint64_t tag, CompletionSink* sink);
+
+  /// Batched completion-queue mode: pins one snapshot and delivers
+  /// `tags[i]` with query i's answer to `sink` exactly once.
+  Ticket SubmitBatchTagged(const std::vector<QueryPair>& queries,
+                           const std::vector<uint64_t>& tags,
+                           CompletionSink* sink);
 
   /// Records a desired new weight for an edge of the FULL graph (global
   /// edge ids; the writer routes it to the owning shard or the
@@ -167,9 +217,7 @@ class ShardedEngine {
   void Flush();
 
   /// The latest published snapshot (never null after construction).
-  std::shared_ptr<const ShardedSnapshot> CurrentSnapshot() const {
-    return current_.load();
-  }
+  std::shared_ptr<const ShardedSnapshot> CurrentSnapshot() const;
 
   /// Global epoch of the latest snapshot.
   uint64_t CurrentEpoch() const { return CurrentSnapshot()->epoch; }
@@ -193,9 +241,32 @@ class ShardedEngine {
   void ResetStats();
 
   /// Reader thread count.
-  int num_query_threads() const { return pool_.num_threads(); }
+  int num_query_threads() const;
 
  private:
+  // The sharded Apply + Route policy the shared ServingCore drives (see
+  // the policy contract in engine/serving_core.h).
+  struct Policy {
+    using Snapshot = ShardedSnapshot;
+    using Result = ShardedQueryResult;
+    // Batched misses are sorted by (source cell, target cell, target)
+    // so the routing chunks can reuse ds/dt rows and inner vectors.
+    static constexpr bool kGroupsBatches = true;
+
+    ShardedEngine* engine;
+
+    void PublishInitial();
+    Weight ResolveOldWeight(EdgeId e) const;
+    void ApplyBatch(const UpdateBatch& batch);
+    uint32_t NumEdges() const;
+    Weight Route(const ShardedSnapshot& snap, Vertex s, Vertex t) const;
+    uint64_t BatchSortKey(const ShardedSnapshot& snap,
+                          const QueryPair& q) const;
+    void RouteSpan(const ShardedSnapshot& snap, const QueryPair* queries,
+                   const uint32_t* idx, size_t count, Weight* out) const;
+    void AugmentStats(EngineStats* s) const;
+  };
+
   /// Writer-owned mutable state of one shard.
   struct ShardState {
     std::unique_ptr<Graph> graph;          // shard master subgraph
@@ -203,7 +274,6 @@ class ShardedEngine {
     uint64_t shard_epoch = 0;
   };
 
-  void WriterLoop();
   /// Applies one coalesced batch (already partitioned by the caller into
   /// per-shard / overlay updates), republishes dirty shards + overlay,
   /// and swaps in the next snapshot. Writer thread only.
@@ -223,14 +293,6 @@ class ShardedEngine {
   std::vector<std::shared_ptr<const ShardServing>> serving_;
   BackendCapabilities capabilities_;
 
-  AtomicSharedPtr<const ShardedSnapshot> current_;
-
-  // Pending-update queue (writer input; shared protocol with the flat
-  // engine — engine/update_queue.h).
-  UpdateQueue updates_;
-
-  std::thread writer_;
-
   // Last-harvested cumulative CoW counters of the master FULL graph
   // only (shard subgraphs are never snapshotted, so their writes don't
   // clone; shard-side label copy cost arrives via PublishInfo). Only
@@ -238,24 +300,13 @@ class ShardedEngine {
   uint64_t harvested_graph_chunks_ = 0;
   uint64_t harvested_graph_bytes_ = 0;
 
-  // Serving-side stats (relaxed atomics: monitoring, not coordination).
-  std::atomic<uint64_t> queries_served_{0};
-  std::atomic<uint64_t> updates_applied_{0};
-  std::atomic<uint64_t> updates_coalesced_{0};
-  std::atomic<uint64_t> epochs_published_{0};
-  BatchExecutionCounters batch_counters_;
-  std::atomic<uint64_t> label_pages_cloned_{0};
-  std::atomic<uint64_t> graph_chunks_cloned_{0};
-  std::atomic<uint64_t> cow_bytes_cloned_{0};
-  std::atomic<uint64_t> publish_bytes_deep_copied_{0};
-  std::atomic<uint64_t> publish_nanos_{0};
+  // Sharded-only stats (the common block lives in the core's counters).
   std::atomic<uint64_t> overlay_nanos_{0};
   std::atomic<uint64_t> overlay_republishes_{0};
   std::unique_ptr<std::atomic<uint64_t>[]> shard_updates_;
-  LatencyHistogram latency_;
-  Timer wall_;
 
-  ThreadPool pool_;  // last member: workers die before state they touch
+  Policy policy_{this};
+  ServingCore<Policy> core_;  // last member: its workers die first
 };
 
 }  // namespace stl

@@ -4,6 +4,7 @@
 
 #include "util/logging.h"
 #include "util/min_heap.h"
+#include "util/simd.h"
 
 namespace stl {
 
@@ -145,6 +146,20 @@ uint64_t OverlayTable::MemoryBytes() const {
     bytes += blk.values.capacity() * sizeof(Weight);
   }
   return bytes;
+}
+
+void OverlayTable::MinPlusRowsInto(uint32_t s, const uint32_t* rows,
+                                   uint32_t nrows, const Weight* b,
+                                   Weight* out) const {
+  STL_DCHECK(s < packed_.size());
+  const PackedBlock& blk = packed_[s];
+  const uint32_t width = blk.width;
+  for (uint32_t i = 0; i < nrows; ++i) {
+    STL_DCHECK(rows[i] < n_);
+    const Weight* row =
+        blk.values.data() + static_cast<size_t>(rows[i]) * width;
+    out[i] = MinPlusReduce(row, b, width);
+  }
 }
 
 // ----------------------------------------------------- BoundaryOverlay

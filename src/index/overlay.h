@@ -159,6 +159,17 @@ class OverlayTable {
     return blk.values.data() + static_cast<size_t>(a) * blk.width;
   }
 
+  /// The packed-row batch entry point for batched routing: for each of
+  /// the `nrows` boundary positions in `rows`, writes
+  /// `out[i] = min_j PackedRow(s, rows[i])[j] + b[j]` over shard `s`'s
+  /// packed width (the SIMD min-plus kernel per row). `b` must hold
+  /// that width's entries — a shard-local boundary-distance row. Batched
+  /// submission computes one such inner vector per (source-cell,
+  /// target-cell, target) group and reuses it across every source in
+  /// the group (engine/sharded_engine.h).
+  void MinPlusRowsInto(uint32_t s, const uint32_t* rows, uint32_t nrows,
+                       const Weight* b, Weight* out) const;
+
   /// Resident bytes of the table and its packed copies.
   uint64_t MemoryBytes() const;
 

@@ -105,16 +105,21 @@ TEST(QueryEngineTest, ServesQueriesOnInitialEpoch) {
         static_cast<Vertex>(rng.NextBounded(ref.NumVertices())),
         static_cast<Vertex>(rng.NextBounded(ref.NumVertices())));
   }
-  auto futures = engine.SubmitBatch(queries);
+  QueryEngine::Ticket ticket = engine.SubmitBatch(queries);
+  ticket.Wait();
+  ASSERT_TRUE(ticket.valid());
+  EXPECT_EQ(ticket.size(), queries.size());
+  EXPECT_EQ(ticket.epoch(), 0u);
+  ASSERT_NE(ticket.snapshot(), nullptr);
+  EXPECT_GE(ticket.latency_micros(), 0.0);
   for (size_t i = 0; i < queries.size(); ++i) {
-    QueryResult r = futures[i].get();
-    EXPECT_EQ(r.distance, dij.Distance(queries[i].first, queries[i].second));
-    EXPECT_EQ(r.epoch, 0u);
-    ASSERT_NE(r.snapshot, nullptr);
-    EXPECT_GE(r.latency_micros, 0.0);
+    EXPECT_EQ(ticket.distance(i),
+              dij.Distance(queries[i].first, queries[i].second));
   }
   EngineStats stats = engine.Stats();
   EXPECT_EQ(stats.queries_served, 100u);
+  EXPECT_EQ(stats.query_batches_submitted, 1u);
+  EXPECT_EQ(stats.batched_queries, 100u);
   EXPECT_EQ(stats.epochs_published, 0u);
   EXPECT_GT(stats.queries_per_second, 0.0);
   EXPECT_LE(stats.latency_p50_micros, stats.latency_p99_micros);
@@ -247,47 +252,52 @@ TEST(QueryEngineTest, ConcurrentReadersWithWriterMatchDijkstraPerEpoch) {
   });
 
   Rng qrng(128);
-  std::vector<QueryPair> queries;
-  std::vector<std::future<QueryResult>> futures;
-  while (!done.load() || futures.size() < 800) {
+  std::vector<std::vector<QueryPair>> waves;
+  std::vector<QueryEngine::Ticket> tickets;
+  size_t total = 0;
+  while (!done.load() || total < 800) {
     std::vector<QueryPair> wave;
     for (int i = 0; i < 40; ++i) {
       wave.emplace_back(static_cast<Vertex>(qrng.NextBounded(n)),
                         static_cast<Vertex>(qrng.NextBounded(n)));
     }
-    auto fs = engine.SubmitBatch(wave);
-    queries.insert(queries.end(), wave.begin(), wave.end());
-    for (auto& f : fs) futures.push_back(std::move(f));
-    if (futures.size() >= 4000) break;  // safety valve
+    tickets.push_back(engine.SubmitBatch(wave));
+    total += wave.size();
+    waves.push_back(std::move(wave));
+    if (total >= 4000) break;  // safety valve
   }
   updater.join();
   engine.Flush();
 
-  // Verify every answer against a Dijkstra recomputation on the exact
-  // snapshot it was served from, grouping by epoch to reuse the oracle.
-  std::map<uint64_t, std::shared_ptr<const EngineSnapshot>> snapshots;
-  std::vector<QueryResult> results;
-  results.reserve(futures.size());
-  for (auto& f : futures) results.push_back(f.get());
-  for (const QueryResult& r : results) {
-    ASSERT_NE(r.snapshot, nullptr);
-    snapshots.emplace(r.epoch, r.snapshot);
-  }
+  // Every ticket was answered from ONE pinned snapshot: audit each
+  // answer against a Dijkstra recomputation on that snapshot's graph
+  // AND against the per-query path on the same snapshot (batched
+  // serving must be bit-identical to per-query serving on the pinned
+  // epoch).
   uint64_t mismatches = 0;
+  uint64_t batch_vs_query_mismatches = 0;
   std::map<uint64_t, std::unique_ptr<Dijkstra>> oracle;
-  for (auto& [epoch, snap] : snapshots) {
-    oracle.emplace(epoch, std::make_unique<Dijkstra>(snap->graph));
-  }
-  for (size_t i = 0; i < results.size(); ++i) {
-    const QueryResult& r = results[i];
-    Weight want = oracle.at(r.epoch)->Distance(queries[i].first,
-                                               queries[i].second);
-    if (r.distance != want) ++mismatches;
+  for (size_t w = 0; w < tickets.size(); ++w) {
+    QueryEngine::Ticket& ticket = tickets[w];
+    ticket.Wait();
+    const auto& snap = ticket.snapshot();
+    ASSERT_NE(snap, nullptr);
+    auto [it, fresh] = oracle.try_emplace(ticket.epoch());
+    if (fresh) it->second = std::make_unique<Dijkstra>(snap->graph);
+    for (size_t i = 0; i < waves[w].size(); ++i) {
+      const auto [s, t] = waves[w][i];
+      if (ticket.distance(i) != it->second->Distance(s, t)) ++mismatches;
+      if (ticket.distance(i) != snap->Query(s, t)) {
+        ++batch_vs_query_mismatches;
+      }
+    }
   }
   EXPECT_EQ(mismatches, 0u);
+  EXPECT_EQ(batch_vs_query_mismatches, 0u);
 
   EngineStats stats = engine.Stats();
-  EXPECT_EQ(stats.queries_served, results.size());
+  EXPECT_EQ(stats.queries_served, total);
+  EXPECT_EQ(stats.query_batches_submitted, tickets.size());
   EXPECT_GE(stats.epochs_published, 1u);
   EXPECT_EQ(stats.updates_enqueued, 80u);
   EXPECT_EQ(stats.updates_applied + stats.updates_coalesced, 80u);
@@ -507,42 +517,45 @@ TEST_P(BackendEngineTest, ConcurrentReadersWithWriterMatchDijkstraPerEpoch) {
   });
 
   Rng qrng(145);
-  std::vector<QueryPair> queries;
-  std::vector<std::future<QueryResult>> futures;
-  while (!done.load() || futures.size() < 600) {
+  std::vector<std::vector<QueryPair>> waves;
+  std::vector<QueryEngine::Ticket> tickets;
+  size_t total = 0;
+  while (!done.load() || total < 600) {
     std::vector<QueryPair> wave;
     for (int i = 0; i < 30; ++i) {
       wave.emplace_back(static_cast<Vertex>(qrng.NextBounded(n)),
                         static_cast<Vertex>(qrng.NextBounded(n)));
     }
-    auto fs = engine.SubmitBatch(wave);
-    queries.insert(queries.end(), wave.begin(), wave.end());
-    for (auto& f : fs) futures.push_back(std::move(f));
-    if (futures.size() >= 3000) break;  // safety valve
+    tickets.push_back(engine.SubmitBatch(wave));
+    total += wave.size();
+    waves.push_back(std::move(wave));
+    if (total >= 3000) break;  // safety valve
   }
   updater.join();
   engine.Flush();
 
   std::map<uint64_t, std::shared_ptr<const EngineSnapshot>> snapshots;
-  std::vector<QueryResult> results;
-  results.reserve(futures.size());
-  for (auto& f : futures) results.push_back(f.get());
-  for (const QueryResult& r : results) {
-    ASSERT_NE(r.snapshot, nullptr);
-    snapshots.emplace(r.epoch, r.snapshot);
-  }
   std::map<uint64_t, std::unique_ptr<Dijkstra>> oracle;
-  for (auto& [epoch, snap] : snapshots) {
-    oracle.emplace(epoch, std::make_unique<Dijkstra>(snap->graph));
-  }
   uint64_t mismatches = 0;
-  for (size_t i = 0; i < results.size(); ++i) {
-    const QueryResult& r = results[i];
-    Weight want = oracle.at(r.epoch)->Distance(queries[i].first,
-                                               queries[i].second);
-    if (r.distance != want) ++mismatches;
+  uint64_t batch_vs_query_mismatches = 0;
+  for (size_t w = 0; w < tickets.size(); ++w) {
+    QueryEngine::Ticket& ticket = tickets[w];
+    ticket.Wait();
+    const auto& snap = ticket.snapshot();
+    ASSERT_NE(snap, nullptr);
+    snapshots.emplace(ticket.epoch(), snap);
+    auto [it, fresh] = oracle.try_emplace(ticket.epoch());
+    if (fresh) it->second = std::make_unique<Dijkstra>(snap->graph);
+    for (size_t i = 0; i < waves[w].size(); ++i) {
+      const auto [s, t] = waves[w][i];
+      if (ticket.distance(i) != it->second->Distance(s, t)) ++mismatches;
+      if (ticket.distance(i) != snap->Query(s, t)) {
+        ++batch_vs_query_mismatches;
+      }
+    }
   }
   EXPECT_EQ(mismatches, 0u) << BackendName(GetParam());
+  EXPECT_EQ(batch_vs_query_mismatches, 0u) << BackendName(GetParam());
 
   // Every held snapshot still answers for its own epoch after the
   // writer has moved on (immutability across backends).
@@ -557,7 +570,7 @@ TEST_P(BackendEngineTest, ConcurrentReadersWithWriterMatchDijkstraPerEpoch) {
   }
 
   EngineStats stats = engine.Stats();
-  EXPECT_EQ(stats.queries_served, results.size());
+  EXPECT_EQ(stats.queries_served, total);
   EXPECT_GE(stats.epochs_published, 1u);
   EXPECT_EQ(stats.updates_enqueued, 48u);
   EXPECT_EQ(stats.updates_applied + stats.updates_coalesced, 48u);
@@ -570,6 +583,196 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<BackendKind>& info) {
       return std::string(BackendName(info.param));
     });
+
+// ------------------------------------------- completion-queue delivery
+//
+// The exactly-once contract of the tagged sink path: every submitted
+// tag arrives exactly once, from concurrent submitters racing the
+// writer. Runs under the TSan CI job via this binary.
+
+TEST(QueryEngineTest, CompletionQueueDeliversEveryTagExactlyOnce) {
+  Graph g = testing_util::SmallRoadNetwork(8, 61);
+  const uint32_t n = g.NumVertices();
+  const uint32_t m = g.NumEdges();
+  QueryEngine engine(std::move(g), HierarchyOptions{}, SmallEngineOptions());
+  CompletionQueue cq;
+  constexpr size_t kQueries = 1500;
+
+  std::thread updater([&engine, m] {
+    Rng urng(611);
+    for (int i = 0; i < 60; ++i) {
+      engine.EnqueueUpdate(static_cast<EdgeId>(urng.NextBounded(m)),
+                           1 + static_cast<Weight>(urng.NextBounded(300)));
+      if (i % 6 == 5) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  });
+  // Two submitter threads with disjoint tag ranges race the writer.
+  auto submit = [&engine, &cq, n](uint64_t base, size_t count,
+                                  uint64_t seed) {
+    Rng rng(seed);
+    for (size_t i = 0; i < count; ++i) {
+      engine.SubmitTagged({static_cast<Vertex>(rng.NextBounded(n)),
+                           static_cast<Vertex>(rng.NextBounded(n))},
+                          base + i, &cq);
+    }
+  };
+  std::thread s1(submit, 0, kQueries / 2, 612);
+  std::thread s2(submit, kQueries / 2, kQueries - kQueries / 2, 613);
+  s1.join();
+  s2.join();
+
+  std::vector<bool> seen(kQueries, false);
+  size_t received = 0;
+  Completion buf[64];
+  while (received < kQueries) {
+    const size_t got = cq.WaitPoll(buf, 64);
+    ASSERT_GT(got, 0u);
+    for (size_t i = 0; i < got; ++i) {
+      ASSERT_LT(buf[i].tag, kQueries);
+      ASSERT_FALSE(seen[buf[i].tag]) << "tag " << buf[i].tag << " twice";
+      seen[buf[i].tag] = true;
+      EXPECT_GE(buf[i].latency_micros, 0.0);
+    }
+    received += got;
+  }
+  updater.join();
+  EXPECT_EQ(cq.Poll(buf, 64), 0u);  // nothing extra was delivered
+  EXPECT_EQ(cq.size(), 0u);
+  EXPECT_EQ(engine.Stats().queries_served, kQueries);
+}
+
+TEST(QueryEngineTest, CompletionQueueAnswersAreExactOnQuiescentEpoch) {
+  Graph g = testing_util::SmallRoadNetwork(7, 63);
+  const uint32_t n = g.NumVertices();
+  QueryEngine engine(std::move(g), HierarchyOptions{}, SmallEngineOptions());
+  auto snap = engine.CurrentSnapshot();
+  Dijkstra dij(snap->graph);
+  CompletionQueue cq;
+  Rng rng(63);
+  std::vector<QueryPair> queries;
+  for (int i = 0; i < 80; ++i) {
+    queries.emplace_back(static_cast<Vertex>(rng.NextBounded(n)),
+                         static_cast<Vertex>(rng.NextBounded(n)));
+    engine.SubmitTagged(queries.back(), static_cast<uint64_t>(i), &cq);
+  }
+  size_t received = 0;
+  Completion buf[32];
+  while (received < queries.size()) {
+    const size_t got = cq.WaitPoll(buf, 32);
+    for (size_t i = 0; i < got; ++i) {
+      const QueryPair& q = queries[buf[i].tag];
+      EXPECT_EQ(buf[i].distance, dij.Distance(q.first, q.second));
+      EXPECT_EQ(buf[i].epoch, snap->epoch);
+    }
+    received += got;
+  }
+}
+
+TEST(QueryEngineTest, SubmitBatchTaggedDeliversOncePerTagAndMatchesTicket) {
+  Graph g = testing_util::SmallRoadNetwork(7, 64);
+  const uint32_t n = g.NumVertices();
+  QueryEngine engine(std::move(g), HierarchyOptions{}, SmallEngineOptions());
+  Rng rng(64);
+  std::vector<QueryPair> queries;
+  std::vector<uint64_t> tags;
+  for (int i = 0; i < 120; ++i) {
+    queries.emplace_back(static_cast<Vertex>(rng.NextBounded(n)),
+                         static_cast<Vertex>(rng.NextBounded(n)));
+    tags.push_back(1000 + i);
+  }
+  CompletionQueue cq;
+  QueryEngine::Ticket ticket = engine.SubmitBatchTagged(queries, tags, &cq);
+  ticket.Wait();
+  std::vector<bool> seen(queries.size(), false);
+  size_t received = 0;
+  Completion buf[32];
+  while (received < queries.size()) {
+    const size_t got = cq.WaitPoll(buf, 32);
+    for (size_t i = 0; i < got; ++i) {
+      ASSERT_GE(buf[i].tag, 1000u);
+      const size_t slot = buf[i].tag - 1000;
+      ASSERT_LT(slot, queries.size());
+      ASSERT_FALSE(seen[slot]);
+      seen[slot] = true;
+      EXPECT_EQ(buf[i].distance, ticket.distance(slot));
+      EXPECT_EQ(buf[i].epoch, ticket.epoch());
+    }
+    received += got;
+  }
+  EXPECT_EQ(cq.Poll(buf, 32), 0u);
+}
+
+// ----------------------------------------------- epoch-keyed result cache
+
+TEST(QueryEngineTest, ResultCacheHitsAndEpochInvalidation) {
+  Graph g = testing_util::SmallRoadNetwork(8, 65);
+  const uint32_t n = g.NumVertices();
+  const uint32_t m = g.NumEdges();
+  EngineOptions opt = SmallEngineOptions();
+  opt.result_cache_entries = 1 << 12;
+  QueryEngine engine(std::move(g), HierarchyOptions{}, opt);
+  Rng rng(65);
+  std::vector<QueryPair> queries;
+  for (int i = 0; i < 80; ++i) {
+    queries.emplace_back(static_cast<Vertex>(rng.NextBounded(n)),
+                         static_cast<Vertex>(rng.NextBounded(n)));
+  }
+  // First pass fills the cache; the repeat pass on the SAME epoch must
+  // return identical distances (now mostly from the memo).
+  QueryEngine::Ticket first = engine.SubmitBatch(queries);
+  first.Wait();
+  QueryEngine::Ticket repeat = engine.SubmitBatch(queries);
+  repeat.Wait();
+  ASSERT_EQ(first.epoch(), repeat.epoch());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(first.distance(i), repeat.distance(i));
+  }
+  EngineStats stats = engine.Stats();
+  EXPECT_GT(stats.result_cache_lookups, 0u);
+  EXPECT_GT(stats.result_cache_hits, 0u);
+  EXPECT_GT(stats.result_cache_hit_rate, 0.0);
+
+  // Publishing a new epoch invalidates for free (the epoch is part of
+  // the key): the same queries must be exact for the NEW weights.
+  for (int i = 0; i < 15; ++i) {
+    engine.EnqueueUpdate(static_cast<EdgeId>(rng.NextBounded(m)),
+                         1 + static_cast<Weight>(rng.NextBounded(400)));
+  }
+  engine.Flush();
+  QueryEngine::Ticket after = engine.SubmitBatch(queries);
+  after.Wait();
+  ASSERT_GT(after.epoch(), first.epoch());
+  Dijkstra dij(after.snapshot()->graph);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_EQ(after.distance(i),
+              dij.Distance(queries[i].first, queries[i].second))
+        << "stale cache entry served across epochs, query " << i;
+  }
+  // Per-query Submit consults the same cache.
+  QueryResult r = engine.Submit(queries[0]).get();
+  EXPECT_EQ(r.distance, after.distance(0));
+}
+
+TEST(QueryEngineTest, EmptyAndAllHitBatchesResolveImmediately) {
+  Graph g = testing_util::SmallRoadNetwork(6, 66);
+  EngineOptions opt = SmallEngineOptions();
+  opt.result_cache_entries = 256;
+  QueryEngine engine(std::move(g), HierarchyOptions{}, opt);
+  QueryEngine::Ticket empty = engine.SubmitBatch({});
+  empty.Wait();
+  EXPECT_EQ(empty.size(), 0u);
+  // A batch of one repeated pair: after the first resolves, resubmit —
+  // the all-hits path must still produce a done ticket with the same
+  // answer.
+  std::vector<QueryPair> one{{0, 1}};
+  QueryEngine::Ticket a = engine.SubmitBatch(one);
+  a.Wait();
+  QueryEngine::Ticket b = engine.SubmitBatch(one);
+  b.Wait();
+  EXPECT_EQ(a.distance(0), b.distance(0));
+}
 
 TEST(QueryEngineTest, DestructorDrainsInFlightWork) {
   Graph g = testing_util::SmallRoadNetwork(6, 28);

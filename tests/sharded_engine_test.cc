@@ -130,42 +130,49 @@ TEST_P(ShardedBackendTest, ConcurrentReadersMatchDijkstraPerEpoch) {
   });
 
   Rng qrng(254);
-  std::vector<QueryPair> queries;
-  std::vector<std::future<ShardedQueryResult>> futures;
-  while (!done.load() || futures.size() < 600) {
+  std::vector<std::vector<QueryPair>> waves;
+  std::vector<ShardedEngine::Ticket> tickets;
+  size_t total = 0;
+  while (!done.load() || total < 600) {
     std::vector<QueryPair> wave;
     for (int i = 0; i < 30; ++i) {
       wave.emplace_back(static_cast<Vertex>(qrng.NextBounded(n)),
                         static_cast<Vertex>(qrng.NextBounded(n)));
     }
-    auto fs = engine.SubmitBatch(wave);
-    queries.insert(queries.end(), wave.begin(), wave.end());
-    for (auto& f : fs) futures.push_back(std::move(f));
-    if (futures.size() >= 3000) break;  // safety valve
+    tickets.push_back(engine.SubmitBatch(wave));
+    total += wave.size();
+    waves.push_back(std::move(wave));
+    if (total >= 3000) break;  // safety valve
   }
   updater.join();
   engine.Flush();
 
+  // Every ticket was routed from ONE pinned snapshot: audit against
+  // Dijkstra on that snapshot's full-graph weights AND against the
+  // per-query router on the same snapshot — the batched path (grouped,
+  // row-reusing) must be bit-identical to per-query serving.
   std::map<uint64_t, std::shared_ptr<const ShardedSnapshot>> snapshots;
-  std::vector<ShardedQueryResult> results;
-  results.reserve(futures.size());
-  for (auto& f : futures) results.push_back(f.get());
-  for (const ShardedQueryResult& r : results) {
-    ASSERT_NE(r.snapshot, nullptr);
-    snapshots.emplace(r.epoch, r.snapshot);
-  }
   std::map<uint64_t, std::unique_ptr<Dijkstra>> oracle;
-  for (auto& [epoch, snap] : snapshots) {
-    oracle.emplace(epoch, std::make_unique<Dijkstra>(snap->graph));
-  }
   uint64_t mismatches = 0;
-  for (size_t i = 0; i < results.size(); ++i) {
-    const ShardedQueryResult& r = results[i];
-    Weight want = oracle.at(r.epoch)->Distance(queries[i].first,
-                                               queries[i].second);
-    if (r.distance != want) ++mismatches;
+  uint64_t batch_vs_query_mismatches = 0;
+  for (size_t w = 0; w < tickets.size(); ++w) {
+    ShardedEngine::Ticket& ticket = tickets[w];
+    ticket.Wait();
+    const auto& snap = ticket.snapshot();
+    ASSERT_NE(snap, nullptr);
+    snapshots.emplace(ticket.epoch(), snap);
+    auto [it, fresh] = oracle.try_emplace(ticket.epoch());
+    if (fresh) it->second = std::make_unique<Dijkstra>(snap->graph);
+    for (size_t i = 0; i < waves[w].size(); ++i) {
+      const auto [s, t] = waves[w][i];
+      if (ticket.distance(i) != it->second->Distance(s, t)) ++mismatches;
+      if (ticket.distance(i) != snap->Query(s, t)) {
+        ++batch_vs_query_mismatches;
+      }
+    }
   }
   EXPECT_EQ(mismatches, 0u) << BackendName(GetParam());
+  EXPECT_EQ(batch_vs_query_mismatches, 0u) << BackendName(GetParam());
 
   // Held snapshots still answer for their own epoch after the writer
   // has moved on (per-shard immutability).
@@ -180,7 +187,7 @@ TEST_P(ShardedBackendTest, ConcurrentReadersMatchDijkstraPerEpoch) {
   }
 
   EngineStats stats = engine.Stats();
-  EXPECT_EQ(stats.queries_served, results.size());
+  EXPECT_EQ(stats.queries_served, total);
   EXPECT_GE(stats.epochs_published, 1u);
   EXPECT_EQ(stats.updates_enqueued, 48u);
   EXPECT_EQ(stats.updates_applied + stats.updates_coalesced, 48u);
@@ -202,10 +209,135 @@ TEST(ShardedEngineTest, ExhaustiveAllPairsMatchFloydWarshall) {
                        SmallShardedOptions(BackendKind::kStl, 3));
   auto all = FloydWarshallAllPairs(ref);
   auto snap = engine.CurrentSnapshot();
+  std::vector<QueryPair> pairs;
   for (Vertex s = 0; s < ref.NumVertices(); ++s) {
     for (Vertex t = 0; t < ref.NumVertices(); ++t) {
       ASSERT_EQ(snap->Query(s, t), all[s][t]) << "s=" << s << " t=" << t;
+      pairs.emplace_back(s, t);
     }
+  }
+  // The same pairs as ONE batch: the grouped, row-reusing batched
+  // router covers every routing case here (same-cell, cross-cell,
+  // boundary endpoints, s == t) and must reproduce every distance
+  // bit-identically.
+  ShardedEngine::Ticket ticket = engine.SubmitBatch(pairs);
+  ticket.Wait();
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    ASSERT_EQ(ticket.distance(i), all[pairs[i].first][pairs[i].second])
+        << "batched s=" << pairs[i].first << " t=" << pairs[i].second;
+  }
+}
+
+TEST(ShardedEngineTest, ChooseShardCountHeuristicShape) {
+  // Tiny networks don't shard: the boundary overhead has nothing to
+  // amortize against.
+  EXPECT_EQ(ChooseShardCount(0, 0.0), 1u);
+  EXPECT_EQ(ChooseShardCount(1000, 0.0), 1u);
+  // k grows with the network...
+  EXPECT_GE(ChooseShardCount(1u << 16, 0.0), 2u);
+  EXPECT_GE(ChooseShardCount(1u << 20, 0.0),
+            ChooseShardCount(1u << 16, 0.0));
+  // ...but is capped, and a heavy update feed pushes it back down
+  // (every effective epoch rebuilds the overlay).
+  EXPECT_LE(ChooseShardCount(UINT32_MAX, 0.0), 64u);
+  EXPECT_LE(ChooseShardCount(1u << 20, 10000.0),
+            ChooseShardCount(1u << 20, 0.0));
+  EXPECT_GE(ChooseShardCount(1u << 20, 1e12), 1u);
+}
+
+TEST(ShardedEngineTest, AutoShardCountPicksKAndServesExactly) {
+  Graph g = testing_util::SmallRoadNetwork(8, 59);
+  Graph ref = g;
+  ShardedEngineOptions opt = SmallShardedOptions(BackendKind::kStl, 0);
+  opt.expected_update_rate = 20.0;
+  ShardedEngine engine(std::move(g), HierarchyOptions{}, opt);
+  // The engine picked k itself (64 vertices -> a single shard under the
+  // heuristic) and still serves exact answers.
+  EXPECT_GE(engine.num_shards(),
+            ChooseShardCount(ref.NumVertices(), opt.expected_update_rate));
+  Dijkstra dij(ref);
+  Rng rng(59);
+  for (int i = 0; i < 80; ++i) {
+    Vertex s = static_cast<Vertex>(rng.NextBounded(ref.NumVertices()));
+    Vertex t = static_cast<Vertex>(rng.NextBounded(ref.NumVertices()));
+    ASSERT_EQ(engine.Submit({s, t}).get().distance, dij.Distance(s, t));
+  }
+}
+
+TEST(ShardedEngineTest, CompletionQueueDeliversExactlyOnceUnderRaces) {
+  Graph g = testing_util::SmallRoadNetwork(7, 67);
+  const uint32_t n = g.NumVertices();
+  const uint32_t m = g.NumEdges();
+  ShardedEngine engine(std::move(g), HierarchyOptions{},
+                       SmallShardedOptions(BackendKind::kStl, 4));
+  CompletionQueue cq;
+  constexpr size_t kQueries = 900;
+  std::thread updater([&engine, m] {
+    Rng urng(671);
+    for (int i = 0; i < 40; ++i) {
+      engine.EnqueueUpdate(static_cast<EdgeId>(urng.NextBounded(m)),
+                           1 + static_cast<Weight>(urng.NextBounded(300)));
+      if (i % 5 == 4) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  });
+  Rng rng(672);
+  for (size_t i = 0; i < kQueries; ++i) {
+    engine.SubmitTagged({static_cast<Vertex>(rng.NextBounded(n)),
+                         static_cast<Vertex>(rng.NextBounded(n))},
+                        i, &cq);
+  }
+  std::vector<bool> seen(kQueries, false);
+  size_t received = 0;
+  Completion buf[64];
+  while (received < kQueries) {
+    const size_t got = cq.WaitPoll(buf, 64);
+    for (size_t i = 0; i < got; ++i) {
+      ASSERT_LT(buf[i].tag, kQueries);
+      ASSERT_FALSE(seen[buf[i].tag]);
+      seen[buf[i].tag] = true;
+    }
+    received += got;
+  }
+  updater.join();
+  EXPECT_EQ(cq.Poll(buf, 64), 0u);
+}
+
+TEST(ShardedEngineTest, ResultCacheKeepsShardedAnswersExactAcrossEpochs) {
+  Graph g = testing_util::SmallRoadNetwork(7, 68);
+  const uint32_t n = g.NumVertices();
+  const uint32_t m = g.NumEdges();
+  ShardedEngineOptions opt = SmallShardedOptions(BackendKind::kStl, 4);
+  opt.result_cache_entries = 1 << 12;
+  ShardedEngine engine(std::move(g), HierarchyOptions{}, opt);
+  Rng rng(68);
+  std::vector<QueryPair> queries;
+  for (int i = 0; i < 60; ++i) {
+    queries.emplace_back(static_cast<Vertex>(rng.NextBounded(n)),
+                         static_cast<Vertex>(rng.NextBounded(n)));
+  }
+  ShardedEngine::Ticket first = engine.SubmitBatch(queries);
+  first.Wait();
+  ShardedEngine::Ticket repeat = engine.SubmitBatch(queries);
+  repeat.Wait();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(first.distance(i), repeat.distance(i));
+  }
+  EXPECT_GT(engine.Stats().result_cache_hits, 0u);
+  // New epoch -> stale entries stop matching; answers follow the new
+  // weights exactly.
+  for (int i = 0; i < 10; ++i) {
+    engine.EnqueueUpdate(static_cast<EdgeId>(rng.NextBounded(m)),
+                         1 + static_cast<Weight>(rng.NextBounded(400)));
+  }
+  engine.Flush();
+  ShardedEngine::Ticket after = engine.SubmitBatch(queries);
+  after.Wait();
+  Dijkstra dij(after.snapshot()->graph);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_EQ(after.distance(i),
+              dij.Distance(queries[i].first, queries[i].second));
   }
 }
 
