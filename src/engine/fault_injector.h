@@ -1,0 +1,103 @@
+// Deterministic fault injection for the serving stack. ServingCore,
+// UpdateQueue and the completion-delivery path consult an optional
+// FaultInjector at named sites; a test (or the chaos bench) installs a
+// seeded injector to force every degraded path — reader delays,
+// writer stalls, apply failures, completion drop candidates — and then
+// asserts that the robustness invariants still hold: no tag is lost or
+// double-delivered, answered queries stay exact on their epoch, and
+// the engine recovers once the fault clears.
+//
+// The default (no injector installed) costs one null-pointer check per
+// site; production binaries never pay for the hooks.
+#ifndef STL_ENGINE_FAULT_INJECTOR_H_
+#define STL_ENGINE_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace stl {
+
+/// Named instrumentation points where the serving stack consults the
+/// injector. Each site maps to one robustness mechanism under test.
+enum class FaultSite {
+  /// A reader-pool thread, after dequeuing a query and before routing
+  /// it (stresses queue growth, admission shedding and deadlines).
+  kReaderDelay = 0,
+  /// The writer thread, after taking a slice of pending updates and
+  /// before applying it (stresses the stall watchdog / degraded mode).
+  kWriterStall = 1,
+  /// The writer's apply step: when the fault fires, the coalesced
+  /// batch is dropped instead of applied (stresses the failed-apply
+  /// accounting; the master state stays untouched, so serving remains
+  /// exact).
+  kApplyFailure = 2,
+  /// Immediately before a completion is handed to the caller's sink:
+  /// when the fault fires, the first delivery attempt is treated as
+  /// dropped and the exactly-once retry path must deliver it anyway.
+  kCompletionDropCandidate = 3,
+};
+
+/// Number of distinct FaultSite values (array sizing).
+inline constexpr int kNumFaultSites = 4;
+
+/// Stable human-readable site name ("reader_delay", ...).
+const char* FaultSiteName(FaultSite site);
+
+/// The hook surface. Implementations must be thread-safe: sites fire
+/// concurrently from reader-pool threads, the writer thread and
+/// submitting threads.
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;  ///< Injectors are caller-owned.
+
+  /// True iff the fault should fire at this visit of `site`. For delay
+  /// sites the caller then sleeps DelayMicros(site); for failure/drop
+  /// sites it takes the degraded path.
+  virtual bool Fire(FaultSite site) = 0;
+
+  /// How long a firing delay site should block, in microseconds.
+  virtual uint64_t DelayMicros(FaultSite site) = 0;
+};
+
+/// The standard deterministic injector: each site fires with a fixed
+/// per-site rate from a seeded per-site counter sequence, so a given
+/// (seed, rates) configuration replays the same fault schedule
+/// regardless of thread interleaving of OTHER sites. Thread-safe.
+class SeededFaultInjector final : public FaultInjector {
+ public:
+  /// An injector with every site disabled; arm sites with SetRate().
+  explicit SeededFaultInjector(uint64_t seed);
+
+  /// Arms `site` to fire on a pseudo-random `rate` fraction of visits
+  /// (0 disarms, 1 fires always). Call before serving starts.
+  void SetRate(FaultSite site, double rate);
+
+  /// Sets the blocking time for firing delay sites (default 200us).
+  void SetDelayMicros(FaultSite site, uint64_t micros);
+
+  /// Visits of `site` that fired so far (relaxed; for test assertions).
+  uint64_t fired(FaultSite site) const;
+
+  /// Disarms every site (e.g. "the fault clears" in recovery tests).
+  void Clear();
+
+  bool Fire(FaultSite site) override;
+  uint64_t DelayMicros(FaultSite site) override;
+
+ private:
+  struct SiteState {
+    /// Fire threshold in 2^-32 units: a visit fires when the next
+    /// value of the site's counter-keyed hash falls below it.
+    std::atomic<uint32_t> threshold{0};
+    std::atomic<uint64_t> delay_micros{200};
+    std::atomic<uint64_t> visits{0};
+    std::atomic<uint64_t> fired{0};
+  };
+
+  const uint64_t seed_;
+  SiteState sites_[kNumFaultSites];
+};
+
+}  // namespace stl
+
+#endif  // STL_ENGINE_FAULT_INJECTOR_H_

@@ -14,6 +14,7 @@ ServingCoreOptions CoreOptions(const EngineOptions& options) {
   core.num_query_threads = options.num_query_threads;
   core.max_batch_size = options.max_batch_size;
   core.result_cache_entries = options.result_cache_entries;
+  core.serving = options.serving;
   return core;
 }
 

@@ -93,7 +93,8 @@ struct EngineSnapshot {
 
 /// Answer to one submitted query.
 struct QueryResult {
-  /// Exact distance for the serving snapshot's weights.
+  /// Exact distance for the serving snapshot's weights. Meaningful only
+  /// when code == StatusCode::kOk (kInfDistance otherwise).
   Weight distance = kInfDistance;
   /// Epoch of the serving snapshot.
   uint64_t epoch = 0;
@@ -102,6 +103,13 @@ struct QueryResult {
   /// The snapshot the query was served from; lets callers audit the
   /// answer against the exact weights of that epoch.
   std::shared_ptr<const EngineSnapshot> snapshot;
+  /// kOk for an answered query; kOverloaded when admission control (or
+  /// the shutdown drain) shed it; kDeadlineExceeded when its deadline
+  /// passed before a reader dequeued it.
+  StatusCode code = StatusCode::kOk;
+
+  /// Typed status view of `code` (ServingStatus(code)).
+  Status status() const { return ServingStatus(code); }
 };
 
 /// Construction options for the flat (single-index) serving engine.
@@ -127,6 +135,10 @@ struct EngineOptions {
   /// structural share. Keep false outside bench_snapshot_publish; only
   /// meaningful for backends with CoW snapshots (STL).
   bool flat_publish = false;
+  /// Overload-hardening knobs (admission bounds, deadlines enforcement,
+  /// stall watchdog, bounded shutdown drain, fault injection). Defaults
+  /// to everything off — the pre-hardening behaviour.
+  ServingOptions serving;
 };
 
 /// Concurrent query-serving engine: the flat (one master DistanceIndex)
@@ -152,30 +164,39 @@ class QueryEngine {
   QueryEngine& operator=(const QueryEngine&) = delete;  ///< Not copyable.
 
   /// Schedules one distance query; the future resolves when a reader
-  /// thread has answered it. Compatibility adapter: allocates one
-  /// promise per query (prefer SubmitBatch / SubmitTagged at high qps).
-  std::future<QueryResult> Submit(QueryPair query) {
-    return core_.Submit(query);
+  /// thread has answered it — or, under overload, with a kOverloaded /
+  /// kDeadlineExceeded result code. Compatibility adapter: allocates
+  /// one promise per query (prefer SubmitBatch / SubmitTagged at high
+  /// qps).
+  std::future<QueryResult> Submit(QueryPair query,
+                                  Deadline deadline = kNoDeadline) {
+    return core_.Submit(query, deadline);
   }
 
   /// Schedules a batch of queries pinned to ONE snapshot; answers are
   /// bit-identical to per-query Submit calls on that same snapshot.
-  Ticket SubmitBatch(const std::vector<QueryPair>& queries) {
-    return core_.SubmitBatch(queries);
+  /// Under overload queries may complete with failure codes on the
+  /// ticket (BatchTicket::code).
+  Ticket SubmitBatch(const std::vector<QueryPair>& queries,
+                     Deadline deadline = kNoDeadline) {
+    return core_.SubmitBatch(queries, deadline);
   }
 
-  /// Completion-queue mode: the answer is delivered to `sink` exactly
-  /// once with the caller's tag — no promise or future is allocated.
-  void SubmitTagged(QueryPair query, uint64_t tag, CompletionSink* sink) {
-    core_.SubmitTagged(query, tag, sink);
+  /// Completion-queue mode: the completion is delivered to `sink`
+  /// exactly once with the caller's tag — answered, shed or expired —
+  /// and no promise or future is allocated.
+  void SubmitTagged(QueryPair query, uint64_t tag, CompletionSink* sink,
+                    Deadline deadline = kNoDeadline) {
+    core_.SubmitTagged(query, tag, sink, deadline);
   }
 
   /// Batched completion-queue mode: pins one snapshot and delivers
-  /// `tags[i]` with query i's answer to `sink` exactly once.
+  /// `tags[i]` with query i's completion to `sink` exactly once.
   Ticket SubmitBatchTagged(const std::vector<QueryPair>& queries,
                            const std::vector<uint64_t>& tags,
-                           CompletionSink* sink) {
-    return core_.SubmitBatchTagged(queries, tags, sink);
+                           CompletionSink* sink,
+                           Deadline deadline = kNoDeadline) {
+    return core_.SubmitBatchTagged(queries, tags, sink, deadline);
   }
 
   /// Records a desired new weight for an edge. The writer re-resolves

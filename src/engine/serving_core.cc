@@ -35,6 +35,20 @@ size_t CompletionQueue::WaitPoll(Completion* out, size_t max_completions) {
   return n;
 }
 
+size_t CompletionQueue::WaitPoll(Completion* out, size_t max_completions,
+                                 std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (timeout.count() > 0) {
+    ready_cv_.wait_for(lock, timeout, [this] { return !done_.empty(); });
+  }
+  size_t n = 0;
+  while (n < max_completions && !done_.empty()) {
+    out[n++] = done_.front();
+    done_.pop_front();
+  }
+  return n;
+}
+
 size_t CompletionQueue::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return done_.size();
@@ -136,6 +150,14 @@ void ServingCounters::FillStats(EngineStats* s) const {
   s->publish_total_micros =
       static_cast<double>(publish_nanos.load(std::memory_order_relaxed)) /
       1e3;
+  s->queries_shed = queries_shed.load(std::memory_order_relaxed);
+  s->batches_shed = batches_shed.load(std::memory_order_relaxed);
+  s->queries_deadline_exceeded =
+      queries_deadline_exceeded.load(std::memory_order_relaxed);
+  s->apply_failures = apply_failures.load(std::memory_order_relaxed);
+  s->completions_retried =
+      completions_retried.load(std::memory_order_relaxed);
+  s->degraded_entries = degraded_entries.load(std::memory_order_relaxed);
   s->wall_seconds = wall.ElapsedSeconds();
   s->queries_per_second =
       s->wall_seconds > 0
@@ -162,6 +184,12 @@ void ServingCounters::Reset() {
   cow_bytes_cloned.store(0, std::memory_order_relaxed);
   publish_bytes_deep_copied.store(0, std::memory_order_relaxed);
   publish_nanos.store(0, std::memory_order_relaxed);
+  queries_shed.store(0, std::memory_order_relaxed);
+  batches_shed.store(0, std::memory_order_relaxed);
+  queries_deadline_exceeded.store(0, std::memory_order_relaxed);
+  apply_failures.store(0, std::memory_order_relaxed);
+  completions_retried.store(0, std::memory_order_relaxed);
+  degraded_entries.store(0, std::memory_order_relaxed);
   latency.Reset();
   wall.Restart();
 }

@@ -24,6 +24,21 @@
 // serving on that same epoch. Completions are delivered exactly once
 // per submitted tag, including across engine destruction (the pool
 // drains before the writer joins).
+//
+// Overload hardening (ServingOptions): submission is bounded. When the
+// admission queue is full, new work is rejected — or the oldest queued
+// work is shed — with a typed util::Status (kOverloaded) instead of
+// queueing without bound; per-query/per-batch deadlines expire queued
+// work as kDeadlineExceeded at dequeue (and between route chunks)
+// before it consumes reader time; a writer-stall watchdog flips the
+// engine into a DEGRADED mode (still serving, from the pinned stale
+// snapshot and the result cache, with `degraded`/`staleness_epochs`
+// surfaced in EngineStats) and recovers on its own once the writer
+// catches up; destruction drains with an optional deadline, failing
+// residual queued tags as kOverloaded rather than hanging. Exactly-once
+// delivery holds for shed and expired tags exactly as for served ones.
+// Every degraded path is forceable deterministically through the
+// FaultInjector sites (engine/fault_injector.h).
 #ifndef STL_ENGINE_SERVING_CORE_H_
 #define STL_ENGINE_SERVING_CORE_H_
 
@@ -40,16 +55,80 @@
 #include <vector>
 
 #include "engine/atomic_shared_ptr.h"
+#include "engine/fault_injector.h"
 #include "engine/latency_histogram.h"
 #include "engine/thread_pool.h"
 #include "engine/update_queue.h"
 #include "graph/updates.h"
 #include "index/distance_index.h"
 #include "util/logging.h"
+#include "util/status.h"
 #include "util/timer.h"
 #include "workload/query_workload.h"
 
 namespace stl {
+
+/// Absolute deadline for a submitted query or batch. Work still queued
+/// when its deadline passes completes with StatusCode::kDeadlineExceeded
+/// instead of consuming reader time.
+using Deadline = std::chrono::steady_clock::time_point;
+
+/// The default deadline: never expires.
+inline constexpr Deadline kNoDeadline = Deadline::max();
+
+/// What happens to a submission when the admission queue is at its
+/// configured limit (ServingOptions::max_queued_queries / _batches).
+enum class AdmissionPolicy {
+  /// The NEW submission completes immediately with kOverloaded; queued
+  /// work keeps its place (favors work already waiting).
+  kRejectNew,
+  /// The OLDEST still-queued work is shed with kOverloaded and the new
+  /// submission is admitted (favors fresh work — queued work is the
+  /// most likely to miss its deadline anyway).
+  kShedOldest,
+};
+
+/// Overload-hardening knobs shared by every serving engine. All
+/// default to "off" (unbounded admission, no deadlines enforced beyond
+/// the ones callers pass, no watchdog, drain-forever shutdown), which
+/// is the pre-hardening behaviour.
+struct ServingOptions {
+  /// Admission bound on queued (submitted, not yet routing) single
+  /// queries; 0 = unbounded. At the bound, admission_policy decides.
+  size_t max_queued_queries = 0;
+  /// Admission bound on in-flight (submitted, not yet done) batch
+  /// tickets; 0 = unbounded.
+  size_t max_queued_batches = 0;
+  /// Reject-new vs shed-oldest at the admission bound.
+  AdmissionPolicy admission_policy = AdmissionPolicy::kRejectNew;
+  /// Writer-stall watchdog: if updates are pending and the writer has
+  /// made no progress for this long, the engine enters degraded mode
+  /// (EngineStats::degraded + staleness_epochs) until the writer
+  /// catches up. 0 disables the watchdog.
+  double writer_stall_ms = 0;
+  /// Destruction drains for at most this long before failing residual
+  /// queued work with kOverloaded (exactly-once still holds for the
+  /// failed tags). 0 = drain without bound (the original contract).
+  double shutdown_drain_ms = 0;
+  /// Deterministic fault hooks (tests/chaos bench only; not owned,
+  /// must outlive the engine). Null = no faults, one branch per site.
+  FaultInjector* fault_injector = nullptr;
+};
+
+/// The Status equivalent of a serving-path StatusCode (failure
+/// messages are fixed strings; the hot path never allocates for kOk).
+inline Status ServingStatus(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return Status::OK();
+    case StatusCode::kOverloaded:
+      return Status::Overloaded("shed by admission control");
+    case StatusCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded("deadline passed before routing");
+    default:
+      return Status::Internal("unexpected serving status");
+  }
+}
 
 /// How the writer picks the STL maintenance algorithm per batch (other
 /// backends use their own single maintenance scheme and ignore this).
@@ -148,6 +227,37 @@ struct EngineStats {
   /// table (a subset of publish_total_micros).
   double overlay_rebuild_micros = 0;
   std::vector<ShardStats> shards;    ///< Per-shard counters.
+  // Overload & degradation (the ServingOptions robustness layer).
+  /// True while the writer-stall watchdog holds the engine in degraded
+  /// mode: updates are pending but the writer has made no progress for
+  /// longer than ServingOptions::writer_stall_ms. Queries keep being
+  /// served (exactly, from the pinned stale snapshot and the result
+  /// cache); the flag tells operators the answers are aging.
+  bool degraded = false;
+  /// While degraded: roughly how many epochs behind the serving
+  /// snapshot is (ceil(pending updates / max_batch_size)); 0 otherwise.
+  uint64_t staleness_epochs = 0;
+  /// Times the watchdog flipped the engine into degraded mode.
+  uint64_t degraded_entries = 0;
+  /// Queries completed with kOverloaded (admission rejects + sheds,
+  /// including per-query members of shed batches and tags failed by
+  /// the shutdown drain deadline).
+  uint64_t queries_shed = 0;
+  /// Batch tickets rejected or shed by admission control.
+  uint64_t batches_shed = 0;
+  /// Queries completed with kDeadlineExceeded (expired at dequeue or
+  /// between route chunks, without consuming reader time).
+  uint64_t queries_deadline_exceeded = 0;
+  /// Coalesced update batches dropped by an injected apply failure
+  /// (FaultSite::kApplyFailure); the master state stays untouched.
+  uint64_t apply_failures = 0;
+  /// Completion deliveries whose first attempt was dropped at
+  /// FaultSite::kCompletionDropCandidate and redelivered by the
+  /// exactly-once retry path.
+  uint64_t completions_retried = 0;
+  /// Point-in-time admission queue depth (submitted single queries not
+  /// yet claimed by a reader); 0 when admission tracking is off.
+  uint64_t queued_queries = 0;
   double wall_seconds = 0;           ///< Wall time since start / reset.
   double queries_per_second = 0;     ///< queries_served / wall_seconds.
   double latency_mean_micros = 0;    ///< Mean request latency.
@@ -163,12 +273,18 @@ struct Completion {
   /// The tag the caller attached at submission (request id, slot index,
   /// pointer bits — opaque to the engine).
   uint64_t tag = 0;
-  /// Exact distance for the serving snapshot's weights.
+  /// Exact distance for the serving snapshot's weights. Meaningful
+  /// only when code == StatusCode::kOk (kInfDistance otherwise).
   Weight distance = kInfDistance;
   /// Epoch of the snapshot the query was served from.
   uint64_t epoch = 0;
   /// Submit-to-completion latency (queue wait included).
   double latency_micros = 0;
+  /// kOk for an answered query; kOverloaded for work shed by admission
+  /// control (or failed by the shutdown drain deadline);
+  /// kDeadlineExceeded for work whose deadline passed before routing.
+  /// Every submitted tag is delivered exactly once regardless of code.
+  StatusCode code = StatusCode::kOk;
 };
 
 /// Where completion-mode answers go. Deliver() is called exactly once
@@ -199,6 +315,12 @@ class CompletionQueue final : public CompletionSink {
   /// Blocks until at least one completion is available, then drains up
   /// to `max_completions` into `out`. Returns how many were written.
   size_t WaitPoll(Completion* out, size_t max_completions);
+
+  /// Like WaitPoll, but gives up after `timeout` and returns 0 if no
+  /// completion arrived. A zero or negative timeout (a deadline in the
+  /// past) never blocks — it degenerates to Poll().
+  size_t WaitPoll(Completion* out, size_t max_completions,
+                  std::chrono::milliseconds timeout);
 
   /// Completions currently queued (point-in-time).
   size_t size() const;
@@ -288,7 +410,22 @@ struct ServingCounters {
   std::atomic<uint64_t> query_batches_submitted{0};
   /// Queries that arrived inside a batch.
   std::atomic<uint64_t> batched_queries{0};
-  LatencyHistogram latency;  ///< Submit-to-completion latency.
+  /// Queries completed with kOverloaded.
+  std::atomic<uint64_t> queries_shed{0};
+  /// Batch tickets rejected or shed by admission control.
+  std::atomic<uint64_t> batches_shed{0};
+  /// Queries completed with kDeadlineExceeded.
+  std::atomic<uint64_t> queries_deadline_exceeded{0};
+  /// Update batches dropped by an injected apply failure.
+  std::atomic<uint64_t> apply_failures{0};
+  /// Completion deliveries redelivered by the exactly-once retry path.
+  std::atomic<uint64_t> completions_retried{0};
+  /// Times the watchdog flipped the engine into degraded mode.
+  std::atomic<uint64_t> degraded_entries{0};
+  /// Submit-to-completion latency of ANSWERED (kOk) queries. Shed and
+  /// expired work is excluded so overload cannot poison the served
+  /// quantiles; its latencies travel in the Completion / result.
+  LatencyHistogram latency;
   Timer wall;                ///< Serving wall clock (Restart on start).
 
   /// Copies the counter block into the matching EngineStats fields and
@@ -326,12 +463,26 @@ class BatchTicket {
   }
 
   /// Exact distance of query i under the pinned epoch's weights
-  /// (blocks until the batch is done).
+  /// (blocks until the batch is done). Meaningful only when
+  /// code(i) == StatusCode::kOk; kInfDistance for shed/expired queries.
   Weight distance(size_t i) const {
     Wait();
     STL_CHECK(state_ != nullptr && i < state_->distances.size());
     return state_->distances[i];
   }
+
+  /// Completion code of query i (blocks until the batch is done): kOk
+  /// when answered, kOverloaded when shed by admission control or the
+  /// shutdown drain, kDeadlineExceeded when the batch deadline passed
+  /// before its chunk was routed.
+  StatusCode code(size_t i) const {
+    Wait();
+    STL_CHECK(state_ != nullptr && i < state_->codes.size());
+    return state_->codes[i];
+  }
+
+  /// Typed status of query i (ServingStatus(code(i))).
+  Status status(size_t i) const { return ServingStatus(code(i)); }
 
   /// Epoch of the pinned snapshot.
   uint64_t epoch() const {
@@ -361,10 +512,30 @@ class BatchTicket {
   struct State {
     std::vector<QueryPair> queries;
     std::vector<Weight> distances;
+    // Per-query completion codes. A slot is written exactly once, by
+    // whoever claims its chunk (reader, shedder or drain), before the
+    // batch is marked done; readers look only after Wait().
+    std::vector<StatusCode> codes;
     // Miss indices into `queries`, sorted by the policy's batch key so
     // same-group queries land in the same chunk. Immutable once the
     // chunks are enqueued.
     std::vector<uint32_t> order;
+    // Chunk c covers order[chunk_begin[c] .. chunk_begin[c+1]); the
+    // trailing entry is order.size(). Immutable once enqueued.
+    std::vector<uint32_t> chunk_begin;
+    // One claim flag per chunk: the reader that routes it, the
+    // admission shedder, or the drain path — whoever wins the exchange
+    // completes (and delivers) that chunk's queries exactly once.
+    std::unique_ptr<std::atomic<bool>[]> chunk_claimed;
+    // Set when admission control shed this batch; only claim winners
+    // act on it, so it needs no ordering beyond the claim itself.
+    std::atomic<bool> shed{false};
+    // Set (after done) for cheap lock-free FIFO pruning.
+    std::atomic<bool> finished{false};
+    // True iff the ticket was registered with admission control (it
+    // then holds an in-flight slot until its last chunk completes).
+    bool tracked = false;
+    Deadline deadline = kNoDeadline;
     // Completion-mode extras (empty / null for plain SubmitBatch).
     std::vector<uint64_t> tags;
     CompletionSink* sink = nullptr;
@@ -393,6 +564,9 @@ struct ServingCoreOptions {
   size_t max_batch_size = 128;
   /// Capacity of the epoch-keyed (s, t) result memo; 0 disables it.
   size_t result_cache_entries = 0;
+  /// Overload-hardening knobs (admission bounds, watchdog, drain
+  /// deadline, fault hooks). Defaults to everything off.
+  ServingOptions serving;
 };
 
 /// The one serving core both engines are built on. Owns the reader
@@ -404,7 +578,7 @@ struct ServingCoreOptions {
 /// Policy requirements:
 ///   using Snapshot / Result   — the published epoch type (must expose
 ///       a uint64_t `epoch`) and the per-query result type (must expose
-///       distance / epoch / latency_micros / snapshot fields).
+///       distance / epoch / latency_micros / snapshot / code fields).
 ///   void PublishInitial()     — build + Publish() the epoch-0 snapshot.
 ///   Weight ResolveOldWeight(EdgeId) — master weight authority for
 ///       coalescing.
@@ -443,14 +617,33 @@ class ServingCore {
   ServingCore(Policy* policy, const ServingCoreOptions& options)
       : policy_(policy),
         options_(options),
+        serving_(options.serving),
+        faults_(options.serving.fault_injector),
+        track_queries_(serving_.max_queued_queries > 0 ||
+                       serving_.shutdown_drain_ms > 0),
+        track_batches_(serving_.max_queued_batches > 0 ||
+                       serving_.shutdown_drain_ms > 0),
         cache_(options.result_cache_entries),
         pool_(options.num_query_threads) {
     STL_CHECK_GE(options_.max_batch_size, size_t{1});
   }
 
   /// Drains: answers every submitted query and applies every enqueued
-  /// update, then joins the workers and the writer.
+  /// update, then joins the workers and the writer. With
+  /// ServingOptions::shutdown_drain_ms set, the query drain is bounded:
+  /// work still queued when the drain deadline passes is claimed and
+  /// failed kOverloaded (delivered exactly once like any other
+  /// completion) instead of being answered.
   ~ServingCore() {
+    if (serving_.shutdown_drain_ms > 0) DrainWithDeadline();
+    if (watchdog_.joinable()) {
+      {
+        std::lock_guard<std::mutex> lock(watchdog_mu_);
+        watchdog_stop_ = true;
+      }
+      watchdog_cv_.notify_all();
+      watchdog_.join();
+    }
     pool_.Shutdown();  // answer every query already submitted
     updates_.Stop();
     if (writer_.joinable()) writer_.join();  // drains pending updates
@@ -459,30 +652,73 @@ class ServingCore {
   ServingCore(const ServingCore&) = delete;             ///< Not copyable.
   ServingCore& operator=(const ServingCore&) = delete;  ///< Not copyable.
 
-  /// Publishes epoch 0 through the policy, starts the writer thread and
-  /// restarts the serving wall clock. Call exactly once, at the end of
-  /// the owning engine's constructor.
+  /// Publishes epoch 0 through the policy, starts the writer thread
+  /// (and the stall watchdog when writer_stall_ms is set) and restarts
+  /// the serving wall clock. Call exactly once, at the end of the
+  /// owning engine's constructor.
   void Start() {
     policy_->PublishInitial();
     STL_CHECK(current_.load() != nullptr)
         << "PublishInitial() must publish the epoch-0 snapshot";
     writer_ = std::thread([this] { WriterLoop(); });
+    if (serving_.writer_stall_ms > 0) {
+      watchdog_ = std::thread([this] { WatchdogLoop(); });
+    }
     // Start the throughput clock after the (potentially long) index
     // build, so Stats() reports serving throughput, not build dilution.
     counters_.wall.Restart();
   }
 
   /// Schedules one distance query; the future resolves when a reader
-  /// thread has answered it. Compatibility adapter over the completion
+  /// thread has answered it — or, under overload, when admission
+  /// control sheds it (Result::code == kOverloaded) or `deadline`
+  /// passes before a reader dequeues it (kDeadlineExceeded, without
+  /// consuming routing time). Compatibility adapter over the completion
   /// machinery: allocates one promise per query — high-qps callers
   /// should prefer SubmitBatch or the tagged sink paths.
-  std::future<Result> Submit(QueryPair query) {
+  std::future<Result> Submit(QueryPair query,
+                             Deadline deadline = kNoDeadline) {
     auto promise = std::make_shared<std::promise<Result>>();
     std::future<Result> result = promise->get_future();
     const auto submitted = std::chrono::steady_clock::now();
-    const bool accepted =
-        pool_.Enqueue([this, query, promise = std::move(promise),
-                       submitted] {
+    // Completes the future without an answer (admission shed, expired
+    // deadline, or shutdown drain) — exactly once, via the unit claim.
+    auto finish_failed = [this, promise, submitted](StatusCode code) {
+      Result r;
+      r.distance = kInfDistance;
+      r.code = code;
+      std::shared_ptr<const Snapshot> snap = current_.load();
+      r.epoch = snap != nullptr ? snap->epoch : 0;
+      r.latency_micros = static_cast<double>(NanosSince(submitted)) / 1e3;
+      r.snapshot = std::move(snap);
+      promise->set_value(std::move(r));
+    };
+    std::shared_ptr<QueryAdmission> unit;
+    if (track_queries_) {
+      unit = std::make_shared<QueryAdmission>();
+      unit->fail = finish_failed;
+      if (!AdmitQuery(unit)) {
+        counters_.queries_shed.fetch_add(1, std::memory_order_relaxed);
+        finish_failed(StatusCode::kOverloaded);
+        return result;
+      }
+    }
+    const bool accepted = pool_.Enqueue(
+        [this, query, promise, submitted, deadline,
+         finish_failed = std::move(finish_failed),
+         unit = std::move(unit)] {
+          if (unit != nullptr) {
+            if (unit->claimed.exchange(true)) return;  // shed or drained
+            queued_queries_.fetch_sub(1, std::memory_order_relaxed);
+          }
+          if (deadline != kNoDeadline &&
+              std::chrono::steady_clock::now() >= deadline) {
+            counters_.queries_deadline_exceeded.fetch_add(
+                1, std::memory_order_relaxed);
+            finish_failed(StatusCode::kDeadlineExceeded);
+            return;
+          }
+          MaybeReaderDelay();
           // The entire read path: one atomic load, then const reads on
           // an immutable snapshot. Never blocks on maintenance work.
           std::shared_ptr<const Snapshot> snap = current_.load();
@@ -505,29 +741,71 @@ class ServingCore {
   /// the misses are grouped by the policy's batch key and routed in
   /// chunks on the reader pool. The returned ticket resolves when every
   /// answer is in; answers are bit-identical to per-query Submit calls
-  /// on the same pinned snapshot.
-  Ticket SubmitBatch(const std::vector<QueryPair>& queries) {
-    return SubmitBatchInternal(queries, nullptr, nullptr);
+  /// on the same pinned snapshot. Under overload the whole batch may be
+  /// rejected or shed kOverloaded, and `deadline` expires chunks still
+  /// queued when it passes as kDeadlineExceeded (per-query codes on the
+  /// ticket).
+  Ticket SubmitBatch(const std::vector<QueryPair>& queries,
+                     Deadline deadline = kNoDeadline) {
+    return SubmitBatchInternal(queries, nullptr, nullptr, deadline);
   }
 
   /// Completion-queue mode, single query: no promise, no future — the
-  /// answer is delivered to `sink` exactly once with the caller's tag.
-  void SubmitTagged(QueryPair query, uint64_t tag, CompletionSink* sink) {
+  /// completion is delivered to `sink` exactly once with the caller's
+  /// tag, whether the query was answered (code kOk), shed by admission
+  /// control or the shutdown drain (kOverloaded), or expired at dequeue
+  /// (kDeadlineExceeded).
+  void SubmitTagged(QueryPair query, uint64_t tag, CompletionSink* sink,
+                    Deadline deadline = kNoDeadline) {
     STL_CHECK(sink != nullptr);
     const auto submitted = std::chrono::steady_clock::now();
-    const bool accepted = pool_.Enqueue([this, query, tag, sink,
-                                         submitted] {
-      std::shared_ptr<const Snapshot> snap = current_.load();
+    // Delivers the tag without an answer — exactly once, via the claim.
+    auto finish_failed = [this, tag, sink, submitted](StatusCode code) {
       Completion done;
       done.tag = tag;
-      done.distance = RouteWithCache(*snap, query.first, query.second);
-      done.epoch = snap->epoch;
-      const uint64_t nanos = NanosSince(submitted);
-      done.latency_micros = static_cast<double>(nanos) / 1e3;
-      counters_.latency.Record(nanos);
-      counters_.queries_served.fetch_add(1, std::memory_order_relaxed);
-      sink->Deliver(done);
-    });
+      done.code = code;
+      std::shared_ptr<const Snapshot> snap = current_.load();
+      done.epoch = snap != nullptr ? snap->epoch : 0;
+      done.latency_micros = static_cast<double>(NanosSince(submitted)) / 1e3;
+      DeliverCompletion(sink, done);
+    };
+    std::shared_ptr<QueryAdmission> unit;
+    if (track_queries_) {
+      unit = std::make_shared<QueryAdmission>();
+      unit->fail = finish_failed;
+      if (!AdmitQuery(unit)) {
+        counters_.queries_shed.fetch_add(1, std::memory_order_relaxed);
+        finish_failed(StatusCode::kOverloaded);
+        return;
+      }
+    }
+    const bool accepted = pool_.Enqueue(
+        [this, query, tag, sink, submitted, deadline,
+         finish_failed = std::move(finish_failed),
+         unit = std::move(unit)] {
+          if (unit != nullptr) {
+            if (unit->claimed.exchange(true)) return;  // shed or drained
+            queued_queries_.fetch_sub(1, std::memory_order_relaxed);
+          }
+          if (deadline != kNoDeadline &&
+              std::chrono::steady_clock::now() >= deadline) {
+            counters_.queries_deadline_exceeded.fetch_add(
+                1, std::memory_order_relaxed);
+            finish_failed(StatusCode::kDeadlineExceeded);
+            return;
+          }
+          MaybeReaderDelay();
+          std::shared_ptr<const Snapshot> snap = current_.load();
+          Completion done;
+          done.tag = tag;
+          done.distance = RouteWithCache(*snap, query.first, query.second);
+          done.epoch = snap->epoch;
+          const uint64_t nanos = NanosSince(submitted);
+          done.latency_micros = static_cast<double>(nanos) / 1e3;
+          counters_.latency.Record(nanos);
+          counters_.queries_served.fetch_add(1, std::memory_order_relaxed);
+          DeliverCompletion(sink, done);
+        });
     STL_CHECK(accepted) << "SubmitTagged() on a shut-down engine";
   }
 
@@ -538,10 +816,11 @@ class ServingCore {
   /// to Wait() or audit against the pinned snapshot.
   Ticket SubmitBatchTagged(const std::vector<QueryPair>& queries,
                            const std::vector<uint64_t>& tags,
-                           CompletionSink* sink) {
+                           CompletionSink* sink,
+                           Deadline deadline = kNoDeadline) {
     STL_CHECK(sink != nullptr);
     STL_CHECK_EQ(queries.size(), tags.size());
-    return SubmitBatchInternal(queries, &tags, sink);
+    return SubmitBatchInternal(queries, &tags, sink, deadline);
   }
 
   /// Records a desired new weight for an edge. The writer re-resolves
@@ -592,6 +871,10 @@ class ServingCore {
     EngineStats s;
     counters_.FillStats(&s);
     s.updates_enqueued = updates_.enqueued();
+    s.degraded = degraded_.load(std::memory_order_relaxed);
+    s.staleness_epochs =
+        staleness_epochs_.load(std::memory_order_relaxed);
+    s.queued_queries = queued_queries_.load(std::memory_order_relaxed);
     s.result_cache_lookups = cache_.lookups();
     s.result_cache_hits = cache_.hits();
     s.result_cache_hit_rate =
@@ -638,19 +921,37 @@ class ServingCore {
   /// The shared batch pipeline behind SubmitBatch / SubmitBatchTagged.
   Ticket SubmitBatchInternal(const std::vector<QueryPair>& queries,
                              const std::vector<uint64_t>* tags,
-                             CompletionSink* sink) {
+                             CompletionSink* sink, Deadline deadline) {
+    counters_.query_batches_submitted.fetch_add(1,
+                                                std::memory_order_relaxed);
+    counters_.batched_queries.fetch_add(queries.size(),
+                                        std::memory_order_relaxed);
+
+    // Batch admission: decided before any work (in particular before
+    // the cache pass delivers anything, so a rejected batch's tags are
+    // failed exactly once, never answered-then-failed).
+    if (track_batches_ && serving_.max_queued_batches > 0 &&
+        inflight_batches_.load(std::memory_order_relaxed) >=
+            serving_.max_queued_batches) {
+      if (serving_.admission_policy == AdmissionPolicy::kRejectNew) {
+        counters_.batches_shed.fetch_add(1, std::memory_order_relaxed);
+        counters_.queries_shed.fetch_add(queries.size(),
+                                         std::memory_order_relaxed);
+        return RejectedBatch(queries, tags, sink);
+      }
+      ShedOldestBatches();
+    }
+
     auto state = std::make_shared<TicketState>();
     state->queries = queries;
     state->distances.assign(queries.size(), kInfDistance);
+    state->codes.assign(queries.size(), StatusCode::kOk);
+    state->deadline = deadline;
     if (tags != nullptr) state->tags = *tags;
     state->sink = sink;
     state->submitted = std::chrono::steady_clock::now();
     state->snapshot = current_.load();
     const uint64_t epoch = state->snapshot->epoch;
-    counters_.query_batches_submitted.fetch_add(1,
-                                                std::memory_order_relaxed);
-    counters_.batched_queries.fetch_add(queries.size(),
-                                        std::memory_order_relaxed);
 
     // Cache pass: hits are answered (and delivered) inline; only the
     // misses go to the reader pool.
@@ -669,7 +970,7 @@ class ServingCore {
           done.epoch = epoch;
           done.latency_micros =
               static_cast<double>(NanosSince(state->submitted)) / 1e3;
-          sink->Deliver(done);
+          DeliverCompletion(sink, done);
         }
       } else {
         state->order.push_back(i);
@@ -683,9 +984,11 @@ class ServingCore {
 
     // Group the misses so same-key queries land adjacently (and thus in
     // the same routing chunk, where the policy reuses per-group rows).
+    // `keys` stays aligned with the sorted order for the chunker below.
+    std::vector<uint64_t> keys;
     if (Policy::kGroupsBatches && state->order.size() > 1) {
       const Snapshot& snap = *state->snapshot;
-      std::vector<uint64_t> keys(state->order.size());
+      keys.resize(state->order.size());
       for (size_t j = 0; j < state->order.size(); ++j) {
         keys[j] = policy_->BatchSortKey(snap,
                                         state->queries[state->order[j]]);
@@ -697,21 +1000,38 @@ class ServingCore {
                          return keys[a] < keys[b];
                        });
       std::vector<uint32_t> sorted(state->order.size());
+      std::vector<uint64_t> sorted_keys(state->order.size());
       for (size_t j = 0; j < by_key.size(); ++j) {
         sorted[j] = state->order[by_key[j]];
+        sorted_keys[j] = keys[by_key[j]];
       }
       state->order.swap(sorted);
+      keys.swap(sorted_keys);
     }
 
-    // Chunk the misses across the pool: enough chunks to use every
-    // reader, but never so small that per-chunk overhead dominates.
+    // Chunk the misses across the pool along GROUP boundaries: the
+    // policy's RouteSpan reuses per-group state only within one chunk,
+    // so a boundary inside a group forfeits that reuse and recomputes
+    // the group row in both halves. Chunks grow to ~misses/threads and
+    // then extend to the next group edge (a single group larger than
+    // the target stays whole; a group-free policy chunks evenly).
     const size_t misses = state->order.size();
-    const size_t min_chunk = 16;
-    const size_t threads = static_cast<size_t>(pool_.num_threads());
-    const size_t chunk =
-        std::max(min_chunk, (misses + threads - 1) / std::max<size_t>(
-                                                         threads, 1));
-    const size_t num_chunks = misses == 0 ? 0 : (misses + chunk - 1) / chunk;
+    const size_t threads =
+        std::max<size_t>(static_cast<size_t>(pool_.num_threads()), 1);
+    const size_t target =
+        std::max<size_t>(1, (misses + threads - 1) / threads);
+    state->chunk_begin.reserve(threads + 2);
+    state->chunk_begin.push_back(0);
+    size_t pos = 0;
+    while (pos < misses) {
+      size_t end = std::min(misses, pos + target);
+      if (!keys.empty()) {
+        while (end < misses && keys[end] == keys[end - 1]) ++end;
+      }
+      state->chunk_begin.push_back(static_cast<uint32_t>(end));
+      pos = end;
+    }
+    const size_t num_chunks = state->chunk_begin.size() - 1;
     {
       std::lock_guard<std::mutex> lock(state->mu);
       state->pending_chunks = num_chunks;
@@ -722,27 +1042,80 @@ class ServingCore {
       }
     }
     if (num_chunks == 0) {
+      state->finished.store(true, std::memory_order_relaxed);
       state->done_cv.notify_all();
       return Ticket(std::move(state));
     }
-    for (size_t c = 0; c < num_chunks; ++c) {
-      const size_t begin = c * chunk;
-      const size_t end = std::min(misses, begin + chunk);
-      const bool accepted = pool_.Enqueue([this, state, begin, end] {
-        RunBatchChunk(*state, begin, end);
-        const uint64_t nanos = NanosSince(state->submitted);
-        bool last = false;
-        {
-          std::lock_guard<std::mutex> lock(state->mu);
-          if (--state->pending_chunks == 0) {
-            state->done = true;
-            state->latency_micros = static_cast<double>(nanos) / 1e3;
-            last = true;
-          }
+    if (track_batches_) {
+      // Register the ticket with admission control: a claim flag per
+      // chunk lets a shedder (or the shutdown drain) fail whatever has
+      // not started routing yet, exactly once per query.
+      state->tracked = true;
+      state->chunk_claimed.reset(new std::atomic<bool>[num_chunks]);
+      for (size_t c = 0; c < num_chunks; ++c) {
+        state->chunk_claimed[c].store(false, std::memory_order_relaxed);
+      }
+      inflight_batches_.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(admit_mu_);
+      while (!batch_fifo_.empty()) {  // lazily prune settled heads
+        std::shared_ptr<TicketState> head = batch_fifo_.front().lock();
+        if (head != nullptr &&
+            !head->finished.load(std::memory_order_relaxed)) {
+          break;
         }
-        if (last) state->done_cv.notify_all();
+        batch_fifo_.pop_front();
+      }
+      batch_fifo_.push_back(state);
+    }
+    for (size_t c = 0; c < num_chunks; ++c) {
+      const bool accepted = pool_.Enqueue([this, state, c] {
+        if (state->chunk_claimed != nullptr &&
+            state->chunk_claimed[c].exchange(true)) {
+          return;  // shed by admission control or the shutdown drain
+        }
+        const size_t begin = state->chunk_begin[c];
+        const size_t end = state->chunk_begin[c + 1];
+        if (state->deadline != kNoDeadline &&
+            std::chrono::steady_clock::now() >= state->deadline) {
+          counters_.queries_deadline_exceeded.fetch_add(
+              end - begin, std::memory_order_relaxed);
+          FailChunk(*state, c, StatusCode::kDeadlineExceeded);
+          return;
+        }
+        MaybeReaderDelay();
+        RunBatchChunk(*state, begin, end);
+        CompleteChunk(*state);
       });
       STL_CHECK(accepted) << "SubmitBatch() on a shut-down engine";
+    }
+    return Ticket(std::move(state));
+  }
+
+  /// A ticket that completes immediately with every query kOverloaded:
+  /// admission rejected the whole batch before any routing. Tags are
+  /// still delivered exactly once (with the failure code).
+  Ticket RejectedBatch(const std::vector<QueryPair>& queries,
+                       const std::vector<uint64_t>* tags,
+                       CompletionSink* sink) {
+    auto state = std::make_shared<TicketState>();
+    state->queries = queries;
+    state->distances.assign(queries.size(), kInfDistance);
+    state->codes.assign(queries.size(), StatusCode::kOverloaded);
+    state->submitted = std::chrono::steady_clock::now();
+    state->snapshot = current_.load();
+    state->shed.store(true, std::memory_order_relaxed);
+    state->finished.store(true, std::memory_order_relaxed);
+    state->done = true;
+    if (tags != nullptr) state->tags = *tags;
+    state->sink = sink;
+    if (sink != nullptr) {
+      for (size_t i = 0; i < state->tags.size(); ++i) {
+        Completion done;
+        done.tag = state->tags[i];
+        done.code = StatusCode::kOverloaded;
+        done.epoch = state->snapshot->epoch;
+        DeliverCompletion(sink, done);
+      }
     }
     return Ticket(std::move(state));
   }
@@ -771,25 +1144,294 @@ class ServingCore {
         done.distance = state.distances[i];
         done.epoch = epoch;
         done.latency_micros = static_cast<double>(nanos) / 1e3;
-        state.sink->Deliver(done);
+        DeliverCompletion(state.sink, done);
       }
     }
     counters_.queries_served.fetch_add(count, std::memory_order_relaxed);
   }
 
+  /// Completes chunk `c` of a ticket without routing it: every query in
+  /// the chunk gets kInfDistance and `code`, completions (if any) are
+  /// delivered with that code, and the normal chunk bookkeeping runs.
+  /// The caller must own the chunk (be its reader, or have won its
+  /// claim), so each slot is written exactly once.
+  void FailChunk(TicketState& state, size_t c, StatusCode code) {
+    const uint64_t nanos = NanosSince(state.submitted);
+    for (size_t j = state.chunk_begin[c]; j < state.chunk_begin[c + 1];
+         ++j) {
+      const uint32_t i = state.order[j];
+      state.distances[i] = kInfDistance;
+      state.codes[i] = code;
+      if (state.sink != nullptr) {
+        Completion done;
+        done.tag = state.tags[i];
+        done.code = code;
+        done.epoch = state.snapshot->epoch;
+        done.latency_micros = static_cast<double>(nanos) / 1e3;
+        DeliverCompletion(state.sink, done);
+      }
+    }
+    CompleteChunk(state);
+  }
+
+  /// The one chunk-completion path (answered or failed): decrements
+  /// pending_chunks and, on the last chunk, marks the ticket done,
+  /// wakes waiters and releases its admission slot.
+  void CompleteChunk(TicketState& state) {
+    const uint64_t nanos = NanosSince(state.submitted);
+    bool last = false;
+    {
+      std::lock_guard<std::mutex> lock(state.mu);
+      if (--state.pending_chunks == 0) {
+        state.done = true;
+        state.latency_micros = static_cast<double>(nanos) / 1e3;
+        last = true;
+      }
+    }
+    if (last) {
+      state.finished.store(true, std::memory_order_relaxed);
+      state.done_cv.notify_all();
+      if (state.tracked) {
+        inflight_batches_.fetch_sub(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// One tracked single-query submission: whoever wins the claim —
+  /// the reader that dequeues it, an admission shedder, or the
+  /// shutdown drain — completes the query, so it completes exactly
+  /// once. `fail` finishes it without an answer (promise or sink).
+  struct QueryAdmission {
+    std::atomic<bool> claimed{false};       ///< Completion ownership.
+    std::function<void(StatusCode)> fail;   ///< Failure completer.
+  };
+
+  /// Registers a tracked single query with admission control. Returns
+  /// false when the bound is hit under kRejectNew (the caller fails
+  /// the new unit); under kShedOldest the oldest still-queued queries
+  /// are claimed and failed kOverloaded to make room and the new unit
+  /// is admitted.
+  bool AdmitQuery(const std::shared_ptr<QueryAdmission>& unit) {
+    std::vector<std::shared_ptr<QueryAdmission>> shed;
+    {
+      std::lock_guard<std::mutex> lock(admit_mu_);
+      while (!query_fifo_.empty() &&
+             query_fifo_.front()->claimed.load(std::memory_order_relaxed)) {
+        query_fifo_.pop_front();  // lazily prune claimed heads
+      }
+      if (serving_.max_queued_queries > 0 &&
+          queued_queries_.load(std::memory_order_relaxed) >=
+              serving_.max_queued_queries) {
+        if (serving_.admission_policy == AdmissionPolicy::kRejectNew) {
+          return false;
+        }
+        while (queued_queries_.load(std::memory_order_relaxed) >=
+                   serving_.max_queued_queries &&
+               !query_fifo_.empty()) {
+          std::shared_ptr<QueryAdmission> oldest =
+              std::move(query_fifo_.front());
+          query_fifo_.pop_front();
+          if (!oldest->claimed.exchange(true)) {
+            queued_queries_.fetch_sub(1, std::memory_order_relaxed);
+            shed.push_back(std::move(oldest));
+          }
+        }
+      }
+      query_fifo_.push_back(unit);
+      queued_queries_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Fail the victims outside the lock: fail() runs caller code
+    // (promise fulfilment / sink delivery).
+    for (const std::shared_ptr<QueryAdmission>& u : shed) {
+      counters_.queries_shed.fetch_add(1, std::memory_order_relaxed);
+      u->fail(StatusCode::kOverloaded);
+    }
+    return true;
+  }
+
+  /// Sheds the oldest still-live batch tickets until the in-flight
+  /// count makes room for one more (or the FIFO runs dry). Shedding
+  /// claims a victim's not-yet-routing chunks and fails them
+  /// kOverloaded; chunks already routing finish normally (their
+  /// queries stay kOk) and release the slot when they do.
+  void ShedOldestBatches() {
+    std::vector<std::shared_ptr<TicketState>> victims;
+    {
+      std::lock_guard<std::mutex> lock(admit_mu_);
+      const uint64_t inflight =
+          inflight_batches_.load(std::memory_order_relaxed);
+      size_t need = inflight + 1 > serving_.max_queued_batches
+                        ? static_cast<size_t>(inflight + 1 -
+                                              serving_.max_queued_batches)
+                        : 0;
+      while (need > 0 && !batch_fifo_.empty()) {
+        std::shared_ptr<TicketState> s = batch_fifo_.front().lock();
+        batch_fifo_.pop_front();
+        if (s == nullptr || s->finished.load(std::memory_order_relaxed)) {
+          continue;  // already settled; not a victim
+        }
+        victims.push_back(std::move(s));
+        --need;
+      }
+    }
+    for (const std::shared_ptr<TicketState>& s : victims) ShedTicket(*s);
+  }
+
+  /// Sheds one registered ticket: claims and fails (kOverloaded) every
+  /// chunk that has not started routing. Used by shed-oldest admission
+  /// and the shutdown drain.
+  void ShedTicket(TicketState& state) {
+    state.shed.store(true, std::memory_order_relaxed);
+    counters_.batches_shed.fetch_add(1, std::memory_order_relaxed);
+    const size_t num_chunks = state.chunk_begin.size() - 1;
+    for (size_t c = 0; c < num_chunks; ++c) {
+      if (!state.chunk_claimed[c].exchange(true)) {
+        counters_.queries_shed.fetch_add(
+            state.chunk_begin[c + 1] - state.chunk_begin[c],
+            std::memory_order_relaxed);
+        FailChunk(state, c, StatusCode::kOverloaded);
+      }
+    }
+  }
+
+  /// Bounded shutdown drain: waits up to shutdown_drain_ms for the
+  /// admission queues to empty, then claims whatever is still queued
+  /// and fails it kOverloaded. Exactly-once holds: a pool task that
+  /// later dequeues a claimed unit or chunk returns without touching
+  /// it, and chunks already routing finish normally.
+  void DrainWithDeadline() {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(
+                serving_.shutdown_drain_ms));
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (queued_queries_.load(std::memory_order_relaxed) == 0 &&
+          inflight_batches_.load(std::memory_order_relaxed) == 0) {
+        return;  // drained in time — nothing to fail
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    std::vector<std::shared_ptr<QueryAdmission>> residual;
+    std::vector<std::shared_ptr<TicketState>> residual_batches;
+    {
+      std::lock_guard<std::mutex> lock(admit_mu_);
+      for (std::shared_ptr<QueryAdmission>& u : query_fifo_) {
+        if (!u->claimed.exchange(true)) {
+          queued_queries_.fetch_sub(1, std::memory_order_relaxed);
+          residual.push_back(std::move(u));
+        }
+      }
+      query_fifo_.clear();
+      for (std::weak_ptr<TicketState>& w : batch_fifo_) {
+        std::shared_ptr<TicketState> s = w.lock();
+        if (s != nullptr && !s->finished.load(std::memory_order_relaxed)) {
+          residual_batches.push_back(std::move(s));
+        }
+      }
+      batch_fifo_.clear();
+    }
+    for (const std::shared_ptr<QueryAdmission>& u : residual) {
+      counters_.queries_shed.fetch_add(1, std::memory_order_relaxed);
+      u->fail(StatusCode::kOverloaded);
+    }
+    for (const std::shared_ptr<TicketState>& s : residual_batches) {
+      ShedTicket(*s);
+    }
+  }
+
+  /// FaultSite::kReaderDelay hook: sleeps the injector's delay when
+  /// the site fires (no-op without an injector).
+  void MaybeReaderDelay() {
+    if (faults_ != nullptr && faults_->Fire(FaultSite::kReaderDelay)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          faults_->DelayMicros(FaultSite::kReaderDelay)));
+    }
+  }
+
+  /// The one path every completion takes to a caller sink. When
+  /// FaultSite::kCompletionDropCandidate fires, the first delivery
+  /// attempt is treated as dropped (and counted); the exactly-once
+  /// retry then delivers it anyway — the invariant is exercised, never
+  /// broken.
+  void DeliverCompletion(CompletionSink* sink, const Completion& done) {
+    if (faults_ != nullptr &&
+        faults_->Fire(FaultSite::kCompletionDropCandidate)) {
+      counters_.completions_retried.fetch_add(1,
+                                              std::memory_order_relaxed);
+    }
+    sink->Deliver(done);
+  }
+
+  /// The stall-watchdog body: polls the writer's applied counter at a
+  /// fraction of the stall threshold. Updates pending with no progress
+  /// for writer_stall_ms flips degraded mode on (once per episode);
+  /// any progress — or an empty backlog, so idle time can never trip
+  /// it — flips it back off and refreshes the baseline.
+  void WatchdogLoop() {
+    const auto stall =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::duration<double, std::milli>(
+                serving_.writer_stall_ms));
+    const auto poll = std::max<std::chrono::nanoseconds>(
+        stall / 4, std::chrono::microseconds(100));
+    uint64_t last_applied = updates_.applied();
+    auto last_progress = std::chrono::steady_clock::now();
+    std::unique_lock<std::mutex> lock(watchdog_mu_);
+    while (!watchdog_stop_) {
+      watchdog_cv_.wait_for(lock, poll,
+                            [this] { return watchdog_stop_; });
+      if (watchdog_stop_) break;
+      const uint64_t applied = updates_.applied();
+      const uint64_t pending = updates_.pending();
+      const auto now = std::chrono::steady_clock::now();
+      if (applied != last_applied || pending == 0) {
+        last_applied = applied;
+        last_progress = now;
+        staleness_epochs_.store(0, std::memory_order_relaxed);
+        degraded_.store(false, std::memory_order_relaxed);
+      } else if (now - last_progress >= stall) {
+        staleness_epochs_.store(
+            (pending + options_.max_batch_size - 1) /
+                options_.max_batch_size,
+            std::memory_order_relaxed);
+        if (!degraded_.exchange(true, std::memory_order_relaxed)) {
+          counters_.degraded_entries.fetch_add(1,
+                                               std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+
   void WriterLoop() {
     // The drain/coalesce/Flush protocol lives in UpdateQueue; the
     // policy's apply step repairs the master state and publishes one
-    // epoch per effective batch.
+    // epoch per effective batch. An injected apply failure drops the
+    // coalesced batch before the policy sees it — the master state is
+    // untouched, so serving stays exact on the last good epoch.
     updates_.RunWriter(
         options_.max_batch_size,
         [this](EdgeId e) { return policy_->ResolveOldWeight(e); },
-        [this](const UpdateBatch& batch) { policy_->ApplyBatch(batch); },
-        &counters_.updates_coalesced);
+        [this](const UpdateBatch& batch) {
+          if (faults_ != nullptr &&
+              faults_->Fire(FaultSite::kApplyFailure)) {
+            counters_.apply_failures.fetch_add(1,
+                                               std::memory_order_relaxed);
+            return;
+          }
+          policy_->ApplyBatch(batch);
+        },
+        &counters_.updates_coalesced, faults_);
   }
 
   Policy* const policy_;
   const ServingCoreOptions options_;
+  const ServingOptions serving_;  // overload-hardening knobs (copy)
+  FaultInjector* const faults_;   // null = no fault hooks
+  // Whether single queries / batch tickets carry admission tracking
+  // (needed for bounds and for the bounded shutdown drain).
+  const bool track_queries_;
+  const bool track_batches_;
 
   AtomicSharedPtr<const Snapshot> current_;
 
@@ -798,6 +1440,22 @@ class ServingCore {
 
   ServingCounters counters_;
   ResultCache cache_;
+
+  // Admission state: FIFOs of claimable work (pruned lazily) plus the
+  // point-in-time depth counters the bounds are enforced against.
+  std::mutex admit_mu_;
+  std::deque<std::shared_ptr<QueryAdmission>> query_fifo_;
+  std::deque<std::weak_ptr<TicketState>> batch_fifo_;
+  std::atomic<uint64_t> queued_queries_{0};
+  std::atomic<uint64_t> inflight_batches_{0};
+
+  // Degraded-mode state (written by the watchdog, read by Stats()).
+  std::atomic<bool> degraded_{false};
+  std::atomic<uint64_t> staleness_epochs_{0};
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;  // guarded by watchdog_mu_
+  std::thread watchdog_;
 
   std::thread writer_;
 

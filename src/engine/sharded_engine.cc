@@ -138,6 +138,7 @@ ServingCoreOptions CoreOptions(const ShardedEngineOptions& options) {
   core.num_query_threads = options.num_query_threads;
   core.max_batch_size = options.max_batch_size;
   core.result_cache_entries = options.result_cache_entries;
+  core.serving = options.serving;
   return core;
 }
 
@@ -398,24 +399,26 @@ void ShardedEngine::Policy::AugmentStats(EngineStats* s) const {
 
 // ------------------------------------------------- submission forwards
 
-std::future<ShardedQueryResult> ShardedEngine::Submit(QueryPair query) {
-  return core_.Submit(query);
+std::future<ShardedQueryResult> ShardedEngine::Submit(QueryPair query,
+                                                      Deadline deadline) {
+  return core_.Submit(query, deadline);
 }
 
 ShardedEngine::Ticket ShardedEngine::SubmitBatch(
-    const std::vector<QueryPair>& queries) {
-  return core_.SubmitBatch(queries);
+    const std::vector<QueryPair>& queries, Deadline deadline) {
+  return core_.SubmitBatch(queries, deadline);
 }
 
 void ShardedEngine::SubmitTagged(QueryPair query, uint64_t tag,
-                                 CompletionSink* sink) {
-  core_.SubmitTagged(query, tag, sink);
+                                 CompletionSink* sink, Deadline deadline) {
+  core_.SubmitTagged(query, tag, sink, deadline);
 }
 
 ShardedEngine::Ticket ShardedEngine::SubmitBatchTagged(
     const std::vector<QueryPair>& queries,
-    const std::vector<uint64_t>& tags, CompletionSink* sink) {
-  return core_.SubmitBatchTagged(queries, tags, sink);
+    const std::vector<uint64_t>& tags, CompletionSink* sink,
+    Deadline deadline) {
+  return core_.SubmitBatchTagged(queries, tags, sink, deadline);
 }
 
 void ShardedEngine::EnqueueUpdate(const WeightUpdate& update) {

@@ -106,7 +106,8 @@ struct ShardedSnapshot {
 
 /// Answer to one query submitted to the sharded engine.
 struct ShardedQueryResult {
-  /// Exact distance for the serving snapshot's weights.
+  /// Exact distance for the serving snapshot's weights. Meaningful only
+  /// when code == StatusCode::kOk (kInfDistance otherwise).
   Weight distance = kInfDistance;
   /// Global epoch of the serving snapshot.
   uint64_t epoch = 0;
@@ -115,6 +116,13 @@ struct ShardedQueryResult {
   /// The snapshot the query was served from; lets callers audit the
   /// answer against that epoch's exact weights.
   std::shared_ptr<const ShardedSnapshot> snapshot;
+  /// kOk for an answered query; kOverloaded when admission control (or
+  /// the shutdown drain) shed it; kDeadlineExceeded when its deadline
+  /// passed before a reader dequeued it.
+  StatusCode code = StatusCode::kOk;
+
+  /// Typed status view of `code` (ServingStatus(code)).
+  Status status() const { return ServingStatus(code); }
 };
 
 /// The shard count the engine picks when the caller passes
@@ -153,6 +161,10 @@ struct ShardedEngineOptions {
   /// Capacity of the epoch-keyed (s, t) result memo consulted by every
   /// submission path; 0 disables it.
   size_t result_cache_entries = 0;
+  /// Overload-hardening knobs (admission bounds, deadlines enforcement,
+  /// stall watchdog, bounded shutdown drain, fault injection). Defaults
+  /// to everything off — the pre-hardening behaviour.
+  ServingOptions serving;
 };
 
 /// Concurrent sharded serving engine: the partitioned Apply + Route
@@ -182,25 +194,33 @@ class ShardedEngine {
   ShardedEngine& operator=(const ShardedEngine&) = delete;
 
   /// Schedules one distance query; the future resolves when a reader
-  /// thread has answered it. Compatibility adapter: allocates one
-  /// promise per query (prefer SubmitBatch / SubmitTagged at high qps).
-  std::future<ShardedQueryResult> Submit(QueryPair query);
+  /// thread has answered it — or, under overload, with a kOverloaded /
+  /// kDeadlineExceeded result code. Compatibility adapter: allocates
+  /// one promise per query (prefer SubmitBatch / SubmitTagged at high
+  /// qps).
+  std::future<ShardedQueryResult> Submit(QueryPair query,
+                                         Deadline deadline = kNoDeadline);
 
   /// Schedules a batch of queries pinned to ONE snapshot, grouped by
   /// (source cell, target cell, target) so boundary-distance rows are
   /// reused across the group; answers are bit-identical to per-query
-  /// Submit calls on that same snapshot.
-  Ticket SubmitBatch(const std::vector<QueryPair>& queries);
+  /// Submit calls on that same snapshot. Under overload queries may
+  /// complete with failure codes on the ticket (BatchTicket::code).
+  Ticket SubmitBatch(const std::vector<QueryPair>& queries,
+                     Deadline deadline = kNoDeadline);
 
-  /// Completion-queue mode: the answer is delivered to `sink` exactly
-  /// once with the caller's tag — no promise or future is allocated.
-  void SubmitTagged(QueryPair query, uint64_t tag, CompletionSink* sink);
+  /// Completion-queue mode: the completion is delivered to `sink`
+  /// exactly once with the caller's tag — answered, shed or expired —
+  /// and no promise or future is allocated.
+  void SubmitTagged(QueryPair query, uint64_t tag, CompletionSink* sink,
+                    Deadline deadline = kNoDeadline);
 
   /// Batched completion-queue mode: pins one snapshot and delivers
-  /// `tags[i]` with query i's answer to `sink` exactly once.
+  /// `tags[i]` with query i's completion to `sink` exactly once.
   Ticket SubmitBatchTagged(const std::vector<QueryPair>& queries,
                            const std::vector<uint64_t>& tags,
-                           CompletionSink* sink);
+                           CompletionSink* sink,
+                           Deadline deadline = kNoDeadline);
 
   /// Records a desired new weight for an edge of the FULL graph (global
   /// edge ids; the writer routes it to the owning shard or the

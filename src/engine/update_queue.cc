@@ -1,6 +1,8 @@
 #include "engine/update_queue.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 #include <unordered_map>
 
 namespace stl {
@@ -37,6 +39,16 @@ uint64_t UpdateQueue::enqueued() const {
   return enqueue_seq_;
 }
 
+uint64_t UpdateQueue::applied() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return applied_seq_;
+}
+
+uint64_t UpdateQueue::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return enqueue_seq_ - applied_seq_;
+}
+
 void UpdateQueue::Stop() {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -48,7 +60,7 @@ void UpdateQueue::Stop() {
 void UpdateQueue::RunWriter(
     size_t max_batch, const std::function<Weight(EdgeId)>& resolve_old,
     const std::function<void(const UpdateBatch&)>& apply,
-    std::atomic<uint64_t>* coalesced_total) {
+    std::atomic<uint64_t>* coalesced_total, FaultInjector* faults) {
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
     work_cv_.wait(lock, [this] { return !pending_.empty() || stop_; });
@@ -58,6 +70,14 @@ void UpdateQueue::RunWriter(
                                      pending_.begin() + take);
     pending_.erase(pending_.begin(), pending_.begin() + take);
     lock.unlock();
+
+    // Stall site: the slice is taken (so it counts as backlog for the
+    // watchdog) but not yet applied. Stalling here is exactly the
+    // failure the epoch-age watchdog is built to detect.
+    if (faults != nullptr && faults->Fire(FaultSite::kWriterStall)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          faults->DelayMicros(FaultSite::kWriterStall)));
+    }
 
     // Coalesce to one update per edge (ApplyBatch requires distinct
     // edges): later enqueues win, matching apply-one-at-a-time order.

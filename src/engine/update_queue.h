@@ -18,6 +18,7 @@
 #include <mutex>
 #include <vector>
 
+#include "engine/fault_injector.h"
 #include "graph/updates.h"
 #include "index/distance_index.h"
 
@@ -44,6 +45,15 @@ class UpdateQueue {
   /// Updates ever enqueued (for EngineStats::updates_enqueued).
   uint64_t enqueued() const;
 
+  /// Updates taken from the queue and fully processed by the writer
+  /// (applied, dropped as no-ops, or discarded by an injected apply
+  /// failure). enqueued() - applied() is the writer's backlog — the
+  /// signal the stall watchdog ages.
+  uint64_t applied() const;
+
+  /// Point-in-time writer backlog (enqueued() - applied()).
+  uint64_t pending() const;
+
   /// Asks RunWriter to return once the queue is drained; wakes it.
   void Stop();
 
@@ -55,10 +65,14 @@ class UpdateQueue {
   /// duplicates/no-ops into `coalesced`, and hands every non-empty
   /// batch to `apply`. Returns when Stop() was called and the queue is
   /// fully drained — so every Flush() issued before Stop() completes.
+  /// When `faults` is non-null, the writer consults it at
+  /// FaultSite::kWriterStall after taking each slice and sleeps the
+  /// injector's delay when it fires (the stall the watchdog detects).
   void RunWriter(size_t max_batch,
                  const std::function<Weight(EdgeId)>& resolve_old,
                  const std::function<void(const UpdateBatch&)>& apply,
-                 std::atomic<uint64_t>* coalesced);
+                 std::atomic<uint64_t>* coalesced,
+                 FaultInjector* faults = nullptr);
 
  private:
   struct PendingUpdate {

@@ -20,6 +20,11 @@ enum class StatusCode {
   kNotSupported = 5,
   kOutOfRange = 6,
   kInternal = 7,
+  /// Load-shedding: the request was rejected (or shed from the queue)
+  /// by admission control before it consumed reader time.
+  kOverloaded = 8,
+  /// The request's deadline passed before a reader routed it.
+  kDeadlineExceeded = 9,
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "IOError", ...).
@@ -55,6 +60,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

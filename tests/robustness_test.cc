@@ -1,0 +1,737 @@
+// Overload-hardening and fault-injection tests for the serving stack:
+// bounded admission (reject-new / shed-oldest), per-query and per-batch
+// deadlines, the writer-stall watchdog / degraded mode, the bounded
+// shutdown drain, completion-queue teardown, and the chaos suite that
+// arms every FaultSite at once across all four backends and asserts the
+// robustness invariants: every tag delivered exactly once, every
+// ANSWERED query exact for its epoch, and full recovery once the
+// faults clear. Runs under TSan in CI (fixed seeds).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "engine/fault_injector.h"
+#include "engine/query_engine.h"
+#include "engine/sharded_engine.h"
+#include "graph/dijkstra.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace stl {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+// --------------------------------------------------- fault injector
+
+TEST(FaultInjectorTest, DisarmedNeverFires) {
+  SeededFaultInjector faults(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(faults.Fire(FaultSite::kReaderDelay));
+  }
+  EXPECT_EQ(faults.fired(FaultSite::kReaderDelay), 0u);
+}
+
+TEST(FaultInjectorTest, RateOneAlwaysFires) {
+  SeededFaultInjector faults(2);
+  faults.SetRate(FaultSite::kApplyFailure, 1.0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(faults.Fire(FaultSite::kApplyFailure));
+  }
+  EXPECT_EQ(faults.fired(FaultSite::kApplyFailure), 100u);
+}
+
+TEST(FaultInjectorTest, SameSeedSameSchedule) {
+  SeededFaultInjector a(42), b(42), c(43);
+  for (SeededFaultInjector* f : {&a, &b, &c}) {
+    f->SetRate(FaultSite::kWriterStall, 0.3);
+  }
+  std::vector<bool> fa, fb, fc;
+  for (int i = 0; i < 2000; ++i) {
+    fa.push_back(a.Fire(FaultSite::kWriterStall));
+    fb.push_back(b.Fire(FaultSite::kWriterStall));
+    fc.push_back(c.Fire(FaultSite::kWriterStall));
+  }
+  EXPECT_EQ(fa, fb);           // same seed -> identical schedule
+  EXPECT_NE(fa, fc);           // different seed -> different schedule
+  // The rate is roughly honoured (0.3 +- generous slack on 2000 visits).
+  EXPECT_GT(a.fired(FaultSite::kWriterStall), 400u);
+  EXPECT_LT(a.fired(FaultSite::kWriterStall), 800u);
+}
+
+TEST(FaultInjectorTest, VisitsCountWhileDisarmedSoReArmingContinues) {
+  // The fire schedule is a pure function of (seed, site, visit index):
+  // a run that disarms the site for a while and re-arms it must see the
+  // same decisions at the same visit indices as an always-armed run.
+  SeededFaultInjector armed(7), gated(7);
+  armed.SetRate(FaultSite::kReaderDelay, 0.5);
+  std::vector<bool> expected;
+  for (int i = 0; i < 300; ++i) {
+    expected.push_back(armed.Fire(FaultSite::kReaderDelay));
+  }
+  gated.SetRate(FaultSite::kReaderDelay, 0.5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(gated.Fire(FaultSite::kReaderDelay), expected[i]) << i;
+  }
+  gated.Clear();  // disarm: visits 100..199 never fire but still count
+  for (int i = 100; i < 200; ++i) {
+    EXPECT_FALSE(gated.Fire(FaultSite::kReaderDelay));
+  }
+  gated.SetRate(FaultSite::kReaderDelay, 0.5);
+  for (int i = 200; i < 300; ++i) {
+    EXPECT_EQ(gated.Fire(FaultSite::kReaderDelay), expected[i]) << i;
+  }
+}
+
+// ------------------------------------------------- completion queue
+
+TEST(CompletionQueueTest, TimedWaitPollPastDeadlineNeverBlocks) {
+  CompletionQueue queue;
+  Completion out[4];
+  // Empty queue + zero / negative timeout: returns immediately with 0.
+  EXPECT_EQ(queue.WaitPoll(out, 4, milliseconds(0)), 0u);
+  EXPECT_EQ(queue.WaitPoll(out, 4, milliseconds(-50)), 0u);
+  // Non-empty queue + past deadline: degenerates to Poll().
+  Completion done;
+  done.tag = 9;
+  queue.Deliver(done);
+  EXPECT_EQ(queue.WaitPoll(out, 4, milliseconds(0)), 1u);
+  EXPECT_EQ(out[0].tag, 9u);
+}
+
+TEST(CompletionQueueTest, TimedWaitPollTimesOutEmpty) {
+  CompletionQueue queue;
+  Completion out[1];
+  const auto start = steady_clock::now();
+  EXPECT_EQ(queue.WaitPoll(out, 1, milliseconds(30)), 0u);
+  EXPECT_GE(steady_clock::now() - start, milliseconds(25));
+}
+
+TEST(CompletionQueueTest, TimedWaitPollWakesOnDelivery) {
+  CompletionQueue queue;
+  std::thread producer([&queue] {
+    std::this_thread::sleep_for(milliseconds(10));
+    Completion done;
+    done.tag = 5;
+    queue.Deliver(done);
+  });
+  Completion out[1];
+  EXPECT_EQ(queue.WaitPoll(out, 1, milliseconds(5000)), 1u);
+  EXPECT_EQ(out[0].tag, 5u);
+  producer.join();
+}
+
+TEST(CompletionQueueTest, TeardownWithUndrainedCompletions) {
+  // Completions left in the queue at destruction are simply dropped —
+  // no leak, no crash, no touching freed state (ASan/TSan guard this).
+  auto queue = std::make_unique<CompletionQueue>();
+  for (uint64_t i = 0; i < 64; ++i) {
+    Completion done;
+    done.tag = i;
+    queue->Deliver(done);
+  }
+  EXPECT_EQ(queue->size(), 64u);
+  queue.reset();
+}
+
+TEST(CompletionQueueTest, EngineTeardownDeliversEveryPendingTag) {
+  // Destroy an engine with tagged work still in flight; the queue
+  // outlives it and must end up with every tag exactly once.
+  Graph g = testing_util::SmallRoadNetwork(5, 91);
+  const uint32_t n = g.NumVertices();
+  CompletionQueue queue;
+  constexpr uint64_t kTags = 200;
+  {
+    EngineOptions opt;
+    opt.num_query_threads = 2;
+    QueryEngine engine(std::move(g), HierarchyOptions{}, opt);
+    Rng rng(91);
+    for (uint64_t tag = 0; tag < kTags; ++tag) {
+      engine.SubmitTagged({static_cast<Vertex>(rng.NextBounded(n)),
+                           static_cast<Vertex>(rng.NextBounded(n))},
+                          tag, &queue);
+    }
+    // Engine destructor drains: every submitted tag must be delivered
+    // before the readers join.
+  }
+  std::set<uint64_t> seen;
+  Completion out[32];
+  size_t got;
+  while ((got = queue.Poll(out, 32)) > 0) {
+    for (size_t i = 0; i < got; ++i) {
+      EXPECT_TRUE(seen.insert(out[i].tag).second)
+          << "tag " << out[i].tag << " delivered twice";
+    }
+  }
+  EXPECT_EQ(seen.size(), kTags);
+}
+
+// -------------------------------------------------------- admission
+
+// A sink that records every delivery under a lock (tests only).
+class RecordingSink : public CompletionSink {
+ public:
+  void Deliver(const Completion& done) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    completions_.push_back(done);
+  }
+  std::vector<Completion> Take() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return completions_;
+  }
+  size_t size() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return completions_.size();
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<Completion> completions_;
+};
+
+// One slow reader + a tight admission bound: the overflow must complete
+// kOverloaded instead of queueing without bound, and every future must
+// still resolve (exactly-once for promises).
+TEST(AdmissionTest, RejectNewShedsOverflowQueries) {
+  Graph g = testing_util::SmallRoadNetwork(5, 17);
+  const uint32_t n = g.NumVertices();
+  SeededFaultInjector faults(17);
+  faults.SetRate(FaultSite::kReaderDelay, 1.0);
+  faults.SetDelayMicros(FaultSite::kReaderDelay, 3000);
+  EngineOptions opt;
+  opt.num_query_threads = 1;
+  opt.serving.max_queued_queries = 4;
+  opt.serving.admission_policy = AdmissionPolicy::kRejectNew;
+  opt.serving.fault_injector = &faults;
+  QueryEngine engine(std::move(g), HierarchyOptions{}, opt);
+
+  Rng rng(17);
+  std::vector<std::future<QueryResult>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(
+        engine.Submit({static_cast<Vertex>(rng.NextBounded(n)),
+                       static_cast<Vertex>(rng.NextBounded(n))}));
+  }
+  size_t ok = 0, shed = 0;
+  for (auto& f : futures) {
+    QueryResult r = f.get();
+    if (r.code == StatusCode::kOk) {
+      ++ok;
+    } else {
+      ASSERT_EQ(r.code, StatusCode::kOverloaded);
+      EXPECT_EQ(r.distance, kInfDistance);
+      EXPECT_FALSE(r.status().ok());
+      ++shed;
+    }
+  }
+  EXPECT_EQ(ok + shed, 64u);
+  EXPECT_GT(shed, 0u) << "bound 4 + 3ms/query reader must overflow";
+  EXPECT_GT(ok, 0u) << "admitted work must still be answered";
+  EngineStats stats = engine.Stats();
+  EXPECT_EQ(stats.queries_shed, shed);
+  EXPECT_EQ(stats.queries_served, ok);
+}
+
+TEST(AdmissionTest, ShedOldestFavorsFreshQueries) {
+  Graph g = testing_util::SmallRoadNetwork(5, 18);
+  const uint32_t n = g.NumVertices();
+  SeededFaultInjector faults(18);
+  faults.SetRate(FaultSite::kReaderDelay, 1.0);
+  faults.SetDelayMicros(FaultSite::kReaderDelay, 3000);
+  EngineOptions opt;
+  opt.num_query_threads = 1;
+  opt.serving.max_queued_queries = 4;
+  opt.serving.admission_policy = AdmissionPolicy::kShedOldest;
+  opt.serving.fault_injector = &faults;
+  QueryEngine engine(std::move(g), HierarchyOptions{}, opt);
+
+  Rng rng(18);
+  std::vector<std::future<QueryResult>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(
+        engine.Submit({static_cast<Vertex>(rng.NextBounded(n)),
+                       static_cast<Vertex>(rng.NextBounded(n))}));
+  }
+  std::vector<StatusCode> codes;
+  for (auto& f : futures) codes.push_back(f.get().code);
+  const size_t shed = static_cast<size_t>(
+      std::count(codes.begin(), codes.end(), StatusCode::kOverloaded));
+  EXPECT_GT(shed, 0u);
+  // Shed-oldest sheds work from the FRONT of the queue: the last
+  // submissions are the freshest and must survive to be answered.
+  EXPECT_EQ(codes.back(), StatusCode::kOk);
+}
+
+TEST(AdmissionTest, RejectNewFailsWholeBatchExactlyOnce) {
+  Graph g = testing_util::SmallRoadNetwork(5, 19);
+  SeededFaultInjector faults(19);
+  faults.SetRate(FaultSite::kReaderDelay, 1.0);
+  faults.SetDelayMicros(FaultSite::kReaderDelay, 5000);
+  EngineOptions opt;
+  opt.num_query_threads = 1;
+  opt.serving.max_queued_batches = 1;
+  opt.serving.admission_policy = AdmissionPolicy::kRejectNew;
+  opt.serving.fault_injector = &faults;
+  QueryEngine engine(std::move(g), HierarchyOptions{}, opt);
+
+  std::vector<QueryPair> queries(16, {0, 1});
+  RecordingSink sink;
+  std::vector<uint64_t> tags_a, tags_b;
+  for (uint64_t i = 0; i < queries.size(); ++i) {
+    tags_a.push_back(i);
+    tags_b.push_back(100 + i);
+  }
+  // Batch A occupies the single in-flight slot (slow readers keep it
+  // alive); batch B must be rejected outright.
+  QueryEngine::Ticket a = engine.SubmitBatchTagged(queries, tags_a, &sink);
+  QueryEngine::Ticket b = engine.SubmitBatchTagged(queries, tags_b, &sink);
+  b.Wait();
+  for (size_t i = 0; i < b.size(); ++i) {
+    EXPECT_EQ(b.code(i), StatusCode::kOverloaded);
+    EXPECT_EQ(b.distance(i), kInfDistance);
+  }
+  a.Wait();
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.code(i), StatusCode::kOk);
+  }
+  // Exactly-once: every tag of both batches delivered once.
+  std::map<uint64_t, int> count;
+  for (const Completion& done : sink.Take()) ++count[done.tag];
+  EXPECT_EQ(count.size(), 32u);
+  for (const auto& [tag, c] : count) {
+    EXPECT_EQ(c, 1) << "tag " << tag;
+  }
+  EXPECT_EQ(engine.Stats().batches_shed, 1u);
+}
+
+TEST(AdmissionTest, ShedOldestClaimsUnstartedChunksOfOldestBatch) {
+  Graph g = testing_util::SmallRoadNetwork(5, 20);
+  SeededFaultInjector faults(20);
+  faults.SetRate(FaultSite::kReaderDelay, 1.0);
+  faults.SetDelayMicros(FaultSite::kReaderDelay, 5000);
+  EngineOptions opt;
+  opt.num_query_threads = 1;
+  opt.serving.max_queued_batches = 1;
+  opt.serving.admission_policy = AdmissionPolicy::kShedOldest;
+  opt.serving.fault_injector = &faults;
+  QueryEngine engine(std::move(g), HierarchyOptions{}, opt);
+
+  // Occupy the single reader with a slow query FIRST (pool FIFO), so
+  // batch A's chunk is still queued-unclaimed when B arrives — the
+  // shed is then deterministic under any thread schedule.
+  std::future<QueryResult> plug = engine.Submit({0, 2});
+  std::vector<QueryPair> queries(16, {0, 1});
+  QueryEngine::Ticket a = engine.SubmitBatch(queries);
+  QueryEngine::Ticket b = engine.SubmitBatch(queries);
+  a.Wait();
+  b.Wait();
+  plug.get();
+  // A was the oldest in-flight ticket when B arrived: its unstarted
+  // chunk was shed, while B was admitted and fully answered.
+  size_t a_shed = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a.code(i) == StatusCode::kOverloaded) ++a_shed;
+  }
+  EXPECT_GT(a_shed, 0u);
+  for (size_t i = 0; i < b.size(); ++i) {
+    EXPECT_EQ(b.code(i), StatusCode::kOk) << i;
+  }
+  EXPECT_GE(engine.Stats().batches_shed, 1u);
+}
+
+// -------------------------------------------------------- deadlines
+
+TEST(DeadlineTest, PastDeadlineExpiresAtDequeueWithoutRouting) {
+  Graph g = testing_util::SmallRoadNetwork(5, 21);
+  EngineOptions opt;
+  opt.num_query_threads = 2;
+  QueryEngine engine(std::move(g), HierarchyOptions{}, opt);
+  const Deadline past = steady_clock::now() - milliseconds(10);
+  QueryResult r = engine.Submit({0, 7}, past).get();
+  EXPECT_EQ(r.code, StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(r.distance, kInfDistance);
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(engine.Stats().queries_deadline_exceeded, 1u);
+  // Future deadlines do not interfere with normal serving.
+  QueryResult ok =
+      engine.Submit({0, 7}, steady_clock::now() + milliseconds(5000)).get();
+  EXPECT_EQ(ok.code, StatusCode::kOk);
+}
+
+TEST(DeadlineTest, BatchDeadlineExpiresQueuedChunks) {
+  Graph g = testing_util::SmallRoadNetwork(6, 22);
+  const uint32_t n = g.NumVertices();
+  EngineOptions opt;
+  opt.num_query_threads = 2;
+  QueryEngine engine(std::move(g), HierarchyOptions{}, opt);
+  Rng rng(22);
+  std::vector<QueryPair> queries;
+  for (int i = 0; i < 64; ++i) {
+    queries.emplace_back(static_cast<Vertex>(rng.NextBounded(n)),
+                         static_cast<Vertex>(rng.NextBounded(n)));
+  }
+  const Deadline past = steady_clock::now() - milliseconds(1);
+  QueryEngine::Ticket t = engine.SubmitBatch(queries, past);
+  t.Wait();
+  for (size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(t.code(i), StatusCode::kDeadlineExceeded) << i;
+    EXPECT_EQ(t.distance(i), kInfDistance) << i;
+  }
+  EXPECT_EQ(engine.Stats().queries_deadline_exceeded, queries.size());
+  // A generous deadline leaves the batch fully answered.
+  QueryEngine::Ticket ok =
+      engine.SubmitBatch(queries, steady_clock::now() + milliseconds(5000));
+  ok.Wait();
+  for (size_t i = 0; i < ok.size(); ++i) {
+    EXPECT_EQ(ok.code(i), StatusCode::kOk) << i;
+  }
+}
+
+// ------------------------------------------- degraded mode / faults
+
+TEST(DegradedModeTest, WriterStallFlipsDegradedAndRecovers) {
+  Graph g = testing_util::SmallRoadNetwork(5, 23);
+  SeededFaultInjector faults(23);
+  faults.SetRate(FaultSite::kWriterStall, 1.0);
+  faults.SetDelayMicros(FaultSite::kWriterStall, 200000);  // 200ms stall
+  EngineOptions opt;
+  opt.num_query_threads = 2;
+  opt.serving.writer_stall_ms = 20;
+  opt.serving.fault_injector = &faults;
+  QueryEngine engine(std::move(g), HierarchyOptions{}, opt);
+  EXPECT_FALSE(engine.Stats().degraded);
+
+  const Weight before = engine.Submit({0, 7}).get().distance;
+  engine.EnqueueUpdate(0, 1);
+  // The stalled writer makes no progress with one update pending: the
+  // watchdog must flip degraded within the 200ms stall window.
+  bool entered = false;
+  const auto deadline = steady_clock::now() + milliseconds(5000);
+  while (steady_clock::now() < deadline) {
+    EngineStats s = engine.Stats();
+    if (s.degraded) {
+      entered = true;
+      EXPECT_GE(s.staleness_epochs, 1u);
+      break;
+    }
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  EXPECT_TRUE(entered) << "watchdog never flipped degraded";
+  // Degraded mode still SERVES — exactly, from the pinned stale epoch.
+  EXPECT_EQ(engine.Submit({0, 7}).get().distance, before);
+  // The stall passes, the writer applies, the watchdog recovers.
+  engine.Flush();
+  bool recovered = false;
+  const auto rec_deadline = steady_clock::now() + milliseconds(5000);
+  while (steady_clock::now() < rec_deadline) {
+    EngineStats s = engine.Stats();
+    if (!s.degraded) {
+      recovered = true;
+      EXPECT_EQ(s.staleness_epochs, 0u);
+      break;
+    }
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  EXPECT_TRUE(recovered) << "degraded mode never cleared";
+  EXPECT_GE(engine.Stats().degraded_entries, 1u);
+}
+
+TEST(FaultTest, ApplyFailureDropsBatchButServingStaysExact) {
+  Graph g = testing_util::SmallRoadNetwork(5, 24);
+  Graph ref = g;
+  SeededFaultInjector faults(24);
+  faults.SetRate(FaultSite::kApplyFailure, 1.0);
+  EngineOptions opt;
+  opt.num_query_threads = 2;
+  opt.serving.fault_injector = &faults;
+  QueryEngine engine(std::move(g), HierarchyOptions{}, opt);
+
+  engine.EnqueueUpdate(0, ref.EdgeWeight(0) + 5);
+  engine.Flush();
+  EngineStats stats = engine.Stats();
+  EXPECT_GE(stats.apply_failures, 1u);
+  EXPECT_EQ(stats.epochs_published, 0u) << "dropped batch must not publish";
+  // The master state was untouched: answers still match epoch 0.
+  Dijkstra dij(ref);
+  QueryResult r = engine.Submit({0, ref.NumVertices() - 1}).get();
+  EXPECT_EQ(r.epoch, 0u);
+  EXPECT_EQ(r.distance, dij.Distance(0, ref.NumVertices() - 1));
+  // The fault clears; the next update applies and publishes.
+  faults.Clear();
+  engine.EnqueueUpdate(0, ref.EdgeWeight(0) + 5);
+  engine.Flush();
+  EXPECT_EQ(engine.Stats().epochs_published, 1u);
+}
+
+TEST(FaultTest, CompletionDropCandidateStillDeliversExactlyOnce) {
+  Graph g = testing_util::SmallRoadNetwork(5, 25);
+  const uint32_t n = g.NumVertices();
+  SeededFaultInjector faults(25);
+  faults.SetRate(FaultSite::kCompletionDropCandidate, 1.0);
+  EngineOptions opt;
+  opt.num_query_threads = 2;
+  opt.serving.fault_injector = &faults;
+  QueryEngine engine(std::move(g), HierarchyOptions{}, opt);
+
+  CompletionQueue queue;
+  constexpr uint64_t kTags = 300;
+  Rng rng(25);
+  for (uint64_t tag = 0; tag < kTags; ++tag) {
+    engine.SubmitTagged({static_cast<Vertex>(rng.NextBounded(n)),
+                         static_cast<Vertex>(rng.NextBounded(n))},
+                        tag, &queue);
+  }
+  std::set<uint64_t> seen;
+  Completion out[32];
+  while (seen.size() < kTags) {
+    const size_t got = queue.WaitPoll(out, 32);
+    for (size_t i = 0; i < got; ++i) {
+      EXPECT_TRUE(seen.insert(out[i].tag).second)
+          << "tag " << out[i].tag << " delivered twice";
+    }
+  }
+  // Every delivery's first attempt was a drop candidate; the retry
+  // path redelivered all of them.
+  EXPECT_EQ(engine.Stats().completions_retried, kTags);
+}
+
+// --------------------------------------------------- shutdown drain
+
+TEST(ShutdownDrainTest, DeadlineFailsResidualTagsAsOverloaded) {
+  Graph g = testing_util::SmallRoadNetwork(5, 26);
+  const uint32_t n = g.NumVertices();
+  SeededFaultInjector faults(26);
+  faults.SetRate(FaultSite::kReaderDelay, 1.0);
+  faults.SetDelayMicros(FaultSite::kReaderDelay, 20000);  // 20ms/query
+  CompletionQueue queue;
+  constexpr uint64_t kTags = 32;
+  {
+    EngineOptions opt;
+    opt.num_query_threads = 1;
+    opt.serving.shutdown_drain_ms = 30;  // << 32 queries x 20ms
+    opt.serving.fault_injector = &faults;
+    QueryEngine engine(std::move(g), HierarchyOptions{}, opt);
+    Rng rng(26);
+    for (uint64_t tag = 0; tag < kTags; ++tag) {
+      engine.SubmitTagged({static_cast<Vertex>(rng.NextBounded(n)),
+                           static_cast<Vertex>(rng.NextBounded(n))},
+                          tag, &queue);
+    }
+    // Destructor: drains for <= 30ms, then fails the residual queue.
+  }
+  std::map<uint64_t, StatusCode> seen;
+  Completion out[32];
+  size_t got;
+  while ((got = queue.Poll(out, 32)) > 0) {
+    for (size_t i = 0; i < got; ++i) {
+      EXPECT_TRUE(seen.emplace(out[i].tag, out[i].code).second)
+          << "tag " << out[i].tag << " delivered twice";
+    }
+  }
+  ASSERT_EQ(seen.size(), kTags) << "every tag delivered despite the drain";
+  size_t failed = 0;
+  for (const auto& [tag, code] : seen) {
+    if (code == StatusCode::kOverloaded) ++failed;
+  }
+  EXPECT_GT(failed, 0u) << "30ms drain cannot answer 32 x 20ms queries";
+}
+
+// ------------------------------------------------------------ chaos
+
+// The full chaos matrix, per backend: every fault site armed at once,
+// tight admission bounds, deadlines on part of the traffic, one updater
+// thread streaming weight changes — and at the end, the invariants:
+// every tag delivered exactly once, every ANSWERED batch query exact
+// for its pinned epoch (Dijkstra audit), and clean recovery (faults
+// cleared -> a final batch is fully answered and exact).
+class ChaosBackendTest : public ::testing::TestWithParam<BackendKind> {};
+
+TEST_P(ChaosBackendTest, InvariantsHoldUnderAllFaults) {
+  Graph g = testing_util::SmallRoadNetwork(6, 27);
+  Graph ref = g;
+  const uint32_t n = g.NumVertices();
+  const uint32_t m = g.NumEdges();
+  SeededFaultInjector faults(1234);
+  faults.SetRate(FaultSite::kReaderDelay, 0.05);
+  faults.SetDelayMicros(FaultSite::kReaderDelay, 500);
+  faults.SetRate(FaultSite::kWriterStall, 0.2);
+  faults.SetDelayMicros(FaultSite::kWriterStall, 2000);
+  faults.SetRate(FaultSite::kApplyFailure, 0.3);
+  faults.SetRate(FaultSite::kCompletionDropCandidate, 0.2);
+
+  EngineOptions opt;
+  opt.backend = GetParam();
+  opt.num_query_threads = 2;
+  opt.max_batch_size = 8;
+  opt.result_cache_entries = 1u << 10;
+  opt.serving.max_queued_queries = 32;
+  opt.serving.max_queued_batches = 4;
+  opt.serving.admission_policy = AdmissionPolicy::kShedOldest;
+  opt.serving.writer_stall_ms = 5;
+  opt.serving.fault_injector = &faults;
+  QueryEngine engine(std::move(g), HierarchyOptions{}, opt);
+
+  std::atomic<bool> stop{false};
+  std::thread updater([&engine, m, &stop] {
+    Rng urng(4321);
+    while (!stop.load()) {
+      engine.EnqueueUpdate(static_cast<EdgeId>(urng.NextBounded(m)),
+                           1 + static_cast<Weight>(urng.NextBounded(50)));
+      std::this_thread::sleep_for(std::chrono::microseconds(300));
+    }
+  });
+
+  CompletionQueue queue;
+  Rng rng(27);
+  uint64_t next_tag = 0;
+  std::vector<QueryEngine::Ticket> tickets;
+  std::vector<std::vector<QueryPair>> ticket_queries;
+  // 40 waves: single tagged queries (some with tight deadlines)
+  // interleaved with audited batches.
+  for (int wave = 0; wave < 40; ++wave) {
+    for (int i = 0; i < 8; ++i) {
+      const Deadline dl =
+          i % 4 == 3 ? steady_clock::now() + std::chrono::microseconds(200)
+                     : kNoDeadline;
+      engine.SubmitTagged({static_cast<Vertex>(rng.NextBounded(n)),
+                           static_cast<Vertex>(rng.NextBounded(n))},
+                          next_tag++, &queue, dl);
+    }
+    std::vector<QueryPair> batch;
+    for (int i = 0; i < 12; ++i) {
+      batch.emplace_back(static_cast<Vertex>(rng.NextBounded(n)),
+                         static_cast<Vertex>(rng.NextBounded(n)));
+    }
+    tickets.push_back(engine.SubmitBatch(batch));
+    ticket_queries.push_back(std::move(batch));
+  }
+  stop.store(true);
+  updater.join();
+
+  // Invariant 1: every single-query tag delivered exactly once, no
+  // matter how it completed.
+  std::set<uint64_t> seen;
+  Completion out[64];
+  while (seen.size() < next_tag) {
+    const size_t got = queue.WaitPoll(out, 64, milliseconds(5000));
+    ASSERT_GT(got, 0u) << "lost tags: " << seen.size() << "/" << next_tag;
+    for (size_t i = 0; i < got; ++i) {
+      EXPECT_TRUE(seen.insert(out[i].tag).second)
+          << "tag " << out[i].tag << " delivered twice";
+    }
+  }
+
+  // Invariant 2: every ANSWERED batch query is exact for the weights of
+  // its ticket's pinned epoch (shed/expired queries carry their code).
+  std::map<uint64_t, std::unique_ptr<Dijkstra>> oracle;
+  for (size_t w = 0; w < tickets.size(); ++w) {
+    QueryEngine::Ticket& t = tickets[w];
+    t.Wait();
+    auto [it, fresh] = oracle.try_emplace(t.epoch());
+    if (fresh) {
+      it->second = std::make_unique<Dijkstra>(t.snapshot()->graph);
+    }
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (t.code(i) != StatusCode::kOk) continue;
+      const QueryPair& q = ticket_queries[w][i];
+      ASSERT_EQ(t.distance(i), it->second->Distance(q.first, q.second))
+          << "backend " << static_cast<int>(GetParam()) << " wave " << w
+          << " query " << i << " epoch " << t.epoch();
+    }
+  }
+
+  // Invariant 3: recovery. Faults cleared, backlog flushed: a final
+  // batch is fully answered and exact, and the engine is not degraded.
+  faults.Clear();
+  engine.Flush();
+  std::vector<QueryPair> final_batch;
+  for (int i = 0; i < 32; ++i) {
+    final_batch.emplace_back(static_cast<Vertex>(rng.NextBounded(n)),
+                             static_cast<Vertex>(rng.NextBounded(n)));
+  }
+  QueryEngine::Ticket final_ticket = engine.SubmitBatch(final_batch);
+  final_ticket.Wait();
+  Dijkstra final_dij(final_ticket.snapshot()->graph);
+  for (size_t i = 0; i < final_ticket.size(); ++i) {
+    ASSERT_EQ(final_ticket.code(i), StatusCode::kOk) << i;
+    ASSERT_EQ(final_ticket.distance(i),
+              final_dij.Distance(final_batch[i].first,
+                                 final_batch[i].second))
+        << i;
+  }
+  const auto rec_deadline = steady_clock::now() + milliseconds(5000);
+  while (engine.Stats().degraded && steady_clock::now() < rec_deadline) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  EXPECT_FALSE(engine.Stats().degraded);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, ChaosBackendTest,
+    ::testing::Values(BackendKind::kStl, BackendKind::kCh,
+                      BackendKind::kH2h, BackendKind::kHc2l));
+
+// The sharded engine inherits the same hardening through ServingCore:
+// one combined smoke over admission + deadlines + faults + teardown.
+TEST(ShardedRobustnessTest, OverloadMachineryWorksThroughShardedEngine) {
+  Graph g = testing_util::SmallRoadNetwork(6, 28);
+  Graph ref = g;
+  const uint32_t n = g.NumVertices();
+  SeededFaultInjector faults(28);
+  faults.SetRate(FaultSite::kCompletionDropCandidate, 1.0);
+  ShardedEngineOptions opt;
+  opt.target_shards = 2;
+  opt.num_query_threads = 2;
+  opt.serving.max_queued_queries = 16;
+  opt.serving.admission_policy = AdmissionPolicy::kRejectNew;
+  opt.serving.writer_stall_ms = 50;
+  opt.serving.shutdown_drain_ms = 2000;
+  opt.serving.fault_injector = &faults;
+  ShardedEngine engine(std::move(g), HierarchyOptions{}, opt);
+
+  // Past deadline expires through the sharded submission path too.
+  ShardedQueryResult expired =
+      engine.Submit({0, 7}, steady_clock::now() - milliseconds(1)).get();
+  EXPECT_EQ(expired.code, StatusCode::kDeadlineExceeded);
+
+  // Tagged traffic with the drop-candidate site armed: exactly once.
+  CompletionQueue queue;
+  constexpr uint64_t kTags = 100;
+  Rng rng(28);
+  for (uint64_t tag = 0; tag < kTags; ++tag) {
+    engine.SubmitTagged({static_cast<Vertex>(rng.NextBounded(n)),
+                         static_cast<Vertex>(rng.NextBounded(n))},
+                        tag, &queue);
+  }
+  std::set<uint64_t> seen;
+  Completion out[32];
+  while (seen.size() < kTags) {
+    const size_t got = queue.WaitPoll(out, 32, milliseconds(5000));
+    ASSERT_GT(got, 0u);
+    for (size_t i = 0; i < got; ++i) {
+      EXPECT_TRUE(seen.insert(out[i].tag).second);
+    }
+  }
+  EngineStats stats = engine.Stats();
+  EXPECT_EQ(stats.completions_retried, kTags);
+  EXPECT_EQ(stats.queries_deadline_exceeded, 1u);
+  // Served answers stayed exact (epoch 0: no updates were enqueued).
+  Dijkstra dij(ref);
+  ShardedEngine::Ticket t =
+      engine.SubmitBatch({{0, n - 1}, {3, 11}, {5, 5}});
+  t.Wait();
+  EXPECT_EQ(t.distance(0), dij.Distance(0, n - 1));
+  EXPECT_EQ(t.distance(1), dij.Distance(3, 11));
+  EXPECT_EQ(t.distance(2), 0u);
+}
+
+}  // namespace
+}  // namespace stl
