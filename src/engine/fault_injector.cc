@@ -14,6 +14,8 @@ const char* FaultSiteName(FaultSite site) {
       return "apply_failure";
     case FaultSite::kCompletionDropCandidate:
       return "completion_drop_candidate";
+    case FaultSite::kOverlayRepair:
+      return "overlay_repair";
   }
   return "unknown";
 }

@@ -35,10 +35,16 @@ enum class FaultSite {
   /// when the fault fires, the first delivery attempt is treated as
   /// dropped and the exactly-once retry path must deliver it anyway.
   kCompletionDropCandidate = 3,
+  /// The sharded writer, immediately before an overlay publish: when
+  /// the fault fires, incremental row repair is treated as infeasible
+  /// and the publish takes the from-scratch rebuild fallback (stresses
+  /// the fallback path's exactness and accounting; answers stay exact
+  /// either way, since both paths produce the same table).
+  kOverlayRepair = 4,
 };
 
 /// Number of distinct FaultSite values (array sizing).
-inline constexpr int kNumFaultSites = 4;
+inline constexpr int kNumFaultSites = 5;
 
 /// Stable human-readable site name ("reader_delay", ...).
 const char* FaultSiteName(FaultSite site);

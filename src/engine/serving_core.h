@@ -226,6 +226,32 @@ struct EngineStats {
   /// Time spent rebuilding boundary cliques + the all-pairs overlay
   /// table (a subset of publish_total_micros).
   double overlay_rebuild_micros = 0;
+  /// Time inside BoundaryOverlay::Publish alone (repair or fallback
+  /// rebuild; a subset of overlay_rebuild_micros).
+  double overlay_repair_micros = 0;
+  /// Boundary rows recomputed by a per-source Dijkstra across all
+  /// overlay publishes (n per full rebuild; the dirty-source set R per
+  /// incremental repair).
+  uint64_t overlay_rows_repaired = 0;
+  /// Boundary rows published across all overlay publishes (n per
+  /// publish) — the denominator for overlay_rows_repaired.
+  uint64_t overlay_rows_total = 0;
+  /// Overlay publishes that ran the from-scratch all-pairs rebuild
+  /// (first publish, dirty set over threshold, or repair disallowed,
+  /// e.g. FaultSite::kOverlayRepair).
+  uint64_t overlay_full_rebuilds = 0;
+  /// Shard clique entries recomputed by dirty-clique rebuilds (sum of
+  /// |S_i| * (|S_i| - 1) / 2 over rebuilt shards, all epochs).
+  uint64_t clique_entries_recomputed = 0;
+  /// Payload bytes of overlay rows pointer-shared with the previous
+  /// epoch instead of copied (full-table + packed copies).
+  uint64_t overlay_bytes_shared = 0;
+  // Epoch-keyed boundary-row cache
+  // (ShardedEngineOptions::boundary_row_cache_entries; zero when off).
+  uint64_t boundary_row_cache_lookups = 0;  ///< Row-cache probes.
+  uint64_t boundary_row_cache_hits = 0;     ///< Probes served from cache.
+  /// hits / lookups (0 when the cache is disabled or untouched).
+  double boundary_row_cache_hit_rate = 0;
   std::vector<ShardStats> shards;    ///< Per-shard counters.
   // Overload & degradation (the ServingOptions robustness layer).
   /// True while the writer-stall watchdog holds the engine in degraded
@@ -896,6 +922,12 @@ class ServingCore {
 
   /// Reader thread count.
   int num_query_threads() const { return pool_.num_threads(); }
+
+  /// The reader pool. Policies may fan writer-side maintenance (e.g.
+  /// the sharded engine's boundary-clique recompute) out across idle
+  /// readers; Enqueue may return false during shutdown, so callers
+  /// must keep an inline fallback.
+  ThreadPool* pool() { return &pool_; }
 
  private:
   /// Nanoseconds elapsed since `start`.

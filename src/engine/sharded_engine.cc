@@ -1,10 +1,13 @@
 #include "engine/sharded_engine.h"
 
 #include <algorithm>
+#include <condition_variable>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
+#include "engine/thread_pool.h"
 #include "partition/cells.h"
 #include "util/logging.h"
 #include "util/simd.h"
@@ -18,6 +21,69 @@ inline Weight ClampInf(uint64_t d) {
   return d >= kInfDistance ? kInfDistance
                            : static_cast<Weight>(d);
 }
+
+/// splitmix64 finalizer: scatters the (vertex, shard) key across the
+/// row-cache slot array.
+inline uint64_t MixKey(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Fans BoundaryOverlay::RebuildClique's per-source searches out across
+// the core's reader pool. The writer participates as one worker, so
+// progress never depends on the pool: rejected enqueues (shutdown) or
+// a busy pool just mean fewer helpers. Run returns only after every
+// launched helper finished (mutex/cv join — the join also orders the
+// helpers' row writes before the writer's reads).
+class PoolExecutor final : public OverlayExecutor {
+ public:
+  explicit PoolExecutor(ThreadPool* pool) : pool_(pool) {}
+
+  uint32_t Width() const override {
+    return static_cast<uint32_t>(std::max(1, pool_->num_threads()));
+  }
+
+  void Run(const std::function<void()>& worker) override {
+    const uint32_t width = Width();
+    // Helpers share the reader pool's task queue, so under query load
+    // they would sit behind pending query chunks and the writer would
+    // block on them for nothing. Fan out only when the pool is idle
+    // (the common case for update-dominated phases); otherwise the
+    // writer runs the whole recompute inline.
+    const uint32_t helpers = pool_->queue_depth() == 0 ? width - 1 : 0;
+    // Heap-held latch: a helper's final unlock may race Run's return,
+    // so the state must outlive Run (each helper keeps a reference).
+    struct Latch {
+      std::mutex mu;
+      std::condition_variable cv;
+      uint32_t remaining = 0;
+    };
+    auto latch = std::make_shared<Latch>();
+    for (uint32_t i = 0; i < helpers; ++i) {
+      {
+        std::lock_guard<std::mutex> lock(latch->mu);
+        ++latch->remaining;
+      }
+      const bool ok = pool_->Enqueue([&worker, latch] {
+        worker();
+        std::lock_guard<std::mutex> lock(latch->mu);
+        if (--latch->remaining == 0) latch->cv.notify_all();
+      });
+      if (!ok) {
+        std::lock_guard<std::mutex> lock(latch->mu);
+        --latch->remaining;  // pool down; the inline worker covers it
+      }
+    }
+    worker();
+    std::unique_lock<std::mutex> lock(latch->mu);
+    latch->cv.wait(lock, [&] { return latch->remaining == 0; });
+  }
+
+ private:
+  ThreadPool* pool_;
+};
 
 /// Fills `out` with the shard-local distances from global vertex
 /// `global` (owned by shard `shard`) to that shard's boundary set S_i;
@@ -37,6 +103,27 @@ uint32_t FillBoundaryRow(const ShardedSnapshot& snap, uint32_t shard,
   return width;
 }
 
+/// FillBoundaryRow behind the shard-epoch-keyed row cache (when one is
+/// armed): a hit skips the |S_i| shard queries entirely. Cached rows
+/// are validated by (shard, vertex, shard_epoch), so a hit returns the
+/// exact same values FillBoundaryRow would compute on this snapshot —
+/// bit-identical routing either way.
+uint32_t CachedBoundaryRow(const ShardedSnapshot& snap, uint32_t shard,
+                           Vertex global, BoundaryRowCache* cache,
+                           std::vector<Weight>* out) {
+  if (cache == nullptr) return FillBoundaryRow(snap, shard, global, out);
+  const ShardLayout::Shard& sh = snap.layout->shards[shard];
+  const uint32_t width = static_cast<uint32_t>(sh.boundary_local.size());
+  const uint64_t shard_epoch = snap.shards[shard]->shard_epoch;
+  out->resize(width);
+  if (cache->Lookup(shard, shard_epoch, global, width, out->data())) {
+    return width;
+  }
+  FillBoundaryRow(snap, shard, global, out);
+  cache->Insert(shard, shard_epoch, global, width, out->data());
+  return width;
+}
+
 // Per-chunk scratch for batched routing: memoises the ds/dt
 // boundary-distance rows per endpoint, plus the shared inner vector
 // min_{b2} D[b1][b2] + dt[b2] of the CURRENT (source cell, target
@@ -48,6 +135,10 @@ struct BatchRouteScratch {
   // Global vertex -> its shard-local boundary-distance row. Node-based
   // map: references stay valid across later insertions.
   std::unordered_map<Vertex, std::vector<Weight>> rows;
+  // The engine-lifetime row cache behind the per-chunk memo (nullptr
+  // when disabled): misses here first probe the cache, and fresh rows
+  // are published back so later batches and per-query routing hit.
+  BoundaryRowCache* cache = nullptr;
   // The last group's inner vector (over S_{inner_cs}).
   uint64_t inner_cs = ~uint64_t{0};
   uint64_t inner_ct = ~uint64_t{0};
@@ -57,7 +148,7 @@ struct BatchRouteScratch {
   const std::vector<Weight>& Row(const ShardedSnapshot& snap,
                                  uint32_t shard, Vertex v) {
     auto [it, fresh] = rows.try_emplace(v);
-    if (fresh) FillBoundaryRow(snap, shard, v, &it->second);
+    if (fresh) CachedBoundaryRow(snap, shard, v, cache, &it->second);
     return it->second;
   }
 
@@ -155,13 +246,17 @@ uint32_t ChooseShardCount(uint32_t num_vertices,
   uint32_t k = num_vertices / kTargetCellVertices;
   k = std::max(k, 1u);
   k = std::min(k, kMaxShards);
-  // Update pressure: every effective batch rebuilds the overlay, whose
-  // per-epoch micros grow superlinearly with k in BENCH_sharded.json
-  // (~4x from k=2 to k=8 on the measured grids). Halve k per decade of
-  // sustained update rate beyond ~100/s — a write-heavy feed wants
-  // fewer, bigger shards.
+  // Update pressure: every effective batch republishes the overlay,
+  // whose per-epoch micros still grow with k in BENCH_sharded.json —
+  // but incremental row repair cut the localized (single-cell) epoch
+  // cost ~10x (STL k=4: ~1140 us full republish vs ~365 us repaired,
+  // ~130 us at k=3, with only the dirty-row set re-run), so the engine
+  // now tolerates an order of magnitude more update traffic before
+  // trading shards away. Halve k per decade of sustained update rate
+  // beyond ~1000/s — only a truly write-dominated feed wants fewer,
+  // bigger shards.
   double rate = updates_per_second;
-  while (k > 1 && rate >= 100.0) {
+  while (k > 1 && rate >= 1000.0) {
     k = (k + 1) / 2;
     rate /= 10.0;
   }
@@ -170,8 +265,16 @@ uint32_t ChooseShardCount(uint32_t num_vertices,
 
 // ----------------------------------------------------- ShardedSnapshot
 
-Weight ShardedSnapshot::Query(Vertex s, Vertex t) const {
-  const ShardLayout& lay = *layout;
+namespace {
+
+/// The per-query router: ShardedSnapshot::Query's decomposition, with
+/// the ds/dt rows optionally served from the engine's row cache
+/// (`cache == nullptr` computes them fresh — the uncached reference
+/// path tests and audits run against). Cached and fresh rows are
+/// bit-identical, so both modes return the same distances.
+Weight RouteSingle(const ShardedSnapshot& snap, Vertex s, Vertex t,
+                   BoundaryRowCache* cache) {
+  const ShardLayout& lay = *snap.layout;
   STL_DCHECK(s < lay.shard_of_vertex.size());
   STL_DCHECK(t < lay.shard_of_vertex.size());
   if (s == t) return 0;
@@ -182,8 +285,8 @@ Weight ShardedSnapshot::Query(Vertex s, Vertex t) const {
 
   if (s_boundary && t_boundary) {
     // The overlay table is already the exact full-graph distance.
-    return overlay->At(lay.boundary_pos_of_vertex[s],
-                       lay.boundary_pos_of_vertex[t]);
+    return snap.overlay->At(lay.boundary_pos_of_vertex[s],
+                            lay.boundary_pos_of_vertex[t]);
   }
 
   // Per-reader scratch for the shard-to-boundary distance arrays; sized
@@ -194,8 +297,8 @@ Weight ShardedSnapshot::Query(Vertex s, Vertex t) const {
   uint64_t best = kInfDistance;
   if (!s_boundary && !t_boundary && cs == ct) {
     // Same cell: the path may stay inside the shard entirely...
-    best = shards[cs]->view->Query(lay.local_of_vertex[s],
-                                   lay.local_of_vertex[t]);
+    best = snap.shards[cs]->view->Query(lay.local_of_vertex[s],
+                                        lay.local_of_vertex[t]);
     // ...or leave through the boundary and come back (covered below;
     // D[b][b] = 0 makes the touch-and-return case a special case of it).
   }
@@ -203,34 +306,106 @@ Weight ShardedSnapshot::Query(Vertex s, Vertex t) const {
   if (s_boundary) {
     // First boundary vertex of any path from s is s itself:
     // min over b2 in S_ct of D[s][b2] + d_shard(b2, t).
-    const uint32_t width = FillBoundaryRow(*this, ct, t, &dt_scratch);
+    const uint32_t width =
+        CachedBoundaryRow(snap, ct, t, cache, &dt_scratch);
     const uint32_t pos = lay.boundary_pos_of_vertex[s];
     best = std::min<uint64_t>(
-        best, MinPlusReduce(overlay->PackedRow(ct, pos), dt_scratch.data(),
-                            width));
+        best, MinPlusReduce(snap.overlay->PackedRow(ct, pos),
+                            dt_scratch.data(), width));
   } else if (t_boundary) {
     // Mirror image (distances are symmetric on an undirected graph).
-    const uint32_t width = FillBoundaryRow(*this, cs, s, &ds_scratch);
+    const uint32_t width =
+        CachedBoundaryRow(snap, cs, s, cache, &ds_scratch);
     const uint32_t pos = lay.boundary_pos_of_vertex[t];
     best = std::min<uint64_t>(
-        best, MinPlusReduce(overlay->PackedRow(cs, pos), ds_scratch.data(),
-                            width));
+        best, MinPlusReduce(snap.overlay->PackedRow(cs, pos),
+                            ds_scratch.data(), width));
   } else {
     // General case: decompose at the first and last boundary vertices.
-    const uint32_t sw = FillBoundaryRow(*this, cs, s, &ds_scratch);
-    const uint32_t tw = FillBoundaryRow(*this, ct, t, &dt_scratch);
+    const uint32_t sw = CachedBoundaryRow(snap, cs, s, cache, &ds_scratch);
+    const uint32_t tw = CachedBoundaryRow(snap, ct, t, cache, &dt_scratch);
     const ShardLayout::Shard& sshard = lay.shards[cs];
     for (uint32_t i = 0; i < sw; ++i) {
       if (ds_scratch[i] >= kInfDistance || ds_scratch[i] >= best) continue;
       // Inner min over b2 on the packed row: contiguous SIMD min-plus.
       const Weight inner =
-          MinPlusReduce(overlay->PackedRow(ct, sshard.boundary_pos[i]),
+          MinPlusReduce(snap.overlay->PackedRow(ct, sshard.boundary_pos[i]),
                         dt_scratch.data(), tw);
       best = std::min<uint64_t>(
           best, static_cast<uint64_t>(ds_scratch[i]) + inner);
     }
   }
   return ClampInf(best);
+}
+
+}  // namespace
+
+Weight ShardedSnapshot::Query(Vertex s, Vertex t) const {
+  // Uncached on purpose: this is the reference implementation that
+  // tests, audits and external snapshot holders run against.
+  return RouteSingle(*this, s, t, /*cache=*/nullptr);
+}
+
+// ----------------------------------------------------- BoundaryRowCache
+
+void BoundaryRowCache::Init(size_t entries, uint32_t max_width) {
+  if (entries == 0 || max_width == 0) return;
+  size_t cap = 1;
+  while (cap < entries) cap <<= 1;
+  mask_ = cap - 1;
+  max_width_ = max_width;
+  slots_.reset(new Slot[cap]);
+  rows_.reset(new std::atomic<Weight>[cap * max_width]);
+  for (size_t i = 0; i < cap * max_width; ++i) {
+    rows_[i].store(kInfDistance, std::memory_order_relaxed);
+  }
+}
+
+bool BoundaryRowCache::Lookup(uint32_t shard, uint64_t shard_epoch,
+                              Vertex v, uint32_t width,
+                              Weight* out) const {
+  STL_DCHECK(width <= max_width_);
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t key = (static_cast<uint64_t>(v) << 32) | shard;
+  const size_t idx = MixKey(key) & mask_;
+  const Slot& slot = slots_[idx];
+  // Seqlock read protocol (mirrors ServingCore's ResultCache): an odd
+  // or moved version means a concurrent writer — degrade to a miss.
+  const uint64_t v1 = slot.version.load(std::memory_order_acquire);
+  if (v1 & 1) return false;
+  const uint64_t k = slot.key.load(std::memory_order_relaxed);
+  const uint64_t e = slot.epoch.load(std::memory_order_relaxed);
+  const std::atomic<Weight>* row = rows_.get() + idx * max_width_;
+  for (uint32_t i = 0; i < width; ++i) {
+    out[i] = row[i].load(std::memory_order_relaxed);
+  }
+  std::atomic_thread_fence(std::memory_order_acquire);
+  if (slot.version.load(std::memory_order_relaxed) != v1) return false;
+  if (k != key || e != shard_epoch) return false;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void BoundaryRowCache::Insert(uint32_t shard, uint64_t shard_epoch,
+                              Vertex v, uint32_t width,
+                              const Weight* row_values) {
+  STL_DCHECK(width <= max_width_);
+  const uint64_t key = (static_cast<uint64_t>(v) << 32) | shard;
+  const size_t idx = MixKey(key) & mask_;
+  Slot& slot = slots_[idx];
+  uint64_t v0 = slot.version.load(std::memory_order_relaxed);
+  if (v0 & 1) return;  // another writer owns the slot; drop the insert
+  if (!slot.version.compare_exchange_strong(v0, v0 + 1,
+                                            std::memory_order_acq_rel)) {
+    return;
+  }
+  slot.key.store(key, std::memory_order_relaxed);
+  slot.epoch.store(shard_epoch, std::memory_order_relaxed);
+  std::atomic<Weight>* row = rows_.get() + idx * max_width_;
+  for (uint32_t i = 0; i < width; ++i) {
+    row[i].store(row_values[i], std::memory_order_relaxed);
+  }
+  slot.version.store(v0 + 2, std::memory_order_release);
 }
 
 // ------------------------------------------------------- ShardedEngine
@@ -275,6 +450,14 @@ ShardedEngine::ShardedEngine(Graph graph,
   }
   if (k > 0) capabilities_ = states_[0].index->capabilities();
   overlay_ = std::make_unique<BoundaryOverlay>(layout_.get(), *graph_);
+  overlay_->set_repair_threshold(options_.overlay_repair_threshold);
+  uint32_t max_width = 0;
+  for (uint32_t c = 0; c < k; ++c) {
+    max_width = std::max(
+        max_width,
+        static_cast<uint32_t>(layout_->shards[c].boundary_local.size()));
+  }
+  row_cache_.Init(options_.boundary_row_cache_entries, max_width);
   shard_updates_.reset(new std::atomic<uint64_t>[std::max(k, 1u)]);
   for (uint32_t c = 0; c < k; ++c) shard_updates_[c].store(0);
   serving_.resize(k);
@@ -288,10 +471,15 @@ ShardedEngine::ShardedEngine(Graph graph,
 ShardedEngine::~ShardedEngine() = default;  // core_ drains first
 
 void ShardedEngine::PublishInitialSnapshot() {
+  PoolExecutor executor(core_.pool());
   for (uint32_t c = 0; c < layout_->num_shards(); ++c) {
     PublishInfo info;
     auto view = states_[c].index->PublishView(/*flat_publish=*/false, &info);
-    overlay_->RebuildClique(c, *view);
+    if (states_[c].index->capabilities().fast_point_queries) {
+      overlay_->RebuildClique(c, *view, &executor);
+    } else {
+      overlay_->RebuildClique(c, *states_[c].graph, &executor);
+    }
     auto serving = std::make_shared<ShardServing>();
     serving->shard = c;
     serving->shard_epoch = 0;
@@ -327,7 +515,9 @@ uint32_t ShardedEngine::Policy::NumEdges() const {
 
 Weight ShardedEngine::Policy::Route(const ShardedSnapshot& snap, Vertex s,
                                     Vertex t) const {
-  return snap.Query(s, t);
+  return RouteSingle(
+      snap, s, t,
+      engine->row_cache_.enabled() ? &engine->row_cache_ : nullptr);
 }
 
 uint64_t ShardedEngine::Policy::BatchSortKey(const ShardedSnapshot& snap,
@@ -347,6 +537,8 @@ void ShardedEngine::Policy::RouteSpan(const ShardedSnapshot& snap,
                                       const uint32_t* idx, size_t count,
                                       Weight* out) const {
   BatchRouteScratch scratch;
+  scratch.cache =
+      engine->row_cache_.enabled() ? &engine->row_cache_ : nullptr;
   for (size_t j = 0; j < count; ++j) {
     const QueryPair& q = queries[idx[j]];
     out[idx[j]] = RouteBatched(snap, q.first, q.second, &scratch);
@@ -364,6 +556,27 @@ void ShardedEngine::Policy::AugmentStats(EngineStats* s) const {
       static_cast<double>(
           e.overlay_nanos_.load(std::memory_order_relaxed)) /
       1e3;
+  s->overlay_repair_micros =
+      static_cast<double>(
+          e.overlay_repair_nanos_.load(std::memory_order_relaxed)) /
+      1e3;
+  s->overlay_rows_repaired =
+      e.overlay_rows_repaired_.load(std::memory_order_relaxed);
+  s->overlay_rows_total =
+      e.overlay_rows_total_.load(std::memory_order_relaxed);
+  s->overlay_full_rebuilds =
+      e.overlay_full_rebuilds_.load(std::memory_order_relaxed);
+  s->clique_entries_recomputed =
+      e.clique_entries_recomputed_.load(std::memory_order_relaxed);
+  s->overlay_bytes_shared =
+      e.overlay_bytes_shared_.load(std::memory_order_relaxed);
+  s->boundary_row_cache_lookups = e.row_cache_.lookups();
+  s->boundary_row_cache_hits = e.row_cache_.hits();
+  s->boundary_row_cache_hit_rate =
+      s->boundary_row_cache_lookups > 0
+          ? static_cast<double>(s->boundary_row_cache_hits) /
+                static_cast<double>(s->boundary_row_cache_lookups)
+          : 0.0;
   // Honest resident memory of the serving state, wait-free: walk the
   // current (immutable) snapshot, counting each physically shared
   // block once — the per-shard rows report each shard's unique bytes.
@@ -386,9 +599,10 @@ void ShardedEngine::Policy::AugmentStats(EngineStats* s) const {
     bytes += row.resident_bytes;
     s->shards.push_back(row);
   }
-  if (snap->overlay != nullptr &&
-      seen.insert(snap->overlay.get()).second) {
-    bytes += snap->overlay->MemoryBytes();
+  if (snap->overlay != nullptr) {
+    // Chunk-level dedup: rows shared with other epochs' tables (or
+    // already counted through this walk) are counted once.
+    bytes += snap->overlay->AddResidentBytes(&seen);
   }
   bytes += snap->graph.AddResidentBytes(&seen);
   if (seen.insert(e.layout_.get()).second) {
@@ -482,9 +696,11 @@ void ShardedEngine::ApplyAndPublish(const UpdateBatch& batch) {
                                      std::memory_order_relaxed);
 
   // Publication: new views + cliques for dirty shards only, then one
-  // overlay rebuild, then the snapshot swap. Clean shards' ShardServing
-  // pointers carry over unchanged.
+  // overlay publish (incremental row repair when feasible), then the
+  // snapshot swap. Clean shards' ShardServing pointers carry over
+  // unchanged, and clean overlay rows are pointer-shared.
   Timer publish_timer;
+  PoolExecutor executor(core_.pool());
   for (uint32_t c = 0; c < k; ++c) {
     if (per_shard[c].empty()) continue;
     PublishInfo info;
@@ -500,16 +716,46 @@ void ShardedEngine::ApplyAndPublish(const UpdateBatch& batch) {
     serving->shard_epoch = ++states_[c].shard_epoch;
     serving->view = std::move(view);
     Timer overlay_timer;
-    overlay_->RebuildClique(c, *serving->view);
+    // The dirty-clique recompute, fanned across the reader pool. Label
+    // backends answer the |S_c|^2 / 2 pairs by point queries against
+    // the epoch just published; CH re-derives the clique with |S_c|
+    // Dijkstras over the shard's master subgraph (ApplyBatch wrote the
+    // new weights into it), which beats that many bidirectional
+    // searches.
+    if (states_[c].index->capabilities().fast_point_queries) {
+      overlay_->RebuildClique(c, *serving->view, &executor);
+    } else {
+      overlay_->RebuildClique(c, *states_[c].graph, &executor);
+    }
     overlay_nanos_.fetch_add(overlay_timer.ElapsedNanos(),
                              std::memory_order_relaxed);
     serving_[c] = std::move(serving);
   }
+  bool allow_repair = options_.overlay_incremental;
+  FaultInjector* faults = options_.serving.fault_injector;
+  if (allow_repair && faults != nullptr &&
+      faults->Fire(FaultSite::kOverlayRepair)) {
+    allow_repair = false;  // injected: repair "infeasible", rebuild
+  }
   Timer overlay_timer;
-  auto table = overlay_->Publish();
-  overlay_nanos_.fetch_add(overlay_timer.ElapsedNanos(),
+  OverlayPublishStats overlay_stats;
+  auto table = overlay_->Publish(allow_repair, &overlay_stats);
+  const uint64_t overlay_publish_nanos = overlay_timer.ElapsedNanos();
+  overlay_nanos_.fetch_add(overlay_publish_nanos,
                            std::memory_order_relaxed);
+  overlay_repair_nanos_.fetch_add(overlay_publish_nanos,
+                                  std::memory_order_relaxed);
   overlay_republishes_.fetch_add(1, std::memory_order_relaxed);
+  overlay_rows_repaired_.fetch_add(overlay_stats.rows_repaired,
+                                   std::memory_order_relaxed);
+  overlay_rows_total_.fetch_add(overlay_stats.rows_total,
+                                std::memory_order_relaxed);
+  overlay_full_rebuilds_.fetch_add(overlay_stats.full_rebuild ? 1 : 0,
+                                   std::memory_order_relaxed);
+  clique_entries_recomputed_.fetch_add(
+      overlay_stats.clique_entries_recomputed, std::memory_order_relaxed);
+  overlay_bytes_shared_.fetch_add(overlay_stats.bytes_shared,
+                                  std::memory_order_relaxed);
 
   // Graph-side CoW accounting (chunks detached by this batch's writes).
   const CowChunkStats gc = graph_->cow_stats();
@@ -540,7 +786,14 @@ void ShardedEngine::ResetStats() {
   // The per-shard ShardState epochs keep snapshot lineage; they do not
   // reset (mirroring the global epoch allocator).
   overlay_nanos_.store(0, std::memory_order_relaxed);
+  overlay_repair_nanos_.store(0, std::memory_order_relaxed);
   overlay_republishes_.store(0, std::memory_order_relaxed);
+  overlay_rows_repaired_.store(0, std::memory_order_relaxed);
+  overlay_rows_total_.store(0, std::memory_order_relaxed);
+  overlay_full_rebuilds_.store(0, std::memory_order_relaxed);
+  clique_entries_recomputed_.store(0, std::memory_order_relaxed);
+  overlay_bytes_shared_.store(0, std::memory_order_relaxed);
+  row_cache_.ResetCounters();
   for (uint32_t c = 0; c < layout_->num_shards(); ++c) {
     shard_updates_[c].store(0, std::memory_order_relaxed);
   }

@@ -130,9 +130,13 @@ struct ShardedQueryResult {
 /// (ROADMAP "shard-count auto-tuning"). Two forces, both visible in the
 /// bench rows: bigger networks amortize per-shard repair locality, so k
 /// grows roughly linearly with |V| until cells reach a few thousand
-/// vertices; but every effective epoch rebuilds the boundary overlay,
-/// whose cost grows superlinearly with |S| (and |S| with k), so a high
-/// update rate pushes k back down toward fewer, bigger shards.
+/// vertices; but every effective epoch republishes the boundary
+/// overlay, whose cost grows with |S| (and |S| with k), so a heavy
+/// update feed pushes k back down toward fewer, bigger shards.
+/// Incremental overlay repair moved that knee up an order of magnitude
+/// (localized epochs re-run only the dirty boundary rows — see the
+/// bench's localized phase), so the trade-off only bites at ~1000
+/// updates/s and beyond.
 /// `updates_per_second` is the caller's expected sustained update rate
 /// (0 = read-mostly). Always returns at least 1.
 uint32_t ChooseShardCount(uint32_t num_vertices, double updates_per_second);
@@ -161,10 +165,93 @@ struct ShardedEngineOptions {
   /// Capacity of the epoch-keyed (s, t) result memo consulted by every
   /// submission path; 0 disables it.
   size_t result_cache_entries = 0;
+  /// Capacity (slots) of the shard-epoch-keyed boundary-row cache
+  /// shared by per-query and batched routing. Each slot holds one
+  /// endpoint's |S_i| shard-to-boundary distances, validated by
+  /// (shard, vertex, shard_epoch) — rows survive global epochs as long
+  /// as their own shard stays clean. 0 disables it. Cached rows are
+  /// bit-identical to freshly computed ones (they are exact shard
+  /// distances on the validated shard epoch), so answers don't change.
+  size_t boundary_row_cache_entries = 2048;
+  /// Incremental overlay repair: when a publish would re-run Dijkstra
+  /// from more than this fraction of the boundary rows, it falls back
+  /// to the from-scratch rebuild instead. Repaired rows cost the same
+  /// per-source Dijkstra as rebuilt ones and the min-plus patch over
+  /// the rest is cheap, so repair keeps winning until the dirty set
+  /// approaches the whole table (index/overlay.h).
+  double overlay_repair_threshold = 0.75;
+  /// Escape hatch: false forces every overlay publish down the
+  /// from-scratch path (bench baselines, bisection). Answers are
+  /// identical either way.
+  bool overlay_incremental = true;
   /// Overload-hardening knobs (admission bounds, deadlines enforcement,
   /// stall watchdog, bounded shutdown drain, fault injection). Defaults
   /// to everything off — the pre-hardening behaviour.
   ServingOptions serving;
+};
+
+/// Shard-epoch-keyed cache of shard-to-boundary distance rows: the
+/// batched router's per-batch ds/dt row memo promoted to an
+/// engine-lifetime cache shared across batches AND per-query routing.
+/// Fixed power-of-two slot array, each slot a seqlock-style
+/// version-validated record (even version = stable, odd = mid-write)
+/// with a row payload of up to max |S_i| weights — the same
+/// torn-read-degrades-to-miss protocol as ServingCore's ResultCache,
+/// so concurrent readers and writers never block and a torn slot is
+/// simply a miss. Entries are validated by (shard, vertex,
+/// shard_epoch): a shard republish invalidates exactly that shard's
+/// rows, and rows of clean shards stay hot across global epochs.
+class BoundaryRowCache {
+ public:
+  /// A disabled cache; Init() arms it.
+  BoundaryRowCache() = default;
+
+  /// Sizes the cache: `entries` slots (rounded up to a power of two),
+  /// each holding up to `max_width` weights (the largest |S_i| of the
+  /// layout). entries == 0 or max_width == 0 leaves it disabled.
+  void Init(size_t entries, uint32_t max_width);
+
+  /// True once Init() armed the cache.
+  bool enabled() const { return slots_ != nullptr; }
+
+  /// True iff the cache holds vertex `v`'s boundary row for shard
+  /// `shard` at `shard_epoch`; copies `width` weights into `out`.
+  /// `width` must be shard's |S_i| (<= Init's max_width).
+  bool Lookup(uint32_t shard, uint64_t shard_epoch, Vertex v,
+              uint32_t width, Weight* out) const;
+
+  /// Publishes vertex `v`'s boundary row; silently dropped when the
+  /// slot is mid-write by another thread.
+  void Insert(uint32_t shard, uint64_t shard_epoch, Vertex v,
+              uint32_t width, const Weight* row);
+
+  /// Row probes so far (relaxed).
+  uint64_t lookups() const {
+    return lookups_.load(std::memory_order_relaxed);
+  }
+  /// Probes answered from the cache (relaxed).
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  /// Zeroes the probe counters (ResetStats; the entries stay valid).
+  void ResetCounters() {
+    lookups_.store(0, std::memory_order_relaxed);
+    hits_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  /// One seqlock-protected cache record; the row payload lives in the
+  /// flat rows_ array at this slot's offset.
+  struct Slot {
+    std::atomic<uint64_t> version{0};       // even = stable, odd = writing
+    std::atomic<uint64_t> key{~uint64_t{0}};  // (vertex << 32) | shard
+    std::atomic<uint64_t> epoch{0};         // shard_epoch of the row
+  };
+
+  size_t mask_ = 0;
+  uint32_t max_width_ = 0;
+  std::unique_ptr<Slot[]> slots_;
+  std::unique_ptr<std::atomic<Weight>[]> rows_;
+  mutable std::atomic<uint64_t> lookups_{0};
+  mutable std::atomic<uint64_t> hits_{0};
 };
 
 /// Concurrent sharded serving engine: the partitioned Apply + Route
@@ -320,9 +407,19 @@ class ShardedEngine {
   uint64_t harvested_graph_chunks_ = 0;
   uint64_t harvested_graph_bytes_ = 0;
 
+  // Shard-epoch-keyed boundary-row cache, consulted by both routing
+  // paths (readers insert concurrently; lock-free seqlock slots).
+  BoundaryRowCache row_cache_;
+
   // Sharded-only stats (the common block lives in the core's counters).
   std::atomic<uint64_t> overlay_nanos_{0};
+  std::atomic<uint64_t> overlay_repair_nanos_{0};
   std::atomic<uint64_t> overlay_republishes_{0};
+  std::atomic<uint64_t> overlay_rows_repaired_{0};
+  std::atomic<uint64_t> overlay_rows_total_{0};
+  std::atomic<uint64_t> overlay_full_rebuilds_{0};
+  std::atomic<uint64_t> clique_entries_recomputed_{0};
+  std::atomic<uint64_t> overlay_bytes_shared_{0};
   std::unique_ptr<std::atomic<uint64_t>[]> shard_updates_;
 
   Policy policy_{this};

@@ -92,7 +92,8 @@ class StlBackend : public DistanceIndex {
   BackendCapabilities capabilities() const override {
     return {.incremental_updates = true,
             .path_queries = true,
-            .cow_snapshots = true};
+            .cow_snapshots = true,
+            .fast_point_queries = true};
   }
 
   BatchExecution ApplyBatch(const UpdateBatch& batch,
@@ -224,7 +225,8 @@ class H2hBackend : public DistanceIndex {
   BackendCapabilities capabilities() const override {
     return {.incremental_updates = true,
             .path_queries = false,
-            .cow_snapshots = false};
+            .cow_snapshots = false,
+            .fast_point_queries = true};
   }
 
   BatchExecution ApplyBatch(const UpdateBatch& batch,
@@ -288,7 +290,8 @@ class Hc2lBackend : public DistanceIndex {
   BackendCapabilities capabilities() const override {
     return {.incremental_updates = false,
             .path_queries = false,
-            .cow_snapshots = false};
+            .cow_snapshots = false,
+            .fast_point_queries = true};
   }
 
   BatchExecution ApplyBatch(const UpdateBatch& batch,

@@ -64,6 +64,11 @@ struct BackendCapabilities {
   /// Publishing shares structure with the master copy-on-write instead
   /// of deep-copying (STL's O(touched pages) publish).
   bool cow_snapshots = false;
+  /// Point queries are label lookups (a few cache lines per query)
+  /// rather than graph searches. The sharded engine's clique recompute
+  /// prefers |S_i|^2 / 2 view queries over |S_i| full Dijkstras when
+  /// this is set (index/overlay.h RebuildClique overloads).
+  bool fast_point_queries = false;
 };
 
 /// One immutable published epoch of a backend. Thread-safe for any

@@ -1,7 +1,11 @@
 #include "index/overlay.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstring>
 
+#include "graph/dijkstra.h"
+#include "index/distance_index.h"
 #include "util/logging.h"
 #include "util/min_heap.h"
 #include "util/simd.h"
@@ -141,10 +145,19 @@ ShardPlan BuildShardPlan(const Graph& g, const CellPartition& cells) {
 // -------------------------------------------------------- OverlayTable
 
 uint64_t OverlayTable::MemoryBytes() const {
-  uint64_t bytes = d_.capacity() * sizeof(Weight);
+  uint64_t bytes = rows_.MemoryBytes();
+  for (const PackedBlock& blk : packed_) bytes += blk.rows.MemoryBytes();
+  bytes += packed_.capacity() * sizeof(PackedBlock);
+  return bytes;
+}
+
+uint64_t OverlayTable::AddResidentBytes(
+    std::unordered_set<const void*>* seen) const {
+  uint64_t bytes = rows_.AddResidentBytes(seen);
   for (const PackedBlock& blk : packed_) {
-    bytes += blk.values.capacity() * sizeof(Weight);
+    bytes += blk.rows.AddResidentBytes(seen);
   }
+  bytes += packed_.capacity() * sizeof(PackedBlock);
   return bytes;
 }
 
@@ -156,13 +169,61 @@ void OverlayTable::MinPlusRowsInto(uint32_t s, const uint32_t* rows,
   const uint32_t width = blk.width;
   for (uint32_t i = 0; i < nrows; ++i) {
     STL_DCHECK(rows[i] < n_);
-    const Weight* row =
-        blk.values.data() + static_cast<size_t>(rows[i]) * width;
-    out[i] = MinPlusReduce(row, b, width);
+    out[i] = MinPlusReduce(blk.rows.Data(rows[i]), b, width);
   }
 }
 
 // ----------------------------------------------------- BoundaryOverlay
+
+namespace {
+
+using DirectAdjacency = std::vector<std::vector<std::pair<uint32_t, Weight>>>;
+
+// One-source Dijkstra over the combined overlay search graph. Reusable
+// across sources (stamp/epoch trick) — both the from-scratch rebuild
+// and the row repair run through this, so the two paths cannot
+// disagree on per-row values.
+class OverlaySearch {
+ public:
+  explicit OverlaySearch(const DirectAdjacency& adj)
+      : adj_(adj), dist_(adj.size()), stamp_(adj.size(), 0) {}
+
+  // Fills row[0..n) with exact distances from src (kInfDistance where
+  // unreached).
+  void Run(uint32_t src, Weight* row) {
+    const uint32_t n = static_cast<uint32_t>(dist_.size());
+    std::fill(row, row + n, kInfDistance);
+    ++epoch_;
+    heap_.clear();
+    auto relax = [&](uint32_t v, Weight d) {
+      if (stamp_[v] != epoch_ || d < dist_[v]) {
+        stamp_[v] = epoch_;
+        dist_[v] = d;
+        heap_.Push(d, v);
+      }
+    };
+    relax(src, 0);
+    while (!heap_.empty()) {
+      const auto top = heap_.Pop();
+      const uint32_t u = top.payload;
+      if (top.key != dist_[u] || stamp_[u] != epoch_) continue;
+      row[u] = top.key;
+      for (const auto& [v, w] : adj_[u]) {
+        if (stamp_[v] == epoch_ && dist_[v] <= top.key + w) continue;
+        relax(v, top.key + w);
+      }
+    }
+  }
+
+ private:
+  const DirectAdjacency& adj_;
+  std::vector<Weight> dist_;
+  std::vector<uint32_t> stamp_;
+  uint32_t epoch_ = 0;
+  MinHeap<Weight, uint32_t> heap_;
+};
+
+}  // namespace
 
 BoundaryOverlay::BoundaryOverlay(const ShardLayout* layout, const Graph& g)
     : layout_(layout) {
@@ -171,113 +232,438 @@ BoundaryOverlay::BoundaryOverlay(const ShardLayout* layout, const Graph& g)
   for (const ShardLayout::DirectEdge& de : layout->direct_edges) {
     direct_weight_.push_back(g.EdgeWeight(de.global_edge));
   }
+  direct_touch_stamp_.assign(layout->direct_edges.size(), 0);
   clique_.resize(layout->num_shards());
+  clique_published_.resize(layout->num_shards());
+  clique_dirty_.assign(layout->num_shards(), 0);
 }
 
 void BoundaryOverlay::SetDirectWeight(uint32_t direct_slot, Weight w) {
   STL_CHECK_LT(direct_slot, direct_weight_.size());
+  // First touch this publish cycle records the published weight, so a
+  // later Publish sees the true old->new delta even across repeated
+  // writes (including writes that revert in place and drop out).
+  if (direct_touch_stamp_[direct_slot] != publish_seq_) {
+    direct_touch_stamp_[direct_slot] = publish_seq_;
+    pending_direct_.emplace_back(direct_slot, direct_weight_[direct_slot]);
+  }
   direct_weight_[direct_slot] = w;
 }
 
-void BoundaryOverlay::RebuildClique(uint32_t s, const IndexView& view) {
+void BoundaryOverlay::RebuildClique(uint32_t s, const Graph& shard_graph,
+                                    OverlayExecutor* executor) {
   STL_CHECK_LT(s, clique_.size());
   const ShardLayout::Shard& shard = layout_->shards[s];
   const uint32_t w = static_cast<uint32_t>(shard.boundary_local.size());
-  clique_[s].assign(static_cast<size_t>(w) * w, 0);
-  for (uint32_t i = 0; i < w; ++i) {
-    for (uint32_t j = i + 1; j < w; ++j) {
-      const Weight d =
-          view.Query(shard.boundary_local[i], shard.boundary_local[j]);
-      clique_[s][static_cast<size_t>(i) * w + j] = d;
-      clique_[s][static_cast<size_t>(j) * w + i] = d;
+  std::vector<Weight> fresh(static_cast<size_t>(w) * w, 0);
+  if (w > 0) {
+    // One full Dijkstra per boundary source over the shard subgraph.
+    // Every backend's ApplyBatch writes new weights into this graph, so
+    // the rows equal the shard index's exact point-to-point answers.
+    // Workers claim sources from a shared counter and write disjoint
+    // rows; the executor joins them before Run returns.
+    std::atomic<uint32_t> next{0};
+    auto worker = [&]() {
+      Dijkstra dij(shard_graph);
+      for (;;) {
+        const uint32_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= w) break;
+        const std::vector<Weight>& dist =
+            dij.AllDistances(shard.boundary_local[i]);
+        Weight* row = fresh.data() + static_cast<size_t>(i) * w;
+        for (uint32_t j = 0; j < w; ++j) {
+          row[j] = std::min(dist[shard.boundary_local[j]], kInfDistance);
+        }
+        row[i] = 0;
+      }
+    };
+    if (executor != nullptr && w > 1 && executor->Width() > 1) {
+      executor->Run(worker);
+    } else {
+      worker();
     }
+  }
+  InstallClique(s, w, std::move(fresh));
+}
+
+void BoundaryOverlay::RebuildClique(uint32_t s, const IndexView& view,
+                                    OverlayExecutor* executor) {
+  STL_CHECK_LT(s, clique_.size());
+  const ShardLayout::Shard& shard = layout_->shards[s];
+  const uint32_t w = static_cast<uint32_t>(shard.boundary_local.size());
+  std::vector<Weight> fresh(static_cast<size_t>(w) * w, 0);
+  if (w > 1) {
+    // One point query per unordered pair against the shard's published
+    // epoch. Each worker owns every pair of its claimed source i (the
+    // i-th row's upper triangle plus the mirrored column entries), so
+    // concurrent workers write disjoint matrix cells.
+    std::atomic<uint32_t> next{0};
+    auto worker = [&]() {
+      for (;;) {
+        const uint32_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= w) break;
+        Weight* row = fresh.data() + static_cast<size_t>(i) * w;
+        for (uint32_t j = i + 1; j < w; ++j) {
+          const Weight d = std::min(
+              view.Query(shard.boundary_local[i], shard.boundary_local[j]),
+              kInfDistance);
+          row[j] = d;
+          fresh[static_cast<size_t>(j) * w + i] = d;
+        }
+      }
+    };
+    // Point queries are so cheap that fanning out only pays once the
+    // pair count dwarfs the enqueue/join round-trip; below that the
+    // writer finishes faster alone.
+    constexpr uint32_t kMinSourcesForFanOut = 32;
+    if (executor != nullptr && executor->Width() > 1 &&
+        w >= kMinSourcesForFanOut) {
+      executor->Run(worker);
+    } else {
+      worker();
+    }
+  }
+  InstallClique(s, w, std::move(fresh));
+}
+
+const std::vector<std::vector<std::pair<uint32_t, Weight>>>&
+BoundaryOverlay::SearchAdjacency() {
+  const uint32_t n = layout_->num_boundary();
+  search_adj_.resize(n);
+  for (auto& arcs : search_adj_) arcs.clear();  // keeps capacity
+  adj_stamp_.assign(n, UINT32_MAX);
+  adj_slot_.resize(n);
+  // Direct S–S arcs first (registered for min-combining below).
+  for (uint32_t i = 0; i < layout_->direct_edges.size(); ++i) {
+    const ShardLayout::DirectEdge& de = layout_->direct_edges[i];
+    const Weight w = direct_weight_[i];
+    if (w >= kInfDistance) continue;
+    search_adj_[de.a_pos].emplace_back(de.b_pos, w);
+    search_adj_[de.b_pos].emplace_back(de.a_pos, w);
+  }
+  for (uint32_t u = 0; u < n; ++u) {
+    auto& out = search_adj_[u];
+    for (uint32_t i = 0; i < out.size(); ++i) {
+      const uint32_t v = out[i].first;
+      if (adj_stamp_[v] != u) {
+        adj_stamp_[v] = u;
+        adj_slot_[v] = i;
+      }
+    }
+    auto add = [&](uint32_t v, Weight w) {
+      if (v == u || w >= kInfDistance) return;
+      if (adj_stamp_[v] != u) {
+        adj_stamp_[v] = u;
+        adj_slot_[v] = static_cast<uint32_t>(out.size());
+        out.emplace_back(v, w);
+      } else if (w < out[adj_slot_[v]].second) {
+        out[adj_slot_[v]].second = w;  // parallel arc: keep the cheapest
+      }
+    };
+    for (const auto& [s, idx] : layout_->memberships[u]) {
+      const ShardLayout::Shard& shard = layout_->shards[s];
+      const uint32_t width =
+          static_cast<uint32_t>(shard.boundary_pos.size());
+      STL_DCHECK(clique_[s].size() == static_cast<size_t>(width) * width);
+      const Weight* crow =
+          clique_[s].data() + static_cast<size_t>(idx) * width;
+      for (uint32_t j = 0; j < width; ++j) {
+        add(shard.boundary_pos[j], crow[j]);
+      }
+    }
+  }
+  return search_adj_;
+}
+
+void BoundaryOverlay::InstallClique(uint32_t s, uint32_t w,
+                                    std::vector<Weight> fresh) {
+  STL_CHECK(clique_[s].empty() ||
+            clique_[s].size() == static_cast<size_t>(w) * w);
+  clique_[s] = std::move(fresh);
+  pending_clique_entries_ +=
+      static_cast<uint64_t>(w) * (w > 0 ? w - 1 : 0) / 2;
+  if (!clique_dirty_[s]) {
+    clique_dirty_[s] = 1;
+    dirty_shards_.push_back(s);
   }
 }
 
-std::shared_ptr<const OverlayTable> BoundaryOverlay::Publish() const {
-  auto table = std::make_shared<OverlayTable>();
-  const uint32_t n = layout_->num_boundary();
-  table->n_ = n;
-  table->d_.assign(static_cast<size_t>(n) * n, kInfDistance);
-  if (n > 0) {
-    // Direct adjacency, deduplicated to the minimum parallel weight
-    // (the graph has no parallel edges, but positions don't care).
-    std::vector<std::vector<std::pair<uint32_t, Weight>>> direct(n);
-    for (uint32_t i = 0; i < layout_->direct_edges.size(); ++i) {
-      const ShardLayout::DirectEdge& de = layout_->direct_edges[i];
-      direct[de.a_pos].emplace_back(de.b_pos, direct_weight_[i]);
-      direct[de.b_pos].emplace_back(de.a_pos, direct_weight_[i]);
-    }
+void BoundaryOverlay::OverrideCliqueEntryForTest(uint32_t s, uint32_t i,
+                                                uint32_t j, Weight w) {
+  STL_CHECK_LT(s, clique_.size());
+  const uint32_t width =
+      static_cast<uint32_t>(layout_->shards[s].boundary_local.size());
+  STL_CHECK(i < width && j < width && i != j);
+  STL_CHECK_EQ(clique_[s].size(), static_cast<size_t>(width) * width);
+  clique_[s][static_cast<size_t>(i) * width + j] = w;
+  clique_[s][static_cast<size_t>(j) * width + i] = w;
+  if (!clique_dirty_[s]) {
+    clique_dirty_[s] = 1;
+    dirty_shards_.push_back(s);
+  }
+}
 
-    // One Dijkstra per boundary vertex over the overlay graph: direct
-    // S–S edges plus, for every shard listing the settled vertex in
-    // S_i, that shard's clique row.
-    std::vector<Weight> dist(n);
-    std::vector<uint32_t> stamp(n, 0);
-    uint32_t epoch = 0;
-    MinHeap<Weight, uint32_t> heap;
-    for (uint32_t src = 0; src < n; ++src) {
-      ++epoch;
-      heap.clear();
-      Weight* row = table->d_.data() + static_cast<size_t>(src) * n;
-      auto relax = [&](uint32_t v, Weight d) {
-        if (stamp[v] != epoch || d < dist[v]) {
-          stamp[v] = epoch;
-          dist[v] = d;
-          heap.Push(d, v);
-        }
-      };
-      relax(src, 0);
-      while (!heap.empty()) {
-        const auto top = heap.Pop();
-        const uint32_t u = top.payload;
-        if (top.key != dist[u] || stamp[u] != epoch) continue;
-        row[u] = top.key;
-        for (const auto& [v, w] : direct[u]) {
-          if (stamp[v] == epoch && dist[v] <= top.key + w) continue;
-          relax(v, top.key + w);
-        }
-        for (const auto& [s, idx] : layout_->memberships[u]) {
-          const ShardLayout::Shard& shard = layout_->shards[s];
-          const uint32_t width =
-              static_cast<uint32_t>(shard.boundary_pos.size());
-          STL_DCHECK(clique_[s].size() ==
-                     static_cast<size_t>(width) * width);
-          const Weight* crow =
-              clique_[s].data() + static_cast<size_t>(idx) * width;
-          for (uint32_t j = 0; j < width; ++j) {
-            if (crow[j] >= kInfDistance) continue;
-            const Weight cand = top.key + crow[j];
-            const uint32_t v = shard.boundary_pos[j];
-            if (stamp[v] == epoch && dist[v] <= cand) continue;
-            relax(v, cand);
+std::shared_ptr<const OverlayTable> BoundaryOverlay::Publish(
+    bool allow_repair, OverlayPublishStats* stats) {
+  OverlayPublishStats st;
+  const uint32_t n = layout_->num_boundary();
+  st.rows_total = n;
+  st.clique_entries_recomputed = pending_clique_entries_;
+  pending_clique_entries_ = 0;
+
+  // Materialise the overlay-edge changes accumulated since the last
+  // publish. Clique changes diff the current cliques against their
+  // published shadow, so repeated rebuilds of one shard coalesce into
+  // one old->new record per entry; direct edges use their first-touch
+  // records the same way.
+  std::vector<ChangedEdge> changes;
+  bool diffable = true;
+  for (uint32_t s : dirty_shards_) {
+    const ShardLayout::Shard& shard = layout_->shards[s];
+    const uint32_t width =
+        static_cast<uint32_t>(shard.boundary_local.size());
+    const std::vector<Weight>& cur = clique_[s];
+    std::vector<Weight>& pub = clique_published_[s];
+    if (pub.size() != cur.size()) {
+      diffable = false;  // first build of this shard: nothing to diff
+    } else {
+      for (uint32_t i = 0; i < width; ++i) {
+        for (uint32_t j = i + 1; j < width; ++j) {
+          const Weight ov = pub[static_cast<size_t>(i) * width + j];
+          const Weight nv = cur[static_cast<size_t>(i) * width + j];
+          if (ov != nv) {
+            changes.push_back(ChangedEdge{shard.boundary_pos[i],
+                                          shard.boundary_pos[j], ov, nv});
           }
         }
       }
     }
+    pub = cur;
+    clique_dirty_[s] = 0;
   }
+  dirty_shards_.clear();
+  for (const auto& [slot, old_w] : pending_direct_) {
+    if (direct_weight_[slot] == old_w) continue;  // reverted in place
+    const ShardLayout::DirectEdge& de = layout_->direct_edges[slot];
+    changes.push_back(
+        ChangedEdge{de.a_pos, de.b_pos, old_w, direct_weight_[slot]});
+  }
+  pending_direct_.clear();
+  ++publish_seq_;
 
-  // Packed per-shard column blocks for the router's contiguous min-plus.
-  table->packed_.resize(layout_->num_shards());
-  for (uint32_t s = 0; s < layout_->num_shards(); ++s) {
-    const ShardLayout::Shard& shard = layout_->shards[s];
-    OverlayTable::PackedBlock& blk = table->packed_[s];
-    blk.width = static_cast<uint32_t>(shard.boundary_pos.size());
-    blk.values.resize(static_cast<size_t>(n) * blk.width);
-    for (uint32_t a = 0; a < n; ++a) {
-      const Weight* row = table->d_.data() + static_cast<size_t>(a) * n;
-      Weight* out = blk.values.data() + static_cast<size_t>(a) * blk.width;
-      for (uint32_t j = 0; j < blk.width; ++j) {
-        out[j] = row[shard.boundary_pos[j]];
-      }
-    }
+  std::shared_ptr<const OverlayTable> table;
+  if (allow_repair && diffable && last_ != nullptr && last_->n_ == n) {
+    table = Repair(changes, &st);
   }
+  if (table == nullptr) table = FullRebuild(&st);
+  last_ = table;
+  if (stats != nullptr) *stats = st;
   return table;
 }
 
+std::shared_ptr<const OverlayTable> BoundaryOverlay::FullRebuild(
+    OverlayPublishStats* st) {
+  auto table = std::make_shared<OverlayTable>();
+  const uint32_t n = layout_->num_boundary();
+  const uint32_t k = layout_->num_shards();
+  table->n_ = n;
+  table->rows_.Reserve(n);
+  table->packed_.resize(k);
+  for (uint32_t s = 0; s < k; ++s) {
+    table->packed_[s].width =
+        static_cast<uint32_t>(layout_->shards[s].boundary_pos.size());
+    table->packed_[s].rows.Reserve(n);
+  }
+  if (n > 0) {
+    const DirectAdjacency& adj = SearchAdjacency();
+    OverlaySearch search(adj);
+    std::vector<Weight> row(n);
+    for (uint32_t src = 0; src < n; ++src) {
+      search.Run(src, row.data());
+      table->rows_.Append(row);
+      for (uint32_t s = 0; s < k; ++s) {
+        const ShardLayout::Shard& shard = layout_->shards[s];
+        OverlayTable::PackedBlock& blk = table->packed_[s];
+        std::vector<Weight> packed(blk.width);
+        for (uint32_t j = 0; j < blk.width; ++j) {
+          packed[j] = row[shard.boundary_pos[j]];
+        }
+        blk.rows.Append(std::move(packed));
+      }
+    }
+  }
+  st->full_rebuild = true;
+  st->rows_repaired = n;
+  st->rows_patched = 0;
+  st->rows_shared = 0;
+  st->bytes_shared = 0;
+  return table;
+}
+
+std::shared_ptr<const OverlayTable> BoundaryOverlay::Repair(
+    const std::vector<ChangedEdge>& changes, OverlayPublishStats* st) {
+  const uint32_t n = layout_->num_boundary();
+  uint64_t row_payload = static_cast<uint64_t>(n) * sizeof(Weight);
+  for (uint32_t s = 0; s < layout_->num_shards(); ++s) {
+    row_payload += layout_->shards[s].boundary_pos.size() * sizeof(Weight);
+  }
+  if (changes.empty()) {
+    // Clean batch (shard-internal updates that left every
+    // boundary-to-boundary distance alone): re-share the whole table.
+    auto table = std::make_shared<OverlayTable>(*last_);
+    st->rows_shared = n;
+    st->bytes_shared = static_cast<uint64_t>(n) * row_payload;
+    return table;
+  }
+
+  // Dirty-source set R, built asymmetrically:
+  //
+  //   decreases — both endpoints join R as ANCHORS: new shortest paths
+  //     can newly route through a cheapened edge, and the patch below
+  //     reaches every such path by splitting it at an endpoint. No
+  //     per-row test is needed for the rest.
+  //   increases — row a joins R iff some old shortest path from a used
+  //     an increased edge, detected by old-table tightness:
+  //     D_old[a][u] + w_old == D_old[a][v] (either orientation),
+  //     because shortest-path prefixes are shortest paths. An increased
+  //     edge tight from NO row was on no shortest path, and paths
+  //     through it only got worse — it cannot change any distance, so
+  //     (unlike decreases) its endpoints need no unconditional re-run.
+  //
+  // A pure-increase batch therefore has no anchors at all: tagged rows
+  // re-run, every other row is provably byte-stable and just shares.
+  std::vector<uint8_t> in_r(n, 0);
+  std::vector<uint32_t> anchors;
+  std::vector<const ChangedEdge*> increases;
+  for (const ChangedEdge& ce : changes) {
+    if (ce.new_w > ce.old_w) {
+      increases.push_back(&ce);
+      continue;
+    }
+    for (const uint32_t p : {ce.a_pos, ce.b_pos}) {
+      if (!in_r[p]) {
+        in_r[p] = 1;
+        anchors.push_back(p);
+      }
+    }
+  }
+  std::vector<uint32_t> dirty_rows = anchors;
+  if (!increases.empty()) {
+    for (uint32_t a = 0; a < n; ++a) {
+      if (in_r[a]) continue;
+      const Weight* row = last_->rows_.Data(a);
+      for (const ChangedEdge* ce : increases) {
+        const uint64_t du = row[ce->a_pos];
+        const uint64_t dv = row[ce->b_pos];
+        const uint64_t w = ce->old_w;
+        if (du + w == dv || dv + w == du) {
+          in_r[a] = 1;
+          dirty_rows.push_back(a);
+          break;
+        }
+      }
+    }
+  }
+  if (static_cast<double>(dirty_rows.size()) >
+      repair_threshold_ * static_cast<double>(n)) {
+    return nullptr;  // repair would touch too much; rebuild instead
+  }
+
+  auto table = std::make_shared<OverlayTable>(*last_);
+  const DirectAdjacency& adj = SearchAdjacency();
+  OverlaySearch search(adj);
+  std::vector<Weight> scratch(n);
+  uint64_t rows_rewritten = 0;
+  for (const uint32_t r : dirty_rows) {
+    search.Run(r, scratch.data());
+    if (std::memcmp(scratch.data(), table->rows_.Data(r),
+                    static_cast<size_t>(n) * sizeof(Weight)) != 0) {
+      WriteRow(table.get(), r, scratch.data());
+      ++rows_rewritten;
+    }
+  }
+  st->rows_repaired = dirty_rows.size();
+
+  // Patch every remaining row a exactly:
+  //   D_new[a][b] = min(D_old[a][b], min_{u in anchors} D'[u][a] + D'[u][b])
+  // Upper bound: a is untagged, so every old shortest path from a
+  // avoids every increased edge; such a path only got cheaper under
+  // the batch, so D_new <= D_old — and the anchor candidates are real
+  // path lengths. Lower bound: a new shortest path either avoids all
+  // changed edges (old length, >= D_old[a][b]), or routes through a
+  // decreased edge, where splitting at that edge's endpoint u (an
+  // anchor) gives D'[u][a] + D'[u][b]; using only increased edges is
+  // impossible for an untagged row — the same path was cheaper before
+  // the batch, so it would contradict D_old's optimality. Anchor rows
+  // were re-run above, so D' is exact new distances.
+  if (!anchors.empty()) {
+    std::vector<const Weight*> anchor_rows;
+    anchor_rows.reserve(anchors.size());
+    for (const uint32_t u : anchors) {
+      anchor_rows.push_back(table->rows_.Data(u));
+    }
+    for (uint32_t a = 0; a < n; ++a) {
+      if (in_r[a]) continue;
+      std::memcpy(scratch.data(), table->rows_.Data(a),
+                  static_cast<size_t>(n) * sizeof(Weight));
+      bool changed = false;
+      for (size_t ui = 0; ui < anchors.size(); ++ui) {
+        const Weight cu = anchor_rows[ui][a];
+        if (cu >= kInfDistance) continue;
+        const Weight* ru = anchor_rows[ui];
+        for (uint32_t b = 0; b < n; ++b) {
+          // cu + ru[b] <= 2 * kInfDistance: no uint32 wrap, and any
+          // candidate involving an unreachable leg stays >= kInfDistance
+          // so it never undercuts a real entry.
+          const Weight cand = cu + ru[b];
+          if (cand < scratch[b]) {
+            scratch[b] = cand;
+            changed = true;
+          }
+        }
+      }
+      if (changed) {
+        WriteRow(table.get(), a, scratch.data());
+        ++st->rows_patched;
+        ++rows_rewritten;
+      }
+    }
+  }
+  st->rows_shared = n - rows_rewritten;
+  st->bytes_shared = st->rows_shared * row_payload;
+  return table;
+}
+
+void BoundaryOverlay::WriteRow(OverlayTable* table, uint32_t r,
+                               const Weight* values) {
+  const uint32_t n = table->n_;
+  std::memcpy(table->rows_.Writable(r), values,
+              static_cast<size_t>(n) * sizeof(Weight));
+  for (uint32_t s = 0; s < table->packed_.size(); ++s) {
+    const ShardLayout::Shard& shard = layout_->shards[s];
+    OverlayTable::PackedBlock& blk = table->packed_[s];
+    Weight* out = blk.rows.Writable(r);
+    for (uint32_t j = 0; j < blk.width; ++j) {
+      out[j] = values[shard.boundary_pos[j]];
+    }
+  }
+}
+
 uint64_t BoundaryOverlay::MemoryBytes() const {
-  uint64_t bytes = direct_weight_.capacity() * sizeof(Weight);
+  uint64_t bytes = direct_weight_.capacity() * sizeof(Weight) +
+                   direct_touch_stamp_.capacity() * sizeof(uint32_t) +
+                   pending_direct_.capacity() *
+                       sizeof(std::pair<uint32_t, Weight>) +
+                   clique_dirty_.capacity() +
+                   dirty_shards_.capacity() * sizeof(uint32_t);
   for (const auto& c : clique_) bytes += c.capacity() * sizeof(Weight);
+  for (const auto& c : clique_published_) {
+    bytes += c.capacity() * sizeof(Weight);
+  }
+  for (const auto& arcs : search_adj_) {
+    bytes += arcs.capacity() * sizeof(std::pair<uint32_t, Weight>);
+  }
+  bytes += (adj_stamp_.capacity() + adj_slot_.capacity()) * sizeof(uint32_t);
   return bytes;
 }
 

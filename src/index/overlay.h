@@ -25,19 +25,34 @@
 // Update locality: a weight change inside cell i touches shard i's
 // index and the overlay only — every other shard's published epoch
 // stays byte-identical and is re-shared by pointer.
+//
+// Incremental repair (docs/ARCHITECTURE.md "Incremental overlay
+// repair"): the overlay master diffs every clique rebuild and direct
+// weight write against its previous published table, derives the set
+// of boundary ROWS whose distances can have changed, re-runs Dijkstra
+// only from those sources, min-plus-patches the rest through the
+// recomputed anchor rows, and pointer-shares every untouched row with
+// the previous epoch through per-row copy-on-write chunks
+// (util/cow_chunks.h). A from-scratch rebuild remains the fallback
+// when the dirty set passes the repair threshold (or the caller
+// disallows repair, e.g. under fault injection).
 #ifndef STL_INDEX_OVERLAY_H_
 #define STL_INDEX_OVERLAY_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "graph/graph.h"
-#include "index/distance_index.h"
 #include "partition/cells.h"
+#include "util/cow_chunks.h"
 
 namespace stl {
+
+class IndexView;  // index/distance_index.h
 
 /// Immutable mapping between the full graph and its shards: vertex and
 /// edge ownership, local renumberings, and the boundary bookkeeping the
@@ -125,10 +140,55 @@ struct ShardPlan {
 /// Dies if `cells` does not describe `g` (sizes, separator property).
 ShardPlan BuildShardPlan(const Graph& g, const CellPartition& cells);
 
+/// Minimal fan-out surface for BoundaryOverlay::RebuildClique: Run()
+/// must invoke `worker` Width() times — possibly concurrently — and
+/// return only after every invocation has completed. Workers pull
+/// sources from a shared atomic counter, so running fewer copies (or
+/// all of them inline) is always correct, just slower.
+class OverlayExecutor {
+ public:
+  virtual ~OverlayExecutor() = default;  ///< Executors are caller-owned.
+
+  /// Suggested concurrent worker count (e.g. the reader-pool width).
+  virtual uint32_t Width() const = 0;
+
+  /// Runs `worker()` Width() times and joins them all before returning.
+  virtual void Run(const std::function<void()>& worker) = 0;
+};
+
+/// Per-publish statistics of the boundary overlay: how much of the
+/// table the incremental repair actually had to recompute, and how much
+/// was pointer-shared with the previous epoch.
+struct OverlayPublishStats {
+  /// Rows of the published table (the boundary vertex count n).
+  uint64_t rows_total = 0;
+  /// Rows recomputed by a full Dijkstra run (the dirty-source set R; n
+  /// when the publish fell back to the from-scratch rebuild).
+  uint64_t rows_repaired = 0;
+  /// Non-dirty rows whose values moved under the anchor min-plus patch
+  /// (decrease propagation) and were rewritten.
+  uint64_t rows_patched = 0;
+  /// Rows pointer-shared with the previous published table — every row
+  /// not rewritten to new bytes: untouched rows plus dirty rows whose
+  /// re-run reproduced the old values exactly (so a row can count in
+  /// both rows_repaired and rows_shared).
+  uint64_t rows_shared = 0;
+  /// Clique entries recomputed by RebuildClique calls since the last
+  /// publish (sum of |S_i| * (|S_i| - 1) / 2 over rebuilt shards).
+  uint64_t clique_entries_recomputed = 0;
+  /// Payload bytes of the shared rows (full-table plus packed copies).
+  uint64_t bytes_shared = 0;
+  /// True when this publish ran the from-scratch all-pairs rebuild
+  /// (first publish, repair disallowed, or dirty set over threshold).
+  bool full_rebuild = false;
+};
+
 /// One immutable published epoch of the boundary overlay: the exact
 /// full-graph distance between every pair of boundary vertices, plus
 /// per-shard packed copies of the rows so the router's inner min-plus
-/// loop reads contiguous memory (util/simd.h kernels).
+/// loop reads contiguous memory (util/simd.h kernels). Rows live in
+/// per-row copy-on-write chunks: consecutive epochs pointer-share every
+/// row the producing batch left clean.
 class OverlayTable {
  public:
   /// An empty table (no boundary vertices; k == 1 layouts).
@@ -141,13 +201,15 @@ class OverlayTable {
   /// when unreachable).
   Weight At(uint32_t a, uint32_t b) const {
     STL_DCHECK(a < n_ && b < n_);
-    return d_[static_cast<size_t>(a) * n_ + b];
+    return rows_.Data(a)[b];
   }
 
-  /// Row a of the full table (n entries).
+  /// Row a of the full table (n entries). Row pointers double as
+  /// physical identity: equal pointers across epochs mean the row is
+  /// CoW-shared, not copied.
   const Weight* Row(uint32_t a) const {
     STL_DCHECK(a < n_);
-    return d_.data() + static_cast<size_t>(a) * n_;
+    return rows_.Data(a);
   }
 
   /// Row a restricted to shard `s`'s boundary set, packed contiguously
@@ -155,8 +217,7 @@ class OverlayTable {
   const Weight* PackedRow(uint32_t s, uint32_t a) const {
     STL_DCHECK(s < packed_.size());
     STL_DCHECK(a < n_);
-    const PackedBlock& blk = packed_[s];
-    return blk.values.data() + static_cast<size_t>(a) * blk.width;
+    return packed_[s].rows.Data(a);
   }
 
   /// The packed-row batch entry point for batched routing: for each of
@@ -170,28 +231,36 @@ class OverlayTable {
   void MinPlusRowsInto(uint32_t s, const uint32_t* rows, uint32_t nrows,
                        const Weight* b, Weight* out) const;
 
-  /// Resident bytes of the table and its packed copies.
+  /// Resident bytes of the table and its packed copies, counting shared
+  /// rows as if owned (see AddResidentBytes for deduplication).
   uint64_t MemoryBytes() const;
+
+  /// Adds this table's resident bytes to a running total, counting each
+  /// physical row chunk once across every call sharing `seen` — the
+  /// honest footprint under cross-epoch row sharing. Returns the bytes
+  /// newly added.
+  uint64_t AddResidentBytes(std::unordered_set<const void*>* seen) const;
 
  private:
   friend class BoundaryOverlay;
 
-  /// Per-shard packed column block: n rows of |S_i| entries.
+  /// Per-shard packed column block: n row chunks of |S_i| entries.
   struct PackedBlock {
     uint32_t width = 0;
-    std::vector<Weight> values;
+    CowChunks<Weight> rows;
   };
 
   uint32_t n_ = 0;
-  std::vector<Weight> d_;            // n x n, row-major
+  CowChunks<Weight> rows_;           // n chunks of n entries each
   std::vector<PackedBlock> packed_;  // one block per shard
 };
 
 /// The writer-owned overlay master. Holds the mutable inputs — direct
-/// S–S edge weights and one distance clique per shard — and publishes
-/// immutable OverlayTables by running an all-pairs Dijkstra over the
-/// small overlay graph. Not thread-safe; the engine's single-writer
-/// discipline applies.
+/// S–S edge weights and one distance clique per shard — plus the diff
+/// bookkeeping incremental repair needs, and publishes immutable
+/// OverlayTables. Not thread-safe; the engine's single-writer
+/// discipline applies (RebuildClique may fan work out through an
+/// OverlayExecutor, but only one RebuildClique/Publish runs at a time).
 class BoundaryOverlay {
  public:
   /// Binds to `layout` (not owned; must outlive the overlay) and seeds
@@ -201,26 +270,123 @@ class BoundaryOverlay {
   BoundaryOverlay(const ShardLayout* layout, const Graph& g);
 
   /// Updates the weight of direct overlay edge `direct_slot` (an index
-  /// into ShardLayout::direct_edges).
+  /// into ShardLayout::direct_edges), recording the change for the next
+  /// Publish's repair.
   void SetDirectWeight(uint32_t direct_slot, Weight w);
 
-  /// Recomputes shard `s`'s boundary-to-boundary distance clique by
-  /// querying its freshly published view (|S_s|^2 / 2 queries).
-  void RebuildClique(uint32_t s, const IndexView& view);
+  /// Recomputes shard `s`'s boundary-to-boundary distance clique from
+  /// its current subgraph weights: one Dijkstra per boundary source
+  /// over `shard_graph`. `executor` fans the per-source searches out
+  /// (nullptr runs them inline on the caller). The shard is marked
+  /// dirty; the next Publish diffs its clique against the published
+  /// state, so repeated rebuilds of one shard coalesce into one
+  /// old->new delta per entry. Prefer this form for backends whose
+  /// point queries are themselves graph searches (CH): |S_s| Dijkstras
+  /// beat |S_s|^2 / 2 bidirectional searches.
+  void RebuildClique(uint32_t s, const Graph& shard_graph,
+                     OverlayExecutor* executor = nullptr);
 
-  /// Runs the all-pairs overlay Dijkstra over the current direct
-  /// weights and cliques, and returns the resulting immutable table.
-  std::shared_ptr<const OverlayTable> Publish() const;
+  /// Same contract, computed as |S_s|^2 / 2 point queries against the
+  /// shard's freshly published epoch `view` instead of raw Dijkstras.
+  /// Preferred for label backends (capabilities().fast_point_queries):
+  /// a label merge per pair is far cheaper than settling the whole
+  /// subgraph per source. Workers claim sources from a shared counter,
+  /// so `executor` fan-out is safe for any view (epochs are immutable
+  /// and reader-concurrent).
+  void RebuildClique(uint32_t s, const IndexView& view,
+                     OverlayExecutor* executor = nullptr);
+
+  /// Test / diagnostic hook: overwrites clique entry (i, j) of shard
+  /// `s` (symmetrically) and records the change for the next Publish's
+  /// repair, as if a clique rebuild had produced it. kInfDistance
+  /// models an in-shard disconnect — weight-only update streams cannot
+  /// produce infinite-distance transitions, so repair's handling of
+  /// them is exercised through this hook (tests/overlay_test.cc).
+  void OverrideCliqueEntryForTest(uint32_t s, uint32_t i, uint32_t j,
+                                  Weight w);
+
+  /// Publishes the next immutable table. With a previous table on file
+  /// and `allow_repair`, runs incremental row repair: rows whose
+  /// distances can have changed (endpoints of changed overlay edges,
+  /// plus rows whose old shortest paths could have used an increased
+  /// edge) are re-run through Dijkstra; the rest are min-plus-patched
+  /// through the recomputed anchor rows and pointer-share their chunks
+  /// with the previous epoch when unchanged. Falls back to the
+  /// from-scratch rebuild when the dirty-row set exceeds
+  /// set_repair_threshold's fraction of n (or on the first publish /
+  /// `allow_repair == false`). Either path yields the exact all-pairs
+  /// table — bit-identical, since exact distances are unique.
+  std::shared_ptr<const OverlayTable> Publish(
+      bool allow_repair = true, OverlayPublishStats* stats = nullptr);
+
+  /// Sets the repair fallback threshold: when more than `fraction` of
+  /// the n boundary rows need a Dijkstra re-run, Publish rebuilds from
+  /// scratch instead. A repaired row costs the same Dijkstra as a
+  /// rebuilt one and the min-plus patch over the remaining rows is
+  /// cheap (O((n - R) * R * n) adds), so repair keeps winning until R
+  /// approaches n — hence the high default (0.75).
+  void set_repair_threshold(double fraction) {
+    repair_threshold_ = fraction;
+  }
 
   /// Resident bytes of the mutable overlay state.
   uint64_t MemoryBytes() const;
 
  private:
+  /// One overlay edge whose weight changed since the last publish
+  /// (direct S–S edge or per-shard clique entry), with both weights.
+  struct ChangedEdge {
+    uint32_t a_pos;
+    uint32_t b_pos;
+    Weight old_w;
+    Weight new_w;
+  };
+
+  // The from-scratch all-pairs build (also the repair fallback).
+  std::shared_ptr<const OverlayTable> FullRebuild(OverlayPublishStats* st);
+  // The incremental path; returns nullptr when the dirty-row set is
+  // over threshold (caller falls back to FullRebuild).
+  std::shared_ptr<const OverlayTable> Repair(
+      const std::vector<ChangedEdge>& changes, OverlayPublishStats* st);
+  // Rewrites row r (full row + per-shard packed copies) of `table`
+  // with `values`, detaching the row chunks from the previous epoch.
+  void WriteRow(OverlayTable* table, uint32_t r, const Weight* values);
+  // Installs a freshly computed w x w clique for shard s, accumulates
+  // the recompute counter and marks the shard dirty for the next
+  // Publish's diff (shared tail of both RebuildClique forms).
+  void InstallClique(uint32_t s, uint32_t w, std::vector<Weight> fresh);
+  // Rebuilds the combined per-source search graph — direct S–S arcs
+  // plus one arc per finite clique entry, min-combined per vertex pair
+  // — into search_adj_ and returns it. The scratch vectors keep their
+  // capacity across publishes, so steady-state repairs allocate
+  // nothing here.
+  const std::vector<std::vector<std::pair<uint32_t, Weight>>>&
+  SearchAdjacency();
+
   const ShardLayout* layout_;
   std::vector<Weight> direct_weight_;  // aligned with layout->direct_edges
   // Per shard: |S_i| x |S_i| row-major distance clique through that
   // shard only (kInfDistance where disconnected inside the shard).
   std::vector<std::vector<Weight>> clique_;
+
+  // --- repair bookkeeping (reset every Publish) ---
+  // Per-shard clique state as of the last publish: the diff base for
+  // change detection (clique_ vs clique_published_ at Publish time).
+  std::vector<std::vector<Weight>> clique_published_;
+  std::vector<uint8_t> clique_dirty_;   // shard rebuilt since publish
+  std::vector<uint32_t> dirty_shards_;  // dirty list, publish order
+  // (slot, weight before the first change this cycle) per touched
+  // direct edge; stamped so repeat writes keep the true old weight.
+  std::vector<std::pair<uint32_t, Weight>> pending_direct_;
+  std::vector<uint32_t> direct_touch_stamp_;
+  uint32_t publish_seq_ = 1;
+  uint64_t pending_clique_entries_ = 0;
+  double repair_threshold_ = 0.75;
+  std::shared_ptr<const OverlayTable> last_;  // previous published epoch
+  // SearchAdjacency scratch (writer-only, reused across publishes).
+  std::vector<std::vector<std::pair<uint32_t, Weight>>> search_adj_;
+  std::vector<uint32_t> adj_stamp_;
+  std::vector<uint32_t> adj_slot_;
 };
 
 }  // namespace stl

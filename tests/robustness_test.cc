@@ -566,6 +566,10 @@ TEST_P(ChaosBackendTest, InvariantsHoldUnderAllFaults) {
   faults.SetDelayMicros(FaultSite::kWriterStall, 2000);
   faults.SetRate(FaultSite::kApplyFailure, 0.3);
   faults.SetRate(FaultSite::kCompletionDropCandidate, 0.2);
+  // Armed for completeness of the matrix; the site lives on the
+  // sharded writer, so it never fires on the flat engine. The sharded
+  // test below asserts that it fires and that the fallback stays exact.
+  faults.SetRate(FaultSite::kOverlayRepair, 0.5);
 
   EngineOptions opt;
   opt.backend = GetParam();
@@ -731,6 +735,70 @@ TEST(ShardedRobustnessTest, OverloadMachineryWorksThroughShardedEngine) {
   EXPECT_EQ(t.distance(0), dij.Distance(0, n - 1));
   EXPECT_EQ(t.distance(1), dij.Distance(3, 11));
   EXPECT_EQ(t.distance(2), 0u);
+}
+
+// kOverlayRepair: the sharded writer treats incremental overlay repair
+// as infeasible whenever the site fires and takes the from-scratch
+// fallback instead. Both paths publish the same exact table, so every
+// epoch must stay Dijkstra-exact through a fault schedule that flips
+// between them — and once the fault clears, repair resumes (full
+// rebuilds stop accumulating under localized updates).
+TEST(ShardedRobustnessTest, OverlayRepairFaultFallsBackExactly) {
+  Graph g = testing_util::SmallRoadNetwork(7, 29);
+  const uint32_t n = g.NumVertices();
+  const uint32_t m = g.NumEdges();
+  SeededFaultInjector faults(29);
+  faults.SetRate(FaultSite::kOverlayRepair, 0.6);
+  ShardedEngineOptions opt;
+  opt.target_shards = 4;
+  opt.num_query_threads = 2;
+  opt.max_batch_size = 4;
+  opt.serving.fault_injector = &faults;
+  ShardedEngine engine(std::move(g), HierarchyOptions{}, opt);
+  Rng rng(29);
+  auto audit_epoch = [&](const char* phase) {
+    auto snap = engine.CurrentSnapshot();
+    Dijkstra dij(snap->graph);
+    for (int i = 0; i < 30; ++i) {
+      Vertex s = static_cast<Vertex>(rng.NextBounded(n));
+      Vertex t = static_cast<Vertex>(rng.NextBounded(n));
+      ASSERT_EQ(snap->Query(s, t), dij.Distance(s, t))
+          << phase << " s=" << s << " t=" << t;
+    }
+  };
+  for (int round = 0; round < 10; ++round) {
+    std::vector<WeightUpdate> updates;
+    for (int i = 0; i < 2; ++i) {
+      updates.push_back(
+          WeightUpdate{static_cast<EdgeId>(rng.NextBounded(m)), 0,
+                       1 + static_cast<Weight>(rng.NextBounded(300))});
+    }
+    engine.EnqueueUpdates(updates);
+    engine.Flush();
+    audit_epoch("faulted");
+  }
+  EXPECT_GT(faults.fired(FaultSite::kOverlayRepair), 0u);
+  EngineStats stats = engine.Stats();
+  EXPECT_GT(stats.overlay_full_rebuilds, 0u);
+  EXPECT_GT(stats.overlay_rows_total, 0u);
+
+  // Recovery: fault cleared, localized updates repair incrementally
+  // again — the full-rebuild counter stays flat.
+  faults.Clear();
+  const uint64_t rebuilds_at_clear = stats.overlay_full_rebuilds;
+  const uint64_t fired_at_clear = faults.fired(FaultSite::kOverlayRepair);
+  for (int round = 0; round < 6; ++round) {
+    const EdgeId e = static_cast<EdgeId>(rng.NextBounded(m));
+    engine.EnqueueUpdates({WeightUpdate{
+        e, 0, 1 + static_cast<Weight>(rng.NextBounded(300))}});
+    engine.Flush();
+    audit_epoch("recovered");
+  }
+  EXPECT_EQ(faults.fired(FaultSite::kOverlayRepair), fired_at_clear);
+  stats = engine.Stats();
+  EXPECT_GT(stats.epochs_published, 10u);
+  EXPECT_LT(stats.overlay_full_rebuilds - rebuilds_at_clear, 6u)
+      << "repair never resumed after the fault cleared";
 }
 
 }  // namespace
