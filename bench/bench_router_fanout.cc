@@ -1,0 +1,387 @@
+// Router fan-out bench: the SAME mixed query + update workload served
+// by the direct sharded engine and by the replicated ShardRouter tier
+// (loopback transport) at 1, 2 and 3 replicas per cell. Two phases per
+// configuration:
+//
+//   lockstep  — update batch, Flush, evaluate a fixed query set. Router
+//               answers must be BIT-IDENTICAL to the direct engine's on
+//               the same weights (both are exact); any divergence is a
+//               fan-out / wire / epoch-pinning bug.
+//   throughput— an updater thread streams batches at a fixed rate while
+//               closed-loop query waves run on the router's reader
+//               pool; reports qps, p50/p99, the RPC ledger (sent,
+//               retries, stale, failovers, duplicates dropped) — and
+//               Dijkstra-audits every answer on the exact epoch
+//               snapshot it was served from.
+//
+// Emits BENCH_router.json. --check turns the run into a CI guard
+// (structural, no timing): zero lockstep and audit mismatches at every
+// replica count, zero unavailable answers (loopback replicas are
+// always installed before publish), and a non-trivial RPC volume, with
+// the workload clamped small.
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "dist/shard_router.h"
+#include "engine/sharded_engine.h"
+#include "graph/dijkstra.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+#include "util/timer.h"
+#include "workload/query_workload.h"
+
+namespace stl {
+namespace {
+
+constexpr double kHotFraction = 0.25;
+constexpr size_t kHotPairs = 256;
+constexpr uint32_t kTargetShards = 4;
+
+struct FanoutSizes {
+  uint32_t grid_side;
+  size_t lockstep_rounds;
+  size_t lockstep_queries;
+  size_t queries;
+  size_t wave;
+  size_t update_rounds;
+  size_t batch_size;
+};
+
+FanoutSizes SizesForScale(BenchScale scale) {
+  switch (scale) {
+    case BenchScale::kSmall:
+      return {30, 6, 300, 4000, 100, 12, 8};
+    case BenchScale::kMedium:
+      return {50, 8, 400, 12000, 200, 24, 16};
+    case BenchScale::kLarge:
+      return {80, 10, 600, 30000, 300, 48, 32};
+  }
+  return {30, 6, 300, 4000, 100, 12, 8};
+}
+
+/// The deterministic lockstep update stream: alternating congest /
+/// restore batches on seeded random edges, identical for every tier.
+std::vector<WeightUpdate> LockstepBatch(const Graph& base, size_t round,
+                                        size_t batch_size) {
+  std::vector<WeightUpdate> batch;
+  batch.reserve(batch_size);
+  const bool restore = round % 2 == 1;
+  Rng ering(21000 + 13 * (round / 2));  // restore reuses the edges
+  for (size_t i = 0; i < batch_size; ++i) {
+    const EdgeId e =
+        static_cast<EdgeId>(ering.NextBounded(base.NumEdges()));
+    const Weight w0 = base.EdgeWeight(e);
+    const Weight target =
+        restore ? w0 : std::min<Weight>(w0 * 4, kMaxEdgeWeight);
+    batch.push_back(WeightUpdate{e, 0, target});
+  }
+  return batch;
+}
+
+struct TierRow {
+  uint32_t replicas = 0;  // 0 = direct engine (no transport)
+  double build_seconds = 0;
+  double qps = 0;
+  double p50 = 0;
+  double p99 = 0;
+  uint64_t epochs = 0;
+  uint64_t unavailable = 0;
+  uint64_t rpcs_sent = 0;
+  uint64_t rpc_retries = 0;
+  uint64_t rpc_stale = 0;
+  uint64_t rpc_failovers = 0;
+  uint64_t rpc_duplicates = 0;
+  uint64_t lockstep_mismatches = 0;
+  uint64_t audit_mismatches = 0;
+};
+
+/// Phase 1 answers (per round, per pair).
+using LockstepAnswers = std::vector<std::vector<Weight>>;
+
+template <typename Engine>
+LockstepAnswers RunLockstep(Engine& engine, const Graph& base,
+                            const FanoutSizes& sizes,
+                            const std::vector<QueryPair>& pairs) {
+  LockstepAnswers answers;
+  answers.reserve(sizes.lockstep_rounds);
+  for (size_t round = 0; round < sizes.lockstep_rounds; ++round) {
+    engine.EnqueueUpdates(LockstepBatch(base, round, sizes.batch_size));
+    engine.Flush();
+    std::vector<Weight> row;
+    row.reserve(pairs.size());
+    for (const QueryPair& q : pairs) {
+      row.push_back(engine.Submit(q).get().distance);
+    }
+    answers.push_back(std::move(row));
+  }
+  return answers;
+}
+
+uint64_t CountMismatches(const LockstepAnswers& a,
+                         const LockstepAnswers& b) {
+  uint64_t mismatches = 0;
+  for (size_t r = 0; r < a.size() && r < b.size(); ++r) {
+    for (size_t i = 0; i < a[r].size(); ++i) {
+      mismatches += a[r][i] != b[r][i];
+    }
+  }
+  return mismatches;
+}
+
+/// Phase 2: concurrent mixed workload with the per-epoch Dijkstra audit.
+template <typename Engine>
+void RunThroughput(Engine& engine, const Graph& base,
+                   const FanoutSizes& sizes, TierRow* row) {
+  engine.ResetStats();
+  std::vector<QueryPair> pairs = HotSpotQueryPairs(
+      base, sizes.queries, kHotFraction, kHotPairs, 6161);
+
+  std::thread updater([&] {
+    for (size_t round = 0; round < sizes.update_rounds; ++round) {
+      engine.EnqueueUpdates(LockstepBatch(base, round, sizes.batch_size));
+      std::this_thread::sleep_for(std::chrono::microseconds(300));
+    }
+  });
+
+  std::vector<ShardedQueryResult> results;
+  results.reserve(pairs.size());
+  std::vector<std::future<ShardedQueryResult>> wave;
+  wave.reserve(sizes.wave);
+  for (size_t i = 0; i < pairs.size(); i += sizes.wave) {
+    const size_t end = std::min(pairs.size(), i + sizes.wave);
+    wave.clear();
+    for (size_t j = i; j < end; ++j) wave.push_back(engine.Submit(pairs[j]));
+    for (auto& f : wave) results.push_back(f.get());
+  }
+  updater.join();
+  engine.Flush();
+
+  // Ground-truth audit: every answer vs Dijkstra on its serving epoch.
+  std::map<uint64_t, std::shared_ptr<const ShardedSnapshot>> snapshots;
+  for (const ShardedQueryResult& r : results) {
+    snapshots.emplace(r.epoch, r.snapshot);
+  }
+  std::map<uint64_t, std::unique_ptr<Dijkstra>> oracle;
+  for (auto& [epoch, snap] : snapshots) {
+    oracle.emplace(epoch, std::make_unique<Dijkstra>(snap->graph));
+  }
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ShardedQueryResult& r = results[i];
+    if (r.code != StatusCode::kOk ||
+        r.distance !=
+            oracle.at(r.epoch)->Distance(pairs[i].first, pairs[i].second)) {
+      ++row->audit_mismatches;
+    }
+  }
+}
+
+void HarvestDirect(ShardedEngine& engine, TierRow* row) {
+  const EngineStats stats = engine.Stats();
+  row->qps = stats.queries_per_second;
+  row->p50 = stats.latency_p50_micros;
+  row->p99 = stats.latency_p99_micros;
+  row->epochs = stats.epochs_published;
+  row->unavailable = stats.queries_unavailable;
+}
+
+void HarvestRouter(ShardRouter& router, TierRow* row) {
+  const RouterStats stats = router.Stats();
+  row->qps = stats.serving.queries_per_second;
+  row->p50 = stats.serving.latency_p50_micros;
+  row->p99 = stats.serving.latency_p99_micros;
+  row->epochs = stats.serving.epochs_published;
+  row->unavailable = stats.serving.queries_unavailable;
+  row->rpcs_sent = stats.rpcs_sent;
+  row->rpc_retries = stats.rpc_retries;
+  row->rpc_stale = stats.rpc_stale_responses;
+  row->rpc_failovers = stats.rpc_failovers;
+  row->rpc_duplicates = stats.rpc_duplicates_dropped;
+}
+
+void WriteJson(const char* path, const bench::BenchConfig& cfg,
+               uint32_t side, uint32_t vertices, uint32_t edges,
+               const FanoutSizes& sizes, const std::vector<TierRow>& rows) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"router_fanout\",\n");
+  std::fprintf(f, "  \"scale\": \"%s\",\n", bench::ScaleName(cfg.scale));
+  std::fprintf(f,
+               "  \"network\": {\"grid_side\": %u, \"vertices\": %u, "
+               "\"edges\": %u, \"target_shards\": %u},\n",
+               side, vertices, edges, kTargetShards);
+  std::fprintf(
+      f,
+      "  \"workload\": {\"lockstep_rounds\": %zu, \"lockstep_queries\": "
+      "%zu, \"queries\": %zu, \"update_rounds\": %zu, \"batch_size\": "
+      "%zu, \"query_threads\": 4, \"hot_fraction\": %.2f, "
+      "\"hot_pairs\": %zu},\n",
+      sizes.lockstep_rounds, sizes.lockstep_queries, sizes.queries,
+      sizes.update_rounds, sizes.batch_size, kHotFraction, kHotPairs);
+  std::fprintf(f, "  \"tiers\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const TierRow& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"mode\": \"%s\", \"replicas\": %u, \"build_seconds\": "
+        "%.3f, \"qps\": %.1f, \"latency_p50_micros\": %.2f, "
+        "\"latency_p99_micros\": %.2f, \"epochs\": %" PRIu64
+        ", \"queries_unavailable\": %" PRIu64 ", \"rpcs_sent\": %" PRIu64
+        ", \"rpc_retries\": %" PRIu64 ", \"rpc_stale_responses\": %" PRIu64
+        ", \"rpc_failovers\": %" PRIu64
+        ", \"rpc_duplicates_dropped\": %" PRIu64
+        ", \"lockstep_mismatches\": %" PRIu64
+        ", \"audit_mismatches\": %" PRIu64 "}%s\n",
+        r.replicas == 0 ? "direct" : "router", r.replicas,
+        r.build_seconds, r.qps, r.p50, r.p99, r.epochs, r.unavailable,
+        r.rpcs_sent, r.rpc_retries, r.rpc_stale, r.rpc_failovers,
+        r.rpc_duplicates, r.lockstep_mismatches, r.audit_mismatches,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+}  // namespace
+}  // namespace stl
+
+int main(int argc, char** argv) {
+  using namespace stl;
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) check = true;
+  }
+  const bench::BenchConfig cfg = bench::MakeConfig();
+  FanoutSizes sizes = SizesForScale(cfg.scale);
+  if (check) {
+    // CI guard: bound the build and audit cost (one direct engine plus
+    // three router tiers, each embedding its own engine).
+    sizes.grid_side = std::min<uint32_t>(sizes.grid_side, 20);
+    sizes.lockstep_rounds = std::min<size_t>(sizes.lockstep_rounds, 4);
+    sizes.lockstep_queries = std::min<size_t>(sizes.lockstep_queries, 200);
+    sizes.queries = std::min<size_t>(sizes.queries, 1500);
+    sizes.update_rounds = std::min<size_t>(sizes.update_rounds, 6);
+  }
+
+  RoadNetworkOptions net;
+  net.width = sizes.grid_side;
+  net.height = sizes.grid_side;
+  net.seed = 7;
+  Graph base = GenerateRoadNetwork(net);
+  const uint32_t n = base.NumVertices();
+
+  // Fixed lockstep query pairs shared by every tier.
+  Rng prng(2223);
+  std::vector<QueryPair> lockstep_pairs;
+  lockstep_pairs.reserve(sizes.lockstep_queries);
+  for (size_t i = 0; i < sizes.lockstep_queries; ++i) {
+    lockstep_pairs.emplace_back(static_cast<Vertex>(prng.NextBounded(n)),
+                                static_cast<Vertex>(prng.NextBounded(n)));
+  }
+
+  ShardedEngineOptions engine_opt;
+  engine_opt.backend = BackendKind::kStl;
+  engine_opt.target_shards = kTargetShards;
+  engine_opt.num_query_threads = 4;
+  engine_opt.max_batch_size = sizes.batch_size;
+
+  std::printf("== router fan-out: direct engine vs replicated tier ==\n");
+  std::printf(
+      "scale=%s grid=%ux%u vertices=%u edges=%u shards=%u lockstep=%zux%zu "
+      "queries=%zu update_rounds=%zu batch=%zu\n\n",
+      bench::ScaleName(cfg.scale), sizes.grid_side, sizes.grid_side, n,
+      base.NumEdges(), kTargetShards, sizes.lockstep_rounds,
+      sizes.lockstep_queries, sizes.queries, sizes.update_rounds,
+      sizes.batch_size);
+  std::printf("%-7s %9s %9s %10s %8s %8s %10s %9s %9s %8s %6s\n", "mode",
+              "replicas", "build s", "qps", "p50 us", "p99 us", "rpcs",
+              "failover", "lockstep", "audit", "unav");
+
+  std::vector<TierRow> rows;
+
+  // Direct tier: the embedded engine without a transport in the path.
+  TierRow direct_row;
+  Timer direct_build;
+  ShardedEngine direct(base, HierarchyOptions{}, engine_opt);
+  direct_row.build_seconds = direct_build.ElapsedSeconds();
+  const LockstepAnswers reference =
+      RunLockstep(direct, base, sizes, lockstep_pairs);
+  RunThroughput(direct, base, sizes, &direct_row);
+  HarvestDirect(direct, &direct_row);
+  std::printf("%-7s %9u %9.3f %10.1f %8.2f %8.2f %10" PRIu64 " %9" PRIu64
+              " %9" PRIu64 " %8" PRIu64 " %6" PRIu64 "\n",
+              "direct", 0u, direct_row.build_seconds, direct_row.qps,
+              direct_row.p50, direct_row.p99, direct_row.rpcs_sent,
+              direct_row.rpc_failovers, direct_row.lockstep_mismatches,
+              direct_row.audit_mismatches, direct_row.unavailable);
+  rows.push_back(direct_row);
+
+  for (uint32_t replicas : {1u, 2u, 3u}) {
+    TierRow row;
+    row.replicas = replicas;
+    LoopbackCluster cluster = MakeLoopbackCluster(replicas);
+    ShardRouterOptions ropt;
+    ropt.engine = engine_opt;
+    ropt.num_query_threads = 4;
+    ropt.max_batch_size = sizes.batch_size;
+    Timer build_timer;
+    ShardRouter router(base, HierarchyOptions{}, ropt,
+                       cluster.transport.get(), cluster.replica_ptrs());
+    row.build_seconds = build_timer.ElapsedSeconds();
+
+    const LockstepAnswers got =
+        RunLockstep(router, base, sizes, lockstep_pairs);
+    row.lockstep_mismatches = CountMismatches(reference, got);
+    RunThroughput(router, base, sizes, &row);
+    HarvestRouter(router, &row);
+    std::printf("%-7s %9u %9.3f %10.1f %8.2f %8.2f %10" PRIu64 " %9" PRIu64
+                " %9" PRIu64 " %8" PRIu64 " %6" PRIu64 "\n",
+                "router", replicas, row.build_seconds, row.qps, row.p50,
+                row.p99, row.rpcs_sent, row.rpc_failovers,
+                row.lockstep_mismatches, row.audit_mismatches,
+                row.unavailable);
+    rows.push_back(row);
+  }
+
+  WriteJson("BENCH_router.json", cfg, sizes.grid_side, n, base.NumEdges(),
+            sizes, rows);
+
+  if (!check) return 0;
+
+  // ---- CI guard: structural invariants only, no timing flakiness. ----
+  int failures = 0;
+  auto expect = [&failures](bool ok, const char* what) {
+    if (!ok) {
+      std::fprintf(stderr, "GUARD FAILED: %s\n", what);
+      ++failures;
+    }
+  };
+  expect(rows.size() == 4, "direct + three replica tiers must report");
+  for (const TierRow& r : rows) {
+    expect(r.lockstep_mismatches == 0,
+           "router answers must be bit-identical to the direct engine");
+    expect(r.audit_mismatches == 0,
+           "every concurrent answer must match Dijkstra on its epoch");
+    expect(r.unavailable == 0,
+           "loopback replicas are installed before publish: no "
+           "unavailable answers without faults");
+    expect(r.epochs >= 1, "every tier must publish epochs");
+    if (r.replicas > 0) {
+      expect(r.rpcs_sent > 0, "the router tier must fan out over RPC");
+      expect(r.rpc_duplicates == 0,
+             "no duplicate deliveries without fault injection");
+    }
+  }
+  if (failures == 0) std::printf("\nall router fan-out guards passed\n");
+  return failures == 0 ? 0 : 1;
+}

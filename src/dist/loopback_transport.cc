@@ -1,0 +1,54 @@
+#include "dist/loopback_transport.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace stl {
+
+LoopbackTransport::LoopbackTransport(FaultInjector* faults)
+    : faults_(faults) {}
+
+uint32_t LoopbackTransport::AddEndpoint(Handler handler) {
+  STL_CHECK(handler != nullptr);
+  endpoints_.push_back(std::move(handler));
+  return static_cast<uint32_t>(endpoints_.size() - 1);
+}
+
+uint32_t LoopbackTransport::NumEndpoints() const {
+  return static_cast<uint32_t>(endpoints_.size());
+}
+
+void LoopbackTransport::Send(uint32_t endpoint, uint64_t tag,
+                             std::vector<uint8_t> request,
+                             TransportSink* sink) {
+  STL_CHECK(endpoint < endpoints_.size());
+  STL_CHECK(sink != nullptr);
+  if (faults_ != nullptr && faults_->Fire(FaultSite::kTransportDelay)) {
+    std::this_thread::sleep_for(std::chrono::microseconds(
+        faults_->DelayMicros(FaultSite::kTransportDelay)));
+  }
+  if (faults_ != nullptr && faults_->Fire(FaultSite::kTransportDrop)) {
+    // The request is lost. Deliver the caller's timeout verdict
+    // immediately instead of actually waiting one out: same observable
+    // outcome (a typed kUnavailable for this attempt), deterministic
+    // schedule.
+    sink->OnResponse(tag, Status::Unavailable("transport: request dropped"),
+                     {});
+    return;
+  }
+  std::vector<uint8_t> response =
+      endpoints_[endpoint](request.data(), request.size());
+  const bool duplicate =
+      faults_ != nullptr && faults_->Fire(FaultSite::kTransportDuplicate);
+  if (duplicate) {
+    // First delivery of the duplicated response; the receiver's
+    // one-shot tag claim must absorb the second one below.
+    sink->OnResponse(tag, Status::OK(), response);
+  }
+  sink->OnResponse(tag, Status::OK(), std::move(response));
+}
+
+}  // namespace stl

@@ -1,0 +1,444 @@
+#include "dist/shard_router.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "partition/cells.h"
+#include "util/logging.h"
+#include "util/simd.h"
+
+namespace stl {
+
+namespace {
+
+/// Saturates the three-term routing sums back into the Weight range —
+/// the same clamp as the in-process router (bit-identity requires the
+/// identical arithmetic range).
+inline Weight ClampInf(uint64_t d) {
+  return d >= kInfDistance ? kInfDistance : static_cast<Weight>(d);
+}
+
+ServingCoreOptions RouterCoreOptions(const ShardRouterOptions& options) {
+  ServingCoreOptions core;
+  core.num_query_threads = options.num_query_threads;
+  core.max_batch_size = options.max_batch_size;
+  core.result_cache_entries = options.result_cache_entries;
+  core.serving = options.serving;
+  return core;
+}
+
+}  // namespace
+
+// --------------------------------------------------------- RouterScratch
+
+// Per-call (Route) / per-chunk (RouteSpan) memo of replica-fetched rows
+// and the current group's inner vector — the routed twin of the
+// in-process BatchRouteScratch. A fetch that exhausted every replica is
+// memoised too (nullopt), so one dead shard fails each query of the
+// group once instead of re-fanning per query.
+struct ShardRouter::RouterScratch {
+  // (vertex << 32 | shard) -> fetched row; nullopt = replica-exhausted.
+  std::unordered_map<uint64_t, std::optional<std::vector<Weight>>> rows;
+  // The last group's inner vector min_{b2} D[b1][b2] + dt[b2].
+  uint64_t inner_cs = ~uint64_t{0};
+  uint64_t inner_ct = ~uint64_t{0};
+  Vertex inner_t = 0;
+  bool inner_ok = false;
+  std::vector<Weight> inner;
+
+  const std::vector<Weight>* Row(ShardRouter* router,
+                                 const ShardedSnapshot& snap,
+                                 uint32_t shard, Vertex v) {
+    const uint64_t key = (static_cast<uint64_t>(v) << 32) | shard;
+    auto [it, fresh] = rows.try_emplace(key);
+    if (fresh) {
+      std::vector<Weight> row;
+      if (router->FetchRow(snap, shard, v, &row)) {
+        it->second = std::move(row);
+      }
+    }
+    return it->second ? &*it->second : nullptr;
+  }
+
+  const std::vector<Weight>* Inner(ShardRouter* router,
+                                   const ShardedSnapshot& snap,
+                                   uint32_t cs, uint32_t ct, Vertex t) {
+    if (inner_cs != cs || inner_ct != ct || inner_t != t) {
+      inner_cs = cs;
+      inner_ct = ct;
+      inner_t = t;
+      inner_ok = false;
+      const std::vector<Weight>* dt = Row(router, snap, ct, t);
+      if (dt != nullptr) {
+        const ShardLayout::Shard& sshard = snap.layout->shards[cs];
+        inner.resize(sshard.boundary_pos.size());
+        // Same packed-row min-plus entry point as the in-process
+        // batched router: identical arithmetic, identical bytes.
+        snap.overlay->MinPlusRowsInto(
+            ct, sshard.boundary_pos.data(),
+            static_cast<uint32_t>(sshard.boundary_pos.size()), dt->data(),
+            inner.data());
+        inner_ok = true;
+      }
+    }
+    return inner_ok ? &inner : nullptr;
+  }
+};
+
+// -------------------------------------------------------------- Mailbox
+
+uint64_t ShardRouter::Mailbox::Register(std::shared_ptr<Call> call) {
+  const uint64_t tag = next_tag_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  calls_.emplace(tag, std::move(call));
+  return tag;
+}
+
+void ShardRouter::Mailbox::Wait(Call* call) {
+  std::unique_lock<std::mutex> lock(call->mu);
+  call->cv.wait(lock, [call] { return call->done; });
+}
+
+void ShardRouter::Mailbox::OnResponse(uint64_t tag, Status transport_status,
+                                      std::vector<uint8_t> payload) {
+  std::shared_ptr<Call> call;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = calls_.find(tag);
+    if (it == calls_.end()) {
+      // The tag was already settled: a transport duplicate. The
+      // one-shot claim (erase-on-first-delivery) absorbs it here, so
+      // it can never double-complete a user query.
+      duplicates_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    call = std::move(it->second);
+    calls_.erase(it);
+  }
+  {
+    std::lock_guard<std::mutex> lock(call->mu);
+    call->status = std::move(transport_status);
+    call->payload = std::move(payload);
+    call->done = true;
+  }
+  call->cv.notify_all();
+}
+
+// ---------------------------------------------------------- ShardRouter
+
+ShardRouter::ShardRouter(Graph graph,
+                         const HierarchyOptions& hierarchy_options,
+                         const ShardRouterOptions& options,
+                         Transport* transport,
+                         std::vector<ShardReplica*> replicas)
+    : options_(options),
+      transport_(transport),
+      replicas_(std::move(replicas)),
+      engine_(std::move(graph), hierarchy_options, options.engine),
+      core_(&policy_, RouterCoreOptions(options)) {
+  STL_CHECK(transport_ != nullptr);
+  core_.Start();  // installs + publishes the inner epoch 0
+}
+
+ShardRouter::~ShardRouter() = default;  // core_ drains first, then engine_
+
+std::future<ShardedQueryResult> ShardRouter::Submit(QueryPair query,
+                                                    Deadline deadline) {
+  return core_.Submit(query, deadline);
+}
+
+ShardRouter::Ticket ShardRouter::SubmitBatch(
+    const std::vector<QueryPair>& queries, Deadline deadline) {
+  return core_.SubmitBatch(queries, deadline);
+}
+
+void ShardRouter::SubmitTagged(QueryPair query, uint64_t tag,
+                               CompletionSink* sink, Deadline deadline) {
+  core_.SubmitTagged(query, tag, sink, deadline);
+}
+
+ShardRouter::Ticket ShardRouter::SubmitBatchTagged(
+    const std::vector<QueryPair>& queries,
+    const std::vector<uint64_t>& tags, CompletionSink* sink,
+    Deadline deadline) {
+  return core_.SubmitBatchTagged(queries, tags, sink, deadline);
+}
+
+void ShardRouter::EnqueueUpdate(EdgeId edge, Weight new_weight) {
+  core_.EnqueueUpdate(edge, new_weight);
+}
+
+void ShardRouter::EnqueueUpdates(const std::vector<WeightUpdate>& updates) {
+  core_.EnqueueUpdates(updates);
+}
+
+void ShardRouter::Flush() { core_.Flush(); }
+
+std::shared_ptr<const ShardedSnapshot> ShardRouter::CurrentSnapshot()
+    const {
+  return core_.CurrentSnapshot();
+}
+
+RouterStats ShardRouter::Stats() const {
+  RouterStats s;
+  s.serving = core_.Stats();
+  s.replicas = transport_->NumEndpoints();
+  s.rpcs_sent = rpcs_sent_.load(std::memory_order_relaxed);
+  s.rpc_retries = rpc_retries_.load(std::memory_order_relaxed);
+  s.rpc_stale_responses = rpc_stale_.load(std::memory_order_relaxed);
+  s.rpc_failovers = rpc_failovers_.load(std::memory_order_relaxed);
+  s.rpc_duplicates_dropped = mailbox_.duplicates_dropped();
+  return s;
+}
+
+void ShardRouter::ResetStats() {
+  core_.ResetStats();
+  rpcs_sent_.store(0, std::memory_order_relaxed);
+  rpc_retries_.store(0, std::memory_order_relaxed);
+  rpc_stale_.store(0, std::memory_order_relaxed);
+  rpc_failovers_.store(0, std::memory_order_relaxed);
+  mailbox_.ResetCounters();
+}
+
+void ShardRouter::InstallAndPublish(
+    std::shared_ptr<const ShardedSnapshot> snap) {
+  // Install BEFORE publish: once a reader can pin this epoch, every
+  // replica already holds it, so a fresh query never fails on a
+  // version that merely hasn't propagated yet.
+  for (ShardReplica* r : replicas_) r->Install(snap);
+  core_.Publish(std::move(snap));
+}
+
+bool ShardRouter::CallReplica(const ShardRequest& req,
+                              ShardResponse* resp) {
+  const uint32_t n = transport_->NumEndpoints();
+  if (n == 0) return false;
+  const std::vector<uint8_t> encoded = req.Encode();
+  // Round-robin fan-out start spreads load across siblings; every
+  // replica still gets tried before the query gives up.
+  const uint32_t start =
+      next_replica_.fetch_add(1, std::memory_order_relaxed) % n;
+  for (uint32_t k = 0; k < n; ++k) {
+    const uint32_t endpoint = (start + k) % n;
+    rpcs_sent_.fetch_add(1, std::memory_order_relaxed);
+    if (k > 0) rpc_retries_.fetch_add(1, std::memory_order_relaxed);
+    auto call = std::make_shared<Mailbox::Call>();
+    const uint64_t tag = mailbox_.Register(call);
+    transport_->Send(endpoint, tag, encoded, &mailbox_);
+    Mailbox::Wait(call.get());
+    if (call->status.ok()) {
+      ShardResponse r;
+      const Status decoded =
+          ShardResponse::Decode(call->payload.data(),
+                                call->payload.size(), &r);
+      // Only a kOk answer at the EXACT pinned (shard, shard_epoch) is
+      // usable — anything else (stale replica, malformed bytes) fails
+      // over to the next sibling.
+      if (decoded.ok() && r.code == StatusCode::kOk &&
+          r.shard == req.shard && r.shard_epoch == req.shard_epoch) {
+        if (k > 0) rpc_failovers_.fetch_add(1, std::memory_order_relaxed);
+        *resp = std::move(r);
+        return true;
+      }
+    }
+    rpc_stale_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return false;
+}
+
+bool ShardRouter::FetchRow(const ShardedSnapshot& snap, uint32_t shard,
+                           Vertex global, std::vector<Weight>* out) {
+  ShardRequest req;
+  req.kind = WireKind::kBoundaryRow;
+  req.shard = shard;
+  req.shard_epoch = snap.shards[shard]->shard_epoch;  // the pinned epoch
+  req.u = global;
+  ShardResponse resp;
+  if (!CallReplica(req, &resp)) return false;
+  const size_t width = snap.layout->shards[shard].boundary_local.size();
+  if (resp.row.size() != width) return false;  // malformed: wrong |S_i|
+  *out = std::move(resp.row);
+  return true;
+}
+
+bool ShardRouter::FetchPoint(const ShardedSnapshot& snap, uint32_t shard,
+                             Vertex s, Vertex t, Weight* out) {
+  ShardRequest req;
+  req.kind = WireKind::kPointQuery;
+  req.shard = shard;
+  req.shard_epoch = snap.shards[shard]->shard_epoch;  // the pinned epoch
+  req.u = s;
+  req.v = t;
+  ShardResponse resp;
+  if (!CallReplica(req, &resp)) return false;
+  *out = resp.distance;
+  return true;
+}
+
+Weight ShardRouter::RouteOne(const ShardedSnapshot& snap, Vertex s,
+                             Vertex t, RouterScratch* scratch,
+                             StatusCode* code) {
+  // The in-process router's decomposition verbatim (bit-identity), with
+  // ds/dt rows and the same-cell point distance fetched from replicas
+  // at the snapshot's pinned per-shard epochs. The overlay reduction
+  // runs router-side on the pinned epoch's table.
+  const ShardLayout& lay = *snap.layout;
+  STL_DCHECK(s < lay.shard_of_vertex.size());
+  STL_DCHECK(t < lay.shard_of_vertex.size());
+  if (s == t) return 0;
+  const uint32_t cs = lay.shard_of_vertex[s];
+  const uint32_t ct = lay.shard_of_vertex[t];
+  const bool s_boundary = cs == CellPartition::kBoundaryCell;
+  const bool t_boundary = ct == CellPartition::kBoundaryCell;
+
+  if (s_boundary && t_boundary) {
+    // Both endpoints are separator vertices: the pinned overlay already
+    // holds the exact distance — no replica involved.
+    return snap.overlay->At(lay.boundary_pos_of_vertex[s],
+                            lay.boundary_pos_of_vertex[t]);
+  }
+
+  uint64_t best = kInfDistance;
+  if (!s_boundary && !t_boundary && cs == ct) {
+    // Same cell: the shard-internal distance comes from a replica; the
+    // boundary-detour alternative is still covered by the general case
+    // below (D[b][b] = 0 makes touch-and-return a special case of it).
+    Weight d = kInfDistance;
+    if (!FetchPoint(snap, cs, s, t, &d)) {
+      *code = StatusCode::kUnavailable;
+      return kInfDistance;
+    }
+    best = d;
+  }
+
+  if (s_boundary) {
+    const std::vector<Weight>* dt = scratch->Row(this, snap, ct, t);
+    if (dt == nullptr) {
+      *code = StatusCode::kUnavailable;
+      return kInfDistance;
+    }
+    const uint32_t pos = lay.boundary_pos_of_vertex[s];
+    best = std::min<uint64_t>(
+        best, MinPlusReduce(snap.overlay->PackedRow(ct, pos), dt->data(),
+                            static_cast<uint32_t>(dt->size())));
+  } else if (t_boundary) {
+    const std::vector<Weight>* ds = scratch->Row(this, snap, cs, s);
+    if (ds == nullptr) {
+      *code = StatusCode::kUnavailable;
+      return kInfDistance;
+    }
+    const uint32_t pos = lay.boundary_pos_of_vertex[t];
+    best = std::min<uint64_t>(
+        best, MinPlusReduce(snap.overlay->PackedRow(cs, pos), ds->data(),
+                            static_cast<uint32_t>(ds->size())));
+  } else {
+    const std::vector<Weight>* ds = scratch->Row(this, snap, cs, s);
+    const std::vector<Weight>* inner =
+        scratch->Inner(this, snap, cs, ct, t);
+    if (ds == nullptr || inner == nullptr) {
+      *code = StatusCode::kUnavailable;
+      return kInfDistance;
+    }
+    best = std::min<uint64_t>(
+        best, MinPlusReduce(ds->data(), inner->data(),
+                            static_cast<uint32_t>(ds->size())));
+  }
+  return ClampInf(best);
+}
+
+// ----------------------------------------------------- the router policy
+
+void ShardRouter::Policy::PublishInitial() {
+  auto snap = router->engine_.CurrentSnapshot();
+  router->last_published_epoch_ = snap->epoch;
+  router->InstallAndPublish(std::move(snap));
+}
+
+Weight ShardRouter::Policy::ResolveOldWeight(EdgeId e) const {
+  // The router is the inner engine's only update source and ApplyBatch
+  // flushes synchronously, so the inner snapshot's weights are current
+  // as of every batch already routed through us.
+  return router->engine_.CurrentSnapshot()->graph.EdgeWeight(e);
+}
+
+void ShardRouter::Policy::ApplyBatch(const UpdateBatch& batch) {
+  ShardRouter* r = router;
+  r->engine_.EnqueueUpdates(batch);
+  r->engine_.Flush();
+  auto snap = r->engine_.CurrentSnapshot();
+  if (snap->epoch == r->last_published_epoch_) return;  // coalesced no-op
+  r->last_published_epoch_ = snap->epoch;
+  // Router-tier publish accounting (the inner engine allocated the
+  // epoch id; this counter is the router's own publish count).
+  r->core_.counters().epochs_published.fetch_add(
+      1, std::memory_order_relaxed);
+  r->InstallAndPublish(std::move(snap));
+}
+
+uint32_t ShardRouter::Policy::NumEdges() const {
+  return router->engine_.CurrentSnapshot()->graph.NumEdges();
+}
+
+Weight ShardRouter::Policy::Route(const ShardedSnapshot& snap, Vertex s,
+                                  Vertex t, StatusCode* code) const {
+  RouterScratch scratch;
+  return router->RouteOne(snap, s, t, &scratch, code);
+}
+
+uint64_t ShardRouter::Policy::BatchSortKey(const ShardedSnapshot& snap,
+                                           const QueryPair& q) const {
+  // Same grouping as the in-process batched router: (source cell,
+  // target cell, target) adjacency maximises row/inner reuse.
+  const ShardLayout& lay = *snap.layout;
+  const uint64_t cs = lay.shard_of_vertex[q.first] & 0xffff;
+  const uint64_t ct = lay.shard_of_vertex[q.second] & 0xffff;
+  return (cs << 48) | (ct << 32) | q.second;
+}
+
+void ShardRouter::Policy::RouteSpan(const ShardedSnapshot& snap,
+                                    const QueryPair* queries,
+                                    const uint32_t* idx, size_t count,
+                                    Weight* out, StatusCode* codes) const {
+  RouterScratch scratch;  // shared across the sorted chunk
+  for (size_t j = 0; j < count; ++j) {
+    const QueryPair& q = queries[idx[j]];
+    out[idx[j]] =
+        router->RouteOne(snap, q.first, q.second, &scratch, &codes[idx[j]]);
+  }
+}
+
+void ShardRouter::Policy::AugmentStats(EngineStats* s) const {
+  s->backend = router->engine_.backend();
+  s->num_shards = router->engine_.num_shards();
+  s->boundary_vertices = router->engine_.layout().num_boundary();
+}
+
+// ------------------------------------------------------ LoopbackCluster
+
+std::vector<ShardReplica*> LoopbackCluster::replica_ptrs() const {
+  std::vector<ShardReplica*> ptrs;
+  ptrs.reserve(replicas.size());
+  for (const auto& r : replicas) ptrs.push_back(r.get());
+  return ptrs;
+}
+
+LoopbackCluster MakeLoopbackCluster(
+    uint32_t num_replicas, const ShardReplicaOptions& replica_options,
+    FaultInjector* faults) {
+  LoopbackCluster cluster;
+  cluster.transport = std::make_unique<LoopbackTransport>(faults);
+  cluster.replicas.reserve(num_replicas);
+  for (uint32_t i = 0; i < num_replicas; ++i) {
+    cluster.replicas.push_back(
+        std::make_unique<ShardReplica>(replica_options));
+    ShardReplica* replica = cluster.replicas.back().get();
+    cluster.transport->AddEndpoint(
+        [replica](const uint8_t* data, size_t size) {
+          return replica->Handle(data, size);
+        });
+  }
+  return cluster;
+}
+
+}  // namespace stl

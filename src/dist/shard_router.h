@@ -1,0 +1,329 @@
+// The replicated shard-router tier: ShardedEngine's Submit/SubmitBatch/
+// SubmitTagged surface served by fanning per-cell boundary-row fetches
+// and intra-cell point queries out to N interchangeable shard replicas
+// over a pluggable Transport, with the overlay min-plus reduction run
+// router-side on the fetched rows.
+//
+//   callers          ShardRouter (ServingCore<RouterPolicy>)
+//   ─────────────    ────────────────────────────────────────────────
+//   Submit*          pin ONE ShardedSnapshot; for each query fetch the
+//                    endpoint ds/dt rows from a replica (pinning each
+//                    shard's shard_epoch on the wire), reduce through
+//                    the pinned epoch's OverlayTable min-plus kernels
+//
+//   updates          router writer -> inner ShardedEngine (the
+//                    authoritative writer tier) -> new snapshot is
+//                    installed on every replica, THEN published to the
+//                    router's readers — a reader can never pin an
+//                    epoch no replica holds yet
+//
+// Epoch-consistent fan-out is the hard invariant: a batch pins one
+// snapshot, every row request carries that snapshot's per-shard
+// shard_epoch, and a replica that does not hold the pinned version
+// answers kUnavailable instead of a different epoch's bytes. The
+// router then retries the sibling replicas (round-robin start, all N
+// tried); only when every replica fails does the query complete with
+// a typed kUnavailable — delivered exactly once per user tag through
+// the same one-shot-claim completion machinery as every other serving
+// path.
+//
+// Bit-identity (the conformance contract, tests/router_test.cc and
+// bench_router_fanout --check): replica-served rows are computed by
+// the same FillShardBoundaryRow on the same immutable shard views the
+// in-process engine reads, and the router's reduction is the same
+// MinPlusReduce/MinPlusRowsInto arithmetic on the same pinned overlay
+// — so every routed answer is byte-identical to ShardedEngine on the
+// same epoch.
+#ifndef STL_DIST_SHARD_ROUTER_H_
+#define STL_DIST_SHARD_ROUTER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "dist/loopback_transport.h"
+#include "dist/replica.h"
+#include "dist/transport.h"
+#include "dist/wire.h"
+#include "engine/sharded_engine.h"
+
+namespace stl {
+
+/// Construction options for the router tier.
+struct ShardRouterOptions {
+  /// The inner authoritative engine (writer tier): partitioning,
+  /// per-shard backend, maintenance strategy. Its serving-side knobs
+  /// (threads, caches) apply to the inner engine only; the router has
+  /// its own below.
+  ShardedEngineOptions engine;
+  /// Router reader threads (the tier that fans queries out).
+  int num_query_threads = 4;
+  /// Updates taken per router epoch (forwarded to the inner writer in
+  /// one atomic enqueue, so they land in few inner epochs).
+  size_t max_batch_size = 128;
+  /// Router-side epoch-keyed (s, t) result memo; 0 disables it.
+  size_t result_cache_entries = 0;
+  /// Overload-hardening knobs of the ROUTER core (admission, deadlines,
+  /// watchdog, drain, fault hooks). The transport fault sites fire in
+  /// the transport itself (LoopbackTransport's injector), not here.
+  ServingOptions serving;
+};
+
+/// Router-tier counters: the router core's serving stats plus the RPC
+/// fan-out accounting.
+struct RouterStats {
+  /// The router core's serving-side stats (queries served/unavailable,
+  /// latency quantiles, cache rates; epochs_published counts router
+  /// publishes).
+  EngineStats serving;
+  /// Replica endpoints the transport reaches.
+  uint32_t replicas = 0;
+  /// RPC attempts sent (every Send, including retries).
+  uint64_t rpcs_sent = 0;
+  /// RPC attempts beyond the first for their fetch (sibling retries).
+  uint64_t rpc_retries = 0;
+  /// Replica answers rejected for not holding the pinned shard_epoch
+  /// (or failing/corrupt), each triggering a sibling retry.
+  uint64_t rpc_stale_responses = 0;
+  /// Fetches that succeeded on a sibling after at least one failed
+  /// attempt (the failover path working as designed).
+  uint64_t rpc_failovers = 0;
+  /// Responses delivered under an already-settled tag (transport
+  /// duplicates) and absorbed by the one-shot claim.
+  uint64_t rpc_duplicates_dropped = 0;
+};
+
+/// The replicated router over a pluggable transport. Mirrors
+/// ShardedEngine's public serving API (same submission paths, same
+/// exactly-once completion contract); updates flow through the inner
+/// authoritative engine and re-publish to every replica before the
+/// router's readers see the new epoch. Thread-safe like the engines.
+class ShardRouter {
+ public:
+  /// Batch handle type returned by SubmitBatch (one pinned snapshot
+  /// per batch; see engine/serving_core.h).
+  using Ticket = BatchTicket<ShardedSnapshot>;
+
+  /// Builds the inner engine from `graph`, installs the initial epoch
+  /// on `replicas` (not owned; must outlive the router) and starts the
+  /// router core. `transport` (not owned) must route endpoint i to
+  /// replicas[i]'s Handle — MakeLoopbackCluster wires that for the
+  /// in-process tier. The replica list may be empty only if the
+  /// transport has endpoints served elsewhere (socket skeleton).
+  ShardRouter(Graph graph, const HierarchyOptions& hierarchy_options,
+              const ShardRouterOptions& options, Transport* transport,
+              std::vector<ShardReplica*> replicas);
+
+  /// Drains the router core (answers or fails every submitted query),
+  /// then the inner engine.
+  ~ShardRouter();
+
+  ShardRouter(const ShardRouter&) = delete;  ///< Not copyable.
+  ShardRouter& operator=(const ShardRouter&) = delete;  ///< Not copyable.
+
+  /// Schedules one distance query through the routed tier; the future
+  /// resolves with code kOk (answered), kOverloaded/kDeadlineExceeded
+  /// (overload machinery, same as the engines) or kUnavailable (every
+  /// replica failed the pinned epoch).
+  std::future<ShardedQueryResult> Submit(QueryPair query,
+                                         Deadline deadline = kNoDeadline);
+
+  /// Schedules a batch pinned to ONE snapshot — and therefore one
+  /// shard_epoch per shard on the wire. Answers are bit-identical to
+  /// ShardedEngine on the same epoch; per-query failure codes ride the
+  /// ticket (BatchTicket::code).
+  Ticket SubmitBatch(const std::vector<QueryPair>& queries,
+                     Deadline deadline = kNoDeadline);
+
+  /// Completion-queue mode: delivers the caller's tag to `sink`
+  /// exactly once — answered, shed, expired or unavailable.
+  void SubmitTagged(QueryPair query, uint64_t tag, CompletionSink* sink,
+                    Deadline deadline = kNoDeadline);
+
+  /// Batched completion-queue mode; pins one snapshot like SubmitBatch.
+  Ticket SubmitBatchTagged(const std::vector<QueryPair>& queries,
+                           const std::vector<uint64_t>& tags,
+                           CompletionSink* sink,
+                           Deadline deadline = kNoDeadline);
+
+  /// Records a desired new weight for a global edge; applied by the
+  /// inner engine and re-published to every replica before the
+  /// router's next epoch serves.
+  void EnqueueUpdate(EdgeId edge, Weight new_weight);
+
+  /// Enqueues many updates atomically (one router epoch's worth lands
+  /// in few inner epochs).
+  void EnqueueUpdates(const std::vector<WeightUpdate>& updates);
+
+  /// Blocks until every update enqueued before the call has been
+  /// applied by the inner engine, installed on every replica, and
+  /// published to the router's readers.
+  void Flush();
+
+  /// The latest router-published snapshot (never null). Every replica
+  /// already holds it.
+  std::shared_ptr<const ShardedSnapshot> CurrentSnapshot() const;
+
+  /// Global epoch of the latest router-published snapshot.
+  uint64_t CurrentEpoch() const { return CurrentSnapshot()->epoch; }
+
+  /// Number of cells of the inner engine's partition.
+  uint32_t num_shards() const { return engine_.num_shards(); }
+
+  /// Point-in-time router-tier counters.
+  RouterStats Stats() const;
+
+  /// Zeroes the router core's counters and the RPC counters (bench
+  /// warmup). Call only while no queries are in flight.
+  void ResetStats();
+
+  /// Router reader thread count.
+  int num_query_threads() const { return core_.num_query_threads(); }
+
+ private:
+  struct RouterScratch;
+
+  // The routed Route policy over the shared ServingCore (see the
+  // policy contract in engine/serving_core.h).
+  struct Policy {
+    using Snapshot = ShardedSnapshot;
+    using Result = ShardedQueryResult;
+    // Batched misses sort by (source cell, target cell, target) so
+    // fetched rows and inner vectors are reused across each group —
+    // the same grouping (and the same arithmetic) as ShardedEngine.
+    static constexpr bool kGroupsBatches = true;
+
+    ShardRouter* router;
+
+    void PublishInitial();
+    Weight ResolveOldWeight(EdgeId e) const;
+    void ApplyBatch(const UpdateBatch& batch);
+    uint32_t NumEdges() const;
+    Weight Route(const ShardedSnapshot& snap, Vertex s, Vertex t,
+                 StatusCode* code) const;
+    uint64_t BatchSortKey(const ShardedSnapshot& snap,
+                          const QueryPair& q) const;
+    void RouteSpan(const ShardedSnapshot& snap, const QueryPair* queries,
+                   const uint32_t* idx, size_t count, Weight* out,
+                   StatusCode* codes) const;
+    void AugmentStats(EngineStats* s) const;
+  };
+
+  /// The router side of the transport: a tag-keyed mailbox of blocking
+  /// calls. OnResponse settles the tag's call exactly once; a delivery
+  /// for an unknown (already-settled) tag is a transport duplicate and
+  /// is counted and dropped — the one-shot claim at RPC granularity.
+  class Mailbox final : public TransportSink {
+   public:
+    /// One in-flight RPC: the caller blocks on `cv` until settled.
+    struct Call {
+      std::mutex mu;
+      std::condition_variable cv;
+      bool done = false;               // guarded by mu
+      Status status;                   // guarded by mu until done
+      std::vector<uint8_t> payload;    // guarded by mu until done
+    };
+
+    /// Registers a fresh tag -> call binding and returns the tag.
+    uint64_t Register(std::shared_ptr<Call> call);
+
+    /// Blocks until `call` settles (transport delivery is exactly once
+    /// per attempt, possibly inline in Send).
+    static void Wait(Call* call);
+
+    void OnResponse(uint64_t tag, Status transport_status,
+                    std::vector<uint8_t> payload) override;
+
+    /// Transport duplicates absorbed so far (relaxed).
+    uint64_t duplicates_dropped() const {
+      return duplicates_.load(std::memory_order_relaxed);
+    }
+    /// Zeroes the duplicate counter (ResetStats).
+    void ResetCounters() {
+      duplicates_.store(0, std::memory_order_relaxed);
+    }
+
+   private:
+    std::mutex mu_;
+    std::unordered_map<uint64_t, std::shared_ptr<Call>> calls_;
+    std::atomic<uint64_t> next_tag_{1};
+    std::atomic<uint64_t> duplicates_{0};
+  };
+
+  /// One pinned-epoch RPC with sibling failover: tries every replica
+  /// endpoint (round-robin start) until one serves the request at the
+  /// pinned shard_epoch. False when all of them fail — the caller
+  /// completes the query kUnavailable.
+  bool CallReplica(const ShardRequest& req, ShardResponse* resp);
+
+  /// Fetches the boundary row of `global` (owned by `shard`) at the
+  /// snapshot's pinned shard_epoch. False on replica exhaustion.
+  bool FetchRow(const ShardedSnapshot& snap, uint32_t shard,
+                Vertex global, std::vector<Weight>* out);
+
+  /// Fetches the intra-cell distance s->t inside `shard` at the pinned
+  /// shard_epoch. False on replica exhaustion.
+  bool FetchPoint(const ShardedSnapshot& snap, uint32_t shard, Vertex s,
+                  Vertex t, Weight* out);
+
+  /// The one routed query implementation both Route and RouteSpan use:
+  /// ShardedEngine's decomposition with replica-fetched rows and the
+  /// pinned overlay's min-plus kernels. Writes kUnavailable to *code
+  /// (and returns kInfDistance) on replica exhaustion.
+  Weight RouteOne(const ShardedSnapshot& snap, Vertex s, Vertex t,
+                  RouterScratch* scratch, StatusCode* code);
+
+  /// Installs `snap` on every replica, then publishes it to the router
+  /// core — in that order, so a reader-pinned epoch is always held by
+  /// the replicas.
+  void InstallAndPublish(std::shared_ptr<const ShardedSnapshot> snap);
+
+  const ShardRouterOptions options_;
+  Transport* const transport_;           // not owned
+  std::vector<ShardReplica*> replicas_;  // not owned
+
+  Mailbox mailbox_;
+  std::atomic<uint32_t> next_replica_{0};  // round-robin fan-out start
+  // Inner epoch of the last snapshot handed to InstallAndPublish
+  // (router writer thread only; skips republishing coalesced no-ops).
+  uint64_t last_published_epoch_ = 0;
+
+  // RPC accounting (relaxed; surfaced through Stats()).
+  std::atomic<uint64_t> rpcs_sent_{0};
+  std::atomic<uint64_t> rpc_retries_{0};
+  std::atomic<uint64_t> rpc_stale_{0};
+  std::atomic<uint64_t> rpc_failovers_{0};
+
+  ShardedEngine engine_;  // the authoritative writer tier
+  Policy policy_{this};
+  ServingCore<Policy> core_;  // last member: its readers die first
+};
+
+/// An in-process cluster: N replicas plus a LoopbackTransport wired so
+/// endpoint i serves from replica i — everything a test or bench needs
+/// to stand up the routed tier deterministically.
+struct LoopbackCluster {
+  /// The replicas, owned by the cluster (endpoint order).
+  std::vector<std::unique_ptr<ShardReplica>> replicas;
+  /// The transport routing endpoint i to replicas[i]->Handle.
+  std::unique_ptr<LoopbackTransport> transport;
+
+  /// Non-owning replica pointers in endpoint order (ShardRouter's
+  /// constructor shape).
+  std::vector<ShardReplica*> replica_ptrs() const;
+};
+
+/// Builds `num_replicas` replicas (each with `replica_options`) behind
+/// one loopback transport; `faults` (not owned, may be null) arms the
+/// transport fault sites.
+LoopbackCluster MakeLoopbackCluster(
+    uint32_t num_replicas, const ShardReplicaOptions& replica_options = {},
+    FaultInjector* faults = nullptr);
+
+}  // namespace stl
+
+#endif  // STL_DIST_SHARD_ROUTER_H_

@@ -1,0 +1,78 @@
+#include "dist/socket_transport.h"
+
+#include <cstring>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace stl {
+
+namespace {
+/// Frame header: u32 length (tag + payload bytes) followed by u64 tag.
+constexpr size_t kLenBytes = sizeof(uint32_t);
+constexpr size_t kTagBytes = sizeof(uint64_t);
+/// Sanity bound on one frame's body: a shard response is at most one
+/// boundary row (|S| weights), far below this; anything larger is a
+/// corrupted or hostile length prefix, not a real message.
+constexpr uint32_t kMaxFrameBody = 1u << 28;
+}  // namespace
+
+void EncodeFrame(uint64_t tag, const std::vector<uint8_t>& payload,
+                 std::vector<uint8_t>* out) {
+  const uint32_t body =
+      static_cast<uint32_t>(kTagBytes + payload.size());
+  STL_CHECK(payload.size() <= kMaxFrameBody - kTagBytes);
+  const size_t base = out->size();
+  out->resize(base + kLenBytes + body);
+  std::memcpy(out->data() + base, &body, kLenBytes);
+  std::memcpy(out->data() + base + kLenBytes, &tag, kTagBytes);
+  if (!payload.empty()) {
+    std::memcpy(out->data() + base + kLenBytes + kTagBytes,
+                payload.data(), payload.size());
+  }
+}
+
+Status DecodeFrame(const uint8_t* data, size_t size, WireFrame* frame,
+                   size_t* consumed) {
+  *consumed = 0;
+  if (size < kLenBytes) {
+    return Status::Unavailable("frame: length prefix incomplete");
+  }
+  uint32_t body = 0;
+  std::memcpy(&body, data, kLenBytes);
+  if (body < kTagBytes || body > kMaxFrameBody) {
+    return Status::Corruption("frame: implausible length prefix");
+  }
+  if (size < kLenBytes + body) {
+    return Status::Unavailable("frame: body incomplete");
+  }
+  std::memcpy(&frame->tag, data + kLenBytes, kTagBytes);
+  frame->payload.assign(data + kLenBytes + kTagBytes,
+                        data + kLenBytes + body);
+  *consumed = kLenBytes + body;
+  return Status::OK();
+}
+
+SocketTransport::SocketTransport(std::vector<std::string> endpoints)
+    : endpoints_(std::move(endpoints)) {}
+
+uint32_t SocketTransport::NumEndpoints() const {
+  return static_cast<uint32_t>(endpoints_.size());
+}
+
+void SocketTransport::Send(uint32_t endpoint, uint64_t tag,
+                           std::vector<uint8_t> request,
+                           TransportSink* sink) {
+  STL_CHECK(endpoint < endpoints_.size());
+  STL_CHECK(sink != nullptr);
+  // Exercise the framing path the real implementation will write to
+  // the socket, then fail the attempt: no connection machinery yet.
+  std::vector<uint8_t> framed;
+  EncodeFrame(tag, request, &framed);
+  sink->OnResponse(
+      tag,
+      Status::Unavailable("socket transport: not connected (skeleton)"),
+      {});
+}
+
+}  // namespace stl

@@ -1,0 +1,68 @@
+// Over-the-wire transport skeleton. The frame format and its codec are
+// real and tested (tests/util_test.cc): every message crosses the
+// stream as [u32 length][u64 tag][payload bytes], length covering the
+// tag and payload, so a receiver can re-segment a byte stream into
+// (tag, payload) pairs without understanding the payload. Actual
+// socket plumbing (connect, epoll loop, reconnect) is intentionally
+// not wired yet — Send fails with a typed kUnavailable so a router
+// configured against it degrades exactly like a router whose replicas
+// are all unreachable, and the conformance suite pins the behaviour
+// until the real implementation lands (ROADMAP "distributed shard
+// tier").
+#ifndef STL_DIST_SOCKET_TRANSPORT_H_
+#define STL_DIST_SOCKET_TRANSPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dist/transport.h"
+#include "util/status.h"
+
+namespace stl {
+
+/// One decoded stream frame: the opaque tag plus the message payload.
+struct WireFrame {
+  uint64_t tag = 0;              ///< Echoed request/response tag.
+  std::vector<uint8_t> payload;  ///< Encoded ShardRequest/ShardResponse.
+};
+
+/// Encodes one frame as [u32 length][u64 tag][payload], appending to
+/// `out` (stream framing: frames concatenate back-to-back).
+void EncodeFrame(uint64_t tag, const std::vector<uint8_t>& payload,
+                 std::vector<uint8_t>* out);
+
+/// Decodes the first complete frame of `[data, data + size)` into
+/// `*frame` and sets `*consumed` to its encoded length. An incomplete
+/// prefix (short read mid-stream) returns kUnavailable with
+/// `*consumed == 0` — retry with more bytes; a malformed length
+/// returns kCorruption.
+Status DecodeFrame(const uint8_t* data, size_t size, WireFrame* frame,
+                   size_t* consumed);
+
+/// The socket-backed Transport. Currently a skeleton: endpoints are
+/// named (host:port strings) but never dialled, and Send fails every
+/// attempt with a typed kUnavailable — the router's replica-exhaustion
+/// path, proven against LoopbackTransport, covers this degradation
+/// unchanged.
+class SocketTransport final : public Transport {
+ public:
+  /// A transport that will dial `endpoints` (host:port per entry) once
+  /// socket plumbing lands; until then every Send fails kUnavailable.
+  explicit SocketTransport(std::vector<std::string> endpoints);
+
+  uint32_t NumEndpoints() const override;
+
+  /// Frames the request (EncodeFrame) and fails the attempt with a
+  /// typed kUnavailable: no connection machinery exists yet. Delivery
+  /// is inline and exactly once per attempt, like a connect timeout.
+  void Send(uint32_t endpoint, uint64_t tag, std::vector<uint8_t> request,
+            TransportSink* sink) override;
+
+ private:
+  std::vector<std::string> endpoints_;
+};
+
+}  // namespace stl
+
+#endif  // STL_DIST_SOCKET_TRANSPORT_H_

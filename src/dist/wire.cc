@@ -1,0 +1,69 @@
+#include "dist/wire.h"
+
+namespace stl {
+
+std::vector<uint8_t> ShardRequest::Encode() const {
+  WireWriter w(kWireMagic, kWireVersion);
+  w.WritePod(static_cast<uint32_t>(kind));
+  w.WritePod(shard);
+  w.WritePod(shard_epoch);
+  w.WritePod(u);
+  w.WritePod(v);
+  return w.Take();
+}
+
+Status ShardRequest::Decode(const uint8_t* data, size_t size,
+                            ShardRequest* out) {
+  WireReader r(data, size);
+  Status s = r.ReadHeader(kWireMagic, kWireVersion);
+  if (!s.ok()) return s;
+  uint32_t kind = 0;
+  if (!(s = r.ReadPod(&kind)).ok()) return s;
+  if (kind != static_cast<uint32_t>(WireKind::kBoundaryRow) &&
+      kind != static_cast<uint32_t>(WireKind::kPointQuery)) {
+    return Status::Corruption("wire: unknown request kind");
+  }
+  out->kind = static_cast<WireKind>(kind);
+  if (!(s = r.ReadPod(&out->shard)).ok()) return s;
+  if (!(s = r.ReadPod(&out->shard_epoch)).ok()) return s;
+  if (!(s = r.ReadPod(&out->u)).ok()) return s;
+  if (!(s = r.ReadPod(&out->v)).ok()) return s;
+  if (r.remaining() != 0) {
+    return Status::Corruption("wire: trailing bytes after request");
+  }
+  return Status::OK();
+}
+
+std::vector<uint8_t> ShardResponse::Encode() const {
+  WireWriter w(kWireMagic, kWireVersion);
+  w.WritePod(static_cast<uint32_t>(code));
+  w.WritePod(shard);
+  w.WritePod(shard_epoch);
+  w.WritePod(distance);
+  w.WriteVector(row);
+  return w.Take();
+}
+
+Status ShardResponse::Decode(const uint8_t* data, size_t size,
+                             ShardResponse* out) {
+  WireReader r(data, size);
+  Status s = r.ReadHeader(kWireMagic, kWireVersion);
+  if (!s.ok()) return s;
+  uint32_t code = 0;
+  if (!(s = r.ReadPod(&code)).ok()) return s;
+  if (code != static_cast<uint32_t>(StatusCode::kOk) &&
+      code != static_cast<uint32_t>(StatusCode::kUnavailable)) {
+    return Status::Corruption("wire: unexpected response code");
+  }
+  out->code = static_cast<StatusCode>(code);
+  if (!(s = r.ReadPod(&out->shard)).ok()) return s;
+  if (!(s = r.ReadPod(&out->shard_epoch)).ok()) return s;
+  if (!(s = r.ReadPod(&out->distance)).ok()) return s;
+  if (!(s = r.ReadVector(&out->row)).ok()) return s;
+  if (r.remaining() != 0) {
+    return Status::Corruption("wire: trailing bytes after response");
+  }
+  return Status::OK();
+}
+
+}  // namespace stl

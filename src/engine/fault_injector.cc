@@ -16,6 +16,12 @@ const char* FaultSiteName(FaultSite site) {
       return "completion_drop_candidate";
     case FaultSite::kOverlayRepair:
       return "overlay_repair";
+    case FaultSite::kTransportDrop:
+      return "transport_drop";
+    case FaultSite::kTransportDelay:
+      return "transport_delay";
+    case FaultSite::kTransportDuplicate:
+      return "transport_duplicate";
   }
   return "unknown";
 }

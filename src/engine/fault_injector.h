@@ -41,10 +41,24 @@ enum class FaultSite {
   /// the fallback path's exactness and accounting; answers stay exact
   /// either way, since both paths produce the same table).
   kOverlayRepair = 4,
+  /// A transport send (dist/loopback_transport.h): when the fault
+  /// fires, the request is lost and the caller sees a typed
+  /// kUnavailable transport error for that attempt (stresses the
+  /// router's sibling-replica failover).
+  kTransportDrop = 5,
+  /// A transport send: when the fault fires, delivery blocks for
+  /// DelayMicros before the request reaches the endpoint (stresses
+  /// routed tail latency and deadline interplay).
+  kTransportDelay = 6,
+  /// A transport response: when the fault fires, the response is
+  /// delivered twice under the same tag — the receiver's one-shot
+  /// claim must absorb the duplicate (stresses exactly-once RPC
+  /// completion).
+  kTransportDuplicate = 7,
 };
 
 /// Number of distinct FaultSite values (array sizing).
-inline constexpr int kNumFaultSites = 5;
+inline constexpr int kNumFaultSites = 8;
 
 /// Stable human-readable site name ("reader_delay", ...).
 const char* FaultSiteName(FaultSite site);

@@ -67,7 +67,8 @@ uint32_t QueryEngine::Policy::NumEdges() const {
 }
 
 Weight QueryEngine::Policy::Route(const EngineSnapshot& snap, Vertex s,
-                                  Vertex t) const {
+                                  Vertex t, StatusCode* code) const {
+  (void)code;  // in-process routing cannot fail; *code stays kOk
   return snap.Query(s, t);
 }
 
@@ -81,7 +82,9 @@ uint64_t QueryEngine::Policy::BatchSortKey(const EngineSnapshot& snap,
 void QueryEngine::Policy::RouteSpan(const EngineSnapshot& snap,
                                     const QueryPair* queries,
                                     const uint32_t* idx, size_t count,
-                                    Weight* out) const {
+                                    Weight* out,
+                                    StatusCode* codes) const {
+  (void)codes;  // in-process routing cannot fail; codes stay kOk
   for (size_t j = 0; j < count; ++j) {
     const QueryPair& q = queries[idx[j]];
     out[idx[j]] = snap.Query(q.first, q.second);

@@ -261,11 +261,13 @@ class QueryEngine {
     Weight ResolveOldWeight(EdgeId e) const;
     void ApplyBatch(const UpdateBatch& batch);
     uint32_t NumEdges() const;
-    Weight Route(const EngineSnapshot& snap, Vertex s, Vertex t) const;
+    Weight Route(const EngineSnapshot& snap, Vertex s, Vertex t,
+                 StatusCode* code) const;
     uint64_t BatchSortKey(const EngineSnapshot& snap,
                           const QueryPair& q) const;
     void RouteSpan(const EngineSnapshot& snap, const QueryPair* queries,
-                   const uint32_t* idx, size_t count, Weight* out) const;
+                   const uint32_t* idx, size_t count, Weight* out,
+                   StatusCode* codes) const;
     void AugmentStats(EngineStats* s) const;
   };
 

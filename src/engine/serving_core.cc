@@ -154,6 +154,8 @@ void ServingCounters::FillStats(EngineStats* s) const {
   s->batches_shed = batches_shed.load(std::memory_order_relaxed);
   s->queries_deadline_exceeded =
       queries_deadline_exceeded.load(std::memory_order_relaxed);
+  s->queries_unavailable =
+      queries_unavailable.load(std::memory_order_relaxed);
   s->apply_failures = apply_failures.load(std::memory_order_relaxed);
   s->completions_retried =
       completions_retried.load(std::memory_order_relaxed);
@@ -187,6 +189,7 @@ void ServingCounters::Reset() {
   queries_shed.store(0, std::memory_order_relaxed);
   batches_shed.store(0, std::memory_order_relaxed);
   queries_deadline_exceeded.store(0, std::memory_order_relaxed);
+  queries_unavailable.store(0, std::memory_order_relaxed);
   apply_failures.store(0, std::memory_order_relaxed);
   completions_retried.store(0, std::memory_order_relaxed);
   degraded_entries.store(0, std::memory_order_relaxed);

@@ -125,6 +125,8 @@ inline Status ServingStatus(StatusCode code) {
       return Status::Overloaded("shed by admission control");
     case StatusCode::kDeadlineExceeded:
       return Status::DeadlineExceeded("deadline passed before routing");
+    case StatusCode::kUnavailable:
+      return Status::Unavailable("no replica could serve the pinned epoch");
     default:
       return Status::Internal("unexpected serving status");
   }
@@ -274,6 +276,11 @@ struct EngineStats {
   /// Queries completed with kDeadlineExceeded (expired at dequeue or
   /// between route chunks, without consuming reader time).
   uint64_t queries_deadline_exceeded = 0;
+  /// Queries the routing policy itself failed with kUnavailable: every
+  /// replica of a required shard was unreachable or stale for the
+  /// pinned epoch (dist/shard_router.h). Always zero for in-process
+  /// engines, whose routing cannot fail.
+  uint64_t queries_unavailable = 0;
   /// Coalesced update batches dropped by an injected apply failure
   /// (FaultSite::kApplyFailure); the master state stays untouched.
   uint64_t apply_failures = 0;
@@ -308,7 +315,9 @@ struct Completion {
   double latency_micros = 0;
   /// kOk for an answered query; kOverloaded for work shed by admission
   /// control (or failed by the shutdown drain deadline);
-  /// kDeadlineExceeded for work whose deadline passed before routing.
+  /// kDeadlineExceeded for work whose deadline passed before routing;
+  /// kUnavailable when the routing policy itself failed (routed mode,
+  /// every replica of a required shard unreachable or stale).
   /// Every submitted tag is delivered exactly once regardless of code.
   StatusCode code = StatusCode::kOk;
 };
@@ -442,6 +451,9 @@ struct ServingCounters {
   std::atomic<uint64_t> batches_shed{0};
   /// Queries completed with kDeadlineExceeded.
   std::atomic<uint64_t> queries_deadline_exceeded{0};
+  /// Queries the routing policy failed with kUnavailable (routed-mode
+  /// replica exhaustion; zero for in-process engines).
+  std::atomic<uint64_t> queries_unavailable{0};
   /// Update batches dropped by an injected apply failure.
   std::atomic<uint64_t> apply_failures{0};
   /// Completion deliveries redelivered by the exactly-once retry path.
@@ -500,7 +512,8 @@ class BatchTicket {
   /// Completion code of query i (blocks until the batch is done): kOk
   /// when answered, kOverloaded when shed by admission control or the
   /// shutdown drain, kDeadlineExceeded when the batch deadline passed
-  /// before its chunk was routed.
+  /// before its chunk was routed, kUnavailable when the routing policy
+  /// failed the query (routed-mode replica exhaustion).
   StatusCode code(size_t i) const {
     Wait();
     STL_CHECK(state_ != nullptr && i < state_->codes.size());
@@ -612,15 +625,21 @@ struct ServingCoreOptions {
 ///       the master state and Publish() the next snapshot (writer
 ///       thread only).
 ///   uint32_t NumEdges()       — update validation bound.
-///   Weight Route(const Snapshot&, Vertex, Vertex) — answer one query.
+///   Weight Route(const Snapshot&, Vertex, Vertex, StatusCode* code) —
+///       answer one query. *code is pre-set to kOk; a policy whose
+///       routing can fail (the distributed router) writes the failure
+///       code and returns kInfDistance. In-process policies never
+///       touch it.
 ///   static constexpr bool kGroupsBatches — whether batch misses are
 ///       sorted by BatchSortKey before chunking.
 ///   uint64_t BatchSortKey(const Snapshot&, const QueryPair&) — the
 ///       grouping key (cell pair, target) for batched routing.
 ///   void RouteSpan(const Snapshot&, const QueryPair* queries,
-///                  const uint32_t* idx, size_t count, Weight* out) —
+///                  const uint32_t* idx, size_t count, Weight* out,
+///                  StatusCode* codes) —
 ///       answer queries[idx[j]] into out[idx[j]] for j < count,
-///       reusing per-group state across the span.
+///       reusing per-group state across the span. codes[idx[j]] is
+///       pre-set to kOk; written only on per-query routing failure.
 ///   void AugmentStats(EngineStats*) — engine-specific stats fields
 ///       (backend, resident bytes, shard rows).
 ///
@@ -670,9 +689,14 @@ class ServingCore {
       watchdog_cv_.notify_all();
       watchdog_.join();
     }
-    pool_.Shutdown();  // answer every query already submitted
+    // The writer must be gone before the pool: publish borrows the idle
+    // reader pool for the dirty-clique recompute, so joining in the
+    // other order races the writer's pool use against pool teardown.
+    // Readers never wait on the writer, so stopping it first cannot
+    // strand a query.
     updates_.Stop();
     if (writer_.joinable()) writer_.join();  // drains pending updates
+    pool_.Shutdown();  // answer every query already submitted
   }
 
   ServingCore(const ServingCore&) = delete;             ///< Not copyable.
@@ -749,13 +773,22 @@ class ServingCore {
           // an immutable snapshot. Never blocks on maintenance work.
           std::shared_ptr<const Snapshot> snap = current_.load();
           Result r;
-          r.distance = RouteWithCache(*snap, query.first, query.second);
+          StatusCode code = StatusCode::kOk;
+          r.distance =
+              RouteWithCache(*snap, query.first, query.second, &code);
+          r.code = code;
           r.epoch = snap->epoch;
           const uint64_t nanos = NanosSince(submitted);
           r.latency_micros = static_cast<double>(nanos) / 1e3;
           r.snapshot = std::move(snap);
-          counters_.latency.Record(nanos);
-          counters_.queries_served.fetch_add(1, std::memory_order_relaxed);
+          if (code == StatusCode::kOk) {
+            counters_.latency.Record(nanos);
+            counters_.queries_served.fetch_add(1,
+                                               std::memory_order_relaxed);
+          } else {
+            counters_.queries_unavailable.fetch_add(
+                1, std::memory_order_relaxed);
+          }
           promise->set_value(std::move(r));
         });
     STL_CHECK(accepted) << "Submit() on a shut-down engine";
@@ -824,12 +857,21 @@ class ServingCore {
           std::shared_ptr<const Snapshot> snap = current_.load();
           Completion done;
           done.tag = tag;
-          done.distance = RouteWithCache(*snap, query.first, query.second);
+          StatusCode code = StatusCode::kOk;
+          done.distance =
+              RouteWithCache(*snap, query.first, query.second, &code);
+          done.code = code;
           done.epoch = snap->epoch;
           const uint64_t nanos = NanosSince(submitted);
           done.latency_micros = static_cast<double>(nanos) / 1e3;
-          counters_.latency.Record(nanos);
-          counters_.queries_served.fetch_add(1, std::memory_order_relaxed);
+          if (code == StatusCode::kOk) {
+            counters_.latency.Record(nanos);
+            counters_.queries_served.fetch_add(1,
+                                               std::memory_order_relaxed);
+          } else {
+            counters_.queries_unavailable.fetch_add(
+                1, std::memory_order_relaxed);
+          }
           DeliverCompletion(sink, done);
         });
     STL_CHECK(accepted) << "SubmitTagged() on a shut-down engine";
@@ -939,12 +981,18 @@ class ServingCore {
   }
 
   /// One query on `snap`, consulting the result cache around the
-  /// policy's router.
-  Weight RouteWithCache(const Snapshot& snap, Vertex s, Vertex t) {
+  /// policy's router. *code is pre-set kOk; only a failed routing
+  /// attempt (routed-mode replica exhaustion) writes it, and failed
+  /// answers are never cached — a retry on the same epoch may succeed.
+  Weight RouteWithCache(const Snapshot& snap, Vertex s, Vertex t,
+                        StatusCode* code) {
     Weight d;
+    *code = StatusCode::kOk;
     if (cache_.enabled() && cache_.Lookup(s, t, snap.epoch, &d)) return d;
-    d = policy_->Route(snap, s, t);
-    if (cache_.enabled()) cache_.Insert(s, t, snap.epoch, d);
+    d = policy_->Route(snap, s, t, code);
+    if (cache_.enabled() && *code == StatusCode::kOk) {
+      cache_.Insert(s, t, snap.epoch, d);
+    }
     return d;
   }
 
@@ -1161,25 +1209,34 @@ class ServingCore {
     const size_t count = end - begin;
     policy_->RouteSpan(snap, state.queries.data(),
                        state.order.data() + begin, count,
-                       state.distances.data());
+                       state.distances.data(), state.codes.data());
     const uint64_t nanos = NanosSince(state.submitted);
+    size_t served = 0;
     for (size_t j = begin; j < end; ++j) {
       const uint32_t i = state.order[j];
       const QueryPair& q = state.queries[i];
-      if (cache_.enabled()) {
-        cache_.Insert(q.first, q.second, epoch, state.distances[i]);
+      const StatusCode code = state.codes[i];
+      if (code == StatusCode::kOk) {
+        if (cache_.enabled()) {
+          cache_.Insert(q.first, q.second, epoch, state.distances[i]);
+        }
+        counters_.latency.Record(nanos);
+        ++served;
+      } else {
+        counters_.queries_unavailable.fetch_add(1,
+                                                std::memory_order_relaxed);
       }
-      counters_.latency.Record(nanos);
       if (state.sink != nullptr) {
         Completion done;
         done.tag = state.tags[i];
         done.distance = state.distances[i];
         done.epoch = epoch;
+        done.code = code;
         done.latency_micros = static_cast<double>(nanos) / 1e3;
         DeliverCompletion(state.sink, done);
       }
     }
-    counters_.queries_served.fetch_add(count, std::memory_order_relaxed);
+    counters_.queries_served.fetch_add(served, std::memory_order_relaxed);
   }
 
   /// Completes chunk `c` of a ticket without routing it: every query in

@@ -87,20 +87,12 @@ class PoolExecutor final : public OverlayExecutor {
 
 /// Fills `out` with the shard-local distances from global vertex
 /// `global` (owned by shard `shard`) to that shard's boundary set S_i;
-/// returns the row width |S_i|. kInfDistance where the shard subgraph
-/// disconnects them.
+/// returns the row width |S_i|. Thin wrapper over the shared row-fetch
+/// surface (index/overlay.h) that shard replicas also serve from.
 uint32_t FillBoundaryRow(const ShardedSnapshot& snap, uint32_t shard,
                          Vertex global, std::vector<Weight>* out) {
-  const ShardLayout& lay = *snap.layout;
-  const ShardLayout::Shard& sh = lay.shards[shard];
-  const uint32_t width = static_cast<uint32_t>(sh.boundary_local.size());
-  out->resize(width);
-  const Vertex local = lay.local_of_vertex[global];
-  const IndexView& view = *snap.shards[shard]->view;
-  for (uint32_t i = 0; i < width; ++i) {
-    (*out)[i] = view.Query(local, sh.boundary_local[i]);
-  }
-  return width;
+  return FillShardBoundaryRow(*snap.layout, shard,
+                              *snap.shards[shard]->view, global, out);
 }
 
 /// FillBoundaryRow behind the shard-epoch-keyed row cache (when one is
@@ -514,7 +506,8 @@ uint32_t ShardedEngine::Policy::NumEdges() const {
 }
 
 Weight ShardedEngine::Policy::Route(const ShardedSnapshot& snap, Vertex s,
-                                    Vertex t) const {
+                                    Vertex t, StatusCode* code) const {
+  (void)code;  // in-process routing cannot fail; *code stays kOk
   return RouteSingle(
       snap, s, t,
       engine->row_cache_.enabled() ? &engine->row_cache_ : nullptr);
@@ -535,7 +528,9 @@ uint64_t ShardedEngine::Policy::BatchSortKey(const ShardedSnapshot& snap,
 void ShardedEngine::Policy::RouteSpan(const ShardedSnapshot& snap,
                                       const QueryPair* queries,
                                       const uint32_t* idx, size_t count,
-                                      Weight* out) const {
+                                      Weight* out,
+                                      StatusCode* codes) const {
+  (void)codes;  // in-process routing cannot fail; codes stay kOk
   BatchRouteScratch scratch;
   scratch.cache =
       engine->row_cache_.enabled() ? &engine->row_cache_ : nullptr;

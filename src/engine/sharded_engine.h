@@ -366,11 +366,13 @@ class ShardedEngine {
     Weight ResolveOldWeight(EdgeId e) const;
     void ApplyBatch(const UpdateBatch& batch);
     uint32_t NumEdges() const;
-    Weight Route(const ShardedSnapshot& snap, Vertex s, Vertex t) const;
+    Weight Route(const ShardedSnapshot& snap, Vertex s, Vertex t,
+                 StatusCode* code) const;
     uint64_t BatchSortKey(const ShardedSnapshot& snap,
                           const QueryPair& q) const;
     void RouteSpan(const ShardedSnapshot& snap, const QueryPair* queries,
-                   const uint32_t* idx, size_t count, Weight* out) const;
+                   const uint32_t* idx, size_t count, Weight* out,
+                   StatusCode* codes) const;
     void AugmentStats(EngineStats* s) const;
   };
 

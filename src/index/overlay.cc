@@ -142,6 +142,19 @@ ShardPlan BuildShardPlan(const Graph& g, const CellPartition& cells) {
   return plan;
 }
 
+uint32_t FillShardBoundaryRow(const ShardLayout& layout, uint32_t shard,
+                              const IndexView& view, Vertex global,
+                              std::vector<Weight>* out) {
+  const ShardLayout::Shard& sh = layout.shards[shard];
+  const uint32_t width = static_cast<uint32_t>(sh.boundary_local.size());
+  out->resize(width);
+  const Vertex local = layout.local_of_vertex[global];
+  for (uint32_t i = 0; i < width; ++i) {
+    (*out)[i] = view.Query(local, sh.boundary_local[i]);
+  }
+  return width;
+}
+
 // -------------------------------------------------------- OverlayTable
 
 uint64_t OverlayTable::MemoryBytes() const {

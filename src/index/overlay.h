@@ -140,6 +140,20 @@ struct ShardPlan {
 /// Dies if `cells` does not describe `g` (sizes, separator property).
 ShardPlan BuildShardPlan(const Graph& g, const CellPartition& cells);
 
+/// The row-fetch surface shared by the in-process router and the
+/// distributed shard replicas (dist/replica.h): fills `out` with the
+/// shard-local distances from global vertex `global` (owned by shard
+/// `shard`) to that shard's boundary set S_i, computed on `view` —
+/// one point query per boundary vertex, in the order of
+/// ShardLayout::Shard::boundary_local. Returns the row width |S_i|;
+/// kInfDistance where the shard subgraph disconnects them. The row is
+/// a pure function of (layout, shard, view, global), so any holder of
+/// the same immutable view — local reader or remote replica — produces
+/// bit-identical bytes.
+uint32_t FillShardBoundaryRow(const ShardLayout& layout, uint32_t shard,
+                              const IndexView& view, Vertex global,
+                              std::vector<Weight>* out);
+
 /// Minimal fan-out surface for BoundaryOverlay::RebuildClique: Run()
 /// must invoke `worker` Width() times — possibly concurrently — and
 /// return only after every invocation has completed. Workers pull

@@ -1,5 +1,7 @@
 #include "util/serialize.h"
 
+#include <cstring>
+
 namespace stl {
 
 BinaryWriter::~BinaryWriter() {
@@ -86,6 +88,44 @@ void BinaryReader::Close() {
     std::fclose(file_);
     file_ = nullptr;
   }
+}
+
+WireWriter::WireWriter(uint32_t magic, uint32_t version) {
+  buf_.reserve(64);
+  WritePod(magic);
+  WritePod(version);
+}
+
+void WireWriter::WriteBytes(const void* data, size_t n) {
+  if (n == 0) return;
+  const size_t base = buf_.size();
+  buf_.resize(base + n);
+  std::memcpy(buf_.data() + base, data, n);
+}
+
+WireReader::WireReader(const uint8_t* data, size_t size)
+    : data_(data), size_(size) {}
+
+Status WireReader::ReadHeader(uint32_t magic, uint32_t max_version) {
+  uint32_t got_magic = 0;
+  Status s = ReadPod(&got_magic);
+  if (s.ok() && got_magic != magic) {
+    s = Status::Corruption("wire: bad magic number");
+  }
+  if (s.ok()) s = ReadPod(&version_);
+  if (s.ok() && version_ > max_version) {
+    s = Status::NotSupported("wire: message version newer than library");
+  }
+  return s;
+}
+
+Status WireReader::ReadBytes(void* data, size_t n) {
+  if (n > remaining()) {
+    return Status::Corruption("wire: unexpected end of buffer");
+  }
+  std::memcpy(data, data_ + pos_, n);
+  pos_ += n;
+  return Status::OK();
 }
 
 }  // namespace stl

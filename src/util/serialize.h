@@ -1,6 +1,9 @@
 // Minimal binary serialization: little-endian PODs and vectors with a
 // magic/version header, explicit Status on every failure path (truncated
 // file, bad magic, version skew). Used to persist built indexes.
+// WireWriter/WireReader are the in-memory counterparts (append to /
+// decode from a byte buffer) used for the distributed tier's RPC
+// messages (src/dist/wire.h).
 #ifndef STL_UTIL_SERIALIZE_H_
 #define STL_UTIL_SERIALIZE_H_
 
@@ -91,6 +94,92 @@ class BinaryReader {
 
  private:
   std::FILE* file_ = nullptr;
+  uint32_t version_ = 0;
+};
+
+/// In-memory binary writer: appends little-endian PODs and
+/// length-prefixed vectors to a growable byte buffer. Mirrors
+/// BinaryWriter but never fails (memory append only), so there are no
+/// Status paths to thread through message encoders.
+class WireWriter {
+ public:
+  /// Starts the buffer with a magic/version header, exactly like
+  /// BinaryWriter::Open does for files.
+  WireWriter(uint32_t magic, uint32_t version);
+
+  template <typename T>
+  void WritePod(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WriteBytes(&value, sizeof(T));
+  }
+
+  template <typename T>
+  void WriteVector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WritePod<uint64_t>(v.size());
+    if (!v.empty()) WriteBytes(v.data(), v.size() * sizeof(T));
+  }
+
+  /// Appends `n` raw bytes.
+  void WriteBytes(const void* data, size_t n);
+
+  /// The encoded buffer so far (header + payload).
+  const std::vector<uint8_t>& buffer() const { return buf_; }
+
+  /// Moves the encoded buffer out (the writer is spent afterwards).
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// In-memory binary reader over a caller-owned byte span. Every read is
+/// bounds-checked: a truncated or corrupted buffer surfaces as a typed
+/// Status (kCorruption), never as an out-of-bounds access.
+class WireReader {
+ public:
+  /// Binds to `[data, data + size)`; the bytes must outlive the reader.
+  WireReader(const uint8_t* data, size_t size);
+
+  /// Validates the magic/version header; rejects wrong magic and
+  /// versions > `max_version`. Call first, like BinaryReader::Open.
+  Status ReadHeader(uint32_t magic, uint32_t max_version);
+
+  /// Version read from the header (valid after ReadHeader succeeds).
+  uint32_t version() const { return version_; }
+
+  template <typename T>
+  Status ReadPod(T* value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return ReadBytes(value, sizeof(T));
+  }
+
+  template <typename T>
+  Status ReadVector(std::vector<T>* v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t n = 0;
+    Status s = ReadPod(&n);
+    if (!s.ok()) return s;
+    // A length that cannot fit in the remaining bytes is corruption,
+    // caught before the resize can allocate an implausible amount.
+    if (n > remaining() / sizeof(T)) {
+      return Status::Corruption("wire: vector length exceeds buffer");
+    }
+    v->resize(n);
+    if (n != 0) return ReadBytes(v->data(), n * sizeof(T));
+    return Status::OK();
+  }
+
+  /// Copies `n` bytes out; kCorruption if fewer remain.
+  Status ReadBytes(void* data, size_t n);
+
+  /// Bytes not yet consumed.
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
   uint32_t version_ = 0;
 };
 

@@ -27,6 +27,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Overloaded";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -25,6 +25,11 @@ enum class StatusCode {
   kOverloaded = 8,
   /// The request's deadline passed before a reader routed it.
   kDeadlineExceeded = 9,
+  /// A required remote party could not serve the request: every replica
+  /// of a shard was unreachable or stale for the pinned epoch
+  /// (dist/shard_router.h). Retryable — a later epoch or a recovered
+  /// replica clears it.
+  kUnavailable = 10,
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "IOError", ...).
@@ -66,6 +71,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

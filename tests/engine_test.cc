@@ -276,17 +276,16 @@ TEST(QueryEngineTest, ConcurrentReadersWithWriterMatchDijkstraPerEpoch) {
   // epoch).
   uint64_t mismatches = 0;
   uint64_t batch_vs_query_mismatches = 0;
-  std::map<uint64_t, std::unique_ptr<Dijkstra>> oracle;
+  testing_util::EpochOracle oracle;
   for (size_t w = 0; w < tickets.size(); ++w) {
     QueryEngine::Ticket& ticket = tickets[w];
     ticket.Wait();
     const auto& snap = ticket.snapshot();
     ASSERT_NE(snap, nullptr);
-    auto [it, fresh] = oracle.try_emplace(ticket.epoch());
-    if (fresh) it->second = std::make_unique<Dijkstra>(snap->graph);
+    Dijkstra& audit = oracle.For(ticket.epoch(), snap->graph);
     for (size_t i = 0; i < waves[w].size(); ++i) {
       const auto [s, t] = waves[w][i];
-      if (ticket.distance(i) != it->second->Distance(s, t)) ++mismatches;
+      if (ticket.distance(i) != audit.Distance(s, t)) ++mismatches;
       if (ticket.distance(i) != snap->Query(s, t)) {
         ++batch_vs_query_mismatches;
       }
@@ -535,7 +534,7 @@ TEST_P(BackendEngineTest, ConcurrentReadersWithWriterMatchDijkstraPerEpoch) {
   engine.Flush();
 
   std::map<uint64_t, std::shared_ptr<const EngineSnapshot>> snapshots;
-  std::map<uint64_t, std::unique_ptr<Dijkstra>> oracle;
+  testing_util::EpochOracle oracle;
   uint64_t mismatches = 0;
   uint64_t batch_vs_query_mismatches = 0;
   for (size_t w = 0; w < tickets.size(); ++w) {
@@ -544,11 +543,10 @@ TEST_P(BackendEngineTest, ConcurrentReadersWithWriterMatchDijkstraPerEpoch) {
     const auto& snap = ticket.snapshot();
     ASSERT_NE(snap, nullptr);
     snapshots.emplace(ticket.epoch(), snap);
-    auto [it, fresh] = oracle.try_emplace(ticket.epoch());
-    if (fresh) it->second = std::make_unique<Dijkstra>(snap->graph);
+    Dijkstra& audit = oracle.For(ticket.epoch(), snap->graph);
     for (size_t i = 0; i < waves[w].size(); ++i) {
       const auto [s, t] = waves[w][i];
-      if (ticket.distance(i) != it->second->Distance(s, t)) ++mismatches;
+      if (ticket.distance(i) != audit.Distance(s, t)) ++mismatches;
       if (ticket.distance(i) != snap->Query(s, t)) {
         ++batch_vs_query_mismatches;
       }
@@ -564,7 +562,7 @@ TEST_P(BackendEngineTest, ConcurrentReadersWithWriterMatchDijkstraPerEpoch) {
     for (int i = 0; i < 20; ++i) {
       Vertex s = static_cast<Vertex>(rng.NextBounded(n));
       Vertex t = static_cast<Vertex>(rng.NextBounded(n));
-      ASSERT_EQ(snap->Query(s, t), oracle.at(epoch)->Distance(s, t))
+      ASSERT_EQ(snap->Query(s, t), oracle.At(epoch).Distance(s, t))
           << BackendName(GetParam()) << " epoch=" << epoch;
     }
   }

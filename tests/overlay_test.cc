@@ -335,6 +335,7 @@ TEST_P(OverlayEngineTest, IncrementalEpochsStayExactUnderLoad) {
   opt.max_batch_size = 4;
   ShardedEngine engine(std::move(g), HierarchyOptions{}, opt);
   Rng rng(109);
+  testing_util::EpochOracle oracle;
   for (int round = 0; round < 6; ++round) {
     std::vector<WeightUpdate> updates;
     for (int i = 0; i < 3; ++i) {
@@ -352,7 +353,8 @@ TEST_P(OverlayEngineTest, IncrementalEpochsStayExactUnderLoad) {
     ShardedEngine::Ticket ticket = engine.SubmitBatch(batch);
     engine.Flush();
     ticket.Wait();
-    Dijkstra batch_audit(ticket.snapshot()->graph);
+    Dijkstra& batch_audit =
+        oracle.For(ticket.epoch(), ticket.snapshot()->graph);
     for (size_t i = 0; i < batch.size(); ++i) {
       ASSERT_EQ(ticket.code(i), StatusCode::kOk);
       ASSERT_EQ(ticket.distance(i),
@@ -360,7 +362,7 @@ TEST_P(OverlayEngineTest, IncrementalEpochsStayExactUnderLoad) {
           << BackendName(GetParam()) << " round=" << round << " i=" << i;
     }
     auto snap = engine.CurrentSnapshot();
-    Dijkstra audit(snap->graph);
+    Dijkstra& audit = oracle.For(snap->epoch, snap->graph);
     for (int i = 0; i < 40; ++i) {
       Vertex s = static_cast<Vertex>(rng.NextBounded(n));
       Vertex t = static_cast<Vertex>(rng.NextBounded(n));

@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "dist/shard_router.h"
 #include "engine/fault_injector.h"
 #include "engine/query_engine.h"
 #include "engine/sharded_engine.h"
@@ -635,18 +636,15 @@ TEST_P(ChaosBackendTest, InvariantsHoldUnderAllFaults) {
 
   // Invariant 2: every ANSWERED batch query is exact for the weights of
   // its ticket's pinned epoch (shed/expired queries carry their code).
-  std::map<uint64_t, std::unique_ptr<Dijkstra>> oracle;
+  testing_util::EpochOracle oracle;
   for (size_t w = 0; w < tickets.size(); ++w) {
     QueryEngine::Ticket& t = tickets[w];
     t.Wait();
-    auto [it, fresh] = oracle.try_emplace(t.epoch());
-    if (fresh) {
-      it->second = std::make_unique<Dijkstra>(t.snapshot()->graph);
-    }
+    Dijkstra& audit = oracle.For(t.epoch(), t.snapshot()->graph);
     for (size_t i = 0; i < t.size(); ++i) {
       if (t.code(i) != StatusCode::kOk) continue;
       const QueryPair& q = ticket_queries[w][i];
-      ASSERT_EQ(t.distance(i), it->second->Distance(q.first, q.second))
+      ASSERT_EQ(t.distance(i), audit.Distance(q.first, q.second))
           << "backend " << static_cast<int>(GetParam()) << " wave " << w
           << " query " << i << " epoch " << t.epoch();
     }
@@ -799,6 +797,221 @@ TEST(ShardedRobustnessTest, OverlayRepairFaultFallsBackExactly) {
   EXPECT_GT(stats.epochs_published, 10u);
   EXPECT_LT(stats.overlay_full_rebuilds - rebuilds_at_clear, 6u)
       << "repair never resumed after the fault cleared";
+}
+
+// ------------------------------------------------- transport chaos
+
+// Edges owned by a cell (neither endpoint on the separator): updating
+// one forces that shard to republish, so a frozen replica falls behind
+// the pinned shard_epoch DETERMINISTICALLY — boundary-edge updates only
+// touch the overlay, which the router serves locally.
+std::vector<EdgeId> IntraCellEdges(const ShardedSnapshot& snap,
+                                   size_t max_edges) {
+  std::vector<EdgeId> out;
+  const ShardLayout& lay = *snap.layout;
+  for (EdgeId e = 0; e < snap.graph.NumEdges() && out.size() < max_edges;
+       ++e) {
+    const Edge& edge = snap.graph.GetEdge(e);
+    if (lay.shard_of_vertex[edge.u] != CellPartition::kBoundaryCell &&
+        lay.shard_of_vertex[edge.v] != CellPartition::kBoundaryCell) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+// Routed tier under a hostile transport (drops, delays, duplicates all
+// armed at once): every submitted tag still completes exactly once,
+// every ANSWERED query is exact for its epoch, and failures are the
+// typed kUnavailable — never a lost tag, never a doubled one, never a
+// wrong distance.
+TEST(TransportChaosTest, TagsExactlyOnceUnderDropDelayDuplicate) {
+  Graph g = testing_util::SmallRoadNetwork(6, 811);
+  const uint32_t n = g.NumVertices();
+  SeededFaultInjector faults(811);
+  faults.SetRate(FaultSite::kTransportDrop, 0.25);
+  faults.SetRate(FaultSite::kTransportDelay, 0.2);
+  faults.SetDelayMicros(FaultSite::kTransportDelay, 200);
+  faults.SetRate(FaultSite::kTransportDuplicate, 0.25);
+  LoopbackCluster cluster =
+      MakeLoopbackCluster(2, ShardReplicaOptions{}, &faults);
+  ShardRouterOptions opt;
+  opt.engine.target_shards = 4;
+  opt.engine.num_query_threads = 2;
+  opt.num_query_threads = 4;
+  ShardRouter router(std::move(g), HierarchyOptions{}, opt,
+                     cluster.transport.get(), cluster.replica_ptrs());
+  const std::shared_ptr<const ShardedSnapshot> snap0 =
+      router.CurrentSnapshot();
+  Dijkstra audit(snap0->graph);  // no updates: epoch 0 throughout
+
+  CompletionQueue queue;
+  Rng rng(812);
+  constexpr uint64_t kTags = 512;
+  std::map<uint64_t, QueryPair> submitted;
+  {
+    std::vector<QueryPair> queries;
+    std::vector<uint64_t> tags;
+    for (uint64_t i = 0; i < kTags; ++i) {
+      QueryPair q{static_cast<Vertex>(rng.NextBounded(n)),
+                  static_cast<Vertex>(rng.NextBounded(n))};
+      queries.push_back(q);
+      tags.push_back(i);
+      submitted.emplace(i, q);
+    }
+    router.SubmitBatchTagged(queries, tags, &queue).Wait();
+  }
+
+  // Invariant 1: every tag exactly once — nothing lost, nothing doubled,
+  // transport duplicates notwithstanding.
+  std::set<uint64_t> seen;
+  uint64_t unavailable = 0;
+  Completion out[64];
+  while (seen.size() < kTags) {
+    const size_t got = queue.WaitPoll(out, 64, milliseconds(5000));
+    ASSERT_GT(got, 0u) << "completion queue starved with "
+                       << (kTags - seen.size()) << " tags outstanding";
+    for (size_t i = 0; i < got; ++i) {
+      ASSERT_TRUE(seen.insert(out[i].tag).second)
+          << "tag " << out[i].tag << " delivered twice";
+      // Invariant 2: answered queries are exact; failed ones carry the
+      // typed kUnavailable, nothing else (no overload knobs are armed).
+      const QueryPair q = submitted.at(out[i].tag);
+      if (out[i].code == StatusCode::kOk) {
+        ASSERT_EQ(out[i].distance, audit.Distance(q.first, q.second))
+            << "tag " << out[i].tag;
+      } else {
+        ASSERT_EQ(out[i].code, StatusCode::kUnavailable);
+        ++unavailable;
+      }
+    }
+  }
+  EXPECT_EQ(queue.size(), 0u);
+
+  RouterStats stats = router.Stats();
+  EXPECT_EQ(stats.serving.queries_served + stats.serving.queries_unavailable,
+            kTags);
+  EXPECT_EQ(stats.serving.queries_unavailable, unavailable);
+  // The chaos actually happened and the machinery absorbed it.
+  EXPECT_GT(faults.fired(FaultSite::kTransportDrop), 0u);
+  EXPECT_GT(faults.fired(FaultSite::kTransportDuplicate), 0u);
+  EXPECT_GT(stats.rpc_duplicates_dropped, 0u);
+  EXPECT_GT(stats.rpc_failovers, 0u);  // dropped sends recovered on a sibling
+  EXPECT_GT(stats.rpc_retries, 0u);
+}
+
+// Deterministic failover: one replica frozen before an update falls
+// behind the pinned epoch; every query still answers (the sibling
+// serves), and the stale replica's refusals are visible in the stats.
+TEST(TransportChaosTest, StaleReplicaFailsOverToSibling) {
+  Graph g = testing_util::SmallRoadNetwork(6, 823);
+  const uint32_t n = g.NumVertices();
+  LoopbackCluster cluster = MakeLoopbackCluster(2);
+  ShardRouterOptions opt;
+  opt.engine.target_shards = 4;
+  opt.engine.num_query_threads = 2;
+  opt.num_query_threads = 2;
+  ShardRouter router(std::move(g), HierarchyOptions{}, opt,
+                     cluster.transport.get(), cluster.replica_ptrs());
+
+  // Freeze replica 0, then republish a shard: it now misses the epoch.
+  cluster.replicas[0]->SetFrozen(true);
+  Rng rng(823);
+  const std::vector<EdgeId> dirty =
+      IntraCellEdges(*router.CurrentSnapshot(), 4);
+  ASSERT_FALSE(dirty.empty());
+  const std::shared_ptr<const ShardedSnapshot> before =
+      router.CurrentSnapshot();
+  std::vector<WeightUpdate> updates;
+  for (EdgeId e : dirty) {
+    // old + 1: guaranteed effective, so the shard definitely republishes.
+    updates.push_back(WeightUpdate{e, 0, before->graph.EdgeWeight(e) + 1});
+  }
+  router.EnqueueUpdates(updates);
+  router.Flush();
+  ASSERT_GT(router.CurrentEpoch(), 0u);
+
+  const std::shared_ptr<const ShardedSnapshot> snap =
+      router.CurrentSnapshot();
+  Dijkstra audit(snap->graph);
+  for (int i = 0; i < 64; ++i) {
+    const Vertex s = static_cast<Vertex>(rng.NextBounded(n));
+    const Vertex t = static_cast<Vertex>(rng.NextBounded(n));
+    ShardedQueryResult r = router.Submit({s, t}).get();
+    ASSERT_EQ(r.code, StatusCode::kOk) << "s=" << s << " t=" << t;
+    ASSERT_EQ(r.distance, audit.Distance(s, t)) << "s=" << s << " t=" << t;
+  }
+
+  RouterStats stats = router.Stats();
+  EXPECT_EQ(stats.serving.queries_unavailable, 0u);
+  // Round-robin landed some fetches on the stale replica first; every
+  // one of those refused (kUnavailable at the pinned epoch) and failed
+  // over to the live sibling.
+  EXPECT_GT(stats.rpc_failovers, 0u);
+  EXPECT_GT(stats.rpc_stale_responses, 0u);
+  EXPECT_GT(cluster.replicas[0]->requests_rejected(), 0u);
+  EXPECT_GT(cluster.replicas[1]->requests_served(), 0u);
+}
+
+// kUnavailable is reserved for total replica failure: with EVERY
+// replica frozen behind the pinned epoch, RPC-dependent queries fail
+// typed (and only those — local-only routes still answer exactly).
+TEST(TransportChaosTest, AllReplicasStaleYieldTypedUnavailable) {
+  Graph g = testing_util::SmallRoadNetwork(6, 827);
+  const uint32_t n = g.NumVertices();
+  LoopbackCluster cluster = MakeLoopbackCluster(2);
+  ShardRouterOptions opt;
+  opt.engine.target_shards = 4;
+  opt.engine.num_query_threads = 2;
+  opt.num_query_threads = 2;
+  ShardRouter router(std::move(g), HierarchyOptions{}, opt,
+                     cluster.transport.get(), cluster.replica_ptrs());
+
+  for (auto& replica : cluster.replicas) replica->SetFrozen(true);
+  Rng rng(827);
+  const std::vector<EdgeId> dirty =
+      IntraCellEdges(*router.CurrentSnapshot(), 1);
+  ASSERT_FALSE(dirty.empty());
+  // old + 1: guaranteed effective, so the shard definitely republishes.
+  router.EnqueueUpdate(
+      dirty[0], router.CurrentSnapshot()->graph.EdgeWeight(dirty[0]) + 1);
+  router.Flush();
+  ASSERT_GT(router.CurrentEpoch(), 0u);
+
+  uint64_t unavailable = 0;
+  for (int i = 0; i < 48; ++i) {
+    const Vertex s = static_cast<Vertex>(rng.NextBounded(n));
+    const Vertex t = static_cast<Vertex>(rng.NextBounded(n));
+    ShardedQueryResult r = router.Submit({s, t}).get();
+    if (r.code == StatusCode::kUnavailable) {
+      ++unavailable;
+    } else {
+      // Only routes that never touch a replica (s == t, both endpoints
+      // boundary) may still answer — and they answer exactly.
+      ASSERT_EQ(r.code, StatusCode::kOk);
+      ASSERT_EQ(r.distance, r.snapshot->Query(s, t));
+    }
+  }
+  EXPECT_GT(unavailable, 0u);
+  RouterStats stats = router.Stats();
+  EXPECT_EQ(stats.serving.queries_unavailable, unavailable);
+
+  // Thaw: replicas resume installing on the next publish and service
+  // recovers completely.
+  for (auto& replica : cluster.replicas) replica->SetFrozen(false);
+  router.EnqueueUpdate(
+      dirty[0], router.CurrentSnapshot()->graph.EdgeWeight(dirty[0]) + 1);
+  router.Flush();
+  const std::shared_ptr<const ShardedSnapshot> snap =
+      router.CurrentSnapshot();
+  Dijkstra audit(snap->graph);
+  for (int i = 0; i < 32; ++i) {
+    const Vertex s = static_cast<Vertex>(rng.NextBounded(n));
+    const Vertex t = static_cast<Vertex>(rng.NextBounded(n));
+    ShardedQueryResult r = router.Submit({s, t}).get();
+    ASSERT_EQ(r.code, StatusCode::kOk);
+    ASSERT_EQ(r.distance, audit.Distance(s, t));
+  }
 }
 
 }  // namespace

@@ -1,0 +1,425 @@
+// Conformance suite for the replicated shard-router tier (src/dist/):
+// the router over a loopback transport must be BIT-IDENTICAL to the
+// direct in-process ShardedEngine on every epoch — same distances, same
+// bytes — across all four backends and replica counts {1, 2, 3}, while
+// audited against per-epoch Dijkstra ground truth. Plus the epoch
+// invariants: a batch pins ONE epoch across all shards even while a
+// writer republishes, and replicas only ever answer the pinned
+// shard_epoch.
+#include "dist/shard_router.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "dist/socket_transport.h"
+#include "graph/dijkstra.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace stl {
+namespace {
+
+using testing_util::SmallRoadNetwork;
+
+// Backend × replica-count grid: the full conformance matrix.
+class RouterConformanceTest
+    : public ::testing::TestWithParam<std::tuple<BackendKind, uint32_t>> {
+ protected:
+  BackendKind backend() const { return std::get<0>(GetParam()); }
+  uint32_t replicas() const { return std::get<1>(GetParam()); }
+};
+
+ShardedEngineOptions EngineOpts(BackendKind backend) {
+  ShardedEngineOptions opt;
+  opt.backend = backend;
+  opt.target_shards = 4;
+  opt.num_query_threads = 2;
+  opt.max_batch_size = 8;
+  return opt;
+}
+
+ShardRouterOptions RouterOpts(BackendKind backend) {
+  ShardRouterOptions opt;
+  opt.engine = EngineOpts(backend);
+  opt.num_query_threads = 2;
+  opt.max_batch_size = 8;
+  return opt;
+}
+
+// The tentpole invariant: lockstep identical updates into a direct
+// ShardedEngine and a routed tier, and every epoch's batch answers must
+// match bitwise — and match per-epoch Dijkstra ground truth.
+TEST_P(RouterConformanceTest, LockstepBitIdenticalToDirectEngine) {
+  Graph g = SmallRoadNetwork(7, 211);
+  const uint32_t n = g.NumVertices();
+  const uint32_t m = g.NumEdges();
+  Graph g_router = g;  // same weights, same ids
+
+  ShardedEngine direct(std::move(g), HierarchyOptions{},
+                       EngineOpts(backend()));
+  LoopbackCluster cluster = MakeLoopbackCluster(replicas());
+  ShardRouter router(std::move(g_router), HierarchyOptions{},
+                     RouterOpts(backend()), cluster.transport.get(),
+                     cluster.replica_ptrs());
+  ASSERT_EQ(router.num_shards(), direct.num_shards());
+
+  Rng rng(211);
+  testing_util::EpochOracle oracle;
+  uint64_t mismatches = 0;
+  for (int round = 0; round < 6; ++round) {
+    if (round > 0) {
+      // The SAME batch into both tiers, flushed so both serve it.
+      std::vector<WeightUpdate> updates;
+      for (int i = 0; i < 3; ++i) {
+        updates.push_back(
+            WeightUpdate{static_cast<EdgeId>(rng.NextBounded(m)), 0,
+                         1 + static_cast<Weight>(rng.NextBounded(500))});
+      }
+      direct.EnqueueUpdates(updates);
+      router.EnqueueUpdates(updates);
+      direct.Flush();
+      router.Flush();
+    }
+    std::vector<QueryPair> batch;
+    for (int i = 0; i < 48; ++i) {
+      batch.push_back({static_cast<Vertex>(rng.NextBounded(n)),
+                       static_cast<Vertex>(rng.NextBounded(n))});
+    }
+    ShardedEngine::Ticket dt = direct.SubmitBatch(batch);
+    ShardRouter::Ticket rt = router.SubmitBatch(batch);
+    dt.Wait();
+    rt.Wait();
+    // Both tiers are quiescent (flushed, no concurrent writer), so the
+    // pinned epochs line up round for round.
+    ASSERT_EQ(rt.epoch(), dt.epoch()) << "round=" << round;
+    Dijkstra& audit = oracle.For(rt.epoch(), rt.snapshot()->graph);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      ASSERT_EQ(dt.code(i), StatusCode::kOk);
+      ASSERT_EQ(rt.code(i), StatusCode::kOk)
+          << "round=" << round << " i=" << i;
+      if (rt.distance(i) != dt.distance(i)) ++mismatches;
+      ASSERT_EQ(rt.distance(i),
+                audit.Distance(batch[i].first, batch[i].second))
+          << BackendName(backend()) << " replicas=" << replicas()
+          << " round=" << round << " i=" << i;
+    }
+  }
+  EXPECT_EQ(mismatches, 0u)
+      << BackendName(backend()) << " replicas=" << replicas();
+
+  RouterStats stats = router.Stats();
+  EXPECT_EQ(stats.replicas, replicas());
+  EXPECT_GT(stats.rpcs_sent, 0u);
+  EXPECT_EQ(stats.serving.queries_unavailable, 0u);
+  // Every replica holds every published epoch (installed before the
+  // router's readers could pin it).
+  for (const auto& replica : cluster.replicas) {
+    EXPECT_EQ(replica->installs(), stats.serving.epochs_published + 1);
+  }
+}
+
+// Per-query Submit must agree with the reference router on the pinned
+// snapshot (which the direct engine's suite already audits against
+// Dijkstra), replica count notwithstanding.
+TEST_P(RouterConformanceTest, PerQuerySubmitMatchesSnapshotReference) {
+  Graph g = SmallRoadNetwork(6, 223);
+  const uint32_t n = g.NumVertices();
+  LoopbackCluster cluster = MakeLoopbackCluster(replicas());
+  ShardRouter router(std::move(g), HierarchyOptions{},
+                     RouterOpts(backend()), cluster.transport.get(),
+                     cluster.replica_ptrs());
+  Rng rng(223);
+  for (int i = 0; i < 64; ++i) {
+    const Vertex s = static_cast<Vertex>(rng.NextBounded(n));
+    const Vertex t = static_cast<Vertex>(rng.NextBounded(n));
+    ShardedQueryResult r = router.Submit({s, t}).get();
+    ASSERT_EQ(r.code, StatusCode::kOk);
+    ASSERT_NE(r.snapshot, nullptr);
+    ASSERT_EQ(r.distance, r.snapshot->Query(s, t))
+        << BackendName(backend()) << " replicas=" << replicas()
+        << " s=" << s << " t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackendsAllReplicaCounts, RouterConformanceTest,
+    ::testing::Combine(::testing::Values(BackendKind::kStl,
+                                         BackendKind::kCh,
+                                         BackendKind::kH2h,
+                                         BackendKind::kHc2l),
+                       ::testing::Values(1u, 2u, 3u)),
+    [](const auto& info) {
+      return std::string(BackendName(std::get<0>(info.param))) + "_r" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ------------------------------------------------------ epoch pinning
+
+// A batch pins ONE epoch across all shards even while a concurrent
+// writer republishes underneath it: every answered query of a ticket is
+// exact for the ticket's single pinned snapshot, audited per epoch
+// against Dijkstra. This is the TSan workload for the routed tier.
+TEST(RouterEpochPinningTest, BatchPinsSingleEpochUnderConcurrentWriter) {
+  Graph g = SmallRoadNetwork(7, 307);
+  const uint32_t n = g.NumVertices();
+  const uint32_t m = g.NumEdges();
+  ShardRouterOptions opt = RouterOpts(BackendKind::kStl);
+  opt.num_query_threads = 4;
+  opt.max_batch_size = 4;  // force several epochs
+  // 48 updates can publish at most 48 epochs; a ring deeper than that
+  // means a pinned epoch is never evicted mid-flight, so every query
+  // must come back kOk even when the sanitizer slows the fan-out far
+  // behind the racing writer (ring eviction is covered separately by
+  // ShardReplicaTest.RingRefusesEvictedEpochs).
+  ShardReplicaOptions deep_ring;
+  deep_ring.epoch_ring = 64;
+  LoopbackCluster cluster = MakeLoopbackCluster(2, deep_ring);
+  ShardRouter router(std::move(g), HierarchyOptions{}, opt,
+                     cluster.transport.get(), cluster.replica_ptrs());
+
+  // Writer races the readers: 48 updates trickled through the router.
+  std::atomic<bool> done{false};
+  std::thread updater([&router, m, &done] {
+    Rng rng(307);
+    for (int i = 0; i < 48; ++i) {
+      router.EnqueueUpdate(static_cast<EdgeId>(rng.NextBounded(m)),
+                           1 + static_cast<Weight>(rng.NextBounded(400)));
+      if (i % 6 == 5) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    done.store(true);
+  });
+
+  Rng rng(308);
+  std::vector<std::vector<QueryPair>> waves;
+  std::vector<ShardRouter::Ticket> tickets;
+  size_t total = 0;
+  while (!done.load() || total < 600) {
+    std::vector<QueryPair> wave;
+    for (int i = 0; i < 24; ++i) {
+      wave.push_back({static_cast<Vertex>(rng.NextBounded(n)),
+                      static_cast<Vertex>(rng.NextBounded(n))});
+    }
+    tickets.push_back(router.SubmitBatch(wave));
+    total += wave.size();
+    waves.push_back(std::move(wave));
+    if (total >= 3000) break;  // safety valve
+  }
+  updater.join();
+  router.Flush();
+  // 48 random re-weights cannot all be no-ops: the router republished.
+  ASSERT_GT(router.CurrentEpoch(), 0u);
+  // One post-flush wave necessarily pins a later epoch than wave 0 did,
+  // so the multi-epoch assertion below cannot go vacuous on a machine
+  // where the whole racing phase lands inside one epoch.
+  {
+    std::vector<QueryPair> wave;
+    for (int i = 0; i < 24; ++i) {
+      wave.push_back({static_cast<Vertex>(rng.NextBounded(n)),
+                      static_cast<Vertex>(rng.NextBounded(n))});
+    }
+    tickets.push_back(router.SubmitBatch(wave));
+    waves.push_back(std::move(wave));
+  }
+
+  std::set<uint64_t> epochs_seen;
+  testing_util::EpochOracle oracle;
+  for (size_t w = 0; w < tickets.size(); ++w) {
+    ShardRouter::Ticket& ticket = tickets[w];
+    ticket.Wait();
+    ASSERT_NE(ticket.snapshot(), nullptr);
+    ASSERT_EQ(ticket.epoch(), ticket.snapshot()->epoch);
+    epochs_seen.insert(ticket.epoch());
+    Dijkstra& audit = oracle.For(ticket.epoch(), ticket.snapshot()->graph);
+    for (size_t i = 0; i < waves[w].size(); ++i) {
+      const auto [s, t] = waves[w][i];
+      ASSERT_EQ(ticket.code(i), StatusCode::kOk)
+          << "wave=" << w << " i=" << i << " epoch=" << ticket.epoch();
+      // Exact for the ONE pinned epoch: if any shard had served a
+      // different shard_epoch, the mixed-epoch distance would disagree
+      // with this epoch's ground truth.
+      ASSERT_EQ(ticket.distance(i), audit.Distance(s, t))
+          << "wave=" << w << " i=" << i << " epoch=" << ticket.epoch();
+    }
+  }
+  // The writer actually republished while we served (several distinct
+  // epochs were pinned), so the invariant was exercised, not vacuous.
+  EXPECT_GT(epochs_seen.size(), 1u);
+  RouterStats stats = router.Stats();
+  EXPECT_EQ(stats.serving.queries_unavailable, 0u);
+  EXPECT_GE(stats.serving.epochs_published, 1u);
+  EXPECT_EQ(stats.rpc_failovers, 0u);  // healthy replicas: no failover
+}
+
+// ------------------------------------------------- completion delivery
+
+// A sink that records every delivery under a lock (tests only).
+class RecordingSink : public CompletionSink {
+ public:
+  void Deliver(const Completion& done) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    completions_.push_back(done);
+  }
+  std::vector<Completion> Take() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return completions_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<Completion> completions_;
+};
+
+// Tagged submission through the routed tier: every tag delivered
+// exactly once, every answer exact for its completion's epoch.
+TEST(RouterCompletionTest, TaggedDeliveryExactlyOnceAndExact) {
+  Graph g = SmallRoadNetwork(6, 401);
+  const uint32_t n = g.NumVertices();
+  LoopbackCluster cluster = MakeLoopbackCluster(2);
+  ShardRouter router(std::move(g), HierarchyOptions{},
+                     RouterOpts(BackendKind::kStl),
+                     cluster.transport.get(), cluster.replica_ptrs());
+  // No updates in this test: epoch 0 is the ground truth throughout.
+  const std::shared_ptr<const ShardedSnapshot> snap0 =
+      router.CurrentSnapshot();
+  Dijkstra audit(snap0->graph);
+
+  RecordingSink sink;
+  Rng rng(401);
+  std::vector<QueryPair> queries;
+  std::vector<uint64_t> tags;
+  for (uint64_t i = 0; i < 128; ++i) {
+    queries.push_back({static_cast<Vertex>(rng.NextBounded(n)),
+                       static_cast<Vertex>(rng.NextBounded(n))});
+    tags.push_back(1000 + i);
+  }
+  ShardRouter::Ticket ticket =
+      router.SubmitBatchTagged(queries, tags, &sink);
+  ticket.Wait();
+
+  std::map<uint64_t, Completion> by_tag;
+  for (const Completion& done : sink.Take()) {
+    ASSERT_TRUE(by_tag.emplace(done.tag, done).second)
+        << "tag " << done.tag << " delivered twice";
+  }
+  ASSERT_EQ(by_tag.size(), tags.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const Completion& done = by_tag.at(tags[i]);
+    ASSERT_EQ(done.code, StatusCode::kOk);
+    ASSERT_EQ(done.distance,
+              audit.Distance(queries[i].first, queries[i].second));
+  }
+}
+
+// ------------------------------------------------- replica epoch ring
+
+// A replica holds only its ring of recent epochs: requests pinning a
+// version outside the ring are refused (kUnavailable), never answered
+// from a different epoch.
+TEST(ShardReplicaTest, RingRefusesEvictedEpochs) {
+  Graph g = SmallRoadNetwork(6, 503);
+  const uint32_t m = g.NumEdges();
+  ShardRouterOptions opt = RouterOpts(BackendKind::kStl);
+  ShardReplicaOptions ring1;
+  ring1.epoch_ring = 1;  // strictest: only the newest version is held
+  LoopbackCluster cluster = MakeLoopbackCluster(1, ring1);
+  ShardRouter router(std::move(g), HierarchyOptions{}, opt,
+                     cluster.transport.get(), cluster.replica_ptrs());
+
+  // Hold the epoch-0 snapshot, then advance past the ring.
+  std::shared_ptr<const ShardedSnapshot> old_snap =
+      router.CurrentSnapshot();
+  Rng rng(503);
+  for (int round = 0; round < 3; ++round) {
+    router.EnqueueUpdate(static_cast<EdgeId>(rng.NextBounded(m)),
+                         1 + static_cast<Weight>(rng.NextBounded(300)));
+    router.Flush();
+  }
+  ASSERT_GT(router.CurrentEpoch(), old_snap->epoch);
+
+  // A request hand-pinned to the evicted epoch must be refused.
+  ShardRequest req;
+  req.kind = WireKind::kBoundaryRow;
+  req.shard = 0;
+  req.shard_epoch = old_snap->shards[0]->shard_epoch;
+  // Pick a vertex owned by shard 0.
+  const ShardLayout& lay = *old_snap->layout;
+  Vertex owned = 0;
+  for (Vertex v = 0; v < lay.shard_of_vertex.size(); ++v) {
+    if (lay.shard_of_vertex[v] == 0) {
+      owned = v;
+      break;
+    }
+  }
+  req.u = owned;
+  // Only refused if shard 0 actually republished since epoch 0;
+  // otherwise the ring's newest entry still serves that shard_epoch.
+  const uint64_t current_se =
+      router.CurrentSnapshot()->shards[0]->shard_epoch;
+  const std::vector<uint8_t> bytes = req.Encode();
+  std::vector<uint8_t> resp_bytes =
+      cluster.replicas[0]->Handle(bytes.data(), bytes.size());
+  ShardResponse resp;
+  ASSERT_TRUE(
+      ShardResponse::Decode(resp_bytes.data(), resp_bytes.size(), &resp)
+          .ok());
+  if (current_se != req.shard_epoch) {
+    EXPECT_EQ(resp.code, StatusCode::kUnavailable);
+  } else {
+    EXPECT_EQ(resp.code, StatusCode::kOk);
+  }
+  // Current-epoch requests keep working either way.
+  req.shard_epoch = current_se;
+  const std::vector<uint8_t> bytes2 = req.Encode();
+  resp_bytes = cluster.replicas[0]->Handle(bytes2.data(), bytes2.size());
+  ASSERT_TRUE(
+      ShardResponse::Decode(resp_bytes.data(), resp_bytes.size(), &resp)
+          .ok());
+  EXPECT_EQ(resp.code, StatusCode::kOk);
+}
+
+// ---------------------------------------------- socket skeleton shape
+
+// The socket transport is a skeleton: a router configured against it
+// degrades exactly like a router whose replicas are all unreachable —
+// typed kUnavailable, never a crash, never a wrong answer.
+TEST(SocketTransportTest, RouterDegradesToTypedUnavailable) {
+  Graph g = SmallRoadNetwork(5, 601);
+  const uint32_t n = g.NumVertices();
+  SocketTransport transport({"127.0.0.1:7001", "127.0.0.1:7002"});
+  ShardRouter router(std::move(g), HierarchyOptions{},
+                     RouterOpts(BackendKind::kStl), &transport, {});
+
+  Rng rng(601);
+  uint64_t unavailable = 0;
+  for (int i = 0; i < 32; ++i) {
+    const Vertex s = static_cast<Vertex>(rng.NextBounded(n));
+    const Vertex t = static_cast<Vertex>(rng.NextBounded(n));
+    ShardedQueryResult r = router.Submit({s, t}).get();
+    if (r.code == StatusCode::kUnavailable) {
+      ++unavailable;
+      EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+    } else {
+      // Only queries that never need a replica (s == t, both endpoints
+      // boundary) can still answer — and they answer exactly.
+      ASSERT_EQ(r.code, StatusCode::kOk);
+      ASSERT_EQ(r.distance, r.snapshot->Query(s, t));
+    }
+  }
+  EXPECT_GT(unavailable, 0u);
+  RouterStats stats = router.Stats();
+  EXPECT_EQ(stats.serving.queries_unavailable, unavailable);
+  EXPECT_GT(stats.rpc_stale_responses, 0u);
+}
+
+}  // namespace
+}  // namespace stl

@@ -152,7 +152,7 @@ TEST_P(ShardedBackendTest, ConcurrentReadersMatchDijkstraPerEpoch) {
   // per-query router on the same snapshot — the batched path (grouped,
   // row-reusing) must be bit-identical to per-query serving.
   std::map<uint64_t, std::shared_ptr<const ShardedSnapshot>> snapshots;
-  std::map<uint64_t, std::unique_ptr<Dijkstra>> oracle;
+  testing_util::EpochOracle oracle;
   uint64_t mismatches = 0;
   uint64_t batch_vs_query_mismatches = 0;
   for (size_t w = 0; w < tickets.size(); ++w) {
@@ -161,11 +161,10 @@ TEST_P(ShardedBackendTest, ConcurrentReadersMatchDijkstraPerEpoch) {
     const auto& snap = ticket.snapshot();
     ASSERT_NE(snap, nullptr);
     snapshots.emplace(ticket.epoch(), snap);
-    auto [it, fresh] = oracle.try_emplace(ticket.epoch());
-    if (fresh) it->second = std::make_unique<Dijkstra>(snap->graph);
+    Dijkstra& audit = oracle.For(ticket.epoch(), snap->graph);
     for (size_t i = 0; i < waves[w].size(); ++i) {
       const auto [s, t] = waves[w][i];
-      if (ticket.distance(i) != it->second->Distance(s, t)) ++mismatches;
+      if (ticket.distance(i) != audit.Distance(s, t)) ++mismatches;
       if (ticket.distance(i) != snap->Query(s, t)) {
         ++batch_vs_query_mismatches;
       }
@@ -181,7 +180,7 @@ TEST_P(ShardedBackendTest, ConcurrentReadersMatchDijkstraPerEpoch) {
     for (int i = 0; i < 20; ++i) {
       Vertex s = static_cast<Vertex>(rng.NextBounded(n));
       Vertex t = static_cast<Vertex>(rng.NextBounded(n));
-      ASSERT_EQ(snap->Query(s, t), oracle.at(epoch)->Distance(s, t))
+      ASSERT_EQ(snap->Query(s, t), oracle.At(epoch).Distance(s, t))
           << BackendName(GetParam()) << " epoch=" << epoch;
     }
   }

@@ -2,10 +2,13 @@
 #ifndef STL_TESTS_TEST_UTIL_H_
 #define STL_TESTS_TEST_UTIL_H_
 
+#include <map>
+#include <memory>
 #include <vector>
 
 #include "core/labelling.h"
 #include "core/tree_hierarchy.h"
+#include "graph/dijkstra.h"
 #include "graph/generators.h"
 #include "graph/graph.h"
 #include "graph/updates.h"
@@ -48,6 +51,45 @@ inline uint64_t LabelDiffCount(const Labelling& a, const Labelling& b) {
   }
   return diff;
 }
+
+/// Per-epoch Dijkstra ground truth, built lazily per distinct epoch —
+/// the audit helper the engine/sharded/overlay/router suites share.
+/// Each epoch's oracle is constructed from that epoch's snapshot graph
+/// the first time the epoch is seen and reused for every later audit of
+/// the same epoch.
+class EpochOracle {
+ public:
+  /// The oracle for `epoch`, built from `graph` on first use (`graph`
+  /// must be that epoch's full-network weights). The oracle keeps its
+  /// own copy of the graph (CoW-cheap), so the caller's snapshot need
+  /// not outlive it.
+  Dijkstra& For(uint64_t epoch, const Graph& graph) {
+    auto [it, fresh] = oracles_.try_emplace(epoch);
+    if (fresh) {
+      it->second.graph = graph;  // structural chunk share
+      it->second.dijkstra = std::make_unique<Dijkstra>(it->second.graph);
+    }
+    return *it->second.dijkstra;
+  }
+
+  /// Exact distance under `epoch`'s weights.
+  Weight Distance(uint64_t epoch, const Graph& graph, Vertex s, Vertex t) {
+    return For(epoch, graph).Distance(s, t);
+  }
+
+  /// The already-built oracle for `epoch` (dies if the epoch was never
+  /// seen by For/Distance).
+  Dijkstra& At(uint64_t epoch) { return *oracles_.at(epoch).dijkstra; }
+
+ private:
+  /// One epoch's ground truth; the map node owns the graph the Dijkstra
+  /// references (std::map nodes are address-stable).
+  struct Entry {
+    Graph graph;
+    std::unique_ptr<Dijkstra> dijkstra;
+  };
+  std::map<uint64_t, Entry> oracles_;
+};
 
 /// Random weight update on a random edge (never a no-op); flips a coin
 /// between increase and decrease.

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <vector>
 
+#include "dist/socket_transport.h"
+#include "dist/wire.h"
 #include "util/min_heap.h"
 #include "util/rng.h"
 #include "util/serialize.h"
@@ -211,6 +215,226 @@ TEST(SerializeTest, MissingFileIsIOError) {
   BinaryReader r;
   Status s = r.Open(TempPath("does_not_exist.bin"), 1, 1);
   EXPECT_EQ(s.code(), StatusCode::kIOError);
+}
+
+// ------------------------------------------------ shard wire messages
+
+// Requests spanning the value range: both kinds, zero and all-ones
+// vertices, and a shard_epoch with every byte distinct (catches
+// field-order and endianness slips bitwise).
+std::vector<ShardRequest> SampleRequests() {
+  ShardRequest row;
+  row.kind = WireKind::kBoundaryRow;
+  row.shard = 0;
+  row.shard_epoch = 0;
+  row.u = 0;
+  row.v = 0;
+  ShardRequest point;
+  point.kind = WireKind::kPointQuery;
+  point.shard = 0xfffffffeu;
+  point.shard_epoch = 0x0123456789abcdefull;
+  point.u = 0xffffffffu;
+  point.v = 0x80000001u;
+  return {row, point};
+}
+
+// Responses spanning the value range: served rows (empty, singleton,
+// max-plausible with kInfDistance sentinels mixed in) and the
+// kUnavailable failure shape.
+std::vector<ShardResponse> SampleResponses() {
+  std::vector<ShardResponse> out;
+  ShardResponse ok;
+  ok.code = StatusCode::kOk;
+  ok.shard = 3;
+  ok.shard_epoch = 7;
+  ok.distance = 12345;
+  ok.row = {0, 1, kInfDistance, 0x3ffffffeu, 42};
+  out.push_back(ok);
+  ShardResponse empty_row = ok;
+  empty_row.row.clear();
+  empty_row.distance = kInfDistance;
+  out.push_back(empty_row);
+  ShardResponse big = ok;
+  big.row.assign(4096, kInfDistance);
+  for (size_t i = 0; i < big.row.size(); i += 3) {
+    big.row[i] = static_cast<Weight>(i);
+  }
+  out.push_back(big);
+  ShardResponse unavailable;
+  unavailable.code = StatusCode::kUnavailable;
+  unavailable.shard = 0xffffffffu;
+  unavailable.shard_epoch = UINT64_MAX;
+  unavailable.distance = kInfDistance;
+  out.push_back(unavailable);
+  return out;
+}
+
+TEST(WireTest, ShardRequestRoundTripIsBitwise) {
+  for (const ShardRequest& req : SampleRequests()) {
+    const std::vector<uint8_t> bytes = req.Encode();
+    ShardRequest got;
+    ASSERT_TRUE(ShardRequest::Decode(bytes.data(), bytes.size(), &got).ok());
+    EXPECT_EQ(got.kind, req.kind);
+    EXPECT_EQ(got.shard, req.shard);
+    EXPECT_EQ(got.shard_epoch, req.shard_epoch);
+    EXPECT_EQ(got.u, req.u);
+    EXPECT_EQ(got.v, req.v);
+    // Re-encoding the decoded message reproduces the original bytes:
+    // the codec is bijective on its message set.
+    EXPECT_EQ(got.Encode(), bytes);
+  }
+}
+
+TEST(WireTest, ShardResponseRoundTripIsBitwise) {
+  for (const ShardResponse& resp : SampleResponses()) {
+    const std::vector<uint8_t> bytes = resp.Encode();
+    ShardResponse got;
+    ASSERT_TRUE(
+        ShardResponse::Decode(bytes.data(), bytes.size(), &got).ok());
+    EXPECT_EQ(got.code, resp.code);
+    EXPECT_EQ(got.shard, resp.shard);
+    EXPECT_EQ(got.shard_epoch, resp.shard_epoch);
+    EXPECT_EQ(got.distance, resp.distance);
+    EXPECT_EQ(got.row, resp.row);
+    EXPECT_EQ(got.Encode(), bytes);
+  }
+}
+
+TEST(WireTest, EveryTruncatedPrefixIsRejected) {
+  for (const ShardRequest& req : SampleRequests()) {
+    const std::vector<uint8_t> bytes = req.Encode();
+    for (size_t len = 0; len < bytes.size(); ++len) {
+      ShardRequest got;
+      EXPECT_FALSE(ShardRequest::Decode(bytes.data(), len, &got).ok())
+          << "request prefix of " << len << " bytes decoded";
+    }
+  }
+  for (const ShardResponse& resp : SampleResponses()) {
+    const std::vector<uint8_t> bytes = resp.Encode();
+    for (size_t len = 0; len < bytes.size(); ++len) {
+      ShardResponse got;
+      EXPECT_FALSE(ShardResponse::Decode(bytes.data(), len, &got).ok())
+          << "response prefix of " << len << " bytes decoded";
+    }
+  }
+}
+
+TEST(WireTest, TrailingBytesAreCorruption) {
+  std::vector<uint8_t> bytes = SampleRequests()[0].Encode();
+  bytes.push_back(0);
+  ShardRequest req;
+  EXPECT_EQ(ShardRequest::Decode(bytes.data(), bytes.size(), &req).code(),
+            StatusCode::kCorruption);
+  bytes = SampleResponses()[0].Encode();
+  bytes.push_back(0);
+  ShardResponse resp;
+  EXPECT_EQ(
+      ShardResponse::Decode(bytes.data(), bytes.size(), &resp).code(),
+      StatusCode::kCorruption);
+}
+
+TEST(WireTest, CorruptedHeaderAndFieldsRejected) {
+  // Flipped magic: corruption.
+  std::vector<uint8_t> bytes = SampleRequests()[0].Encode();
+  bytes[0] ^= 0xff;
+  ShardRequest req;
+  EXPECT_EQ(ShardRequest::Decode(bytes.data(), bytes.size(), &req).code(),
+            StatusCode::kCorruption);
+
+  // Version newer than the library: typed version skew, not corruption.
+  bytes = SampleRequests()[0].Encode();
+  const uint32_t future = kWireVersion + 1;
+  std::memcpy(bytes.data() + sizeof(uint32_t), &future, sizeof(uint32_t));
+  EXPECT_EQ(ShardRequest::Decode(bytes.data(), bytes.size(), &req).code(),
+            StatusCode::kNotSupported);
+
+  // Unknown request kind: corruption.
+  bytes = SampleRequests()[0].Encode();
+  const uint32_t bad_kind = 99;
+  std::memcpy(bytes.data() + 2 * sizeof(uint32_t), &bad_kind,
+              sizeof(uint32_t));
+  EXPECT_EQ(ShardRequest::Decode(bytes.data(), bytes.size(), &req).code(),
+            StatusCode::kCorruption);
+
+  // A response code outside {kOk, kUnavailable}: corruption.
+  bytes = SampleResponses()[0].Encode();
+  const uint32_t bad_code = 99;
+  std::memcpy(bytes.data() + 2 * sizeof(uint32_t), &bad_code,
+              sizeof(uint32_t));
+  ShardResponse resp;
+  EXPECT_EQ(
+      ShardResponse::Decode(bytes.data(), bytes.size(), &resp).code(),
+      StatusCode::kCorruption);
+
+  // A row length prefix far beyond the buffer: corruption, caught
+  // before any allocation.
+  bytes = SampleResponses()[0].Encode();
+  const uint64_t huge = UINT64_MAX;
+  std::memcpy(bytes.data() + bytes.size() - sizeof(uint64_t) -
+                  SampleResponses()[0].row.size() * sizeof(Weight),
+              &huge, sizeof(uint64_t));
+  EXPECT_EQ(
+      ShardResponse::Decode(bytes.data(), bytes.size(), &resp).code(),
+      StatusCode::kCorruption);
+}
+
+// ------------------------------------------------- stream framing
+
+TEST(FrameTest, RoundTripAndConcatenation) {
+  const std::vector<uint8_t> p1 = SampleRequests()[1].Encode();
+  const std::vector<uint8_t> p2 = SampleResponses()[2].Encode();
+  std::vector<uint8_t> stream;
+  EncodeFrame(0xdeadbeefcafef00dull, p1, &stream);
+  EncodeFrame(42, p2, &stream);
+  EncodeFrame(7, {}, &stream);  // empty payload frames are legal
+
+  WireFrame frame;
+  size_t consumed = 0;
+  ASSERT_TRUE(
+      DecodeFrame(stream.data(), stream.size(), &frame, &consumed).ok());
+  EXPECT_EQ(frame.tag, 0xdeadbeefcafef00dull);
+  EXPECT_EQ(frame.payload, p1);
+  size_t off = consumed;
+  ASSERT_TRUE(DecodeFrame(stream.data() + off, stream.size() - off, &frame,
+                          &consumed)
+                  .ok());
+  EXPECT_EQ(frame.tag, 42u);
+  EXPECT_EQ(frame.payload, p2);
+  off += consumed;
+  ASSERT_TRUE(DecodeFrame(stream.data() + off, stream.size() - off, &frame,
+                          &consumed)
+                  .ok());
+  EXPECT_EQ(frame.tag, 7u);
+  EXPECT_TRUE(frame.payload.empty());
+  EXPECT_EQ(off + consumed, stream.size());
+}
+
+TEST(FrameTest, IncompletePrefixIsRetryableNotCorrupt) {
+  std::vector<uint8_t> stream;
+  EncodeFrame(9, SampleRequests()[0].Encode(), &stream);
+  for (size_t len = 0; len < stream.size(); ++len) {
+    WireFrame frame;
+    size_t consumed = 0xff;
+    Status s = DecodeFrame(stream.data(), len, &frame, &consumed);
+    EXPECT_EQ(s.code(), StatusCode::kUnavailable)
+        << "prefix of " << len << " bytes";
+    EXPECT_EQ(consumed, 0u);
+  }
+}
+
+TEST(FrameTest, ImplausibleLengthIsCorruption) {
+  // Body length below the tag size or above the sanity bound: a
+  // corrupted stream, not a short read.
+  for (uint32_t body : {uint32_t{0}, uint32_t{7}, (1u << 28) + 1}) {
+    std::vector<uint8_t> stream(sizeof(uint32_t) + 16, 0);
+    std::memcpy(stream.data(), &body, sizeof(uint32_t));
+    WireFrame frame;
+    size_t consumed = 0xff;
+    Status s =
+        DecodeFrame(stream.data(), stream.size(), &frame, &consumed);
+    EXPECT_EQ(s.code(), StatusCode::kCorruption) << "body=" << body;
+    EXPECT_EQ(consumed, 0u);
+  }
 }
 
 }  // namespace
