@@ -14,11 +14,17 @@
 //               Dijkstra-audits every answer on the exact epoch
 //               snapshot it was served from.
 //
+// --transport=socket appends a third tier: the same workload through a
+// SocketTransport against ReplicaNodes served over real localhost TCP
+// (kInstall replication included), reporting socket qps/p99 plus the
+// transport's reconnect count.
+//
 // Emits BENCH_router.json. --check turns the run into a CI guard
 // (structural, no timing): zero lockstep and audit mismatches at every
 // replica count, zero unavailable answers (loopback replicas are
 // always installed before publish), and a non-trivial RPC volume, with
-// the workload clamped small.
+// the workload clamped small. The guard stays on loopback — the socket
+// tier is measurement, not CI surface.
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
@@ -29,8 +35,11 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "dist/replica_node.h"
 #include "dist/shard_router.h"
+#include "dist/socket_transport.h"
 #include "engine/sharded_engine.h"
+#include "net/server.h"
 #include "graph/dijkstra.h"
 #include "graph/generators.h"
 #include "util/rng.h"
@@ -86,7 +95,8 @@ std::vector<WeightUpdate> LockstepBatch(const Graph& base, size_t round,
 }
 
 struct TierRow {
-  uint32_t replicas = 0;  // 0 = direct engine (no transport)
+  const char* mode = "direct";  // "direct" | "router" | "socket"
+  uint32_t replicas = 0;        // 0 = direct engine (no transport)
   double build_seconds = 0;
   double qps = 0;
   double p50 = 0;
@@ -98,6 +108,7 @@ struct TierRow {
   uint64_t rpc_stale = 0;
   uint64_t rpc_failovers = 0;
   uint64_t rpc_duplicates = 0;
+  uint64_t reconnects = 0;  // socket tier only: died-and-redialed count
   uint64_t lockstep_mismatches = 0;
   uint64_t audit_mismatches = 0;
 };
@@ -239,12 +250,13 @@ void WriteJson(const char* path, const bench::BenchConfig& cfg,
         ", \"rpc_retries\": %" PRIu64 ", \"rpc_stale_responses\": %" PRIu64
         ", \"rpc_failovers\": %" PRIu64
         ", \"rpc_duplicates_dropped\": %" PRIu64
+        ", \"reconnects\": %" PRIu64
         ", \"lockstep_mismatches\": %" PRIu64
         ", \"audit_mismatches\": %" PRIu64 "}%s\n",
-        r.replicas == 0 ? "direct" : "router", r.replicas,
-        r.build_seconds, r.qps, r.p50, r.p99, r.epochs, r.unavailable,
-        r.rpcs_sent, r.rpc_retries, r.rpc_stale, r.rpc_failovers,
-        r.rpc_duplicates, r.lockstep_mismatches, r.audit_mismatches,
+        r.mode, r.replicas, r.build_seconds, r.qps, r.p50, r.p99,
+        r.epochs, r.unavailable, r.rpcs_sent, r.rpc_retries, r.rpc_stale,
+        r.rpc_failovers, r.rpc_duplicates, r.reconnects,
+        r.lockstep_mismatches, r.audit_mismatches,
         i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -258,9 +270,14 @@ void WriteJson(const char* path, const bench::BenchConfig& cfg,
 int main(int argc, char** argv) {
   using namespace stl;
   bool check = false;
+  bool socket_tier = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--check") == 0) check = true;
+    if (std::strcmp(argv[i], "--transport=socket") == 0) socket_tier = true;
   }
+  // The CI guard is deterministic loopback only; socket timing is a
+  // measurement phase, not a pass/fail surface.
+  if (check) socket_tier = false;
   const bench::BenchConfig cfg = bench::MakeConfig();
   FanoutSizes sizes = SizesForScale(cfg.scale);
   if (check) {
@@ -328,6 +345,7 @@ int main(int argc, char** argv) {
 
   for (uint32_t replicas : {1u, 2u, 3u}) {
     TierRow row;
+    row.mode = "router";
     row.replicas = replicas;
     LoopbackCluster cluster = MakeLoopbackCluster(replicas);
     ShardRouterOptions ropt;
@@ -348,6 +366,58 @@ int main(int argc, char** argv) {
                 " %9" PRIu64 " %8" PRIu64 " %6" PRIu64 "\n",
                 "router", replicas, row.build_seconds, row.qps, row.p50,
                 row.p99, row.rpcs_sent, row.rpc_failovers,
+                row.lockstep_mismatches, row.audit_mismatches,
+                row.unavailable);
+    rows.push_back(row);
+  }
+
+  if (socket_tier) {
+    // The over-the-wire tier: 2 ReplicaNodes served by FrameServers on
+    // ephemeral localhost ports, reached ONLY through a SocketTransport
+    // — queries and kInstall replication both cross real TCP.
+    constexpr uint32_t kSocketReplicas = 2;
+    TierRow row;
+    row.mode = "socket";
+    row.replicas = kSocketReplicas;
+    std::vector<std::unique_ptr<ReplicaNode>> nodes;
+    std::vector<std::unique_ptr<FrameServer>> servers;
+    std::vector<std::string> endpoints;
+    Timer build_timer;
+    for (uint32_t i = 0; i < kSocketReplicas; ++i) {
+      nodes.push_back(std::make_unique<ReplicaNode>(base, HierarchyOptions{},
+                                                    engine_opt));
+      ReplicaNode* raw = nodes.back().get();
+      servers.push_back(std::make_unique<FrameServer>(
+          FrameServer::Options{}, [raw](const uint8_t* data, size_t size) {
+            return raw->Handle(data, size);
+          }));
+      if (!servers.back()->Start().ok()) {
+        std::fprintf(stderr, "socket tier: server start failed\n");
+        return 1;
+      }
+      endpoints.push_back("127.0.0.1:" +
+                          std::to_string(servers.back()->port()));
+    }
+    SocketTransport transport(endpoints);
+    ShardRouterOptions ropt;
+    ropt.engine = engine_opt;
+    ropt.num_query_threads = 4;
+    ropt.max_batch_size = sizes.batch_size;
+    {
+      ShardRouter router(base, HierarchyOptions{}, ropt, &transport, {});
+      row.build_seconds = build_timer.ElapsedSeconds();
+
+      const LockstepAnswers got =
+          RunLockstep(router, base, sizes, lockstep_pairs);
+      row.lockstep_mismatches = CountMismatches(reference, got);
+      RunThroughput(router, base, sizes, &row);
+      HarvestRouter(router, &row);
+    }  // drain the router's fan-outs before the transport/servers die
+    row.reconnects = transport.reconnects();
+    std::printf("%-7s %9u %9.3f %10.1f %8.2f %8.2f %10" PRIu64 " %9" PRIu64
+                " %9" PRIu64 " %8" PRIu64 " %6" PRIu64 "\n",
+                "socket", kSocketReplicas, row.build_seconds, row.qps,
+                row.p50, row.p99, row.rpcs_sent, row.rpc_failovers,
                 row.lockstep_mismatches, row.audit_mismatches,
                 row.unavailable);
     rows.push_back(row);

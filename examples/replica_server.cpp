@@ -1,0 +1,129 @@
+// A standalone shard-replica daemon: one ReplicaNode (dist/
+// replica_node.h) served over TCP by a FrameServer (net/server.h).
+//
+// The process builds its inner ShardedEngine from the SAME generated
+// graph and options the router uses — epoch determinism is the
+// replication contract — then serves boundary-row / point-query
+// requests and applies the router's kInstall update stream, until
+// SIGTERM/SIGINT.
+//
+//   replica_server --port=0 --grid-side=7 --graph-seed=211 --backend=stl
+//
+// With --port=0 the kernel picks an ephemeral port; the daemon prints
+// "LISTENING <port>" on stdout once it serves, which is how the
+// multi-process integration test (tests/replica_process_test.cc) and
+// scripts discover where to connect.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "dist/replica_node.h"
+#include "graph/generators.h"
+#include "index/distance_index.h"
+#include "net/server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void OnSignal(int) { g_stop = 1; }
+
+/// --flag=value parser; returns the value or `fallback`.
+const char* FlagValue(int argc, char** argv, const char* name,
+                      const char* fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return fallback;
+}
+
+long FlagInt(int argc, char** argv, const char* name, long fallback) {
+  const char* v = FlagValue(argc, argv, name, nullptr);
+  return v != nullptr ? std::strtol(v, nullptr, 10) : fallback;
+}
+
+stl::BackendKind ParseBackend(const char* name) {
+  for (stl::BackendKind kind : stl::kAllBackends) {
+    if (std::strcmp(name, stl::BackendName(kind)) == 0) return kind;
+  }
+  std::fprintf(stderr, "unknown --backend=%s (stl|ch|h2h|hc2l)\n", name);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* host = FlagValue(argc, argv, "host", "127.0.0.1");
+  const long port = FlagInt(argc, argv, "port", 0);
+  const long grid_side = FlagInt(argc, argv, "grid-side", 7);
+  const long graph_seed = FlagInt(argc, argv, "graph-seed", 211);
+  const long target_shards = FlagInt(argc, argv, "target-shards", 4);
+  const long max_batch = FlagInt(argc, argv, "max-batch", 8);
+  const long threads = FlagInt(argc, argv, "threads", 0);
+  const long epoch_ring = FlagInt(argc, argv, "epoch-ring", 8);
+  const stl::BackendKind backend =
+      ParseBackend(FlagValue(argc, argv, "backend", "stl"));
+
+  // The identical graph + options the router was built with (see
+  // tests/replica_process_test.cc): determinism is what makes the
+  // kInstall stream verifiable.
+  stl::RoadNetworkOptions road;
+  road.width = static_cast<uint32_t>(grid_side);
+  road.height = static_cast<uint32_t>(grid_side);
+  road.seed = static_cast<uint64_t>(graph_seed);
+  stl::Graph graph = stl::GenerateRoadNetwork(road);
+
+  stl::ShardedEngineOptions engine_opt;
+  engine_opt.backend = backend;
+  engine_opt.target_shards = static_cast<uint32_t>(target_shards);
+  engine_opt.num_query_threads = 2;
+  engine_opt.max_batch_size = static_cast<size_t>(max_batch);
+
+  stl::ShardReplicaOptions replica_opt;
+  replica_opt.epoch_ring = static_cast<size_t>(epoch_ring);
+
+  stl::ReplicaNode node(std::move(graph), stl::HierarchyOptions{},
+                        engine_opt, replica_opt);
+
+  stl::FrameServer::Options server_opt;
+  server_opt.host = host;
+  server_opt.port = static_cast<uint16_t>(port);
+  server_opt.worker_threads = static_cast<int>(threads);
+  stl::FrameServer server(server_opt,
+                          [&node](const uint8_t* data, size_t size) {
+                            return node.Handle(data, size);
+                          });
+  stl::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "start failed: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+
+  // The parent (test harness, script) reads this line to learn the
+  // ephemeral port; keep the format stable.
+  std::printf("LISTENING %u\n", server.port());
+  std::fflush(stdout);
+
+  std::signal(SIGTERM, OnSignal);
+  std::signal(SIGINT, OnSignal);
+  sigset_t empty;
+  sigemptyset(&empty);
+  while (g_stop == 0) {
+    // Sleep until any signal; the handlers above set g_stop.
+    sigsuspend(&empty);
+  }
+
+  server.Stop();
+  std::fprintf(stderr,
+               "replica_server: served %llu connections, %llu installs\n",
+               static_cast<unsigned long long>(
+                   server.connections_accepted()),
+               static_cast<unsigned long long>(node.installs_applied()));
+  return 0;
+}

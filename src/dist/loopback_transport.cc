@@ -22,10 +22,11 @@ uint32_t LoopbackTransport::NumEndpoints() const {
 }
 
 void LoopbackTransport::Send(uint32_t endpoint, uint64_t tag,
-                             std::vector<uint8_t> request,
+                             std::shared_ptr<const std::vector<uint8_t>> request,
                              TransportSink* sink) {
   STL_CHECK(endpoint < endpoints_.size());
   STL_CHECK(sink != nullptr);
+  STL_CHECK(request != nullptr);
   if (faults_ != nullptr && faults_->Fire(FaultSite::kTransportDelay)) {
     std::this_thread::sleep_for(std::chrono::microseconds(
         faults_->DelayMicros(FaultSite::kTransportDelay)));
@@ -40,7 +41,7 @@ void LoopbackTransport::Send(uint32_t endpoint, uint64_t tag,
     return;
   }
   std::vector<uint8_t> response =
-      endpoints_[endpoint](request.data(), request.size());
+      endpoints_[endpoint](request->data(), request->size());
   const bool duplicate =
       faults_ != nullptr && faults_->Fire(FaultSite::kTransportDuplicate);
   if (duplicate) {

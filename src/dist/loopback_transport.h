@@ -48,7 +48,8 @@ class LoopbackTransport final : public Transport {
   /// caller's timeout having fired — deterministic, no real waiting);
   /// kTransportDuplicate delivers the response a second time under the
   /// same tag, which the receiver's one-shot claim must absorb.
-  void Send(uint32_t endpoint, uint64_t tag, std::vector<uint8_t> request,
+  void Send(uint32_t endpoint, uint64_t tag,
+            std::shared_ptr<const std::vector<uint8_t>> request,
             TransportSink* sink) override;
 
  private:

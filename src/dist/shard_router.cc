@@ -28,54 +28,198 @@ ServingCoreOptions RouterCoreOptions(const ShardRouterOptions& options) {
   return core;
 }
 
+/// Key of a fetched boundary row: which vertex's row, on which shard.
+inline uint64_t RowKey(uint32_t shard, Vertex v) {
+  return (static_cast<uint64_t>(v) << 32) | shard;
+}
+
+/// Key of a fetched same-cell point distance (the owning shard is a
+/// function of s, so (s, t) identifies the fetch).
+inline uint64_t PointKey(Vertex s, Vertex t) {
+  return (static_cast<uint64_t>(s) << 32) | t;
+}
+
 }  // namespace
 
-// --------------------------------------------------------- RouterScratch
+// ------------------------------------------------------------ SpanFanout
 
-// Per-call (Route) / per-chunk (RouteSpan) memo of replica-fetched rows
-// and the current group's inner vector — the routed twin of the
-// in-process BatchRouteScratch. A fetch that exhausted every replica is
-// memoised too (nullopt), so one dead shard fails each query of the
-// group once instead of re-fanning per query.
-struct ShardRouter::RouterScratch {
-  // (vertex << 32 | shard) -> fetched row; nullopt = replica-exhausted.
+// The scatter-gather state of one routed span (a batch chunk, or a
+// single query in RouteAsync's one-element mode). Two phases:
+//
+//   scatter — enumerate every UNIQUE row/point fetch the span's
+//     decompositions need (slots pre-created so the map never rehashes
+//     under concurrent arrivals), then issue them all through
+//     CallReplicaAsync. Each arrival writes only its own slot; no lock.
+//
+//   gather — the LAST arrival (pending counter, acq_rel so every
+//     slot write happens-before the read side) runs Compute(): a
+//     sequential pass over the span in submission-sorted order, doing
+//     the exact min-plus arithmetic of the in-process router on the
+//     prefetched rows. One thread, deterministic order, bit-identical
+//     answers.
+//
+// Kept alive by the shared_ptr each in-flight callback captures; the
+// issuing reader thread returns as soon as the scatter loop finishes.
+struct ShardRouter::SpanFanout
+    : public std::enable_shared_from_this<ShardRouter::SpanFanout> {
+  ShardRouter* router = nullptr;
+  std::shared_ptr<const ShardedSnapshot> snap;
+  const QueryPair* queries = nullptr;
+  const uint32_t* idx = nullptr;
+  size_t count = 0;
+  Weight* out = nullptr;
+  StatusCode* codes = nullptr;
+  std::function<void()> done;
+
+  // Single-query mode (RouteAsync): the span pointers alias these.
+  QueryPair one_query{0, 0};
+  uint32_t one_idx = 0;
+  Weight one_out = kInfDistance;
+  StatusCode one_code = StatusCode::kOk;
+
+  // (vertex << 32 | shard) -> fetched row; nullopt = replica-exhausted
+  // (or malformed width). Slots pre-created before any issue.
   std::unordered_map<uint64_t, std::optional<std::vector<Weight>>> rows;
-  // The last group's inner vector min_{b2} D[b1][b2] + dt[b2].
+  // (s << 32 | t) -> same-cell distance; nullopt = replica-exhausted.
+  std::unordered_map<uint64_t, std::optional<Weight>> points;
+
+  // Outstanding fetches + 1 (the scatter loop's own guard, dropped
+  // after the last issue so an all-inline transport cannot fire the
+  // gather before enumeration finishes).
+  std::atomic<size_t> pending{1};
+
+  // Compute-phase memo of the current group's inner vector
+  // min_{b2} D[b1][b2] + dt[b2] (sequential; same reuse as the
+  // in-process BatchRouteScratch).
   uint64_t inner_cs = ~uint64_t{0};
   uint64_t inner_ct = ~uint64_t{0};
   Vertex inner_t = 0;
   bool inner_ok = false;
   std::vector<Weight> inner;
 
-  const std::vector<Weight>* Row(ShardRouter* router,
-                                 const ShardedSnapshot& snap,
-                                 uint32_t shard, Vertex v) {
-    const uint64_t key = (static_cast<uint64_t>(v) << 32) | shard;
-    auto [it, fresh] = rows.try_emplace(key);
-    if (fresh) {
-      std::vector<Weight> row;
-      if (router->FetchRow(snap, shard, v, &row)) {
-        it->second = std::move(row);
+  void Start() {
+    const ShardLayout& lay = *snap->layout;
+    // Pass 1: pre-create every unique slot (mirrors RouteOne's needs).
+    for (size_t j = 0; j < count; ++j) {
+      const QueryPair& q = queries[idx[j]];
+      const Vertex s = q.first;
+      const Vertex t = q.second;
+      if (s == t) continue;
+      const uint32_t cs = lay.shard_of_vertex[s];
+      const uint32_t ct = lay.shard_of_vertex[t];
+      const bool sb = cs == CellPartition::kBoundaryCell;
+      const bool tb = ct == CellPartition::kBoundaryCell;
+      if (sb && tb) continue;  // overlay-only: no replica involved
+      if (!sb && !tb && cs == ct) points.try_emplace(PointKey(s, t));
+      if (sb) {
+        rows.try_emplace(RowKey(ct, t));
+      } else if (tb) {
+        rows.try_emplace(RowKey(cs, s));
+      } else {
+        rows.try_emplace(RowKey(cs, s));
+        rows.try_emplace(RowKey(ct, t));
       }
     }
+    // Pass 2: issue everything. From here on arrivals may run (inline
+    // for a synchronous transport) on any thread; they only write
+    // their own pre-created slot and decrement pending.
+    pending.store(rows.size() + points.size() + 1,
+                  std::memory_order_relaxed);
+    auto self = shared_from_this();
+    for (auto& [key, slot] : rows) {
+      const uint32_t shard = static_cast<uint32_t>(key & 0xffffffffu);
+      const Vertex v = static_cast<Vertex>(key >> 32);
+      ShardRequest req;
+      req.kind = WireKind::kBoundaryRow;
+      req.shard = shard;
+      req.shard_epoch = snap->shards[shard]->shard_epoch;  // pinned
+      req.u = v;
+      auto* slot_ptr = &slot;
+      router->CallReplicaAsync(
+          req, [self, slot_ptr, shard](bool ok, ShardResponse resp) {
+            if (ok) {
+              // Width guard: a malformed |S_i| row is as unusable as no
+              // row (and, like the sync router, is not retried on
+              // siblings — CallReplicaAsync already settled).
+              const size_t width = self->snap->layout->shards[shard]
+                                       .boundary_local.size();
+              if (resp.row.size() == width) *slot_ptr = std::move(resp.row);
+            }
+            self->Arrive();
+          });
+    }
+    for (auto& [key, slot] : points) {
+      const Vertex s = static_cast<Vertex>(key >> 32);
+      const Vertex t = static_cast<Vertex>(key & 0xffffffffu);
+      ShardRequest req;
+      req.kind = WireKind::kPointQuery;
+      req.shard = lay.shard_of_vertex[s];
+      req.shard_epoch = snap->shards[req.shard]->shard_epoch;  // pinned
+      req.u = s;
+      req.v = t;
+      auto* slot_ptr = &slot;
+      router->CallReplicaAsync(req,
+                               [self, slot_ptr](bool ok, ShardResponse resp) {
+                                 if (ok) *slot_ptr = resp.distance;
+                                 self->Arrive();
+                               });
+    }
+    Arrive();  // drop the scatter guard
+  }
+
+  /// One fetch landed (or the scatter loop finished): the last arrival
+  /// runs the gather phase and the caller's continuation.
+  void Arrive() {
+    if (pending.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+    Compute();
+    // Run-and-release: `fn` may capture the ticket (or the single-mode
+    // result slots through `this`, which outlives the call because the
+    // invoking callback still holds its shared_ptr).
+    std::function<void()> fn = std::move(done);
+    done = nullptr;
+    fn();
+  }
+
+  /// The sequential compute phase: exact RouteOne per query, reading
+  /// the prefetched slots. Chunks touch disjoint out/codes slots.
+  void Compute() {
+    for (size_t j = 0; j < count; ++j) {
+      const QueryPair& q = queries[idx[j]];
+      out[idx[j]] =
+          router->RouteOne(*snap, q.first, q.second, this, &codes[idx[j]]);
+    }
+  }
+
+  /// The prefetched row of (shard, v); null when every replica failed.
+  const std::vector<Weight>* Row(uint32_t shard, Vertex v) const {
+    auto it = rows.find(RowKey(shard, v));
+    STL_DCHECK(it != rows.end()) << "row not enumerated";
     return it->second ? &*it->second : nullptr;
   }
 
-  const std::vector<Weight>* Inner(ShardRouter* router,
-                                   const ShardedSnapshot& snap,
-                                   uint32_t cs, uint32_t ct, Vertex t) {
+  /// The prefetched same-cell distance; false when every replica
+  /// failed.
+  bool Point(Vertex s, Vertex t, Weight* d) const {
+    auto it = points.find(PointKey(s, t));
+    STL_DCHECK(it != points.end()) << "point not enumerated";
+    if (!it->second) return false;
+    *d = *it->second;
+    return true;
+  }
+
+  /// The current group's inner vector (memoised across the sequential
+  /// span; same MinPlusRowsInto arithmetic as the in-process router).
+  const std::vector<Weight>* Inner(uint32_t cs, uint32_t ct, Vertex t) {
     if (inner_cs != cs || inner_ct != ct || inner_t != t) {
       inner_cs = cs;
       inner_ct = ct;
       inner_t = t;
       inner_ok = false;
-      const std::vector<Weight>* dt = Row(router, snap, ct, t);
+      const std::vector<Weight>* dt = Row(ct, t);
       if (dt != nullptr) {
-        const ShardLayout::Shard& sshard = snap.layout->shards[cs];
+        const ShardLayout::Shard& sshard = snap->layout->shards[cs];
         inner.resize(sshard.boundary_pos.size());
-        // Same packed-row min-plus entry point as the in-process
-        // batched router: identical arithmetic, identical bytes.
-        snap.overlay->MinPlusRowsInto(
+        snap->overlay->MinPlusRowsInto(
             ct, sshard.boundary_pos.data(),
             static_cast<uint32_t>(sshard.boundary_pos.size()), dt->data(),
             inner.data());
@@ -86,23 +230,77 @@ struct ShardRouter::RouterScratch {
   }
 };
 
+// ----------------------------------------------------------- PendingCall
+
+// One RPC's failover chain: attempt k targets endpoint (start + k) % n
+// with a fresh tag; a usable answer settles `done`, anything else
+// chains to attempt k + 1 from whatever thread delivered the verdict.
+// The encoded request is shared (encode once) across all attempts.
+// Depth is bounded by n even with an inline-delivering transport.
+struct ShardRouter::PendingCall
+    : public std::enable_shared_from_this<ShardRouter::PendingCall> {
+  ShardRouter* router = nullptr;
+  std::shared_ptr<const std::vector<uint8_t>> encoded;
+  uint32_t shard = 0;
+  uint64_t shard_epoch = 0;
+  uint32_t start = 0;
+  uint32_t n = 0;
+  std::function<void(bool, ShardResponse)> done;
+
+  void TryNext(uint32_t k) {
+    if (k == n) {
+      // Replica exhaustion: the caller completes the query with a
+      // typed kUnavailable.
+      std::function<void(bool, ShardResponse)> fn = std::move(done);
+      fn(false, ShardResponse{});
+      return;
+    }
+    router->rpcs_sent_.fetch_add(1, std::memory_order_relaxed);
+    if (k > 0) router->rpc_retries_.fetch_add(1, std::memory_order_relaxed);
+    auto self = shared_from_this();
+    const uint64_t tag = router->mailbox_.Register(
+        [self, k](Status st, std::vector<uint8_t> payload) {
+          self->OnReply(k, std::move(st), std::move(payload));
+        });
+    router->transport_->Send((start + k) % n, tag, encoded,
+                             &router->mailbox_);
+  }
+
+  void OnReply(uint32_t k, Status st, std::vector<uint8_t> payload) {
+    if (st.ok()) {
+      ShardResponse r;
+      const Status decoded =
+          ShardResponse::Decode(payload.data(), payload.size(), &r);
+      // Only a kOk answer at the EXACT pinned (shard, shard_epoch) is
+      // usable — anything else (stale replica, malformed bytes) fails
+      // over to the next sibling.
+      if (decoded.ok() && r.code == StatusCode::kOk && r.shard == shard &&
+          r.shard_epoch == shard_epoch) {
+        if (k > 0) {
+          router->rpc_failovers_.fetch_add(1, std::memory_order_relaxed);
+        }
+        std::function<void(bool, ShardResponse)> fn = std::move(done);
+        fn(true, std::move(r));
+        return;
+      }
+    }
+    router->rpc_stale_.fetch_add(1, std::memory_order_relaxed);
+    TryNext(k + 1);
+  }
+};
+
 // -------------------------------------------------------------- Mailbox
 
-uint64_t ShardRouter::Mailbox::Register(std::shared_ptr<Call> call) {
+uint64_t ShardRouter::Mailbox::Register(Callback callback) {
   const uint64_t tag = next_tag_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mu_);
-  calls_.emplace(tag, std::move(call));
+  calls_.emplace(tag, std::move(callback));
   return tag;
-}
-
-void ShardRouter::Mailbox::Wait(Call* call) {
-  std::unique_lock<std::mutex> lock(call->mu);
-  call->cv.wait(lock, [call] { return call->done; });
 }
 
 void ShardRouter::Mailbox::OnResponse(uint64_t tag, Status transport_status,
                                       std::vector<uint8_t> payload) {
-  std::shared_ptr<Call> call;
+  Callback callback;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = calls_.find(tag);
@@ -113,16 +311,12 @@ void ShardRouter::Mailbox::OnResponse(uint64_t tag, Status transport_status,
       duplicates_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
-    call = std::move(it->second);
+    callback = std::move(it->second);
     calls_.erase(it);
   }
-  {
-    std::lock_guard<std::mutex> lock(call->mu);
-    call->status = std::move(transport_status);
-    call->payload = std::move(payload);
-    call->done = true;
-  }
-  call->cv.notify_all();
+  // Outside the lock: the callback may register the next failover
+  // attempt (which takes mu_ again) or run the whole gather phase.
+  callback(std::move(transport_status), std::move(payload));
 }
 
 // ---------------------------------------------------------- ShardRouter
@@ -189,6 +383,8 @@ RouterStats ShardRouter::Stats() const {
   s.rpc_stale_responses = rpc_stale_.load(std::memory_order_relaxed);
   s.rpc_failovers = rpc_failovers_.load(std::memory_order_relaxed);
   s.rpc_duplicates_dropped = mailbox_.duplicates_dropped();
+  s.wire_installs = wire_installs_.load(std::memory_order_relaxed);
+  s.install_failures = install_failures_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -202,87 +398,147 @@ void ShardRouter::ResetStats() {
 }
 
 void ShardRouter::InstallAndPublish(
-    std::shared_ptr<const ShardedSnapshot> snap) {
+    std::shared_ptr<const ShardedSnapshot> snap,
+    const UpdateBatch& updates) {
   // Install BEFORE publish: once a reader can pin this epoch, every
   // replica already holds it, so a fresh query never fails on a
   // version that merely hasn't propagated yet.
-  for (ShardReplica* r : replicas_) r->Install(snap);
+  if (!replicas_.empty()) {
+    for (ShardReplica* r : replicas_) r->Install(snap);
+  } else if (transport_->NumEndpoints() > 0) {
+    // Wire replication: ship the coalesced batch as the next kInstall
+    // sequence; every ReplicaNode applies it to its own (identical)
+    // engine and must arrive at these exact epochs before acking.
+    InstallRequest req;
+    req.seq = next_install_seq_++;
+    req.expected_engine_epoch = snap->epoch;
+    req.expected_shard_epochs.reserve(snap->shards.size());
+    for (const auto& sh : snap->shards) {
+      req.expected_shard_epochs.push_back(sh->shard_epoch);
+    }
+    req.updates = updates;
+    install_log_.push_back(InstallLogEntry{
+        req.seq,
+        std::make_shared<const std::vector<uint8_t>>(req.Encode())});
+    while (install_log_.size() > options_.install_log_entries) {
+      install_log_.pop_front();
+      ++install_log_base_;
+    }
+    wire_installs_.fetch_add(1, std::memory_order_relaxed);
+    bool all_ok = true;
+    for (uint32_t e = 0; e < transport_->NumEndpoints(); ++e) {
+      if (!WireInstallEndpoint(e)) all_ok = false;
+    }
+    if (!all_ok) {
+      // Publish anyway: the lagging replica answers the new epochs
+      // with typed kUnavailable (never wrong bytes) and the NEXT
+      // install's replay catches it up.
+      install_failures_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   core_.Publish(std::move(snap));
 }
 
-bool ShardRouter::CallReplica(const ShardRequest& req,
-                              ShardResponse* resp) {
-  const uint32_t n = transport_->NumEndpoints();
-  if (n == 0) return false;
-  const std::vector<uint8_t> encoded = req.Encode();
-  // Round-robin fan-out start spreads load across siblings; every
-  // replica still gets tried before the query gives up.
-  const uint32_t start =
-      next_replica_.fetch_add(1, std::memory_order_relaxed) % n;
-  for (uint32_t k = 0; k < n; ++k) {
-    const uint32_t endpoint = (start + k) % n;
-    rpcs_sent_.fetch_add(1, std::memory_order_relaxed);
-    if (k > 0) rpc_retries_.fetch_add(1, std::memory_order_relaxed);
-    auto call = std::make_shared<Mailbox::Call>();
-    const uint64_t tag = mailbox_.Register(call);
-    transport_->Send(endpoint, tag, encoded, &mailbox_);
-    Mailbox::Wait(call.get());
-    if (call->status.ok()) {
-      ShardResponse r;
-      const Status decoded =
-          ShardResponse::Decode(call->payload.data(),
-                                call->payload.size(), &r);
-      // Only a kOk answer at the EXACT pinned (shard, shard_epoch) is
-      // usable — anything else (stale replica, malformed bytes) fails
-      // over to the next sibling.
-      if (decoded.ok() && r.code == StatusCode::kOk &&
-          r.shard == req.shard && r.shard_epoch == req.shard_epoch) {
-        if (k > 0) rpc_failovers_.fetch_add(1, std::memory_order_relaxed);
-        *resp = std::move(r);
-        return true;
-      }
+bool ShardRouter::WireInstallEndpoint(uint32_t endpoint) {
+  if (install_log_.empty()) return true;
+  const uint64_t target = next_install_seq_;
+  int attempts = options_.install_attempts;
+  uint64_t need = target - 1;  // newest first; nacks say where to replay
+  while (attempts > 0) {
+    if (need < install_log_base_) return false;  // evicted: can't catch up
+    const InstallLogEntry& entry =
+        install_log_[static_cast<size_t>(need - install_log_base_)];
+    std::vector<uint8_t> payload;
+    if (!BlockingRpc(endpoint, entry.encoded, &payload)) {
+      --attempts;
+      continue;
     }
-    rpc_stale_.fetch_add(1, std::memory_order_relaxed);
+    InstallAck ack;
+    if (!InstallAck::Decode(payload.data(), payload.size(), &ack).ok()) {
+      --attempts;
+      continue;
+    }
+    if (ack.ok) {
+      if (ack.next_seq >= target) return true;  // fully caught up
+      need = ack.next_seq;  // keep replaying forward
+      continue;
+    }
+    if (ack.next_seq >= entry.seq) {
+      // The replica refused the very seq it expects (decode failure or
+      // sticky divergence) — replay cannot help.
+      return false;
+    }
+    need = ack.next_seq;  // sequence gap: replay from what it needs
+    --attempts;
   }
   return false;
 }
 
-bool ShardRouter::FetchRow(const ShardedSnapshot& snap, uint32_t shard,
-                           Vertex global, std::vector<Weight>* out) {
-  ShardRequest req;
-  req.kind = WireKind::kBoundaryRow;
-  req.shard = shard;
-  req.shard_epoch = snap.shards[shard]->shard_epoch;  // the pinned epoch
-  req.u = global;
-  ShardResponse resp;
-  if (!CallReplica(req, &resp)) return false;
-  const size_t width = snap.layout->shards[shard].boundary_local.size();
-  if (resp.row.size() != width) return false;  // malformed: wrong |S_i|
-  *out = std::move(resp.row);
+bool ShardRouter::BlockingRpc(
+    uint32_t endpoint, std::shared_ptr<const std::vector<uint8_t>> bytes,
+    std::vector<uint8_t>* payload) {
+  struct Cell {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;  // guarded by mu
+    Status status;
+    std::vector<uint8_t> payload;
+  };
+  auto cell = std::make_shared<Cell>();
+  const uint64_t tag = mailbox_.Register(
+      [cell](Status st, std::vector<uint8_t> p) {
+        std::lock_guard<std::mutex> lock(cell->mu);
+        cell->status = std::move(st);
+        cell->payload = std::move(p);
+        cell->done = true;
+        cell->cv.notify_all();
+      });
+  rpcs_sent_.fetch_add(1, std::memory_order_relaxed);
+  transport_->Send(endpoint, tag, std::move(bytes), &mailbox_);
+  std::unique_lock<std::mutex> lock(cell->mu);
+  // The transports guarantee exactly-once delivery per Send (a socket
+  // request that outlives its request_timeout fails kUnavailable), so
+  // this local deadline only guards a misconfigured install_timeout <
+  // transport timeout; a late delivery writes a cell nobody reads.
+  if (!cell->cv.wait_for(lock, options_.install_timeout,
+                         [&] { return cell->done; })) {
+    return false;
+  }
+  if (!cell->status.ok()) return false;
+  *payload = std::move(cell->payload);
   return true;
 }
 
-bool ShardRouter::FetchPoint(const ShardedSnapshot& snap, uint32_t shard,
-                             Vertex s, Vertex t, Weight* out) {
-  ShardRequest req;
-  req.kind = WireKind::kPointQuery;
-  req.shard = shard;
-  req.shard_epoch = snap.shards[shard]->shard_epoch;  // the pinned epoch
-  req.u = s;
-  req.v = t;
-  ShardResponse resp;
-  if (!CallReplica(req, &resp)) return false;
-  *out = resp.distance;
-  return true;
+void ShardRouter::CallReplicaAsync(
+    const ShardRequest& req, std::function<void(bool, ShardResponse)> done) {
+  const uint32_t n = transport_->NumEndpoints();
+  if (n == 0) {
+    done(false, ShardResponse{});
+    return;
+  }
+  auto call = std::make_shared<PendingCall>();
+  call->router = this;
+  // Encode ONCE; the buffer is shared by every sibling attempt instead
+  // of being re-encoded per retry.
+  call->encoded =
+      std::make_shared<const std::vector<uint8_t>>(req.Encode());
+  call->shard = req.shard;
+  call->shard_epoch = req.shard_epoch;
+  // Round-robin fan-out start spreads load across siblings; every
+  // replica still gets tried before the query gives up.
+  call->start = next_replica_.fetch_add(1, std::memory_order_relaxed) % n;
+  call->n = n;
+  call->done = std::move(done);
+  call->TryNext(0);
 }
 
 Weight ShardRouter::RouteOne(const ShardedSnapshot& snap, Vertex s,
-                             Vertex t, RouterScratch* scratch,
-                             StatusCode* code) {
+                             Vertex t, SpanFanout* fan, StatusCode* code) {
   // The in-process router's decomposition verbatim (bit-identity), with
-  // ds/dt rows and the same-cell point distance fetched from replicas
-  // at the snapshot's pinned per-shard epochs. The overlay reduction
-  // runs router-side on the pinned epoch's table.
+  // ds/dt rows and the same-cell point distance read from the fan-out's
+  // prefetched replica answers at the snapshot's pinned per-shard
+  // epochs. The overlay reduction runs router-side on the pinned
+  // epoch's table.
   const ShardLayout& lay = *snap.layout;
   STL_DCHECK(s < lay.shard_of_vertex.size());
   STL_DCHECK(t < lay.shard_of_vertex.size());
@@ -305,7 +561,7 @@ Weight ShardRouter::RouteOne(const ShardedSnapshot& snap, Vertex s,
     // boundary-detour alternative is still covered by the general case
     // below (D[b][b] = 0 makes touch-and-return a special case of it).
     Weight d = kInfDistance;
-    if (!FetchPoint(snap, cs, s, t, &d)) {
+    if (!fan->Point(s, t, &d)) {
       *code = StatusCode::kUnavailable;
       return kInfDistance;
     }
@@ -313,7 +569,7 @@ Weight ShardRouter::RouteOne(const ShardedSnapshot& snap, Vertex s,
   }
 
   if (s_boundary) {
-    const std::vector<Weight>* dt = scratch->Row(this, snap, ct, t);
+    const std::vector<Weight>* dt = fan->Row(ct, t);
     if (dt == nullptr) {
       *code = StatusCode::kUnavailable;
       return kInfDistance;
@@ -323,7 +579,7 @@ Weight ShardRouter::RouteOne(const ShardedSnapshot& snap, Vertex s,
         best, MinPlusReduce(snap.overlay->PackedRow(ct, pos), dt->data(),
                             static_cast<uint32_t>(dt->size())));
   } else if (t_boundary) {
-    const std::vector<Weight>* ds = scratch->Row(this, snap, cs, s);
+    const std::vector<Weight>* ds = fan->Row(cs, s);
     if (ds == nullptr) {
       *code = StatusCode::kUnavailable;
       return kInfDistance;
@@ -333,9 +589,8 @@ Weight ShardRouter::RouteOne(const ShardedSnapshot& snap, Vertex s,
         best, MinPlusReduce(snap.overlay->PackedRow(cs, pos), ds->data(),
                             static_cast<uint32_t>(ds->size())));
   } else {
-    const std::vector<Weight>* ds = scratch->Row(this, snap, cs, s);
-    const std::vector<Weight>* inner =
-        scratch->Inner(this, snap, cs, ct, t);
+    const std::vector<Weight>* ds = fan->Row(cs, s);
+    const std::vector<Weight>* inner = fan->Inner(cs, ct, t);
     if (ds == nullptr || inner == nullptr) {
       *code = StatusCode::kUnavailable;
       return kInfDistance;
@@ -352,7 +607,9 @@ Weight ShardRouter::RouteOne(const ShardedSnapshot& snap, Vertex s,
 void ShardRouter::Policy::PublishInitial() {
   auto snap = router->engine_.CurrentSnapshot();
   router->last_published_epoch_ = snap->epoch;
-  router->InstallAndPublish(std::move(snap));
+  // Seq 0 carries no updates: it only verifies the replicas built the
+  // identical epoch-0 state from the identical graph.
+  router->InstallAndPublish(std::move(snap), UpdateBatch{});
 }
 
 Weight ShardRouter::Policy::ResolveOldWeight(EdgeId e) const {
@@ -373,17 +630,34 @@ void ShardRouter::Policy::ApplyBatch(const UpdateBatch& batch) {
   // epoch id; this counter is the router's own publish count).
   r->core_.counters().epochs_published.fetch_add(
       1, std::memory_order_relaxed);
-  r->InstallAndPublish(std::move(snap));
+  r->InstallAndPublish(std::move(snap), batch);
 }
 
 uint32_t ShardRouter::Policy::NumEdges() const {
   return router->engine_.CurrentSnapshot()->graph.NumEdges();
 }
 
-Weight ShardRouter::Policy::Route(const ShardedSnapshot& snap, Vertex s,
-                                  Vertex t, StatusCode* code) const {
-  RouterScratch scratch;
-  return router->RouteOne(snap, s, t, &scratch, code);
+void ShardRouter::Policy::RouteAsync(
+    std::shared_ptr<const ShardedSnapshot> snap, Vertex s, Vertex t,
+    std::function<void(Weight, StatusCode)> done) const {
+  // One-element span: the fan-out's pointers alias its own storage.
+  auto fan = std::make_shared<SpanFanout>();
+  fan->router = router;
+  fan->snap = std::move(snap);
+  fan->one_query = QueryPair{s, t};
+  fan->queries = &fan->one_query;
+  fan->idx = &fan->one_idx;
+  fan->count = 1;
+  fan->out = &fan->one_out;
+  fan->codes = &fan->one_code;
+  SpanFanout* raw = fan.get();
+  // Capturing the raw pointer (not the shared_ptr) avoids a
+  // fan->done->fan cycle; Arrive() invokes `done` while its calling
+  // callback still holds a shared_ptr, so `raw` is alive.
+  fan->done = [raw, done = std::move(done)] {
+    done(raw->one_out, raw->one_code);
+  };
+  raw->Start();
 }
 
 uint64_t ShardRouter::Policy::BatchSortKey(const ShardedSnapshot& snap,
@@ -396,16 +670,20 @@ uint64_t ShardRouter::Policy::BatchSortKey(const ShardedSnapshot& snap,
   return (cs << 48) | (ct << 32) | q.second;
 }
 
-void ShardRouter::Policy::RouteSpan(const ShardedSnapshot& snap,
-                                    const QueryPair* queries,
-                                    const uint32_t* idx, size_t count,
-                                    Weight* out, StatusCode* codes) const {
-  RouterScratch scratch;  // shared across the sorted chunk
-  for (size_t j = 0; j < count; ++j) {
-    const QueryPair& q = queries[idx[j]];
-    out[idx[j]] =
-        router->RouteOne(snap, q.first, q.second, &scratch, &codes[idx[j]]);
-  }
+void ShardRouter::Policy::RouteSpanAsync(
+    std::shared_ptr<const ShardedSnapshot> snap, const QueryPair* queries,
+    const uint32_t* idx, size_t count, Weight* out, StatusCode* codes,
+    std::function<void()> done) const {
+  auto fan = std::make_shared<SpanFanout>();
+  fan->router = router;
+  fan->snap = std::move(snap);
+  fan->queries = queries;
+  fan->idx = idx;
+  fan->count = count;
+  fan->out = out;
+  fan->codes = codes;
+  fan->done = std::move(done);  // the core's continuation (no cycle)
+  fan->Start();
 }
 
 void ShardRouter::Policy::AugmentStats(EngineStats* s) const {

@@ -6,16 +6,20 @@
 //
 //   callers          ShardRouter (ServingCore<RouterPolicy>)
 //   ─────────────    ────────────────────────────────────────────────
-//   Submit*          pin ONE ShardedSnapshot; for each query fetch the
-//                    endpoint ds/dt rows from a replica (pinning each
-//                    shard's shard_epoch on the wire), reduce through
-//                    the pinned epoch's OverlayTable min-plus kernels
+//   Submit*          pin ONE ShardedSnapshot; enumerate every unique
+//                    ds/dt row and same-cell point the span needs,
+//                    issue ALL of them concurrently (pinning each
+//                    shard's shard_epoch on the wire), and reduce
+//                    through the pinned epoch's OverlayTable min-plus
+//                    kernels when the last fetch lands — the reader
+//                    thread issues and returns; no thread parks per RPC
 //
 //   updates          router writer -> inner ShardedEngine (the
 //                    authoritative writer tier) -> new snapshot is
-//                    installed on every replica, THEN published to the
-//                    router's readers — a reader can never pin an
-//                    epoch no replica holds yet
+//                    installed on every replica — directly for
+//                    in-process replicas, or as a kInstall wire message
+//                    applied by each ReplicaNode's own engine — THEN
+//                    published to the router's readers
 //
 // Epoch-consistent fan-out is the hard invariant: a batch pins one
 // snapshot, every row request carries that snapshot's per-shard
@@ -26,6 +30,16 @@
 // a typed kUnavailable — delivered exactly once per user tag through
 // the same one-shot-claim completion machinery as every other serving
 // path.
+//
+// The fan-out is asynchronous end to end (Policy::kAsyncRoute): a
+// reader thread enumerates the span's unique fetches, issues them all,
+// and returns to the pool; each RPC's answer arrives through the
+// tag-keyed Mailbox (from the transport's delivery thread), sibling
+// failover chains through PendingCall without blocking anyone, and the
+// LAST arrival runs the sequential min-plus compute phase — so the
+// answer bytes are produced by one thread in deterministic order,
+// bit-identical to the synchronous in-process router, while a fan-out
+// of N RPCs blocks zero reader threads.
 //
 // Bit-identity (the conformance contract, tests/router_test.cc and
 // bench_router_fanout --check): replica-served rows are computed by
@@ -38,8 +52,11 @@
 #define STL_DIST_SHARD_ROUTER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -71,6 +88,15 @@ struct ShardRouterOptions {
   /// watchdog, drain, fault hooks). The transport fault sites fire in
   /// the transport itself (LoopbackTransport's injector), not here.
   ServingOptions serving;
+  /// Budget for one wire-install ack (kInstall replication to socket
+  /// replicas; unused with in-process replicas).
+  std::chrono::milliseconds install_timeout{2000};
+  /// Send attempts per endpoint before a wire install gives up on it
+  /// (the router publishes anyway; the lagging replica answers the new
+  /// epochs kUnavailable until a later install catches it up).
+  int install_attempts = 3;
+  /// Installs kept for nack-triggered replay to lagging replicas.
+  size_t install_log_entries = 256;
 };
 
 /// Router-tier counters: the router core's serving stats plus the RPC
@@ -95,6 +121,12 @@ struct RouterStats {
   /// Responses delivered under an already-settled tag (transport
   /// duplicates) and absorbed by the one-shot claim.
   uint64_t rpc_duplicates_dropped = 0;
+  /// kInstall sequences shipped over the wire (0 with in-process
+  /// replicas, which are installed directly).
+  uint64_t wire_installs = 0;
+  /// Publishes where at least one endpoint failed to ack its install
+  /// (the router published anyway; see install_attempts).
+  uint64_t install_failures = 0;
 };
 
 /// The replicated router over a pluggable transport. Mirrors
@@ -109,17 +141,19 @@ class ShardRouter {
   using Ticket = BatchTicket<ShardedSnapshot>;
 
   /// Builds the inner engine from `graph`, installs the initial epoch
-  /// on `replicas` (not owned; must outlive the router) and starts the
-  /// router core. `transport` (not owned) must route endpoint i to
-  /// replicas[i]'s Handle — MakeLoopbackCluster wires that for the
-  /// in-process tier. The replica list may be empty only if the
-  /// transport has endpoints served elsewhere (socket skeleton).
+  /// on the replicas and starts the router core. `transport` (not
+  /// owned) must route endpoint i to replica i. Two deployment shapes:
+  /// in-process — `replicas` (not owned; must outlive the router) are
+  /// installed directly and MakeLoopbackCluster wires the transport;
+  /// over the wire — `replicas` is empty and every transport endpoint
+  /// is a ReplicaNode (e.g. behind a FrameServer or a replica_server
+  /// process), kept in sync by kInstall replication.
   ShardRouter(Graph graph, const HierarchyOptions& hierarchy_options,
               const ShardRouterOptions& options, Transport* transport,
               std::vector<ShardReplica*> replicas);
 
-  /// Drains the router core (answers or fails every submitted query),
-  /// then the inner engine.
+  /// Drains the router core (answers or fails every submitted query,
+  /// including every in-flight async fan-out), then the inner engine.
   ~ShardRouter();
 
   ShardRouter(const ShardRouter&) = delete;  ///< Not copyable.
@@ -165,7 +199,7 @@ class ShardRouter {
   void Flush();
 
   /// The latest router-published snapshot (never null). Every replica
-  /// already holds it.
+  /// already holds it (unless its install failed; see RouterStats).
   std::shared_ptr<const ShardedSnapshot> CurrentSnapshot() const;
 
   /// Global epoch of the latest router-published snapshot.
@@ -185,7 +219,8 @@ class ShardRouter {
   int num_query_threads() const { return core_.num_query_threads(); }
 
  private:
-  struct RouterScratch;
+  struct SpanFanout;
+  struct PendingCall;
 
   // The routed Route policy over the shared ServingCore (see the
   // policy contract in engine/serving_core.h).
@@ -193,9 +228,13 @@ class ShardRouter {
     using Snapshot = ShardedSnapshot;
     using Result = ShardedQueryResult;
     // Batched misses sort by (source cell, target cell, target) so
-    // fetched rows and inner vectors are reused across each group —
-    // the same grouping (and the same arithmetic) as ShardedEngine.
+    // fetched rows and inner vectors are deduplicated across each
+    // group — the same grouping (and the same arithmetic) as
+    // ShardedEngine.
     static constexpr bool kGroupsBatches = true;
+    // Continuation-passing routing: the fan-out parks no reader thread
+    // (see the async contract in engine/serving_core.h).
+    static constexpr bool kAsyncRoute = true;
 
     ShardRouter* router;
 
@@ -203,37 +242,31 @@ class ShardRouter {
     Weight ResolveOldWeight(EdgeId e) const;
     void ApplyBatch(const UpdateBatch& batch);
     uint32_t NumEdges() const;
-    Weight Route(const ShardedSnapshot& snap, Vertex s, Vertex t,
-                 StatusCode* code) const;
+    void RouteAsync(std::shared_ptr<const ShardedSnapshot> snap, Vertex s,
+                    Vertex t,
+                    std::function<void(Weight, StatusCode)> done) const;
     uint64_t BatchSortKey(const ShardedSnapshot& snap,
                           const QueryPair& q) const;
-    void RouteSpan(const ShardedSnapshot& snap, const QueryPair* queries,
-                   const uint32_t* idx, size_t count, Weight* out,
-                   StatusCode* codes) const;
+    void RouteSpanAsync(std::shared_ptr<const ShardedSnapshot> snap,
+                        const QueryPair* queries, const uint32_t* idx,
+                        size_t count, Weight* out, StatusCode* codes,
+                        std::function<void()> done) const;
     void AugmentStats(EngineStats* s) const;
   };
 
-  /// The router side of the transport: a tag-keyed mailbox of blocking
-  /// calls. OnResponse settles the tag's call exactly once; a delivery
-  /// for an unknown (already-settled) tag is a transport duplicate and
-  /// is counted and dropped — the one-shot claim at RPC granularity.
+  /// The router side of the transport: a tag-keyed registry of
+  /// response callbacks. OnResponse settles the tag's callback exactly
+  /// once (invoked outside the lock, on the transport's delivery
+  /// thread); a delivery for an unknown — already-settled — tag is a
+  /// transport duplicate and is counted and dropped: the one-shot
+  /// claim at RPC granularity.
   class Mailbox final : public TransportSink {
    public:
-    /// One in-flight RPC: the caller blocks on `cv` until settled.
-    struct Call {
-      std::mutex mu;
-      std::condition_variable cv;
-      bool done = false;               // guarded by mu
-      Status status;                   // guarded by mu until done
-      std::vector<uint8_t> payload;    // guarded by mu until done
-    };
+    /// One in-flight RPC's continuation.
+    using Callback = std::function<void(Status, std::vector<uint8_t>)>;
 
-    /// Registers a fresh tag -> call binding and returns the tag.
-    uint64_t Register(std::shared_ptr<Call> call);
-
-    /// Blocks until `call` settles (transport delivery is exactly once
-    /// per attempt, possibly inline in Send).
-    static void Wait(Call* call);
+    /// Registers a fresh tag -> callback binding and returns the tag.
+    uint64_t Register(Callback callback);
 
     void OnResponse(uint64_t tag, Status transport_status,
                     std::vector<uint8_t> payload) override;
@@ -249,38 +282,50 @@ class ShardRouter {
 
    private:
     std::mutex mu_;
-    std::unordered_map<uint64_t, std::shared_ptr<Call>> calls_;
+    std::unordered_map<uint64_t, Callback> calls_;  // guarded by mu_
     std::atomic<uint64_t> next_tag_{1};
     std::atomic<uint64_t> duplicates_{0};
   };
 
-  /// One pinned-epoch RPC with sibling failover: tries every replica
-  /// endpoint (round-robin start) until one serves the request at the
-  /// pinned shard_epoch. False when all of them fail — the caller
-  /// completes the query kUnavailable.
-  bool CallReplica(const ShardRequest& req, ShardResponse* resp);
+  /// One pinned-epoch RPC with asynchronous sibling failover: encodes
+  /// the request ONCE (the buffer is shared across every sibling
+  /// attempt) and tries replica endpoints round-robin until one serves
+  /// it at the pinned shard_epoch. `done` runs exactly once — from the
+  /// transport's delivery thread (or inline for a synchronous
+  /// transport) — with ok=false after every endpoint failed.
+  void CallReplicaAsync(const ShardRequest& req,
+                        std::function<void(bool, ShardResponse)> done);
 
-  /// Fetches the boundary row of `global` (owned by `shard`) at the
-  /// snapshot's pinned shard_epoch. False on replica exhaustion.
-  bool FetchRow(const ShardedSnapshot& snap, uint32_t shard,
-                Vertex global, std::vector<Weight>* out);
-
-  /// Fetches the intra-cell distance s->t inside `shard` at the pinned
-  /// shard_epoch. False on replica exhaustion.
-  bool FetchPoint(const ShardedSnapshot& snap, uint32_t shard, Vertex s,
-                  Vertex t, Weight* out);
-
-  /// The one routed query implementation both Route and RouteSpan use:
-  /// ShardedEngine's decomposition with replica-fetched rows and the
-  /// pinned overlay's min-plus kernels. Writes kUnavailable to *code
-  /// (and returns kInfDistance) on replica exhaustion.
+  /// The one routed query implementation: ShardedEngine's
+  /// decomposition, reading rows/points the fan-out already fetched
+  /// and reducing through the pinned overlay's min-plus kernels.
+  /// Writes kUnavailable to *code (and returns kInfDistance) when a
+  /// needed fetch exhausted every replica.
   Weight RouteOne(const ShardedSnapshot& snap, Vertex s, Vertex t,
-                  RouterScratch* scratch, StatusCode* code);
+                  SpanFanout* fan, StatusCode* code);
 
-  /// Installs `snap` on every replica, then publishes it to the router
-  /// core — in that order, so a reader-pinned epoch is always held by
-  /// the replicas.
-  void InstallAndPublish(std::shared_ptr<const ShardedSnapshot> snap);
+  /// Installs `snap` on every replica — in-process directly, or over
+  /// the wire as the kInstall sequence carrying `updates` — then
+  /// publishes it to the router core. Healthy path: install strictly
+  /// before publish, so a reader-pinned epoch is always held by the
+  /// replicas. A failed wire install is counted and published anyway:
+  /// the lagging replica answers the new epochs with typed
+  /// kUnavailable (never wrong bytes) until replay catches it up.
+  void InstallAndPublish(std::shared_ptr<const ShardedSnapshot> snap,
+                         const UpdateBatch& updates);
+
+  /// Drives `endpoint` to the newest install log entry (replaying
+  /// earlier entries on a sequence-gap nack). Writer thread only.
+  /// False when the endpoint cannot be caught up within the attempt
+  /// budget (or nacked a seq it should have accepted — divergence).
+  bool WireInstallEndpoint(uint32_t endpoint);
+
+  /// One blocking RPC (writer thread only — the install path is the
+  /// single place the router blocks on the wire). False on transport
+  /// failure or install_timeout.
+  bool BlockingRpc(uint32_t endpoint,
+                   std::shared_ptr<const std::vector<uint8_t>> bytes,
+                   std::vector<uint8_t>* payload);
 
   const ShardRouterOptions options_;
   Transport* const transport_;           // not owned
@@ -289,14 +334,29 @@ class ShardRouter {
   Mailbox mailbox_;
   std::atomic<uint32_t> next_replica_{0};  // round-robin fan-out start
   // Inner epoch of the last snapshot handed to InstallAndPublish
-  // (router writer thread only; skips republishing coalesced no-ops).
+  // (router writer thread only; skips republishing coalesced no-ops —
+  // wire replicas skip the identical no-ops, so the streams stay
+  // aligned).
   uint64_t last_published_epoch_ = 0;
+
+  /// One wire-install log entry: the sequence number and the
+  /// encoded-once InstallRequest shared by every (re)send.
+  struct InstallLogEntry {
+    uint64_t seq = 0;
+    std::shared_ptr<const std::vector<uint8_t>> encoded;
+  };
+  // Wire-install replication state (writer thread only).
+  std::deque<InstallLogEntry> install_log_;
+  uint64_t install_log_base_ = 0;  // seq of install_log_.front()
+  uint64_t next_install_seq_ = 0;
 
   // RPC accounting (relaxed; surfaced through Stats()).
   std::atomic<uint64_t> rpcs_sent_{0};
   std::atomic<uint64_t> rpc_retries_{0};
   std::atomic<uint64_t> rpc_stale_{0};
   std::atomic<uint64_t> rpc_failovers_{0};
+  std::atomic<uint64_t> wire_installs_{0};
+  std::atomic<uint64_t> install_failures_{0};
 
   ShardedEngine engine_;  // the authoritative writer tier
   Policy policy_{this};

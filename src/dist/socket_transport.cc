@@ -1,6 +1,7 @@
 #include "dist/socket_transport.h"
 
-#include <cstring>
+#include <algorithm>
+#include <cstdlib>
 #include <utility>
 
 #include "util/logging.h"
@@ -8,71 +9,218 @@
 namespace stl {
 
 namespace {
-/// Frame header: u32 length (tag + payload bytes) followed by u64 tag.
-constexpr size_t kLenBytes = sizeof(uint32_t);
-constexpr size_t kTagBytes = sizeof(uint64_t);
-/// Sanity bound on one frame's body: a shard response is at most one
-/// boundary row (|S| weights), far below this; anything larger is a
-/// corrupted or hostile length prefix, not a real message.
-constexpr uint32_t kMaxFrameBody = 1u << 28;
+
+/// Splits "host:port"; CHECK-fails on malformed endpoint strings
+/// (endpoint lists are configuration, not untrusted input).
+void ParseEndpoint(const std::string& endpoint, std::string* host,
+                   uint16_t* port) {
+  const size_t colon = endpoint.rfind(':');
+  STL_CHECK(colon != std::string::npos && colon + 1 < endpoint.size())
+      << "bad endpoint: " << endpoint;
+  *host = endpoint.substr(0, colon);
+  const long parsed = std::strtol(endpoint.c_str() + colon + 1, nullptr, 10);
+  STL_CHECK(parsed > 0 && parsed <= 65535) << "bad port in: " << endpoint;
+  *port = static_cast<uint16_t>(parsed);
+}
+
 }  // namespace
 
-void EncodeFrame(uint64_t tag, const std::vector<uint8_t>& payload,
-                 std::vector<uint8_t>* out) {
-  const uint32_t body =
-      static_cast<uint32_t>(kTagBytes + payload.size());
-  STL_CHECK(payload.size() <= kMaxFrameBody - kTagBytes);
-  const size_t base = out->size();
-  out->resize(base + kLenBytes + body);
-  std::memcpy(out->data() + base, &body, kLenBytes);
-  std::memcpy(out->data() + base + kLenBytes, &tag, kTagBytes);
-  if (!payload.empty()) {
-    std::memcpy(out->data() + base + kLenBytes + kTagBytes,
-                payload.data(), payload.size());
+SocketTransport::SocketTransport(std::vector<std::string> endpoints,
+                                 SocketTransportOptions options)
+    : options_(options) {
+  channels_.reserve(endpoints.size());
+  for (const std::string& e : endpoints) {
+    auto ch = std::make_unique<Channel>();
+    ParseEndpoint(e, &ch->host, &ch->port);
+    channels_.push_back(std::move(ch));
   }
+  loop_.Start();
 }
 
-Status DecodeFrame(const uint8_t* data, size_t size, WireFrame* frame,
-                   size_t* consumed) {
-  *consumed = 0;
-  if (size < kLenBytes) {
-    return Status::Unavailable("frame: length prefix incomplete");
-  }
-  uint32_t body = 0;
-  std::memcpy(&body, data, kLenBytes);
-  if (body < kTagBytes || body > kMaxFrameBody) {
-    return Status::Corruption("frame: implausible length prefix");
-  }
-  if (size < kLenBytes + body) {
-    return Status::Unavailable("frame: body incomplete");
-  }
-  std::memcpy(&frame->tag, data + kLenBytes, kTagBytes);
-  frame->payload.assign(data + kLenBytes + kTagBytes,
-                        data + kLenBytes + body);
-  *consumed = kLenBytes + body;
-  return Status::OK();
+SocketTransport::~SocketTransport() {
+  loop_.Post([this] {
+    for (size_t i = 0; i < channels_.size(); ++i) {
+      Channel* ch = channels_[i].get();
+      // Bump the generation so close callbacks from the Shutdown below
+      // (and any pending timers) become stale no-ops.
+      ++ch->generation;
+      FailAll(ch, "transport shutdown");
+      if (ch->conn) {
+        ch->conn->Shutdown();
+        ch->conn.reset();
+      }
+      ch->state = Channel::State::kIdle;
+    }
+  });
+  loop_.Stop();
 }
-
-SocketTransport::SocketTransport(std::vector<std::string> endpoints)
-    : endpoints_(std::move(endpoints)) {}
 
 uint32_t SocketTransport::NumEndpoints() const {
-  return static_cast<uint32_t>(endpoints_.size());
+  return static_cast<uint32_t>(channels_.size());
 }
 
 void SocketTransport::Send(uint32_t endpoint, uint64_t tag,
-                           std::vector<uint8_t> request,
+                           std::shared_ptr<const std::vector<uint8_t>> request,
                            TransportSink* sink) {
-  STL_CHECK(endpoint < endpoints_.size());
+  STL_CHECK(endpoint < channels_.size());
   STL_CHECK(sink != nullptr);
-  // Exercise the framing path the real implementation will write to
-  // the socket, then fail the attempt: no connection machinery yet.
-  std::vector<uint8_t> framed;
-  EncodeFrame(tag, request, &framed);
-  sink->OnResponse(
-      tag,
-      Status::Unavailable("socket transport: not connected (skeleton)"),
-      {});
+  STL_CHECK(request != nullptr);
+  loop_.Post([this, endpoint, tag, request = std::move(request), sink] {
+    ChannelSend(endpoint, tag, std::move(request), sink);
+  });
+}
+
+void SocketTransport::ChannelSend(
+    uint32_t index, uint64_t tag,
+    std::shared_ptr<const std::vector<uint8_t>> request,
+    TransportSink* sink) {
+  Channel* ch = channels_[index].get();
+  if (ch->state == Channel::State::kBackoff) {
+    // Fast-fail while the endpoint cools down: callers get their typed
+    // verdict in microseconds instead of a connect timeout each.
+    sink->OnResponse(tag, Status::Unavailable("socket: endpoint in backoff"),
+                     {});
+    return;
+  }
+  ch->in_flight[tag] = Channel::Pending{
+      sink, std::chrono::steady_clock::now() + options_.request_timeout};
+  ArmTimeoutSweep(index);
+  switch (ch->state) {
+    case Channel::State::kConnected:
+      ch->conn->SendFrame(tag, *request);
+      break;
+    case Channel::State::kConnecting:
+      ch->queued.emplace_back(tag, std::move(request));
+      break;
+    case Channel::State::kIdle:
+      ch->queued.emplace_back(tag, std::move(request));
+      StartConnect(index);
+      break;
+    case Channel::State::kBackoff:
+      break;  // unreachable (handled above)
+  }
+}
+
+void SocketTransport::StartConnect(uint32_t index) {
+  Channel* ch = channels_[index].get();
+  ch->state = Channel::State::kConnecting;
+  const uint64_t gen = ++ch->generation;
+
+  Conn::Callbacks cb;
+  cb.on_connected = [this, index, gen] {
+    if (channels_[index]->generation == gen) OnChannelConnected(index);
+  };
+  cb.on_frame = [this, index, gen](WireFrame frame) {
+    if (channels_[index]->generation == gen) {
+      OnChannelFrame(index, std::move(frame));
+    }
+  };
+  cb.on_close = [this, index, gen](const std::string& reason) {
+    if (channels_[index]->generation == gen) OnChannelClosed(index, reason);
+  };
+  ch->conn = Conn::Connect(&loop_, ch->host, ch->port, std::move(cb),
+                           options_.faults);
+  ch->connect_timer = loop_.AddTimer(
+      std::chrono::steady_clock::now() + options_.connect_timeout,
+      [this, index, gen] {
+        Channel* c = channels_[index].get();
+        if (c->generation != gen) return;
+        c->connect_timer = 0;
+        if (c->state == Channel::State::kConnecting && c->conn) {
+          c->conn->Shutdown();  // surfaces as on_close("shutdown")
+        }
+      });
+}
+
+void SocketTransport::OnChannelConnected(uint32_t index) {
+  Channel* ch = channels_[index].get();
+  ch->state = Channel::State::kConnected;
+  ch->backoff = std::chrono::milliseconds{0};
+  if (ch->connect_timer != 0) {
+    loop_.CancelTimer(ch->connect_timer);
+    ch->connect_timer = 0;
+  }
+  // Flush what queued during the handshake; tags the timeout sweep
+  // already expired are skipped (their sinks were answered).
+  auto queued = std::move(ch->queued);
+  ch->queued.clear();
+  for (auto& [tag, request] : queued) {
+    if (ch->state != Channel::State::kConnected) break;  // died mid-flush
+    if (ch->in_flight.count(tag) == 0) continue;
+    ch->conn->SendFrame(tag, *request);
+  }
+}
+
+void SocketTransport::OnChannelFrame(uint32_t index, WireFrame frame) {
+  Channel* ch = channels_[index].get();
+  auto it = ch->in_flight.find(frame.tag);
+  if (it == ch->in_flight.end()) return;  // late reply after timeout
+  TransportSink* sink = it->second.sink;
+  ch->in_flight.erase(it);
+  sink->OnResponse(frame.tag, Status::OK(), std::move(frame.payload));
+}
+
+void SocketTransport::OnChannelClosed(uint32_t index,
+                                      const std::string& reason) {
+  Channel* ch = channels_[index].get();
+  if (ch->connect_timer != 0) {
+    loop_.CancelTimer(ch->connect_timer);
+    ch->connect_timer = 0;
+  }
+  if (ch->state == Channel::State::kConnected) {
+    reconnects_.fetch_add(1, std::memory_order_relaxed);
+  }
+  FailAll(ch, "socket: " + reason);
+  ch->conn.reset();
+  ch->state = Channel::State::kBackoff;
+  ch->backoff = ch->backoff.count() == 0
+                    ? options_.backoff_initial
+                    : std::min(ch->backoff * 2, options_.backoff_max);
+  const uint64_t gen = ch->generation;
+  loop_.AddTimer(std::chrono::steady_clock::now() + ch->backoff,
+                 [this, index, gen] {
+                   Channel* c = channels_[index].get();
+                   if (c->generation != gen) return;
+                   if (c->state == Channel::State::kBackoff) {
+                     c->state = Channel::State::kIdle;  // redial on next Send
+                   }
+                 });
+}
+
+void SocketTransport::FailAll(Channel* ch, const std::string& reason) {
+  auto in_flight = std::move(ch->in_flight);
+  ch->in_flight.clear();
+  ch->queued.clear();
+  for (auto& [tag, pending] : in_flight) {
+    pending.sink->OnResponse(tag, Status::Unavailable(reason), {});
+  }
+}
+
+void SocketTransport::ArmTimeoutSweep(uint32_t index) {
+  Channel* ch = channels_[index].get();
+  if (ch->timeout_timer != 0 || ch->in_flight.empty()) return;
+  EventLoop::TimePoint next = ch->in_flight.begin()->second.deadline;
+  for (const auto& [tag, pending] : ch->in_flight) {
+    next = std::min(next, pending.deadline);
+  }
+  ch->timeout_timer =
+      loop_.AddTimer(next, [this, index] { SweepTimeouts(index); });
+}
+
+void SocketTransport::SweepTimeouts(uint32_t index) {
+  Channel* ch = channels_[index].get();
+  ch->timeout_timer = 0;
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<std::pair<uint64_t, TransportSink*>> expired;
+  for (const auto& [tag, pending] : ch->in_flight) {
+    if (pending.deadline <= now) expired.emplace_back(tag, pending.sink);
+  }
+  for (const auto& [tag, sink] : expired) {
+    ch->in_flight.erase(tag);
+    sink->OnResponse(tag, Status::Unavailable("socket: request timeout"),
+                     {});
+  }
+  ArmTimeoutSweep(index);
 }
 
 }  // namespace stl

@@ -1,66 +1,126 @@
-// Over-the-wire transport skeleton. The frame format and its codec are
-// real and tested (tests/util_test.cc): every message crosses the
-// stream as [u32 length][u64 tag][payload bytes], length covering the
-// tag and payload, so a receiver can re-segment a byte stream into
-// (tag, payload) pairs without understanding the payload. Actual
-// socket plumbing (connect, epoll loop, reconnect) is intentionally
-// not wired yet — Send fails with a typed kUnavailable so a router
-// configured against it degrades exactly like a router whose replicas
-// are all unreachable, and the conformance suite pins the behaviour
-// until the real implementation lands (ROADMAP "distributed shard
-// tier").
+// The over-the-wire Transport: one multiplexed framed TCP connection
+// per endpoint, driven by a single owned EventLoop (net/event_loop.h).
+// Send() posts the request to the loop; responses are tag-correlated
+// back to the caller's TransportSink from the loop thread. Every
+// failure mode — connect refusal/timeout, mid-stream disconnect,
+// request timeout, endpoint in backoff — surfaces as the same typed
+// kUnavailable the router's sibling-failover path already handles, so
+// the routed tier degrades over real sockets exactly as it does over a
+// fault-injected loopback.
+//
+// Reconnection is channel-level: a Conn is one-shot, and when it dies
+// the channel fails its in-flight tags, backs off exponentially
+// (capped), then redials lazily on the next Send — a dead endpoint
+// costs callers one fast typed failure per backoff window rather than
+// a connect timeout per request.
 #ifndef STL_DIST_SOCKET_TRANSPORT_H_
 #define STL_DIST_SOCKET_TRANSPORT_H_
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "dist/transport.h"
+#include "engine/fault_injector.h"
+#include "net/conn.h"
+#include "net/event_loop.h"
+#include "net/frame.h"  // WireFrame / EncodeFrame / DecodeFrame re-export
 #include "util/status.h"
 
 namespace stl {
 
-/// One decoded stream frame: the opaque tag plus the message payload.
-struct WireFrame {
-  uint64_t tag = 0;              ///< Echoed request/response tag.
-  std::vector<uint8_t> payload;  ///< Encoded ShardRequest/ShardResponse.
+/// Timeouts and backoff for the socket transport.
+struct SocketTransportOptions {
+  /// Budget for one TCP connect handshake before the attempt fails.
+  std::chrono::milliseconds connect_timeout{1000};
+  /// Budget from Send() to response delivery; an expired tag fails
+  /// kUnavailable and a late response is dropped as a duplicate.
+  std::chrono::milliseconds request_timeout{5000};
+  /// First reconnect backoff after a connection dies; doubles per
+  /// consecutive failure up to backoff_max.
+  std::chrono::milliseconds backoff_initial{10};
+  /// Backoff ceiling.
+  std::chrono::milliseconds backoff_max{1000};
+  /// Optional fault injector (not owned): arms kSocketShortIo on the
+  /// transport's client connections.
+  FaultInjector* faults = nullptr;
 };
 
-/// Encodes one frame as [u32 length][u64 tag][payload], appending to
-/// `out` (stream framing: frames concatenate back-to-back).
-void EncodeFrame(uint64_t tag, const std::vector<uint8_t>& payload,
-                 std::vector<uint8_t>* out);
-
-/// Decodes the first complete frame of `[data, data + size)` into
-/// `*frame` and sets `*consumed` to its encoded length. An incomplete
-/// prefix (short read mid-stream) returns kUnavailable with
-/// `*consumed == 0` — retry with more bytes; a malformed length
-/// returns kCorruption.
-Status DecodeFrame(const uint8_t* data, size_t size, WireFrame* frame,
-                   size_t* consumed);
-
-/// The socket-backed Transport. Currently a skeleton: endpoints are
-/// named (host:port strings) but never dialled, and Send fails every
-/// attempt with a typed kUnavailable — the router's replica-exhaustion
-/// path, proven against LoopbackTransport, covers this degradation
-/// unchanged.
+/// The socket-backed Transport (see file comment). Thread-safe: Send
+/// may run from any thread; all connection state lives on the owned
+/// event loop's thread.
 class SocketTransport final : public Transport {
  public:
-  /// A transport that will dial `endpoints` (host:port per entry) once
-  /// socket plumbing lands; until then every Send fails kUnavailable.
-  explicit SocketTransport(std::vector<std::string> endpoints);
+  /// Dials `endpoints` ("host:port" per entry, numeric IPv4 or
+  /// "localhost") lazily on first Send to each.
+  explicit SocketTransport(std::vector<std::string> endpoints,
+                           SocketTransportOptions options = {});
+
+  /// Fails every in-flight tag with kUnavailable, then stops and joins
+  /// the loop thread. Callers' sinks must still be alive (the router
+  /// drains its in-flight RPCs before its transport is destroyed).
+  ~SocketTransport() override;
 
   uint32_t NumEndpoints() const override;
 
-  /// Frames the request (EncodeFrame) and fails the attempt with a
-  /// typed kUnavailable: no connection machinery exists yet. Delivery
-  /// is inline and exactly once per attempt, like a connect timeout.
-  void Send(uint32_t endpoint, uint64_t tag, std::vector<uint8_t> request,
+  /// Posts the framed request to the endpoint's channel. Delivery to
+  /// `sink` is exactly once per attempt, always from the loop thread:
+  /// the endpoint's reply on success, typed kUnavailable on connect
+  /// failure, disconnect, request timeout or backoff fast-fail.
+  void Send(uint32_t endpoint, uint64_t tag,
+            std::shared_ptr<const std::vector<uint8_t>> request,
             TransportSink* sink) override;
 
+  /// Times a connected endpoint's connection died (each triggers a
+  /// backoff + redial cycle). Relaxed; bench/test observability.
+  uint64_t reconnects() const {
+    return reconnects_.load(std::memory_order_relaxed);
+  }
+
  private:
-  std::vector<std::string> endpoints_;
+  /// Per-endpoint connection state machine. Loop-thread only.
+  struct Channel {
+    enum class State { kIdle, kConnecting, kConnected, kBackoff };
+
+    std::string host;
+    uint16_t port = 0;
+    State state = State::kIdle;
+    std::shared_ptr<Conn> conn;
+    uint64_t generation = 0;  // guards stale Conn callbacks
+    std::chrono::milliseconds backoff{0};
+    /// Tag -> (sink, deadline) for requests written to the wire (or
+    /// queued below) and not yet answered.
+    struct Pending {
+      TransportSink* sink = nullptr;
+      EventLoop::TimePoint deadline;
+    };
+    std::unordered_map<uint64_t, Pending> in_flight;
+    /// Requests accepted while the connect handshake is in progress.
+    std::vector<std::pair<uint64_t, std::shared_ptr<const std::vector<uint8_t>>>>
+        queued;
+    uint64_t timeout_timer = 0;  // 0 = no sweep scheduled
+    uint64_t connect_timer = 0;  // 0 = none pending
+  };
+
+  void ChannelSend(uint32_t index, uint64_t tag,
+                   std::shared_ptr<const std::vector<uint8_t>> request,
+                   TransportSink* sink);
+  void StartConnect(uint32_t index);
+  void OnChannelConnected(uint32_t index);
+  void OnChannelFrame(uint32_t index, WireFrame frame);
+  void OnChannelClosed(uint32_t index, const std::string& reason);
+  void FailAll(Channel* ch, const std::string& reason);
+  void ArmTimeoutSweep(uint32_t index);
+  void SweepTimeouts(uint32_t index);
+
+  const SocketTransportOptions options_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+  std::atomic<uint64_t> reconnects_{0};
+  EventLoop loop_;
 };
 
 }  // namespace stl

@@ -10,6 +10,7 @@
 #define STL_DIST_TRANSPORT_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "util/status.h"
@@ -48,9 +49,13 @@ class Transport {
   /// failure) is delivered to `sink->OnResponse(tag, ...)`, possibly
   /// inline before Send returns. `tag` is opaque to the transport and
   /// echoed verbatim. `sink` must stay valid until the tag has been
-  /// delivered.
+  /// delivered. The request rides a shared buffer so a caller retrying
+  /// across sibling endpoints encodes once and every attempt (and any
+  /// queued/in-flight copy inside an async transport) aliases the same
+  /// bytes; `request` must be non-null and is never mutated.
   virtual void Send(uint32_t endpoint, uint64_t tag,
-                    std::vector<uint8_t> request, TransportSink* sink) = 0;
+                    std::shared_ptr<const std::vector<uint8_t>> request,
+                    TransportSink* sink) = 0;
 };
 
 }  // namespace stl

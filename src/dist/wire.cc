@@ -2,6 +2,21 @@
 
 namespace stl {
 
+Status PeekWireKind(const uint8_t* data, size_t size, WireKind* out) {
+  WireReader r(data, size);
+  Status s = r.ReadHeader(kWireMagic, kWireVersion);
+  if (!s.ok()) return s;
+  uint32_t kind = 0;
+  if (!(s = r.ReadPod(&kind)).ok()) return s;
+  if (kind != static_cast<uint32_t>(WireKind::kBoundaryRow) &&
+      kind != static_cast<uint32_t>(WireKind::kPointQuery) &&
+      kind != static_cast<uint32_t>(WireKind::kInstall)) {
+    return Status::Corruption("wire: unknown request kind");
+  }
+  *out = static_cast<WireKind>(kind);
+  return Status::OK();
+}
+
 std::vector<uint8_t> ShardRequest::Encode() const {
   WireWriter w(kWireMagic, kWireVersion);
   w.WritePod(static_cast<uint32_t>(kind));
@@ -62,6 +77,61 @@ Status ShardResponse::Decode(const uint8_t* data, size_t size,
   if (!(s = r.ReadVector(&out->row)).ok()) return s;
   if (r.remaining() != 0) {
     return Status::Corruption("wire: trailing bytes after response");
+  }
+  return Status::OK();
+}
+
+std::vector<uint8_t> InstallRequest::Encode() const {
+  WireWriter w(kWireMagic, kWireVersion);
+  w.WritePod(static_cast<uint32_t>(WireKind::kInstall));
+  w.WritePod(seq);
+  w.WritePod(expected_engine_epoch);
+  w.WriteVector(expected_shard_epochs);
+  w.WriteVector(updates);  // WeightUpdate is a padding-free POD triple
+  return w.Take();
+}
+
+Status InstallRequest::Decode(const uint8_t* data, size_t size,
+                              InstallRequest* out) {
+  WireReader r(data, size);
+  Status s = r.ReadHeader(kWireMagic, kWireVersion);
+  if (!s.ok()) return s;
+  uint32_t kind = 0;
+  if (!(s = r.ReadPod(&kind)).ok()) return s;
+  if (kind != static_cast<uint32_t>(WireKind::kInstall)) {
+    return Status::Corruption("wire: not an install request");
+  }
+  if (!(s = r.ReadPod(&out->seq)).ok()) return s;
+  if (!(s = r.ReadPod(&out->expected_engine_epoch)).ok()) return s;
+  if (!(s = r.ReadVector(&out->expected_shard_epochs)).ok()) return s;
+  if (!(s = r.ReadVector(&out->updates)).ok()) return s;
+  if (r.remaining() != 0) {
+    return Status::Corruption("wire: trailing bytes after install");
+  }
+  return Status::OK();
+}
+
+std::vector<uint8_t> InstallAck::Encode() const {
+  WireWriter w(kWireMagic, kWireVersion);
+  w.WritePod(static_cast<uint32_t>(ok ? 1 : 0));
+  w.WritePod(next_seq);
+  w.WritePod(engine_epoch);
+  return w.Take();
+}
+
+Status InstallAck::Decode(const uint8_t* data, size_t size,
+                          InstallAck* out) {
+  WireReader r(data, size);
+  Status s = r.ReadHeader(kWireMagic, kWireVersion);
+  if (!s.ok()) return s;
+  uint32_t ok_flag = 0;
+  if (!(s = r.ReadPod(&ok_flag)).ok()) return s;
+  if (ok_flag > 1) return Status::Corruption("wire: bad install ack flag");
+  out->ok = ok_flag == 1;
+  if (!(s = r.ReadPod(&out->next_seq)).ok()) return s;
+  if (!(s = r.ReadPod(&out->engine_epoch)).ok()) return s;
+  if (r.remaining() != 0) {
+    return Status::Corruption("wire: trailing bytes after install ack");
   }
   return Status::OK();
 }

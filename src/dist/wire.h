@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/updates.h"
 #include "util/serialize.h"
 #include "util/status.h"
 
@@ -34,7 +35,19 @@ enum class WireKind : uint32_t {
   /// A single intra-cell distance dist(u, v) on the shard's subgraph
   /// view (the router's same-cell local term).
   kPointQuery = 2,
+  /// A snapshot install (state-machine replication): the router ships
+  /// the coalesced weight-update batch that produced its next epoch;
+  /// the replica applies it to its own inner engine and must arrive at
+  /// exactly the expected engine/per-shard epochs before acking. See
+  /// InstallRequest / dist/replica_node.h.
+  kInstall = 3,
 };
+
+/// Reads just the WireKind of an encoded request (header + kind field)
+/// so a server can dispatch kInstall to the replication path and the
+/// two query kinds to ShardReplica::Handle without double-decoding.
+/// Fails like the full decoders on truncated/bad-magic input.
+Status PeekWireKind(const uint8_t* data, size_t size, WireKind* out);
 
 /// One request to a shard replica. `shard_epoch` pins the exact shard
 /// version the router's batch was planned against: a replica that no
@@ -78,6 +91,54 @@ struct ShardResponse {
   /// unspecified and the Status says why.
   static Status Decode(const uint8_t* data, size_t size,
                        ShardResponse* out);
+};
+
+/// One over-the-wire snapshot install. Installs are state-machine
+/// replication: router and replica run identical inner ShardedEngines
+/// seeded from the same graph, so shipping the coalesced update batch
+/// (not the snapshot bytes) and applying it on both sides produces
+/// bit-identical snapshots with identical epoch ids — which the
+/// expected_* fields then verify explicitly, turning any divergence
+/// into a nack instead of silent wrong answers. `seq` orders installs
+/// per replica (0, 1, 2, ...): a gap makes the replica nack with the
+/// seq it needs next and the router replays from its bounded log.
+struct InstallRequest {
+  uint64_t seq = 0;  ///< Dense per-replica install sequence number.
+  /// Global epoch the router's engine reached after applying `updates`.
+  uint64_t expected_engine_epoch = 0;
+  /// Per-shard epochs of that snapshot (index = shard id).
+  std::vector<uint64_t> expected_shard_epochs;
+  /// The coalesced weight updates that produced the epoch (may be
+  /// empty for seq 0, which only verifies the initial epoch).
+  UpdateBatch updates;
+
+  /// Encodes into a fresh buffer (magic/version header included).
+  std::vector<uint8_t> Encode() const;
+
+  /// Decodes from `[data, data + size)`; on failure `*out` is
+  /// unspecified and the Status says why.
+  static Status Decode(const uint8_t* data, size_t size,
+                       InstallRequest* out);
+};
+
+/// The replica's answer to an InstallRequest. `ok` means the batch
+/// applied and every epoch matched; the router may publish the new
+/// snapshot to its readers once every replica acked. On a sequence gap
+/// or epoch divergence `ok` is false and `next_seq` tells the router
+/// where to restart replay (an already-applied seq nacks with
+/// `next_seq` past it, making retries idempotent).
+struct InstallAck {
+  bool ok = false;        ///< Applied and epoch-verified.
+  uint64_t next_seq = 0;  ///< The seq this replica expects next.
+  /// The replica engine's global epoch after handling the request.
+  uint64_t engine_epoch = 0;
+
+  /// Encodes into a fresh buffer (magic/version header included).
+  std::vector<uint8_t> Encode() const;
+
+  /// Decodes from `[data, data + size)`; on failure `*out` is
+  /// unspecified and the Status says why.
+  static Status Decode(const uint8_t* data, size_t size, InstallAck* out);
 };
 
 }  // namespace stl

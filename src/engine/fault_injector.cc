@@ -22,6 +22,8 @@ const char* FaultSiteName(FaultSite site) {
       return "transport_delay";
     case FaultSite::kTransportDuplicate:
       return "transport_duplicate";
+    case FaultSite::kSocketShortIo:
+      return "socket_short_io";
   }
   return "unknown";
 }

@@ -55,10 +55,17 @@ enum class FaultSite {
   /// claim must absorb the duplicate (stresses exactly-once RPC
   /// completion).
   kTransportDuplicate = 7,
+  /// A socket read or write (net/conn.h): when the fault fires, the
+  /// I/O is clamped to a single byte (forced partial read/write, so
+  /// frame reassembly and write-buffer draining run their resumption
+  /// paths), and every eighth firing per connection instead severs the
+  /// connection mid-stream (stresses reconnect plus the transport's
+  /// typed kUnavailable on in-flight tags).
+  kSocketShortIo = 8,
 };
 
 /// Number of distinct FaultSite values (array sizing).
-inline constexpr int kNumFaultSites = 8;
+inline constexpr int kNumFaultSites = 9;
 
 /// Stable human-readable site name ("reader_delay", ...).
 const char* FaultSiteName(FaultSite site);

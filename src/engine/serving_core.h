@@ -48,10 +48,13 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "engine/atomic_shared_ptr.h"
@@ -608,6 +611,17 @@ struct ServingCoreOptions {
   ServingOptions serving;
 };
 
+/// Detects Policy::kAsyncRoute (false when absent): async policies
+/// route via RouteAsync/RouteSpanAsync continuations instead of
+/// blocking Route/RouteSpan calls on the reader thread.
+template <typename Policy, typename = void>
+struct PolicyRoutesAsync : std::false_type {};
+
+/// Specialization picked when the policy declares kAsyncRoute.
+template <typename Policy>
+struct PolicyRoutesAsync<Policy, std::void_t<decltype(Policy::kAsyncRoute)>>
+    : std::bool_constant<Policy::kAsyncRoute> {};
+
 /// The one serving core both engines are built on. Owns the reader
 /// pool, the single-writer update queue, the snapshot slot, the result
 /// cache and the counters; the Policy supplies what differs between
@@ -642,6 +656,26 @@ struct ServingCoreOptions {
 ///       pre-set to kOk; written only on per-query routing failure.
 ///   void AugmentStats(EngineStats*) — engine-specific stats fields
 ///       (backend, resident bytes, shard rows).
+///
+/// Async policies (static constexpr bool kAsyncRoute = true) replace
+/// Route/RouteSpan with continuation-passing variants — the reader
+/// thread that picks the query off the pool issues the request and
+/// returns immediately instead of parking until the answer arrives, so
+/// a fan-out of N remote RPCs blocks zero reader threads:
+///   void RouteAsync(std::shared_ptr<const Snapshot>, Vertex s, Vertex t,
+///                   std::function<void(Weight, StatusCode)> done) —
+///       answer one query; invoke `done` exactly once, inline or from
+///       any policy-owned thread.
+///   void RouteSpanAsync(std::shared_ptr<const Snapshot>,
+///                       const QueryPair* queries, const uint32_t* idx,
+///                       size_t count, Weight* out, StatusCode* codes,
+///                       std::function<void()> done) —
+///       async RouteSpan: fill out[idx[j]] / codes[idx[j]] for j <
+///       count, then invoke `done` exactly once. The arrays stay valid
+///       until `done` runs (the core keeps the ticket alive).
+/// The core tracks every issued continuation; its destructor waits for
+/// all of them after the pool drains, so `done` may always touch the
+/// arrays it was handed.
 ///
 /// Thread-safety: Submit*/EnqueueUpdate*/Flush/Stats may be called from
 /// any thread. Destruction drains: every submitted query is answered
@@ -697,6 +731,15 @@ class ServingCore {
     updates_.Stop();
     if (writer_.joinable()) writer_.join();  // drains pending updates
     pool_.Shutdown();  // answer every query already submitted
+    if constexpr (PolicyRoutesAsync<Policy>::value) {
+      // Async policies may still owe continuations for queries the
+      // drained pool tasks issued; every one touches ticket/result
+      // state this core hands out, so wait them all out before any
+      // member dies. The policy's transport must outlive this core
+      // (it does: the owning engine declares the core last).
+      std::unique_lock<std::mutex> lock(async_mu_);
+      async_cv_.wait(lock, [this] { return async_inflight_ == 0; });
+    }
   }
 
   ServingCore(const ServingCore&) = delete;             ///< Not copyable.
@@ -772,24 +815,50 @@ class ServingCore {
           // The entire read path: one atomic load, then const reads on
           // an immutable snapshot. Never blocks on maintenance work.
           std::shared_ptr<const Snapshot> snap = current_.load();
-          Result r;
-          StatusCode code = StatusCode::kOk;
-          r.distance =
-              RouteWithCache(*snap, query.first, query.second, &code);
-          r.code = code;
-          r.epoch = snap->epoch;
-          const uint64_t nanos = NanosSince(submitted);
-          r.latency_micros = static_cast<double>(nanos) / 1e3;
-          r.snapshot = std::move(snap);
-          if (code == StatusCode::kOk) {
-            counters_.latency.Record(nanos);
-            counters_.queries_served.fetch_add(1,
-                                               std::memory_order_relaxed);
+          if constexpr (PolicyRoutesAsync<Policy>::value) {
+            // Issue-and-return: the continuation finishes the promise
+            // whenever the policy answers; this reader is free now.
+            RouteWithCacheAsync(
+                snap, query.first, query.second,
+                [this, promise, submitted, snap](Weight d,
+                                                 StatusCode code) {
+                  Result r;
+                  r.distance = d;
+                  r.code = code;
+                  r.epoch = snap->epoch;
+                  const uint64_t nanos = NanosSince(submitted);
+                  r.latency_micros = static_cast<double>(nanos) / 1e3;
+                  r.snapshot = snap;
+                  if (code == StatusCode::kOk) {
+                    counters_.latency.Record(nanos);
+                    counters_.queries_served.fetch_add(
+                        1, std::memory_order_relaxed);
+                  } else {
+                    counters_.queries_unavailable.fetch_add(
+                        1, std::memory_order_relaxed);
+                  }
+                  promise->set_value(std::move(r));
+                });
           } else {
-            counters_.queries_unavailable.fetch_add(
-                1, std::memory_order_relaxed);
+            Result r;
+            StatusCode code = StatusCode::kOk;
+            r.distance =
+                RouteWithCache(*snap, query.first, query.second, &code);
+            r.code = code;
+            r.epoch = snap->epoch;
+            const uint64_t nanos = NanosSince(submitted);
+            r.latency_micros = static_cast<double>(nanos) / 1e3;
+            r.snapshot = std::move(snap);
+            if (code == StatusCode::kOk) {
+              counters_.latency.Record(nanos);
+              counters_.queries_served.fetch_add(
+                  1, std::memory_order_relaxed);
+            } else {
+              counters_.queries_unavailable.fetch_add(
+                  1, std::memory_order_relaxed);
+            }
+            promise->set_value(std::move(r));
           }
-          promise->set_value(std::move(r));
         });
     STL_CHECK(accepted) << "Submit() on a shut-down engine";
     return result;
@@ -855,24 +924,49 @@ class ServingCore {
           }
           MaybeReaderDelay();
           std::shared_ptr<const Snapshot> snap = current_.load();
-          Completion done;
-          done.tag = tag;
-          StatusCode code = StatusCode::kOk;
-          done.distance =
-              RouteWithCache(*snap, query.first, query.second, &code);
-          done.code = code;
-          done.epoch = snap->epoch;
-          const uint64_t nanos = NanosSince(submitted);
-          done.latency_micros = static_cast<double>(nanos) / 1e3;
-          if (code == StatusCode::kOk) {
-            counters_.latency.Record(nanos);
-            counters_.queries_served.fetch_add(1,
-                                               std::memory_order_relaxed);
+          if constexpr (PolicyRoutesAsync<Policy>::value) {
+            const uint64_t epoch = snap->epoch;
+            RouteWithCacheAsync(
+                std::move(snap), query.first, query.second,
+                [this, tag, sink, submitted, epoch](Weight d,
+                                                    StatusCode code) {
+                  Completion done;
+                  done.tag = tag;
+                  done.distance = d;
+                  done.code = code;
+                  done.epoch = epoch;
+                  const uint64_t nanos = NanosSince(submitted);
+                  done.latency_micros = static_cast<double>(nanos) / 1e3;
+                  if (code == StatusCode::kOk) {
+                    counters_.latency.Record(nanos);
+                    counters_.queries_served.fetch_add(
+                        1, std::memory_order_relaxed);
+                  } else {
+                    counters_.queries_unavailable.fetch_add(
+                        1, std::memory_order_relaxed);
+                  }
+                  DeliverCompletion(sink, done);
+                });
           } else {
-            counters_.queries_unavailable.fetch_add(
-                1, std::memory_order_relaxed);
+            Completion done;
+            done.tag = tag;
+            StatusCode code = StatusCode::kOk;
+            done.distance =
+                RouteWithCache(*snap, query.first, query.second, &code);
+            done.code = code;
+            done.epoch = snap->epoch;
+            const uint64_t nanos = NanosSince(submitted);
+            done.latency_micros = static_cast<double>(nanos) / 1e3;
+            if (code == StatusCode::kOk) {
+              counters_.latency.Record(nanos);
+              counters_.queries_served.fetch_add(
+                  1, std::memory_order_relaxed);
+            } else {
+              counters_.queries_unavailable.fetch_add(
+                  1, std::memory_order_relaxed);
+            }
+            DeliverCompletion(sink, done);
           }
-          DeliverCompletion(sink, done);
         });
     STL_CHECK(accepted) << "SubmitTagged() on a shut-down engine";
   }
@@ -994,6 +1088,50 @@ class ServingCore {
       cache_.Insert(s, t, snap.epoch, d);
     }
     return d;
+  }
+
+  /// Async counterpart of RouteWithCache: a cache hit answers `done`
+  /// inline; a miss issues Policy::RouteAsync and the continuation
+  /// fills the cache before forwarding the verdict. `done` runs exactly
+  /// once, inline or from a policy thread.
+  template <typename Done>
+  void RouteWithCacheAsync(std::shared_ptr<const Snapshot> snap, Vertex s,
+                           Vertex t, Done done) {
+    Weight d;
+    if (cache_.enabled() && cache_.Lookup(s, t, snap->epoch, &d)) {
+      done(d, StatusCode::kOk);
+      return;
+    }
+    BeginAsyncOp();
+    const uint64_t epoch = snap->epoch;
+    policy_->RouteAsync(
+        std::move(snap), s, t,
+        [this, s, t, epoch, done = std::move(done)](Weight d,
+                                                    StatusCode code) {
+          if (cache_.enabled() && code == StatusCode::kOk) {
+            cache_.Insert(s, t, epoch, d);
+          }
+          done(d, code);
+          EndAsyncOp();
+        });
+  }
+
+  /// Registers one issued async continuation (async policies only).
+  /// The destructor waits for the matching EndAsyncOp of every Begin.
+  void BeginAsyncOp() {
+    std::lock_guard<std::mutex> lock(async_mu_);
+    ++async_inflight_;
+  }
+
+  /// Retires one async continuation; wakes the destructor on the last.
+  /// The notify happens UNDER async_mu_ on purpose: the destructor's
+  /// predicate wait can only return once it reacquires the mutex, which
+  /// serializes cv destruction after this broadcast finishes (notifying
+  /// after unlock would let the destructor wake on the decrement and
+  /// destroy the cv mid-notify).
+  void EndAsyncOp() {
+    std::lock_guard<std::mutex> lock(async_mu_);
+    if (--async_inflight_ == 0) async_cv_.notify_all();
   }
 
   using TicketState = typename Ticket::State;
@@ -1163,8 +1301,14 @@ class ServingCore {
           return;
         }
         MaybeReaderDelay();
-        RunBatchChunk(*state, begin, end);
-        CompleteChunk(*state);
+        if constexpr (PolicyRoutesAsync<Policy>::value) {
+          // Issue the whole span and return this reader to the pool;
+          // the continuation finishes the chunk when the answers land.
+          RunBatchChunkAsync(state, begin, end);
+        } else {
+          RunBatchChunk(*state, begin, end);
+          CompleteChunk(*state);
+        }
       });
       STL_CHECK(accepted) << "SubmitBatch() on a shut-down engine";
     }
@@ -1204,12 +1348,36 @@ class ServingCore {
   /// cache, records latency and delivers completions. Chunks touch
   /// disjoint distance slots, so no lock is needed for the answers.
   void RunBatchChunk(TicketState& state, size_t begin, size_t end) {
-    const Snapshot& snap = *state.snapshot;
-    const uint64_t epoch = snap.epoch;
     const size_t count = end - begin;
-    policy_->RouteSpan(snap, state.queries.data(),
+    policy_->RouteSpan(*state.snapshot, state.queries.data(),
                        state.order.data() + begin, count,
                        state.distances.data(), state.codes.data());
+    FinishBatchChunk(state, begin, end);
+  }
+
+  /// Async-policy counterpart of RunBatchChunk + CompleteChunk: issues
+  /// the span and returns; the continuation (holding the ticket alive)
+  /// runs the bookkeeping whenever the policy answers.
+  void RunBatchChunkAsync(const std::shared_ptr<TicketState>& state,
+                          size_t begin, size_t end) {
+    BeginAsyncOp();
+    const size_t count = end - begin;
+    policy_->RouteSpanAsync(
+        state->snapshot, state->queries.data(),
+        state->order.data() + begin, count, state->distances.data(),
+        state->codes.data(), [this, state, begin, end] {
+          FinishBatchChunk(*state, begin, end);
+          CompleteChunk(*state);
+          EndAsyncOp();
+        });
+  }
+
+  /// The post-routing half of a chunk: cache fills, latency/served
+  /// counters, tagged completion delivery. Slots in [begin, end) must
+  /// already hold the policy's answers.
+  void FinishBatchChunk(TicketState& state, size_t begin, size_t end) {
+    const Snapshot& snap = *state.snapshot;
+    const uint64_t epoch = snap.epoch;
     const uint64_t nanos = NanosSince(state.submitted);
     size_t served = 0;
     for (size_t j = begin; j < end; ++j) {
@@ -1537,6 +1705,12 @@ class ServingCore {
   std::deque<std::weak_ptr<TicketState>> batch_fifo_;
   std::atomic<uint64_t> queued_queries_{0};
   std::atomic<uint64_t> inflight_batches_{0};
+
+  // Outstanding async-policy continuations (see BeginAsyncOp); the
+  // destructor waits for zero after the pool drains.
+  std::mutex async_mu_;
+  std::condition_variable async_cv_;
+  uint64_t async_inflight_ = 0;  // guarded by async_mu_
 
   // Degraded-mode state (written by the watchdog, read by Stats()).
   std::atomic<bool> degraded_{false};

@@ -1,0 +1,256 @@
+#include "net/conn.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace stl {
+
+namespace {
+
+constexpr size_t kReadChunk = 64 * 1024;
+
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+Conn::Conn(EventLoop* loop, Callbacks callbacks, FaultInjector* faults)
+    : loop_(loop), callbacks_(std::move(callbacks)), faults_(faults) {}
+
+Conn::~Conn() {
+  // Normal teardown goes through Fail()/Shutdown(); this only runs for
+  // conns destroyed after their loop stopped. Closing the fd drops any
+  // stale epoll registration with it.
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::shared_ptr<Conn> Conn::Connect(EventLoop* loop, const std::string& host,
+                                    uint16_t port, Callbacks callbacks,
+                                    FaultInjector* faults) {
+  std::shared_ptr<Conn> conn(new Conn(loop, std::move(callbacks), faults));
+  loop->RunInLoop([conn, host, port] { conn->StartConnect(host, port); });
+  return conn;
+}
+
+std::shared_ptr<Conn> Conn::Adopt(EventLoop* loop, int fd,
+                                  Callbacks callbacks, FaultInjector* faults) {
+  STL_DCHECK(loop->InLoopThread());
+  std::shared_ptr<Conn> conn(new Conn(loop, std::move(callbacks), faults));
+  SetNonBlocking(fd);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  conn->fd_ = fd;
+  conn->state_ = State::kOpen;
+  conn->Register(EPOLLIN);
+  return conn;
+}
+
+void Conn::StartConnect(const std::string& host, uint16_t port) {
+  STL_DCHECK(loop_->InLoopThread());
+  if (state_ == State::kClosed) return;  // shut down before we got here
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string numeric = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, numeric.c_str(), &addr.sin_addr) != 1) {
+    Fail("connect: unresolvable host " + host);
+    return;
+  }
+
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0 || !SetNonBlocking(fd_)) {
+    Fail("connect: socket setup failed");
+    return;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+  const int rc =
+      ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  if (rc == 0) {
+    // Same-host connects can complete synchronously.
+    state_ = State::kOpen;
+    Register(EPOLLIN | (write_pos_ < write_buf_.size() ? EPOLLOUT : 0u));
+    FlushWrites();
+    if (state_ == State::kOpen && callbacks_.on_connected) {
+      callbacks_.on_connected();
+    }
+    return;
+  }
+  if (errno != EINPROGRESS) {
+    Fail(std::string("connect: ") + std::strerror(errno));
+    return;
+  }
+  // In-progress: EPOLLOUT readiness signals the handshake outcome.
+  Register(EPOLLOUT);
+}
+
+void Conn::Register(uint32_t events) {
+  auto self = shared_from_this();
+  loop_->RegisterFd(fd_, events,
+                    [self](uint32_t ready) { self->OnEvents(ready); });
+  registered_ = true;
+}
+
+void Conn::OnEvents(uint32_t events) {
+  if (state_ == State::kClosed) return;
+  if (state_ == State::kConnecting) {
+    // Any readiness (including EPOLLERR/EPOLLHUP) resolves the
+    // handshake; SO_ERROR distinguishes success from refusal.
+    FinishConnect();
+    return;
+  }
+  if (events & (EPOLLIN | EPOLLERR | EPOLLHUP)) HandleReadable();
+  if (state_ == State::kOpen && (events & EPOLLOUT)) HandleWritable();
+}
+
+void Conn::FinishConnect() {
+  int err = 0;
+  socklen_t len = sizeof err;
+  if (::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+    err = errno;
+  }
+  if (err != 0) {
+    Fail(std::string("connect: ") + std::strerror(err));
+    return;
+  }
+  state_ = State::kOpen;
+  UpdateInterest();
+  FlushWrites();
+  if (state_ == State::kOpen && callbacks_.on_connected) {
+    callbacks_.on_connected();
+  }
+}
+
+void Conn::HandleReadable() {
+  uint8_t chunk[kReadChunk];
+  while (state_ == State::kOpen) {
+    const size_t want = ClampIo(sizeof chunk);
+    if (want == 0) {
+      Fail("fault: forced disconnect (read)");
+      return;
+    }
+    const ssize_t n = ::recv(fd_, chunk, want, 0);
+    if (n > 0) {
+      read_buf_.insert(read_buf_.end(), chunk, chunk + n);
+      // Reassemble every complete frame now buffered.
+      size_t off = 0;
+      while (state_ == State::kOpen) {
+        WireFrame frame;
+        size_t consumed = 0;
+        const Status s = DecodeFrame(read_buf_.data() + off,
+                                     read_buf_.size() - off, &frame,
+                                     &consumed);
+        if (s.ok()) {
+          off += consumed;
+          if (callbacks_.on_frame) callbacks_.on_frame(std::move(frame));
+          continue;
+        }
+        if (s.code() == StatusCode::kUnavailable) break;  // need more bytes
+        Fail("stream corruption: " + s.ToString());
+        return;
+      }
+      if (off > 0) read_buf_.erase(read_buf_.begin(), read_buf_.begin() + off);
+      if (static_cast<size_t>(n) < want) return;  // kernel buffer drained
+      continue;
+    }
+    if (n == 0) {
+      Fail("peer closed");
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    Fail(std::string("read: ") + std::strerror(errno));
+    return;
+  }
+}
+
+void Conn::HandleWritable() {
+  FlushWrites();
+}
+
+void Conn::SendFrame(uint64_t tag, const std::vector<uint8_t>& payload) {
+  STL_DCHECK(loop_->InLoopThread());
+  if (state_ == State::kClosed) return;
+  EncodeFrame(tag, payload, &write_buf_);
+  if (state_ == State::kOpen) FlushWrites();
+}
+
+void Conn::FlushWrites() {
+  while (state_ == State::kOpen && write_pos_ < write_buf_.size()) {
+    const size_t want = ClampIo(write_buf_.size() - write_pos_);
+    if (want == 0) {
+      Fail("fault: forced disconnect (write)");
+      return;
+    }
+    const ssize_t n = ::send(fd_, write_buf_.data() + write_pos_, want,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      write_pos_ += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    Fail(std::string("write: ") + std::strerror(errno));
+    return;
+  }
+  if (write_pos_ == write_buf_.size()) {
+    write_buf_.clear();
+    write_pos_ = 0;
+  } else if (write_pos_ > kReadChunk) {
+    // Keep the pending tail compact under sustained partial writes.
+    write_buf_.erase(write_buf_.begin(), write_buf_.begin() + write_pos_);
+    write_pos_ = 0;
+  }
+  if (state_ == State::kOpen) UpdateInterest();
+}
+
+void Conn::UpdateInterest() {
+  if (!registered_ || state_ != State::kOpen) return;
+  const uint32_t events =
+      EPOLLIN | (write_pos_ < write_buf_.size() ? EPOLLOUT : 0u);
+  loop_->UpdateFd(fd_, events);
+}
+
+void Conn::Shutdown() {
+  STL_DCHECK(loop_->InLoopThread());
+  Fail("shutdown");
+}
+
+void Conn::Fail(const std::string& reason) {
+  if (state_ == State::kClosed) return;
+  state_ = State::kClosed;
+  if (registered_) {
+    loop_->UnregisterFd(fd_);
+    registered_ = false;
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (callbacks_.on_close) callbacks_.on_close(reason);
+}
+
+size_t Conn::ClampIo(size_t want) {
+  if (faults_ == nullptr || want == 0) return want;
+  if (!faults_->Fire(FaultSite::kSocketShortIo)) return want;
+  ++short_io_firings_;
+  if (short_io_firings_ % 8 == 0) return 0;  // sever mid-stream
+  return 1;  // forced one-byte read/write
+}
+
+}  // namespace stl

@@ -1,0 +1,117 @@
+// One framed TCP connection bound to an EventLoop. A Conn is
+// ONE-SHOT: it connects (or adopts an accepted fd), carries frames
+// until the peer goes away or the stream corrupts, fires on_close
+// exactly once, and is then dead — reconnect policy lives a layer up
+// (SocketTransport creates a fresh Conn per attempt), which keeps the
+// state machine here small: Connecting -> Open -> Closed, no cycles.
+//
+// All methods are loop-thread only. The read path re-segments the
+// byte stream with DecodeFrame's retry-on-incomplete contract; the
+// write path buffers what the kernel would not take and drains it on
+// EPOLLOUT. FaultSite::kSocketShortIo (when an injector is armed)
+// clamps each I/O to one byte and periodically severs the stream, so
+// chaos tests exercise exactly these resumption paths.
+#ifndef STL_NET_CONN_H_
+#define STL_NET_CONN_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/fault_injector.h"
+#include "net/event_loop.h"
+#include "net/frame.h"
+
+namespace stl {
+
+/// One framed TCP connection (see file comment). Create via Connect()
+/// or Adopt(); shared_ptr-owned because callbacks posted to the loop
+/// must keep the object alive until the close settles.
+class Conn : public std::enable_shared_from_this<Conn> {
+ public:
+  /// Lifecycle and data callbacks, all invoked on the loop thread.
+  struct Callbacks {
+    /// The connect handshake finished (never called for Adopt()ed
+    /// conns, which are born open).
+    std::function<void()> on_connected;
+    /// One complete frame was reassembled from the stream.
+    std::function<void(WireFrame frame)> on_frame;
+    /// The connection is dead (connect failure, peer close, I/O error
+    /// or stream corruption). Fired exactly once; the fd is already
+    /// closed when it runs. `reason` is a short diagnostic string.
+    std::function<void(const std::string& reason)> on_close;
+  };
+
+  /// Starts a non-blocking connect to host:port on `loop`'s thread and
+  /// returns the (still-Connecting) conn. Resolution failures surface
+  /// as an on_close posted to the loop, never as an inline error.
+  /// `faults` may be nullptr.
+  static std::shared_ptr<Conn> Connect(EventLoop* loop,
+                                       const std::string& host,
+                                       uint16_t port, Callbacks callbacks,
+                                       FaultInjector* faults);
+
+  /// Wraps an already-connected fd (server accept path). Takes fd
+  /// ownership; the conn is Open immediately. `faults` may be nullptr.
+  static std::shared_ptr<Conn> Adopt(EventLoop* loop, int fd,
+                                     Callbacks callbacks,
+                                     FaultInjector* faults);
+
+  /// Closes the fd if still open (without firing callbacks: teardown
+  /// paths call Shutdown() first when they need the on_close).
+  ~Conn();
+
+  Conn(const Conn&) = delete;             ///< Not copyable.
+  Conn& operator=(const Conn&) = delete;  ///< Not copyable.
+
+  /// Queues one frame for the peer. While Connecting the bytes buffer
+  /// until the handshake completes; after close this is a silent no-op
+  /// (the caller already saw on_close). Loop thread only.
+  void SendFrame(uint64_t tag, const std::vector<uint8_t>& payload);
+
+  /// Closes immediately without error semantics (teardown path).
+  /// on_close still fires with reason "shutdown". Loop thread only.
+  void Shutdown();
+
+  /// True once the connect handshake completed and before close.
+  bool open() const { return state_ == State::kOpen; }
+
+ private:
+  enum class State { kConnecting, kOpen, kClosed };
+
+  Conn(EventLoop* loop, Callbacks callbacks, FaultInjector* faults);
+
+  void StartConnect(const std::string& host, uint16_t port);
+  void Register(uint32_t events);
+  void OnEvents(uint32_t events);
+  void FinishConnect();
+  void HandleReadable();
+  void HandleWritable();
+  void FlushWrites();
+  void UpdateInterest();
+  void Fail(const std::string& reason);
+  /// Applies kSocketShortIo to an intended I/O size: returns the
+  /// clamped size, or 0 when this firing severs the connection (the
+  /// caller must Fail()).
+  size_t ClampIo(size_t want);
+
+  EventLoop* const loop_;
+  Callbacks callbacks_;
+  FaultInjector* const faults_;
+
+  int fd_ = -1;
+  State state_ = State::kConnecting;
+  bool registered_ = false;
+
+  std::vector<uint8_t> read_buf_;   // unconsumed stream prefix
+  std::vector<uint8_t> write_buf_;  // bytes the kernel has not taken
+  size_t write_pos_ = 0;            // drained prefix of write_buf_
+
+  uint64_t short_io_firings_ = 0;  // per-conn: every 8th severs
+};
+
+}  // namespace stl
+
+#endif  // STL_NET_CONN_H_

@@ -1,0 +1,189 @@
+#include "net/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace stl {
+
+namespace {
+constexpr int kMaxEvents = 64;
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  STL_CHECK(epoll_fd_ >= 0) << "epoll_create1 failed";
+  wakeup_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  STL_CHECK(wakeup_fd_ >= 0) << "eventfd failed";
+}
+
+EventLoop::~EventLoop() {
+  Stop();
+  ::close(wakeup_fd_);
+  ::close(epoll_fd_);
+}
+
+void EventLoop::Start() {
+  STL_CHECK(!running_.load());
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    accepting_posts_ = true;
+  }
+  running_.store(true);
+  thread_ = std::thread([this] { Run(); });
+}
+
+void EventLoop::Stop() {
+  if (!running_.exchange(false)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    accepting_posts_ = false;
+  }
+  stop_.store(true);
+  Wakeup();
+  if (thread_.joinable()) thread_.join();
+}
+
+void EventLoop::Post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    if (!accepting_posts_) return;  // shutdown race: dropped by design
+    posted_.push_back(std::move(task));
+  }
+  Wakeup();
+}
+
+void EventLoop::RunInLoop(std::function<void()> fn) {
+  if (InLoopThread()) {
+    fn();
+  } else {
+    Post(std::move(fn));
+  }
+}
+
+bool EventLoop::InLoopThread() const {
+  return std::this_thread::get_id() == thread_.get_id();
+}
+
+void EventLoop::Wakeup() {
+  const uint64_t one = 1;
+  // A full eventfd counter (EAGAIN) still wakes the loop; ignore it.
+  [[maybe_unused]] ssize_t n = ::write(wakeup_fd_, &one, sizeof one);
+}
+
+void EventLoop::RegisterFd(int fd, uint32_t events, IoHandler handler) {
+  STL_DCHECK(InLoopThread());
+  auto [it, fresh] = handlers_.emplace(
+      fd, std::make_shared<IoHandler>(std::move(handler)));
+  STL_CHECK(fresh) << "fd registered twice";
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  STL_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0)
+      << "epoll_ctl ADD failed";
+  (void)it;
+}
+
+void EventLoop::UpdateFd(int fd, uint32_t events) {
+  STL_DCHECK(InLoopThread());
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  STL_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0)
+      << "epoll_ctl MOD failed";
+}
+
+void EventLoop::UnregisterFd(int fd) {
+  STL_DCHECK(InLoopThread());
+  auto it = handlers_.find(fd);
+  if (it == handlers_.end()) return;
+  // Keep the handler alive until the dispatch round ends: the caller
+  // may BE this fd's handler, and destroying an executing closure is
+  // undefined behaviour.
+  dispatch_graveyard_.push_back(std::move(it->second));
+  handlers_.erase(it);
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+uint64_t EventLoop::AddTimer(TimePoint when, std::function<void()> cb) {
+  STL_DCHECK(InLoopThread());
+  const uint64_t id = next_timer_id_++;
+  timers_.emplace(std::make_pair(when, id), std::move(cb));
+  return id;
+}
+
+void EventLoop::CancelTimer(uint64_t id) {
+  STL_DCHECK(InLoopThread());
+  for (auto it = timers_.begin(); it != timers_.end(); ++it) {
+    if (it->first.second == id) {
+      timers_.erase(it);
+      return;
+    }
+  }
+}
+
+void EventLoop::DrainPosted() {
+  std::vector<std::function<void()>> tasks;
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    tasks.swap(posted_);
+  }
+  for (std::function<void()>& t : tasks) t();
+}
+
+int EventLoop::FireDueTimers() {
+  const TimePoint now = std::chrono::steady_clock::now();
+  while (!timers_.empty() && timers_.begin()->first.first <= now) {
+    auto node = timers_.extract(timers_.begin());
+    node.mapped()();  // may add/cancel timers; the map stays valid
+  }
+  if (timers_.empty()) return -1;
+  const auto wait = timers_.begin()->first.first -
+                    std::chrono::steady_clock::now();
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(wait).count();
+  // Round up so a timer 0.3ms out does not busy-spin at timeout 0.
+  return static_cast<int>(std::max<int64_t>(ms + 1, 1));
+}
+
+void EventLoop::Run() {
+  epoll_event wake{};
+  wake.events = EPOLLIN;
+  wake.data.fd = wakeup_fd_;
+  STL_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wakeup_fd_, &wake) == 0);
+
+  epoll_event events[kMaxEvents];
+  while (!stop_.load(std::memory_order_acquire)) {
+    DrainPosted();
+    const int timeout = FireDueTimers();
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, timeout);
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wakeup_fd_) {
+        uint64_t drained = 0;
+        [[maybe_unused]] ssize_t r =
+            ::read(wakeup_fd_, &drained, sizeof drained);
+        continue;
+      }
+      // Look the handler up fresh: an earlier handler in this round may
+      // have unregistered this fd (e.g. closed a sibling connection).
+      auto it = handlers_.find(fd);
+      if (it == handlers_.end()) continue;
+      std::shared_ptr<IoHandler> handler = it->second;  // keep-alive
+      (*handler)(events[i].events);
+    }
+    dispatch_graveyard_.clear();
+  }
+  DrainPosted();  // run tasks posted before Stop() flipped the gate
+  dispatch_graveyard_.clear();
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, wakeup_fd_, nullptr);
+}
+
+}  // namespace stl

@@ -1,0 +1,118 @@
+// The async substrate of the network layer: one epoll instance driven
+// by one dedicated thread, with an eventfd wakeup for cross-thread
+// task posting and a min-heap of monotonic-clock timers (connect
+// timeouts, reconnect backoff, request-timeout sweeps). Everything
+// registered with the loop — fd handlers, timers — runs on the loop
+// thread, so Conn / SocketTransport / FrameServer state needs no locks
+// of its own: cross-thread entry points Post() a closure instead.
+//
+// The loop never blocks on user work; handlers must be non-blocking
+// (the FrameServer offloads request handling to a worker pool and
+// posts the response back).
+#ifndef STL_NET_EVENT_LOOP_H_
+#define STL_NET_EVENT_LOOP_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace stl {
+
+/// One epoll event loop on one dedicated thread. Post() is the only
+/// thread-safe entry point; fd registration and timers are loop-thread
+/// only (assert via InLoopThread()).
+class EventLoop {
+ public:
+  /// An fd's readiness callback; receives the ready epoll event mask
+  /// (EPOLLIN / EPOLLOUT / EPOLLERR / EPOLLHUP bits).
+  using IoHandler = std::function<void(uint32_t events)>;
+
+  /// Monotonic instant timers are scheduled against.
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  /// An inert loop; Start() spawns the thread.
+  EventLoop();
+
+  /// Stops and joins if still running.
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;             ///< Not copyable.
+  EventLoop& operator=(const EventLoop&) = delete;  ///< Not copyable.
+
+  /// Spawns the loop thread. Call exactly once.
+  void Start();
+
+  /// Asks the loop to exit after the current iteration and joins the
+  /// thread. Pending posted tasks are run before exit; fds registered
+  /// at stop time are NOT closed (their owners close them). Idempotent.
+  void Stop();
+
+  /// Schedules `task` to run on the loop thread (thread-safe; the one
+  /// cross-thread entry point). Tasks run in post order. Posting after
+  /// Stop() is a silent no-op — shutdown races resolve to "dropped",
+  /// matching the transport's fail-everything-then-stop teardown order.
+  void Post(std::function<void()> task);
+
+  /// Runs `fn` inline when already on the loop thread, else Post()s it.
+  void RunInLoop(std::function<void()> fn);
+
+  /// True on the loop thread (for STL_DCHECKs in loop-only code).
+  bool InLoopThread() const;
+
+  /// Registers `fd` with the given epoll event mask. Loop thread only.
+  void RegisterFd(int fd, uint32_t events, IoHandler handler);
+
+  /// Changes `fd`'s epoll event mask. Loop thread only.
+  void UpdateFd(int fd, uint32_t events);
+
+  /// Unregisters `fd`. Safe to call from inside `fd`'s own handler: the
+  /// handler object is kept alive until the current dispatch round
+  /// finishes, so a self-unregistering connection does not destroy the
+  /// closure it is executing. Loop thread only.
+  void UnregisterFd(int fd);
+
+  /// Schedules `cb` to run on the loop thread at (or just after)
+  /// `when`; returns a cancellation id. Loop thread only.
+  uint64_t AddTimer(TimePoint when, std::function<void()> cb);
+
+  /// Cancels a pending timer (no-op if it already fired). Loop thread
+  /// only.
+  void CancelTimer(uint64_t id);
+
+ private:
+  void Run();
+  void DrainPosted();
+  /// Fires every due timer; returns the epoll timeout (ms) until the
+  /// next one (-1 = no timers pending).
+  int FireDueTimers();
+  void Wakeup();
+
+  int epoll_fd_ = -1;
+  int wakeup_fd_ = -1;  // eventfd: Post() -> loop wakeup
+
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+
+  std::mutex post_mu_;
+  std::vector<std::function<void()>> posted_;  // guarded by post_mu_
+  bool accepting_posts_ = false;               // guarded by post_mu_
+
+  // Loop-thread state: fd handlers and the timer heap. Keyed maps (not
+  // a heap) so cancellation is O(log n) and ids are stable.
+  std::unordered_map<int, std::shared_ptr<IoHandler>> handlers_;
+  std::vector<std::shared_ptr<IoHandler>> dispatch_graveyard_;
+  std::map<std::pair<TimePoint, uint64_t>, std::function<void()>> timers_;
+  uint64_t next_timer_id_ = 1;
+};
+
+}  // namespace stl
+
+#endif  // STL_NET_EVENT_LOOP_H_

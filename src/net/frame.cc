@@ -1,0 +1,45 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace stl {
+
+void EncodeFrame(uint64_t tag, const std::vector<uint8_t>& payload,
+                 std::vector<uint8_t>* out) {
+  const uint32_t body =
+      static_cast<uint32_t>(kFrameTagBytes + payload.size());
+  STL_CHECK(payload.size() <= kMaxFrameBody - kFrameTagBytes);
+  const size_t base = out->size();
+  out->resize(base + kFrameLenBytes + body);
+  std::memcpy(out->data() + base, &body, kFrameLenBytes);
+  std::memcpy(out->data() + base + kFrameLenBytes, &tag, kFrameTagBytes);
+  if (!payload.empty()) {
+    std::memcpy(out->data() + base + kFrameLenBytes + kFrameTagBytes,
+                payload.data(), payload.size());
+  }
+}
+
+Status DecodeFrame(const uint8_t* data, size_t size, WireFrame* frame,
+                   size_t* consumed) {
+  *consumed = 0;
+  if (size < kFrameLenBytes) {
+    return Status::Unavailable("frame: length prefix incomplete");
+  }
+  uint32_t body = 0;
+  std::memcpy(&body, data, kFrameLenBytes);
+  if (body < kFrameTagBytes || body > kMaxFrameBody) {
+    return Status::Corruption("frame: implausible length prefix");
+  }
+  if (size < kFrameLenBytes + body) {
+    return Status::Unavailable("frame: body incomplete");
+  }
+  std::memcpy(&frame->tag, data + kFrameLenBytes, kFrameTagBytes);
+  frame->payload.assign(data + kFrameLenBytes + kFrameTagBytes,
+                        data + kFrameLenBytes + body);
+  *consumed = kFrameLenBytes + body;
+  return Status::OK();
+}
+
+}  // namespace stl

@@ -1,0 +1,52 @@
+// Stream framing for the network layer. Every message crosses a TCP
+// byte stream as [u32 length][u64 tag][payload bytes], with the length
+// covering the tag and payload, so a receiver can re-segment the
+// stream into (tag, payload) pairs without understanding the payload.
+// The codec is the resegmentation contract the Conn read path is built
+// on: DecodeFrame on an incomplete prefix returns kUnavailable with
+// consumed == 0 (retry once more bytes arrive), and an implausible
+// length prefix is kCorruption (the connection is poisoned, not the
+// process).
+#ifndef STL_NET_FRAME_H_
+#define STL_NET_FRAME_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace stl {
+
+/// One decoded stream frame: the opaque tag plus the message payload.
+struct WireFrame {
+  uint64_t tag = 0;              ///< Echoed request/response tag.
+  std::vector<uint8_t> payload;  ///< Encoded wire message bytes.
+};
+
+/// Bytes of the frame header's length prefix (u32).
+inline constexpr size_t kFrameLenBytes = sizeof(uint32_t);
+
+/// Bytes of the frame header's tag (u64).
+inline constexpr size_t kFrameTagBytes = sizeof(uint64_t);
+
+/// Sanity bound on one frame's body (tag + payload): a shard response
+/// is at most one boundary row (|S| weights), far below this; anything
+/// larger is a corrupted or hostile length prefix, not a real message.
+inline constexpr uint32_t kMaxFrameBody = 1u << 28;
+
+/// Encodes one frame as [u32 length][u64 tag][payload], appending to
+/// `out` (stream framing: frames concatenate back-to-back).
+void EncodeFrame(uint64_t tag, const std::vector<uint8_t>& payload,
+                 std::vector<uint8_t>* out);
+
+/// Decodes the first complete frame of `[data, data + size)` into
+/// `*frame` and sets `*consumed` to its encoded length. An incomplete
+/// prefix (short read mid-stream) returns kUnavailable with
+/// `*consumed == 0` — retry with more bytes; a malformed length
+/// returns kCorruption.
+Status DecodeFrame(const uint8_t* data, size_t size, WireFrame* frame,
+                   size_t* consumed);
+
+}  // namespace stl
+
+#endif  // STL_NET_FRAME_H_

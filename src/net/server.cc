@@ -1,0 +1,142 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace stl {
+
+FrameServer::FrameServer(Options options, Handler handler)
+    : options_(std::move(options)), handler_(std::move(handler)) {
+  if (options_.worker_threads > 0) {
+    workers_ = std::make_unique<ThreadPool>(options_.worker_threads);
+  }
+}
+
+FrameServer::~FrameServer() { Stop(); }
+
+Status FrameServer::Start() {
+  STL_CHECK(!started_) << "FrameServer::Start called twice";
+  started_ = true;
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return Status::IOError("server: socket failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("server: bad bind address " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    return Status::IOError(std::string("server: bind: ") +
+                           std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    return Status::IOError(std::string("server: listen: ") +
+                           std::strerror(errno));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  STL_CHECK(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                          &len) == 0);
+  port_ = ntohs(bound.sin_port);
+
+  loop_.Start();
+  loop_.Post([this] {
+    loop_.RegisterFd(listen_fd_, EPOLLIN,
+                     [this](uint32_t) { OnAcceptReady(); });
+  });
+  return Status::OK();
+}
+
+void FrameServer::Stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  // Drain handler workers first so in-flight responses get posted while
+  // the loop still accepts posts; then tear down connections and the
+  // listener from the loop thread; then join the loop.
+  if (workers_) workers_->Shutdown();
+  if (started_) {
+    loop_.Post([this] {
+      std::vector<std::shared_ptr<Conn>> live;
+      live.reserve(conns_.size());
+      for (auto& [ptr, conn] : conns_) live.push_back(conn);
+      for (auto& conn : live) conn->Shutdown();
+      if (listen_fd_ >= 0) {
+        loop_.UnregisterFd(listen_fd_);
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+      }
+    });
+    loop_.Stop();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void FrameServer::OnAcceptReady() {
+  while (true) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;  // transient accept error; the listener stays armed
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    AdoptClient(fd);
+  }
+}
+
+void FrameServer::AdoptClient(int fd) {
+  // The callbacks need the conn they belong to, which does not exist
+  // until Adopt() returns — bridge with a holder. on_close resets the
+  // holder to break the conn -> callbacks -> holder -> conn cycle.
+  auto holder = std::make_shared<std::shared_ptr<Conn>>();
+  Conn::Callbacks cb;
+  cb.on_frame = [this, holder](WireFrame frame) {
+    if (*holder) HandleFrame(*holder, std::move(frame));
+  };
+  cb.on_close = [this, holder](const std::string&) {
+    if (*holder) {
+      conns_.erase(holder->get());
+      holder->reset();
+    }
+  };
+  *holder = Conn::Adopt(&loop_, fd, std::move(cb), options_.faults);
+  conns_.emplace(holder->get(), *holder);
+}
+
+void FrameServer::HandleFrame(const std::shared_ptr<Conn>& conn,
+                              WireFrame frame) {
+  const uint64_t tag = frame.tag;
+  if (workers_) {
+    workers_->Enqueue([this, conn, tag, payload = std::move(frame.payload)] {
+      std::vector<uint8_t> response = handler_(payload.data(), payload.size());
+      loop_.Post([conn, tag, response = std::move(response)] {
+        conn->SendFrame(tag, response);
+      });
+    });
+    return;
+  }
+  std::vector<uint8_t> response =
+      handler_(frame.payload.data(), frame.payload.size());
+  conn->SendFrame(tag, response);
+}
+
+}  // namespace stl

@@ -1,0 +1,355 @@
+// Unit tests for the network layer (src/net/): frame codec
+// resegmentation, EventLoop post/timer semantics, FrameServer echo
+// with stream reassembly, short-I/O fault integrity and
+// SocketTransport reconnection after a server restart.
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dist/socket_transport.h"
+#include "engine/fault_injector.h"
+#include "net/event_loop.h"
+#include "net/frame.h"
+#include "net/server.h"
+
+namespace stl {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::vector<uint8_t> Bytes(std::initializer_list<int> xs) {
+  std::vector<uint8_t> out;
+  for (int x : xs) out.push_back(static_cast<uint8_t>(x));
+  return out;
+}
+
+TEST(FrameCodecTest, RoundTripBackToBack) {
+  std::vector<uint8_t> stream;
+  EncodeFrame(7, Bytes({1, 2, 3}), &stream);
+  EncodeFrame(9, {}, &stream);
+  EncodeFrame(1ull << 40, Bytes({0xff}), &stream);
+
+  WireFrame frame;
+  size_t consumed = 0;
+  ASSERT_TRUE(DecodeFrame(stream.data(), stream.size(), &frame, &consumed).ok());
+  EXPECT_EQ(frame.tag, 7u);
+  EXPECT_EQ(frame.payload, Bytes({1, 2, 3}));
+  size_t off = consumed;
+
+  ASSERT_TRUE(
+      DecodeFrame(stream.data() + off, stream.size() - off, &frame, &consumed)
+          .ok());
+  EXPECT_EQ(frame.tag, 9u);
+  EXPECT_TRUE(frame.payload.empty());
+  off += consumed;
+
+  ASSERT_TRUE(
+      DecodeFrame(stream.data() + off, stream.size() - off, &frame, &consumed)
+          .ok());
+  EXPECT_EQ(frame.tag, 1ull << 40);
+  off += consumed;
+  EXPECT_EQ(off, stream.size());
+}
+
+TEST(FrameCodecTest, IncompletePrefixAsksForMoreBytes) {
+  std::vector<uint8_t> stream;
+  EncodeFrame(42, Bytes({5, 6, 7, 8}), &stream);
+
+  // Every strict prefix must come back kUnavailable with consumed == 0:
+  // this retry contract is what Conn's read loop resumes on.
+  for (size_t len = 0; len < stream.size(); ++len) {
+    WireFrame frame;
+    size_t consumed = 1;
+    Status st = DecodeFrame(stream.data(), len, &frame, &consumed);
+    EXPECT_FALSE(st.ok()) << "prefix " << len;
+    EXPECT_EQ(st.code(), StatusCode::kUnavailable) << "prefix " << len;
+    EXPECT_EQ(consumed, 0u) << "prefix " << len;
+  }
+}
+
+TEST(FrameCodecTest, ImplausibleLengthIsCorruption) {
+  std::vector<uint8_t> stream(kFrameLenBytes + kFrameTagBytes, 0);
+  const uint32_t bogus = kMaxFrameBody + 1;
+  std::memcpy(stream.data(), &bogus, sizeof bogus);
+  WireFrame frame;
+  size_t consumed = 0;
+  Status st = DecodeFrame(stream.data(), stream.size(), &frame, &consumed);
+  EXPECT_EQ(st.code(), StatusCode::kCorruption);
+}
+
+TEST(EventLoopTest, PostedTasksRunInOrderOnLoopThread) {
+  EventLoop loop;
+  loop.Start();
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<int> order;
+  bool all_on_loop = true;
+  for (int i = 0; i < 16; ++i) {
+    loop.Post([&, i] {
+      std::lock_guard<std::mutex> lock(mu);
+      all_on_loop = all_on_loop && loop.InLoopThread();
+      order.push_back(i);
+      cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  ASSERT_TRUE(cv.wait_for(lock, 5s, [&] { return order.size() == 16; }));
+  EXPECT_TRUE(all_on_loop);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[i], i);
+  loop.Stop();
+}
+
+TEST(EventLoopTest, TimersFireAndCancel) {
+  EventLoop loop;
+  loop.Start();
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool fired = false;
+  bool cancelled_fired = false;
+  loop.Post([&] {
+    const auto now = std::chrono::steady_clock::now();
+    uint64_t doomed = loop.AddTimer(now + 20ms, [&] {
+      std::lock_guard<std::mutex> lock(mu);
+      cancelled_fired = true;
+    });
+    loop.CancelTimer(doomed);
+    loop.AddTimer(now + 30ms, [&] {
+      std::lock_guard<std::mutex> lock(mu);
+      fired = true;
+      cv.notify_all();
+    });
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  ASSERT_TRUE(cv.wait_for(lock, 5s, [&] { return fired; }));
+  EXPECT_FALSE(cancelled_fired);
+  lock.unlock();
+  loop.Stop();
+}
+
+TEST(EventLoopTest, PostAfterStopIsDropped) {
+  EventLoop loop;
+  loop.Start();
+  loop.Stop();
+  bool ran = false;
+  loop.Post([&] { ran = true; });  // must not crash, must not run
+  EXPECT_FALSE(ran);
+}
+
+/// Collects transport responses: per-tag delivery counts plus the ok
+/// payloads, with a waitable total.
+class CollectSink final : public TransportSink {
+ public:
+  void OnResponse(uint64_t tag, Status transport_status,
+                  std::vector<uint8_t> payload) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++deliveries_[tag];
+    if (transport_status.ok()) {
+      ok_payloads_[tag] = std::move(payload);
+    } else {
+      ++failures_;
+    }
+    ++total_;
+    cv_.notify_all();
+  }
+
+  bool WaitForTotal(size_t n, std::chrono::seconds timeout = 30s) {
+    std::unique_lock<std::mutex> lock(mu_);
+    return cv_.wait_for(lock, timeout, [&] { return total_ >= n; });
+  }
+
+  size_t total() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_;
+  }
+  size_t failures() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return failures_;
+  }
+  std::map<uint64_t, size_t> deliveries() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return deliveries_;
+  }
+  std::map<uint64_t, std::vector<uint8_t>> ok_payloads() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ok_payloads_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<uint64_t, size_t> deliveries_;
+  std::map<uint64_t, std::vector<uint8_t>> ok_payloads_;
+  size_t failures_ = 0;
+  size_t total_ = 0;
+};
+
+FrameServer::Handler EchoHandler() {
+  return [](const uint8_t* data, size_t size) {
+    return std::vector<uint8_t>(data, data + size);
+  };
+}
+
+std::shared_ptr<const std::vector<uint8_t>> SharedBytes(
+    std::vector<uint8_t> bytes) {
+  return std::make_shared<const std::vector<uint8_t>>(std::move(bytes));
+}
+
+TEST(FrameServerTest, EchoRoundTripIncludingLargeFrames) {
+  FrameServer server(FrameServer::Options{}, EchoHandler());
+  ASSERT_TRUE(server.Start().ok());
+
+  SocketTransport transport(
+      {"127.0.0.1:" + std::to_string(server.port())});
+  CollectSink sink;
+
+  // A spread of sizes, including one large enough (1 MiB) that the
+  // kernel cannot take or deliver it in one syscall — this exercises
+  // the partial-write drain and multi-read reassembly paths even
+  // without fault injection.
+  std::map<uint64_t, std::vector<uint8_t>> sent;
+  uint64_t tag = 1;
+  for (size_t size : {0ul, 1ul, 13ul, 4096ul, 1ul << 20}) {
+    std::vector<uint8_t> payload(size);
+    for (size_t i = 0; i < size; ++i) {
+      payload[i] = static_cast<uint8_t>((size + i * 131) & 0xff);
+    }
+    sent[tag] = payload;
+    transport.Send(0, tag, SharedBytes(std::move(payload)), &sink);
+    ++tag;
+  }
+
+  ASSERT_TRUE(sink.WaitForTotal(sent.size()));
+  EXPECT_EQ(sink.failures(), 0u);
+  auto got = sink.ok_payloads();
+  ASSERT_EQ(got.size(), sent.size());
+  for (const auto& [t, payload] : sent) {
+    EXPECT_EQ(got[t], payload) << "tag " << t;
+  }
+  EXPECT_EQ(server.connections_accepted(), 1u)
+      << "one multiplexed connection expected";
+}
+
+TEST(FrameServerTest, WorkerPoolOffloadServesConcurrently) {
+  FrameServer::Options opt;
+  opt.worker_threads = 2;
+  FrameServer server(opt, EchoHandler());
+  ASSERT_TRUE(server.Start().ok());
+
+  SocketTransport transport(
+      {"127.0.0.1:" + std::to_string(server.port())});
+  CollectSink sink;
+  constexpr size_t kRequests = 64;
+  for (uint64_t t = 1; t <= kRequests; ++t) {
+    transport.Send(0, t, SharedBytes(Bytes({int(t & 0xff), 2, 3})), &sink);
+  }
+  ASSERT_TRUE(sink.WaitForTotal(kRequests));
+  EXPECT_EQ(sink.failures(), 0u);
+  for (const auto& [t, n] : sink.deliveries()) EXPECT_EQ(n, 1u) << "tag " << t;
+}
+
+TEST(NetFaultTest, ShortIoNeverLosesOrDoublesTags) {
+  // kSocketShortIo on the client side: every firing clamps an I/O to
+  // one byte, every eighth severs the stream. Every tag must still be
+  // answered exactly once — with the exact echo, or with a typed
+  // kUnavailable for attempts caught by a sever.
+  SeededFaultInjector faults(0xc0ffee);
+  faults.SetRate(FaultSite::kSocketShortIo, 0.05);
+
+  FrameServer server(FrameServer::Options{}, EchoHandler());
+  ASSERT_TRUE(server.Start().ok());
+
+  SocketTransportOptions opt;
+  opt.faults = &faults;
+  opt.backoff_initial = 1ms;
+  opt.backoff_max = 5ms;
+  SocketTransport transport(
+      {"127.0.0.1:" + std::to_string(server.port())}, opt);
+
+  CollectSink sink;
+  constexpr uint64_t kRequests = 200;
+  std::map<uint64_t, std::vector<uint8_t>> sent;
+  for (uint64_t t = 1; t <= kRequests; ++t) {
+    std::vector<uint8_t> payload(32);
+    for (size_t i = 0; i < payload.size(); ++i) {
+      payload[i] = static_cast<uint8_t>((t * 31 + i) & 0xff);
+    }
+    sent[t] = payload;
+    transport.Send(0, t, SharedBytes(std::move(payload)), &sink);
+    if (t % 16 == 0) {
+      // Let in-flight tags settle occasionally so a sever's backoff
+      // window doesn't fail the whole remaining batch at once.
+      std::this_thread::sleep_for(2ms);
+    }
+  }
+
+  ASSERT_TRUE(sink.WaitForTotal(kRequests));
+  EXPECT_GT(faults.fired(FaultSite::kSocketShortIo), 0u)
+      << "fault schedule never fired; the test asserts nothing";
+  auto deliveries = sink.deliveries();
+  ASSERT_EQ(deliveries.size(), kRequests) << "every tag answered";
+  for (const auto& [t, n] : deliveries) {
+    EXPECT_EQ(n, 1u) << "tag " << t << " delivered more than once";
+  }
+  for (const auto& [t, payload] : sink.ok_payloads()) {
+    EXPECT_EQ(payload, sent[t]) << "tag " << t << " echo corrupted";
+  }
+}
+
+TEST(SocketTransportTest, ReconnectsAfterServerRestart) {
+  auto server = std::make_unique<FrameServer>(FrameServer::Options{},
+                                              EchoHandler());
+  ASSERT_TRUE(server->Start().ok());
+  const uint16_t port = server->port();
+
+  SocketTransportOptions opt;
+  opt.backoff_initial = 1ms;
+  opt.backoff_max = 10ms;
+  SocketTransport transport({"127.0.0.1:" + std::to_string(port)}, opt);
+
+  CollectSink sink;
+  transport.Send(0, 1, SharedBytes(Bytes({1})), &sink);
+  ASSERT_TRUE(sink.WaitForTotal(1));
+  EXPECT_EQ(sink.failures(), 0u);
+
+  // Kill the server; the established connection dies and subsequent
+  // sends fail typed until a replacement server appears.
+  server->Stop();
+  server.reset();
+  transport.Send(0, 2, SharedBytes(Bytes({2})), &sink);
+  ASSERT_TRUE(sink.WaitForTotal(2));
+  EXPECT_EQ(sink.failures(), 1u);
+
+  // Restart on the same port (SO_REUSEADDR) and keep sending until a
+  // redial lands: the channel must recover without a new transport.
+  FrameServer::Options reopen;
+  reopen.port = port;
+  server = std::make_unique<FrameServer>(reopen, EchoHandler());
+  ASSERT_TRUE(server->Start().ok());
+
+  bool recovered = false;
+  uint64_t tag = 3;
+  const auto deadline = std::chrono::steady_clock::now() + 20s;
+  while (!recovered && std::chrono::steady_clock::now() < deadline) {
+    const size_t before = sink.total();
+    transport.Send(0, tag++, SharedBytes(Bytes({3})), &sink);
+    ASSERT_TRUE(sink.WaitForTotal(before + 1));
+    recovered = sink.ok_payloads().size() >= 2;  // tag 1 plus a post-restart ok
+    if (!recovered) std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_TRUE(recovered) << "transport never recovered after restart";
+  EXPECT_GE(transport.reconnects(), 1u);
+}
+
+}  // namespace
+}  // namespace stl

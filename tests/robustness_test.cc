@@ -17,8 +17,11 @@
 #include <thread>
 #include <vector>
 
+#include "dist/replica_node.h"
 #include "dist/shard_router.h"
+#include "dist/socket_transport.h"
 #include "engine/fault_injector.h"
+#include "net/server.h"
 #include "engine/query_engine.h"
 #include "engine/sharded_engine.h"
 #include "graph/dijkstra.h"
@@ -1011,6 +1014,119 @@ TEST(TransportChaosTest, AllReplicasStaleYieldTypedUnavailable) {
     ShardedQueryResult r = router.Submit({s, t}).get();
     ASSERT_EQ(r.code, StatusCode::kOk);
     ASSERT_EQ(r.distance, audit.Distance(s, t));
+  }
+}
+
+// ------------------------------------------------------ socket chaos
+
+// The routed tier over REAL sockets with kSocketShortIo armed on both
+// sides of the wire: every client and server I/O may be clamped to one
+// byte, and every eighth firing per connection severs the stream
+// mid-frame. The invariants are the same as the loopback chaos matrix:
+// every tag completes exactly once, every answered query is exact for
+// its epoch, failures are the typed kUnavailable — and once the fault
+// clears, service recovers completely over fresh connections.
+TEST(SocketChaosTest, TagsExactlyOnceUnderShortIoAndDisconnects) {
+  Graph g = testing_util::SmallRoadNetwork(6, 907);
+  const uint32_t n = g.NumVertices();
+  SeededFaultInjector faults(907);
+  faults.SetRate(FaultSite::kSocketShortIo, 0.02);
+
+  // Two ReplicaNodes behind FrameServers whose accepted connections are
+  // ALSO fault-armed, so partial I/O and severs hit both directions.
+  ShardedEngineOptions engine_opt;
+  engine_opt.target_shards = 4;
+  engine_opt.num_query_threads = 2;
+  engine_opt.max_batch_size = 8;
+  std::vector<std::unique_ptr<ReplicaNode>> nodes;
+  std::vector<std::unique_ptr<FrameServer>> servers;
+  std::vector<std::string> endpoints;
+  for (int i = 0; i < 2; ++i) {
+    nodes.push_back(std::make_unique<ReplicaNode>(
+        testing_util::SmallRoadNetwork(6, 907), HierarchyOptions{},
+        engine_opt));
+    ReplicaNode* raw = nodes.back().get();
+    FrameServer::Options server_opt;
+    server_opt.faults = &faults;
+    servers.push_back(std::make_unique<FrameServer>(
+        server_opt, [raw](const uint8_t* data, size_t size) {
+          return raw->Handle(data, size);
+        }));
+    ASSERT_TRUE(servers.back()->Start().ok());
+    endpoints.push_back("127.0.0.1:" +
+                        std::to_string(servers.back()->port()));
+  }
+
+  SocketTransportOptions transport_opt;
+  transport_opt.faults = &faults;
+  transport_opt.backoff_initial = milliseconds(1);
+  transport_opt.backoff_max = milliseconds(10);
+  SocketTransport transport(endpoints, transport_opt);
+
+  ShardRouterOptions opt;
+  opt.engine = engine_opt;
+  opt.num_query_threads = 4;
+  ShardRouter router(std::move(g), HierarchyOptions{}, opt, &transport, {});
+  const std::shared_ptr<const ShardedSnapshot> snap0 =
+      router.CurrentSnapshot();
+  Dijkstra audit(snap0->graph);  // no updates: epoch 0 throughout
+
+  CompletionQueue queue;
+  Rng rng(908);
+  constexpr uint64_t kTags = 256;
+  std::map<uint64_t, QueryPair> submitted;
+  {
+    std::vector<QueryPair> queries;
+    std::vector<uint64_t> tags;
+    for (uint64_t i = 0; i < kTags; ++i) {
+      QueryPair q{static_cast<Vertex>(rng.NextBounded(n)),
+                  static_cast<Vertex>(rng.NextBounded(n))};
+      queries.push_back(q);
+      tags.push_back(i);
+      submitted.emplace(i, q);
+    }
+    router.SubmitBatchTagged(queries, tags, &queue).Wait();
+  }
+
+  // Exactly once per tag, exact or typed — zero lost, zero doubled,
+  // socket severs notwithstanding.
+  std::set<uint64_t> seen;
+  uint64_t unavailable = 0;
+  Completion out[64];
+  while (seen.size() < kTags) {
+    const size_t got = queue.WaitPoll(out, 64, milliseconds(10000));
+    ASSERT_GT(got, 0u) << "completion queue starved with "
+                       << (kTags - seen.size()) << " tags outstanding";
+    for (size_t i = 0; i < got; ++i) {
+      ASSERT_TRUE(seen.insert(out[i].tag).second)
+          << "tag " << out[i].tag << " delivered twice";
+      const QueryPair q = submitted.at(out[i].tag);
+      if (out[i].code == StatusCode::kOk) {
+        ASSERT_EQ(out[i].distance, audit.Distance(q.first, q.second))
+            << "tag " << out[i].tag;
+      } else {
+        ASSERT_EQ(out[i].code, StatusCode::kUnavailable);
+        ++unavailable;
+      }
+    }
+  }
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_GT(faults.fired(FaultSite::kSocketShortIo), 0u)
+      << "short-I/O schedule never fired; the chaos was vacuous";
+  RouterStats mid = router.Stats();
+  EXPECT_EQ(mid.serving.queries_served + mid.serving.queries_unavailable,
+            kTags);
+  EXPECT_EQ(mid.serving.queries_unavailable, unavailable);
+
+  // Fault clears: the transport redials severed channels lazily and
+  // every query answers exactly again.
+  faults.Clear();
+  for (int i = 0; i < 64; ++i) {
+    const Vertex s = static_cast<Vertex>(rng.NextBounded(n));
+    const Vertex t = static_cast<Vertex>(rng.NextBounded(n));
+    ShardedQueryResult r = router.Submit({s, t}).get();
+    ASSERT_EQ(r.code, StatusCode::kOk) << "post-recovery i=" << i;
+    ASSERT_EQ(r.distance, audit.Distance(s, t)) << "post-recovery i=" << i;
   }
 }
 
